@@ -1,0 +1,218 @@
+//! Hill climbing over the swap / move neighbourhood.
+//!
+//! Steepest-descent local search using the O(degree) incremental deltas
+//! of [`match_core::IncrementalCost`]: on square instances the
+//! neighbourhood is all task-pair swaps (preserving bijectivity); on
+//! rectangular instances it is all single-task moves. Optional random
+//! restarts escape local optima within an evaluation budget.
+
+use match_core::{IncrementalCost, Mapper, MapperOutcome, Mapping, MappingInstance};
+use match_rngutil::perm::random_permutation;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::Instant;
+
+/// Steepest-descent hill climber with random restarts.
+#[derive(Debug, Clone)]
+pub struct HillClimber {
+    /// Random restarts (1 = single descent).
+    pub restarts: usize,
+    /// Evaluation budget across all restarts; the climber stops mid-
+    /// descent when exhausted.
+    pub max_evaluations: u64,
+}
+
+impl Default for HillClimber {
+    fn default() -> Self {
+        HillClimber {
+            restarts: 5,
+            max_evaluations: 2_000_000,
+        }
+    }
+}
+
+impl HillClimber {
+    /// A climber with the given restart count and evaluation budget.
+    pub fn new(restarts: usize, max_evaluations: u64) -> Self {
+        assert!(restarts >= 1, "need at least one descent");
+        HillClimber {
+            restarts,
+            max_evaluations,
+        }
+    }
+
+    /// One full steepest descent from `start`. Returns the local optimum
+    /// and the evaluations spent.
+    fn descend(
+        &self,
+        inst: &MappingInstance,
+        start: Vec<usize>,
+        budget: u64,
+    ) -> (Vec<usize>, f64, u64) {
+        let n = inst.n_tasks();
+        let r = inst.n_resources();
+        let square = inst.is_square();
+        let mut inc = IncrementalCost::new(inst, start);
+        let mut evals: u64 = 1;
+        loop {
+            let current = inc.cost();
+            let mut best_delta_cost = current;
+            let mut best_op: Option<(usize, usize)> = None;
+            if square {
+                'outer_swap: for a in 0..n {
+                    for b in (a + 1)..n {
+                        if evals >= budget {
+                            break 'outer_swap;
+                        }
+                        evals += 1;
+                        let c = inc.peek_swap(a, b);
+                        if c < best_delta_cost {
+                            best_delta_cost = c;
+                            best_op = Some((a, b));
+                        }
+                    }
+                }
+            } else {
+                'outer_move: for t in 0..n {
+                    for s in 0..r {
+                        if s == inc.assign()[t] {
+                            continue;
+                        }
+                        if evals >= budget {
+                            break 'outer_move;
+                        }
+                        evals += 1;
+                        let c = inc.peek_move(t, s);
+                        if c < best_delta_cost {
+                            best_delta_cost = c;
+                            best_op = Some((t, s));
+                        }
+                    }
+                }
+            }
+            match best_op {
+                Some((a, b)) if best_delta_cost < current => {
+                    if square {
+                        inc.apply_swap(a, b);
+                    } else {
+                        inc.apply_move(a, b);
+                    }
+                }
+                _ => break, // local optimum or budget exhausted
+            }
+            if evals >= budget {
+                break;
+            }
+        }
+        let cost = inc.cost();
+        (inc.assign().to_vec(), cost, evals)
+    }
+}
+
+impl Mapper for HillClimber {
+    fn name(&self) -> &str {
+        "HillClimb"
+    }
+
+    fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
+        let start_t = Instant::now();
+        let n = inst.n_tasks();
+        let r = inst.n_resources();
+        let mut best: Option<Vec<usize>> = None;
+        let mut best_cost = f64::INFINITY;
+        let mut total_evals: u64 = 0;
+        let mut descents = 0usize;
+        for _ in 0..self.restarts {
+            if total_evals >= self.max_evaluations {
+                break;
+            }
+            let start: Vec<usize> = if inst.is_square() {
+                random_permutation(n, rng)
+            } else {
+                (0..n).map(|_| rng.random_range(0..r)).collect()
+            };
+            let (assign, cost, evals) =
+                self.descend(inst, start, self.max_evaluations - total_evals);
+            total_evals += evals;
+            descents += 1;
+            if cost < best_cost {
+                best_cost = cost;
+                best = Some(assign);
+            }
+        }
+        MapperOutcome {
+            mapping: Mapping::new(best.expect("at least one descent")),
+            cost: best_cost,
+            evaluations: total_evals,
+            iterations: descents,
+            elapsed: start_t.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_core::exec_time;
+    use match_graph::gen::paper::PaperFamilyConfig;
+    use match_graph::gen::InstanceGenerator;
+    use match_graph::InstancePair;
+    use rand::SeedableRng;
+
+    fn instance(n: usize, seed: u64) -> MappingInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MappingInstance::from_pair(&InstanceGenerator::paper_family(n).generate(&mut rng))
+    }
+
+    #[test]
+    fn reaches_local_optimum() {
+        let inst = instance(10, 1);
+        let out = HillClimber::new(1, 1_000_000).map(&inst, &mut StdRng::seed_from_u64(2));
+        assert!(out.mapping.is_permutation());
+        // Verify local optimality: no single swap improves.
+        let mut inc = IncrementalCost::new(&inst, out.mapping.as_slice().to_vec());
+        let cost = inc.cost();
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                assert!(
+                    inc.peek_swap(a, b) >= cost - 1e-9,
+                    "swap ({a},{b}) improves a 'local optimum'"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_reported_matches_mapping() {
+        let inst = instance(12, 3);
+        let out = HillClimber::default().map(&inst, &mut StdRng::seed_from_u64(4));
+        assert!((out.cost - exec_time(&inst, out.mapping.as_slice())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restarts_never_hurt() {
+        let inst = instance(12, 5);
+        let one = HillClimber::new(1, 10_000_000).map(&inst, &mut StdRng::seed_from_u64(6));
+        let five = HillClimber::new(5, 10_000_000).map(&inst, &mut StdRng::seed_from_u64(6));
+        assert!(five.cost <= one.cost);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let inst = instance(15, 7);
+        let out = HillClimber::new(10, 500).map(&inst, &mut StdRng::seed_from_u64(8));
+        assert!(out.evaluations <= 505, "evaluations {}", out.evaluations);
+        assert!(out.mapping.is_permutation());
+    }
+
+    #[test]
+    fn rectangular_move_neighbourhood() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let tig = PaperFamilyConfig::new(8).generate_tig(&mut rng);
+        let resources = PaperFamilyConfig::new(3).generate_platform(&mut rng);
+        let inst = MappingInstance::from_pair(&InstancePair { tig, resources });
+        let out = HillClimber::new(2, 100_000).map(&inst, &mut rng);
+        assert!(out.mapping.validate(&inst).is_ok());
+        assert!(out.mapping.as_slice().iter().all(|&s| s < 3));
+    }
+}

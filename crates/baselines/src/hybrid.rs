@@ -1,0 +1,174 @@
+//! CE + local-search hybrid: MaTCH followed by a hill-climb polish.
+//!
+//! The reproduction's Table 3 run found that MaTCH's CE plateau sits
+//! ~1% above the best known mapping on small instances: once the
+//! stochastic matrix concentrates, row-independent sampling almost
+//! never proposes the *coordinated* pairwise swaps that close the last
+//! gap. A cheap steepest-descent polish over the swap neighbourhood —
+//! using the O(degree) incremental deltas — fixes exactly that failure
+//! mode. This is the standard memetic refinement; the paper does not
+//! include it, so it lives with the baselines as an extension.
+
+use crate::hillclimb::HillClimber;
+use match_core::{IncrementalCost, Mapper, MapperOutcome, Mapping, MappingInstance, Matcher};
+use rand::rngs::StdRng;
+use std::time::Instant;
+
+/// MaTCH, then steepest-descent swap polish from the CE result.
+#[derive(Debug, Clone, Default)]
+pub struct PolishedMatcher {
+    /// The CE stage.
+    pub matcher: Matcher,
+    /// Evaluation budget of the polish stage.
+    pub polish_budget: u64,
+}
+
+impl PolishedMatcher {
+    /// Hybrid with the given CE solver and polish budget.
+    pub fn new(matcher: Matcher, polish_budget: u64) -> Self {
+        PolishedMatcher {
+            matcher,
+            polish_budget: polish_budget.max(1),
+        }
+    }
+
+    /// Steepest descent from `start` until a local optimum or the
+    /// budget runs out. Returns the assignment, cost and evaluations.
+    fn polish(
+        inst: &MappingInstance,
+        start: Vec<usize>,
+        budget: u64,
+    ) -> (Vec<usize>, f64, u64) {
+        let n = inst.n_tasks();
+        let mut inc = IncrementalCost::new(inst, start);
+        let mut evals: u64 = 1;
+        loop {
+            let current = inc.cost();
+            let mut best = current;
+            let mut best_op: Option<(usize, usize)> = None;
+            'scan: for a in 0..n {
+                for b in (a + 1)..n {
+                    if evals >= budget {
+                        break 'scan;
+                    }
+                    evals += 1;
+                    let c = inc.peek_swap(a, b);
+                    if c < best {
+                        best = c;
+                        best_op = Some((a, b));
+                    }
+                }
+            }
+            match best_op {
+                Some((a, b)) if best < current => inc.apply_swap(a, b),
+                _ => break,
+            }
+            if evals >= budget {
+                break;
+            }
+        }
+        let cost = inc.cost();
+        (inc.assign().to_vec(), cost, evals)
+    }
+}
+
+impl Mapper for PolishedMatcher {
+    fn name(&self) -> &str {
+        "MaTCH+polish"
+    }
+
+    fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
+        let start = Instant::now();
+        let ce = self.matcher.run(inst, rng);
+        let budget = if self.polish_budget == 1 {
+            // Default: one full swap-neighbourhood scan per task pair,
+            // a few times over.
+            (inst.n_tasks() * inst.n_tasks() * 10) as u64
+        } else {
+            self.polish_budget
+        };
+        let (assign, cost, polish_evals) =
+            PolishedMatcher::polish(inst, ce.mapping.as_slice().to_vec(), budget);
+        debug_assert!(cost <= ce.cost + 1e-9, "polish must not regress");
+        MapperOutcome {
+            mapping: Mapping::new(assign),
+            cost,
+            evaluations: ce.evaluations + polish_evals,
+            iterations: ce.iterations,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// Random-restart hill climbing wrapped as the polish stage's sibling:
+/// convenience constructor so ablations can compare "CE then polish"
+/// against "polish-budget spent on pure hill climbing".
+pub fn pure_hillclimb_with_equal_budget(budget: u64) -> HillClimber {
+    HillClimber::new(8, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_core::exec_time;
+    use match_graph::gen::InstanceGenerator;
+    use rand::SeedableRng;
+
+    fn instance(n: usize, seed: u64) -> MappingInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MappingInstance::from_pair(&InstanceGenerator::paper_family(n).generate(&mut rng))
+    }
+
+    #[test]
+    fn polish_never_regresses_ce_result() {
+        let inst = instance(10, 1);
+        for seed in 0..5 {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let plain = Matcher::default().run(&inst, &mut rng_a);
+            let hybrid = PolishedMatcher::default().map(&inst, &mut rng_b);
+            assert!(
+                hybrid.cost <= plain.cost + 1e-9,
+                "seed {seed}: hybrid {} vs plain {}",
+                hybrid.cost,
+                plain.cost
+            );
+            assert!(hybrid.mapping.is_permutation());
+            assert_eq!(hybrid.cost, exec_time(&inst, hybrid.mapping.as_slice()));
+        }
+    }
+
+    #[test]
+    fn polished_result_is_swap_local_optimum() {
+        let inst = instance(8, 2);
+        let out = PolishedMatcher::default().map(&inst, &mut StdRng::seed_from_u64(3));
+        let mut inc = IncrementalCost::new(&inst, out.mapping.as_slice().to_vec());
+        let cost = inc.cost();
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                assert!(inc.peek_swap(a, b) >= cost - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_budget_respected() {
+        let inst = instance(12, 4);
+        let m = PolishedMatcher::new(Matcher::default(), 50);
+        let plain_evals = Matcher::default()
+            .run(&inst, &mut StdRng::seed_from_u64(5))
+            .evaluations;
+        let out = m.map(&inst, &mut StdRng::seed_from_u64(5));
+        assert!(out.evaluations <= plain_evals + 55);
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = instance(9, 6);
+        let m = PolishedMatcher::default();
+        let a = m.map(&inst, &mut StdRng::seed_from_u64(7));
+        let b = m.map(&inst, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.cost, b.cost);
+    }
+}

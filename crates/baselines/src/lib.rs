@@ -1,0 +1,42 @@
+//! Additional mapping baselines beyond the paper's single GA comparison.
+//!
+//! The paper compares MaTCH only against FastMap-GA and acknowledges the
+//! comparison is narrow ("we do not have readily available mapping
+//! heuristics" for TIGs, §5). To position the reproduction's results more
+//! firmly, this crate implements the standard complements used in the
+//! mapping literature, all through the common [`match_core::Mapper`]
+//! interface:
+//!
+//! * [`RandomSearch`] — best of `k` uniform random mappings; the
+//!   no-intelligence yardstick.
+//! * [`RoundRobin`] — tasks dealt to resources in index order; the
+//!   classic static scheduler.
+//! * [`GreedyMapper`] — heaviest-task-first list scheduling, placing
+//!   each task on the resource minimising the resulting makespan (a
+//!   min-min style constructive heuristic adapted to TIGs).
+//! * [`HillClimber`] — steepest/first-descent local search over the swap
+//!   neighbourhood with O(degree) delta evaluation, optional restarts.
+//! * [`SimulatedAnnealing`] — Metropolis acceptance over the same
+//!   neighbourhood with geometric cooling.
+//!
+//! All square-instance searchers preserve bijectivity (swap moves);
+//! rectangular instances use task-move neighbourhoods.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fastmap;
+pub mod greedy;
+pub mod hybrid;
+pub mod hillclimb;
+pub mod partition;
+pub mod random;
+pub mod sa;
+
+pub use fastmap::{cluster_tig, coarsen_tig, FastMapScheme};
+pub use greedy::GreedyMapper;
+pub use hybrid::PolishedMatcher;
+pub use hillclimb::HillClimber;
+pub use partition::RecursiveBisection;
+pub use random::{RandomSearch, RoundRobin};
+pub use sa::SimulatedAnnealing;

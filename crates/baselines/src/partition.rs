@@ -1,0 +1,301 @@
+//! Recursive-bisection partitioning mapper.
+//!
+//! The paper's related work contrasts MaTCH with partitioning
+//! approaches (references [9, 20]: latency-tolerant partitioners for
+//! grid environments). This module implements the classic recursive
+//! scheme on top of the CE bipartitioner in `match-ce`:
+//!
+//! 1. Recursively split the task set into two balanced halves with
+//!    minimal crossing volume (CE over Bernoulli vectors), until there
+//!    are as many parts as resources.
+//! 2. Assign parts to resources greedily: heaviest part first, onto
+//!    the resource minimising the resulting makespan (same incremental
+//!    logic as [`crate::greedy`], at part granularity).
+//!
+//! It is a *constructive* method like greedy, but topology-aware: the
+//! bisection keeps chatty tasks together.
+
+use match_ce::problems::bipartition::bipartition;
+use match_core::{exec_time, Mapper, MapperOutcome, Mapping, MappingInstance};
+use match_graph::graph::Graph;
+use rand::rngs::StdRng;
+use std::time::Instant;
+
+/// Recursive-bisection mapper.
+#[derive(Debug, Clone)]
+pub struct RecursiveBisection {
+    /// CE sample size per bisection (default 150).
+    pub samples_per_cut: usize,
+    /// Imbalance penalty weight for the bipartition objective.
+    pub balance_penalty: f64,
+}
+
+impl Default for RecursiveBisection {
+    fn default() -> Self {
+        RecursiveBisection {
+            samples_per_cut: 150,
+            balance_penalty: 100.0,
+        }
+    }
+}
+
+impl RecursiveBisection {
+    /// Split the tasks in `members` into `parts` groups by recursive
+    /// CE bisection over the instance's interaction structure.
+    fn partition(
+        &self,
+        inst: &MappingInstance,
+        members: Vec<usize>,
+        parts: usize,
+        rng: &mut StdRng,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if parts <= 1 || members.len() <= 1 {
+            out.push(members);
+            return;
+        }
+        // Build the induced subgraph over `members`.
+        let index_of: std::collections::HashMap<usize, usize> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i))
+            .collect();
+        let mut g = Graph::from_node_weights(
+            members.iter().map(|&t| inst.computation(t)).collect(),
+        )
+        .expect("positive weights");
+        for (i, &t) in members.iter().enumerate() {
+            for (a, c) in inst.interactions(t) {
+                if let Some(&j) = index_of.get(&a) {
+                    if i < j {
+                        g.add_edge(i, j, c).expect("fresh edge");
+                    }
+                }
+            }
+        }
+        let result = bipartition(&g, self.balance_penalty, self.samples_per_cut, rng);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for (i, &t) in members.iter().enumerate() {
+            if result.side[i] {
+                left.push(t);
+            } else {
+                right.push(t);
+            }
+        }
+        // A degenerate (empty-side) cut would loop forever; split evenly.
+        if left.is_empty() || right.is_empty() {
+            let mid = members.len() / 2;
+            left = members[..mid].to_vec();
+            right = members[mid..].to_vec();
+        }
+        // Allocate parts proportionally to member counts, clamped so
+        // each side gets at least one part and never more parts than
+        // members — this keeps the invariant `parts ≤ members`
+        // (whenever it holds at the root), so a square instance ends in
+        // singleton parts and the final mapping stays bijective.
+        let total = members.len() as f64;
+        let ideal = (parts as f64 * left.len() as f64 / total).round() as usize;
+        let lo = parts.saturating_sub(right.len()).max(1);
+        let hi = left.len().min(parts - 1);
+        let left_parts = ideal.clamp(lo, hi);
+        let right_parts = parts - left_parts;
+        self.partition(inst, left, left_parts, rng, out);
+        self.partition(inst, right, right_parts, rng, out);
+    }
+}
+
+impl Mapper for RecursiveBisection {
+    fn name(&self) -> &str {
+        "RecBisect"
+    }
+
+    fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
+        let start = Instant::now();
+        let n = inst.n_tasks();
+        let r = inst.n_resources().max(1);
+        let mut parts: Vec<Vec<usize>> = Vec::new();
+        self.partition(inst, (0..n).collect(), r.min(n.max(1)), rng, &mut parts);
+
+        // Greedy part placement, heaviest (by computation) first.
+        parts.sort_by(|a, b| {
+            let wa: f64 = a.iter().map(|&t| inst.computation(t)).sum();
+            let wb: f64 = b.iter().map(|&t| inst.computation(t)).sum();
+            wb.partial_cmp(&wa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        const UNPLACED: usize = usize::MAX;
+        let mut assign = vec![UNPLACED; n];
+        let mut loads = vec![0.0f64; r];
+        let mut used = vec![false; r];
+        let square = inst.is_square();
+        let mut evals: u64 = 0;
+        for part in &parts {
+            let mut best_s = usize::MAX;
+            let mut best_makespan = f64::INFINITY;
+            #[allow(clippy::needless_range_loop)] // s indexes `used` and the instance
+            for s in 0..r {
+                if square && used[s] {
+                    continue;
+                }
+                evals += 1;
+                // Incremental cost of placing the whole part on `s`,
+                // charging communication only toward already-placed
+                // neighbours (like the greedy list scheduler, at part
+                // granularity). Intra-part volume is free on `s`.
+                let mut add_s: f64 =
+                    part.iter().map(|&t| inst.computation(t) * inst.processing_cost(s)).sum();
+                let mut neighbour_adds: Vec<(usize, f64)> = Vec::new();
+                for &t in part {
+                    for (a, c) in inst.interactions(t) {
+                        let b = assign[a];
+                        if b != UNPLACED && b != s {
+                            add_s += c * inst.link_cost(s, b);
+                            neighbour_adds.push((b, c * inst.link_cost(b, s)));
+                        }
+                    }
+                }
+                let mut candidate = 0.0f64;
+                for (s2, load) in loads.iter().enumerate() {
+                    let mut l = *load;
+                    if s2 == s {
+                        l += add_s;
+                    }
+                    for &(b, add) in &neighbour_adds {
+                        if b == s2 {
+                            l += add;
+                        }
+                    }
+                    candidate = candidate.max(l);
+                }
+                if candidate < best_makespan {
+                    best_makespan = candidate;
+                    best_s = s;
+                }
+            }
+            // Commit the part.
+            let s = best_s;
+            for &t in part {
+                assign[t] = s;
+            }
+            loads[s] += part
+                .iter()
+                .map(|&t| inst.computation(t) * inst.processing_cost(s))
+                .sum::<f64>();
+            for &t in part {
+                for (a, c) in inst.interactions(t) {
+                    let b = assign[a];
+                    if b != UNPLACED && b != s && !part.contains(&a) {
+                        loads[s] += c * inst.link_cost(s, b);
+                        loads[b] += c * inst.link_cost(b, s);
+                    }
+                }
+            }
+            used[s] = true;
+        }
+        let cost = exec_time(inst, &assign);
+        MapperOutcome {
+            mapping: Mapping::new(assign),
+            cost,
+            evaluations: evals,
+            iterations: parts.len(),
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// Convenience: expose the partition step for tests and tools.
+pub fn partition_tasks(
+    inst: &MappingInstance,
+    parts: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<usize>> {
+    let rb = RecursiveBisection::default();
+    let mut out = Vec::new();
+    rb.partition(inst, (0..inst.n_tasks()).collect(), parts.max(1), rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_graph::gen::paper::PaperFamilyConfig;
+    use match_graph::gen::InstanceGenerator;
+    use match_graph::InstancePair;
+    use rand::SeedableRng;
+
+    fn square_instance(n: usize, seed: u64) -> MappingInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MappingInstance::from_pair(&InstanceGenerator::paper_family(n).generate(&mut rng))
+    }
+
+    #[test]
+    fn partition_covers_all_tasks_exactly_once() {
+        let inst = square_instance(16, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for parts in [1, 2, 4, 8, 16] {
+            let groups = partition_tasks(&inst, parts, &mut rng);
+            let mut seen = [false; 16];
+            for g in &groups {
+                for &t in g {
+                    assert!(!seen[t], "task {t} in two parts");
+                    seen[t] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "parts = {parts}");
+            assert!(groups.len() <= parts.max(1) || parts == 1);
+        }
+    }
+
+    #[test]
+    fn square_mapping_is_bijective() {
+        let inst = square_instance(10, 3);
+        let out = RecursiveBisection::default().map(&inst, &mut StdRng::seed_from_u64(4));
+        assert!(out.mapping.is_permutation());
+        assert_eq!(out.cost, exec_time(&inst, out.mapping.as_slice()));
+    }
+
+    #[test]
+    fn beats_random_single_draw() {
+        let inst = square_instance(12, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let rb = RecursiveBisection::default().map(&inst, &mut rng);
+        let random = crate::random::RandomSearch::new(1).map(&inst, &mut rng);
+        assert!(rb.cost <= random.cost * 1.2, "RB {} vs random {}", rb.cost, random.cost);
+    }
+
+    #[test]
+    fn many_to_one_supported() {
+        // Comm-dominated weights make consolidation onto one resource
+        // optimal (see EXPERIMENTS.md), so use a compute-dominated TIG
+        // where the placement genuinely spreads parts.
+        let mut rng = StdRng::seed_from_u64(7);
+        let tig = PaperFamilyConfig::new(20)
+            .with_comp_scale(2000)
+            .generate_tig(&mut rng);
+        let platform = PaperFamilyConfig::new(4).generate_platform(&mut rng);
+        let inst = MappingInstance::from_pair(&InstancePair { tig, resources: platform });
+        let out = RecursiveBisection::default().map(&inst, &mut rng);
+        assert!(out.mapping.validate(&inst).is_ok());
+        assert!(out.mapping.as_slice().iter().all(|&s| s < 4));
+        // With computation dominating, at least two resources are used.
+        let distinct: std::collections::HashSet<_> =
+            out.mapping.as_slice().iter().collect();
+        assert!(distinct.len() >= 2, "all on one: {:?}", out.mapping.as_slice());
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = square_instance(9, 8);
+        let rb = RecursiveBisection::default();
+        let a = rb.map(&inst, &mut StdRng::seed_from_u64(9));
+        let b = rb.map(&inst, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn single_task_and_single_resource() {
+        let inst = square_instance(1, 10);
+        let out = RecursiveBisection::default().map(&inst, &mut StdRng::seed_from_u64(11));
+        assert_eq!(out.mapping.as_slice(), &[0]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Random search and round-robin baselines.
+
+use match_core::{exec_time, Mapper, MapperOutcome, Mapping, MappingInstance};
+use match_rngutil::perm::random_permutation;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::Instant;
+
+/// Best of `samples` uniformly random mappings.
+///
+/// On a square instance the samples are random permutations (comparable
+/// to MaTCH's and the GA's search space); on a rectangular instance each
+/// task draws a uniform resource.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    /// Number of mappings to draw.
+    pub samples: usize,
+}
+
+impl RandomSearch {
+    /// Random search with a budget of `samples` evaluations.
+    pub fn new(samples: usize) -> Self {
+        assert!(samples >= 1, "need at least one sample");
+        RandomSearch { samples }
+    }
+}
+
+impl Mapper for RandomSearch {
+    fn name(&self) -> &str {
+        "Random"
+    }
+
+    fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
+        let start = Instant::now();
+        let n = inst.n_tasks();
+        let r = inst.n_resources();
+        let mut best: Option<Vec<usize>> = None;
+        let mut best_cost = f64::INFINITY;
+        for _ in 0..self.samples {
+            let assign: Vec<usize> = if inst.is_square() {
+                random_permutation(n, rng)
+            } else {
+                (0..n).map(|_| rng.random_range(0..r)).collect()
+            };
+            let c = exec_time(inst, &assign);
+            if c < best_cost {
+                best_cost = c;
+                best = Some(assign);
+            }
+        }
+        MapperOutcome {
+            mapping: Mapping::new(best.expect("samples >= 1")),
+            cost: best_cost,
+            evaluations: self.samples as u64,
+            iterations: self.samples,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// Deterministic round-robin: task `t` goes to resource `t mod |V_r|`.
+/// On square instances this is the identity permutation — a fixed,
+/// topology-blind assignment that any search heuristic should beat.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin;
+
+impl Mapper for RoundRobin {
+    fn name(&self) -> &str {
+        "RoundRobin"
+    }
+
+    fn map(&self, inst: &MappingInstance, _rng: &mut StdRng) -> MapperOutcome {
+        let start = Instant::now();
+        let r = inst.n_resources().max(1);
+        let assign: Vec<usize> = (0..inst.n_tasks()).map(|t| t % r).collect();
+        let cost = exec_time(inst, &assign);
+        MapperOutcome {
+            mapping: Mapping::new(assign),
+            cost,
+            evaluations: 1,
+            iterations: 1,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_graph::gen::paper::PaperFamilyConfig;
+    use match_graph::gen::InstanceGenerator;
+    use match_graph::InstancePair;
+    use rand::SeedableRng;
+
+    fn instance(n: usize, seed: u64) -> MappingInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MappingInstance::from_pair(&InstanceGenerator::paper_family(n).generate(&mut rng))
+    }
+
+    #[test]
+    fn random_search_square_yields_permutation() {
+        let inst = instance(9, 1);
+        let out = RandomSearch::new(50).map(&inst, &mut StdRng::seed_from_u64(2));
+        assert!(out.mapping.is_permutation());
+        assert_eq!(out.evaluations, 50);
+        assert_eq!(out.cost, exec_time(&inst, out.mapping.as_slice()));
+    }
+
+    #[test]
+    fn more_samples_never_worse() {
+        let inst = instance(10, 3);
+        let small = RandomSearch::new(10).map(&inst, &mut StdRng::seed_from_u64(4));
+        let big = RandomSearch::new(1000).map(&inst, &mut StdRng::seed_from_u64(4));
+        assert!(big.cost <= small.cost);
+    }
+
+    #[test]
+    fn random_search_rectangular() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let tig = PaperFamilyConfig::new(10).generate_tig(&mut rng);
+        let resources = PaperFamilyConfig::new(3).generate_platform(&mut rng);
+        let inst = MappingInstance::from_pair(&InstancePair { tig, resources });
+        let out = RandomSearch::new(30).map(&inst, &mut rng);
+        assert!(out.mapping.validate(&inst).is_ok());
+        assert!(out.mapping.as_slice().iter().all(|&s| s < 3));
+    }
+
+    #[test]
+    fn round_robin_square_is_identity() {
+        let inst = instance(6, 6);
+        let out = RoundRobin.map(&inst, &mut StdRng::seed_from_u64(7));
+        assert_eq!(out.mapping.as_slice(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn round_robin_wraps() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let tig = PaperFamilyConfig::new(7).generate_tig(&mut rng);
+        let resources = PaperFamilyConfig::new(3).generate_platform(&mut rng);
+        let inst = MappingInstance::from_pair(&InstancePair { tig, resources });
+        let out = RoundRobin.map(&inst, &mut rng);
+        assert_eq!(out.mapping.as_slice(), &[0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        RandomSearch::new(0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Simulated annealing over the swap / move neighbourhood.
+//!
+//! Metropolis acceptance with geometric cooling. The initial temperature
+//! is calibrated from the instance itself (mean absolute delta of random
+//! moves) so one configuration works across the paper's size sweep.
+
+use match_core::{IncrementalCost, Mapper, MapperOutcome, Mapping, MappingInstance};
+use match_rngutil::perm::random_permutation;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::Instant;
+
+/// Simulated-annealing mapper.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    /// Total proposed moves.
+    pub iterations: u64,
+    /// Geometric cooling factor per step (e.g. `0.9995`).
+    pub cooling: f64,
+    /// Initial acceptance probability target for an average uphill move
+    /// (calibrates the starting temperature).
+    pub initial_acceptance: f64,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing {
+            iterations: 200_000,
+            cooling: 0.99995,
+            initial_acceptance: 0.8,
+        }
+    }
+}
+
+impl SimulatedAnnealing {
+    /// An annealer with the given move budget and cooling factor.
+    pub fn new(iterations: u64, cooling: f64) -> Self {
+        assert!(iterations >= 1, "need at least one move");
+        assert!((0.0..1.0).contains(&cooling) || cooling == 1.0, "cooling in (0,1]");
+        SimulatedAnnealing {
+            iterations,
+            cooling,
+            ..SimulatedAnnealing::default()
+        }
+    }
+
+    /// Calibrate T₀ so an average uphill move is accepted with
+    /// probability `initial_acceptance`.
+    fn initial_temperature(
+        &self,
+        inc: &mut IncrementalCost<'_>,
+        square: bool,
+        n: usize,
+        r: usize,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0u32;
+        let current = inc.cost();
+        for _ in 0..64.min(n * n) {
+            let c = if square && n >= 2 {
+                let a = rng.random_range(0..n);
+                let mut b = rng.random_range(0..n);
+                while b == a {
+                    b = rng.random_range(0..n);
+                }
+                inc.peek_swap(a, b)
+            } else if n >= 1 && r >= 2 {
+                let t = rng.random_range(0..n);
+                let s = rng.random_range(0..r);
+                inc.peek_move(t, s)
+            } else {
+                current
+            };
+            let delta = c - current;
+            if delta > 0.0 {
+                sum += delta;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            return 1.0;
+        }
+        let mean_uphill = sum / count as f64;
+        // exp(-Δ/T₀) = p  ⇒  T₀ = Δ / ln(1/p)
+        mean_uphill / (1.0 / self.initial_acceptance).ln().max(1e-9)
+    }
+}
+
+impl Mapper for SimulatedAnnealing {
+    fn name(&self) -> &str {
+        "SimAnneal"
+    }
+
+    fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
+        let start_t = Instant::now();
+        let n = inst.n_tasks();
+        let r = inst.n_resources();
+        let square = inst.is_square();
+        let start: Vec<usize> = if square {
+            random_permutation(n, rng)
+        } else {
+            (0..n).map(|_| rng.random_range(0..r)).collect()
+        };
+        let mut inc = IncrementalCost::new(inst, start.clone());
+        let mut best = start;
+        let mut best_cost = inc.cost();
+        let mut evals: u64 = 1;
+
+        if n < 2 || (!square && r < 2) {
+            return MapperOutcome {
+                mapping: Mapping::new(best),
+                cost: best_cost,
+                evaluations: evals,
+                iterations: 0,
+                elapsed: start_t.elapsed(),
+            };
+        }
+
+        let mut temp = self.initial_temperature(&mut inc, square, n, r, rng);
+        evals += 64.min((n * n) as u64);
+
+        for _ in 0..self.iterations {
+            let current = inc.cost();
+            let candidate_cost;
+            let op: (usize, usize);
+            if square {
+                let a = rng.random_range(0..n);
+                let mut b = rng.random_range(0..n);
+                while b == a {
+                    b = rng.random_range(0..n);
+                }
+                candidate_cost = inc.peek_swap(a, b);
+                op = (a, b);
+            } else {
+                let t = rng.random_range(0..n);
+                let s = rng.random_range(0..r);
+                candidate_cost = inc.peek_move(t, s);
+                op = (t, s);
+            }
+            evals += 1;
+            let delta = candidate_cost - current;
+            let accept = delta <= 0.0
+                || (temp > 0.0 && rng.random::<f64>() < (-delta / temp).exp());
+            if accept {
+                if square {
+                    inc.apply_swap(op.0, op.1);
+                } else {
+                    inc.apply_move(op.0, op.1);
+                }
+                if candidate_cost < best_cost {
+                    best_cost = candidate_cost;
+                    best = inc.assign().to_vec();
+                }
+            }
+            temp *= self.cooling;
+        }
+
+        MapperOutcome {
+            mapping: Mapping::new(best),
+            cost: best_cost,
+            evaluations: evals,
+            iterations: self.iterations as usize,
+            elapsed: start_t.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_core::exec_time;
+    use match_graph::gen::paper::PaperFamilyConfig;
+    use match_graph::gen::InstanceGenerator;
+    use match_graph::InstancePair;
+    use rand::SeedableRng;
+
+    fn instance(n: usize, seed: u64) -> MappingInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MappingInstance::from_pair(&InstanceGenerator::paper_family(n).generate(&mut rng))
+    }
+
+    #[test]
+    fn produces_valid_permutation() {
+        let inst = instance(10, 1);
+        let sa = SimulatedAnnealing::new(20_000, 0.9995);
+        let out = sa.map(&inst, &mut StdRng::seed_from_u64(2));
+        assert!(out.mapping.is_permutation());
+        assert!((out.cost - exec_time(&inst, out.mapping.as_slice())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improves_over_initial_state() {
+        let inst = instance(12, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let initial = exec_time(&inst, &random_permutation(12, &mut rng));
+        let sa = SimulatedAnnealing::new(50_000, 0.9998);
+        let out = sa.map(&inst, &mut StdRng::seed_from_u64(4));
+        assert!(out.cost <= initial, "SA {} vs initial {initial}", out.cost);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = instance(8, 5);
+        let sa = SimulatedAnnealing::new(10_000, 0.999);
+        let a = sa.map(&inst, &mut StdRng::seed_from_u64(6));
+        let b = sa.map(&inst, &mut StdRng::seed_from_u64(6));
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn rectangular_instances_supported() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let tig = PaperFamilyConfig::new(9).generate_tig(&mut rng);
+        let resources = PaperFamilyConfig::new(3).generate_platform(&mut rng);
+        let inst = MappingInstance::from_pair(&InstancePair { tig, resources });
+        let sa = SimulatedAnnealing::new(20_000, 0.9995);
+        let out = sa.map(&inst, &mut rng);
+        assert!(out.mapping.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn single_task_instance_survives() {
+        let inst = instance(1, 8);
+        let out = SimulatedAnnealing::default().map(&inst, &mut StdRng::seed_from_u64(9));
+        assert_eq!(out.mapping.as_slice(), &[0]);
+    }
+}

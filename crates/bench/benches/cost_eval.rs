@@ -1,0 +1,51 @@
+//! Microbenchmark: the Eq. 1/2 objective evaluation, full and
+//! incremental. The objective is called `N = 2|V|²` times per CE
+//! iteration, so its cost drives MaTCH's mapping time (Table 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use match_core::{exec_time, IncrementalCost, MappingInstance};
+use match_graph::gen::paper::PaperFamilyConfig;
+use match_rngutil::perm::random_permutation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn instance(n: usize) -> MappingInstance {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    MappingInstance::from_pair(&PaperFamilyConfig::new(n).generate(&mut rng))
+}
+
+fn bench_full_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_time_full");
+    for n in [10usize, 20, 30, 40, 50] {
+        let inst = instance(n);
+        let perm = random_permutation(n, &mut StdRng::seed_from_u64(7));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(exec_time(black_box(&inst), black_box(&perm))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_swap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_swap");
+    for n in [10usize, 30, 50] {
+        let inst = instance(n);
+        let perm = random_permutation(n, &mut StdRng::seed_from_u64(7));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut inc = IncrementalCost::new(&inst, perm.clone());
+            let mut k = 0usize;
+            b.iter(|| {
+                let a = k % n;
+                let b2 = (k / n + 1) % n;
+                k = k.wrapping_add(1);
+                inc.apply_swap(a, b2);
+                black_box(inc.cost())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_eval, bench_incremental_swap);
+criterion_main!(benches);

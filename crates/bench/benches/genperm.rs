@@ -1,0 +1,67 @@
+//! Microbenchmark: GenPerm sampling (Figure 4) across matrix states.
+//! MaTCH draws `2|V|²` GenPerm samples per iteration; this is the other
+//! half of its per-iteration cost next to objective evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use match_ce::model::CeModel;
+use match_ce::{PermutationModel, StochasticMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_uniform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("genperm_uniform");
+    for n in [10usize, 20, 50] {
+        let model = PermutationModel::uniform(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut used = Vec::new();
+            let mut weights = Vec::new();
+            let mut out = Vec::new();
+            b.iter(|| {
+                model.sample_into(&mut rng, &mut used, &mut weights, &mut out);
+                black_box(out.last().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_degenerate(c: &mut Criterion) {
+    // Near-degenerate matrices are the worst case for the restricted
+    // wheel (mass concentrates on used columns late in the run).
+    let mut group = c.benchmark_group("genperm_degenerate");
+    for n in [10usize, 50] {
+        let mut data = vec![1e-9; n * n];
+        for i in 0..n {
+            data[i * n + (n - 1 - i)] = 1.0;
+        }
+        let model = PermutationModel::from_matrix(StochasticMatrix::from_rows(n, n, data));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(model.sample(&mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("elite_update");
+    for n in [10usize, 50] {
+        let elites: Vec<Vec<usize>> = (0..((n * n) / 5).max(1))
+            .map(|s| {
+                match_rngutil::random_permutation(n, &mut StdRng::seed_from_u64(s as u64))
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut model = PermutationModel::uniform(n);
+            b.iter(|| {
+                model.update_from_elites(black_box(&elites), 0.3);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniform, bench_degenerate, bench_update);
+criterion_main!(benches);

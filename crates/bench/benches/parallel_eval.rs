@@ -1,0 +1,45 @@
+//! Scaling of the parallel sample evaluation (`match-par`): the batch of
+//! `N = 2|V|²` objective evaluations per CE iteration, sequential vs
+//! multi-threaded — the speedup MaTCH's mapping time gains from the
+//! fork/join substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use match_core::{exec_time, MappingInstance};
+use match_graph::gen::paper::PaperFamilyConfig;
+use match_rngutil::perm::random_permutation;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_batch(c: &mut Criterion) {
+    let n = 30usize;
+    let mut rng = StdRng::seed_from_u64(9);
+    let inst =
+        MappingInstance::from_pair(&PaperFamilyConfig::new(n).generate(&mut rng));
+    let batch: Vec<Vec<usize>> = (0..2 * n * n)
+        .map(|_| random_permutation(n, &mut rng))
+        .collect();
+
+    let mut group = c.benchmark_group("batch_eval_n30_1800samples");
+    let mut thread_counts = vec![1usize, 2, 4, match_par::default_threads()];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    for threads in thread_counts {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let costs = match_par::parallel_map(batch.len(), threads, |i| {
+                        exec_time(&inst, &batch[i])
+                    });
+                    black_box(costs[0])
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

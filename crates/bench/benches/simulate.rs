@@ -1,0 +1,45 @@
+//! Discrete-event simulator throughput: events per second across
+//! instance sizes, rounds and contention modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use match_core::{Mapping, MappingInstance};
+use match_graph::gen::paper::PaperFamilyConfig;
+use match_sim::{SimConfig, SimMode, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn instance(n: usize) -> MappingInstance {
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    MappingInstance::from_pair(&PaperFamilyConfig::new(n).generate(&mut rng))
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_10_rounds");
+    for n in [10usize, 30, 50] {
+        let inst = instance(n);
+        let mapping = Mapping::identity(n);
+        for (label, mode) in [
+            ("serial", SimMode::PaperSerial),
+            ("blocking", SimMode::BlockingReceives),
+        ] {
+            let sim = Simulator::new(
+                &inst,
+                SimConfig {
+                    rounds: 10,
+                    mode,
+                    trace: false,
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, _| b.iter(|| black_box(sim.run(black_box(&mapping)).makespan)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

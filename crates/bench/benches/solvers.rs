@@ -1,0 +1,60 @@
+//! Whole-solver benchmarks at small scale: one MaTCH run, one GA run,
+//! one hill-climb descent on the same 10-node instance — the relative
+//! magnitudes behind Table 2's first column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use match_baselines::HillClimber;
+use match_core::{Mapper, MappingInstance, MatchConfig, Matcher};
+use match_ga::{FastMapGa, GaConfig};
+use match_graph::gen::paper::PaperFamilyConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn instance(n: usize) -> MappingInstance {
+    let mut rng = StdRng::seed_from_u64(2005);
+    MappingInstance::from_pair(&PaperFamilyConfig::new(n).generate(&mut rng))
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let inst = instance(10);
+    let mut group = c.benchmark_group("solvers_n10");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+
+    let matcher = Matcher::new(MatchConfig {
+        threads: 1,
+        ..MatchConfig::default()
+    });
+    group.bench_function("matcher", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(matcher.map(black_box(&inst), &mut rng).cost)
+        })
+    });
+
+    let ga = FastMapGa::new(GaConfig {
+        population: 100,
+        generations: 100,
+        ..GaConfig::paper_default()
+    });
+    group.bench_function("ga_100x100", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            black_box(ga.map(black_box(&inst), &mut rng).cost)
+        })
+    });
+
+    let hill = HillClimber::new(1, 1_000_000);
+    group.bench_function("hillclimb", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(hill.map(black_box(&inst), &mut rng).cost)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

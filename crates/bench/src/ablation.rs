@@ -1,0 +1,373 @@
+//! Ablation studies on MaTCH's design choices.
+//!
+//! The paper motivates several knobs without measuring them: smoothing
+//! "allows the algorithm to converge to a better time" (Eq. 13), a
+//! smaller focus parameter `ρ` gives "quicker convergence" (§4), the
+//! sample size `N = 2|V_r|²` is justified dimensionally, and GenPerm is
+//! introduced to avoid wasted invalid samples. These experiments measure
+//! each claim, plus a comparison against the extra baselines.
+
+use match_baselines::{GreedyMapper, HillClimber, PolishedMatcher, RandomSearch, SimulatedAnnealing};
+use match_core::{Mapper, MappingInstance, MatchConfig, Matcher};
+use match_graph::gen::paper::PaperFamilyConfig;
+use match_rngutil::SeedSequence;
+use match_viz::{format_sig, Table};
+
+/// Shared ablation scale.
+#[derive(Debug, Clone)]
+pub struct AblationConfig {
+    /// Instance size.
+    pub size: usize,
+    /// Instances (graph pairs).
+    pub graphs: usize,
+    /// Runs per variant per instance.
+    pub runs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl AblationConfig {
+    /// Paper-adjacent scale: 20-node instances, 3 pairs, 3 runs.
+    pub fn paper() -> Self {
+        AblationConfig {
+            size: 20,
+            graphs: 3,
+            runs: 3,
+            seed: 2005,
+        }
+    }
+
+    /// Smoke scale.
+    pub fn quick() -> Self {
+        AblationConfig {
+            size: 10,
+            graphs: 2,
+            runs: 2,
+            seed: 2005,
+        }
+    }
+
+    fn instances(&self) -> Vec<MappingInstance> {
+        (0..self.graphs)
+            .map(|g| {
+                let mut rng = SeedSequence::new(self.seed)
+                    .child(0xAB1A)
+                    .child(g as u64)
+                    .next_rng();
+                MappingInstance::from_pair(&PaperFamilyConfig::new(self.size).generate(&mut rng))
+            })
+            .collect()
+    }
+}
+
+/// Result cell of one ablation variant.
+#[derive(Debug, Clone)]
+pub struct VariantResult {
+    /// Variant label.
+    pub label: String,
+    /// Mean best ET across instances × runs.
+    pub mean_et: f64,
+    /// Mean CE iterations to stop.
+    pub mean_iters: f64,
+    /// Mean objective evaluations.
+    pub mean_evals: f64,
+    /// Mean wall-clock seconds.
+    pub mean_mt: f64,
+}
+
+fn run_variants<F>(cfg: &AblationConfig, labels: &[String], mut make: F) -> Vec<VariantResult>
+where
+    F: FnMut(usize) -> Box<dyn Mapper>,
+{
+    let instances = cfg.instances();
+    labels
+        .iter()
+        .enumerate()
+        .map(|(vi, label)| {
+            let mapper = make(vi);
+            let mut et = 0.0;
+            let mut iters = 0.0;
+            let mut evals = 0.0;
+            let mut mt = 0.0;
+            let mut count = 0.0;
+            for (gi, inst) in instances.iter().enumerate() {
+                for run in 0..cfg.runs {
+                    // Paired design: every variant sees the same RNG
+                    // stream for a given (instance, run), so variant
+                    // differences are not sampling noise.
+                    let mut rng = SeedSequence::new(cfg.seed)
+                        .child(0xAB1A + 1)
+                        .child(gi as u64)
+                        .child(run as u64)
+                        .next_rng();
+                    let out = mapper.map(inst, &mut rng);
+                    et += out.cost;
+                    iters += out.iterations as f64;
+                    evals += out.evaluations as f64;
+                    mt += out.elapsed.as_secs_f64();
+                    count += 1.0;
+                }
+            }
+            VariantResult {
+                label: label.clone(),
+                mean_et: et / count,
+                mean_iters: iters / count,
+                mean_evals: evals / count,
+                mean_mt: mt / count,
+            }
+        })
+        .collect()
+}
+
+fn variants_table(title: &str, results: &[VariantResult]) -> Table {
+    let mut t = Table::new(["variant", "mean ET", "mean iters", "mean evals", "mean MT (s)"])
+        .with_title(title.to_string());
+    for r in results {
+        t.add_row([
+            r.label.clone(),
+            format_sig(r.mean_et, 5),
+            format_sig(r.mean_iters, 4),
+            format_sig(r.mean_evals, 4),
+            format_sig(r.mean_mt, 3),
+        ]);
+    }
+    t
+}
+
+/// Smoothing ablation: ζ ∈ {1.0 coarse, 0.5, 0.3 paper, 0.1}.
+pub fn ablate_smoothing(cfg: &AblationConfig) -> (Vec<VariantResult>, Table) {
+    let zetas = [1.0, 0.5, 0.3, 0.1];
+    let labels: Vec<String> = zetas.iter().map(|z| format!("zeta = {z}")).collect();
+    let results = run_variants(cfg, &labels, |vi| {
+        Box::new(Matcher::new(MatchConfig {
+            zeta: zetas[vi],
+            ..MatchConfig::default()
+        }))
+    });
+    let table = variants_table(
+        "Ablation: smoothing factor (Eq. 13) — paper claims zeta = 0.3 avoids premature convergence",
+        &results,
+    );
+    (results, table)
+}
+
+/// Focus-parameter ablation: ρ ∈ {0.01, 0.05, 0.1}.
+pub fn ablate_rho(cfg: &AblationConfig) -> (Vec<VariantResult>, Table) {
+    let rhos = [0.01, 0.05, 0.1];
+    let labels: Vec<String> = rhos.iter().map(|r| format!("rho = {r}")).collect();
+    let results = run_variants(cfg, &labels, |vi| {
+        Box::new(Matcher::new(MatchConfig {
+            rho: rhos[vi],
+            ..MatchConfig::default()
+        }))
+    });
+    let table = variants_table(
+        "Ablation: focus parameter rho — paper claims smaller rho converges quicker",
+        &results,
+    );
+    (results, table)
+}
+
+/// Sample-size ablation: N ∈ {|V|², 2|V|² (paper), 4|V|²}.
+pub fn ablate_sample_size(cfg: &AblationConfig) -> (Vec<VariantResult>, Table) {
+    let n = cfg.size;
+    let sizes = [n * n, 2 * n * n, 4 * n * n];
+    let labels: Vec<String> = ["N = |V|^2", "N = 2|V|^2 (paper)", "N = 4|V|^2"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let results = run_variants(cfg, &labels, |vi| {
+        Box::new(Matcher::new(MatchConfig {
+            sample_size: Some(sizes[vi]),
+            ..MatchConfig::default()
+        }))
+    });
+    let table = variants_table("Ablation: per-iteration sample size N", &results);
+    (results, table)
+}
+
+/// GenPerm vs the §4 naive penalised formulation, at equal budgets.
+pub fn ablate_genperm(cfg: &AblationConfig) -> (Vec<VariantResult>, Table) {
+    struct Naive(MatchConfig);
+    impl Mapper for Naive {
+        fn name(&self) -> &str {
+            "naive-penalized"
+        }
+        fn map(
+            &self,
+            inst: &MappingInstance,
+            rng: &mut rand::rngs::StdRng,
+        ) -> match_core::MapperOutcome {
+            Matcher::new(self.0.clone())
+                .run_naive_penalized(inst, rng)
+                .into_mapper_outcome()
+        }
+    }
+    let labels = vec!["GenPerm (paper)".to_string(), "naive + infinity penalty".to_string()];
+    let results = run_variants(cfg, &labels, |vi| {
+        let mc = MatchConfig {
+            max_iters: 100,
+            ..MatchConfig::default()
+        };
+        if vi == 0 {
+            Box::new(Matcher::new(mc))
+        } else {
+            Box::new(Naive(mc))
+        }
+    });
+    let table = variants_table(
+        "Ablation: GenPerm sampling vs naive independent rows with S = infinity outside chi",
+        &results,
+    );
+    (results, table)
+}
+
+/// GA operator ablation: is FastMap-GA's weak showing intrinsic to GAs
+/// or an artefact of its §5.1 operators? Compares the paper's
+/// roulette + single-point-repair + swap against tournament selection,
+/// order crossover and inversion mutation.
+pub fn ablate_ga_operators(cfg: &AblationConfig) -> (Vec<VariantResult>, Table) {
+    use match_ga::{CrossoverOp, FastMapGa, GaConfig, MutationOp, SelectionOp};
+    let base = GaConfig {
+        population: 200,
+        generations: 300,
+        ..GaConfig::paper_default()
+    };
+    let variants: Vec<(String, GaConfig)> = vec![
+        ("paper (roulette/1pt/swap)".into(), base.clone()),
+        (
+            "tournament-4 selection".into(),
+            GaConfig {
+                selection: SelectionOp::Tournament(4),
+                ..base.clone()
+            },
+        ),
+        (
+            "order crossover (OX)".into(),
+            GaConfig {
+                crossover_op: CrossoverOp::Order,
+                ..base.clone()
+            },
+        ),
+        (
+            "inversion mutation".into(),
+            GaConfig {
+                mutation_op: MutationOp::Inversion,
+                ..base.clone()
+            },
+        ),
+        (
+            "all variants combined".into(),
+            GaConfig {
+                selection: SelectionOp::Tournament(4),
+                crossover_op: CrossoverOp::Order,
+                mutation_op: MutationOp::Inversion,
+                ..base
+            },
+        ),
+    ];
+    let labels: Vec<String> = variants.iter().map(|(l, _)| l.clone()).collect();
+    let results = run_variants(cfg, &labels, |vi| {
+        Box::new(FastMapGa::new(variants[vi].1.clone()))
+    });
+    let table = variants_table(
+        "Ablation: FastMap-GA operator variants (equal 200x300 budgets)",
+        &results,
+    );
+    (results, table)
+}
+
+/// MaTCH against the extra baselines at comparable evaluation budgets.
+pub fn ablate_baselines(cfg: &AblationConfig) -> (Vec<VariantResult>, Table) {
+    let n = cfg.size;
+    // Budget roughly comparable to a MaTCH run: ~60 iterations × 2n².
+    let budget = (120 * n * n) as u64;
+    let labels: Vec<String> = [
+        "MaTCH",
+        "MaTCH+polish",
+        "MaTCH-islands",
+        "Random (equal budget)",
+        "RoundRobin",
+        "Greedy",
+        "HillClimb",
+        "SimAnneal",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let results = run_variants(cfg, &labels, |vi| match vi {
+        0 => Box::new(Matcher::default()),
+        1 => Box::new(PolishedMatcher::default()),
+        2 => Box::new(match_core::IslandMatcher::default()),
+        3 => Box::new(RandomSearch::new(budget as usize)),
+        4 => Box::new(match_baselines::RoundRobin),
+        5 => Box::new(GreedyMapper),
+        6 => Box::new(HillClimber::new(8, budget)),
+        _ => Box::new(SimulatedAnnealing::new(budget, 0.99997)),
+    });
+    let table = variants_table(
+        "Ablation: MaTCH vs additional baselines (comparable evaluation budgets)",
+        &results,
+    );
+    (results, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> AblationConfig {
+        AblationConfig {
+            size: 8,
+            graphs: 1,
+            runs: 1,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn smoothing_variants_run() {
+        let (results, table) = ablate_smoothing(&tiny());
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|r| r.mean_et > 0.0));
+        assert!(table.render().contains("zeta = 0.3"));
+    }
+
+    #[test]
+    fn genperm_beats_or_ties_naive() {
+        let (results, _) = ablate_genperm(&tiny());
+        assert!(results[0].mean_et <= results[1].mean_et * 1.05);
+    }
+
+    #[test]
+    fn baselines_table_has_all_rows() {
+        let (results, table) = ablate_baselines(&tiny());
+        assert_eq!(results.len(), 8);
+        let s = table.render();
+        for name in [
+            "MaTCH",
+            "MaTCH+polish",
+            "MaTCH-islands",
+            "RoundRobin",
+            "Greedy",
+            "HillClimb",
+            "SimAnneal",
+        ] {
+            assert!(s.contains(name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn coarse_update_stops_earlier_than_smoothed() {
+        // zeta = 1 collapses fast; zeta = 0.1 keeps exploring.
+        let (results, _) = ablate_smoothing(&tiny());
+        let coarse = &results[0]; // zeta = 1.0
+        let smooth = &results[3]; // zeta = 0.1
+        assert!(
+            coarse.mean_iters <= smooth.mean_iters,
+            "coarse {} iters vs smooth {}",
+            coarse.mean_iters,
+            smooth.mean_iters
+        );
+    }
+}

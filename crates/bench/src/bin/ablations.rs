@@ -1,0 +1,63 @@
+//! Runs all five ablation studies (smoothing ζ, focus ρ, sample size N,
+//! GenPerm vs naive sampling, extra baselines) and prints their tables.
+//!
+//! ```text
+//! cargo run -p match-bench --release --bin ablations            # all
+//! cargo run -p match-bench --release --bin ablations smoothing  # one
+//! ```
+//!
+//! Selectors: `smoothing`, `rho`, `samples`, `genperm`, `ga-operators`, `baselines`.
+
+use match_bench::ablation::{
+    ablate_baselines, ablate_ga_operators, ablate_genperm, ablate_rho, ablate_sample_size,
+    ablate_smoothing, AblationConfig,
+};
+use match_bench::report::write_results_file;
+use match_bench::sweep::Profile;
+
+fn main() {
+    let cfg = match Profile::from_env() {
+        Profile::Paper => AblationConfig::paper(),
+        Profile::Quick => AblationConfig::quick(),
+    };
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let all = which.is_empty();
+    let want = |name: &str| all || which.iter().any(|w| w == name);
+
+    let mut text = String::new();
+    if want("smoothing") {
+        let (_, t) = ablate_smoothing(&cfg);
+        text.push_str(&t.render());
+        text.push('\n');
+    }
+    if want("rho") {
+        let (_, t) = ablate_rho(&cfg);
+        text.push_str(&t.render());
+        text.push('\n');
+    }
+    if want("samples") {
+        let (_, t) = ablate_sample_size(&cfg);
+        text.push_str(&t.render());
+        text.push('\n');
+    }
+    if want("genperm") {
+        let (_, t) = ablate_genperm(&cfg);
+        text.push_str(&t.render());
+        text.push('\n');
+    }
+    if want("ga-operators") {
+        let (_, t) = ablate_ga_operators(&cfg);
+        text.push_str(&t.render());
+        text.push('\n');
+    }
+    if want("baselines") {
+        let (_, t) = ablate_baselines(&cfg);
+        text.push_str(&t.render());
+        text.push('\n');
+    }
+    println!("{text}");
+    match write_results_file("ablations.txt", &text) {
+        Ok(p) => eprintln!("[ablations] wrote {}", p.display()),
+        Err(e) => eprintln!("[ablations] could not write results file: {e}"),
+    }
+}

@@ -1,0 +1,105 @@
+//! Extension experiment: does MaTCH's edge over the GA depend on the
+//! workload family? The paper evaluates one synthetic family; this
+//! experiment repeats the head-to-head on three structurally different
+//! TIG families at `|V| = 20`:
+//!
+//! * the paper's mixed-density random family,
+//! * geometric overset-grid CFD workloads (Figure 1's motivation),
+//! * scale-free (Barabási–Albert) hub-dominated workloads.
+//!
+//! ```text
+//! cargo run -p match-bench --release --bin family_sensitivity
+//! ```
+
+use match_core::{Mapper, MappingInstance, Matcher};
+use match_ga::{FastMapGa, GaConfig};
+use match_graph::gen::classic::barabasi_albert_graph;
+use match_graph::gen::overset::OversetConfig;
+use match_graph::gen::paper::PaperFamilyConfig;
+use match_graph::{InstancePair, TaskGraph};
+use match_rngutil::SeedSequence;
+use match_viz::{format_sig, Table};
+use rand::Rng;
+
+fn main() {
+    let (size, pairs, runs) = match match_bench::sweep::Profile::from_env() {
+        match_bench::sweep::Profile::Paper => (20usize, 3usize, 3usize),
+        match_bench::sweep::Profile::Quick => (10, 2, 2),
+    };
+
+    let matcher = Matcher::default();
+    let ga = FastMapGa::new(GaConfig::paper_default());
+
+    let mut table = Table::new([
+        "family",
+        "mean ET MaTCH",
+        "mean ET FastMap-GA",
+        "GA/MaTCH",
+        "mean MT MaTCH (s)",
+    ])
+    .with_title(format!(
+        "Extension: workload-family sensitivity at |V| = {size} ({pairs} pairs x {runs} runs)"
+    ));
+
+    for family in ["paper", "overset", "scale-free"] {
+        let mut et_m = 0.0;
+        let mut et_g = 0.0;
+        let mut mt_m = 0.0;
+        let mut count = 0.0;
+        for g in 0..pairs {
+            let mut seq = SeedSequence::new(9090)
+                .child(family.len() as u64)
+                .child(g as u64);
+            let mut rng = seq.next_rng();
+            let tig = match family {
+                "paper" => PaperFamilyConfig::new(size).generate_tig(&mut rng),
+                "overset" => OversetConfig::new(size).generate_domain(&mut rng).tig,
+                _ => {
+                    // BA topology with paper-family weights.
+                    let mut ba = barabasi_albert_graph(size, 2, 1.0, 1.0, &mut rng);
+                    for t in 0..size {
+                        ba.set_node_weight(t, rng.random_range(1..=10) as f64)
+                            .expect("valid weight");
+                    }
+                    // Re-weight edges into the paper's volume range.
+                    let mut g2 = match_graph::Graph::from_node_weights(
+                        (0..size).map(|t| ba.node_weight(t)).collect(),
+                    )
+                    .expect("positive weights");
+                    for (u, v, _) in ba.edges() {
+                        g2.add_edge(u, v, rng.random_range(50..=100) as f64)
+                            .expect("fresh edge");
+                    }
+                    TaskGraph::new(g2).expect("valid TIG")
+                }
+            };
+            let platform = PaperFamilyConfig::new(size).generate_platform(&mut rng);
+            let inst = MappingInstance::from_pair(&InstancePair { tig, resources: platform });
+            for run in 0..runs {
+                let mut r1 = seq.child(100 + run as u64).next_rng();
+                let mut r2 = seq.child(100 + run as u64).next_rng();
+                let m = matcher.map(&inst, &mut r1);
+                let gres = ga.map(&inst, &mut r2);
+                et_m += m.cost;
+                et_g += gres.cost;
+                mt_m += m.elapsed.as_secs_f64();
+                count += 1.0;
+            }
+            eprintln!("[family] {family} pair {g} done");
+        }
+        table.add_row([
+            family.to_string(),
+            format_sig(et_m / count, 5),
+            format_sig(et_g / count, 5),
+            format_sig((et_g / count) / (et_m / count), 4),
+            format_sig(mt_m / count, 3),
+        ]);
+    }
+
+    let text = table.render();
+    println!("{text}");
+    match match_bench::report::write_results_file("family_sensitivity.txt", &text) {
+        Ok(p) => eprintln!("[family] wrote {}", p.display()),
+        Err(e) => eprintln!("[family] could not write results file: {e}"),
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates **Figure 3**: the evolution of the stochastic matrix on a
+//! `|V_r| = |V_t| = 10` instance, from the uniform matrix to the
+//! degenerate 0/1 assignment, rendered as text heatmaps.
+//!
+//! ```text
+//! cargo run -p match-bench --release --bin fig3_matrix
+//! ```
+
+use match_bench::fig3::{render_evolution, run_matrix_evolution};
+use match_bench::report::write_results_file;
+
+fn main() {
+    let out = run_matrix_evolution(10, 2005);
+    let text = render_evolution(&out, 6);
+    println!("{text}");
+    eprintln!(
+        "[fig3] converged after {} iterations ({:?}); best ET = {:.0}",
+        out.iterations, out.stop_reason, out.cost
+    );
+    match write_results_file("fig3_matrix.txt", &text) {
+        Ok(p) => eprintln!("[fig3] wrote {}", p.display()),
+        Err(e) => eprintln!("[fig3] could not write results file: {e}"),
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates **Figure 9**: the application turnaround time
+//! `ATN = ET + MT` per size (the paper's unit convention treats one ET
+//! cost unit as one second; see EXPERIMENTS.md).
+//!
+//! ```text
+//! cargo run -p match-bench --release --bin fig9_atn
+//! ```
+
+use match_bench::report::{chart_atn, sweep_cached, write_results_file};
+use match_bench::sweep::Profile;
+use match_viz::{format_sig, Table};
+
+fn main() {
+    let profile = Profile::from_env();
+    eprintln!("[fig9] profile: {profile:?}");
+    let data = sweep_cached(profile);
+
+    // A companion table with the exact ATN numbers.
+    let mut header = vec!["ATN = ET + MT".to_string()];
+    header.extend(data.sizes.iter().map(|s| s.to_string()));
+    let mut table = Table::new(header).with_title("Figure 9 data: application turnaround time");
+    for (h, name) in data.names.iter().enumerate() {
+        let mut row = vec![name.clone()];
+        row.extend(data.cells[h].iter().map(|c| format_sig(c.mean_atn(), 5)));
+        table.add_row(row);
+    }
+
+    let text = format!("{}\n{}", table.render(), chart_atn(&data).render());
+    println!("{text}");
+    match write_results_file("fig9_atn.txt", &text) {
+        Ok(p) => eprintln!("[fig9] wrote {}", p.display()),
+        Err(e) => eprintln!("[fig9] could not write results file: {e}"),
+    }
+}

@@ -1,0 +1,51 @@
+//! Growth-order analysis of the sweep data: fits power laws
+//! `y ≈ a·|V|^b` to each heuristic's mean ET, MT and evaluation counts
+//! and prints the exponents — quantifying Figure 8's qualitative story
+//! (MaTCH's mapping time grows superlinearly because `N = 2|V|²` while
+//! the GA's budget is constant).
+//!
+//! ```text
+//! cargo run -p match-bench --release --bin scaling_fit
+//! ```
+
+use match_bench::report::{sweep_cached, write_results_file};
+use match_bench::sweep::Profile;
+use match_stats::power_law_fit;
+use match_viz::{format_sig, Table};
+
+fn main() {
+    let data = sweep_cached(Profile::from_env());
+    let xs: Vec<f64> = data.sizes.iter().map(|&s| s as f64).collect();
+
+    let mut table = Table::new(["heuristic", "metric", "a", "exponent b", "R^2"])
+        .with_title("Power-law fits y = a * |V|^b over the sweep");
+    for (h, name) in data.names.iter().enumerate() {
+        let metrics: [(&str, Vec<f64>); 3] = [
+            ("ET", data.cells[h].iter().map(|c| c.mean_et()).collect()),
+            ("MT", data.cells[h].iter().map(|c| c.mean_mt()).collect()),
+            ("evals", data.cells[h].iter().map(|c| c.mean_evals()).collect()),
+        ];
+        for (metric, ys) in metrics {
+            match power_law_fit(&xs, &ys) {
+                Some((a, b, r2)) => {
+                    table.add_row([
+                        name.clone(),
+                        metric.to_string(),
+                        format_sig(a, 3),
+                        format_sig(b, 3),
+                        format_sig(r2, 3),
+                    ]);
+                }
+                None => {
+                    table.add_row([name.clone(), metric.to_string(), "-".into(), "-".into(), "-".into()]);
+                }
+            }
+        }
+    }
+    let text = table.render();
+    println!("{text}");
+    match write_results_file("scaling_fit.txt", &text) {
+        Ok(p) => eprintln!("[scaling] wrote {}", p.display()),
+        Err(e) => eprintln!("[scaling] could not write results file: {e}"),
+    }
+}

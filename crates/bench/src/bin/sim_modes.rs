@@ -1,0 +1,86 @@
+//! Extension experiment (beyond the paper): how the analytic cost
+//! model's ranking of heuristics holds up under progressively more
+//! realistic execution models. For each heuristic's mapping of one
+//! instance per size, simulate 10 solver rounds under the three
+//! contention models and report makespans.
+//!
+//! The paper's entire evaluation assumes Eq. 2 = reality; this
+//! experiment quantifies the gap.
+//!
+//! ```text
+//! cargo run -p match-bench --release --bin sim_modes
+//! ```
+
+use match_baselines::HillClimber;
+use match_core::{Mapper, MappingInstance, Matcher};
+use match_ga::{FastMapGa, GaConfig};
+use match_graph::gen::paper::PaperFamilyConfig;
+use match_rngutil::SeedSequence;
+use match_sim::{SimConfig, SimMode, Simulator};
+use match_viz::{format_sig, Table};
+
+fn main() {
+    let sizes = match match_bench::sweep::Profile::from_env() {
+        match_bench::sweep::Profile::Paper => vec![10usize, 20, 30],
+        match_bench::sweep::Profile::Quick => vec![8usize, 12],
+    };
+    let rounds = 10;
+
+    let matcher = Matcher::default();
+    let ga = FastMapGa::new(GaConfig {
+        population: 200,
+        generations: 300,
+        ..GaConfig::paper_default()
+    });
+    let hill = HillClimber::default();
+    let mappers: Vec<&dyn Mapper> = vec![&matcher, &ga, &hill];
+
+    let mut table = Table::new([
+        "size",
+        "heuristic",
+        "ET (Eq. 2)",
+        "serial x10",
+        "blocking x10",
+        "link-contention x10",
+        "blocking/serial",
+    ])
+    .with_title(format!(
+        "Extension: analytic model vs simulated execution ({rounds} rounds)"
+    ));
+
+    for &size in &sizes {
+        let mut seq = SeedSequence::new(31_337).child(size as u64);
+        let mut rng = seq.next_rng();
+        let inst =
+            MappingInstance::from_pair(&PaperFamilyConfig::new(size).generate(&mut rng));
+        for mapper in &mappers {
+            let mut run_rng = seq.next_rng();
+            let out = mapper.map(&inst, &mut run_rng);
+            let mk = |mode: SimMode| {
+                Simulator::new(&inst, SimConfig { rounds, mode, trace: false })
+                    .run(&out.mapping)
+                    .makespan
+            };
+            let serial = mk(SimMode::PaperSerial);
+            let blocking = mk(SimMode::BlockingReceives);
+            let link = mk(SimMode::LinkContention);
+            table.add_row([
+                size.to_string(),
+                mapper.name().to_string(),
+                format_sig(out.cost, 5),
+                format_sig(serial, 5),
+                format_sig(blocking, 5),
+                format_sig(link, 5),
+                format_sig(blocking / serial, 4),
+            ]);
+            eprintln!("[sim_modes] size={size} {} done", mapper.name());
+        }
+    }
+
+    let text = table.render();
+    println!("{text}");
+    match match_bench::report::write_results_file("sim_modes.txt", &text) {
+        Ok(p) => eprintln!("[sim_modes] wrote {}", p.display()),
+        Err(e) => eprintln!("[sim_modes] could not write results file: {e}"),
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates **Table 1** (execution times, FastMap-GA vs MaTCH) and
+//! **Figure 7** (the same data as a bar chart).
+//!
+//! ```text
+//! cargo run -p match-bench --release --bin table1_et
+//! MATCH_BENCH_PROFILE=quick cargo run -p match-bench --release --bin table1_et
+//! ```
+
+use match_bench::report::{chart_et, sweep_cached, table_et, write_results_file};
+use match_bench::sweep::Profile;
+
+fn main() {
+    let profile = Profile::from_env();
+    eprintln!("[table1] profile: {profile:?}");
+    let data = sweep_cached(profile);
+    let table = table_et(&data, "FastMap-GA", "MaTCH");
+    let chart = chart_et(&data);
+    let text = format!("{}\n{}", table.render(), chart.render());
+    println!("{text}");
+    match write_results_file("table1_et.txt", &text) {
+        Ok(p) => eprintln!("[table1] wrote {}", p.display()),
+        Err(e) => eprintln!("[table1] could not write results file: {e}"),
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates **Table 2** (mapping times, FastMap-GA vs MaTCH) and
+//! **Figure 8** (the same data as a bar chart), plus evaluation-count
+//! rows as the machine-independent companion metric.
+//!
+//! ```text
+//! cargo run -p match-bench --release --bin table2_mt
+//! ```
+
+use match_bench::report::{chart_mt, sweep_cached, table_mt, write_results_file};
+use match_bench::sweep::Profile;
+
+fn main() {
+    let profile = Profile::from_env();
+    eprintln!("[table2] profile: {profile:?}");
+    let data = sweep_cached(profile);
+    let table = table_mt(&data, "FastMap-GA", "MaTCH");
+    let chart = chart_mt(&data);
+    let text = format!("{}\n{}", table.render(), chart.render());
+    println!("{text}");
+    match write_results_file("table2_mt.txt", &text) {
+        Ok(p) => eprintln!("[table2] wrote {}", p.display()),
+        Err(e) => eprintln!("[table2] could not write results file: {e}"),
+    }
+}

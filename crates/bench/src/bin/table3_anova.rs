@@ -1,0 +1,40 @@
+//! Regenerates **Table 3**: statistical and ANOVA analysis of the
+//! execution time over a 10-node instance — MaTCH vs FastMap-GA
+//! 100/10000 vs FastMap-GA 1000/1000, 30 independent runs each.
+//!
+//! ```text
+//! cargo run -p match-bench --release --bin table3_anova
+//! MATCH_BENCH_PROFILE=quick cargo run -p match-bench --release --bin table3_anova
+//! ```
+
+use match_bench::anova::{run_anova_experiment, table3, AnovaConfig};
+use match_bench::report::write_results_file;
+use match_bench::sweep::Profile;
+use match_viz::CsvWriter;
+
+fn main() {
+    let cfg = match Profile::from_env() {
+        Profile::Paper => AnovaConfig::paper(),
+        Profile::Quick => AnovaConfig::quick(),
+    };
+    eprintln!(
+        "[table3] size={} runs={} budget_divisor={}",
+        cfg.size, cfg.runs, cfg.budget_divisor
+    );
+    let exp = run_anova_experiment(&cfg, false);
+    let (stats, ftable) = table3(&exp);
+    let text = format!("{}\n{}", stats.render(), ftable.render());
+    println!("{text}");
+
+    let mut csv = CsvWriter::new();
+    csv.write_record(["heuristic", "et_samples..."]);
+    for g in &exp.groups {
+        csv.write_numeric_record(&g.name, &g.et);
+    }
+    match write_results_file("table3_anova.txt", &text)
+        .and_then(|_| write_results_file("table3_anova.csv", csv.as_str()))
+    {
+        Ok(p) => eprintln!("[table3] wrote {}", p.display()),
+        Err(e) => eprintln!("[table3] could not write results: {e}"),
+    }
+}

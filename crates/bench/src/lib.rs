@@ -1,0 +1,27 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! | Paper artefact | Binary | Library entry point |
+//! |---|---|---|
+//! | Table 1 + Figure 7 (ET) | `table1_et` | [`report::table_et`] over [`sweep::run_sweep`] |
+//! | Table 2 + Figure 8 (MT) | `table2_mt` | [`report::table_mt`] |
+//! | Figure 9 (ATN) | `fig9_atn` | [`report::chart_atn`] |
+//! | Table 3 (ANOVA) | `table3_anova` | [`anova::run_anova_experiment`] |
+//! | Figure 3 (matrix evolution) | `fig3_matrix` | [`fig3::run_matrix_evolution`] |
+//! | Ablations (ζ, ρ, N, GenPerm, extra baselines) | `ablation_*` | [`ablation`] |
+//!
+//! Experiment scale is controlled by the `MATCH_BENCH_PROFILE`
+//! environment variable: `paper` (full §5.2 scale: sizes 10–50, 5 graph
+//! pairs, 5 runs, GA 500/1000) or `quick` (a minutes-scale smoke
+//! version). Binaries print the tables/charts and drop CSVs under
+//! `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod anova;
+pub mod fig3;
+pub mod report;
+pub mod sweep;
+
+pub use sweep::{CellStats, Profile, SweepConfig, SweepData};

@@ -1,0 +1,341 @@
+//! Table and figure rendering over [`crate::sweep::SweepData`].
+
+use crate::sweep::SweepData;
+use match_viz::{format_duration_s, format_sig, BarChart, CsvWriter, Table};
+use std::path::Path;
+
+/// Table 1: execution times per size with the improvement-ratio row
+/// (`ET_baseline / ET_target`).
+pub fn table_et(data: &SweepData, baseline: &str, target: &str) -> Table {
+    let b = data.index_of(baseline).expect("baseline present");
+    let t = data.index_of(target).expect("target present");
+    let mut header = vec!["|Vr| = |Vt|".to_string()];
+    header.extend(data.sizes.iter().map(|s| s.to_string()));
+    let mut table = Table::new(header)
+        .with_title(format!("Table 1: execution times (ET) — {baseline} vs {target}"));
+    let row = |h: usize| -> Vec<String> {
+        data.cells[h]
+            .iter()
+            .map(|c| format_sig(c.mean_et(), 5))
+            .collect()
+    };
+    let mut r1 = vec![format!("ET_{baseline} in units")];
+    r1.extend(row(b));
+    table.add_row(r1);
+    let mut r2 = vec![format!("ET_{target} in units")];
+    r2.extend(row(t));
+    table.add_row(r2);
+    let mut r3 = vec![format!("ET_{baseline}/ET_{target}")];
+    r3.extend(
+        data.cells[b]
+            .iter()
+            .zip(&data.cells[t])
+            .map(|(cb, ct)| format_sig(cb.mean_et() / ct.mean_et(), 4)),
+    );
+    table.add_row(r3);
+    table
+}
+
+/// Table 2: mapping times per size with the slowdown-ratio row
+/// (`MT_target / MT_baseline`).
+pub fn table_mt(data: &SweepData, baseline: &str, target: &str) -> Table {
+    let b = data.index_of(baseline).expect("baseline present");
+    let t = data.index_of(target).expect("target present");
+    let mut header = vec!["|Vr| = |Vt|".to_string()];
+    header.extend(data.sizes.iter().map(|s| s.to_string()));
+    let mut table = Table::new(header)
+        .with_title(format!("Table 2: mapping times (MT) — {baseline} vs {target}"));
+    let row = |h: usize| -> Vec<String> {
+        data.cells[h]
+            .iter()
+            .map(|c| format_duration_s(c.mean_mt()))
+            .collect()
+    };
+    let mut r1 = vec![format!("MT_{baseline} in seconds")];
+    r1.extend(row(b));
+    table.add_row(r1);
+    let mut r2 = vec![format!("MT_{target} in seconds")];
+    r2.extend(row(t));
+    table.add_row(r2);
+    let mut r3 = vec![format!("MT_{target}/MT_{baseline}")];
+    r3.extend(
+        data.cells[b]
+            .iter()
+            .zip(&data.cells[t])
+            .map(|(cb, ct)| format_sig(ct.mean_mt() / cb.mean_mt(), 4)),
+    );
+    table.add_row(r3);
+    // Machine-independent companion rows: objective evaluations.
+    let mut r4 = vec![format!("evals_{baseline}")];
+    r4.extend(data.cells[b].iter().map(|c| format_sig(c.mean_evals(), 4)));
+    table.add_row(r4);
+    let mut r5 = vec![format!("evals_{target}")];
+    r5.extend(data.cells[t].iter().map(|c| format_sig(c.mean_evals(), 4)));
+    table.add_row(r5);
+    table
+}
+
+/// Figure 7: grouped ET bars per size.
+pub fn chart_et(data: &SweepData) -> BarChart {
+    let mut chart = BarChart::new("Figure 7: Execution Time (units) per |V|")
+        .with_width(60)
+        .with_log_scale();
+    for (si, &size) in data.sizes.iter().enumerate() {
+        let bars = data
+            .names
+            .iter()
+            .enumerate()
+            .map(|(h, n)| (n.clone(), data.cells[h][si].mean_et()))
+            .collect();
+        chart.add_group(format!("|V| = {size}"), bars);
+    }
+    chart
+}
+
+/// Figure 8: grouped MT bars per size.
+pub fn chart_mt(data: &SweepData) -> BarChart {
+    let mut chart = BarChart::new("Figure 8: Mapping Time (seconds) per |V|").with_width(60);
+    for (si, &size) in data.sizes.iter().enumerate() {
+        let bars = data
+            .names
+            .iter()
+            .enumerate()
+            .map(|(h, n)| (n.clone(), data.cells[h][si].mean_mt()))
+            .collect();
+        chart.add_group(format!("|V| = {size}"), bars);
+    }
+    chart
+}
+
+/// Figure 9: grouped ATN (= ET + MT) bars per size.
+pub fn chart_atn(data: &SweepData) -> BarChart {
+    let mut chart = BarChart::new("Figure 9: Application Turnaround Time (ET + MT) per |V|")
+        .with_width(60)
+        .with_log_scale();
+    for (si, &size) in data.sizes.iter().enumerate() {
+        let bars = data
+            .names
+            .iter()
+            .enumerate()
+            .map(|(h, n)| (n.clone(), data.cells[h][si].mean_atn()))
+            .collect();
+        chart.add_group(format!("|V| = {size}"), bars);
+    }
+    chart
+}
+
+/// Dump the raw sweep samples as CSV
+/// (`heuristic,size,metric,v1,v2,…`).
+pub fn sweep_csv(data: &SweepData) -> String {
+    let mut w = CsvWriter::new();
+    w.write_record(["heuristic", "size", "metric", "values..."]);
+    for (h, name) in data.names.iter().enumerate() {
+        for (si, &size) in data.sizes.iter().enumerate() {
+            let cell = &data.cells[h][si];
+            w.write_numeric_record(format!("{name},{size},et"), &cell.et);
+            w.write_numeric_record(format!("{name},{size},mt_s"), &cell.mt);
+            w.write_numeric_record(format!("{name},{size},evals"), &cell.evals);
+        }
+    }
+    w.into_string()
+}
+
+/// Parse the CSV produced by [`sweep_csv`] back into a [`SweepData`].
+///
+/// Used by the table/figure binaries to share one expensive sweep run
+/// through a `results/` cache. Returns `None` on any malformed content
+/// (the caller falls back to re-running the sweep).
+pub fn parse_sweep_csv(text: &str) -> Option<SweepData> {
+    use crate::sweep::CellStats;
+    let mut names: Vec<String> = Vec::new();
+    let mut sizes: Vec<usize> = Vec::new();
+    // (heuristic, size) -> cell
+    let mut cells: std::collections::HashMap<(usize, usize), CellStats> =
+        std::collections::HashMap::new();
+    for line in text.lines().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Records look like: "name,size,metric",v1,v2,...
+        let line = line.strip_prefix('"')?;
+        let (key, rest) = line.split_once('"')?;
+        let mut kp = key.split(',');
+        let name = kp.next()?.to_string();
+        let size: usize = kp.next()?.parse().ok()?;
+        let metric = kp.next()?;
+        let values: Vec<f64> = rest
+            .trim_start_matches(',')
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().ok())
+            .collect::<Option<Vec<f64>>>()?;
+        let hi = match names.iter().position(|n| *n == name) {
+            Some(i) => i,
+            None => {
+                names.push(name);
+                names.len() - 1
+            }
+        };
+        let si = match sizes.iter().position(|s| *s == size) {
+            Some(i) => i,
+            None => {
+                sizes.push(size);
+                sizes.len() - 1
+            }
+        };
+        let cell = cells.entry((hi, si)).or_insert_with(|| CellStats {
+            et: Vec::new(),
+            mt: Vec::new(),
+            evals: Vec::new(),
+        });
+        match metric {
+            "et" => cell.et = values,
+            "mt_s" => cell.mt = values,
+            "evals" => cell.evals = values,
+            _ => return None,
+        }
+    }
+    if names.is_empty() || sizes.is_empty() {
+        return None;
+    }
+    let mut out_cells = Vec::with_capacity(names.len());
+    for hi in 0..names.len() {
+        let mut row = Vec::with_capacity(sizes.len());
+        for si in 0..sizes.len() {
+            row.push(cells.remove(&(hi, si))?);
+        }
+        out_cells.push(row);
+    }
+    Some(SweepData {
+        names,
+        sizes,
+        cells: out_cells,
+    })
+}
+
+/// Run the GA-vs-MaTCH sweep, or load it from the `results/` cache when
+/// present (set `MATCH_BENCH_REFRESH=1` to force a re-run). The three
+/// sweep-derived artefacts (Tables 1–2, Figures 7–9) share one run this
+/// way.
+pub fn sweep_cached(profile: crate::sweep::Profile) -> SweepData {
+    let cfg = crate::sweep::SweepConfig::for_profile(profile);
+    let cache = format!(
+        "sweep_cache_{}.csv",
+        match profile {
+            crate::sweep::Profile::Paper => "paper",
+            crate::sweep::Profile::Quick => "quick",
+        }
+    );
+    let path = Path::new("results").join(&cache);
+    let refresh = std::env::var("MATCH_BENCH_REFRESH").is_ok_and(|v| v == "1");
+    if !refresh {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Some(data) = parse_sweep_csv(&text) {
+                eprintln!("[sweep] loaded cache {}", path.display());
+                return data;
+            }
+        }
+    }
+    let (ga, matcher) = crate::sweep::paper_pair(&cfg);
+    let data = crate::sweep::run_sweep(&[&ga, &matcher], &cfg, false);
+    if let Ok(p) = write_results_file(&cache, &sweep_csv(&data)) {
+        eprintln!("[sweep] cached to {}", p.display());
+    }
+    data
+}
+
+/// Write `content` under `results/<file>`, creating the directory.
+pub fn write_results_file(file: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(file);
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::CellStats;
+
+    fn fake_data() -> SweepData {
+        let cell = |et: f64, mt: f64| CellStats {
+            et: vec![et, et],
+            mt: vec![mt, mt],
+            evals: vec![100.0, 100.0],
+        };
+        SweepData {
+            names: vec!["FastMap-GA".into(), "MaTCH".into()],
+            sizes: vec![10, 20],
+            cells: vec![
+                vec![cell(16585.0, 13.62), cell(125579.0, 22.25)],
+                vec![cell(3516.0, 13.47), cell(8489.0, 58.65)],
+            ],
+        }
+    }
+
+    #[test]
+    fn table_et_contains_ratio() {
+        let t = table_et(&fake_data(), "FastMap-GA", "MaTCH");
+        let s = t.render();
+        assert!(s.contains("16585"));
+        assert!(s.contains("3516"));
+        // 16585 / 3516 = 4.717
+        assert!(s.contains("4.717"), "{s}");
+    }
+
+    #[test]
+    fn table_mt_contains_slowdown() {
+        let t = table_mt(&fake_data(), "FastMap-GA", "MaTCH");
+        let s = t.render();
+        assert!(s.contains("13.62s"));
+        assert!(s.contains("58.65s"));
+        // 58.65 / 22.25 = 2.636
+        assert!(s.contains("2.636"), "{s}");
+    }
+
+    #[test]
+    fn charts_render() {
+        let d = fake_data();
+        assert!(chart_et(&d).render().contains("|V| = 10"));
+        assert!(chart_mt(&d).render().contains("MaTCH"));
+        let atn = chart_atn(&d).render();
+        assert!(atn.contains("Turnaround"));
+    }
+
+    #[test]
+    fn csv_has_all_cells() {
+        let csv = sweep_csv(&fake_data());
+        assert!(csv.contains("\"FastMap-GA,10,et\""));
+        assert!(csv.contains("\"MaTCH,20,mt_s\""));
+        assert_eq!(csv.lines().count(), 1 + 2 * 2 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline present")]
+    fn unknown_heuristic_panics() {
+        table_et(&fake_data(), "nope", "MaTCH");
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let d = fake_data();
+        let parsed = parse_sweep_csv(&sweep_csv(&d)).expect("parses");
+        assert_eq!(parsed.names, d.names);
+        assert_eq!(parsed.sizes, d.sizes);
+        for h in 0..d.names.len() {
+            for s in 0..d.sizes.len() {
+                assert_eq!(parsed.cells[h][s].et, d.cells[h][s].et);
+                assert_eq!(parsed.cells[h][s].mt, d.cells[h][s].mt);
+                assert_eq!(parsed.cells[h][s].evals, d.cells[h][s].evals);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_sweep_csv("").is_none());
+        assert!(parse_sweep_csv("header\nnot-a-record\n").is_none());
+        assert!(parse_sweep_csv("header\n\"a,10,bogus\",1\n").is_none());
+    }
+}

@@ -1,0 +1,320 @@
+//! The §5.2 size sweep: run a set of heuristics over the paper's
+//! synthetic instance family and collect ET / MT / evaluation statistics.
+
+use match_core::{Mapper, MapperOutcome, MappingInstance};
+use match_ga::{FastMapGa, GaConfig};
+use match_graph::gen::paper::PaperFamilyConfig;
+use match_rngutil::SeedSequence;
+use match_stats::OnlineStats;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// The paper's full scale: sizes 10..=50 step 10, five graph pairs
+    /// per size, five runs per pair, GA 500/1000, MaTCH N = 2|V|².
+    Paper,
+    /// A minutes-scale smoke profile for CI: sizes {10, 20}, two pairs,
+    /// two runs, GA 120/150.
+    Quick,
+}
+
+impl Profile {
+    /// Read `MATCH_BENCH_PROFILE` (`paper` | `quick`), defaulting to
+    /// [`Profile::Paper`].
+    pub fn from_env() -> Profile {
+        match std::env::var("MATCH_BENCH_PROFILE").as_deref() {
+            Ok("quick") | Ok("QUICK") => Profile::Quick,
+            _ => Profile::Paper,
+        }
+    }
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Instance sizes (`|V_t| = |V_r|`).
+    pub sizes: Vec<usize>,
+    /// Independent graph pairs per size (paper: 5).
+    pub graphs_per_size: usize,
+    /// Independent runs per heuristic per pair (paper: 5).
+    pub runs_per_graph: usize,
+    /// Master seed for the whole experiment.
+    pub seed: u64,
+    /// FastMap-GA configuration.
+    pub ga: GaConfig,
+    /// MaTCH configuration.
+    pub matcher: match_core::MatchConfig,
+}
+
+impl SweepConfig {
+    /// The configuration for a [`Profile`].
+    pub fn for_profile(profile: Profile) -> SweepConfig {
+        match profile {
+            Profile::Paper => SweepConfig {
+                sizes: vec![10, 20, 30, 40, 50],
+                graphs_per_size: 5,
+                runs_per_graph: 5,
+                seed: 2005, // the publication year, for flavour
+                ga: GaConfig::paper_default(),
+                matcher: match_core::MatchConfig::default(),
+            },
+            Profile::Quick => SweepConfig {
+                sizes: vec![10, 20],
+                graphs_per_size: 2,
+                runs_per_graph: 2,
+                seed: 2005,
+                ga: GaConfig {
+                    population: 120,
+                    generations: 150,
+                    ..GaConfig::paper_default()
+                },
+                matcher: match_core::MatchConfig {
+                    max_iters: 200,
+                    ..match_core::MatchConfig::default()
+                },
+            },
+        }
+    }
+
+    /// Generate the instance for `(size, graph_index)` deterministically
+    /// from the master seed.
+    pub fn instance(&self, size: usize, graph_index: usize) -> MappingInstance {
+        let mut seq = SeedSequence::new(self.seed)
+            .child(size as u64)
+            .child(graph_index as u64);
+        let mut rng = seq.next_rng();
+        let pair = PaperFamilyConfig::new(size).generate(&mut rng);
+        MappingInstance::from_pair(&pair)
+    }
+
+    /// Deterministic per-run RNG for `(heuristic, size, graph, run)`.
+    pub fn run_rng(
+        &self,
+        heuristic_idx: usize,
+        size: usize,
+        graph_index: usize,
+        run: usize,
+    ) -> rand::rngs::StdRng {
+        SeedSequence::new(self.seed)
+            .child(0xA110C + heuristic_idx as u64)
+            .child(size as u64)
+            .child(graph_index as u64)
+            .child(run as u64)
+            .next_rng()
+    }
+}
+
+/// Aggregated statistics for one `(heuristic, size)` cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct CellStats {
+    /// Execution-time samples (one per run × graph).
+    pub et: Vec<f64>,
+    /// Mapping-time samples in seconds.
+    pub mt: Vec<f64>,
+    /// Objective evaluations per run.
+    pub evals: Vec<f64>,
+}
+
+impl CellStats {
+    fn new() -> Self {
+        CellStats {
+            et: Vec::new(),
+            mt: Vec::new(),
+            evals: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, out: &MapperOutcome) {
+        self.et.push(out.cost);
+        self.mt.push(out.elapsed.as_secs_f64());
+        self.evals.push(out.evaluations as f64);
+    }
+
+    /// Mean ET — the quantity of Table 1.
+    pub fn mean_et(&self) -> f64 {
+        stats_mean(&self.et)
+    }
+
+    /// Mean MT in seconds — the quantity of Table 2.
+    pub fn mean_mt(&self) -> f64 {
+        stats_mean(&self.mt)
+    }
+
+    /// Mean objective evaluations — the machine-independent MT proxy.
+    pub fn mean_evals(&self) -> f64 {
+        stats_mean(&self.evals)
+    }
+
+    /// Mean ATN = ET + MT (Figure 9's unit convention: one ET unit is
+    /// taken as one second; see EXPERIMENTS.md).
+    pub fn mean_atn(&self) -> f64 {
+        self.mean_et() + self.mean_mt()
+    }
+
+    /// Online summary of the ET samples.
+    pub fn et_stats(&self) -> OnlineStats {
+        self.et.iter().copied().collect()
+    }
+}
+
+fn stats_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Full sweep results: `cells[heuristic][size_index]`.
+#[derive(Debug, Clone)]
+pub struct SweepData {
+    /// Heuristic names, in input order.
+    pub names: Vec<String>,
+    /// Sizes, in input order.
+    pub sizes: Vec<usize>,
+    /// `cells[h][s]` for heuristic `h` at size index `s`.
+    pub cells: Vec<Vec<CellStats>>,
+}
+
+impl SweepData {
+    /// Index of a heuristic by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+}
+
+/// Run `mappers` over the configured sweep. Progress lines go to stderr
+/// (`quiet = false`) so long paper-scale runs show life.
+pub fn run_sweep(mappers: &[&dyn Mapper], cfg: &SweepConfig, quiet: bool) -> SweepData {
+    let names: Vec<String> = mappers.iter().map(|m| m.name().to_string()).collect();
+    let mut cells: Vec<Vec<CellStats>> = mappers
+        .iter()
+        .map(|_| cfg.sizes.iter().map(|_| CellStats::new()).collect())
+        .collect();
+
+    for (si, &size) in cfg.sizes.iter().enumerate() {
+        for g in 0..cfg.graphs_per_size {
+            let inst = cfg.instance(size, g);
+            for (hi, mapper) in mappers.iter().enumerate() {
+                for run in 0..cfg.runs_per_graph {
+                    let mut rng = cfg.run_rng(hi, size, g, run);
+                    let out = mapper.map(&inst, &mut rng);
+                    debug_assert!(out.mapping.validate(&inst).is_ok());
+                    cells[hi][si].push(&out);
+                    if !quiet {
+                        eprintln!(
+                            "[sweep] size={size} graph={g} {} run={run}: ET={:.0} MT={:.2}s evals={}",
+                            mapper.name(),
+                            out.cost,
+                            out.elapsed.as_secs_f64(),
+                            out.evaluations
+                        );
+                    }
+                }
+            }
+        }
+    }
+    SweepData {
+        names,
+        sizes: cfg.sizes.clone(),
+        cells,
+    }
+}
+
+/// The standard Table-1/2 pair: FastMap-GA then MaTCH.
+pub fn paper_pair(cfg: &SweepConfig) -> (FastMapGa, match_core::Matcher) {
+    (
+        FastMapGa::new(cfg.ga.clone()),
+        match_core::Matcher::new(cfg.matcher.clone()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_baselines::RandomSearch;
+
+    fn tiny_cfg() -> SweepConfig {
+        SweepConfig {
+            sizes: vec![6, 8],
+            graphs_per_size: 2,
+            runs_per_graph: 2,
+            seed: 42,
+            ga: GaConfig {
+                population: 20,
+                generations: 10,
+                ..GaConfig::paper_default()
+            },
+            matcher: match_core::MatchConfig {
+                sample_size: Some(64),
+                max_iters: 20,
+                threads: 1,
+                ..match_core::MatchConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn sweep_shape_and_counts() {
+        let cfg = tiny_cfg();
+        let rs = RandomSearch::new(10);
+        let data = run_sweep(&[&rs], &cfg, true);
+        assert_eq!(data.names, vec!["Random"]);
+        assert_eq!(data.sizes, vec![6, 8]);
+        assert_eq!(data.cells.len(), 1);
+        assert_eq!(data.cells[0].len(), 2);
+        // 2 graphs × 2 runs = 4 samples per cell.
+        assert_eq!(data.cells[0][0].et.len(), 4);
+        assert!(data.cells[0][0].mean_et() > 0.0);
+        assert_eq!(data.cells[0][0].mean_evals(), 10.0);
+    }
+
+    #[test]
+    fn instances_deterministic() {
+        let cfg = tiny_cfg();
+        let a = cfg.instance(6, 1);
+        let b = cfg.instance(6, 1);
+        assert_eq!(a, b);
+        let c = cfg.instance(6, 0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn run_rngs_distinct_across_axes() {
+        use rand::Rng;
+        let cfg = tiny_cfg();
+        let draws: Vec<u64> = [
+            cfg.run_rng(0, 6, 0, 0),
+            cfg.run_rng(1, 6, 0, 0),
+            cfg.run_rng(0, 8, 0, 0),
+            cfg.run_rng(0, 6, 1, 0),
+            cfg.run_rng(0, 6, 0, 1),
+        ]
+        .iter_mut()
+        .map(|r| r.random())
+        .collect();
+        let set: std::collections::HashSet<_> = draws.iter().collect();
+        assert_eq!(set.len(), draws.len());
+    }
+
+    #[test]
+    fn profile_configs_match_paper() {
+        let p = SweepConfig::for_profile(Profile::Paper);
+        assert_eq!(p.sizes, vec![10, 20, 30, 40, 50]);
+        assert_eq!(p.graphs_per_size, 5);
+        assert_eq!(p.runs_per_graph, 5);
+        assert_eq!(p.ga.population, 500);
+        assert_eq!(p.ga.generations, 1000);
+        let q = SweepConfig::for_profile(Profile::Quick);
+        assert!(q.sizes.len() < p.sizes.len());
+    }
+
+    #[test]
+    fn index_of_names() {
+        let cfg = tiny_cfg();
+        let rs = RandomSearch::new(5);
+        let data = run_sweep(&[&rs], &cfg, true);
+        assert_eq!(data.index_of("Random"), Some(0));
+        assert_eq!(data.index_of("nope"), None);
+    }
+}

@@ -1,0 +1,454 @@
+//! The iterative CE optimizer (paper Figures 2 and 5, generic form).
+//!
+//! Per iteration: draw `N` samples from the model, evaluate them, keep
+//! the `⌊ρN⌋`-elite (plus ties at the threshold `γ`), update the model
+//! parameters with smoothing `ζ` (Eq. 11 + Eq. 13), and stop when the
+//! per-row maxima `μ^i` have been stable for `c` consecutive iterations
+//! (Eq. 12) or the model has degenerated.
+//!
+//! Evaluation is pluggable as a *batch* closure so callers can evaluate
+//! samples in parallel (the `Matcher` in `match-core` plugs in
+//! `match-par`); an observer hook receives the model after each update,
+//! which is how Figure 3's matrix snapshots are collected.
+
+use crate::model::CeModel;
+use rand::rngs::StdRng;
+
+/// Tunables of the CE loop. Defaults follow the paper where it commits
+/// to a value: `ρ = 0.1` (within its 0.01–0.1 band), `ζ = 0.3`, `c = 5`.
+/// `sample_size` has no universal default — MaTCH uses `N = 2|V_r|²` —
+/// so it is a required field here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CeConfig {
+    /// Elite fraction `ρ` ("focus parameter", §4).
+    pub rho: f64,
+    /// Samples per iteration `N`.
+    pub sample_size: usize,
+    /// Smoothing factor `ζ` of Eq. 13 (`1.0` = coarse update).
+    pub zeta: f64,
+    /// Hard iteration cap (safety net; the paper relies on Eq. 12 only).
+    pub max_iters: usize,
+    /// Consecutive-stability window `c` of Eq. 12.
+    pub stability_window: usize,
+    /// Tolerance for "equal" row maxima in Eq. 12. With smoothing the
+    /// maxima converge asymptotically rather than exactly, so exact
+    /// float equality would never trigger; the paper's integer-count
+    /// updates make equality meaningful there.
+    pub stability_tol: f64,
+    /// Stop as soon as the model is degenerate within this tolerance.
+    pub degeneracy_tol: f64,
+    /// Consecutive-stability window for the elite threshold `γ` —
+    /// Figure 2's stopping rule (`γ̂_i = γ̂_{i−1} = … = γ̂_{i−k}`).
+    /// `0` disables the rule. With smoothing, the per-row maxima of
+    /// Eq. 12 converge only asymptotically, so in practice this rule is
+    /// the one that fires once the sampled population has collapsed onto
+    /// a single cost plateau.
+    pub gamma_window: usize,
+    /// Relative tolerance for "equal" γ values.
+    pub gamma_tol: f64,
+}
+
+impl CeConfig {
+    /// Paper-style defaults with the given per-iteration sample count.
+    pub fn with_sample_size(sample_size: usize) -> Self {
+        CeConfig {
+            rho: 0.1,
+            sample_size,
+            zeta: 0.3,
+            max_iters: 1000,
+            stability_window: 5,
+            stability_tol: 1e-4,
+            degeneracy_tol: 1e-6,
+            gamma_window: 5,
+            gamma_tol: 1e-12,
+        }
+    }
+
+    /// Panic with a clear message on nonsensical settings.
+    pub fn validate(&self) {
+        assert!(self.rho > 0.0 && self.rho <= 1.0, "rho must be in (0, 1]");
+        assert!(self.sample_size >= 1, "need at least one sample");
+        assert!((0.0..=1.0).contains(&self.zeta), "zeta must be in [0, 1]");
+        assert!(self.max_iters >= 1, "need at least one iteration");
+        assert!(self.stability_window >= 1, "stability window >= 1");
+    }
+}
+
+/// Why the loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Row maxima stable for `c` iterations (Eq. 12).
+    MuStable,
+    /// Elite threshold `γ` stable for `k` iterations (Figure 2 step 4).
+    GammaStable,
+    /// The model collapsed to a (near-)degenerate distribution.
+    Degenerate,
+    /// Iteration cap reached.
+    MaxIters,
+}
+
+/// Telemetry of one iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterStats {
+    /// Iteration index (0-based).
+    pub iter: usize,
+    /// Elite threshold `γ_k` (worst cost admitted to the elite).
+    pub gamma: f64,
+    /// Best sampled cost this iteration.
+    pub best: f64,
+    /// Mean sampled cost this iteration.
+    pub mean: f64,
+    /// Worst sampled cost this iteration.
+    pub worst: f64,
+    /// Number of elite samples (≥ `⌊ρN⌋`, ties included).
+    pub elite_count: usize,
+    /// Model entropy after the update.
+    pub entropy: f64,
+}
+
+/// Full run telemetry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CeTelemetry {
+    /// One record per iteration, in order.
+    pub iters: Vec<IterStats>,
+}
+
+impl CeTelemetry {
+    /// Best cost seen per iteration (running minimum of `best`).
+    pub fn best_curve(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.iters
+            .iter()
+            .map(|s| {
+                best = best.min(s.best);
+                best
+            })
+            .collect()
+    }
+}
+
+/// Result of a CE run.
+#[derive(Debug, Clone)]
+pub struct CeOutcome<S> {
+    /// The best sample ever evaluated.
+    pub best_sample: S,
+    /// Its cost.
+    pub best_cost: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Total objective evaluations (`iterations × N`).
+    pub evaluations: u64,
+    /// Why the loop stopped.
+    pub stop_reason: StopReason,
+    /// Per-iteration statistics.
+    pub telemetry: CeTelemetry,
+}
+
+/// Minimise `score` over samples of `model`, with per-sample evaluation.
+pub fn minimize<M, F>(
+    model: &mut M,
+    config: &CeConfig,
+    rng: &mut StdRng,
+    mut score: F,
+) -> CeOutcome<M::Sample>
+where
+    M: CeModel,
+    M::Sample: Clone,
+    F: FnMut(&M::Sample) -> f64,
+{
+    minimize_with(
+        model,
+        config,
+        rng,
+        |samples| samples.iter().map(&mut score).collect(),
+        |_, _| {},
+    )
+}
+
+/// Minimise with a batch evaluator (enables parallel evaluation) and a
+/// per-iteration observer called after each model update with
+/// `(iteration, &model)`.
+pub fn minimize_with<M, E, O>(
+    model: &mut M,
+    config: &CeConfig,
+    rng: &mut StdRng,
+    mut evaluate: E,
+    mut observe: O,
+) -> CeOutcome<M::Sample>
+where
+    M: CeModel,
+    M::Sample: Clone,
+    E: FnMut(&[M::Sample]) -> Vec<f64>,
+    O: FnMut(usize, &M),
+{
+    config.validate();
+    let n = config.sample_size;
+    let elite_target = ((config.rho * n as f64).floor() as usize).max(1);
+
+    let mut best_sample: Option<M::Sample> = None;
+    let mut best_cost = f64::INFINITY;
+    let mut telemetry = CeTelemetry::default();
+    let mut evaluations: u64 = 0;
+
+    let mut prev_signature: Option<Vec<f64>> = None;
+    let mut stable_iters = 0usize;
+    let mut prev_gamma: Option<f64> = None;
+    let mut gamma_stable = 0usize;
+    let mut stop_reason = StopReason::MaxIters;
+    let mut iterations = 0usize;
+
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+
+        // Step 3 (Fig. 5): draw the sample batch.
+        let samples: Vec<M::Sample> = (0..n).map(|_| model.sample(rng)).collect();
+        let costs = evaluate(&samples);
+        assert_eq!(costs.len(), samples.len(), "evaluator returned wrong length");
+        evaluations += n as u64;
+
+        // Steps 4–5: order by cost, take the ρ-quantile threshold γ.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            costs[a]
+                .partial_cmp(&costs[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let gamma = costs[order[elite_target - 1]];
+        // Ties at γ are admitted (the indicator of Eq. 11 is S ≤ γ).
+        let elites: Vec<M::Sample> = order
+            .iter()
+            .take_while(|&&i| costs[i] <= gamma)
+            .map(|&i| samples[i].clone())
+            .collect();
+        let elite_count = elites.len();
+
+        // Track the incumbent.
+        let &first = order.first().expect("n >= 1");
+        // `<` alone would never capture a sample when every cost is +∞
+        // (all-infeasible iterations of penalised formulations).
+        if best_sample.is_none() || costs[first] < best_cost {
+            best_cost = costs[first];
+            best_sample = Some(samples[first].clone());
+        }
+
+        // Step 6: ML update + smoothing.
+        model.update_from_elites(&elites, config.zeta);
+        observe(iter, model);
+
+        let mean = costs.iter().sum::<f64>() / n as f64;
+        telemetry.iters.push(IterStats {
+            iter,
+            gamma,
+            best: costs[first],
+            mean,
+            worst: costs[order[n - 1]],
+            elite_count,
+            entropy: model.entropy(),
+        });
+
+        // Step 8: μ-stability (Eq. 12), plus degeneracy early-out.
+        let signature = model.stability_signature();
+        if let Some(prev) = &prev_signature {
+            let stable = prev
+                .iter()
+                .zip(&signature)
+                .all(|(a, b)| (a - b).abs() <= config.stability_tol);
+            stable_iters = if stable { stable_iters + 1 } else { 0 };
+        }
+        prev_signature = Some(signature);
+        if stable_iters >= config.stability_window {
+            stop_reason = StopReason::MuStable;
+            break;
+        }
+        // Figure 2's γ-stability rule.
+        if config.gamma_window > 0 {
+            if let Some(pg) = prev_gamma {
+                let equal = if pg.is_finite() && gamma.is_finite() {
+                    (pg - gamma).abs() <= config.gamma_tol * (1.0 + pg.abs())
+                } else {
+                    pg == gamma
+                };
+                gamma_stable = if equal { gamma_stable + 1 } else { 0 };
+            }
+            prev_gamma = Some(gamma);
+            if gamma_stable >= config.gamma_window {
+                stop_reason = StopReason::GammaStable;
+                break;
+            }
+        }
+        if model.is_degenerate(config.degeneracy_tol) {
+            stop_reason = StopReason::Degenerate;
+            break;
+        }
+    }
+
+    CeOutcome {
+        best_sample: best_sample.expect("at least one iteration ran"),
+        best_cost,
+        iterations,
+        evaluations,
+        stop_reason,
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::bernoulli::BernoulliModel;
+    use crate::models::permutation::PermutationModel;
+    use rand::SeedableRng;
+
+    /// Cost: number of coordinates that differ from a hidden target.
+    fn hamming_cost(target: &[bool]) -> impl Fn(&Vec<bool>) -> f64 + '_ {
+        move |s: &Vec<bool>| {
+            s.iter()
+                .zip(target)
+                .filter(|(a, b)| a != b)
+                .count() as f64
+        }
+    }
+
+    #[test]
+    fn recovers_hidden_bit_vector() {
+        let target = vec![true, false, true, true, false, false, true, false];
+        let mut model = BernoulliModel::uniform(target.len());
+        let cfg = CeConfig::with_sample_size(100);
+        let mut rng = StdRng::seed_from_u64(81);
+        let out = minimize(&mut model, &cfg, &mut rng, hamming_cost(&target));
+        assert_eq!(out.best_cost, 0.0);
+        assert_eq!(out.best_sample, target);
+        assert!(out.iterations < 100);
+        assert_eq!(
+            out.evaluations,
+            out.iterations as u64 * cfg.sample_size as u64
+        );
+    }
+
+    #[test]
+    fn recovers_hidden_permutation() {
+        let target = vec![3usize, 1, 4, 0, 2, 5];
+        let mut model = PermutationModel::uniform(target.len());
+        let cfg = CeConfig::with_sample_size(200);
+        let mut rng = StdRng::seed_from_u64(82);
+        let out = minimize(&mut model, &cfg, &mut rng, |s: &Vec<usize>| {
+            s.iter().zip(&target).filter(|(a, b)| a != b).count() as f64
+        });
+        assert_eq!(out.best_cost, 0.0);
+        assert_eq!(out.best_sample, target);
+    }
+
+    #[test]
+    fn gamma_is_monotone_trending_down() {
+        // On a smooth problem the elite threshold should improve overall.
+        let target = vec![true; 12];
+        let mut model = BernoulliModel::uniform(12);
+        let cfg = CeConfig::with_sample_size(80);
+        let mut rng = StdRng::seed_from_u64(83);
+        let out = minimize(&mut model, &cfg, &mut rng, hamming_cost(&target));
+        let first = out.telemetry.iters.first().unwrap().gamma;
+        let last = out.telemetry.iters.last().unwrap().gamma;
+        assert!(last <= first);
+    }
+
+    #[test]
+    fn best_curve_is_nonincreasing() {
+        let target = vec![true, false, true, false, true, false, true, false, true, false];
+        let mut model = BernoulliModel::uniform(10);
+        let cfg = CeConfig::with_sample_size(50);
+        let mut rng = StdRng::seed_from_u64(84);
+        let out = minimize(&mut model, &cfg, &mut rng, hamming_cost(&target));
+        let curve = out.telemetry.best_curve();
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_iteration() {
+        let mut model = BernoulliModel::uniform(4);
+        let cfg = CeConfig::with_sample_size(30);
+        let mut rng = StdRng::seed_from_u64(85);
+        let mut seen = Vec::new();
+        let out = minimize_with(
+            &mut model,
+            &cfg,
+            &mut rng,
+            |samples| samples.iter().map(|s| s.iter().filter(|&&b| b).count() as f64).collect(),
+            |iter, _m| seen.push(iter),
+        );
+        assert_eq!(seen.len(), out.iterations);
+        assert_eq!(seen, (0..out.iterations).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn max_iters_respected() {
+        let mut model = BernoulliModel::uniform(64);
+        let mut cfg = CeConfig::with_sample_size(10);
+        cfg.max_iters = 3;
+        // Random objective: no convergence possible.
+        let mut rng = StdRng::seed_from_u64(86);
+        let mut flip = 0.0;
+        let out = minimize(&mut model, &cfg, &mut rng, |_s| {
+            flip += 1.0;
+            (flip * 7919.0) % 97.0
+        });
+        assert_eq!(out.iterations, 3);
+        assert_eq!(out.stop_reason, StopReason::MaxIters);
+    }
+
+    #[test]
+    fn stops_on_degeneracy_with_coarse_update() {
+        // zeta = 1 and a constant elite: model collapses instantly.
+        let mut model = BernoulliModel::uniform(6);
+        let mut cfg = CeConfig::with_sample_size(40);
+        cfg.zeta = 1.0;
+        cfg.stability_window = 50; // keep μ-rule out of the way
+        let target = vec![true; 6];
+        let mut rng = StdRng::seed_from_u64(87);
+        let out = minimize(&mut model, &cfg, &mut rng, hamming_cost(&target));
+        assert!(matches!(
+            out.stop_reason,
+            StopReason::Degenerate | StopReason::MuStable
+        ));
+        assert!(out.iterations < 50);
+    }
+
+    #[test]
+    fn handles_infinite_costs() {
+        // Infeasible samples score +inf; the driver must still pick the
+        // finite ones as elites.
+        let mut model = BernoulliModel::uniform(5);
+        let cfg = CeConfig::with_sample_size(60);
+        let mut rng = StdRng::seed_from_u64(88);
+        let out = minimize(&mut model, &cfg, &mut rng, |s: &Vec<bool>| {
+            let ones = s.iter().filter(|&&b| b).count();
+            if ones == 0 {
+                f64::INFINITY
+            } else {
+                ones as f64
+            }
+        });
+        assert_eq!(out.best_cost, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn invalid_config_panics() {
+        let mut model = BernoulliModel::uniform(2);
+        let mut cfg = CeConfig::with_sample_size(10);
+        cfg.rho = 0.0;
+        let mut rng = StdRng::seed_from_u64(89);
+        minimize(&mut model, &cfg, &mut rng, |_| 0.0);
+    }
+
+    #[test]
+    fn elite_count_at_least_target_with_ties() {
+        let mut model = BernoulliModel::uniform(3);
+        let cfg = CeConfig::with_sample_size(50);
+        let mut rng = StdRng::seed_from_u64(90);
+        // Constant objective: every sample ties at γ, so all are elite.
+        let out = minimize(&mut model, &cfg, &mut rng, |_| 1.0);
+        assert!(out.telemetry.iters[0].elite_count == 50);
+    }
+}

@@ -1,0 +1,44 @@
+//! The [`CeModel`] trait: a parameterised distribution family that the CE
+//! driver can sample from and fit to elite samples.
+
+use rand::rngs::StdRng;
+
+/// A distribution family `f(·; v)` over candidate solutions.
+///
+/// One CE iteration (Figure 2 / Figure 5) calls [`CeModel::sample`] `N`
+/// times, selects the elite by cost, and calls
+/// [`CeModel::update_from_elites`] with smoothing parameter `ζ`
+/// (Eq. 13; `ζ = 1` is the coarse update of Eq. 11).
+pub trait CeModel {
+    /// One candidate solution.
+    type Sample;
+
+    /// Draw one sample from the current parameters.
+    ///
+    /// The concrete [`StdRng`] (rather than a generic `R: Rng`) keeps the
+    /// trait object-safe and lets the driver hand per-worker RNGs to
+    /// parallel samplers.
+    fn sample(&self, rng: &mut StdRng) -> Self::Sample;
+
+    /// Fit the parameters to the elite samples (maximum-likelihood count
+    /// estimate, Eq. 10/11), then blend with the previous parameters:
+    /// `v ← ζ·v̂ + (1 − ζ)·v`.
+    ///
+    /// Implementations must tolerate an empty elite slice (no-op).
+    fn update_from_elites(&mut self, elites: &[Self::Sample], zeta: f64);
+
+    /// True when the distribution has (numerically) collapsed onto a
+    /// single sample — the paper's degenerate stochastic matrix.
+    fn is_degenerate(&self, tol: f64) -> bool;
+
+    /// The modal (most likely) sample under the current parameters.
+    fn mode(&self) -> Self::Sample;
+
+    /// A scalar diagnostic of remaining randomness (e.g. mean row
+    /// entropy); used for telemetry only.
+    fn entropy(&self) -> f64;
+
+    /// The per-row maxima `μ^i` tracked by the paper's stopping rule
+    /// (Eq. 12). Models without a row structure may return a singleton.
+    fn stability_signature(&self) -> Vec<f64>;
+}

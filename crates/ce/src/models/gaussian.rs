@@ -1,0 +1,207 @@
+//! Independent Gaussian vector model for continuous CE optimisation.
+//!
+//! §3 notes the CE method extends to "continuous multiextremal
+//! optimization problems" (Rubinstein's program). The standard model is
+//! a diagonal Gaussian: per-coordinate mean and standard deviation are
+//! refit to the elite samples each iteration; the standard deviations
+//! play the role the stochastic matrix's entropy plays in the discrete
+//! case, shrinking to zero as the sampler collapses onto an optimum.
+
+use crate::model::CeModel;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// CE model over `R^n` with independent Gaussian coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianModel {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    /// Standard deviations never shrink below this floor during
+    /// updates, preventing premature collapse (the continuous analogue
+    /// of smoothing; set to `0.0` to disable).
+    std_floor: f64,
+}
+
+impl GaussianModel {
+    /// A model centred at `mean` with per-coordinate `std`.
+    pub fn new(mean: Vec<f64>, std: Vec<f64>) -> Self {
+        assert_eq!(mean.len(), std.len(), "mean/std length mismatch");
+        assert!(std.iter().all(|&s| s > 0.0), "std must be positive");
+        GaussianModel {
+            mean,
+            std,
+            std_floor: 0.0,
+        }
+    }
+
+    /// An isotropic model: every coordinate `N(centre, spread²)`.
+    pub fn isotropic(n: usize, centre: f64, spread: f64) -> Self {
+        GaussianModel::new(vec![centre; n], vec![spread.max(1e-12); n])
+    }
+
+    /// Set the standard-deviation floor.
+    pub fn with_std_floor(mut self, floor: f64) -> Self {
+        self.std_floor = floor.max(0.0);
+        self
+    }
+
+    /// Current means.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Current standard deviations.
+    pub fn std(&self) -> &[f64] {
+        &self.std
+    }
+
+    /// Dimension.
+    pub fn len(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// True for the empty model.
+    pub fn is_empty(&self) -> bool {
+        self.mean.is_empty()
+    }
+
+    /// One standard normal draw (Box–Muller; one value per call keeps
+    /// the stream layout simple and seed-stable).
+    fn standard_normal(rng: &mut StdRng) -> f64 {
+        loop {
+            let u1: f64 = rng.random();
+            let u2: f64 = rng.random();
+            if u1 > f64::MIN_POSITIVE {
+                return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            }
+        }
+    }
+}
+
+impl CeModel for GaussianModel {
+    type Sample = Vec<f64>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<f64> {
+        self.mean
+            .iter()
+            .zip(&self.std)
+            .map(|(&m, &s)| m + s * Self::standard_normal(rng))
+            .collect()
+    }
+
+    fn update_from_elites(&mut self, elites: &[Vec<f64>], zeta: f64) {
+        if elites.is_empty() {
+            return;
+        }
+        let m = elites.len() as f64;
+        for i in 0..self.mean.len() {
+            let elite_mean = elites.iter().map(|e| e[i]).sum::<f64>() / m;
+            let elite_var =
+                elites.iter().map(|e| (e[i] - elite_mean).powi(2)).sum::<f64>() / m;
+            let elite_std = elite_var.sqrt();
+            self.mean[i] = zeta * elite_mean + (1.0 - zeta) * self.mean[i];
+            self.std[i] =
+                (zeta * elite_std + (1.0 - zeta) * self.std[i]).max(self.std_floor);
+        }
+    }
+
+    fn is_degenerate(&self, tol: f64) -> bool {
+        self.std.iter().all(|&s| s <= tol)
+    }
+
+    fn mode(&self) -> Vec<f64> {
+        self.mean.clone()
+    }
+
+    fn entropy(&self) -> f64 {
+        // Differential entropy of a diagonal Gaussian, averaged per
+        // coordinate: ½ ln(2πe σ²).
+        if self.std.is_empty() {
+            return 0.0;
+        }
+        let c = 0.5 * (2.0 * std::f64::consts::PI * std::f64::consts::E).ln();
+        self.std
+            .iter()
+            .map(|&s| c + s.max(1e-300).ln())
+            .sum::<f64>()
+            / self.std.len() as f64
+    }
+
+    fn stability_signature(&self) -> Vec<f64> {
+        self.mean.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_follow_configured_moments() {
+        let model = GaussianModel::new(vec![3.0, -1.0], vec![0.5, 2.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut sums = [0.0f64; 2];
+        let mut sq = [0.0f64; 2];
+        for _ in 0..n {
+            let s = model.sample(&mut rng);
+            for i in 0..2 {
+                sums[i] += s[i];
+                sq[i] += s[i] * s[i];
+            }
+        }
+        for i in 0..2 {
+            let mean = sums[i] / n as f64;
+            let var = sq[i] / n as f64 - mean * mean;
+            assert!((mean - model.mean()[i]).abs() < 0.05, "mean[{i}] = {mean}");
+            assert!(
+                (var.sqrt() - model.std()[i]).abs() < 0.05,
+                "std[{i}] = {}",
+                var.sqrt()
+            );
+        }
+    }
+
+    #[test]
+    fn update_moves_toward_elites() {
+        let mut model = GaussianModel::isotropic(1, 0.0, 1.0);
+        let elites = vec![vec![4.0], vec![6.0]];
+        model.update_from_elites(&elites, 1.0);
+        assert!((model.mean()[0] - 5.0).abs() < 1e-12);
+        assert!((model.std()[0] - 1.0).abs() < 1e-12); // elite std = 1
+    }
+
+    #[test]
+    fn smoothed_update_blends() {
+        let mut model = GaussianModel::isotropic(1, 0.0, 2.0);
+        model.update_from_elites(&[vec![10.0]], 0.5);
+        assert!((model.mean()[0] - 5.0).abs() < 1e-12);
+        // Elite std of a single sample is 0 → std halves.
+        assert!((model.std()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_floor_prevents_collapse() {
+        let mut model = GaussianModel::isotropic(1, 0.0, 1.0).with_std_floor(0.1);
+        for _ in 0..100 {
+            model.update_from_elites(&[vec![1.0]], 1.0);
+        }
+        assert_eq!(model.std()[0], 0.1);
+        assert!(!model.is_degenerate(0.05));
+        assert!(model.is_degenerate(0.2));
+    }
+
+    #[test]
+    fn entropy_decreases_with_std() {
+        let wide = GaussianModel::isotropic(3, 0.0, 2.0);
+        let narrow = GaussianModel::isotropic(3, 0.0, 0.1);
+        assert!(narrow.entropy() < wide.entropy());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_std() {
+        GaussianModel::new(vec![0.0], vec![0.0]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Concrete CE model families.
+//!
+//! * [`permutation`] — stochastic-matrix model over bijective assignments
+//!   sampled by the paper's GenPerm procedure (Figure 4).
+//! * [`assignment`] — stochastic-matrix model with independent rows
+//!   (duplicates allowed); the "naive way" §4 describes before
+//!   introducing GenPerm, retained for the many-to-one generalisation
+//!   and as an ablation.
+//! * [`bernoulli`] — independent Bernoulli vector, the classic CE model
+//!   for max-cut / bipartition benchmark problems.
+
+pub mod assignment;
+pub mod bernoulli;
+pub mod gaussian;
+pub mod permutation;

@@ -1,0 +1,316 @@
+//! The GenPerm permutation model (paper Figure 4).
+//!
+//! `χ̃` — unrestricted row-by-row sampling — "contains a lot of
+//! undesirable mappings, since we are interested in assigning an unique
+//! resource for each task" (§4). GenPerm repairs this at sampling time:
+//!
+//! 1. draw a random visit order `π` over the tasks (rows);
+//! 2. allocate task `π_i` a resource by spinning the roulette wheel over
+//!    its row of the stochastic matrix, *restricted to columns not yet
+//!    taken*;
+//! 3. zero the chosen column for the remaining rows (implicitly: restrict
+//!    the wheel) and renormalise.
+//!
+//! The update rule is unchanged (Eq. 11): column frequencies over the
+//! elite samples.
+
+use crate::model::CeModel;
+use crate::stochmatrix::StochasticMatrix;
+use match_rngutil::roulette::roulette_pick;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// CE model over permutations of `0..n` parameterised by an `n × n`
+/// stochastic matrix; samples via GenPerm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PermutationModel {
+    matrix: StochasticMatrix,
+}
+
+impl PermutationModel {
+    /// The uniform model over permutations of `0..n`.
+    pub fn uniform(n: usize) -> Self {
+        PermutationModel {
+            matrix: StochasticMatrix::uniform(n, n),
+        }
+    }
+
+    /// Wrap an existing (square) stochastic matrix.
+    pub fn from_matrix(matrix: StochasticMatrix) -> Self {
+        assert_eq!(matrix.rows(), matrix.cols(), "permutation model must be square");
+        PermutationModel { matrix }
+    }
+
+    /// The underlying stochastic matrix.
+    pub fn matrix(&self) -> &StochasticMatrix {
+        &self.matrix
+    }
+
+    /// Problem size `n`.
+    pub fn len(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// True for the trivial size-0 model.
+    pub fn is_empty(&self) -> bool {
+        self.matrix.rows() == 0
+    }
+
+    /// One GenPerm draw (Figure 4), reusing caller-provided scratch
+    /// buffers: `used` marks taken columns, `weights` holds the
+    /// restricted row, and `out` receives the permutation.
+    pub fn sample_into(
+        &self,
+        rng: &mut StdRng,
+        used: &mut Vec<bool>,
+        weights: &mut Vec<f64>,
+        out: &mut Vec<usize>,
+    ) {
+        let n = self.len();
+        used.clear();
+        used.resize(n, false);
+        out.clear();
+        out.resize(n, 0);
+
+        // Step 1: random task visit order.
+        let mut order: Vec<usize> = (0..n).collect();
+        match_rngutil::perm::shuffle(&mut order, rng);
+
+        for (visited, &row) in order.iter().enumerate() {
+            // Restrict the row to unused columns (zeroing the column of P
+            // in the paper's phrasing; renormalisation is implicit in the
+            // wheel).
+            weights.clear();
+            weights.extend(self.matrix.row(row).iter().enumerate().map(|(j, &p)| {
+                if used[j] {
+                    0.0
+                } else {
+                    p
+                }
+            }));
+            let pick = match roulette_pick(weights, rng) {
+                Some(j) => j,
+                None => {
+                    // All remaining probability mass sits on used columns
+                    // (degenerate rows agreeing on one resource). Fall
+                    // back to a uniform choice among the unused, keeping
+                    // the sample a valid permutation.
+                    let remaining = n - visited;
+                    let mut k = rng.random_range(0..remaining);
+                    (0..n)
+                        .find(|&j| {
+                            if used[j] {
+                                false
+                            } else if k == 0 {
+                                true
+                            } else {
+                                k -= 1;
+                                false
+                            }
+                        })
+                        .expect("an unused column exists")
+                }
+            };
+            used[pick] = true;
+            out[row] = pick;
+        }
+    }
+}
+
+impl CeModel for PermutationModel {
+    type Sample = Vec<usize>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<usize> {
+        let mut used = Vec::new();
+        let mut weights = Vec::new();
+        let mut out = Vec::new();
+        self.sample_into(rng, &mut used, &mut weights, &mut out);
+        out
+    }
+
+    fn update_from_elites(&mut self, elites: &[Vec<usize>], zeta: f64) {
+        if elites.is_empty() {
+            return;
+        }
+        let n = self.len();
+        let mut counts = vec![0.0f64; n * n];
+        for e in elites {
+            debug_assert_eq!(e.len(), n);
+            for (i, &j) in e.iter().enumerate() {
+                counts[i * n + j] += 1.0;
+            }
+        }
+        let q = StochasticMatrix::from_rows(n, n, counts);
+        self.matrix.smooth_toward(&q, zeta);
+    }
+
+    fn is_degenerate(&self, tol: f64) -> bool {
+        self.matrix.is_degenerate(tol)
+    }
+
+    fn mode(&self) -> Vec<usize> {
+        // Greedy maximum-probability matching: rows in descending max
+        // probability claim their argmax among free columns. (The exact
+        // mode of the GenPerm distribution is a hard assignment problem;
+        // after convergence the matrix is degenerate and this greedy
+        // recovers it exactly.)
+        let n = self.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            self.matrix
+                .row_max(b)
+                .1
+                .partial_cmp(&self.matrix.row_max(a).1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut used = vec![false; n];
+        let mut out = vec![0usize; n];
+        for &i in &order {
+            let row = self.matrix.row(i);
+            let mut best: Option<(usize, f64)> = None;
+            for (j, &p) in row.iter().enumerate() {
+                if !used[j] && best.is_none_or(|(_, bp)| p > bp) {
+                    best = Some((j, p));
+                }
+            }
+            let (j, _) = best.expect("a free column exists");
+            used[j] = true;
+            out[i] = j;
+        }
+        out
+    }
+
+    fn entropy(&self) -> f64 {
+        self.matrix.mean_entropy()
+    }
+
+    fn stability_signature(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.matrix.row_max(i).1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_rngutil::perm::is_permutation;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_permutations() {
+        let model = PermutationModel::uniform(10);
+        let mut rng = StdRng::seed_from_u64(51);
+        for _ in 0..50 {
+            let s = model.sample(&mut rng);
+            assert!(is_permutation(&s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn uniform_model_samples_uniform_first_coordinate() {
+        let model = PermutationModel::uniform(5);
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut counts = [0usize; 5];
+        let trials = 50_000;
+        for _ in 0..trials {
+            counts[model.sample(&mut rng)[0]] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / trials as f64;
+            assert!((f - 0.2).abs() < 0.02, "frequency {f}");
+        }
+    }
+
+    #[test]
+    fn degenerate_matrix_samples_its_permutation() {
+        // Identity-permutation degenerate matrix.
+        let n = 6;
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        let model = PermutationModel::from_matrix(StochasticMatrix::from_rows(n, n, data));
+        let mut rng = StdRng::seed_from_u64(53);
+        for _ in 0..20 {
+            assert_eq!(model.sample(&mut rng), (0..n).collect::<Vec<_>>());
+        }
+        assert!(model.is_degenerate(1e-9));
+        assert_eq!(model.mode(), (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn conflicting_degenerate_rows_still_yield_permutations() {
+        // Both rows put all mass on column 0: GenPerm's fallback must
+        // still return a permutation.
+        let data = vec![1.0, 0.0, 1.0, 0.0];
+        let model = PermutationModel::from_matrix(StochasticMatrix::from_rows(2, 2, data));
+        let mut rng = StdRng::seed_from_u64(54);
+        for _ in 0..50 {
+            let s = model.sample(&mut rng);
+            assert!(is_permutation(&s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn update_moves_mass_toward_elites() {
+        let mut model = PermutationModel::uniform(3);
+        // Elite consensus: identity permutation.
+        let elites = vec![vec![0, 1, 2], vec![0, 1, 2], vec![0, 2, 1]];
+        model.update_from_elites(&elites, 1.0);
+        // Row 0 always mapped to 0 → probability 1.
+        assert!((model.matrix().get(0, 0) - 1.0).abs() < 1e-12);
+        // Row 1: 2/3 on column 1, 1/3 on column 2.
+        assert!((model.matrix().get(1, 1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((model.matrix().get(1, 2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothed_update_blends() {
+        let mut model = PermutationModel::uniform(2);
+        let elites = vec![vec![0, 1]];
+        model.update_from_elites(&elites, 0.3);
+        // p00 = 0.3·1 + 0.7·0.5 = 0.65
+        assert!((model.matrix().get(0, 0) - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_elites_is_noop() {
+        let mut model = PermutationModel::uniform(3);
+        let before = model.clone();
+        model.update_from_elites(&[], 0.5);
+        assert_eq!(model, before);
+    }
+
+    #[test]
+    fn repeated_updates_converge_to_degenerate() {
+        let mut model = PermutationModel::uniform(4);
+        let elite = vec![vec![2, 0, 3, 1]];
+        for _ in 0..200 {
+            model.update_from_elites(&elite, 0.3);
+        }
+        assert!(model.is_degenerate(1e-6));
+        assert_eq!(model.mode(), vec![2, 0, 3, 1]);
+        assert!(model.entropy() < 1e-4);
+    }
+
+    #[test]
+    fn stability_signature_tracks_row_maxima() {
+        let model = PermutationModel::uniform(3);
+        let sig = model.stability_signature();
+        assert_eq!(sig.len(), 3);
+        for v in sig {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mode_is_always_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(55);
+        for _ in 0..20 {
+            let n = 7;
+            let data: Vec<f64> = (0..n * n).map(|_| rand::Rng::random::<f64>(&mut rng)).collect();
+            let model =
+                PermutationModel::from_matrix(StochasticMatrix::from_rows(n, n, data));
+            assert!(is_permutation(&model.mode()));
+        }
+    }
+}

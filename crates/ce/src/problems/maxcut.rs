@@ -1,0 +1,103 @@
+//! Max-cut via CE over Bernoulli vectors (Rubinstein 2002).
+//!
+//! Given a weighted undirected graph, find a bipartition `(S, V∖S)`
+//! maximising the total weight of edges crossing the cut. NP-hard in
+//! general; CE with the Bernoulli model is the textbook treatment.
+
+use crate::driver::{minimize, CeConfig, CeOutcome};
+use crate::models::bernoulli::BernoulliModel;
+use match_graph::Graph;
+use rand::rngs::StdRng;
+
+/// Total weight of edges crossing the cut defined by `side` (`true` = in
+/// `S`).
+pub fn cut_weight(g: &Graph, side: &[bool]) -> f64 {
+    assert_eq!(side.len(), g.node_count(), "side vector length mismatch");
+    g.edges()
+        .filter(|&(u, v, _)| side[u] != side[v])
+        .map(|(_, _, w)| w)
+        .sum()
+}
+
+/// Result of a max-cut run.
+#[derive(Debug, Clone)]
+pub struct MaxCutResult {
+    /// Side assignment of the best cut found.
+    pub side: Vec<bool>,
+    /// Its cut weight.
+    pub weight: f64,
+    /// The raw CE outcome (costs are negated weights).
+    pub outcome: CeOutcome<Vec<bool>>,
+}
+
+/// Maximise the cut of `g` with CE. `sample_size` per iteration; other
+/// CE parameters follow the paper's defaults.
+pub fn max_cut(g: &Graph, sample_size: usize, rng: &mut StdRng) -> MaxCutResult {
+    let n = g.node_count();
+    let mut model = BernoulliModel::uniform(n);
+    let mut cfg = CeConfig::with_sample_size(sample_size.max(2));
+    // Cut weights are small integers, so the elite threshold ties for
+    // several iterations during genuine progress; a wider gamma window
+    // avoids stopping on those coarse plateaus.
+    cfg.gamma_window = 15;
+    // Minimise the negated cut weight.
+    let outcome = minimize(&mut model, &cfg, rng, |s: &Vec<bool>| -cut_weight(g, s));
+    MaxCutResult {
+        side: outcome.best_sample.clone(),
+        weight: -outcome.best_cost,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_graph::gen::classic::{complete_graph, ring_graph};
+    use rand::SeedableRng;
+
+    #[test]
+    fn cut_weight_basics() {
+        let mut g = Graph::with_uniform_nodes(3, 1.0);
+        g.add_edge(0, 1, 2.0).unwrap();
+        g.add_edge(1, 2, 3.0).unwrap();
+        assert_eq!(cut_weight(&g, &[true, false, true]), 5.0);
+        assert_eq!(cut_weight(&g, &[true, true, true]), 0.0);
+        assert_eq!(cut_weight(&g, &[false, true, true]), 2.0);
+    }
+
+    #[test]
+    fn even_ring_optimal_cut_is_all_edges() {
+        // An even cycle is bipartite: the optimal cut takes every edge.
+        let g = ring_graph(8, 1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(91);
+        let r = max_cut(&g, 120, &mut rng);
+        assert_eq!(r.weight, 8.0, "even ring max cut is |E|");
+        // Verify the side vector actually achieves it.
+        assert_eq!(cut_weight(&g, &r.side), 8.0);
+    }
+
+    #[test]
+    fn odd_ring_optimal_cut_is_all_but_one() {
+        let g = ring_graph(9, 1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(92);
+        let r = max_cut(&g, 150, &mut rng);
+        assert_eq!(r.weight, 8.0, "odd ring max cut is |E| - 1");
+    }
+
+    #[test]
+    fn complete_graph_cut_is_balanced_product() {
+        // K_6 with unit weights: max cut = 3 × 3 = 9.
+        let g = complete_graph(6, 1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(93);
+        let r = max_cut(&g, 150, &mut rng);
+        assert_eq!(r.weight, 9.0);
+    }
+
+    #[test]
+    fn edgeless_graph_cut_is_zero() {
+        let g = Graph::with_uniform_nodes(4, 1.0);
+        let mut rng = StdRng::seed_from_u64(94);
+        let r = max_cut(&g, 20, &mut rng);
+        assert_eq!(r.weight, 0.0);
+    }
+}

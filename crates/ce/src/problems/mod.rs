@@ -1,0 +1,12 @@
+//! Benchmark combinatorial optimization problems from the CE literature.
+//!
+//! The paper grounds the CE method in Rubinstein's work on "maximal cut
+//! and bipartition problems" (the paper's reference 23). These modules implement
+//! those two COPs over `match-graph` graphs and solve them with the
+//! generic driver, providing an end-to-end validation of the framework
+//! that is independent of the task-mapping problem.
+
+pub mod bipartition;
+pub mod continuous;
+pub mod maxcut;
+pub mod tsp;

@@ -1,0 +1,152 @@
+//! Minimal `--flag value` argument parsing.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand (first positional token).
+    pub command: String,
+    /// `--key value` pairs (keys without the leading dashes).
+    pub options: BTreeMap<String, String>,
+    /// Bare `--flag` switches (no value).
+    pub switches: Vec<String>,
+}
+
+/// CLI failures, printable to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// No subcommand given.
+    NoCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A required option is missing.
+    MissingOption(String),
+    /// An option's value failed to parse.
+    BadValue(String, String),
+    /// File or parse errors, pre-formatted.
+    Io(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::NoCommand => write!(f, "no command given; try `matchctl help`"),
+            CliError::UnknownCommand(c) => write!(f, "unknown command {c:?}; try `matchctl help`"),
+            CliError::MissingOption(o) => write!(f, "missing required option --{o}"),
+            CliError::BadValue(o, v) => write!(f, "bad value {v:?} for --{o}"),
+            CliError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl Args {
+    /// Parse a raw token list (excluding the program name).
+    ///
+    /// Tokens starting with `--` become options when followed by a
+    /// non-`--` token, otherwise switches. The first bare token is the
+    /// subcommand.
+    pub fn parse<S: AsRef<str>, I: IntoIterator<Item = S>>(tokens: I) -> Result<Args, CliError> {
+        let tokens: Vec<String> = tokens.into_iter().map(|s| s.as_ref().to_string()).collect();
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if let Some(key) = tok.strip_prefix("--") {
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    args.options.insert(key.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    args.switches.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                if args.command.is_empty() {
+                    args.command = tok.clone();
+                } // extra positionals are ignored
+                i += 1;
+            }
+        }
+        if args.command.is_empty() {
+            return Err(CliError::NoCommand);
+        }
+        Ok(args)
+    }
+
+    /// A required string option.
+    pub fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::MissingOption(key.to_string()))
+    }
+
+    /// An optional string option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.options.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// A parsed option with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::BadValue(key.to_string(), v.clone())),
+        }
+    }
+
+    /// True when `--flag` was given.
+    pub fn has_switch(&self, flag: &str) -> bool {
+        self.switches.iter().any(|s| s == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_options_switches() {
+        let a = Args::parse(["solve", "--size", "20", "--blocking", "--seed", "7"]).unwrap();
+        assert_eq!(a.command, "solve");
+        assert_eq!(a.required("size").unwrap(), "20");
+        assert_eq!(a.parse_or::<u64>("seed", 0).unwrap(), 7);
+        assert!(a.has_switch("blocking"));
+        assert!(!a.has_switch("quiet"));
+    }
+
+    #[test]
+    fn missing_and_default_options() {
+        let a = Args::parse(["gen"]).unwrap();
+        assert!(matches!(a.required("size"), Err(CliError::MissingOption(_))));
+        assert_eq!(a.get_or("algo", "match"), "match");
+        assert_eq!(a.parse_or::<usize>("rounds", 5).unwrap(), 5);
+    }
+
+    #[test]
+    fn bad_value_reported() {
+        let a = Args::parse(["gen", "--size", "twenty"]).unwrap();
+        assert!(matches!(
+            a.parse_or::<usize>("size", 1),
+            Err(CliError::BadValue(_, _))
+        ));
+    }
+
+    #[test]
+    fn empty_is_no_command() {
+        assert_eq!(Args::parse(Vec::<String>::new()), Err(CliError::NoCommand));
+        assert_eq!(
+            Args::parse(["--flag"]).unwrap_err(),
+            CliError::NoCommand
+        );
+    }
+
+    #[test]
+    fn trailing_flag_is_switch() {
+        let a = Args::parse(["sim", "--trace"]).unwrap();
+        assert!(a.has_switch("trace"));
+    }
+}

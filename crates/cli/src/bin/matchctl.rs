@@ -1,0 +1,16 @@
+//! `matchctl` — command-line front end of the MaTCH reproduction.
+//!
+//! Run `matchctl help` for usage.
+
+use match_cli::{run, Args};
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    match Args::parse(tokens).and_then(|args| run(&args)) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("matchctl: {e}");
+            std::process::exit(2);
+        }
+    }
+}

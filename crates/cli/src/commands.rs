@@ -1,0 +1,389 @@
+//! The `matchctl` subcommands.
+
+use crate::args::{Args, CliError};
+use crate::mapping_io::{mapping_from_text, mapping_to_text};
+use match_baselines::{
+    FastMapScheme, GreedyMapper, HillClimber, PolishedMatcher, RandomSearch,
+    RecursiveBisection, RoundRobin, SimulatedAnnealing,
+};
+use match_core::{
+    analyze, bijective_lower_bound, IslandMatcher, Mapper, MappingInstance, Matcher,
+};
+use match_ga::{FastMapGa, GaConfig};
+use match_graph::gen::overset::OversetConfig;
+use match_graph::gen::paper::PaperFamilyConfig;
+use match_graph::io::{from_text, to_dot, to_text};
+use match_graph::{ResourceGraph, TaskGraph};
+use match_sim::{SimConfig, SimMode, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The supported subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Generate an instance pair to text files.
+    Gen,
+    /// Print instance statistics.
+    Info,
+    /// Solve an instance with a chosen heuristic.
+    Solve,
+    /// Execute a mapping in the discrete-event simulator.
+    Simulate,
+    /// Export an instance to Graphviz DOT.
+    Dot,
+    /// Print usage.
+    Help,
+}
+
+impl Command {
+    fn from_name(name: &str) -> Result<Command, CliError> {
+        match name {
+            "gen" => Ok(Command::Gen),
+            "info" => Ok(Command::Info),
+            "solve" => Ok(Command::Solve),
+            "simulate" | "sim" => Ok(Command::Simulate),
+            "dot" => Ok(Command::Dot),
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            other => Err(CliError::UnknownCommand(other.to_string())),
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+matchctl — task mapping on heterogeneous platforms (MaTCH reproduction)
+
+USAGE:
+  matchctl gen      --size N [--family paper|overset] [--seed S]
+                    [--out-tig FILE] [--out-platform FILE]
+  matchctl info     --tig FILE --platform FILE
+  matchctl solve    --tig FILE --platform FILE [--algo ALGO] [--seed S] [--out FILE]
+  matchctl simulate --tig FILE --platform FILE --mapping FILE
+                    [--rounds N] [--blocking | --link]
+  matchctl dot      --tig FILE (or --platform FILE)
+  matchctl help
+
+ALGO: match (default) | islands | polish | ga | fastmap | bisect | greedy
+      | hill | sa | random | roundrobin
+";
+
+/// Run a parsed command line; returns the text to print.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    match Command::from_name(&args.command)? {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Gen => cmd_gen(args),
+        Command::Info => cmd_info(args),
+        Command::Solve => cmd_solve(args),
+        Command::Simulate => cmd_simulate(args),
+        Command::Dot => cmd_dot(args),
+    }
+}
+
+fn read(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("reading {path}: {e}")))
+}
+
+fn write(path: &str, content: &str) -> Result<(), CliError> {
+    std::fs::write(path, content).map_err(|e| CliError::Io(format!("writing {path}: {e}")))
+}
+
+fn load_instance(args: &Args) -> Result<MappingInstance, CliError> {
+    let tig_text = read(args.required("tig")?)?;
+    let platform_text = read(args.required("platform")?)?;
+    let tig = TaskGraph::new(
+        from_text(&tig_text).map_err(|e| CliError::Io(format!("parsing TIG: {e}")))?,
+    )
+    .map_err(|e| CliError::Io(format!("invalid TIG: {e}")))?;
+    let platform = ResourceGraph::new(
+        from_text(&platform_text).map_err(|e| CliError::Io(format!("parsing platform: {e}")))?,
+    )
+    .map_err(|e| CliError::Io(format!("invalid platform: {e}")))?;
+    Ok(MappingInstance::new(&tig, &platform))
+}
+
+fn cmd_gen(args: &Args) -> Result<String, CliError> {
+    let size: usize = args.parse_or("size", 0)?;
+    if size == 0 {
+        return Err(CliError::MissingOption("size".into()));
+    }
+    let seed: u64 = args.parse_or("seed", 2005)?;
+    let family = args.get_or("family", "paper");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pair = match family {
+        "paper" => PaperFamilyConfig::new(size).generate(&mut rng),
+        "overset" => OversetConfig::new(size).generate(&mut rng),
+        other => return Err(CliError::BadValue("family".into(), other.into())),
+    };
+    let out_tig = args.get_or("out-tig", "tig.txt");
+    let out_platform = args.get_or("out-platform", "platform.txt");
+    write(out_tig, &to_text(pair.tig.graph()))?;
+    write(out_platform, &to_text(pair.resources.graph()))?;
+    Ok(format!(
+        "generated {family} instance: {size} tasks -> {out_tig}, {size} resources -> {out_platform} (seed {seed})\n"
+    ))
+}
+
+fn cmd_info(args: &Args) -> Result<String, CliError> {
+    let inst = load_instance(args)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "tasks: {}   resources: {}   square: {}\n",
+        inst.n_tasks(),
+        inst.n_resources(),
+        inst.is_square()
+    ));
+    let total_comp: f64 = (0..inst.n_tasks()).map(|t| inst.computation(t)).sum();
+    let interactions = inst.adjacency_len() / 2;
+    out.push_str(&format!(
+        "total computation: {total_comp}   interactions: {interactions}\n"
+    ));
+    let tig_text = read(args.required("tig")?)?;
+    if let Ok(g) = from_text(&tig_text) {
+        let s = match_graph::metrics::summarize(&g);
+        out.push_str(&format!(
+            "TIG: diameter {}  density {:.3}  degrees {}..{} (mean {:.2})  components {}\n",
+            s.diameter, s.density, s.min_degree, s.max_degree, s.mean_degree, s.components
+        ));
+    }
+    out.push_str(&format!(
+        "lower bound on ET (any mapping): {:.2}\n",
+        match_core::lower_bound(&inst)
+    ));
+    if inst.is_square() {
+        out.push_str(&format!(
+            "lower bound on ET (bijective): {:.2}\n",
+            bijective_lower_bound(&inst)
+        ));
+    }
+    Ok(out)
+}
+
+fn build_mapper(name: &str) -> Result<Box<dyn Mapper>, CliError> {
+    Ok(match name {
+        "match" => Box::new(Matcher::default()),
+        "islands" => Box::new(IslandMatcher::default()),
+        "ga" => Box::new(FastMapGa::new(GaConfig::paper_default())),
+        "greedy" => Box::new(GreedyMapper),
+        "hill" => Box::new(HillClimber::default()),
+        "sa" => Box::new(SimulatedAnnealing::default()),
+        "random" => Box::new(RandomSearch::new(100_000)),
+        "roundrobin" => Box::new(RoundRobin),
+        "polish" => Box::new(PolishedMatcher::default()),
+        "bisect" => Box::new(RecursiveBisection::default()),
+        "fastmap" => Box::new(FastMapScheme::new(FastMapGa::new(GaConfig::paper_default()))),
+        other => return Err(CliError::BadValue("algo".into(), other.into())),
+    })
+}
+
+fn cmd_solve(args: &Args) -> Result<String, CliError> {
+    let inst = load_instance(args)?;
+    let algo = args.get_or("algo", "match");
+    let seed: u64 = args.parse_or("seed", 1)?;
+    let mapper = build_mapper(algo)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out = mapper.map(&inst, &mut rng);
+    out.mapping
+        .validate(&inst)
+        .map_err(|e| CliError::Io(format!("{algo} produced an invalid mapping: {e}")))?;
+    let q = analyze(&inst, out.mapping.as_slice());
+    let mut text = format!(
+        "{}: ET = {:.2} units, MT = {:.3}s, {} evaluations, {} iterations\n\
+         load imbalance: {:.3}   bottleneck comm fraction: {:.1}%\n",
+        mapper.name(),
+        out.cost,
+        out.elapsed.as_secs_f64(),
+        out.evaluations,
+        out.iterations,
+        q.imbalance,
+        100.0 * q.comm_fraction_bottleneck,
+    );
+    if inst.is_square() {
+        let lb = bijective_lower_bound(&inst);
+        if lb > 0.0 {
+            text.push_str(&format!("optimality gap vs lower bound: {:.2}x\n", out.cost / lb));
+        }
+    }
+    if let Some(path) = args.options.get("out") {
+        write(path, &mapping_to_text(&out.mapping))?;
+        text.push_str(&format!("mapping written to {path}\n"));
+    }
+    Ok(text)
+}
+
+fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    let inst = load_instance(args)?;
+    let mapping = mapping_from_text(&read(args.required("mapping")?)?)
+        .map_err(CliError::Io)?;
+    mapping
+        .validate(&inst)
+        .map_err(|e| CliError::Io(format!("mapping does not fit the instance: {e}")))?;
+    let rounds: usize = args.parse_or("rounds", 1)?;
+    let mode = if args.has_switch("link") {
+        SimMode::LinkContention
+    } else if args.has_switch("blocking") {
+        SimMode::BlockingReceives
+    } else {
+        SimMode::PaperSerial
+    };
+    let rep = Simulator::new(&inst, SimConfig { rounds, mode, trace: false }).run(&mapping);
+    let mut text = format!(
+        "simulated {rounds} round(s), mode {mode:?}\nmakespan: {:.2} units   events: {}\n",
+        rep.makespan, rep.events
+    );
+    text.push_str(&format!(
+        "mean utilisation: {:.1}%\n",
+        100.0 * rep.mean_utilization()
+    ));
+    for (s, b) in rep.busy.iter().enumerate() {
+        text.push_str(&format!("  resource {s}: busy {b:.2}\n"));
+    }
+    Ok(text)
+}
+
+fn cmd_dot(args: &Args) -> Result<String, CliError> {
+    if let Some(path) = args.options.get("tig") {
+        let g = from_text(&read(path)?).map_err(|e| CliError::Io(format!("parsing: {e}")))?;
+        Ok(to_dot(&g, "tig"))
+    } else if let Some(path) = args.options.get("platform") {
+        let g = from_text(&read(path)?).map_err(|e| CliError::Io(format!("parsing: {e}")))?;
+        Ok(to_dot(&g, "platform"))
+    } else {
+        Err(CliError::MissingOption("tig (or platform)".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "matchctl-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run_tokens(tokens: &[&str]) -> Result<String, CliError> {
+        run(&Args::parse(tokens.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let s = run_tokens(&["help"]).unwrap();
+        assert!(s.contains("matchctl"));
+        assert!(s.contains("solve"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let a = Args::parse(["frobnicate"]).unwrap();
+        assert!(matches!(run(&a), Err(CliError::UnknownCommand(_))));
+    }
+
+    #[test]
+    fn full_pipeline_gen_info_solve_simulate() {
+        let dir = tmpdir();
+        let tig = dir.join("tig.txt");
+        let platform = dir.join("platform.txt");
+        let mapping = dir.join("mapping.txt");
+        let tig_s = tig.to_str().unwrap();
+        let plat_s = platform.to_str().unwrap();
+        let map_s = mapping.to_str().unwrap();
+
+        let s = run_tokens(&[
+            "gen", "--size", "8", "--seed", "3", "--out-tig", tig_s,
+            "--out-platform", plat_s,
+        ])
+        .unwrap();
+        assert!(s.contains("generated"));
+
+        let s = run_tokens(&["info", "--tig", tig_s, "--platform", plat_s]).unwrap();
+        assert!(s.contains("tasks: 8"));
+        assert!(s.contains("lower bound"));
+
+        let s = run_tokens(&[
+            "solve", "--tig", tig_s, "--platform", plat_s, "--algo", "greedy",
+            "--out", map_s,
+        ])
+        .unwrap();
+        assert!(s.contains("Greedy: ET ="));
+        assert!(s.contains("mapping written"));
+
+        let s = run_tokens(&[
+            "simulate", "--tig", tig_s, "--platform", plat_s, "--mapping", map_s,
+            "--rounds", "3",
+        ])
+        .unwrap();
+        assert!(s.contains("makespan"));
+        assert!(s.contains("resource 7"));
+
+        let s = run_tokens(&["dot", "--tig", tig_s]).unwrap();
+        assert!(s.starts_with("graph tig {"));
+
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn solve_with_matcher_on_generated_instance() {
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        run_tokens(&[
+            "gen", "--size", "6", "--out-tig", tig.to_str().unwrap(),
+            "--out-platform", plat.to_str().unwrap(),
+        ])
+        .unwrap();
+        let s = run_tokens(&[
+            "solve", "--tig", tig.to_str().unwrap(), "--platform",
+            plat.to_str().unwrap(), "--algo", "match", "--seed", "5",
+        ])
+        .unwrap();
+        assert!(s.contains("MaTCH: ET ="));
+        assert!(s.contains("optimality gap"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bad_algo_reported() {
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        run_tokens(&[
+            "gen", "--size", "4", "--out-tig", tig.to_str().unwrap(),
+            "--out-platform", plat.to_str().unwrap(),
+        ])
+        .unwrap();
+        let r = run_tokens(&[
+            "solve", "--tig", tig.to_str().unwrap(), "--platform",
+            plat.to_str().unwrap(), "--algo", "quantum",
+        ]);
+        assert!(matches!(r, Err(CliError::BadValue(_, _))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_files_reported() {
+        let r = run_tokens(&["info", "--tig", "/nonexistent/a", "--platform", "/nonexistent/b"]);
+        assert!(matches!(r, Err(CliError::Io(_))));
+    }
+
+    #[test]
+    fn overset_family_generates() {
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        let s = run_tokens(&[
+            "gen", "--size", "7", "--family", "overset",
+            "--out-tig", tig.to_str().unwrap(),
+            "--out-platform", plat.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(s.contains("overset"));
+        let s = run_tokens(&["info", "--tig", tig.to_str().unwrap(), "--platform", plat.to_str().unwrap()]).unwrap();
+        assert!(s.contains("tasks: 7"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,24 @@
+//! Library backing the `matchctl` command-line tool.
+//!
+//! `matchctl` makes the workspace usable without writing Rust:
+//!
+//! ```text
+//! matchctl gen --size 20 --seed 7 --out-tig tig.txt --out-platform platform.txt
+//! matchctl info --tig tig.txt --platform platform.txt
+//! matchctl solve --tig tig.txt --platform platform.txt --algo match --seed 1 --out mapping.txt
+//! matchctl simulate --tig tig.txt --platform platform.txt --mapping mapping.txt --rounds 10
+//! ```
+//!
+//! Instances use the plain-text format of `match_graph::io`; mappings
+//! are one `task resource` pair per line. Argument parsing is
+//! hand-rolled ([`args`]) to keep the workspace dependency-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod mapping_io;
+
+pub use args::{Args, CliError};
+pub use commands::{run, Command};

@@ -1,0 +1,78 @@
+//! Text I/O for mappings: one `task resource` pair per line, `#`
+//! comments allowed.
+
+use match_core::Mapping;
+
+/// Serialise a mapping.
+pub fn mapping_to_text(m: &Mapping) -> String {
+    let mut s = String::from("# matchkit mapping v1: task resource\n");
+    for (t, &r) in m.as_slice().iter().enumerate() {
+        s.push_str(&format!("{t} {r}\n"));
+    }
+    s
+}
+
+/// Parse a mapping produced by [`mapping_to_text`]. Tasks may appear in
+/// any order but must be dense `0..n` with no duplicates.
+pub fn mapping_from_text(input: &str) -> Result<Mapping, String> {
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let t: usize = parts
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| format!("line {}: expected task index", lineno + 1))?;
+        let r: usize = parts
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| format!("line {}: expected resource index", lineno + 1))?;
+        pairs.push((t, r));
+    }
+    let n = pairs.len();
+    let mut assign = vec![usize::MAX; n];
+    for (t, r) in pairs {
+        if t >= n {
+            return Err(format!("task {t} out of range (found {n} lines)"));
+        }
+        if assign[t] != usize::MAX {
+            return Err(format!("task {t} assigned twice"));
+        }
+        assign[t] = r;
+    }
+    Ok(Mapping::new(assign))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = Mapping::new(vec![2, 0, 1, 4, 3]);
+        let text = mapping_to_text(&m);
+        assert_eq!(mapping_from_text(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn order_independent() {
+        let m = mapping_from_text("2 5\n0 1\n1 3\n").unwrap();
+        assert_eq!(m.as_slice(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn rejects_gaps_and_duplicates() {
+        assert!(mapping_from_text("0 1\n0 2\n").is_err());
+        assert!(mapping_from_text("0 1\n5 2\n").is_err());
+        assert!(mapping_from_text("zero 1\n").is_err());
+    }
+
+    #[test]
+    fn empty_mapping() {
+        let m = mapping_from_text("# nothing\n").unwrap();
+        assert!(m.is_empty());
+    }
+}

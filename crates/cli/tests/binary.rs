@@ -1,0 +1,115 @@
+//! End-to-end tests driving the actual `matchctl` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn matchctl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_matchctl"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("matchctl-bin-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = matchctl().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+}
+
+#[test]
+fn no_args_exits_nonzero_with_hint() {
+    let out = matchctl().output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no command"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_command_reports_error() {
+    let out = matchctl().arg("bogus").output().unwrap();
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn full_pipeline_through_the_binary() {
+    let dir = tmpdir("pipeline");
+    let tig = dir.join("tig.txt");
+    let plat = dir.join("platform.txt");
+    let mapping = dir.join("mapping.txt");
+
+    let out = matchctl()
+        .args([
+            "gen", "--size", "8", "--seed", "5",
+            "--out-tig", tig.to_str().unwrap(),
+            "--out-platform", plat.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(tig.exists() && plat.exists());
+
+    let out = matchctl()
+        .args([
+            "solve", "--tig", tig.to_str().unwrap(), "--platform", plat.to_str().unwrap(),
+            "--algo", "hill", "--out", mapping.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ET ="));
+
+    let out = matchctl()
+        .args([
+            "simulate", "--tig", tig.to_str().unwrap(), "--platform", plat.to_str().unwrap(),
+            "--mapping", mapping.to_str().unwrap(), "--rounds", "2", "--link",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("LinkContention"), "{text}");
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn solve_is_deterministic_across_invocations() {
+    let dir = tmpdir("determinism");
+    let tig = dir.join("tig.txt");
+    let plat = dir.join("platform.txt");
+    matchctl()
+        .args([
+            "gen", "--size", "6",
+            "--out-tig", tig.to_str().unwrap(),
+            "--out-platform", plat.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let run = || {
+        let out = matchctl()
+            .args([
+                "solve", "--tig", tig.to_str().unwrap(), "--platform",
+                plat.to_str().unwrap(), "--algo", "greedy",
+            ])
+            .output()
+            .unwrap();
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let a = run();
+    let b = run();
+    // Strip the MT line (wall time varies); everything else matches.
+    let strip = |s: &str| {
+        s.lines()
+            .map(|l| l.split("MT =").next().unwrap_or(l).to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&a), strip(&b));
+    std::fs::remove_dir_all(dir).ok();
+}

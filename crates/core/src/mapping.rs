@@ -1,0 +1,214 @@
+//! Task→resource assignment vectors.
+
+use crate::problem::MappingInstance;
+
+/// A mapping `M : V_t → V_r`, stored as `assign[task] = resource`.
+///
+/// In the paper's experiments mappings are bijections (`|V_t| = |V_r|`,
+/// one task per resource); the type itself also represents many-to-one
+/// assignments for the generalised solver.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Mapping {
+    assign: Vec<usize>,
+}
+
+impl Mapping {
+    /// Wrap an assignment vector.
+    pub fn new(assign: Vec<usize>) -> Self {
+        Mapping { assign }
+    }
+
+    /// The identity mapping of size `n` (task `i` on resource `i`).
+    pub fn identity(n: usize) -> Self {
+        Mapping {
+            assign: (0..n).collect(),
+        }
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// True when no tasks are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.assign.is_empty()
+    }
+
+    /// Resource of task `t`.
+    pub fn resource_of(&self, t: usize) -> usize {
+        self.assign[t]
+    }
+
+    /// The raw assignment slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.assign
+    }
+
+    /// Reassign task `t` to `resource`.
+    pub fn set(&mut self, t: usize, resource: usize) {
+        self.assign[t] = resource;
+    }
+
+    /// Swap the resources of tasks `a` and `b`.
+    pub fn swap_tasks(&mut self, a: usize, b: usize) {
+        self.assign.swap(a, b);
+    }
+
+    /// Tasks assigned to `resource` (O(n) scan).
+    pub fn tasks_on(&self, resource: usize) -> Vec<usize> {
+        self.assign
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r == resource)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// True when the mapping is a bijection onto `0..len` — the validity
+    /// condition GenPerm enforces by construction.
+    pub fn is_permutation(&self) -> bool {
+        match_rngutil::perm::is_permutation(&self.assign)
+    }
+
+    /// Check the mapping against an instance: every task mapped, every
+    /// target a real resource; when the instance is square, additionally
+    /// require a bijection (the paper's validity rule).
+    pub fn validate(&self, inst: &MappingInstance) -> Result<(), MappingError> {
+        if self.assign.len() != inst.n_tasks() {
+            return Err(MappingError::WrongLength {
+                got: self.assign.len(),
+                want: inst.n_tasks(),
+            });
+        }
+        if let Some(&r) = self.assign.iter().find(|&&r| r >= inst.n_resources()) {
+            return Err(MappingError::ResourceOutOfRange {
+                resource: r,
+                n_resources: inst.n_resources(),
+            });
+        }
+        if inst.is_square() && !self.is_permutation() {
+            return Err(MappingError::NotBijective);
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<usize>> for Mapping {
+    fn from(assign: Vec<usize>) -> Self {
+        Mapping::new(assign)
+    }
+}
+
+/// Validation failures for a [`Mapping`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// The vector length does not match the task count.
+    WrongLength {
+        /// Tasks in the mapping.
+        got: usize,
+        /// Tasks in the instance.
+        want: usize,
+    },
+    /// Some task points at a non-existent resource.
+    ResourceOutOfRange {
+        /// The offending resource id.
+        resource: usize,
+        /// Number of resources in the instance.
+        n_resources: usize,
+    },
+    /// A square instance requires a bijective mapping.
+    NotBijective,
+}
+
+impl std::fmt::Display for MappingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingError::WrongLength { got, want } => {
+                write!(f, "mapping has {got} tasks, instance has {want}")
+            }
+            MappingError::ResourceOutOfRange { resource, n_resources } => {
+                write!(f, "resource {resource} out of range ({n_resources} resources)")
+            }
+            MappingError::NotBijective => write!(f, "square instance requires a bijection"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::MappingInstance;
+    use match_graph::gen::InstanceGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn square_instance(n: usize) -> MappingInstance {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        MappingInstance::from_pair(&InstanceGenerator::paper_family(n).generate(&mut rng))
+    }
+
+    #[test]
+    fn identity_is_permutation() {
+        let m = Mapping::identity(5);
+        assert_eq!(m.len(), 5);
+        assert!(m.is_permutation());
+        assert_eq!(m.resource_of(3), 3);
+    }
+
+    #[test]
+    fn tasks_on_scans_correctly() {
+        let m = Mapping::new(vec![2, 0, 2, 1]);
+        assert_eq!(m.tasks_on(2), vec![0, 2]);
+        assert_eq!(m.tasks_on(0), vec![1]);
+        assert_eq!(m.tasks_on(3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn set_and_swap() {
+        let mut m = Mapping::identity(4);
+        m.set(0, 3);
+        assert_eq!(m.resource_of(0), 3);
+        m.swap_tasks(0, 3);
+        assert_eq!(m.resource_of(0), 3);
+        assert_eq!(m.resource_of(3), 3);
+        m = Mapping::identity(4);
+        m.swap_tasks(1, 2);
+        assert_eq!(m.as_slice(), &[0, 2, 1, 3]);
+    }
+
+    #[test]
+    fn validate_accepts_good_mapping() {
+        let inst = square_instance(6);
+        assert!(Mapping::identity(6).validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_wrong_length() {
+        let inst = square_instance(6);
+        assert_eq!(
+            Mapping::identity(5).validate(&inst),
+            Err(MappingError::WrongLength { got: 5, want: 6 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let inst = square_instance(3);
+        assert!(matches!(
+            Mapping::new(vec![0, 1, 7]).validate(&inst),
+            Err(MappingError::ResourceOutOfRange { resource: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_duplicates_on_square() {
+        let inst = square_instance(3);
+        assert_eq!(
+            Mapping::new(vec![0, 0, 1]).validate(&inst),
+            Err(MappingError::NotBijective)
+        );
+    }
+}

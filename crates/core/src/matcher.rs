@@ -1,0 +1,529 @@
+//! The MaTCH algorithm (paper Figure 5).
+//!
+//! MaTCH is cross-entropy optimisation over the GenPerm permutation
+//! model: start from the uniform stochastic matrix (`p_ij = 1/|V_r|`),
+//! repeatedly sample `N = 2|V_r|²` candidate mappings with GenPerm
+//! (Figure 4), score them with the execution-time model (Eq. 2), fit the
+//! matrix to the `ρ`-elite (Eq. 11), smooth with `ζ = 0.3` (Eq. 13), and
+//! stop when each row's maximal element has been stable for `c = 5`
+//! iterations (Eq. 12).
+//!
+//! Sample evaluation dominates the run time (`N` independent Eq.-2
+//! evaluations per iteration) and is fanned out across threads with
+//! `match-par`.
+
+use crate::cost::exec_time;
+use crate::mapper::{Mapper, MapperOutcome};
+use crate::mapping::Mapping;
+use crate::problem::MappingInstance;
+use match_ce::driver::{minimize_with, CeConfig, CeTelemetry, StopReason};
+use match_ce::model::CeModel;
+use match_ce::models::assignment::AssignmentModel;
+use match_ce::models::permutation::PermutationModel;
+use match_ce::stochmatrix::StochasticMatrix;
+use rand::rngs::StdRng;
+use std::time::{Duration, Instant};
+
+/// MaTCH tunables. Defaults are the paper's §4–§5 choices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchConfig {
+    /// Focus parameter `ρ` (paper: `0.01 ≤ ρ ≤ 0.1`; experiments use the
+    /// upper end for stable elite counts at small `N`).
+    pub rho: f64,
+    /// Smoothing factor `ζ` of Eq. 13 (paper: `0.3`).
+    pub zeta: f64,
+    /// Samples per iteration; `None` selects the paper's `N = 2|V_r|²`.
+    pub sample_size: Option<usize>,
+    /// Hard iteration cap (safety net).
+    pub max_iters: usize,
+    /// Stability window `c` of Eq. 12 (paper: `5`).
+    pub stability_window: usize,
+    /// Tolerance for "equal" row maxima in Eq. 12.
+    pub stability_tol: f64,
+    /// Consecutive-stability window for the elite threshold `γ`
+    /// (Figure 2's rule; `0` disables). With smoothed updates this is
+    /// the rule that fires in practice once the sampled population has
+    /// collapsed onto one cost plateau.
+    pub gamma_window: usize,
+    /// Relative tolerance for "equal" γ values.
+    pub gamma_tol: f64,
+    /// Degenerate-matrix early stop tolerance.
+    pub degeneracy_tol: f64,
+    /// Worker threads for sample evaluation (`1` = sequential).
+    pub threads: usize,
+    /// Record a stochastic-matrix snapshot every `k` iterations
+    /// (Figure 3); `None` disables snapshots.
+    pub snapshot_every: Option<usize>,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            rho: 0.1,
+            zeta: 0.3,
+            sample_size: None,
+            max_iters: 1000,
+            stability_window: 5,
+            stability_tol: 1e-4,
+            gamma_window: 5,
+            gamma_tol: 1e-12,
+            degeneracy_tol: 1e-6,
+            threads: match_par::default_threads(),
+            snapshot_every: None,
+        }
+    }
+}
+
+impl MatchConfig {
+    /// The paper's sample count for `n` resources: `N = 2n²` ("there are
+    /// `|V_r|²` elements in the matrix and to evaluate each of them we
+    /// need a sample size of that order", §4).
+    pub fn effective_sample_size(&self, n: usize) -> usize {
+        self.sample_size.unwrap_or((2 * n * n).max(4))
+    }
+
+    fn ce_config(&self, n: usize) -> CeConfig {
+        CeConfig {
+            rho: self.rho,
+            sample_size: self.effective_sample_size(n),
+            zeta: self.zeta,
+            max_iters: self.max_iters,
+            stability_window: self.stability_window,
+            stability_tol: self.stability_tol,
+            degeneracy_tol: self.degeneracy_tol,
+            gamma_window: self.gamma_window,
+            gamma_tol: self.gamma_tol,
+        }
+    }
+}
+
+/// A stochastic-matrix snapshot (Figure 3 raw material).
+#[derive(Debug, Clone)]
+pub struct MatrixSnapshot {
+    /// Iteration index the snapshot was taken after.
+    pub iter: usize,
+    /// The matrix state.
+    pub matrix: StochasticMatrix,
+}
+
+/// Everything a MaTCH run produces.
+#[derive(Debug, Clone)]
+pub struct MatchOutcome {
+    /// The best mapping found.
+    pub mapping: Mapping,
+    /// Its execution time (Eq. 2).
+    pub cost: f64,
+    /// CE iterations executed.
+    pub iterations: usize,
+    /// Total objective evaluations.
+    pub evaluations: u64,
+    /// Wall-clock mapping time (the paper's MT).
+    pub elapsed: Duration,
+    /// Why the loop stopped.
+    pub stop_reason: StopReason,
+    /// Per-iteration statistics (γ, best/mean cost, entropy).
+    pub telemetry: CeTelemetry,
+    /// Matrix snapshots, when enabled.
+    pub snapshots: Vec<MatrixSnapshot>,
+}
+
+impl MatchOutcome {
+    /// Convert to the heuristic-agnostic [`MapperOutcome`].
+    pub fn into_mapper_outcome(self) -> MapperOutcome {
+        MapperOutcome {
+            mapping: self.mapping,
+            cost: self.cost,
+            evaluations: self.evaluations,
+            iterations: self.iterations,
+            elapsed: self.elapsed,
+        }
+    }
+}
+
+/// The MaTCH solver.
+///
+/// ```
+/// use match_core::{MappingInstance, MatchConfig, Matcher};
+/// use match_graph::gen::InstanceGenerator;
+/// use rand::{SeedableRng, rngs::StdRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let pair = InstanceGenerator::paper_family(8).generate(&mut rng);
+/// let inst = MappingInstance::from_pair(&pair);
+///
+/// let outcome = Matcher::new(MatchConfig::default()).run(&inst, &mut rng);
+/// assert!(outcome.mapping.is_permutation());
+/// assert_eq!(outcome.cost, match_core::exec_time(&inst, outcome.mapping.as_slice()));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Matcher {
+    config: MatchConfig,
+}
+
+impl Matcher {
+    /// Build a solver with the given configuration.
+    pub fn new(config: MatchConfig) -> Self {
+        Matcher { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MatchConfig {
+        &self.config
+    }
+
+    /// Run MaTCH on a square instance (bijective mappings via GenPerm).
+    ///
+    /// Panics when `|V_t| ≠ |V_r|` — use
+    /// [`Matcher::run_many_to_one`] for rectangular instances.
+    pub fn run(&self, inst: &MappingInstance, rng: &mut StdRng) -> MatchOutcome {
+        assert!(
+            inst.is_square(),
+            "MaTCH's GenPerm model needs |V_t| = |V_r| (got {} tasks, {} resources); \
+             use run_many_to_one instead",
+            inst.n_tasks(),
+            inst.n_resources()
+        );
+        let n = inst.n_tasks();
+        let mut model = PermutationModel::uniform(n);
+        self.drive(inst, rng, &mut model, |m| m.matrix().clone())
+    }
+
+    /// The many-to-one generalisation: rows are sampled independently
+    /// (duplicates allowed), supporting `|V_t| ≠ |V_r|`. This is the
+    /// "few simple modifications" §4 alludes to.
+    pub fn run_many_to_one(&self, inst: &MappingInstance, rng: &mut StdRng) -> MatchOutcome {
+        let mut model = AssignmentModel::uniform(inst.n_tasks(), inst.n_resources());
+        self.drive(inst, rng, &mut model, |m| m.matrix().clone())
+    }
+
+    /// Ablation arm: the §4 "naive" formulation over `χ̃` — rows sampled
+    /// independently with `S̃(x) = ∞` for non-bijective samples — on a
+    /// square instance. Quantifies what GenPerm buys.
+    pub fn run_naive_penalized(&self, inst: &MappingInstance, rng: &mut StdRng) -> MatchOutcome {
+        assert!(inst.is_square(), "the penalised ablation needs a square instance");
+        let n = inst.n_tasks();
+        let mut model = AssignmentModel::uniform(n, n);
+        let start = Instant::now();
+        let cfg = self.config.ce_config(n);
+        let threads = self.config.threads;
+        let snapshots = std::cell::RefCell::new(Vec::new());
+        let every = self.config.snapshot_every;
+        let outcome = minimize_with(
+            &mut model,
+            &cfg,
+            rng,
+            |samples: &[Vec<usize>]| {
+                match_par::parallel_map(samples.len(), threads, |i| {
+                    if match_rngutil::perm::is_permutation(&samples[i]) {
+                        exec_time(inst, &samples[i])
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+            },
+            |iter, m: &AssignmentModel| {
+                if let Some(k) = every {
+                    if iter % k.max(1) == 0 {
+                        snapshots.borrow_mut().push(MatrixSnapshot {
+                            iter,
+                            matrix: m.matrix().clone(),
+                        });
+                    }
+                }
+            },
+        );
+        MatchOutcome {
+            mapping: Mapping::new(outcome.best_sample),
+            cost: outcome.best_cost,
+            iterations: outcome.iterations,
+            evaluations: outcome.evaluations,
+            elapsed: start.elapsed(),
+            stop_reason: outcome.stop_reason,
+            telemetry: outcome.telemetry,
+            snapshots: snapshots.into_inner(),
+        }
+    }
+
+    fn drive<M>(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        model: &mut M,
+        snapshot: impl Fn(&M) -> StochasticMatrix,
+    ) -> MatchOutcome
+    where
+        M: CeModel<Sample = Vec<usize>>,
+    {
+        let start = Instant::now();
+        let cfg = self.config.ce_config(inst.n_resources().max(inst.n_tasks()));
+        let threads = self.config.threads;
+        let snapshots = std::cell::RefCell::new(Vec::new());
+        let every = self.config.snapshot_every;
+        let outcome = minimize_with(
+            model,
+            &cfg,
+            rng,
+            |samples: &[Vec<usize>]| {
+                match_par::parallel_map(samples.len(), threads, |i| exec_time(inst, &samples[i]))
+            },
+            |iter, m: &M| {
+                if let Some(k) = every {
+                    if iter % k.max(1) == 0 {
+                        snapshots.borrow_mut().push(MatrixSnapshot {
+                            iter,
+                            matrix: snapshot(m),
+                        });
+                    }
+                }
+            },
+        );
+        MatchOutcome {
+            mapping: Mapping::new(outcome.best_sample),
+            cost: outcome.best_cost,
+            iterations: outcome.iterations,
+            evaluations: outcome.evaluations,
+            elapsed: start.elapsed(),
+            stop_reason: outcome.stop_reason,
+            telemetry: outcome.telemetry,
+            snapshots: snapshots.into_inner(),
+        }
+    }
+}
+
+impl Mapper for Matcher {
+    fn name(&self) -> &str {
+        "MaTCH"
+    }
+
+    fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
+        self.run(inst, rng).into_mapper_outcome()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::exec_time;
+    use match_graph::gen::InstanceGenerator;
+    use match_rngutil::perm::random_permutation;
+    use rand::SeedableRng;
+
+    fn instance(n: usize, seed: u64) -> MappingInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MappingInstance::from_pair(&InstanceGenerator::paper_family(n).generate(&mut rng))
+    }
+
+    fn small_config() -> MatchConfig {
+        MatchConfig {
+            threads: 1,
+            ..MatchConfig::default()
+        }
+    }
+
+    #[test]
+    fn produces_valid_permutation_mapping() {
+        let inst = instance(10, 1);
+        let out = Matcher::new(small_config()).run(&inst, &mut StdRng::seed_from_u64(2));
+        assert!(out.mapping.validate(&inst).is_ok());
+        assert!(out.mapping.is_permutation());
+        assert_eq!(out.cost, exec_time(&inst, out.mapping.as_slice()));
+        assert!(out.iterations >= 1);
+        assert!(out.evaluations >= 200); // at least one iteration of 2·10²
+    }
+
+    #[test]
+    fn beats_random_sampling() {
+        let inst = instance(12, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        // 500 random permutations as the no-intelligence yardstick.
+        let mut acc = 0.0;
+        let mut best_random = f64::INFINITY;
+        for _ in 0..500 {
+            let c = exec_time(&inst, &random_permutation(12, &mut rng));
+            acc += c;
+            best_random = best_random.min(c);
+        }
+        let random_mean = acc / 500.0;
+        let out = Matcher::new(small_config()).run(&inst, &mut rng);
+        assert!(
+            out.cost < best_random,
+            "MaTCH {} vs best-of-500 random {best_random}",
+            out.cost
+        );
+        assert!(
+            out.cost < 0.8 * random_mean,
+            "MaTCH {} vs random mean {random_mean}",
+            out.cost
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = instance(8, 5);
+        let m = Matcher::new(small_config());
+        let a = m.run(&inst, &mut StdRng::seed_from_u64(6));
+        let b = m.run(&inst, &mut StdRng::seed_from_u64(6));
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn parallel_evaluation_same_results_as_sequential() {
+        // Thread count must not change the optimisation trajectory:
+        // sampling happens on the driver thread; only evaluation fans out.
+        let inst = instance(9, 7);
+        let seq = Matcher::new(MatchConfig { threads: 1, ..MatchConfig::default() })
+            .run(&inst, &mut StdRng::seed_from_u64(8));
+        let par = Matcher::new(MatchConfig { threads: 4, ..MatchConfig::default() })
+            .run(&inst, &mut StdRng::seed_from_u64(8));
+        assert_eq!(seq.mapping, par.mapping);
+        assert_eq!(seq.cost, par.cost);
+        assert_eq!(seq.iterations, par.iterations);
+    }
+
+    #[test]
+    fn sample_size_default_is_2n_squared() {
+        let cfg = MatchConfig::default();
+        assert_eq!(cfg.effective_sample_size(10), 200);
+        assert_eq!(cfg.effective_sample_size(50), 5000);
+        let cfg = MatchConfig { sample_size: Some(64), ..MatchConfig::default() };
+        assert_eq!(cfg.effective_sample_size(10), 64);
+    }
+
+    #[test]
+    fn snapshots_recorded_when_enabled() {
+        let inst = instance(8, 9);
+        let cfg = MatchConfig {
+            snapshot_every: Some(1),
+            threads: 1,
+            ..MatchConfig::default()
+        };
+        let out = Matcher::new(cfg).run(&inst, &mut StdRng::seed_from_u64(10));
+        assert_eq!(out.snapshots.len(), out.iterations);
+        // First snapshot is post-first-update; last should be far more
+        // concentrated than the first.
+        let first = &out.snapshots.first().unwrap().matrix;
+        let last = &out.snapshots.last().unwrap().matrix;
+        assert!(last.mean_entropy() < first.mean_entropy());
+    }
+
+    #[test]
+    fn telemetry_gamma_improves() {
+        let inst = instance(10, 11);
+        let out = Matcher::new(small_config()).run(&inst, &mut StdRng::seed_from_u64(12));
+        let first = out.telemetry.iters.first().unwrap().gamma;
+        let last = out.telemetry.iters.last().unwrap().gamma;
+        assert!(last < first, "gamma {first} -> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "GenPerm")]
+    fn square_run_rejects_rectangular_instance() {
+        use match_graph::gen::paper::PaperFamilyConfig;
+        use match_graph::InstancePair;
+        let mut rng = StdRng::seed_from_u64(13);
+        let tig = PaperFamilyConfig::new(6).generate_tig(&mut rng);
+        let resources = PaperFamilyConfig::new(4).generate_platform(&mut rng);
+        let inst = MappingInstance::from_pair(&InstancePair { tig, resources });
+        Matcher::new(small_config()).run(&inst, &mut rng);
+    }
+
+    #[test]
+    fn many_to_one_maps_rectangular_instance() {
+        use match_graph::gen::paper::PaperFamilyConfig;
+        use match_graph::InstancePair;
+        let mut rng = StdRng::seed_from_u64(14);
+        let tig = PaperFamilyConfig::new(12).generate_tig(&mut rng);
+        let resources = PaperFamilyConfig::new(4).generate_platform(&mut rng);
+        let inst = MappingInstance::from_pair(&InstancePair { tig, resources });
+        let cfg = MatchConfig { sample_size: Some(200), threads: 1, ..MatchConfig::default() };
+        let out = Matcher::new(cfg).run_many_to_one(&inst, &mut rng);
+        assert!(out.mapping.validate(&inst).is_ok());
+        assert_eq!(out.mapping.len(), 12);
+        assert!(out.mapping.as_slice().iter().all(|&r| r < 4));
+        assert_eq!(out.cost, exec_time(&inst, out.mapping.as_slice()));
+    }
+
+    #[test]
+    fn naive_penalized_still_finds_permutations() {
+        let inst = instance(6, 15);
+        let cfg = MatchConfig { sample_size: Some(400), threads: 1, ..MatchConfig::default() };
+        let out = Matcher::new(cfg).run_naive_penalized(&inst, &mut StdRng::seed_from_u64(16));
+        assert!(out.cost.is_finite(), "never found a bijection");
+        assert!(out.mapping.is_permutation());
+    }
+
+    #[test]
+    fn genperm_beats_naive_on_equal_budget() {
+        // The paper's motivation for GenPerm: restricted sampling wastes
+        // no samples on invalid mappings.
+        let inst = instance(8, 17);
+        let cfg = MatchConfig {
+            sample_size: Some(128),
+            max_iters: 30,
+            threads: 1,
+            ..MatchConfig::default()
+        };
+        let m = Matcher::new(cfg);
+        let gen = m.run(&inst, &mut StdRng::seed_from_u64(18));
+        let naive = m.run_naive_penalized(&inst, &mut StdRng::seed_from_u64(18));
+        assert!(
+            gen.cost <= naive.cost,
+            "GenPerm {} vs naive {}",
+            gen.cost,
+            naive.cost
+        );
+    }
+
+    #[test]
+    fn mu_stability_rule_fires_with_coarse_updates() {
+        // The paper's own configuration of Eq. 12: coarse updates
+        // (zeta = 1) drive row maxima to exact fixpoints, so with the
+        // gamma rule disabled the MuStable (or degenerate) path stops
+        // the run well before max_iters.
+        let inst = instance(8, 21);
+        let cfg = MatchConfig {
+            zeta: 1.0,
+            gamma_window: 0,
+            stability_tol: 1e-9,
+            threads: 1,
+            ..MatchConfig::default()
+        };
+        let out = Matcher::new(cfg).run(&inst, &mut StdRng::seed_from_u64(22));
+        assert!(
+            matches!(
+                out.stop_reason,
+                match_ce::driver::StopReason::MuStable
+                    | match_ce::driver::StopReason::Degenerate
+            ),
+            "stopped via {:?}",
+            out.stop_reason
+        );
+        assert!(out.iterations < 1000);
+        assert!(out.mapping.is_permutation());
+    }
+
+    #[test]
+    fn into_mapper_outcome_preserves_fields() {
+        let inst = instance(6, 23);
+        let out = Matcher::new(small_config()).run(&inst, &mut StdRng::seed_from_u64(24));
+        let (cost, evals, iters, mapping) =
+            (out.cost, out.evaluations, out.iterations, out.mapping.clone());
+        let mo = out.into_mapper_outcome();
+        assert_eq!(mo.cost, cost);
+        assert_eq!(mo.evaluations, evals);
+        assert_eq!(mo.iterations, iters);
+        assert_eq!(mo.mapping, mapping);
+    }
+
+    #[test]
+    fn mapper_trait_delegates() {
+        let inst = instance(8, 19);
+        let m = Matcher::new(small_config());
+        assert_eq!(m.name(), "MaTCH");
+        let out = m.map(&inst, &mut StdRng::seed_from_u64(20));
+        assert!(out.mapping.is_permutation());
+        assert!(out.elapsed.as_nanos() > 0);
+    }
+}

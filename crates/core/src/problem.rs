@@ -1,0 +1,178 @@
+//! The mapping problem instance: dense cost tables extracted from a
+//! TIG/platform pair.
+//!
+//! The cost model (Eq. 1) is evaluated tens of thousands of times per CE
+//! iteration, so the graph structures are flattened once into cache-
+//! friendly arrays: task computation weights, a CSR adjacency of
+//! interaction volumes, resource processing costs and the full link-cost
+//! matrix.
+
+use match_graph::{InstancePair, ResourceGraph, TaskGraph};
+
+/// A flattened mapping-problem instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingInstance {
+    /// `W^t` per task.
+    task_comp: Vec<f64>,
+    /// CSR offsets into `adj_targets` / `adj_volumes`, length `n_tasks + 1`.
+    adj_offsets: Vec<u32>,
+    /// Neighbour task ids, grouped per task.
+    adj_targets: Vec<u32>,
+    /// `C^{t,a}` per adjacency entry.
+    adj_volumes: Vec<f64>,
+    /// `w_s` per resource.
+    proc_cost: Vec<f64>,
+    /// `c_{s,b}` row-major, `n_resources²` entries.
+    link_cost: Vec<f64>,
+}
+
+impl MappingInstance {
+    /// Flatten a TIG/platform pair.
+    pub fn new(tig: &TaskGraph, resources: &ResourceGraph) -> Self {
+        let n = tig.len();
+        let mut adj_offsets = Vec::with_capacity(n + 1);
+        let mut adj_targets = Vec::new();
+        let mut adj_volumes = Vec::new();
+        adj_offsets.push(0u32);
+        for t in 0..n {
+            for (a, c) in tig.interactions(t) {
+                adj_targets.push(a as u32);
+                adj_volumes.push(c);
+            }
+            adj_offsets.push(adj_targets.len() as u32);
+        }
+        MappingInstance {
+            task_comp: (0..n).map(|t| tig.computation(t)).collect(),
+            adj_offsets,
+            adj_targets,
+            adj_volumes,
+            proc_cost: (0..resources.len())
+                .map(|s| resources.processing_cost(s))
+                .collect(),
+            link_cost: resources.link_cost_matrix().to_vec(),
+        }
+    }
+
+    /// Flatten an [`InstancePair`].
+    pub fn from_pair(pair: &InstancePair) -> Self {
+        MappingInstance::new(&pair.tig, &pair.resources)
+    }
+
+    /// Number of tasks `|V_t|`.
+    pub fn n_tasks(&self) -> usize {
+        self.task_comp.len()
+    }
+
+    /// Number of resources `|V_r|`.
+    pub fn n_resources(&self) -> usize {
+        self.proc_cost.len()
+    }
+
+    /// True when `|V_t| = |V_r|` (the paper's experimental regime).
+    pub fn is_square(&self) -> bool {
+        self.n_tasks() == self.n_resources()
+    }
+
+    /// `W^t`.
+    pub fn computation(&self, t: usize) -> f64 {
+        self.task_comp[t]
+    }
+
+    /// `w_s`.
+    pub fn processing_cost(&self, s: usize) -> f64 {
+        self.proc_cost[s]
+    }
+
+    /// `c_{s,b}` (0 on the diagonal).
+    pub fn link_cost(&self, s: usize, b: usize) -> f64 {
+        self.link_cost[s * self.n_resources() + b]
+    }
+
+    /// Interactions of task `t` as `(neighbour, volume)` pairs.
+    pub fn interactions(&self, t: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.adj_offsets[t] as usize;
+        let hi = self.adj_offsets[t + 1] as usize;
+        self.adj_targets[lo..hi]
+            .iter()
+            .zip(&self.adj_volumes[lo..hi])
+            .map(|(&a, &c)| (a as usize, c))
+    }
+
+    /// Interaction degree of task `t`.
+    pub fn degree(&self, t: usize) -> usize {
+        (self.adj_offsets[t + 1] - self.adj_offsets[t]) as usize
+    }
+
+    /// Total number of directed adjacency entries (`2|E_t|`).
+    pub fn adjacency_len(&self) -> usize {
+        self.adj_targets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_graph::gen::InstanceGenerator;
+    use match_graph::graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    pub(crate) fn tiny_instance() -> MappingInstance {
+        // TIG: 0-1 (volume 10), 1-2 (volume 20); W = [1, 2, 3].
+        let mut tg = Graph::from_node_weights(vec![1.0, 2.0, 3.0]).unwrap();
+        tg.add_edge(0, 1, 10.0).unwrap();
+        tg.add_edge(1, 2, 20.0).unwrap();
+        let tig = TaskGraph::new(tg).unwrap();
+        // Platform: complete K3; w = [1, 2, 4]; links all cost 5 except
+        // (0,2) which costs 7.
+        let mut rg = Graph::from_node_weights(vec![1.0, 2.0, 4.0]).unwrap();
+        rg.add_edge(0, 1, 5.0).unwrap();
+        rg.add_edge(1, 2, 5.0).unwrap();
+        rg.add_edge(0, 2, 7.0).unwrap();
+        let resources = ResourceGraph::new(rg).unwrap();
+        MappingInstance::new(&tig, &resources)
+    }
+
+    #[test]
+    fn flattening_preserves_structure() {
+        let inst = tiny_instance();
+        assert_eq!(inst.n_tasks(), 3);
+        assert_eq!(inst.n_resources(), 3);
+        assert!(inst.is_square());
+        assert_eq!(inst.computation(2), 3.0);
+        assert_eq!(inst.processing_cost(2), 4.0);
+        assert_eq!(inst.link_cost(0, 2), 7.0);
+        assert_eq!(inst.link_cost(1, 1), 0.0);
+        assert_eq!(inst.degree(1), 2);
+        assert_eq!(inst.adjacency_len(), 4);
+        let n1: Vec<(usize, f64)> = inst.interactions(1).collect();
+        assert!(n1.contains(&(0, 10.0)));
+        assert!(n1.contains(&(2, 20.0)));
+        assert_eq!(inst.interactions(0).collect::<Vec<_>>(), vec![(1, 10.0)]);
+    }
+
+    #[test]
+    fn from_pair_matches_new() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pair = InstanceGenerator::paper_family(12).generate(&mut rng);
+        let a = MappingInstance::from_pair(&pair);
+        let b = MappingInstance::new(&pair.tig, &pair.resources);
+        assert_eq!(a, b);
+        assert_eq!(a.n_tasks(), 12);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let pair = InstanceGenerator::paper_family(15).generate(&mut rng);
+        let inst = MappingInstance::from_pair(&pair);
+        for t in 0..15 {
+            for (a, c) in inst.interactions(t) {
+                assert!(
+                    inst.interactions(a).any(|(b, c2)| b == t && c2 == c),
+                    "asymmetric adjacency {t} <-> {a}"
+                );
+            }
+        }
+    }
+}

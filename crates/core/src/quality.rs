@@ -1,0 +1,214 @@
+//! Mapping-quality diagnostics: decomposition of Eq. 1, load-balance
+//! metrics, and instance lower bounds.
+//!
+//! The paper reports only raw ET values; these diagnostics let the
+//! reproduction's reports state *how good* a mapping is in absolute
+//! terms (optimality gap against a provable lower bound) and *why* it
+//! is good (compute/communication split, balance).
+
+use crate::cost::exec_per_resource;
+use crate::problem::MappingInstance;
+
+/// Breakdown of a mapping's cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingQuality {
+    /// Eq. 2 makespan.
+    pub makespan: f64,
+    /// Total processing time summed over resources.
+    pub total_compute: f64,
+    /// Total communication time summed over resources.
+    pub total_comm: f64,
+    /// Mean per-resource load.
+    pub mean_load: f64,
+    /// Load imbalance: `makespan / mean_load` (1.0 = perfectly level).
+    pub imbalance: f64,
+    /// Fraction of the busiest resource's time spent communicating.
+    pub comm_fraction_bottleneck: f64,
+}
+
+/// Analyse `assign` on `inst`.
+pub fn analyze(inst: &MappingInstance, assign: &[usize]) -> MappingQuality {
+    let loads = exec_per_resource(inst, assign);
+    let makespan = loads.iter().copied().fold(0.0, f64::max);
+    let n_res = inst.n_resources().max(1);
+
+    // Recompute the split per resource (compute vs comm).
+    let mut compute = vec![0.0f64; inst.n_resources()];
+    for (t, &s) in assign.iter().enumerate() {
+        compute[s] += inst.computation(t) * inst.processing_cost(s);
+    }
+    let total_compute: f64 = compute.iter().sum();
+    let total_load: f64 = loads.iter().sum();
+    let total_comm = (total_load - total_compute).max(0.0);
+
+    let bottleneck = loads
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(s, _)| s);
+    let comm_fraction_bottleneck = match bottleneck {
+        Some(s) if loads[s] > 0.0 => (loads[s] - compute[s]).max(0.0) / loads[s],
+        _ => 0.0,
+    };
+    let mean_load = total_load / n_res as f64;
+    MappingQuality {
+        makespan,
+        total_compute,
+        total_comm,
+        mean_load,
+        imbalance: if mean_load > 0.0 { makespan / mean_load } else { 1.0 },
+        comm_fraction_bottleneck,
+    }
+}
+
+/// A provable lower bound on Eq. 2 over *all* mappings (bijective or
+/// not): the best over
+///
+/// * **work bound** — even with communication free and work perfectly
+///   divisible, `Σ_t W^t / Σ_s (1/w_s)` time is unavoidable (each
+///   resource `s` processes at speed `1/w_s`);
+/// * **task bound** — some task must run somewhere:
+///   `max_t W^t · min_s w_s`.
+pub fn lower_bound(inst: &MappingInstance) -> f64 {
+    let n_res = inst.n_resources();
+    let n_tasks = inst.n_tasks();
+    if n_res == 0 || n_tasks == 0 {
+        return 0.0;
+    }
+    let total_work: f64 = (0..n_tasks).map(|t| inst.computation(t)).sum();
+    let total_speed: f64 = (0..n_res).map(|s| 1.0 / inst.processing_cost(s)).sum();
+    let work_bound = total_work / total_speed;
+
+    let min_cost = (0..n_res)
+        .map(|s| inst.processing_cost(s))
+        .fold(f64::INFINITY, f64::min);
+    let task_bound = (0..n_tasks)
+        .map(|t| inst.computation(t))
+        .fold(0.0, f64::max)
+        * min_cost;
+
+    work_bound.max(task_bound)
+}
+
+/// A tighter lower bound for the paper's regime (`|V_t| = |V_r|`,
+/// bijective mappings): with exactly one task per resource, every task
+/// pays its own computation plus *all* of its communication at the
+/// platform's cheapest per-unit link cost — so the bottleneck task's
+/// cheapest possible placement bounds the makespan.
+pub fn bijective_lower_bound(inst: &MappingInstance) -> f64 {
+    if !inst.is_square() || inst.n_tasks() == 0 {
+        return lower_bound(inst);
+    }
+    let n = inst.n_tasks();
+    let min_proc = (0..n)
+        .map(|s| inst.processing_cost(s))
+        .fold(f64::INFINITY, f64::min);
+    // Cheapest nonzero link cost on the platform.
+    let mut min_link = f64::INFINITY;
+    for s in 0..n {
+        for b in 0..n {
+            if s != b {
+                min_link = min_link.min(inst.link_cost(s, b));
+            }
+        }
+    }
+    if !min_link.is_finite() {
+        min_link = 0.0;
+    }
+    let per_task = (0..n).map(|t| {
+        let volume: f64 = inst.interactions(t).map(|(_, c)| c).sum();
+        inst.computation(t) * min_proc + volume * min_link
+    });
+    per_task.fold(0.0, f64::max).max(lower_bound(inst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::exec_time;
+    use match_graph::gen::InstanceGenerator;
+    use match_rngutil::perm::random_permutation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn instance(n: usize, seed: u64) -> MappingInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MappingInstance::from_pair(&InstanceGenerator::paper_family(n).generate(&mut rng))
+    }
+
+    #[test]
+    fn analysis_consistent_with_cost_model() {
+        let inst = instance(10, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let assign = random_permutation(10, &mut rng);
+            let q = analyze(&inst, &assign);
+            assert_eq!(q.makespan, exec_time(&inst, &assign));
+            assert!(q.imbalance >= 1.0 - 1e-12);
+            assert!((0.0..=1.0).contains(&q.comm_fraction_bottleneck));
+            assert!(q.total_compute > 0.0);
+            let total = q.total_compute + q.total_comm;
+            assert!((q.mean_load * 10.0 - total).abs() < 1e-6 * total);
+        }
+    }
+
+    #[test]
+    fn colocated_mapping_has_zero_comm() {
+        let inst = instance(8, 3);
+        let q = analyze(&inst, &[0; 8]);
+        assert_eq!(q.total_comm, 0.0);
+        assert_eq!(q.comm_fraction_bottleneck, 0.0);
+        // All load on one of 8 resources → imbalance = 8.
+        assert!((q.imbalance - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_bounds_hold_for_many_mappings() {
+        let inst = instance(12, 5);
+        let lb = lower_bound(&inst);
+        let blb = bijective_lower_bound(&inst);
+        assert!(lb > 0.0);
+        assert!(blb >= lb);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let assign = random_permutation(12, &mut rng);
+            let et = exec_time(&inst, &assign);
+            assert!(et >= blb - 1e-9, "ET {et} below bijective bound {blb}");
+        }
+    }
+
+    #[test]
+    fn work_bound_matches_hand_computation() {
+        use match_graph::graph::Graph;
+        use match_graph::{ResourceGraph, TaskGraph};
+        // 2 tasks (W = 4, 6) on 2 resources (w = 1, 2), no edges.
+        let tig = TaskGraph::new(Graph::from_node_weights(vec![4.0, 6.0]).unwrap()).unwrap();
+        let mut rg = Graph::from_node_weights(vec![1.0, 2.0]).unwrap();
+        rg.add_edge(0, 1, 10.0).unwrap();
+        let res = ResourceGraph::new(rg).unwrap();
+        let inst = MappingInstance::new(&tig, &res);
+        // work bound = 10 / (1 + 0.5) = 6.667; task bound = 6·1 = 6.
+        assert!((lower_bound(&inst) - 10.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_instance_bounds_are_zero() {
+        use match_graph::graph::Graph;
+        use match_graph::{ResourceGraph, TaskGraph};
+        let tig = TaskGraph::new(Graph::new()).unwrap();
+        let res = ResourceGraph::new(Graph::new()).unwrap();
+        let inst = MappingInstance::new(&tig, &res);
+        assert_eq!(lower_bound(&inst), 0.0);
+        assert_eq!(bijective_lower_bound(&inst), 0.0);
+    }
+
+    #[test]
+    fn matcher_result_respects_bound_and_reports_gap() {
+        let inst = instance(10, 7);
+        let out = crate::Matcher::default().run(&inst, &mut StdRng::seed_from_u64(8));
+        let blb = bijective_lower_bound(&inst);
+        assert!(out.cost >= blb - 1e-9);
+        // The gap should be a modest factor, not orders of magnitude.
+        assert!(out.cost / blb < 50.0, "gap {}", out.cost / blb);
+    }
+}

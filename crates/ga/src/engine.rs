@@ -1,0 +1,472 @@
+//! The FastMap-GA engine: roulette selection, crossover, mutation,
+//! elitism, fixed generation budget.
+
+use crate::chromosome::Chromosome;
+use crate::operators::{crossover, mutate};
+use crate::variants::{inversion_mutate, order_crossover, tournament_select};
+use match_core::{exec_time, Mapper, MapperOutcome, MappingInstance};
+use match_rngutil::roulette::RouletteWheel;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::Instant;
+
+/// Parent-selection operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionOp {
+    /// Fitness-proportional roulette wheel over `K/Exec` (paper §5.1).
+    Roulette,
+    /// Tournament of the given size (literature variant; stronger
+    /// pressure when costs cluster).
+    Tournament(usize),
+}
+
+/// Crossover operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossoverOp {
+    /// Single-point with duplicate repair (paper Figure 6a).
+    SinglePointRepair,
+    /// Order crossover (OX).
+    Order,
+}
+
+/// Mutation operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationOp {
+    /// Per-gene swap (paper Figure 6b).
+    Swap,
+    /// Whole-chromosome segment inversion.
+    Inversion,
+}
+
+/// GA tunables (defaults from §5.1/§5.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaConfig {
+    /// Population size (paper main runs: 500).
+    pub population: usize,
+    /// Number of generations (paper main runs: 1000).
+    pub generations: usize,
+    /// Crossover probability (paper: 0.85).
+    pub crossover_prob: f64,
+    /// Per-gene mutation probability (paper: 0.07).
+    pub mutation_prob: f64,
+    /// Fitness scale `K` in `Ψ = K / Exec`. Roulette selection is
+    /// scale-invariant, so this only affects reported fitness values.
+    pub fitness_k: f64,
+    /// Keep the best individual unconditionally (paper: yes).
+    pub elitism: bool,
+    /// Parent selection (paper: roulette).
+    pub selection: SelectionOp,
+    /// Crossover operator (paper: single-point with repair).
+    pub crossover_op: CrossoverOp,
+    /// Mutation operator (paper: per-gene swap).
+    pub mutation_op: MutationOp,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig::paper_default()
+    }
+}
+
+impl GaConfig {
+    /// The main-experiment configuration: population 500, 1000
+    /// generations.
+    pub fn paper_default() -> Self {
+        GaConfig {
+            population: 500,
+            generations: 1000,
+            crossover_prob: 0.85,
+            mutation_prob: 0.07,
+            fitness_k: 1.0,
+            elitism: true,
+            selection: SelectionOp::Roulette,
+            crossover_op: CrossoverOp::SinglePointRepair,
+            mutation_op: MutationOp::Swap,
+        }
+    }
+
+    /// ANOVA arm "FastMap-GA 100/10000": population 100, 10 000
+    /// generations.
+    pub fn anova_100_10000() -> Self {
+        GaConfig {
+            population: 100,
+            generations: 10_000,
+            ..GaConfig::paper_default()
+        }
+    }
+
+    /// ANOVA arm "FastMap-GA 1000/1000": population 1000, 1000
+    /// generations.
+    pub fn anova_1000_1000() -> Self {
+        GaConfig {
+            population: 1000,
+            generations: 1000,
+            ..GaConfig::paper_default()
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.population >= 2, "population must be at least 2");
+        assert!(self.generations >= 1, "need at least one generation");
+        assert!(
+            (0.0..=1.0).contains(&self.crossover_prob),
+            "crossover probability out of [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.mutation_prob),
+            "mutation probability out of [0,1]"
+        );
+        assert!(self.fitness_k > 0.0, "fitness scale must be positive");
+    }
+}
+
+/// GA result with per-generation telemetry.
+#[derive(Debug, Clone)]
+pub struct GaOutcome {
+    /// The heuristic-agnostic outcome (best mapping, ET, MT, counters).
+    pub outcome: MapperOutcome,
+    /// Best cost after each generation (length = generations run).
+    pub best_per_generation: Vec<f64>,
+}
+
+/// The FastMap-GA solver.
+///
+/// ```
+/// use match_core::MappingInstance;
+/// use match_ga::{FastMapGa, GaConfig};
+/// use match_graph::gen::InstanceGenerator;
+/// use rand::{SeedableRng, rngs::StdRng};
+///
+/// let mut rng = StdRng::seed_from_u64(9);
+/// let pair = InstanceGenerator::paper_family(8).generate(&mut rng);
+/// let inst = MappingInstance::from_pair(&pair);
+///
+/// let cfg = GaConfig { population: 40, generations: 30, ..GaConfig::paper_default() };
+/// let out = FastMapGa::new(cfg).run(&inst, &mut rng);
+/// assert!(out.outcome.mapping.is_permutation());
+/// // Elitism makes the best-so-far curve monotone.
+/// assert!(out.best_per_generation.windows(2).all(|w| w[1] <= w[0]));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FastMapGa {
+    config: GaConfig,
+}
+
+impl FastMapGa {
+    /// Build a solver with the given configuration.
+    pub fn new(config: GaConfig) -> Self {
+        FastMapGa { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    /// Run the GA with full telemetry.
+    pub fn run(&self, inst: &MappingInstance, rng: &mut StdRng) -> GaOutcome {
+        self.config.validate();
+        assert!(
+            inst.is_square(),
+            "FastMap-GA's permutation encoding needs |V_t| = |V_r|"
+        );
+        let start = Instant::now();
+        let n = inst.n_tasks();
+        let pop_size = self.config.population;
+
+        // Initial population: random permutations (§5.1).
+        let mut population: Vec<Chromosome> =
+            (0..pop_size).map(|_| Chromosome::random(n, rng)).collect();
+        let mut costs: Vec<f64> = population
+            .iter()
+            .map(|c| exec_time(inst, c.to_mapping().as_slice()))
+            .collect();
+        let mut evaluations = pop_size as u64;
+
+        let mut best_idx = argmin(&costs);
+        let mut best = population[best_idx].clone();
+        let mut best_cost = costs[best_idx];
+        let mut best_per_generation = Vec::with_capacity(self.config.generations);
+
+        let mut next_pop: Vec<Chromosome> = Vec::with_capacity(pop_size);
+        for _gen in 0..self.config.generations {
+            // Fitness Ψ = K / Exec and the configured selection over it.
+            let wheel = match self.config.selection {
+                SelectionOp::Roulette => {
+                    let fitness: Vec<f64> = costs
+                        .iter()
+                        .map(|&c| {
+                            if c > 0.0 {
+                                self.config.fitness_k / c
+                            } else {
+                                f64::MAX
+                            }
+                        })
+                        .collect();
+                    Some(
+                        RouletteWheel::new(&fitness)
+                            .expect("positive costs give positive fitness"),
+                    )
+                }
+                SelectionOp::Tournament(_) => None,
+            };
+            let select = |rng: &mut StdRng| -> usize {
+                match self.config.selection {
+                    SelectionOp::Roulette => wheel.as_ref().expect("built above").spin(rng),
+                    SelectionOp::Tournament(k) => tournament_select(&costs, k, rng),
+                }
+            };
+
+            next_pop.clear();
+            if self.config.elitism {
+                next_pop.push(best.clone());
+            }
+            while next_pop.len() < pop_size {
+                let p1 = &population[select(rng)];
+                let mut child = if rng.random::<f64>() < self.config.crossover_prob {
+                    let p2 = &population[select(rng)];
+                    match self.config.crossover_op {
+                        CrossoverOp::SinglePointRepair => crossover(p1, p2, rng),
+                        CrossoverOp::Order => order_crossover(p1, p2, rng),
+                    }
+                } else {
+                    p1.clone()
+                };
+                match self.config.mutation_op {
+                    MutationOp::Swap => mutate(&mut child, self.config.mutation_prob, rng),
+                    MutationOp::Inversion => {
+                        inversion_mutate(&mut child, self.config.mutation_prob, rng)
+                    }
+                }
+                next_pop.push(child);
+            }
+            std::mem::swap(&mut population, &mut next_pop);
+
+            costs.clear();
+            costs.extend(
+                population
+                    .iter()
+                    .map(|c| exec_time(inst, c.to_mapping().as_slice())),
+            );
+            evaluations += pop_size as u64;
+
+            best_idx = argmin(&costs);
+            if costs[best_idx] < best_cost {
+                best_cost = costs[best_idx];
+                best = population[best_idx].clone();
+            }
+            best_per_generation.push(best_cost);
+        }
+
+        GaOutcome {
+            outcome: MapperOutcome {
+                mapping: best.to_mapping(),
+                cost: best_cost,
+                evaluations,
+                iterations: self.config.generations,
+                elapsed: start.elapsed(),
+            },
+            best_per_generation,
+        }
+    }
+}
+
+fn argmin(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+impl Mapper for FastMapGa {
+    fn name(&self) -> &str {
+        "FastMap-GA"
+    }
+
+    fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
+        self.run(inst, rng).outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_graph::gen::InstanceGenerator;
+    use match_rngutil::perm::random_permutation;
+    use rand::SeedableRng;
+
+    fn instance(n: usize, seed: u64) -> MappingInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MappingInstance::from_pair(&InstanceGenerator::paper_family(n).generate(&mut rng))
+    }
+
+    fn small_config() -> GaConfig {
+        GaConfig {
+            population: 60,
+            generations: 60,
+            ..GaConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn produces_valid_mapping() {
+        let inst = instance(10, 1);
+        let out = FastMapGa::new(small_config()).run(&inst, &mut StdRng::seed_from_u64(2));
+        assert!(out.outcome.mapping.validate(&inst).is_ok());
+        assert_eq!(
+            out.outcome.cost,
+            exec_time(&inst, out.outcome.mapping.as_slice())
+        );
+        assert_eq!(out.best_per_generation.len(), 60);
+        assert_eq!(out.outcome.evaluations, 61 * 60);
+    }
+
+    #[test]
+    fn best_curve_is_monotone_with_elitism() {
+        let inst = instance(12, 3);
+        let out = FastMapGa::new(small_config()).run(&inst, &mut StdRng::seed_from_u64(4));
+        for w in out.best_per_generation.windows(2) {
+            assert!(w[1] <= w[0], "elitism must make the best monotone");
+        }
+    }
+
+    #[test]
+    fn improves_over_initial_random_population() {
+        let inst = instance(12, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut random_best = f64::INFINITY;
+        for _ in 0..60 {
+            random_best =
+                random_best.min(exec_time(&inst, &random_permutation(12, &mut rng)));
+        }
+        let out = FastMapGa::new(small_config()).run(&inst, &mut rng);
+        assert!(
+            out.outcome.cost <= random_best,
+            "GA {} vs best initial {}",
+            out.outcome.cost,
+            random_best
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = instance(8, 7);
+        let ga = FastMapGa::new(small_config());
+        let a = ga.run(&inst, &mut StdRng::seed_from_u64(8));
+        let b = ga.run(&inst, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a.outcome.mapping, b.outcome.mapping);
+        assert_eq!(a.best_per_generation, b.best_per_generation);
+    }
+
+    #[test]
+    fn anova_configs_match_paper() {
+        let a = GaConfig::anova_100_10000();
+        assert_eq!((a.population, a.generations), (100, 10_000));
+        let b = GaConfig::anova_1000_1000();
+        assert_eq!((b.population, b.generations), (1000, 1000));
+        let d = GaConfig::paper_default();
+        assert_eq!((d.population, d.generations), (500, 1000));
+        assert_eq!(d.crossover_prob, 0.85);
+        assert_eq!(d.mutation_prob, 0.07);
+    }
+
+    #[test]
+    fn mapper_trait_delegates() {
+        let inst = instance(8, 9);
+        let ga = FastMapGa::new(small_config());
+        assert_eq!(ga.name(), "FastMap-GA");
+        let out = ga.map(&inst, &mut StdRng::seed_from_u64(10));
+        assert!(out.mapping.is_permutation());
+        assert_eq!(out.iterations, 60);
+    }
+
+    #[test]
+    fn no_elitism_still_tracks_best_ever() {
+        let inst = instance(10, 11);
+        let cfg = GaConfig {
+            elitism: false,
+            ..small_config()
+        };
+        let out = FastMapGa::new(cfg).run(&inst, &mut StdRng::seed_from_u64(12));
+        // best_per_generation is a running best, so still monotone.
+        for w in out.best_per_generation.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert!(out.outcome.mapping.is_permutation());
+    }
+
+    #[test]
+    fn variant_operators_produce_valid_mappings() {
+        let inst = instance(10, 21);
+        for selection in [SelectionOp::Roulette, SelectionOp::Tournament(3)] {
+            for crossover_op in [CrossoverOp::SinglePointRepair, CrossoverOp::Order] {
+                for mutation_op in [MutationOp::Swap, MutationOp::Inversion] {
+                    let cfg = GaConfig {
+                        population: 30,
+                        generations: 20,
+                        selection,
+                        crossover_op,
+                        mutation_op,
+                        ..GaConfig::paper_default()
+                    };
+                    let out = FastMapGa::new(cfg).run(&inst, &mut StdRng::seed_from_u64(22));
+                    assert!(
+                        out.outcome.mapping.is_permutation(),
+                        "{selection:?}/{crossover_op:?}/{mutation_op:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tournament_selection_converges_faster_on_clustered_costs() {
+        // Roulette over K/Exec has almost no pressure when costs are
+        // within a few percent of each other; tournament keeps working.
+        let inst = instance(14, 23);
+        let base = GaConfig {
+            population: 80,
+            generations: 120,
+            ..GaConfig::paper_default()
+        };
+        let roulette = FastMapGa::new(base.clone())
+            .run(&inst, &mut StdRng::seed_from_u64(24));
+        let tournament = FastMapGa::new(GaConfig {
+            selection: SelectionOp::Tournament(4),
+            ..base
+        })
+        .run(&inst, &mut StdRng::seed_from_u64(24));
+        assert!(
+            tournament.outcome.cost <= roulette.outcome.cost * 1.02,
+            "tournament {} vs roulette {}",
+            tournament.outcome.cost,
+            roulette.outcome.cost
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn rejects_tiny_population() {
+        let inst = instance(5, 13);
+        let cfg = GaConfig {
+            population: 1,
+            ..GaConfig::paper_default()
+        };
+        FastMapGa::new(cfg).run(&inst, &mut StdRng::seed_from_u64(14));
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation encoding")]
+    fn rejects_rectangular_instance() {
+        use match_graph::gen::paper::PaperFamilyConfig;
+        use match_graph::InstancePair;
+        let mut rng = StdRng::seed_from_u64(15);
+        let tig = PaperFamilyConfig::new(6).generate_tig(&mut rng);
+        let resources = PaperFamilyConfig::new(4).generate_platform(&mut rng);
+        let inst = MappingInstance::from_pair(&InstancePair { tig, resources });
+        FastMapGa::new(small_config()).run(&inst, &mut rng);
+    }
+}

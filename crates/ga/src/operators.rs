@@ -1,0 +1,182 @@
+//! GA variation operators (paper Figure 6).
+
+use crate::chromosome::Chromosome;
+use rand::Rng;
+
+/// Single-point crossover with duplicate repair (Figure 6a).
+///
+/// 1. Copy the first half of `parent1` onto the child.
+/// 2. For each second-half position, take `parent2`'s gene at that
+///    position; "if any of the genes of the second half of the second
+///    parent causes a duplicate mapping, choose (in order) a gene from
+///    the first half of the second parent that does not cause a
+///    duplicate". A final fallback over all of `parent2` covers the
+///    odd-length corner case where the first half alone cannot supply a
+///    fresh gene.
+pub fn crossover<R: Rng + ?Sized>(
+    parent1: &Chromosome,
+    parent2: &Chromosome,
+    rng: &mut R,
+) -> Chromosome {
+    let n = parent1.len();
+    assert_eq!(n, parent2.len(), "parent length mismatch");
+    let _ = rng; // the paper's operator is deterministic given the parents
+    if n == 0 {
+        return parent1.clone();
+    }
+    let half = n / 2;
+    let mut genes = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    for r in 0..half {
+        let g = parent1.gene(r);
+        genes.push(g);
+        used[g] = true;
+    }
+    for r in half..n {
+        let candidate = parent2.gene(r);
+        let gene = if !used[candidate] {
+            candidate
+        } else {
+            // In-order scan of parent2's first half…
+            (0..half)
+                .map(|i| parent2.gene(i))
+                .find(|&g| !used[g])
+                // …falling back to any unused gene of parent2 (odd n).
+                .unwrap_or_else(|| {
+                    (0..n)
+                        .map(|i| parent2.gene(i))
+                        .find(|&g| !used[g])
+                        .expect("some gene is unused")
+                })
+        };
+        genes.push(gene);
+        used[gene] = true;
+    }
+    Chromosome::new(genes)
+}
+
+/// Per-gene swap mutation (Figure 6b): each gene independently mutates
+/// with probability `p`, exchanging its value with a uniformly chosen
+/// other position — the standard permutation-preserving reading of a
+/// "mutation operator applied on each gene based on the mutation
+/// probability".
+pub fn mutate<R: Rng + ?Sized>(c: &mut Chromosome, p: f64, rng: &mut R) {
+    let n = c.len();
+    if n < 2 {
+        return;
+    }
+    for i in 0..n {
+        if rng.random::<f64>() < p {
+            let j = rng.random_range(0..n);
+            c.genes_mut().swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_rngutil::perm::is_permutation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crossover_yields_permutations() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1, 2, 3, 7, 8, 15, 20] {
+            for _ in 0..50 {
+                let a = Chromosome::random(n, &mut rng);
+                let b = Chromosome::random(n, &mut rng);
+                let child = crossover(&a, &b, &mut rng);
+                assert_eq!(child.len(), n);
+                assert!(is_permutation(child.genes()), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_copies_first_half_of_parent1() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Chromosome::new(vec![3, 1, 4, 0, 2, 5]);
+        let b = Chromosome::new(vec![5, 4, 3, 2, 1, 0]);
+        let child = crossover(&a, &b, &mut rng);
+        assert_eq!(&child.genes()[..3], &[3, 1, 4]);
+    }
+
+    #[test]
+    fn crossover_prefers_parent2_second_half_genes() {
+        let mut rng = StdRng::seed_from_u64(13);
+        // a = [0,1,2,3]; b = [1,0,3,2]. Child first half [0,1].
+        // Position 2: b[2]=3 not used -> 3. Position 3: b[3]=2 -> 2.
+        let a = Chromosome::new(vec![0, 1, 2, 3]);
+        let b = Chromosome::new(vec![1, 0, 3, 2]);
+        let child = crossover(&a, &b, &mut rng);
+        assert_eq!(child.genes(), &[0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn crossover_repairs_duplicates_from_first_half_in_order() {
+        let mut rng = StdRng::seed_from_u64(14);
+        // a = [0,1,2,3]; b = [2,1,0,3] (wait: b must be a permutation).
+        // Child first half = [0,1]. Position 2: b[2] = 0 → duplicate;
+        // scan b's first half in order: b[0] = 2 unused → take 2.
+        // Position 3: b[3] = 3 unused → 3.
+        let a = Chromosome::new(vec![0, 1, 2, 3]);
+        let b = Chromosome::new(vec![2, 1, 0, 3]);
+        let child = crossover(&a, &b, &mut rng);
+        assert_eq!(child.genes(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn identical_parents_reproduce_themselves() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let a = Chromosome::new(vec![4, 2, 0, 1, 3]);
+        let child = crossover(&a, &a.clone(), &mut rng);
+        assert_eq!(child, a);
+    }
+
+    #[test]
+    fn mutation_preserves_permutations() {
+        let mut rng = StdRng::seed_from_u64(16);
+        for _ in 0..100 {
+            let mut c = Chromosome::random(12, &mut rng);
+            mutate(&mut c, 0.5, &mut rng);
+            assert!(is_permutation(c.genes()));
+        }
+    }
+
+    #[test]
+    fn zero_probability_never_mutates() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut c = Chromosome::random(10, &mut rng);
+        let before = c.clone();
+        mutate(&mut c, 0.0, &mut rng);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn high_probability_usually_changes() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut changed = 0;
+        for _ in 0..50 {
+            let mut c = Chromosome::random(10, &mut rng);
+            let before = c.clone();
+            mutate(&mut c, 1.0, &mut rng);
+            if c != before {
+                changed += 1;
+            }
+        }
+        assert!(changed > 40, "only {changed}/50 mutated");
+    }
+
+    #[test]
+    fn tiny_chromosomes_survive_mutation() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut c = Chromosome::new(vec![0]);
+        mutate(&mut c, 1.0, &mut rng);
+        assert_eq!(c.genes(), &[0]);
+        let mut c = Chromosome::new(vec![]);
+        mutate(&mut c, 1.0, &mut rng);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! GA operator variants beyond the paper's §5.1 choices.
+//!
+//! The paper fixes roulette selection and its single-point repair
+//! crossover. These variants — standard in the permutation-GA
+//! literature — let the ablation harness ask whether FastMap-GA's weak
+//! showing is intrinsic to GAs or an artefact of its operators:
+//!
+//! * [`tournament_select`] — selection with adjustable pressure
+//!   (roulette over `K/Exec` is notoriously flat when costs cluster).
+//! * [`order_crossover`] — OX, the classic order-preserving
+//!   permutation crossover.
+//! * [`inversion_mutate`] — segment reversal, the 2-opt-style mutation.
+
+use crate::chromosome::Chromosome;
+use rand::Rng;
+
+/// Tournament selection: draw `k` competitors uniformly, return the
+/// index with the lowest cost. Larger `k` = stronger selection
+/// pressure.
+pub fn tournament_select<R: Rng + ?Sized>(costs: &[f64], k: usize, rng: &mut R) -> usize {
+    assert!(!costs.is_empty(), "empty population");
+    let k = k.max(1);
+    let mut best = rng.random_range(0..costs.len());
+    for _ in 1..k {
+        let challenger = rng.random_range(0..costs.len());
+        if costs[challenger] < costs[best] {
+            best = challenger;
+        }
+    }
+    best
+}
+
+/// Order crossover (OX): copy a random slice of `parent1`, then fill
+/// the remaining positions with `parent2`'s genes in `parent2`'s order.
+pub fn order_crossover<R: Rng + ?Sized>(
+    parent1: &Chromosome,
+    parent2: &Chromosome,
+    rng: &mut R,
+) -> Chromosome {
+    let n = parent1.len();
+    assert_eq!(n, parent2.len(), "parent length mismatch");
+    if n < 2 {
+        return parent1.clone();
+    }
+    let a = rng.random_range(0..n);
+    let b = rng.random_range(0..n);
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+
+    let mut genes = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+    #[allow(clippy::needless_range_loop)] // i indexes parent and child in lockstep
+    for i in lo..=hi {
+        let g = parent1.gene(i);
+        genes[i] = g;
+        used[g] = true;
+    }
+    // Fill from parent2 starting after the slice, wrapping around.
+    let mut pos = (hi + 1) % n;
+    for off in 0..n {
+        let g = parent2.gene((hi + 1 + off) % n);
+        if !used[g] {
+            genes[pos] = g;
+            used[g] = true;
+            pos = (pos + 1) % n;
+        }
+    }
+    Chromosome::new(genes)
+}
+
+/// Inversion mutation: with probability `p`, reverse a random segment.
+pub fn inversion_mutate<R: Rng + ?Sized>(c: &mut Chromosome, p: f64, rng: &mut R) {
+    let n = c.len();
+    if n < 2 || rng.random::<f64>() >= p {
+        return;
+    }
+    let a = rng.random_range(0..n);
+    let b = rng.random_range(0..n);
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    c.genes_mut()[lo..=hi].reverse();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_rngutil::perm::is_permutation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tournament_prefers_low_costs() {
+        let costs = [100.0, 1.0, 50.0, 80.0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut wins = [0usize; 4];
+        for _ in 0..10_000 {
+            wins[tournament_select(&costs, 3, &mut rng)] += 1;
+        }
+        assert!(wins[1] > wins[0]);
+        assert!(wins[1] > wins[2]);
+        assert!(wins[1] > wins[3]);
+        // k = 3 of 4: the best wins P ≈ 1 − (3/4)³ ≈ 0.58.
+        let f = wins[1] as f64 / 10_000.0;
+        assert!((f - 0.578).abs() < 0.03, "best won {f}");
+    }
+
+    #[test]
+    fn tournament_k1_is_uniform() {
+        let costs = [5.0, 1.0, 3.0];
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut wins = [0usize; 3];
+        for _ in 0..30_000 {
+            wins[tournament_select(&costs, 1, &mut rng)] += 1;
+        }
+        for &w in &wins {
+            let f = w as f64 / 30_000.0;
+            assert!((f - 1.0 / 3.0).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn ox_yields_permutations() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [2usize, 3, 5, 10, 17] {
+            for _ in 0..100 {
+                let a = Chromosome::random(n, &mut rng);
+                let b = Chromosome::random(n, &mut rng);
+                let child = order_crossover(&a, &b, &mut rng);
+                assert!(is_permutation(child.genes()), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn ox_preserves_slice_of_parent1() {
+        // With a fixed seed we can't control the slice, so check the
+        // weaker invariant: every gene of the child that matches
+        // parent1 at the same position forms a contiguous block in at
+        // least one run... instead verify directly with a crafted tiny
+        // case over many seeds: parent slices always survive.
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Chromosome::new(vec![0, 1, 2, 3, 4]);
+        let b = Chromosome::new(vec![4, 3, 2, 1, 0]);
+        for _ in 0..50 {
+            let child = order_crossover(&a, &b, &mut rng);
+            // The child must contain some position where it agrees
+            // with parent1 (the copied slice is non-empty).
+            assert!(
+                (0..5).any(|i| child.gene(i) == a.gene(i)),
+                "no trace of parent1: {:?}",
+                child.genes()
+            );
+        }
+    }
+
+    #[test]
+    fn inversion_preserves_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let mut c = Chromosome::random(9, &mut rng);
+            inversion_mutate(&mut c, 1.0, &mut rng);
+            assert!(is_permutation(c.genes()));
+        }
+    }
+
+    #[test]
+    fn inversion_zero_prob_is_noop() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut c = Chromosome::random(8, &mut rng);
+        let before = c.clone();
+        inversion_mutate(&mut c, 0.0, &mut rng);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn tiny_chromosomes_safe() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Chromosome::new(vec![0]);
+        let child = order_crossover(&a, &a.clone(), &mut rng);
+        assert_eq!(child.genes(), &[0]);
+        let mut c = Chromosome::new(vec![0]);
+        inversion_mutate(&mut c, 1.0, &mut rng);
+        assert_eq!(c.genes(), &[0]);
+    }
+}

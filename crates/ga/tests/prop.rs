@@ -1,0 +1,64 @@
+//! Property-based tests for the GA operators: every operator must
+//! preserve the permutation property for arbitrary parents and seeds.
+
+use match_ga::chromosome::Chromosome;
+use match_ga::operators::{crossover, mutate};
+use match_ga::variants::{inversion_mutate, order_crossover, tournament_select};
+use match_rngutil::perm::is_permutation;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn chromo(n: usize, seed: u64) -> Chromosome {
+    Chromosome::random(n, &mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #[test]
+    fn single_point_crossover_valid(n in 1usize..30, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = chromo(n, s1);
+        let b = chromo(n, s2);
+        let mut rng = StdRng::seed_from_u64(s1 ^ s2);
+        let child = crossover(&a, &b, &mut rng);
+        prop_assert_eq!(child.len(), n);
+        prop_assert!(is_permutation(child.genes()));
+        // First half always comes from parent 1.
+        for i in 0..n / 2 {
+            prop_assert_eq!(child.gene(i), a.gene(i));
+        }
+    }
+
+    #[test]
+    fn order_crossover_valid(n in 1usize..30, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = chromo(n, s1);
+        let b = chromo(n, s2);
+        let mut rng = StdRng::seed_from_u64(s1.wrapping_add(s2));
+        let child = order_crossover(&a, &b, &mut rng);
+        prop_assert!(is_permutation(child.genes()));
+    }
+
+    #[test]
+    fn mutations_valid(n in 1usize..30, seed in any::<u64>(), p in 0.0f64..=1.0) {
+        let mut c = chromo(n, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xAB);
+        mutate(&mut c, p, &mut rng);
+        prop_assert!(is_permutation(c.genes()));
+        inversion_mutate(&mut c, p, &mut rng);
+        prop_assert!(is_permutation(c.genes()));
+    }
+
+    #[test]
+    fn tournament_in_range(len in 1usize..50, k in 1usize..10, seed in any::<u64>()) {
+        let costs: Vec<f64> = (0..len).map(|i| (i as f64 * 13.7) % 97.0).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let winner = tournament_select(&costs, k, &mut rng);
+        prop_assert!(winner < len);
+    }
+
+    #[test]
+    fn chromosome_mapping_roundtrip(n in 0usize..40, seed in any::<u64>()) {
+        let c = chromo(n, seed);
+        let m = c.to_mapping();
+        prop_assert_eq!(Chromosome::from_mapping(&m), c);
+    }
+}

@@ -1,0 +1,144 @@
+//! Graph algorithms used by generators, validators and the harness.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// Breadth-first order of the component containing `start`.
+pub fn bfs_order(g: &Graph, start: usize) -> Vec<usize> {
+    let n = g.node_count();
+    assert!(start < n, "start node out of range");
+    let mut visited = vec![false; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[start] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for (v, _) in g.neighbors(u) {
+            if !visited[v] {
+                visited[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Connected components: `component[u]` is a dense component id, and the
+/// number of components is returned alongside.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.node_count();
+    let mut component = vec![usize::MAX; n];
+    let mut count = 0;
+    for s in 0..n {
+        if component[s] != usize::MAX {
+            continue;
+        }
+        for u in bfs_order(g, s) {
+            component[u] = count;
+        }
+        count += 1;
+    }
+    (component, count)
+}
+
+/// True when the graph has at most one connected component.
+pub fn is_connected(g: &Graph) -> bool {
+    g.node_count() <= 1 || connected_components(g).1 == 1
+}
+
+/// Degree distribution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree `2|E| / |V|`.
+    pub mean: f64,
+    /// Edge density `|E| / (|V| choose 2)`.
+    pub density: f64,
+}
+
+/// Compute [`DegreeStats`]; `None` for an empty graph.
+pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    let degrees: Vec<usize> = (0..n).map(|u| g.degree(u)).collect();
+    let max_edges = n * (n - 1) / 2;
+    Some(DegreeStats {
+        min: *degrees.iter().min().unwrap(),
+        max: *degrees.iter().max().unwrap(),
+        mean: 2.0 * g.edge_count() as f64 / n as f64,
+        density: if max_edges == 0 {
+            0.0
+        } else {
+            g.edge_count() as f64 / max_edges as f64
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    fn path(n: usize) -> Graph {
+        let mut g = Graph::with_uniform_nodes(n, 1.0);
+        for i in 1..n {
+            g.add_edge(i - 1, i, 1.0).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn bfs_visits_component_in_level_order() {
+        let g = path(5);
+        assert_eq!(bfs_order(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_order(&g, 2), vec![2, 1, 3, 0, 4]);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut g = path(3);
+        g.add_node(1.0).unwrap();
+        g.add_node(1.0).unwrap();
+        g.add_edge(3, 4, 1.0).unwrap();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn single_node_and_empty_are_connected() {
+        assert!(is_connected(&Graph::new()));
+        assert!(is_connected(&Graph::with_uniform_nodes(1, 1.0)));
+    }
+
+    #[test]
+    fn path_is_connected() {
+        assert!(is_connected(&path(10)));
+    }
+
+    #[test]
+    fn degree_stats_of_path() {
+        let s = degree_stats(&path(4)).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        assert!((s.density - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        assert!(degree_stats(&Graph::new()).is_none());
+        let s = degree_stats(&Graph::with_uniform_nodes(1, 1.0)).unwrap();
+        assert_eq!(s.density, 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Classic graph topologies for tests, ablations and examples.
+//!
+//! These build plain [`Graph`]s with caller-chosen uniform weights; wrap
+//! them in [`crate::TaskGraph`] / [`crate::ResourceGraph`] as needed.
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Ring of `n` nodes (node weight `nw`, edge weight `ew`).
+pub fn ring_graph(n: usize, nw: f64, ew: f64) -> Graph {
+    let mut g = Graph::with_uniform_nodes(n, nw);
+    if n >= 2 {
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, ew).expect("fresh edge");
+        }
+        if n >= 3 {
+            g.add_edge(n - 1, 0, ew).expect("fresh edge");
+        }
+    }
+    g
+}
+
+/// Star with centre `0` and `n - 1` leaves.
+pub fn star_graph(n: usize, nw: f64, ew: f64) -> Graph {
+    let mut g = Graph::with_uniform_nodes(n, nw);
+    for i in 1..n {
+        g.add_edge(0, i, ew).expect("fresh edge");
+    }
+    g
+}
+
+/// Complete graph on `n` nodes.
+pub fn complete_graph(n: usize, nw: f64, ew: f64) -> Graph {
+    let mut g = Graph::with_uniform_nodes(n, nw);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v, ew).expect("fresh edge");
+        }
+    }
+    g
+}
+
+/// 2-D grid (`rows × cols`) with 4-neighbour connectivity — the stencil
+/// shape of structured CFD meshes.
+pub fn grid2d_graph(rows: usize, cols: usize, nw: f64, ew: f64) -> Graph {
+    let mut g = Graph::with_uniform_nodes(rows * cols, nw);
+    let idx = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(idx(r, c), idx(r, c + 1), ew).expect("fresh edge");
+            }
+            if r + 1 < rows {
+                g.add_edge(idx(r, c), idx(r + 1, c), ew).expect("fresh edge");
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` with uniform weights.
+pub fn gnp_graph<R: Rng + ?Sized>(n: usize, p: f64, nw: f64, ew: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::with_uniform_nodes(n, nw);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < p {
+                g.add_edge(u, v, ew).expect("fresh edge");
+            }
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches to
+/// `m` existing nodes with probability proportional to their degree,
+/// producing the hub-dominated degree distributions of scale-free
+/// workloads (master/worker pipelines, shared-boundary hub grids).
+pub fn barabasi_albert_graph<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    nw: f64,
+    ew: f64,
+    rng: &mut R,
+) -> Graph {
+    let mut g = Graph::with_uniform_nodes(n, nw);
+    if n == 0 {
+        return g;
+    }
+    let m = m.max(1).min(n.saturating_sub(1).max(1));
+    // Seed clique of m+1 nodes.
+    let seed = (m + 1).min(n);
+    for u in 0..seed {
+        for v in (u + 1)..seed {
+            g.add_edge(u, v, ew).expect("fresh edge");
+        }
+    }
+    // Repeated-endpoint list implements degree-proportional sampling.
+    let mut endpoints: Vec<usize> = Vec::new();
+    for (u, v, _) in g.edges().collect::<Vec<_>>() {
+        endpoints.push(u);
+        endpoints.push(v);
+    }
+    for v in seed..n {
+        let mut chosen = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 100 * m {
+            guard += 1;
+            let pick = if endpoints.is_empty() {
+                rng.random_range(0..v)
+            } else {
+                endpoints[rng.random_range(0..endpoints.len())]
+            };
+            if pick != v && !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for &u in &chosen {
+            g.add_edge(u, v, ew).expect("fresh edge");
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{degree_stats, is_connected};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ring_shape() {
+        let g = ring_graph(5, 1.0, 2.0);
+        assert_eq!(g.edge_count(), 5);
+        for u in 0..5 {
+            assert_eq!(g.degree(u), 2);
+        }
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn tiny_rings() {
+        assert_eq!(ring_graph(0, 1.0, 1.0).edge_count(), 0);
+        assert_eq!(ring_graph(1, 1.0, 1.0).edge_count(), 0);
+        // Two nodes: a single edge, not a doubled one.
+        assert_eq!(ring_graph(2, 1.0, 1.0).edge_count(), 1);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star_graph(6, 1.0, 3.0);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.degree(0), 5);
+        for u in 1..6 {
+            assert_eq!(g.degree(u), 1);
+        }
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete_graph(7, 1.0, 1.0);
+        assert_eq!(g.edge_count(), 21);
+        assert_eq!(degree_stats(&g).unwrap().density, 1.0);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d_graph(3, 4, 1.0, 1.0);
+        assert_eq!(g.node_count(), 12);
+        // Edges: 3 rows × 3 horizontal + 2 × 4 vertical = 9 + 8 = 17.
+        assert_eq!(g.edge_count(), 17);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(41);
+        assert_eq!(gnp_graph(10, 0.0, 1.0, 1.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp_graph(10, 1.0, 1.0, 1.0, &mut rng).edge_count(), 45);
+    }
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let g = barabasi_albert_graph(50, 2, 1.0, 1.0, &mut rng);
+        assert_eq!(g.node_count(), 50);
+        assert!(is_connected(&g), "BA graphs are connected by construction");
+        // Edge count: seed clique C(3,2)=3 plus ~2 per remaining node.
+        let expected = 3 + 2 * (50 - 3);
+        assert!(
+            (g.edge_count() as i64 - expected as i64).abs() <= 10,
+            "edges {}",
+            g.edge_count()
+        );
+        // Scale-free signature: the max degree dwarfs the median.
+        let s = degree_stats(&g).unwrap();
+        assert!(s.max >= 3 * s.min.max(1), "max {} min {}", s.max, s.min);
+    }
+
+    #[test]
+    fn barabasi_albert_tiny_cases() {
+        let mut rng = StdRng::seed_from_u64(44);
+        assert_eq!(barabasi_albert_graph(0, 2, 1.0, 1.0, &mut rng).node_count(), 0);
+        let g = barabasi_albert_graph(1, 2, 1.0, 1.0, &mut rng);
+        assert_eq!((g.node_count(), g.edge_count()), (1, 0));
+        let g = barabasi_albert_graph(2, 5, 1.0, 1.0, &mut rng);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn gnp_density_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = gnp_graph(60, 0.3, 1.0, 1.0, &mut rng);
+        let density = degree_stats(&g).unwrap().density;
+        assert!((density - 0.3).abs() < 0.08, "density {density}");
+    }
+}

@@ -1,0 +1,85 @@
+//! Synthetic instance generators.
+//!
+//! The paper's experiments run on five synthetic TIG/platform pairs per
+//! size (§5.2) with fully specified weight ranges but unpublished
+//! generation code; [`paper`] re-creates that family faithfully.
+//! [`overset`] builds TIGs from a geometric overset-grid abstraction
+//! (Figure 1's CFD motivation), and [`classic`] provides standard
+//! topologies for tests and ablations.
+
+pub mod classic;
+pub mod overset;
+pub mod paper;
+
+pub use classic::{complete_graph, gnp_graph, grid2d_graph, ring_graph, star_graph};
+pub use overset::{OversetConfig, OversetDomain};
+pub use paper::PaperFamilyConfig;
+
+use crate::InstancePair;
+use rand::Rng;
+
+/// A configured instance generator producing [`InstancePair`]s.
+///
+/// This is the front door the harness and examples use; the individual
+/// generator modules expose their own finer-grained APIs.
+#[derive(Debug, Clone)]
+pub enum InstanceGenerator {
+    /// The paper's §5.2 synthetic family.
+    Paper(PaperFamilyConfig),
+    /// Overset-grid CFD abstraction for the TIG; paper-family platform.
+    Overset(OversetConfig),
+}
+
+impl InstanceGenerator {
+    /// The paper's family at size `n` (tasks = resources = `n`), with
+    /// the §5.2 default weight ranges.
+    pub fn paper_family(n: usize) -> Self {
+        InstanceGenerator::Paper(PaperFamilyConfig::new(n))
+    }
+
+    /// An overset-grid CFD workload of roughly `blocks` grids, mapped
+    /// onto a paper-family platform of equal size.
+    pub fn overset_cfd(blocks: usize) -> Self {
+        InstanceGenerator::Overset(OversetConfig::new(blocks))
+    }
+
+    /// Generate one instance pair.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> InstancePair {
+        match self {
+            InstanceGenerator::Paper(cfg) => cfg.generate(rng),
+            InstanceGenerator::Overset(cfg) => cfg.generate(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn front_door_paper() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pair = InstanceGenerator::paper_family(10).generate(&mut rng);
+        assert_eq!(pair.tig.len(), 10);
+        assert_eq!(pair.resources.len(), 10);
+        assert!(pair.is_square());
+    }
+
+    #[test]
+    fn front_door_overset() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pair = InstanceGenerator::overset_cfd(8).generate(&mut rng);
+        assert_eq!(pair.tig.len(), 8);
+        assert_eq!(pair.resources.len(), 8);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = InstanceGenerator::paper_family(12).generate(&mut StdRng::seed_from_u64(7));
+        let b = InstanceGenerator::paper_family(12).generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a.tig, b.tig);
+        assert_eq!(a.resources, b.resources);
+    }
+}

@@ -1,0 +1,228 @@
+//! Overset-grid CFD workload abstraction (paper Figure 1).
+//!
+//! §2 motivates the TIG with overset-grid CFD: the domain around an
+//! irregular 3-D body is covered by regularly shaped grids that overlap
+//! in space; each grid is a TIG node weighted by its grid-point count,
+//! and each overlap is an edge weighted by the number of overlapping
+//! points.
+//!
+//! This module builds exactly that geometry synthetically: axis-aligned
+//! boxes ("grids") are scattered along a random curve through the unit
+//! cube (so consecutive grids overlap, as they must to exchange boundary
+//! data), grid-point counts are volumes times a resolution, and overlap
+//! volumes produce the communication weights. The result is a *geometric*
+//! TIG whose structure — local, low-diameter, weight-correlated — matches
+//! the CFD workloads the paper targets, unlike the uniform random family.
+
+use crate::graph::Graph;
+use crate::resource::ResourceGraph;
+use crate::tig::TaskGraph;
+use crate::InstancePair;
+use rand::Rng;
+
+use super::paper::PaperFamilyConfig;
+
+/// One axis-aligned grid block in the unit cube.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Block {
+    /// Minimum corner `(x, y, z)`.
+    pub min: [f64; 3],
+    /// Maximum corner `(x, y, z)`.
+    pub max: [f64; 3],
+}
+
+impl Block {
+    /// Volume of the block.
+    pub fn volume(&self) -> f64 {
+        (0..3).map(|d| (self.max[d] - self.min[d]).max(0.0)).product()
+    }
+
+    /// Volume of the intersection with `other` (zero when disjoint).
+    pub fn overlap_volume(&self, other: &Block) -> f64 {
+        (0..3)
+            .map(|d| {
+                (self.max[d].min(other.max[d]) - self.min[d].max(other.min[d])).max(0.0)
+            })
+            .product()
+    }
+}
+
+/// A generated overset domain: the blocks plus the derived TIG.
+#[derive(Debug, Clone)]
+pub struct OversetDomain {
+    /// The geometric blocks, indexed like the TIG's tasks.
+    pub blocks: Vec<Block>,
+    /// The derived task interaction graph.
+    pub tig: TaskGraph,
+}
+
+/// Configuration for the overset generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OversetConfig {
+    /// Number of grid blocks (TIG nodes).
+    pub blocks: usize,
+    /// Grid points per unit volume (node weights = `volume × resolution`).
+    pub resolution: f64,
+    /// Overlap points per unit overlap volume (edge weights).
+    pub overlap_resolution: f64,
+    /// Block edge lengths are drawn from this range.
+    pub block_size: (f64, f64),
+    /// Step length along the random walk between consecutive block
+    /// centres, as a fraction of the previous block size. Below ~1.0
+    /// consecutive blocks are guaranteed to overlap.
+    pub step_fraction: f64,
+}
+
+impl OversetConfig {
+    /// Sensible defaults for `blocks` grids.
+    pub fn new(blocks: usize) -> Self {
+        OversetConfig {
+            blocks,
+            resolution: 1000.0,
+            overlap_resolution: 4000.0,
+            block_size: (0.15, 0.35),
+            step_fraction: 0.6,
+        }
+    }
+
+    /// Generate the geometric domain and its TIG.
+    pub fn generate_domain<R: Rng + ?Sized>(&self, rng: &mut R) -> OversetDomain {
+        let mut blocks: Vec<Block> = Vec::with_capacity(self.blocks);
+        let mut centre = [0.5f64, 0.5, 0.5];
+        let mut prev_size = (self.block_size.0 + self.block_size.1) / 2.0;
+        for _ in 0..self.blocks {
+            let size = [
+                rng.random_range(self.block_size.0..=self.block_size.1),
+                rng.random_range(self.block_size.0..=self.block_size.1),
+                rng.random_range(self.block_size.0..=self.block_size.1),
+            ];
+            let mut min = [0.0; 3];
+            let mut max = [0.0; 3];
+            for d in 0..3 {
+                // Keep blocks inside the unit cube.
+                let half = size[d] / 2.0;
+                let c = centre[d].clamp(half, 1.0 - half);
+                min[d] = c - half;
+                max[d] = c + half;
+            }
+            blocks.push(Block { min, max });
+
+            // Random step for the next centre; short steps keep the chain
+            // of grids overlapping like a body-fitted grid system.
+            let step = prev_size * self.step_fraction;
+            for c in centre.iter_mut() {
+                *c += rng.random_range(-step..=step);
+                *c = c.clamp(0.0, 1.0);
+            }
+            prev_size = (size[0] + size[1] + size[2]) / 3.0;
+        }
+
+        // Node weights: grid points ∝ volume. Edge weights: overlap points.
+        let weights: Vec<f64> = blocks
+            .iter()
+            .map(|b| (b.volume() * self.resolution).max(1.0).round())
+            .collect();
+        let mut g = Graph::from_node_weights(weights).expect("positive weights");
+        for i in 0..blocks.len() {
+            for j in (i + 1)..blocks.len() {
+                let ov = blocks[i].overlap_volume(&blocks[j]);
+                if ov > 0.0 {
+                    let w = (ov * self.overlap_resolution).max(1.0).round();
+                    g.add_edge(i, j, w).expect("fresh edge");
+                }
+            }
+        }
+        OversetDomain {
+            blocks,
+            tig: TaskGraph::new(g).expect("valid TIG"),
+        }
+    }
+
+    /// Generate a full instance pair: overset TIG plus a paper-family
+    /// platform of equal size.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> InstancePair {
+        let domain = self.generate_domain(rng);
+        let platform: ResourceGraph =
+            PaperFamilyConfig::new(self.blocks).generate_platform(rng);
+        InstancePair {
+            tig: domain.tig,
+            resources: platform,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn block_volume_and_overlap() {
+        let a = Block { min: [0.0; 3], max: [1.0; 3] };
+        let b = Block { min: [0.5, 0.5, 0.5], max: [1.5, 1.5, 1.5] };
+        assert!((a.volume() - 1.0).abs() < 1e-12);
+        assert!((a.overlap_volume(&b) - 0.125).abs() < 1e-12);
+        let c = Block { min: [2.0; 3], max: [3.0; 3] };
+        assert_eq!(a.overlap_volume(&c), 0.0);
+    }
+
+    #[test]
+    fn overlap_is_symmetric() {
+        let a = Block { min: [0.1, 0.0, 0.2], max: [0.6, 0.5, 0.9] };
+        let b = Block { min: [0.3, 0.2, 0.0], max: [0.8, 0.9, 0.5] };
+        assert!((a.overlap_volume(&b) - b.overlap_volume(&a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn domain_produces_requested_blocks() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let d = OversetConfig::new(12).generate_domain(&mut rng);
+        assert_eq!(d.blocks.len(), 12);
+        assert_eq!(d.tig.len(), 12);
+    }
+
+    #[test]
+    fn consecutive_blocks_mostly_overlap() {
+        // The random-walk construction should make the TIG well-connected:
+        // expect a healthy number of edges (at least ~n/2 on average).
+        let mut rng = StdRng::seed_from_u64(32);
+        let d = OversetConfig::new(20).generate_domain(&mut rng);
+        assert!(
+            d.tig.all_interactions().count() >= 10,
+            "only {} overlaps",
+            d.tig.all_interactions().count()
+        );
+    }
+
+    #[test]
+    fn weights_positive_and_scaled() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let d = OversetConfig::new(15).generate_domain(&mut rng);
+        for t in 0..15 {
+            assert!(d.tig.computation(t) >= 1.0);
+        }
+        for (_, _, w) in d.tig.all_interactions() {
+            assert!(w >= 1.0);
+        }
+    }
+
+    #[test]
+    fn blocks_stay_in_unit_cube() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let d = OversetConfig::new(30).generate_domain(&mut rng);
+        for b in &d.blocks {
+            for dim in 0..3 {
+                assert!(b.min[dim] >= -1e-12 && b.max[dim] <= 1.0 + 1e-12);
+                assert!(b.max[dim] > b.min[dim]);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_has_equal_sizes() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let pair = OversetConfig::new(9).generate(&mut rng);
+        assert!(pair.is_square());
+    }
+}

@@ -1,0 +1,296 @@
+//! The paper's §5.2 synthetic workload family.
+//!
+//! Quoting §5.2: *"The system graphs generated had node weights randomly
+//! varying from 1 to 5. The edge weights that represented the
+//! communication overhead was allowed to vary from 10 to 20. Similarly,
+//! for the TIG the node weights were taken from 1 to 10 and the edges
+//! were randomly generated with weights varying between 50 to 100. Note
+//! that we also chose to randomize the generation of the edges so as to
+//! represent regions of high density and regions of lower density."*
+//!
+//! Interpretation choices (documented in DESIGN.md):
+//!
+//! * Weights are drawn uniformly (integers, matching the quoted integer
+//!   bounds) from the closed ranges above.
+//! * The platform is a complete graph — the paper indexes `c_{s,b}` for
+//!   arbitrary resource pairs without mentioning routing.
+//! * TIG edges: nodes are split into a *dense* region (first half) and a
+//!   *sparse* region; pair probabilities differ per region. A random
+//!   spanning tree is laid down first so the application is always
+//!   connected (a disconnected "parallel application" is ill-formed).
+
+use crate::graph::Graph;
+use crate::resource::ResourceGraph;
+use crate::tig::TaskGraph;
+use crate::InstancePair;
+use rand::Rng;
+
+/// Configuration for the paper-family generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaperFamilyConfig {
+    /// Number of tasks and of resources (`|V_t| = |V_r| = n`).
+    pub n: usize,
+    /// TIG node (computation) weight range, inclusive. Paper: 1–10.
+    pub tig_node_weights: (u32, u32),
+    /// TIG edge (communication volume) weight range, inclusive. Paper: 50–100.
+    pub tig_edge_weights: (u32, u32),
+    /// Platform node (per-unit processing cost) range, inclusive. Paper: 1–5.
+    pub res_node_weights: (u32, u32),
+    /// Platform link (per-unit communication cost) range, inclusive. Paper: 10–20.
+    pub res_edge_weights: (u32, u32),
+    /// Edge probability inside the dense region.
+    pub dense_edge_prob: f64,
+    /// Edge probability inside the sparse region.
+    pub sparse_edge_prob: f64,
+    /// Edge probability across the two regions.
+    pub cross_edge_prob: f64,
+    /// Platform topology: `true` builds a complete platform (every
+    /// resource pair directly linked); `false` builds a sparse platform
+    /// (random spanning tree plus extra links with probability
+    /// [`PaperFamilyConfig::platform_extra_link_prob`]), with
+    /// inter-resource costs closed under shortest-path routing.
+    ///
+    /// The paper never states its platform topology; it draws link
+    /// weights from 10–20 and indexes `c_{s,b}` freely. A complete
+    /// platform bounds the cost ratio between the worst and best
+    /// bijective mappings at roughly `(max link)/(min link) = 2`, which
+    /// cannot produce Table 1's 38× spread; a sparse *routed* platform —
+    /// the natural model of a computational grid, where far-apart sites
+    /// pay multi-hop communication — makes mapping quality matter more
+    /// as `|V_r|` grows, matching the paper's trend. Sparse is therefore
+    /// the default; see DESIGN.md.
+    pub complete_platform: bool,
+    /// Extra-link probability for the sparse platform.
+    pub platform_extra_link_prob: f64,
+}
+
+impl PaperFamilyConfig {
+    /// The §5.2 defaults at size `n`.
+    pub fn new(n: usize) -> Self {
+        PaperFamilyConfig {
+            n,
+            tig_node_weights: (1, 10),
+            tig_edge_weights: (50, 100),
+            res_node_weights: (1, 5),
+            res_edge_weights: (10, 20),
+            dense_edge_prob: 0.7,
+            sparse_edge_prob: 0.15,
+            cross_edge_prob: 0.3,
+            complete_platform: false,
+            platform_extra_link_prob: 0.1,
+        }
+    }
+
+    /// Use a complete platform instead of the sparse routed default.
+    pub fn with_complete_platform(mut self) -> Self {
+        self.complete_platform = true;
+        self
+    }
+
+    /// Override the computation-to-communication balance by scaling the
+    /// TIG node-weight range (the paper varies this ratio across its five
+    /// graphs; we expose it as a multiplier on computation weights).
+    pub fn with_comp_scale(mut self, scale: u32) -> Self {
+        self.tig_node_weights = (
+            self.tig_node_weights.0 * scale.max(1),
+            self.tig_node_weights.1 * scale.max(1),
+        );
+        self
+    }
+
+    /// Generate one TIG/platform pair.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> InstancePair {
+        let tig = self.generate_tig(rng);
+        let resources = self.generate_platform(rng);
+        InstancePair { tig, resources }
+    }
+
+    /// Generate only the TIG.
+    pub fn generate_tig<R: Rng + ?Sized>(&self, rng: &mut R) -> TaskGraph {
+        let n = self.n;
+        let weights: Vec<f64> = (0..n)
+            .map(|_| draw(rng, self.tig_node_weights) as f64)
+            .collect();
+        let mut g = Graph::from_node_weights(weights).expect("positive weights");
+
+        // Random spanning tree for connectivity: attach each node to a
+        // random earlier node (uniform random recursive tree).
+        for v in 1..n {
+            let u = rng.random_range(0..v);
+            let w = draw(rng, self.tig_edge_weights) as f64;
+            g.add_edge(u, v, w).expect("fresh edge");
+        }
+
+        // Density regions: first half dense, second half sparse.
+        let split = n / 2;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if g.has_edge(u, v) {
+                    continue;
+                }
+                let p = if v < split {
+                    self.dense_edge_prob
+                } else if u >= split {
+                    self.sparse_edge_prob
+                } else {
+                    self.cross_edge_prob
+                };
+                if rng.random::<f64>() < p {
+                    let w = draw(rng, self.tig_edge_weights) as f64;
+                    g.add_edge(u, v, w).expect("fresh edge");
+                }
+            }
+        }
+        TaskGraph::new(g).expect("valid TIG by construction")
+    }
+
+    /// Generate only the platform. Complete when
+    /// [`PaperFamilyConfig::complete_platform`] is set; otherwise a
+    /// connected sparse graph (random spanning tree + extra links) whose
+    /// non-adjacent resource pairs communicate at shortest-path cost.
+    pub fn generate_platform<R: Rng + ?Sized>(&self, rng: &mut R) -> ResourceGraph {
+        let n = self.n;
+        let weights: Vec<f64> = (0..n)
+            .map(|_| draw(rng, self.res_node_weights) as f64)
+            .collect();
+        let mut g = Graph::from_node_weights(weights).expect("positive weights");
+        if self.complete_platform {
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let w = draw(rng, self.res_edge_weights) as f64;
+                    g.add_edge(u, v, w).expect("fresh edge");
+                }
+            }
+        } else {
+            // Random spanning tree keeps the platform connected.
+            for v in 1..n {
+                let u = rng.random_range(0..v);
+                let w = draw(rng, self.res_edge_weights) as f64;
+                g.add_edge(u, v, w).expect("fresh edge");
+            }
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if !g.has_edge(u, v) && rng.random::<f64>() < self.platform_extra_link_prob {
+                        let w = draw(rng, self.res_edge_weights) as f64;
+                        g.add_edge(u, v, w).expect("fresh edge");
+                    }
+                }
+            }
+        }
+        ResourceGraph::new(g).expect("valid platform by construction")
+    }
+}
+
+fn draw<R: Rng + ?Sized>(rng: &mut R, (lo, hi): (u32, u32)) -> u32 {
+    rng.random_range(lo..=hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_respect_paper_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pair = PaperFamilyConfig::new(30).generate(&mut rng);
+        for t in 0..30 {
+            let w = pair.tig.computation(t);
+            assert!((1.0..=10.0).contains(&w), "TIG node weight {w}");
+        }
+        for (_, _, w) in pair.tig.all_interactions() {
+            assert!((50.0..=100.0).contains(&w), "TIG edge weight {w}");
+        }
+        for s in 0..30 {
+            let w = pair.resources.processing_cost(s);
+            assert!((1.0..=5.0).contains(&w), "platform node weight {w}");
+        }
+        for (_, _, w) in pair.resources.graph().edges() {
+            assert!((10.0..=20.0).contains(&w), "platform edge weight {w}");
+        }
+    }
+
+    #[test]
+    fn complete_platform_option() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = PaperFamilyConfig::new(12)
+            .with_complete_platform()
+            .generate_platform(&mut rng);
+        assert_eq!(p.graph().edge_count(), 12 * 11 / 2);
+        assert!(p.is_fully_connected());
+    }
+
+    #[test]
+    fn sparse_platform_is_connected_and_routed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = PaperFamilyConfig::new(20).generate_platform(&mut rng);
+        assert!(p.graph().edge_count() < 20 * 19 / 2, "should be sparse");
+        assert!(p.graph().edge_count() >= 19, "spanning tree present");
+        assert!(p.is_fully_connected(), "routing closure must cover all pairs");
+        // Some non-adjacent pair pays more than the max direct link cost.
+        let max_direct = p
+            .graph()
+            .edges()
+            .map(|(_, _, w)| w)
+            .fold(0.0f64, f64::max);
+        let mut saw_multihop = false;
+        for s in 0..20 {
+            for b in 0..20 {
+                if s != b && p.link_cost(s, b) > max_direct {
+                    saw_multihop = true;
+                }
+            }
+        }
+        assert!(saw_multihop, "expected some multi-hop link costs");
+    }
+
+    #[test]
+    fn tig_is_connected_across_sizes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [2, 5, 10, 20, 50] {
+            let t = PaperFamilyConfig::new(n).generate_tig(&mut rng);
+            assert!(is_connected(t.graph()), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn dense_region_denser_than_sparse() {
+        // Statistically: with n=40, the first 20 nodes should have many
+        // more intra-edges than the last 20.
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = PaperFamilyConfig::new(40).generate_tig(&mut rng);
+        let mut dense = 0;
+        let mut sparse = 0;
+        for (u, v, _) in t.all_interactions() {
+            if u < 20 && v < 20 {
+                dense += 1;
+            } else if u >= 20 && v >= 20 {
+                sparse += 1;
+            }
+        }
+        assert!(
+            dense > sparse,
+            "dense region ({dense}) not denser than sparse ({sparse})"
+        );
+    }
+
+    #[test]
+    fn comp_scale_raises_ratio() {
+        let base = PaperFamilyConfig::new(20);
+        let scaled = PaperFamilyConfig::new(20).with_comp_scale(10);
+        let t1 = base.generate_tig(&mut StdRng::seed_from_u64(8));
+        let t2 = scaled.generate_tig(&mut StdRng::seed_from_u64(8));
+        assert!(t2.comp_comm_ratio() > t1.comp_comm_ratio());
+    }
+
+    #[test]
+    fn single_node_instance() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pair = PaperFamilyConfig::new(1).generate(&mut rng);
+        assert_eq!(pair.tig.len(), 1);
+        assert_eq!(pair.tig.all_interactions().count(), 0);
+        assert_eq!(pair.resources.graph().edge_count(), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Graph and instance I/O.
+//!
+//! Two formats:
+//!
+//! * **DOT** export for eyeballing generated instances with Graphviz
+//!   (node labels carry weights; edge labels carry volumes/costs).
+//! * A plain-text **instance format** so experiment inputs can be saved
+//!   and replayed:
+//!
+//!   ```text
+//!   # matchkit instance v1
+//!   graph <n>
+//!   node <index> <weight>
+//!   edge <u> <v> <weight>
+//!   ```
+
+use crate::graph::{Graph, GraphError};
+use std::fmt::Write as _;
+
+/// Render `g` in Graphviz DOT syntax with the given graph name.
+pub fn to_dot(g: &Graph, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "graph {name} {{");
+    for u in 0..g.node_count() {
+        let _ = writeln!(s, "  n{u} [label=\"{u} ({:.6})\"];", g.node_weight(u));
+    }
+    for (u, v, w) in g.edges() {
+        let _ = writeln!(s, "  n{u} -- n{v} [label=\"{w:.6}\"];");
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Serialise `g` in the plain-text instance format.
+pub fn to_text(g: &Graph) -> String {
+    let mut s = String::from("# matchkit instance v1\n");
+    let _ = writeln!(s, "graph {}", g.node_count());
+    for u in 0..g.node_count() {
+        let _ = writeln!(s, "node {u} {:.17}", g.node_weight(u));
+    }
+    for (u, v, w) in g.edges() {
+        let _ = writeln!(s, "edge {u} {v} {w:.17}");
+    }
+    s
+}
+
+/// Errors from [`from_text`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// A line did not match any directive.
+    BadLine(usize, String),
+    /// A numeric field failed to parse.
+    BadNumber(usize),
+    /// A `node`/`edge` line appeared before the `graph` header.
+    MissingHeader,
+    /// A node index was out of range or repeated.
+    BadNode(usize),
+    /// The graph construction itself failed.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadLine(n, l) => write!(f, "line {n}: unrecognised: {l:?}"),
+            ParseError::BadNumber(n) => write!(f, "line {n}: malformed number"),
+            ParseError::MissingHeader => write!(f, "missing 'graph <n>' header"),
+            ParseError::BadNode(n) => write!(f, "line {n}: bad node index"),
+            ParseError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse the plain-text instance format produced by [`to_text`].
+///
+/// Node weights default to `1.0` when a `node` line is omitted; `edge`
+/// lines must reference declared indices.
+pub fn from_text(input: &str) -> Result<Graph, ParseError> {
+    let mut g: Option<Graph> = None;
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("graph") => {
+                let n: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(ParseError::BadNumber(lineno + 1))?;
+                g = Some(Graph::with_uniform_nodes(n, 1.0));
+            }
+            Some("node") => {
+                let g = g.as_mut().ok_or(ParseError::MissingHeader)?;
+                let u: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(ParseError::BadNumber(lineno + 1))?;
+                let w: f64 = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(ParseError::BadNumber(lineno + 1))?;
+                if u >= g.node_count() {
+                    return Err(ParseError::BadNode(lineno + 1));
+                }
+                g.set_node_weight(u, w).map_err(ParseError::Graph)?;
+            }
+            Some("edge") => {
+                let g = g.as_mut().ok_or(ParseError::MissingHeader)?;
+                let u: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(ParseError::BadNumber(lineno + 1))?;
+                let v: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(ParseError::BadNumber(lineno + 1))?;
+                let w: f64 = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(ParseError::BadNumber(lineno + 1))?;
+                g.add_edge(u, v, w).map_err(ParseError::Graph)?;
+            }
+            _ => return Err(ParseError::BadLine(lineno + 1, line.to_string())),
+        }
+    }
+    g.ok_or(ParseError::MissingHeader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::from_node_weights(vec![1.5, 2.0, 3.25]).unwrap();
+        g.add_edge(0, 1, 50.0).unwrap();
+        g.add_edge(1, 2, 62.5).unwrap();
+        g
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let text = to_text(&g);
+        let h = from_text(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn text_roundtrip_empty_and_edgeless() {
+        let g = Graph::new();
+        assert_eq!(from_text(&to_text(&g)).unwrap(), g);
+        let g = Graph::with_uniform_nodes(4, 2.0);
+        assert_eq!(from_text(&to_text(&g)).unwrap(), g);
+    }
+
+    #[test]
+    fn dot_contains_all_elements() {
+        let dot = to_dot(&sample(), "tig");
+        assert!(dot.starts_with("graph tig {"));
+        assert!(dot.contains("n0 [label=\"0 (1.500000)\"]"));
+        assert!(dot.contains("n0 -- n1"));
+        assert!(dot.contains("n1 -- n2"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(
+            from_text("graph 2\nblargh 1 2"),
+            Err(ParseError::BadLine(2, "blargh 1 2".into()))
+        );
+        assert_eq!(from_text("node 0 1.0"), Err(ParseError::MissingHeader));
+        assert_eq!(from_text("graph two"), Err(ParseError::BadNumber(1)));
+        assert_eq!(from_text("graph 1\nnode 5 1.0"), Err(ParseError::BadNode(2)));
+        assert_eq!(from_text(""), Err(ParseError::MissingHeader));
+    }
+
+    #[test]
+    fn parse_propagates_graph_errors() {
+        let r = from_text("graph 2\nedge 0 0 1.0");
+        assert!(matches!(r, Err(ParseError::Graph(GraphError::SelfLoop(0)))));
+        let r = from_text("graph 2\nedge 0 1 1.0\nedge 1 0 2.0");
+        assert!(matches!(r, Err(ParseError::Graph(GraphError::DuplicateEdge(1, 0)))));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = from_text("# hello\n\ngraph 2\n# mid\nnode 0 3.0\nedge 0 1 4.0\n").unwrap();
+        assert_eq!(g.node_weight(0), 3.0);
+        assert_eq!(g.node_weight(1), 1.0); // defaulted
+        assert_eq!(g.edge_weight(0, 1), Some(4.0));
+    }
+}

@@ -1,0 +1,134 @@
+//! Whole-graph summary metrics, used by `matchctl info` and the
+//! experiment reports.
+
+use crate::algo::{connected_components, degree_stats};
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// A one-stop structural summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Connected components.
+    pub components: usize,
+    /// Unweighted diameter of the largest component (longest shortest
+    /// path in hops); `0` for graphs with fewer than 2 nodes.
+    pub diameter: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Edge density.
+    pub density: f64,
+    /// Total node weight.
+    pub total_node_weight: f64,
+    /// Total edge weight.
+    pub total_edge_weight: f64,
+}
+
+/// Hop distances from `start` (usize::MAX for unreachable nodes).
+pub fn hop_distances(g: &Graph, start: usize) -> Vec<usize> {
+    let n = g.node_count();
+    assert!(start < n, "start out of range");
+    let mut dist = vec![usize::MAX; n];
+    dist[start] = 0;
+    let mut queue = VecDeque::from([start]);
+    while let Some(u) = queue.pop_front() {
+        for (v, _) in g.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Unweighted diameter of the largest connected component (exact,
+/// all-sources BFS — fine for the instance sizes of this workspace).
+pub fn diameter(g: &Graph) -> usize {
+    let n = g.node_count();
+    if n < 2 {
+        return 0;
+    }
+    let mut best = 0;
+    for s in 0..n {
+        for &d in hop_distances(g, s).iter() {
+            if d != usize::MAX {
+                best = best.max(d);
+            }
+        }
+    }
+    best
+}
+
+/// Compute a [`GraphSummary`].
+pub fn summarize(g: &Graph) -> GraphSummary {
+    let (_, components) = connected_components(g);
+    let deg = degree_stats(g);
+    GraphSummary {
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        components,
+        diameter: diameter(g),
+        min_degree: deg.as_ref().map_or(0, |d| d.min),
+        max_degree: deg.as_ref().map_or(0, |d| d.max),
+        mean_degree: deg.as_ref().map_or(0.0, |d| d.mean),
+        density: deg.as_ref().map_or(0.0, |d| d.density),
+        total_node_weight: g.total_node_weight(),
+        total_edge_weight: g.total_edge_weight(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::classic::{complete_graph, ring_graph, star_graph};
+
+    #[test]
+    fn hop_distances_on_ring() {
+        let g = ring_graph(6, 1.0, 1.0);
+        let d = hop_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn diameters_of_known_shapes() {
+        assert_eq!(diameter(&ring_graph(6, 1.0, 1.0)), 3);
+        assert_eq!(diameter(&ring_graph(7, 1.0, 1.0)), 3);
+        assert_eq!(diameter(&star_graph(5, 1.0, 1.0)), 2);
+        assert_eq!(diameter(&complete_graph(4, 1.0, 1.0)), 1);
+        assert_eq!(diameter(&Graph::new()), 0);
+        assert_eq!(diameter(&Graph::with_uniform_nodes(1, 1.0)), 0);
+    }
+
+    #[test]
+    fn disconnected_diameter_is_within_components() {
+        let mut g = Graph::with_uniform_nodes(5, 1.0);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        // Nodes 3, 4 isolated.
+        assert_eq!(diameter(&g), 2);
+        let d = hop_distances(&g, 0);
+        assert_eq!(d[3], usize::MAX);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let g = star_graph(5, 2.0, 3.0);
+        let s = summarize(&g);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.diameter, 2);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.total_node_weight, 10.0);
+        assert_eq!(s.total_edge_weight, 12.0);
+    }
+}

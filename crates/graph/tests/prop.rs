@@ -1,0 +1,121 @@
+//! Property-based tests for the graph substrate.
+
+use match_graph::algo::{connected_components, degree_stats, is_connected};
+use match_graph::gen::classic::gnp_graph;
+use match_graph::gen::paper::PaperFamilyConfig;
+use match_graph::io::{from_text, to_text};
+use match_graph::{Graph, ResourceGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gnp_adjacency_symmetric(n in 1usize..40, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnp_graph(n, p, 1.0, 1.0, &mut rng);
+        for u in 0..n {
+            for (v, w) in g.neighbors(u) {
+                prop_assert_eq!(g.edge_weight(v, u), Some(w));
+            }
+        }
+        // Handshake lemma.
+        let total_degree: usize = (0..n).map(|u| g.degree(u)).sum();
+        prop_assert_eq!(total_degree, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn components_partition_nodes(n in 1usize..40, p in 0.0f64..0.3, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnp_graph(n, p, 1.0, 1.0, &mut rng);
+        let (comp, count) = connected_components(&g);
+        prop_assert_eq!(comp.len(), n);
+        prop_assert!(count >= 1 && count <= n);
+        // Component ids are dense 0..count.
+        for &c in &comp {
+            prop_assert!(c < count);
+        }
+        // Edges never cross components.
+        for (u, v, _) in g.edges() {
+            prop_assert_eq!(comp[u], comp[v]);
+        }
+        prop_assert_eq!(is_connected(&g), count <= 1 || count == 1);
+    }
+
+    #[test]
+    fn paper_family_always_valid(n in 2usize..40, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pair = PaperFamilyConfig::new(n).generate(&mut rng);
+        prop_assert_eq!(pair.tig.len(), n);
+        prop_assert_eq!(pair.resources.len(), n);
+        prop_assert!(is_connected(pair.tig.graph()), "TIG disconnected");
+        prop_assert!(pair.resources.is_fully_connected(), "platform not routable");
+        // Weight ranges of §5.2.
+        for t in 0..n {
+            prop_assert!((1.0..=10.0).contains(&pair.tig.computation(t)));
+        }
+        for s in 0..n {
+            prop_assert!((1.0..=5.0).contains(&pair.resources.processing_cost(s)));
+        }
+    }
+
+    #[test]
+    fn link_costs_satisfy_triangle_inequality(n in 2usize..20, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let platform = PaperFamilyConfig::new(n).generate_platform(&mut rng);
+        for a in 0..n {
+            prop_assert_eq!(platform.link_cost(a, a), 0.0);
+            for b in 0..n {
+                prop_assert_eq!(platform.link_cost(a, b), platform.link_cost(b, a));
+                for c in 0..n {
+                    prop_assert!(
+                        platform.link_cost(a, c)
+                            <= platform.link_cost(a, b) + platform.link_cost(b, c) + 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_arbitrary_graphs(n in 0usize..25, p in 0.0f64..0.5, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnp_graph(n, p, 2.5, 7.25, &mut rng);
+        let parsed = from_text(&to_text(&g)).expect("own output parses");
+        prop_assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn density_in_unit_interval(n in 1usize..30, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnp_graph(n, p, 1.0, 1.0, &mut rng);
+        if let Some(s) = degree_stats(&g) {
+            prop_assert!((0.0..=1.0).contains(&s.density));
+            prop_assert!(s.min <= s.max);
+            prop_assert!(s.mean <= s.max as f64 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn overset_tig_weights_positive(blocks in 1usize..25, seed in any::<u64>()) {
+        use match_graph::gen::overset::OversetConfig;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = OversetConfig::new(blocks).generate_domain(&mut rng);
+        prop_assert_eq!(d.tig.len(), blocks);
+        for t in 0..blocks {
+            prop_assert!(d.tig.computation(t) > 0.0);
+        }
+        for (_, _, w) in d.tig.all_interactions() {
+            prop_assert!(w > 0.0);
+        }
+    }
+}
+
+#[test]
+fn resource_graph_rejects_invalid_then_accepts_valid() {
+    let mut g = Graph::from_node_weights(vec![1.0, 2.0]).unwrap();
+    g.add_edge(0, 1, 3.0).unwrap();
+    assert!(ResourceGraph::new(g).is_ok());
+}

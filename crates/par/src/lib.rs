@@ -1,0 +1,42 @@
+//! A small data-parallel substrate for the MaTCH reproduction.
+//!
+//! MaTCH evaluates `N = 2|V_r|²` sampled mappings per iteration — for the
+//! paper's largest configuration that is 5 000 objective evaluations per
+//! iteration, each O(|V| + |E|), repeated over hundreds of iterations.
+//! The evaluations are embarrassingly parallel, so the `Matcher` (and the
+//! GA's population evaluation) fan them out through this crate.
+//!
+//! The crate deliberately implements the two classic shapes itself rather
+//! than pulling a full work-stealing runtime:
+//!
+//! * [`scope_map`] — fork/join chunked `parallel_map` / `parallel_map_init`
+//!   over an index range using `crossbeam`'s scoped threads; zero setup
+//!   cost per call site, borrows allowed.
+//! * [`pool`] — a persistent [`pool::WorkerPool`] with a shared injector
+//!   queue and a wait-group, for callers that dispatch many small batches
+//!   and cannot afford per-batch thread spawns.
+//! * [`chunk`] — the chunk-partitioning policy shared by both.
+//!
+//! All APIs are deterministic in their *results* (outputs land at their
+//! input's index) though of course not in execution order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chunk;
+pub mod pool;
+pub mod scope_map;
+
+pub use chunk::{chunk_ranges, ChunkPolicy};
+pub use pool::WorkerPool;
+pub use scope_map::{parallel_fill, parallel_map, parallel_map_init, parallel_reduce};
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, capped at 16 (the experiment harness saturates memory
+/// bandwidth well before that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}

@@ -1,0 +1,249 @@
+//! A persistent worker pool.
+//!
+//! The fork/join helpers in [`crate::scope_map`] spawn threads per call,
+//! which is fine for the hundreds of CE iterations of a single MaTCH run
+//! but wasteful for the experiment harness, which runs thousands of small
+//! solver invocations back to back (30 ANOVA repetitions × 3 heuristics ×
+//! parameter sweeps). The pool keeps its workers alive across batches.
+//!
+//! Jobs are `'static` closures sent over a `crossbeam` channel; a
+//! wait-group built from `parking_lot` primitives implements
+//! [`WorkerPool::run_batch`], which blocks until every job of the batch
+//! has finished.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counts outstanding jobs of one batch and wakes the submitter at zero.
+struct WaitGroup {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl WaitGroup {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(WaitGroup {
+            count: Mutex::new(n),
+            zero: Condvar::new(),
+        })
+    }
+
+    fn done(&self) {
+        let mut c = self.count.lock();
+        *c -= 1;
+        if *c == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut c = self.count.lock();
+        while *c != 0 {
+            self.zero.wait(&mut c);
+        }
+    }
+}
+
+/// A fixed-size pool of worker threads consuming a shared job queue.
+///
+/// Dropping the pool closes the queue and joins all workers.
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("match-par-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn worker")
+            })
+            .collect();
+        WorkerPool { tx: Some(tx), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit one fire-and-forget job.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(Box::new(job))
+            .expect("workers alive");
+    }
+
+    /// Run a batch of jobs and block until all of them complete.
+    ///
+    /// Jobs may run on any worker in any order. A panicking job poisons
+    /// nothing but its own thread's current job; the batch still
+    /// completes for the remaining jobs (the panic is reported when the
+    /// pool is dropped).
+    pub fn run_batch<I>(&self, jobs: I)
+    where
+        I: IntoIterator,
+        I::Item: FnOnce() + Send + 'static,
+    {
+        let jobs: Vec<_> = jobs.into_iter().collect();
+        if jobs.is_empty() {
+            return;
+        }
+        let wg = WaitGroup::new(jobs.len());
+        for job in jobs {
+            let wg = Arc::clone(&wg);
+            self.submit(move || {
+                // Ensure the wait-group is decremented even if `job`
+                // panics, so the submitter is never dead-locked.
+                struct Guard(Arc<WaitGroup>);
+                impl Drop for Guard {
+                    fn drop(&mut self) {
+                        self.0.done();
+                    }
+                }
+                let _g = Guard(wg);
+                job();
+            });
+        }
+        wg.wait();
+    }
+
+    /// Convenience: evaluate `f(i)` for `i in 0..len` on the pool and
+    /// collect results in order. Results are written through a mutex-free
+    /// per-slot channel-less scheme: each job owns its output slot.
+    pub fn map<T, F>(&self, len: usize, f: Arc<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        let results: Vec<Arc<Mutex<Option<T>>>> =
+            (0..len).map(|_| Arc::new(Mutex::new(None))).collect();
+        self.run_batch((0..len).map(|i| {
+            let slot = Arc::clone(&results[i]);
+            let f = Arc::clone(&f);
+            move || {
+                *slot.lock() = Some(f(i));
+            }
+        }));
+        results
+            .into_iter()
+            .map(|slot| {
+                Arc::try_unwrap(slot)
+                    .ok()
+                    .expect("no other owners")
+                    .into_inner()
+                    .expect("job ran")
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain and exit.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn batch_runs_every_job_once() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.run_batch((0..100).map(|_| {
+            let c = Arc::clone(&counter);
+            move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn empty_batch_returns_immediately() {
+        let pool = WorkerPool::new(2);
+        pool.run_batch(Vec::<fn()>::new());
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.map(50, Arc::new(|i| i * 3));
+        assert_eq!(out, (0..50).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_batches_reuse_workers() {
+        let pool = WorkerPool::new(3);
+        for round in 0..10 {
+            let counter = Arc::new(AtomicUsize::new(0));
+            pool.run_batch((0..20).map(|_| {
+                let c = Arc::clone(&counter);
+                move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+            assert_eq!(counter.load(Ordering::SeqCst), 20, "round {round}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.map(5, Arc::new(|i| i));
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // must not hang, and all submitted jobs drain
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn jobs_run_concurrently() {
+        // With 4 workers, 4 jobs that each wait for the others via a
+        // barrier can only finish if they truly run in parallel.
+        let pool = WorkerPool::new(4);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        pool.run_batch((0..4).map(|_| {
+            let b = Arc::clone(&barrier);
+            move || {
+                b.wait();
+            }
+        }));
+    }
+}

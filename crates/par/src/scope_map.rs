@@ -1,0 +1,233 @@
+//! Fork/join parallel map and reduce over index ranges.
+//!
+//! Built on `crossbeam::thread::scope`, so closures may borrow from the
+//! caller's stack (the MaTCH sampler borrows the instance's cost tables).
+//! Threads are spawned per call; for many tiny batches use
+//! [`crate::pool::WorkerPool`] instead.
+
+use crate::chunk::{chunk_ranges, ChunkPolicy};
+
+/// Apply `f(i)` for every `i in 0..len` in parallel, collecting results in
+/// input order.
+///
+/// `f` must be `Sync` (shared across workers by reference). With
+/// `threads <= 1` or `len < parallel_threshold()` the loop runs inline,
+/// avoiding spawn overhead for the small instances of the paper's sweep.
+///
+/// ```
+/// let squares = match_par::parallel_map(1000, 4, |i| i * i);
+/// assert_eq!(squares[31], 961);
+/// ```
+pub fn parallel_map<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_init(len, threads, || (), move |(), i| f(i))
+}
+
+/// Like [`parallel_map`], but each worker first builds a per-thread state
+/// with `init` (e.g. a scratch buffer or an RNG) that is passed by mutable
+/// reference to every call it executes.
+pub fn parallel_map_init<T, S, I, F>(len: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(len, || None);
+    parallel_fill(&mut out, threads, init, |state, i, slot| {
+        *slot = Some(f(state, i));
+    });
+    out.into_iter()
+        .map(|x| x.expect("every index filled"))
+        .collect()
+}
+
+/// Fill `out` in parallel: `f(state, i, &mut out[i])` runs once per index,
+/// with per-worker `state` from `init`. Writes happen directly into the
+/// caller's buffer, so repeated batches can reuse one allocation.
+pub fn parallel_fill<T, S, I, F>(out: &mut [T], threads: usize, init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut T) + Sync,
+{
+    let len = out.len();
+    let threads = threads.max(1);
+    if threads == 1 || len < parallel_threshold() {
+        let mut state = init();
+        for (i, slot) in out.iter_mut().enumerate() {
+            f(&mut state, i, slot);
+        }
+        return;
+    }
+    let ranges = chunk_ranges(len, threads, ChunkPolicy::PerWorker);
+    // Hand each worker a disjoint sub-slice; indices are reconstructed
+    // from the chunk offset.
+    let mut pieces: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
+    let mut rest = out;
+    let mut offset = 0;
+    for r in &ranges {
+        let (head, tail) = rest.split_at_mut(r.len());
+        pieces.push((offset, head));
+        rest = tail;
+        offset += r.len();
+    }
+    crossbeam::thread::scope(|scope| {
+        for (base, piece) in pieces {
+            let f = &f;
+            let init = &init;
+            scope.spawn(move |_| {
+                let mut state = init();
+                for (k, slot) in piece.iter_mut().enumerate() {
+                    f(&mut state, base + k, slot);
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+}
+
+/// Parallel reduction: map each index through `f`, then fold results with
+/// the associative `combine`, starting from `identity`.
+///
+/// `combine` must be associative and `identity` its neutral element;
+/// the grouping of operands across chunks is unspecified.
+pub fn parallel_reduce<T, F, C>(len: usize, threads: usize, identity: T, f: F, combine: C) -> T
+where
+    T: Send + Clone,
+    F: Fn(usize) -> T + Sync,
+    C: Fn(T, T) -> T + Send + Sync,
+{
+    let threads = threads.max(1);
+    if threads == 1 || len < parallel_threshold() {
+        let mut acc = identity;
+        for i in 0..len {
+            acc = combine(acc, f(i));
+        }
+        return acc;
+    }
+    let ranges = chunk_ranges(len, threads, ChunkPolicy::PerWorker);
+    let partials: Vec<T> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let f = &f;
+                let combine = &combine;
+                let id = identity.clone();
+                scope.spawn(move |_| {
+                    let mut acc = id;
+                    for i in r {
+                        acc = combine(acc, f(i));
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope failed");
+    partials.into_iter().fold(identity, combine)
+}
+
+/// Below this many items the fork/join overhead outweighs the win and the
+/// operations run inline.
+pub const fn parallel_threshold() -> usize {
+    64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_matches_sequential() {
+        for threads in [1, 2, 4, 8] {
+            for len in [0, 1, 63, 64, 65, 1000] {
+                let got = parallel_map(len, threads, |i| i * i);
+                let want: Vec<usize> = (0..len).map(|i| i * i).collect();
+                assert_eq!(got, want, "threads={threads} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_preserves_order_with_uneven_work() {
+        // Make later items finish first to catch order bugs.
+        let got = parallel_map(200, 4, |i| {
+            if i < 100 {
+                std::thread::yield_now();
+            }
+            i
+        });
+        assert_eq!(got, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_builds_one_state_per_worker() {
+        let builds = AtomicUsize::new(0);
+        let _ = parallel_map_init(
+            1000,
+            4,
+            || {
+                builds.fetch_add(1, Ordering::SeqCst);
+                0u64
+            },
+            |state, i| {
+                *state += 1;
+                i
+            },
+        );
+        let n = builds.load(Ordering::SeqCst);
+        assert!((1..=4).contains(&n), "built {n} states");
+    }
+
+    #[test]
+    fn fill_reuses_buffer() {
+        let mut buf = vec![0usize; 500];
+        parallel_fill(&mut buf, 4, || (), |(), i, slot| *slot = i + 1);
+        assert!(buf.iter().enumerate().all(|(i, &v)| v == i + 1));
+        // Second pass over the same buffer.
+        parallel_fill(&mut buf, 4, || (), |(), i, slot| *slot = 2 * i);
+        assert!(buf.iter().enumerate().all(|(i, &v)| v == 2 * i));
+    }
+
+    #[test]
+    fn reduce_matches_sequential_sum() {
+        for threads in [1, 3, 8] {
+            let got = parallel_reduce(10_000, threads, 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(got, (0..10_000u64).sum::<u64>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_with_min() {
+        let data: Vec<i64> = (0..5000).map(|i| ((i * 7919) % 4999) as i64 - 2500).collect();
+        let got = parallel_reduce(data.len(), 4, i64::MAX, |i| data[i], i64::min);
+        assert_eq!(got, *data.iter().min().unwrap());
+    }
+
+    #[test]
+    fn reduce_empty_returns_identity() {
+        let got = parallel_reduce(0, 4, 42i32, |_| 0, |a, b| a + b);
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn small_input_runs_inline() {
+        // Can't observe threads directly, but results must still be right
+        // below the threshold.
+        let got = parallel_map(parallel_threshold() - 1, 8, |i| i + 1);
+        assert_eq!(got.len(), parallel_threshold() - 1);
+        assert_eq!(got[0], 1);
+    }
+
+    #[test]
+    fn zero_threads_clamped() {
+        let got = parallel_map(100, 0, |i| i);
+        assert_eq!(got.len(), 100);
+    }
+}

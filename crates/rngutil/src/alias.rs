@@ -1,0 +1,171 @@
+//! Vose's alias method: O(1) sampling from a fixed discrete distribution
+//! after O(n) preprocessing.
+//!
+//! The roulette wheel costs O(log n) per spin; when one distribution is
+//! sampled very many times (e.g. drawing the GA's mating pool from a
+//! fitness vector, or workload generators drawing thousands of grid-point
+//! counts), the alias table is the asymptotically optimal tool.
+
+use rand::Rng;
+
+/// A preprocessed alias table over `n` outcomes.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Build a table from (unnormalised) `weights`.
+    ///
+    /// Negative and non-finite weights are clamped to zero. Returns `None`
+    /// when the slice is empty or no weight is positive.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        let clamped: Vec<f64> = weights
+            .iter()
+            .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
+            .collect();
+        let total: f64 = clamped.iter().sum();
+        if n == 0 || total <= 0.0 {
+            return None;
+        }
+        // Scale so the average cell is exactly 1.
+        let scaled: Vec<f64> = clamped.iter().map(|w| w * n as f64 / total).collect();
+
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        let mut rem = scaled;
+        for (i, &p) in rem.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s] = rem[s];
+            alias[s] = l;
+            rem[l] = (rem[l] + rem[s]) - 1.0;
+            if rem[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no outcomes (never constructed; kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome index in O(1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let cell = rng.random_range(0..n);
+        if rng.random::<f64>() < self.prob[cell] {
+            cell
+        } else {
+            self.alias[cell]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[-1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0; 5]).unwrap();
+        assert_eq!(t.len(), 5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let got = c as f64 / n as f64;
+            assert!((got - 0.2).abs() < 0.01, "got {got}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_frequencies() {
+        let weights = [0.5, 0.0, 8.0, 1.5];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut counts = [0usize; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = weights[i] / 10.0;
+            let got = c as f64 / n as f64;
+            assert!(
+                (got - expected).abs() < 0.01,
+                "slot {i}: got {got}, want {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_outcome_always_sampled() {
+        let t = AliasTable::new(&[3.7]).unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn matches_roulette_on_same_weights() {
+        // Both samplers must approximate the same distribution.
+        let weights = [2.0, 3.0, 5.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(14);
+        let n = 100_000;
+        let mut alias_counts = [0usize; 3];
+        for _ in 0..n {
+            alias_counts[t.sample(&mut rng)] += 1;
+        }
+        let mut wheel_counts = [0usize; 3];
+        for _ in 0..n {
+            wheel_counts[crate::roulette::roulette_pick(&weights, &mut rng).unwrap()] += 1;
+        }
+        for i in 0..3 {
+            let a = alias_counts[i] as f64 / n as f64;
+            let w = wheel_counts[i] as f64 / n as f64;
+            assert!((a - w).abs() < 0.015, "slot {i}: alias {a} vs wheel {w}");
+        }
+    }
+}

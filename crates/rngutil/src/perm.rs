@@ -1,0 +1,126 @@
+//! Uniform random permutations (Fisher–Yates).
+//!
+//! GenPerm step 1 draws "a random permutation (π₀, …, π_{|Vr|−1})" to fix
+//! the order in which task rows are sampled, and FastMap-GA seeds its
+//! initial population with random permutation chromosomes. Both use the
+//! unbiased inside-out Fisher–Yates shuffle implemented here.
+
+use rand::Rng;
+
+/// Shuffle `xs` in place with the Fisher–Yates algorithm.
+pub fn shuffle<T, R: Rng + ?Sized>(xs: &mut [T], rng: &mut R) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+/// A uniformly random permutation of `0..n`.
+pub fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    shuffle(&mut p, rng);
+    p
+}
+
+/// True when `p` is a permutation of `0..p.len()`.
+pub fn is_permutation(p: &[usize]) -> bool {
+    let n = p.len();
+    let mut seen = vec![false; n];
+    for &x in p {
+        if x >= n || seen[x] {
+            return false;
+        }
+        seen[x] = true;
+    }
+    true
+}
+
+/// The inverse permutation `q` with `q[p[i]] = i`.
+///
+/// Panics if `p` is not a permutation.
+pub fn invert_permutation(p: &[usize]) -> Vec<usize> {
+    assert!(is_permutation(p), "input is not a permutation");
+    let mut q = vec![0usize; p.len()];
+    for (i, &x) in p.iter().enumerate() {
+        q[x] = i;
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn outputs_are_permutations() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [0, 1, 2, 7, 50] {
+            let p = random_permutation(n, &mut rng);
+            assert_eq!(p.len(), n);
+            assert!(is_permutation(&p));
+        }
+    }
+
+    #[test]
+    fn is_permutation_detects_flaws() {
+        assert!(is_permutation(&[]));
+        assert!(is_permutation(&[0]));
+        assert!(is_permutation(&[2, 0, 1]));
+        assert!(!is_permutation(&[0, 0, 1]));
+        assert!(!is_permutation(&[0, 3, 1])); // out of range
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let p = random_permutation(20, &mut rng);
+        let q = invert_permutation(&p);
+        for i in 0..20 {
+            assert_eq!(q[p[i]], i);
+            assert_eq!(p[q[i]], i);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invert_rejects_non_permutation() {
+        invert_permutation(&[1, 1]);
+    }
+
+    #[test]
+    fn shuffle_is_unbiased_for_n3() {
+        // All 6 permutations of 3 elements should appear ~1/6 of the time.
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+        let n = 60_000;
+        for _ in 0..n {
+            *counts.entry(random_permutation(3, &mut rng)).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (p, c) in &counts {
+            let got = *c as f64 / n as f64;
+            assert!(
+                (got - 1.0 / 6.0).abs() < 0.01,
+                "perm {p:?}: frequency {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_element_uniform_for_larger_n() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let n_items = 10;
+        let trials = 100_000;
+        let mut counts = vec![0usize; n_items];
+        for _ in 0..trials {
+            counts[random_permutation(n_items, &mut rng)[0]] += 1;
+        }
+        for &c in &counts {
+            let got = c as f64 / trials as f64;
+            assert!((got - 0.1).abs() < 0.01, "got {got}");
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! The event-driven core: work items, per-resource FIFO servers, and the
+//! completion-event heap.
+//!
+//! Resources are single servers processing an ordered list of work items
+//! (computations and outgoing transfers). An item may carry
+//! dependencies — transfers that must complete before it can start
+//! (blocking-receive semantics). A resource whose head item is not yet
+//! ready idles (head-of-line blocking) until the last dependency's
+//! completion event releases it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One schedulable unit on a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// Task `task` computes for round `round`.
+    Compute {
+        /// The computing task.
+        task: usize,
+        /// The iteration index.
+        round: usize,
+    },
+    /// Task `from` sends its round-`round` boundary data to task `to`.
+    Transfer {
+        /// Sending task.
+        from: usize,
+        /// Receiving task.
+        to: usize,
+        /// The iteration index.
+        round: usize,
+    },
+}
+
+/// A work item: what, where, how long.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkItem {
+    /// What kind of work.
+    pub kind: ItemKind,
+    /// Executing resource.
+    pub resource: usize,
+    /// Service time.
+    pub duration: f64,
+}
+
+/// One executed item in the trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEntry {
+    /// What ran.
+    pub kind: ItemKind,
+    /// Where it ran.
+    pub resource: usize,
+    /// Start time.
+    pub start: f64,
+    /// Completion time.
+    pub end: f64,
+}
+
+/// Simulation results.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Completion time of the last item.
+    pub makespan: f64,
+    /// Total service time per resource.
+    pub busy: Vec<f64>,
+    /// Completion events processed.
+    pub events: u64,
+    /// Per-item execution trace (when requested).
+    pub trace: Option<Vec<TraceEntry>>,
+}
+
+impl SimReport {
+    /// Idle time per resource: `makespan − busy`.
+    pub fn idle(&self) -> Vec<f64> {
+        self.busy.iter().map(|b| self.makespan - b).collect()
+    }
+
+    /// Mean utilisation across resources (`0..=1`), `NaN` when the
+    /// simulation was empty.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.busy.is_empty() || self.makespan <= 0.0 {
+            return f64::NAN;
+        }
+        self.busy.iter().sum::<f64>() / (self.makespan * self.busy.len() as f64)
+    }
+}
+
+/// Totally ordered event time (f64 via `total_cmp`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+impl Eq for Time {}
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Run the simulation.
+///
+/// * `items_per_resource[r]` — the FIFO work list of resource `r`.
+/// * `deps` — for global item id `(r, idx)` (flattened by the caller via
+///   `id = base[r] + idx`), the number of prerequisite transfers that
+///   must complete first.
+/// * `dependents[id]` — global item ids whose dependency count drops
+///   when item `id` completes.
+///
+/// Caller builds the workload; see [`crate::workload`].
+pub fn simulate(
+    items_per_resource: &[Vec<WorkItem>],
+    mut deps: Vec<u32>,
+    dependents: &[Vec<usize>],
+    record_trace: bool,
+) -> SimReport {
+    let n_res = items_per_resource.len();
+    // Global id layout: resource-major.
+    let mut base = vec![0usize; n_res + 1];
+    for r in 0..n_res {
+        base[r + 1] = base[r] + items_per_resource[r].len();
+    }
+    let total_items = base[n_res];
+    assert_eq!(deps.len(), total_items, "deps length mismatch");
+    assert_eq!(dependents.len(), total_items, "dependents length mismatch");
+
+    let item = |id: usize| -> &WorkItem {
+        let r = match base.binary_search(&id) {
+            Ok(r) => {
+                // `id` equals a base: it is the first item of resource r
+                // unless that resource is empty; advance past empties.
+                let mut r = r;
+                while r < n_res && base[r + 1] == id {
+                    r += 1;
+                }
+                r
+            }
+            Err(ins) => ins - 1,
+        };
+        &items_per_resource[r][id - base[r]]
+    };
+
+    // Per-resource progress.
+    let mut next_idx = vec![0usize; n_res]; // next item position
+    let mut running = vec![false; n_res];
+    let mut busy = vec![0.0f64; n_res];
+    let mut clock = 0.0f64;
+    let mut events: u64 = 0;
+    let mut trace = if record_trace { Some(Vec::new()) } else { None };
+
+    // Completion-event heap: (time, resource, global item id).
+    let mut heap: BinaryHeap<Reverse<(Time, usize, usize)>> = BinaryHeap::new();
+
+    // Try to start the head item of resource `r` at time `now`.
+    macro_rules! try_start {
+        ($r:expr, $now:expr) => {{
+            let r = $r;
+            if !running[r] && next_idx[r] < items_per_resource[r].len() {
+                let id = base[r] + next_idx[r];
+                if deps[id] == 0 {
+                    let it = &items_per_resource[r][next_idx[r]];
+                    let end = $now + it.duration;
+                    running[r] = true;
+                    heap.push(Reverse((Time(end), r, id)));
+                    if let Some(t) = trace.as_mut() {
+                        t.push(TraceEntry {
+                            kind: it.kind,
+                            resource: r,
+                            start: $now,
+                            end,
+                        });
+                    }
+                }
+            }
+        }};
+    }
+
+    for r in 0..n_res {
+        try_start!(r, 0.0);
+    }
+
+    while let Some(Reverse((Time(t), r, id))) = heap.pop() {
+        events += 1;
+        clock = clock.max(t);
+        busy[r] += item(id).duration;
+        running[r] = false;
+        next_idx[r] += 1;
+        // Release dependents.
+        for &d in &dependents[id] {
+            debug_assert!(deps[d] > 0, "dependency underflow");
+            deps[d] -= 1;
+            if deps[d] == 0 {
+                // The owner might be idle-waiting on exactly this item.
+                let owner = owner_of(&base, d, n_res);
+                if !running[owner] && base[owner] + next_idx[owner] == d {
+                    try_start!(owner, t);
+                }
+            }
+        }
+        // Continue this resource's queue.
+        try_start!(r, t);
+    }
+
+    // Every item must have run; a leftover means a dependency cycle.
+    for r in 0..n_res {
+        assert_eq!(
+            next_idx[r],
+            items_per_resource[r].len(),
+            "resource {r} deadlocked (dependency cycle in workload)"
+        );
+    }
+
+    SimReport {
+        makespan: clock,
+        busy,
+        events,
+        trace,
+    }
+}
+
+fn owner_of(base: &[usize], id: usize, n_res: usize) -> usize {
+    match base.binary_search(&id) {
+        Ok(r) => {
+            let mut r = r;
+            while r < n_res && base[r + 1] == id {
+                r += 1;
+            }
+            r
+        }
+        Err(ins) => ins - 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute(task: usize, resource: usize, duration: f64) -> WorkItem {
+        WorkItem {
+            kind: ItemKind::Compute { task, round: 0 },
+            resource,
+            duration,
+        }
+    }
+
+    #[test]
+    fn single_resource_serial_execution() {
+        let items = vec![vec![compute(0, 0, 2.0), compute(1, 0, 3.0)]];
+        let deps = vec![0, 0];
+        let dependents = vec![vec![], vec![]];
+        let rep = simulate(&items, deps, dependents.as_slice(), true);
+        assert_eq!(rep.makespan, 5.0);
+        assert_eq!(rep.busy, vec![5.0]);
+        assert_eq!(rep.events, 2);
+        let trace = rep.trace.unwrap();
+        assert_eq!(trace[0].start, 0.0);
+        assert_eq!(trace[0].end, 2.0);
+        assert_eq!(trace[1].start, 2.0);
+        assert_eq!(trace[1].end, 5.0);
+    }
+
+    #[test]
+    fn independent_resources_run_in_parallel() {
+        let items = vec![
+            vec![compute(0, 0, 4.0)],
+            vec![compute(1, 1, 7.0)],
+            vec![compute(2, 2, 1.0)],
+        ];
+        let rep = simulate(&items, vec![0, 0, 0], &[vec![], vec![], vec![]], false);
+        assert_eq!(rep.makespan, 7.0);
+        assert_eq!(rep.busy, vec![4.0, 7.0, 1.0]);
+        assert_eq!(rep.idle(), vec![3.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn dependency_delays_start() {
+        // r0: item A (3.0). r1: item B (1.0) depends on A.
+        let items = vec![vec![compute(0, 0, 3.0)], vec![compute(1, 1, 1.0)]];
+        let deps = vec![0, 1];
+        let dependents = vec![vec![1], vec![]]; // A releases B
+        let rep = simulate(&items, deps, dependents.as_slice(), true);
+        assert_eq!(rep.makespan, 4.0);
+        let trace = rep.trace.unwrap();
+        let b = trace.iter().find(|e| e.resource == 1).unwrap();
+        assert_eq!(b.start, 3.0);
+        assert_eq!(b.end, 4.0);
+    }
+
+    #[test]
+    fn head_of_line_blocking() {
+        // r1's first item depends on r0's 5.0 item; its second is free
+        // but must wait behind the head (FIFO server).
+        let items = vec![
+            vec![compute(0, 0, 5.0)],
+            vec![compute(1, 1, 1.0), compute(2, 1, 1.0)],
+        ];
+        let deps = vec![0, 1, 0];
+        let dependents = vec![vec![1], vec![], vec![]];
+        let rep = simulate(&items, deps, dependents.as_slice(), false);
+        assert_eq!(rep.makespan, 7.0);
+        assert_eq!(rep.busy[1], 2.0);
+    }
+
+    #[test]
+    fn zero_duration_items() {
+        let items = vec![vec![compute(0, 0, 0.0), compute(1, 0, 2.0)]];
+        let rep = simulate(&items, vec![0, 0], &[vec![], vec![]], false);
+        assert_eq!(rep.makespan, 2.0);
+    }
+
+    #[test]
+    fn empty_simulation() {
+        let rep = simulate(&[vec![], vec![]], vec![], &[], false);
+        assert_eq!(rep.makespan, 0.0);
+        assert_eq!(rep.events, 0);
+        assert!(rep.mean_utilization().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn cycle_detected() {
+        // Two items depending on each other across resources.
+        let items = vec![vec![compute(0, 0, 1.0)], vec![compute(1, 1, 1.0)]];
+        let deps = vec![1, 1];
+        let dependents = vec![vec![1], vec![0]];
+        simulate(&items, deps, dependents.as_slice(), false);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let items = vec![vec![compute(0, 0, 2.0)], vec![compute(1, 1, 4.0)]];
+        let rep = simulate(&items, vec![0, 0], &[vec![], vec![]], false);
+        let u = rep.mean_utilization();
+        assert!(u > 0.0 && u <= 1.0);
+        assert!((u - (2.0 + 4.0) / (4.0 * 2.0)).abs() < 1e-12);
+    }
+}

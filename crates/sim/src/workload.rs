@@ -1,0 +1,396 @@
+//! The iterative compute/exchange workload of an overset-grid
+//! application, and the [`Simulator`] front end.
+//!
+//! Per round, every task computes over its grid points (`W^t × w_s` time
+//! units on its resource) and then ships its boundary data to each
+//! overlapping neighbour (`C^{t,a} × c_{s,b}` time units on the sender's
+//! resource; free when co-located). Rounds repeat `rounds` times — the
+//! outer iterations of the CFD solver the paper's §2 describes.
+
+use crate::engine::{simulate, ItemKind, SimReport, WorkItem};
+use match_core::{Mapping, MappingInstance};
+
+/// Contention model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimMode {
+    /// Each resource serialises its tasks' computations and outgoing
+    /// transfers; receives are free. Per-round busy time equals Eq. 1.
+    PaperSerial,
+    /// Additionally, a task's round-`k+1` computation waits for all of
+    /// its round-`k` incoming messages.
+    BlockingReceives,
+    /// Most realistic: transfers execute on per-resource-pair *channel*
+    /// servers instead of the sender (so a resource's sends can overlap
+    /// its computation, but messages sharing a channel serialise), a
+    /// transfer starts only after its sender's computation of that
+    /// round, and receives block the next round as in
+    /// [`SimMode::BlockingReceives`]. Channel busy time is reported in
+    /// the extra `busy` entries after the physical resources.
+    LinkContention,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of compute/exchange rounds.
+    pub rounds: usize,
+    /// Contention model.
+    pub mode: SimMode,
+    /// Record a full execution trace (costs memory proportional to the
+    /// item count).
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            rounds: 1,
+            mode: SimMode::PaperSerial,
+            trace: false,
+        }
+    }
+}
+
+/// Simulates a mapped instance.
+///
+/// ```
+/// use match_core::{exec_time, Mapping, MappingInstance};
+/// use match_graph::gen::InstanceGenerator;
+/// use match_sim::{SimConfig, Simulator};
+/// use rand::{SeedableRng, rngs::StdRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let pair = InstanceGenerator::paper_family(5).generate(&mut rng);
+/// let inst = MappingInstance::from_pair(&pair);
+/// let mapping = Mapping::identity(5);
+///
+/// // One compute/exchange round in the paper's serial model equals Eq. 2.
+/// let report = Simulator::new(&inst, SimConfig::default()).run(&mapping);
+/// let analytic = exec_time(&inst, mapping.as_slice());
+/// assert!((report.makespan - analytic).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    inst: &'a MappingInstance,
+    config: SimConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Build a simulator over an instance.
+    pub fn new(inst: &'a MappingInstance, config: SimConfig) -> Self {
+        Simulator { inst, config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Execute `mapping` and report timings.
+    pub fn run(&self, mapping: &Mapping) -> SimReport {
+        let inst = self.inst;
+        assert_eq!(
+            mapping.len(),
+            inst.n_tasks(),
+            "mapping does not cover the instance's tasks"
+        );
+        let n_res = inst.n_resources();
+        let assign = mapping.as_slice();
+        let rounds = self.config.rounds;
+        let link_mode = self.config.mode == SimMode::LinkContention;
+
+        // Server layout: physical resources 0..n_res; in link-contention
+        // mode, one channel server per unordered resource pair after
+        // them.
+        let channel_of = |s: usize, b: usize| -> usize {
+            let (lo, hi) = if s < b { (s, b) } else { (b, s) };
+            // Index into the strict upper triangle.
+            n_res + lo * n_res + hi - (lo + 1) * (lo + 2) / 2
+        };
+        let n_servers = if link_mode {
+            n_res + n_res * n_res.saturating_sub(1) / 2
+        } else {
+            n_res
+        };
+
+        // Build each server's FIFO list, server-major ids. Items are
+        // ordered by round, then task id, compute before its transfers —
+        // a fixed deterministic service order.
+        let mut items: Vec<Vec<WorkItem>> = vec![Vec::new(); n_servers];
+        // (task, round) -> (server, index) of its compute item.
+        let mut compute_pos: Vec<Vec<(usize, usize)>> =
+            vec![vec![(usize::MAX, usize::MAX); rounds]; inst.n_tasks()];
+        // (server, index) of every transfer, with its sender's round
+        // compute recorded for the link-mode dependency.
+        let mut transfer_pos: Vec<((usize, usize), (usize, usize))> = Vec::new();
+
+        #[allow(clippy::needless_range_loop)] // round indexes per-task round slots
+        for round in 0..rounds {
+            for t in 0..inst.n_tasks() {
+                let s = assign[t];
+                compute_pos[t][round] = (s, items[s].len());
+                items[s].push(WorkItem {
+                    kind: ItemKind::Compute { task: t, round },
+                    resource: s,
+                    duration: inst.computation(t) * inst.processing_cost(s),
+                });
+                for (a, c) in inst.interactions(t) {
+                    let b = assign[a];
+                    let duration = if b == s { 0.0 } else { c * inst.link_cost(s, b) };
+                    // Local exchanges stay on the resource; remote ones
+                    // go to the channel server in link mode.
+                    let server = if link_mode && b != s { channel_of(s, b) } else { s };
+                    let pos = (server, items[server].len());
+                    items[server].push(WorkItem {
+                        kind: ItemKind::Transfer { from: t, to: a, round },
+                        resource: server,
+                        duration,
+                    });
+                    if link_mode && b != s {
+                        transfer_pos.push((pos, compute_pos[t][round]));
+                    }
+                }
+            }
+        }
+
+        let mut base = vec![0usize; n_servers + 1];
+        for r in 0..n_servers {
+            base[r + 1] = base[r] + items[r].len();
+        }
+        let total = base[n_servers];
+        let gid = |(r, idx): (usize, usize)| base[r] + idx;
+
+        let mut deps = vec![0u32; total];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); total];
+
+        if self.config.mode != SimMode::PaperSerial {
+            // Transfer(from → to, round) gates Compute(to, round + 1).
+            for r in 0..n_servers {
+                for (idx, it) in items[r].iter().enumerate() {
+                    if let ItemKind::Transfer { to, round, .. } = it.kind {
+                        if round + 1 < rounds {
+                            let target = gid(compute_pos[to][round + 1]);
+                            deps[target] += 1;
+                            dependents[gid((r, idx))].push(target);
+                        }
+                    }
+                }
+            }
+        }
+        if link_mode {
+            // A channel transfer starts only after its sender computed.
+            for &(tpos, cpos) in &transfer_pos {
+                deps[gid(tpos)] += 1;
+                dependents[gid(cpos)].push(gid(tpos));
+            }
+        }
+
+        simulate(&items, deps, &dependents, self.config.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_core::{exec_per_resource, exec_time};
+    use match_graph::gen::InstanceGenerator;
+    use match_rngutil::perm::random_permutation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * (1.0 + b.abs())
+    }
+
+    fn instance(n: usize, seed: u64) -> MappingInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MappingInstance::from_pair(&InstanceGenerator::paper_family(n).generate(&mut rng))
+    }
+
+    #[test]
+    fn paper_mode_busy_time_equals_eq1() {
+        // The headline cross-validation: simulated per-resource busy time
+        // per round must equal the analytic Exec_s of Eq. 1, and the
+        // makespan must equal rounds × Eq. 2.
+        let inst = instance(12, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let m = Mapping::new(random_permutation(12, &mut rng));
+            let rep = Simulator::new(&inst, SimConfig::default()).run(&m);
+            let analytic = exec_per_resource(&inst, m.as_slice());
+            for (s, (&sim, &ana)) in rep.busy.iter().zip(&analytic).enumerate() {
+                assert!(close(sim, ana), "resource {s}: sim {sim} vs Eq.1 {ana}");
+            }
+            assert!(close(rep.makespan, exec_time(&inst, m.as_slice())));
+        }
+    }
+
+    #[test]
+    fn paper_mode_scales_linearly_with_rounds() {
+        let inst = instance(10, 3);
+        let m = Mapping::identity(10);
+        let one = Simulator::new(&inst, SimConfig { rounds: 1, ..Default::default() }).run(&m);
+        let five = Simulator::new(&inst, SimConfig { rounds: 5, ..Default::default() }).run(&m);
+        assert!(close(five.makespan, 5.0 * one.makespan));
+        for s in 0..10 {
+            assert!(close(five.busy[s], 5.0 * one.busy[s]));
+        }
+    }
+
+    #[test]
+    fn blocking_mode_never_faster() {
+        let inst = instance(10, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let m = Mapping::new(random_permutation(10, &mut rng));
+            let cfg_p = SimConfig { rounds: 4, mode: SimMode::PaperSerial, trace: false };
+            let cfg_b = SimConfig { rounds: 4, mode: SimMode::BlockingReceives, trace: false };
+            let p = Simulator::new(&inst, cfg_p).run(&m);
+            let b = Simulator::new(&inst, cfg_b).run(&m);
+            assert!(
+                b.makespan >= p.makespan - 1e-9,
+                "blocking {} < serial {}",
+                b.makespan,
+                p.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn blocking_single_round_equals_paper() {
+        // With one round there are no cross-round dependencies.
+        let inst = instance(8, 6);
+        let m = Mapping::identity(8);
+        let p = Simulator::new(&inst, SimConfig { rounds: 1, mode: SimMode::PaperSerial, trace: false }).run(&m);
+        let b = Simulator::new(&inst, SimConfig { rounds: 1, mode: SimMode::BlockingReceives, trace: false }).run(&m);
+        assert!(close(b.makespan, p.makespan));
+    }
+
+    #[test]
+    fn link_contention_reports_channel_servers() {
+        let inst = instance(6, 20);
+        let m = Mapping::identity(6);
+        let cfg = SimConfig { rounds: 2, mode: SimMode::LinkContention, trace: true };
+        let rep = Simulator::new(&inst, cfg).run(&m);
+        // 6 resources + C(6,2) = 15 channels.
+        assert_eq!(rep.busy.len(), 6 + 15);
+        assert!(rep.makespan > 0.0);
+        // Physical resources only compute (plus free local exchanges).
+        for s in 0..6 {
+            let pure_compute = 2.0 * inst.computation(s) * inst.processing_cost(s);
+            assert!(
+                close(rep.busy[s], pure_compute),
+                "resource {s}: {} vs {}",
+                rep.busy[s],
+                pure_compute
+            );
+        }
+        // Total channel busy time equals the total communication cost of
+        // Eq. 1 (each transfer appears once, on its channel).
+        let analytic = exec_per_resource(&inst, m.as_slice());
+        let total_comm_eq1: f64 = analytic
+            .iter()
+            .enumerate()
+            .map(|(s, &l)| l - inst.computation(s) * inst.processing_cost(s))
+            .sum();
+        let total_channel: f64 = rep.busy[6..].iter().sum();
+        assert!(
+            close(total_channel, 2.0 * total_comm_eq1),
+            "channels {} vs 2 rounds × Eq.1 comm {}",
+            total_channel,
+            2.0 * total_comm_eq1
+        );
+    }
+
+    #[test]
+    fn link_contention_can_beat_serial_sends() {
+        // With sends offloaded to channels, resources overlap compute
+        // with communication: makespan should usually drop below the
+        // paper-serial model on communication-heavy mappings.
+        let inst = instance(10, 21);
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut link_wins = 0;
+        for _ in 0..5 {
+            let m = Mapping::new(random_permutation(10, &mut rng));
+            let serial = Simulator::new(
+                &inst,
+                SimConfig { rounds: 3, mode: SimMode::PaperSerial, trace: false },
+            )
+            .run(&m);
+            let link = Simulator::new(
+                &inst,
+                SimConfig { rounds: 3, mode: SimMode::LinkContention, trace: false },
+            )
+            .run(&m);
+            assert!(link.makespan > 0.0);
+            if link.makespan <= serial.makespan {
+                link_wins += 1;
+            }
+        }
+        assert!(link_wins >= 3, "link contention won only {link_wins}/5");
+    }
+
+    #[test]
+    fn link_contention_single_round_no_deadlock() {
+        let inst = instance(8, 23);
+        let m = Mapping::identity(8);
+        let cfg = SimConfig { rounds: 1, mode: SimMode::LinkContention, trace: false };
+        let rep = Simulator::new(&inst, cfg).run(&m);
+        assert!(rep.makespan.is_finite());
+        assert!(rep.events > 0);
+    }
+
+    #[test]
+    fn trace_is_consistent() {
+        let inst = instance(6, 7);
+        let m = Mapping::identity(6);
+        let cfg = SimConfig { rounds: 2, mode: SimMode::BlockingReceives, trace: true };
+        let rep = Simulator::new(&inst, cfg).run(&m);
+        let trace = rep.trace.as_ref().unwrap();
+        // Every entry well-formed; per-resource entries non-overlapping
+        // and in order.
+        let mut last_end = [0.0f64; 6];
+        for e in trace {
+            assert!(e.end >= e.start);
+            assert!(e.start >= last_end[e.resource] - 1e-12, "overlap on {}", e.resource);
+            last_end[e.resource] = e.end;
+        }
+        // Makespan equals the max trace end.
+        let max_end = trace.iter().map(|e| e.end).fold(0.0, f64::max);
+        assert!(close(rep.makespan, max_end));
+        // Item count: rounds × (n computes + 2|E| transfers).
+        let expected = 2 * (6 + inst.adjacency_len());
+        assert_eq!(trace.len(), expected);
+    }
+
+    #[test]
+    fn colocated_transfers_are_free() {
+        let inst = instance(5, 8);
+        let all_on_0 = Mapping::new(vec![0; 5]);
+        let rep = Simulator::new(&inst, SimConfig::default()).run(&all_on_0);
+        // Only compute time accrues on resource 0.
+        let expected: f64 = (0..5)
+            .map(|t| inst.computation(t) * inst.processing_cost(0))
+            .sum();
+        assert!(close(rep.busy[0], expected));
+        for s in 1..5 {
+            assert_eq!(rep.busy[s], 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_rounds_is_empty() {
+        let inst = instance(4, 9);
+        let rep = Simulator::new(&inst, SimConfig { rounds: 0, ..Default::default() })
+            .run(&Mapping::identity(4));
+        assert_eq!(rep.makespan, 0.0);
+        assert_eq!(rep.events, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover")]
+    fn wrong_mapping_length_rejected() {
+        let inst = instance(4, 10);
+        Simulator::new(&inst, SimConfig::default()).run(&Mapping::identity(3));
+    }
+}

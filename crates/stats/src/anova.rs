@@ -1,0 +1,240 @@
+//! One-way fixed-effects ANOVA.
+//!
+//! The paper (Table 3) runs MaTCH and two configurations of FastMap-GA 30
+//! times each on a 10-node instance and reports the F statistic (1547) and
+//! p-value (< 0.0001) for the null hypothesis that all three heuristics
+//! have equal mean execution time. This module reproduces that analysis.
+
+use crate::descriptive::mean;
+use crate::dist::FisherF;
+
+/// Result of a one-way ANOVA over `k` groups with `n` total observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnovaResult {
+    /// Number of groups `k`.
+    pub groups: usize,
+    /// Total number of observations `n`.
+    pub total_n: usize,
+    /// Between-group sum of squares (treatment SS).
+    pub ss_between: f64,
+    /// Within-group sum of squares (error SS).
+    pub ss_within: f64,
+    /// Between-group degrees of freedom, `k - 1`.
+    pub df_between: usize,
+    /// Within-group degrees of freedom, `n - k`.
+    pub df_within: usize,
+    /// Mean square between, `SS_b / df_b`.
+    pub ms_between: f64,
+    /// Mean square within, `SS_w / df_w`.
+    pub ms_within: f64,
+    /// The F statistic `MS_b / MS_w`.
+    pub f_statistic: f64,
+    /// `P(F > f_statistic)` under the null hypothesis.
+    pub p_value: f64,
+}
+
+impl AnovaResult {
+    /// True when the null hypothesis is rejected at significance `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Errors from [`one_way_anova`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnovaError {
+    /// Fewer than two groups were supplied.
+    TooFewGroups,
+    /// A group was empty.
+    EmptyGroup(usize),
+    /// The within-group degrees of freedom are zero (every group has a
+    /// single observation).
+    NoErrorDof,
+}
+
+impl std::fmt::Display for AnovaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnovaError::TooFewGroups => write!(f, "ANOVA needs at least two groups"),
+            AnovaError::EmptyGroup(i) => write!(f, "group {i} is empty"),
+            AnovaError::NoErrorDof => {
+                write!(f, "every group has one observation; no error degrees of freedom")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnovaError {}
+
+/// One-way fixed-effects ANOVA over `groups` (each a sample of
+/// observations, here: execution times of one heuristic).
+///
+/// Returns the full decomposition: sums of squares, mean squares, the F
+/// statistic and its p-value under `F(k-1, n-k)`.
+///
+/// ```
+/// use match_stats::one_way_anova;
+///
+/// let fast = [10.0, 11.0, 9.5, 10.5];
+/// let slow = [20.0, 21.0, 19.5, 20.5];
+/// let r = one_way_anova(&[&fast, &slow]).unwrap();
+/// assert!(r.f_statistic > 100.0);
+/// assert!(r.significant_at(0.001));
+/// ```
+pub fn one_way_anova(groups: &[&[f64]]) -> Result<AnovaResult, AnovaError> {
+    if groups.len() < 2 {
+        return Err(AnovaError::TooFewGroups);
+    }
+    for (i, g) in groups.iter().enumerate() {
+        if g.is_empty() {
+            return Err(AnovaError::EmptyGroup(i));
+        }
+    }
+    let k = groups.len();
+    let total_n: usize = groups.iter().map(|g| g.len()).sum();
+    if total_n <= k {
+        return Err(AnovaError::NoErrorDof);
+    }
+
+    let grand_sum: f64 = groups.iter().flat_map(|g| g.iter()).sum();
+    let grand_mean = grand_sum / total_n as f64;
+
+    let mut ss_between = 0.0;
+    let mut ss_within = 0.0;
+    for g in groups {
+        let gm = mean(g);
+        ss_between += g.len() as f64 * (gm - grand_mean) * (gm - grand_mean);
+        ss_within += g.iter().map(|x| (x - gm) * (x - gm)).sum::<f64>();
+    }
+
+    let df_between = k - 1;
+    let df_within = total_n - k;
+    let ms_between = ss_between / df_between as f64;
+    let ms_within = ss_within / df_within as f64;
+
+    // Degenerate case: zero within-group variance. If the group means also
+    // coincide the statistic is undefined (0/0 → NaN-ish); we report F = 0.
+    // Otherwise the separation is perfect and F is infinite with p = 0.
+    let (f_statistic, p_value) = if ms_within == 0.0 {
+        if ms_between == 0.0 {
+            (0.0, 1.0)
+        } else {
+            (f64::INFINITY, 0.0)
+        }
+    } else {
+        let f = ms_between / ms_within;
+        let dist = FisherF::new(df_between as f64, df_within as f64);
+        (f, dist.sf(f))
+    };
+
+    Ok(AnovaResult {
+        groups: k,
+        total_n,
+        ss_between,
+        ss_within,
+        df_between,
+        df_within,
+        ms_between,
+        ms_within,
+        f_statistic,
+        p_value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic 3-group example (e.g. NIST style):
+        // g1 = [6, 8, 4, 5, 3, 4], g2 = [8, 12, 9, 11, 6, 8], g3 = [13, 9, 11, 8, 7, 12]
+        // Grand mean = 8; SSB = 84; SSW = 68; F = (84/2)/(68/15) = 9.264...
+        let g1 = [6.0, 8.0, 4.0, 5.0, 3.0, 4.0];
+        let g2 = [8.0, 12.0, 9.0, 11.0, 6.0, 8.0];
+        let g3 = [13.0, 9.0, 11.0, 8.0, 7.0, 12.0];
+        let r = one_way_anova(&[&g1, &g2, &g3]).unwrap();
+        assert_eq!(r.groups, 3);
+        assert_eq!(r.total_n, 18);
+        assert_eq!(r.df_between, 2);
+        assert_eq!(r.df_within, 15);
+        assert!(close(r.ss_between, 84.0, 1e-9));
+        assert!(close(r.ss_within, 68.0, 1e-9));
+        assert!(close(r.f_statistic, 42.0 / (68.0 / 15.0), 1e-9));
+        // p-value for F=9.2647 with dof (2,15) is about 0.0024.
+        assert!(close(r.p_value, 0.0024, 5e-4), "p = {}", r.p_value);
+        assert!(r.significant_at(0.05));
+        assert!(!r.significant_at(0.001));
+    }
+
+    #[test]
+    fn identical_groups_give_f_near_zero() {
+        let g = [1.0, 2.0, 3.0, 4.0];
+        let r = one_way_anova(&[&g, &g, &g]).unwrap();
+        assert!(close(r.f_statistic, 0.0, 1e-12));
+        assert!(close(r.p_value, 1.0, 1e-9));
+    }
+
+    #[test]
+    fn well_separated_groups_are_significant() {
+        let g1 = [1.0, 1.1, 0.9, 1.05];
+        let g2 = [10.0, 10.2, 9.8, 10.1];
+        let r = one_way_anova(&[&g1, &g2]).unwrap();
+        assert!(r.f_statistic > 100.0);
+        assert!(r.p_value < 1e-4);
+    }
+
+    #[test]
+    fn unbalanced_groups_supported() {
+        let g1 = [5.0, 6.0, 7.0];
+        let g2 = [5.5, 6.5];
+        let g3 = [6.0, 7.0, 8.0, 9.0];
+        let r = one_way_anova(&[&g1, &g2, &g3]).unwrap();
+        assert_eq!(r.total_n, 9);
+        assert_eq!(r.df_within, 6);
+        assert!(r.f_statistic.is_finite());
+    }
+
+    #[test]
+    fn ss_decomposition_sums_to_total() {
+        let g1 = [2.0, 4.0, 6.0];
+        let g2 = [1.0, 3.0, 5.0, 7.0];
+        let r = one_way_anova(&[&g1, &g2]).unwrap();
+        let all: Vec<f64> = g1.iter().chain(g2.iter()).copied().collect();
+        let gm = mean(&all);
+        let ss_total: f64 = all.iter().map(|x| (x - gm) * (x - gm)).sum();
+        assert!(close(r.ss_between + r.ss_within, ss_total, 1e-10));
+    }
+
+    #[test]
+    fn zero_within_variance_separated_means() {
+        let g1 = [3.0, 3.0, 3.0];
+        let g2 = [9.0, 9.0, 9.0];
+        let r = one_way_anova(&[&g1, &g2]).unwrap();
+        assert!(r.f_statistic.is_infinite());
+        assert_eq!(r.p_value, 0.0);
+    }
+
+    #[test]
+    fn zero_variance_equal_means() {
+        let g = [4.0, 4.0];
+        let r = one_way_anova(&[&g, &g]).unwrap();
+        assert_eq!(r.f_statistic, 0.0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn error_cases() {
+        let g = [1.0, 2.0];
+        assert_eq!(one_way_anova(&[&g]), Err(AnovaError::TooFewGroups));
+        assert_eq!(one_way_anova(&[&g, &[]]), Err(AnovaError::EmptyGroup(1)));
+        assert_eq!(
+            one_way_anova(&[&[1.0], &[2.0]]),
+            Err(AnovaError::NoErrorDof)
+        );
+    }
+}

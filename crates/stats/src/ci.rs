@@ -1,0 +1,114 @@
+//! t-based confidence intervals for a sample mean.
+//!
+//! The paper's Table 3 quotes a "95% Confidence Interval for Mean" per
+//! heuristic; this module computes the standard small-sample interval
+//! `mean ± t*(n-1) · s / sqrt(n)`.
+
+use crate::descriptive::{mean, sample_std_dev};
+use crate::dist::StudentT;
+
+/// A two-sided confidence interval for a mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// True when `x` lies inside the interval (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// True when two intervals do not overlap — the quick visual test the
+    /// paper's Table 3 supports (MaTCH's interval is disjoint from both
+    /// GA configurations').
+    pub fn disjoint_from(&self, other: &ConfidenceInterval) -> bool {
+        self.hi < other.lo || other.hi < self.lo
+    }
+}
+
+/// Two-sided t confidence interval for the mean of `xs`.
+///
+/// Requires at least two observations and `0 < confidence < 1`; returns
+/// `None` otherwise.
+pub fn mean_confidence_interval(xs: &[f64], confidence: f64) -> Option<ConfidenceInterval> {
+    if xs.len() < 2 || !(0.0..1.0).contains(&confidence) || confidence == 0.0 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let m = mean(xs);
+    let s = sample_std_dev(xs);
+    let t_star = StudentT::new(n - 1.0).two_sided_critical(confidence);
+    let hw = t_star * s / n.sqrt();
+    Some(ConfidenceInterval {
+        mean: m,
+        lo: m - hw,
+        hi: m + hw,
+        confidence,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn known_interval() {
+        // xs = [10, 12, 14]; mean 12, s = 2, n = 3, t*(2, 95%) = 4.3027;
+        // hw = 4.3027 * 2 / sqrt(3) = 4.9684.
+        let ci = mean_confidence_interval(&[10.0, 12.0, 14.0], 0.95).unwrap();
+        assert!(close(ci.mean, 12.0, 1e-12));
+        assert!(close(ci.half_width(), 4.9684, 1e-3));
+        assert!(ci.contains(12.0));
+        assert!(!ci.contains(20.0));
+    }
+
+    #[test]
+    fn higher_confidence_is_wider() {
+        let xs = [5.0, 7.0, 9.0, 6.0, 8.0];
+        let c90 = mean_confidence_interval(&xs, 0.90).unwrap();
+        let c99 = mean_confidence_interval(&xs, 0.99).unwrap();
+        assert!(c99.half_width() > c90.half_width());
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(mean_confidence_interval(&[1.0], 0.95).is_none());
+        assert!(mean_confidence_interval(&[], 0.95).is_none());
+        assert!(mean_confidence_interval(&[1.0, 2.0], 0.0).is_none());
+        assert!(mean_confidence_interval(&[1.0, 2.0], 1.0).is_none());
+    }
+
+    #[test]
+    fn zero_variance_gives_point_interval() {
+        let ci = mean_confidence_interval(&[3.0, 3.0, 3.0], 0.95).unwrap();
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = ConfidenceInterval { mean: 1.0, lo: 0.5, hi: 1.5, confidence: 0.95 };
+        let b = ConfidenceInterval { mean: 5.0, lo: 4.0, hi: 6.0, confidence: 0.95 };
+        let c = ConfidenceInterval { mean: 1.4, lo: 1.2, hi: 1.6, confidence: 0.95 };
+        assert!(a.disjoint_from(&b));
+        assert!(b.disjoint_from(&a));
+        assert!(!a.disjoint_from(&c));
+    }
+}

@@ -1,0 +1,202 @@
+//! Descriptive statistics over slices of `f64`.
+//!
+//! These are the quantities quoted directly in the paper's Table 3:
+//! absolute mean, standard deviation and median of the execution-time
+//! samples. Quantiles additionally back the CE method itself, whose elite
+//! threshold is the sample `(1 - ρ)`-quantile of the performances.
+
+/// Arithmetic mean of `xs`. Returns `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (divides by `n - 1`).
+///
+/// Returns `NaN` when fewer than two observations are supplied. Uses the
+/// two-pass algorithm, which is numerically robust for the sample sizes
+/// used in the experiments (tens to thousands of observations).
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    ss / (xs.len() - 1) as f64
+}
+
+/// Unbiased sample standard deviation (square root of [`sample_variance`]).
+pub fn sample_std_dev(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Population variance (divides by `n`). Returns `NaN` for an empty slice.
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Median of `xs` (average of the two central order statistics for even
+/// lengths). Returns `NaN` for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolation quantile (type 7, the R/NumPy default).
+///
+/// `q` must lie in `[0, 1]`; values outside are clamped. Returns `NaN` for
+/// an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&sorted, q)
+}
+
+/// [`quantile`] over data already sorted ascending, avoiding the copy.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Smallest element, or `NaN` if empty.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NAN, f64::min)
+}
+
+/// Largest element, or `NaN` if empty.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NAN, f64::max)
+}
+
+/// A five-number-plus summary of a sample, as reported per heuristic in
+/// the paper's statistical analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std_dev: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a sample. Empty samples yield `NaN` fields and `n = 0`.
+    pub fn of(xs: &[f64]) -> Self {
+        Summary {
+            n: xs.len(),
+            mean: mean(xs),
+            std_dev: sample_std_dev(xs),
+            median: median(xs),
+            min: min(xs),
+            max: max(xs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn mean_of_empty_is_nan() {
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn sample_variance_matches_hand_computation() {
+        // xs = [2, 4, 4, 4, 5, 5, 7, 9]; mean 5; SS = 32; var = 32/7.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!(close(sample_variance(&xs), 32.0 / 7.0, 1e-12));
+        assert!(close(population_variance(&xs), 4.0, 1e-12));
+    }
+
+    #[test]
+    fn variance_of_singleton_is_nan() {
+        assert!(sample_variance(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn std_dev_is_sqrt_of_variance() {
+        let xs = [1.0, 3.0, 5.0];
+        assert!(close(sample_std_dev(&xs), sample_variance(&xs).sqrt(), 0.0));
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_endpoints_are_min_and_max() {
+        let xs = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 9.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        // Sorted: [10, 20, 30, 40]; q=0.25 -> h=0.75 -> 10*(0.25)+20*(0.75)=17.5
+        let xs = [40.0, 10.0, 30.0, 20.0];
+        assert!(close(quantile(&xs, 0.25), 17.5, 1e-12));
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range() {
+        let xs = [1.0, 2.0];
+        assert_eq!(quantile(&xs, -3.0), 1.0);
+        assert_eq!(quantile(&xs, 7.0), 2.0);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 3.0);
+        assert!(close(s.mean, 22.0, 1e-12));
+    }
+
+    #[test]
+    fn min_max_of_empty_is_nan() {
+        assert!(min(&[]).is_nan());
+        assert!(max(&[]).is_nan());
+    }
+}

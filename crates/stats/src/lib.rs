@@ -1,0 +1,44 @@
+//! Statistics substrate for the MaTCH reproduction.
+//!
+//! The paper's Table 3 reports a one-way ANalysis Of VAriance (ANOVA) over
+//! 30 independent runs of three heuristics, together with means, medians,
+//! standard deviations and 95% confidence intervals. The original authors
+//! used an (unnamed) statistics package; this crate re-implements the
+//! required machinery from first principles so the whole experiment is
+//! self-contained:
+//!
+//! * [`descriptive`] — means, variances, medians, quantiles, summaries.
+//! * [`online`] — Welford one-pass accumulators that can be merged across
+//!   threads.
+//! * [`special`] — log-gamma, beta and the regularised incomplete beta
+//!   function, the numerical core behind the t and F distributions.
+//! * [`dist`] — Student t and Fisher F distributions (CDF / survival /
+//!   inverse CDF).
+//! * [`anova`] — one-way fixed-effects ANOVA producing the F statistic and
+//!   p-value quoted in Table 3.
+//! * [`ci`] — t-based confidence intervals for a sample mean.
+//! * [`regression`] — simple least-squares linear regression, used by the
+//!   benchmark harness to check growth rates (e.g. that MaTCH's mapping
+//!   time grows super-linearly in `|V_r|`).
+//!
+//! All routines are pure, deterministic and dependency-free.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anova;
+pub mod ci;
+pub mod descriptive;
+pub mod dist;
+pub mod online;
+pub mod regression;
+pub mod special;
+pub mod ttest;
+
+pub use anova::{one_way_anova, AnovaResult};
+pub use ci::{mean_confidence_interval, ConfidenceInterval};
+pub use descriptive::{mean, median, quantile, sample_std_dev, sample_variance, Summary};
+pub use dist::{FisherF, StudentT};
+pub use online::OnlineStats;
+pub use regression::{linear_regression, power_law_fit, LinearFit};
+pub use ttest::{welch_t_test, TTestResult};

@@ -1,0 +1,140 @@
+//! Simple least-squares linear regression.
+//!
+//! Used by the experiment harness to check scaling claims, e.g. that
+//! MaTCH's mapping time grows super-linearly in the problem size while
+//! FastMap-GA's is close to linear (paper Figure 8), by fitting log-log
+//! slopes.
+
+/// Result of fitting `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least squares fit of `ys` on `xs`.
+///
+/// Returns `None` when fewer than two points are given, the slices have
+/// different lengths, or all `x` are identical (vertical line).
+pub fn linear_regression(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 {
+        1.0 // constant y is fit exactly by slope 0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        n: xs.len(),
+    })
+}
+
+/// Fit `y ≈ a · x^b` by regressing `ln y` on `ln x`; returns `(a, b, r²)`.
+///
+/// All `x` and `y` must be strictly positive; returns `None` otherwise.
+/// The exponent `b` is the growth order (e.g. ≈2 for the quadratic growth
+/// of MaTCH's per-iteration sample count `N = 2|V_r|²`).
+pub fn power_law_fit(xs: &[f64], ys: &[f64]) -> Option<(f64, f64, f64)> {
+    if xs.iter().any(|&x| x <= 0.0) || ys.iter().any(|&y| y <= 0.0) {
+        return None;
+    }
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let fit = linear_regression(&lx, &ly)?;
+    Some((fit.intercept.exp(), fit.slope, fit.r_squared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        let fit = linear_regression(&xs, &ys).unwrap();
+        assert!(close(fit.slope, 3.0, 1e-12));
+        assert!(close(fit.intercept, -1.0, 1e-12));
+        assert!(close(fit.r_squared, 1.0, 1e-12));
+        assert!(close(fit.predict(10.0), 29.0, 1e-12));
+    }
+
+    #[test]
+    fn noisy_line_has_r2_below_one() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.1, 0.9, 2.2, 2.8, 4.1];
+        let fit = linear_regression(&xs, &ys).unwrap();
+        assert!(fit.r_squared > 0.98 && fit.r_squared < 1.0);
+        assert!(close(fit.slope, 1.0, 0.1));
+    }
+
+    #[test]
+    fn constant_y_is_flat() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let fit = linear_regression(&xs, &ys).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(linear_regression(&[1.0], &[2.0]).is_none());
+        assert!(linear_regression(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(linear_regression(&[2.0, 2.0], &[1.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x * x).collect();
+        let (a, b, r2) = power_law_fit(&xs, &ys).unwrap();
+        assert!(close(a, 0.5, 1e-9));
+        assert!(close(b, 2.0, 1e-9));
+        assert!(close(r2, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn power_law_rejects_nonpositive() {
+        assert!(power_law_fit(&[1.0, -2.0], &[1.0, 2.0]).is_none());
+        assert!(power_law_fit(&[1.0, 2.0], &[0.0, 2.0]).is_none());
+    }
+}

@@ -1,0 +1,232 @@
+//! Special functions: log-gamma, beta, and the regularised incomplete beta
+//! function.
+//!
+//! These are the numerical workhorses behind the Student t and Fisher F
+//! distributions in [`crate::dist`], which in turn produce the p-value the
+//! paper quotes for its ANOVA test (`p < 0.0001`). Implementations follow
+//! the classic formulations (Lanczos approximation; Lentz's continued
+//! fraction for the incomplete beta as in *Numerical Recipes*), with
+//! accuracy verified against independently tabulated values in the tests.
+
+/// Natural log of the gamma function, via the Lanczos approximation
+/// (g = 7, n = 9 coefficients).
+///
+/// Accurate to ~1e-13 relative error for `x > 0`. For `x <= 0` the
+/// reflection formula is used; poles at non-positive integers return
+/// `f64::INFINITY`.
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1-x) = π / sin(πx)
+        let s = (std::f64::consts::PI * x).sin();
+        if s == 0.0 {
+            return f64::INFINITY;
+        }
+        std::f64::consts::PI.ln() - s.abs().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut acc = COEFFS[0];
+        for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        let t = x + 7.5;
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+    }
+}
+
+/// Natural log of the complete beta function `B(a, b)`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Regularised incomplete beta function `I_x(a, b)`.
+///
+/// Computed with Lentz's modified continued-fraction algorithm, using the
+/// symmetry `I_x(a,b) = 1 - I_{1-x}(b,a)` to stay in the rapidly converging
+/// region. Parameters must satisfy `a > 0`, `b > 0`, `0 <= x <= 1`;
+/// violations return `NaN`.
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    let params_valid = a > 0.0 && b > 0.0 && (0.0..=1.0).contains(&x);
+    if !params_valid {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // Prefactor x^a (1-x)^b / (a B(a,b)), in log space for stability.
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (ln_front.exp() / a) * beta_cf(a, b, x)
+    } else {
+        1.0 - (ln_front.exp() / b) * beta_cf(b, a, 1.0 - x)
+    }
+}
+
+/// Continued fraction for the incomplete beta (Numerical Recipes `betacf`).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + b.abs())
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)! for integer n.
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, &f) in facts.iter().enumerate() {
+            let x = (n + 1) as f64;
+            assert!(
+                close(ln_gamma(x), f64::ln(f), 1e-12),
+                "ln_gamma({x}) = {} want ln({f})",
+                ln_gamma(x)
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(π); Γ(3/2) = sqrt(π)/2.
+        let sqrt_pi = std::f64::consts::PI.sqrt();
+        assert!(close(ln_gamma(0.5), sqrt_pi.ln(), 1e-12));
+        assert!(close(ln_gamma(1.5), (sqrt_pi / 2.0).ln(), 1e-12));
+    }
+
+    #[test]
+    fn ln_gamma_reflection_region() {
+        // Γ(-0.5) = -2 sqrt(π); ln|Γ| = ln(2 sqrt(π)).
+        let want = (2.0 * std::f64::consts::PI.sqrt()).ln();
+        assert!(close(ln_gamma(-0.5), want, 1e-10));
+    }
+
+    #[test]
+    fn ln_beta_symmetry_and_value() {
+        // B(2,3) = 1/12.
+        assert!(close(ln_beta(2.0, 3.0), (1.0f64 / 12.0).ln(), 1e-12));
+        assert!(close(ln_beta(4.5, 1.25), ln_beta(1.25, 4.5), 1e-13));
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1,1) = x.
+        for &x in &[0.1, 0.33, 0.5, 0.9] {
+            assert!(close(incomplete_beta(1.0, 1.0, x), x, 1e-13));
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a).
+        for &(a, b, x) in &[(2.5, 4.0, 0.3), (7.0, 1.5, 0.8), (0.5, 0.5, 0.25)] {
+            let lhs = incomplete_beta(a, b, x);
+            let rhs = 1.0 - incomplete_beta(b, a, 1.0 - x);
+            assert!(close(lhs, rhs, 1e-12), "({a},{b},{x}): {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_known_values() {
+        // I_{0.5}(2,2) = 0.5 by symmetry; I_{0.5}(0.5,0.5) = 0.5 (arcsine law).
+        assert!(close(incomplete_beta(2.0, 2.0, 0.5), 0.5, 1e-12));
+        assert!(close(incomplete_beta(0.5, 0.5, 0.5), 0.5, 1e-12));
+        // I_x(1,b) = 1 - (1-x)^b.
+        let x = 0.2;
+        let b = 5.0;
+        assert!(close(
+            incomplete_beta(1.0, b, x),
+            1.0 - (1.0 - x).powf(b),
+            1e-12
+        ));
+        // I_x(a,1) = x^a.
+        assert!(close(incomplete_beta(3.0, 1.0, 0.7), 0.7f64.powi(3), 1e-12));
+    }
+
+    #[test]
+    fn incomplete_beta_rejects_bad_args() {
+        assert!(incomplete_beta(-1.0, 2.0, 0.5).is_nan());
+        assert!(incomplete_beta(1.0, 0.0, 0.5).is_nan());
+        assert!(incomplete_beta(1.0, 1.0, 1.5).is_nan());
+    }
+
+    #[test]
+    fn incomplete_beta_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 1..100 {
+            let x = i as f64 / 100.0;
+            let v = incomplete_beta(3.0, 5.0, x);
+            assert!(v >= prev, "not monotone at x={x}");
+            prev = v;
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Welch's two-sample t-test (unequal variances).
+//!
+//! The ANOVA of Table 3 answers "are the three heuristics equal?";
+//! pairwise Welch tests answer the follow-up the paper leaves implicit
+//! — *which* pairs differ — without assuming equal variances (MaTCH's
+//! spread differs hugely from the GA's).
+
+use crate::descriptive::{mean, sample_variance};
+use crate::dist::StudentT;
+
+/// Result of a Welch two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic (positive when the first sample's mean is
+    /// larger).
+    pub t_statistic: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub dof: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Difference of means `mean(a) − mean(b)`.
+    pub mean_difference: f64,
+}
+
+impl TTestResult {
+    /// True when the null (equal means) is rejected at `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Welch's t-test on two samples. Returns `None` when either sample has
+/// fewer than two observations or both variances are zero.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (sample_variance(a), sample_variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        // Zero variance on both sides: equal means → no evidence;
+        // unequal means → infinitely strong evidence.
+        return Some(if ma == mb {
+            TTestResult {
+                t_statistic: 0.0,
+                dof: na + nb - 2.0,
+                p_value: 1.0,
+                mean_difference: 0.0,
+            }
+        } else {
+            TTestResult {
+                t_statistic: if ma > mb { f64::INFINITY } else { f64::NEG_INFINITY },
+                dof: na + nb - 2.0,
+                p_value: 0.0,
+                mean_difference: ma - mb,
+            }
+        });
+    }
+    let t = (ma - mb) / se2.sqrt();
+    // Welch–Satterthwaite.
+    let dof = se2 * se2
+        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let dist = StudentT::new(dof.max(1.0));
+    let p = 2.0 * dist.sf(t.abs());
+    Some(TTestResult {
+        t_statistic: t,
+        dof,
+        p_value: p.clamp(0.0, 1.0),
+        mean_difference: ma - mb,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_not_significant() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let r = welch_t_test(&xs, &xs).unwrap();
+        assert_eq!(r.t_statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn well_separated_samples_significant() {
+        let a = [10.0, 10.2, 9.8, 10.1, 9.9];
+        let b = [20.0, 20.3, 19.7, 20.1, 19.9];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(r.t_statistic < -50.0);
+        assert!(r.p_value < 1e-6);
+        assert!((r.mean_difference + 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn textbook_value() {
+        // Reference values computed independently with the Welch
+        // formulas: t = -2.83526, dof = 27.7136.
+        let a = [
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6,
+            19.0, 21.7, 21.4,
+        ];
+        let b = [
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1,
+            22.9, 30.0, 23.9,
+        ];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!(
+            (r.t_statistic - (-2.83526)).abs() < 1e-4,
+            "t = {}",
+            r.t_statistic
+        );
+        assert!((r.dof - 27.7136).abs() < 1e-3, "dof = {}", r.dof);
+        assert!(r.significant_at(0.05));
+        // p ≈ 0.0085 for t = -2.835 with 27.7 dof.
+        assert!((r.p_value - 0.0085).abs() < 0.001, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn zero_variance_cases() {
+        let a = [5.0, 5.0, 5.0];
+        let b = [5.0, 5.0];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert_eq!(r.p_value, 1.0);
+        let c = [7.0, 7.0];
+        let r = welch_t_test(&a, &c).unwrap();
+        assert_eq!(r.p_value, 0.0);
+        assert!(r.t_statistic.is_infinite());
+    }
+
+    #[test]
+    fn tiny_samples_rejected() {
+        assert!(welch_t_test(&[1.0], &[2.0, 3.0]).is_none());
+        assert!(welch_t_test(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 7.0];
+        let r1 = welch_t_test(&a, &b).unwrap();
+        let r2 = welch_t_test(&b, &a).unwrap();
+        assert!((r1.t_statistic + r2.t_statistic).abs() < 1e-12);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the statistics substrate.
+
+use match_stats::*;
+use proptest::prelude::*;
+
+fn finite_samples(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6f64..1.0e6, min_len..64)
+}
+
+proptest! {
+    #[test]
+    fn mean_is_between_min_and_max(xs in finite_samples(1)) {
+        let m = mean(&xs);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+    }
+
+    #[test]
+    fn variance_nonnegative_and_shift_invariant(xs in finite_samples(2), shift in -1.0e5f64..1.0e5) {
+        let v = sample_variance(&xs);
+        prop_assert!(v >= -1e-9);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let vs = sample_variance(&shifted);
+        prop_assert!((v - vs).abs() <= 1e-4 * (1.0 + v.abs()),
+            "variance not shift invariant: {} vs {}", v, vs);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(xs in finite_samples(1), q1 in 0.0f64..=1.0, q2 in 0.0f64..=1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-12);
+    }
+
+    #[test]
+    fn online_matches_two_pass(xs in finite_samples(2)) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        prop_assert!((s.mean() - mean(&xs)).abs() <= 1e-6 * (1.0 + mean(&xs).abs()));
+        let v2 = sample_variance(&xs);
+        prop_assert!((s.sample_variance() - v2).abs() <= 1e-6 * (1.0 + v2.abs()));
+    }
+
+    #[test]
+    fn online_merge_any_split(xs in finite_samples(2), split in 0usize..64) {
+        let k = split % xs.len();
+        let mut a: OnlineStats = xs[..k].iter().copied().collect();
+        let b: OnlineStats = xs[k..].iter().copied().collect();
+        a.merge(&b);
+        let whole: OnlineStats = xs.iter().copied().collect();
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+    }
+
+    #[test]
+    fn ci_contains_sample_mean(xs in finite_samples(2), conf in 0.5f64..0.999) {
+        if let Some(ci) = mean_confidence_interval(&xs, conf) {
+            prop_assert!(ci.contains(ci.mean));
+            prop_assert!(ci.lo <= ci.hi);
+        }
+    }
+
+    #[test]
+    fn anova_identical_groups_not_significant(xs in finite_samples(3)) {
+        // Identical groups: zero between-group variance, F = 0.
+        let r = one_way_anova(&[&xs, &xs, &xs]).unwrap();
+        prop_assert!(r.f_statistic.abs() < 1e-6, "F = {}", r.f_statistic);
+        prop_assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn anova_f_nonnegative(a in finite_samples(2), b in finite_samples(2)) {
+        let r = one_way_anova(&[&a, &b]).unwrap();
+        prop_assert!(r.f_statistic >= 0.0 || r.f_statistic.is_infinite());
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+    }
+
+    #[test]
+    fn t_cdf_monotone_and_bounded(nu in 1.0f64..50.0, x1 in -20.0f64..20.0, x2 in -20.0f64..20.0) {
+        let t = StudentT::new(nu);
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let c1 = t.cdf(lo);
+        let c2 = t.cdf(hi);
+        prop_assert!((0.0..=1.0).contains(&c1));
+        prop_assert!(c1 <= c2 + 1e-12);
+    }
+
+    #[test]
+    fn f_sf_complements_cdf_everywhere(d1 in 1.0f64..40.0, d2 in 1.0f64..40.0, x in 0.0f64..50.0) {
+        let f = FisherF::new(d1, d2);
+        prop_assert!((f.cdf(x) + f.sf(x) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_residuals_orthogonal(xs in proptest::collection::vec(-100.0f64..100.0, 3..32),
+                                       noise in proptest::collection::vec(-1.0f64..1.0, 3..32)) {
+        // Fit y = 2x + 1 + noise; the fitted line's residuals must sum to ~0.
+        let n = xs.len().min(noise.len());
+        let xs = &xs[..n];
+        let ys: Vec<f64> = xs.iter().zip(&noise[..n]).map(|(x, e)| 2.0 * x + 1.0 + e).collect();
+        if let Some(fit) = linear_regression(xs, &ys) {
+            let resid_sum: f64 = xs.iter().zip(&ys).map(|(&x, &y)| y - fit.predict(x)).sum();
+            prop_assert!(resid_sum.abs() < 1e-6 * (1.0 + ys.iter().map(|y| y.abs()).sum::<f64>()));
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&fit.r_squared));
+        }
+    }
+}

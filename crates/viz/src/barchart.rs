@@ -1,0 +1,149 @@
+//! Horizontal grouped bar charts (the rendering behind Figures 7–9).
+
+use crate::fmt::format_sig;
+
+/// One group of bars (e.g. one `|V_r|` size with a bar per heuristic).
+#[derive(Debug, Clone)]
+pub struct BarGroup {
+    /// Group label (e.g. `"|V| = 10"`).
+    pub label: String,
+    /// `(series name, value)` per bar.
+    pub bars: Vec<(String, f64)>,
+}
+
+/// A horizontal bar chart over groups of labelled series.
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    groups: Vec<BarGroup>,
+    width: usize,
+    log_scale: bool,
+}
+
+impl BarChart {
+    /// A chart with the given title.
+    pub fn new<S: Into<String>>(title: S) -> Self {
+        BarChart {
+            title: title.into(),
+            groups: Vec::new(),
+            width: 50,
+            log_scale: false,
+        }
+    }
+
+    /// Bar area width in characters (default 50).
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.width = width.max(4);
+        self
+    }
+
+    /// Scale bar lengths logarithmically — needed for Figures 7 and 9,
+    /// whose series span two orders of magnitude.
+    pub fn with_log_scale(mut self) -> Self {
+        self.log_scale = true;
+        self
+    }
+
+    /// Append a group.
+    pub fn add_group<S: Into<String>>(&mut self, label: S, bars: Vec<(String, f64)>) -> &mut Self {
+        self.groups.push(BarGroup {
+            label: label.into(),
+            bars,
+        });
+        self
+    }
+
+    /// Render the chart.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let max = self
+            .groups
+            .iter()
+            .flat_map(|g| g.bars.iter().map(|&(_, v)| v))
+            .filter(|v| v.is_finite())
+            .fold(0.0f64, f64::max);
+        if max <= 0.0 || self.groups.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let name_w = self
+            .groups
+            .iter()
+            .flat_map(|g| g.bars.iter().map(|(n, _)| n.chars().count()))
+            .max()
+            .unwrap_or(0);
+        let scale = |v: f64| -> usize {
+            if !v.is_finite() || v <= 0.0 {
+                return 0;
+            }
+            let frac = if self.log_scale {
+                // Map [1, max] to (0, 1]; values below 1 get a sliver.
+                (v.max(1.0).ln() / max.max(1.0 + 1e-9).ln()).clamp(0.0, 1.0)
+            } else {
+                v / max
+            };
+            ((frac * self.width as f64).round() as usize).max(1)
+        };
+        for g in &self.groups {
+            out.push_str(&g.label);
+            out.push('\n');
+            for (name, v) in &g.bars {
+                let bar = "█".repeat(scale(*v));
+                out.push_str(&format!(
+                    "  {name:<name_w$} |{bar} {}\n",
+                    format_sig(*v, 5)
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scaled_bars() {
+        let mut c = BarChart::new("Test").with_width(10);
+        c.add_group("g1", vec![("a".into(), 10.0), ("b".into(), 5.0)]);
+        let s = c.render();
+        let a_len = s.lines().find(|l| l.contains("a ")).unwrap().matches('█').count();
+        let b_len = s.lines().find(|l| l.contains("b ")).unwrap().matches('█').count();
+        assert_eq!(a_len, 10);
+        assert_eq!(b_len, 5);
+        assert!(s.contains("10"));
+    }
+
+    #[test]
+    fn log_scale_compresses_ratios() {
+        let mut c = BarChart::new("L").with_width(100).with_log_scale();
+        c.add_group("g", vec![("big".into(), 10000.0), ("small".into(), 100.0)]);
+        let s = c.render();
+        let big = s.lines().find(|l| l.contains("big")).unwrap().matches('█').count();
+        let small = s.lines().find(|l| l.contains("small")).unwrap().matches('█').count();
+        assert_eq!(big, 100);
+        // ln(100)/ln(10000) = 0.5, not 0.01.
+        assert!((small as f64 - 50.0).abs() <= 2.0, "small = {small}");
+    }
+
+    #[test]
+    fn empty_and_zero_data() {
+        let c = BarChart::new("E");
+        assert!(c.render().contains("no data"));
+        let mut c = BarChart::new("Z");
+        c.add_group("g", vec![("x".into(), 0.0)]);
+        assert!(c.render().contains("no data"));
+    }
+
+    #[test]
+    fn minimum_one_cell_for_positive_values() {
+        let mut c = BarChart::new("M").with_width(10);
+        c.add_group("g", vec![("tiny".into(), 0.0001), ("huge".into(), 1.0e6)]);
+        let s = c.render();
+        let tiny = s.lines().find(|l| l.contains("tiny")).unwrap().matches('█').count();
+        assert_eq!(tiny, 1);
+    }
+}

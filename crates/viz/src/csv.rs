@@ -1,0 +1,90 @@
+//! A minimal CSV writer (RFC 4180 quoting) so experiment outputs can be
+//! re-plotted externally without pulling a serialisation dependency.
+
+/// Builds CSV text row by row.
+#[derive(Debug, Clone, Default)]
+pub struct CsvWriter {
+    buf: String,
+}
+
+impl CsvWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        CsvWriter::default()
+    }
+
+    /// Append one record of string fields.
+    pub fn write_record<S: AsRef<str>, I: IntoIterator<Item = S>>(&mut self, fields: I) {
+        let mut first = true;
+        for f in fields {
+            if !first {
+                self.buf.push(',');
+            }
+            first = false;
+            self.buf.push_str(&escape(f.as_ref()));
+        }
+        self.buf.push('\n');
+    }
+
+    /// Append a record of `f64` values after a leading label.
+    pub fn write_numeric_record<S: AsRef<str>>(&mut self, label: S, values: &[f64]) {
+        let mut fields = vec![label.as_ref().to_string()];
+        fields.extend(values.iter().map(|v| format!("{v}")));
+        self.write_record(fields);
+    }
+
+    /// The CSV text so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Consume into the CSV text.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields() {
+        let mut w = CsvWriter::new();
+        w.write_record(["a", "b", "c"]);
+        w.write_record(["1", "2", "3"]);
+        assert_eq!(w.as_str(), "a,b,c\n1,2,3\n");
+    }
+
+    #[test]
+    fn quoting_rules() {
+        let mut w = CsvWriter::new();
+        w.write_record(["has,comma", "has\"quote", "has\nnewline", "plain"]);
+        assert_eq!(
+            w.as_str(),
+            "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n"
+        );
+    }
+
+    #[test]
+    fn numeric_records() {
+        let mut w = CsvWriter::new();
+        w.write_numeric_record("MaTCH", &[1.5, 2.0]);
+        assert_eq!(w.as_str(), "MaTCH,1.5,2\n");
+    }
+
+    #[test]
+    fn into_string_consumes() {
+        let mut w = CsvWriter::new();
+        w.write_record(["x"]);
+        assert_eq!(w.into_string(), "x\n");
+    }
+}

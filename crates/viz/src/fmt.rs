@@ -1,0 +1,66 @@
+//! Number formatting helpers.
+
+/// Format `x` with `sig` significant digits (plain decimal notation for
+/// the magnitudes the experiments produce).
+pub fn format_sig(x: f64, sig: usize) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let sig = sig.max(1);
+    let magnitude = x.abs().log10().floor() as i32;
+    let decimals = (sig as i32 - 1 - magnitude).max(0) as usize;
+    let s = format!("{x:.decimals$}");
+    // Trim trailing zeros after a decimal point (keep integers intact).
+    if s.contains('.') {
+        let t = s.trim_end_matches('0').trim_end_matches('.');
+        t.to_string()
+    } else {
+        s
+    }
+}
+
+/// Format a duration in seconds with adaptive precision (`12.3s`,
+/// `0.045s`, `1587.75s`).
+pub fn format_duration_s(seconds: f64) -> String {
+    if !seconds.is_finite() {
+        return format!("{seconds}s");
+    }
+    if seconds >= 100.0 {
+        format!("{seconds:.1}s")
+    } else if seconds >= 1.0 {
+        format!("{seconds:.2}s")
+    } else {
+        format!("{seconds:.4}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sig_digits() {
+        assert_eq!(format_sig(123456.0, 4), "123456");
+        assert_eq!(format_sig(1.23456, 3), "1.23");
+        assert_eq!(format_sig(0.0012345, 2), "0.0012");
+        assert_eq!(format_sig(0.0, 3), "0");
+        assert_eq!(format_sig(-42.7, 2), "-43");
+        assert_eq!(format_sig(38.618, 5), "38.618");
+    }
+
+    #[test]
+    fn sig_handles_nonfinite() {
+        assert_eq!(format_sig(f64::INFINITY, 3), "inf");
+        assert_eq!(format_sig(f64::NAN, 3), "NaN");
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(format_duration_s(1587.754), "1587.8s");
+        assert_eq!(format_duration_s(13.62), "13.62s");
+        assert_eq!(format_duration_s(0.04567), "0.0457s");
+    }
+}

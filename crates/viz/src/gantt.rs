@@ -1,0 +1,119 @@
+//! Gantt-style timeline rendering for simulator traces: one row per
+//! server, busy intervals marked along a scaled time axis.
+
+/// One interval on a timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GanttSpan {
+    /// Row (server/resource id).
+    pub row: usize,
+    /// Start time.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+    /// Glyph class (e.g. 0 = compute, 1 = transfer); classes cycle
+    /// through distinct characters.
+    pub class: usize,
+}
+
+const GLYPHS: [char; 4] = ['█', '▒', '◆', '·'];
+
+/// Render spans as a text Gantt chart with `rows` rows and a `width`-
+/// character time axis spanning `[0, horizon]` (auto-computed from the
+/// spans when `None`).
+pub fn render_gantt(
+    spans: &[GanttSpan],
+    rows: usize,
+    width: usize,
+    horizon: Option<f64>,
+    title: &str,
+) -> String {
+    let width = width.max(10);
+    let horizon = horizon
+        .unwrap_or_else(|| spans.iter().map(|s| s.end).fold(0.0, f64::max))
+        .max(1e-12);
+    let mut out = String::new();
+    if !title.is_empty() {
+        out.push_str(title);
+        out.push('\n');
+    }
+    let col = |t: f64| -> usize {
+        (((t / horizon) * width as f64).floor() as usize).min(width.saturating_sub(1))
+    };
+    let mut grid = vec![vec![' '; width]; rows];
+    for s in spans {
+        if s.row >= rows || s.end <= s.start {
+            continue;
+        }
+        let glyph = GLYPHS[s.class % GLYPHS.len()];
+        let (c0, c1) = (col(s.start), col(s.end - 1e-12).max(col(s.start)));
+        for cell in grid[s.row][c0..=c1].iter_mut() {
+            *cell = glyph;
+        }
+    }
+    for (r, row) in grid.iter().enumerate() {
+        out.push_str(&format!("{r:>4} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "     +{}\n      0{:>w$.6}\n",
+        "-".repeat(width),
+        horizon,
+        w = width - 1
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_land_in_their_rows() {
+        let spans = [
+            GanttSpan { row: 0, start: 0.0, end: 5.0, class: 0 },
+            GanttSpan { row: 1, start: 5.0, end: 10.0, class: 1 },
+        ];
+        let s = render_gantt(&spans, 2, 20, Some(10.0), "T");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "T");
+        let row0 = lines[1];
+        let row1 = lines[2];
+        assert!(row0.contains('█'));
+        assert!(!row0.contains('▒'));
+        assert!(row1.contains('▒'));
+        // Row 0 busy in the first half only.
+        let cells: Vec<char> = row0.chars().skip(6).collect();
+        assert_eq!(cells[0], '█');
+        assert_eq!(cells[19], ' ');
+    }
+
+    #[test]
+    fn auto_horizon() {
+        let spans = [GanttSpan { row: 0, start: 0.0, end: 42.0, class: 0 }];
+        let s = render_gantt(&spans, 1, 10, None, "");
+        assert!(s.contains("42"));
+    }
+
+    #[test]
+    fn empty_and_out_of_range_spans() {
+        let spans = [
+            GanttSpan { row: 9, start: 0.0, end: 1.0, class: 0 }, // beyond rows
+            GanttSpan { row: 0, start: 2.0, end: 2.0, class: 0 }, // empty
+        ];
+        let s = render_gantt(&spans, 1, 10, Some(5.0), "");
+        assert!(!s.contains('█'));
+    }
+
+    #[test]
+    fn classes_cycle_glyphs() {
+        let spans = [
+            GanttSpan { row: 0, start: 0.0, end: 1.0, class: 0 },
+            GanttSpan { row: 0, start: 2.0, end: 3.0, class: 1 },
+            GanttSpan { row: 0, start: 4.0, end: 5.0, class: 5 },
+        ];
+        let s = render_gantt(&spans, 1, 30, Some(5.0), "");
+        assert!(s.contains('█'));
+        assert!(s.contains('▒'));
+    }
+}

@@ -1,0 +1,76 @@
+//! Matrix heatmaps in Unicode shade characters — the rendering behind
+//! Figure 3's stochastic-matrix evolution.
+
+/// Render a row-major `rows × cols` matrix of values in `[0, 1]` as a
+/// shaded grid. Each cell is two characters wide for a roughly square
+//  aspect ratio; an optional `title` is printed above.
+pub fn render_heatmap(data: &[f64], rows: usize, cols: usize, title: &str) -> String {
+    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+    const SHADES: [&str; 5] = ["  ", "░░", "▒▒", "▓▓", "██"];
+    let mut out = String::new();
+    if !title.is_empty() {
+        out.push_str(title);
+        out.push('\n');
+    }
+    // Column ruler (mod 10) for matrices the paper's Figure 3 size.
+    out.push_str("    ");
+    for c in 0..cols {
+        out.push_str(&format!("{:<2}", c % 10));
+    }
+    out.push('\n');
+    for r in 0..rows {
+        out.push_str(&format!("{r:>3} "));
+        for c in 0..cols {
+            let v = data[r * cols + c].clamp(0.0, 1.0);
+            // Any strictly positive mass gets at least the lightest
+            // shade, so a uniform stochastic matrix (p = 1/n) does not
+            // render blank.
+            let idx = if v <= 0.0 {
+                0
+            } else {
+                ((v * (SHADES.len() - 1) as f64).round() as usize).clamp(1, SHADES.len() - 1)
+            };
+            out.push_str(SHADES[idx]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_expected_shape() {
+        let data = vec![0.0, 0.25, 0.5, 1.0];
+        let s = render_heatmap(&data, 2, 2, "T");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert_eq!(lines.len(), 4); // title + ruler + 2 rows
+        assert!(lines[2].starts_with("  0 "));
+    }
+
+    #[test]
+    fn extreme_values_use_extreme_shades() {
+        let data = vec![0.0, 1.0];
+        let s = render_heatmap(&data, 1, 2, "");
+        assert!(s.contains("██"));
+        // 0.0 renders as blank cells (two spaces within the row).
+        let row = s.lines().last().unwrap();
+        assert!(row.contains("  ██") || row.ends_with("██"));
+    }
+
+    #[test]
+    fn values_clamped() {
+        let data = vec![-3.0, 7.0];
+        let s = render_heatmap(&data, 1, 2, "");
+        assert!(s.contains("██"));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn shape_mismatch_panics() {
+        render_heatmap(&[0.5; 3], 2, 2, "");
+    }
+}

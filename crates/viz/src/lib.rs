@@ -1,0 +1,25 @@
+//! Terminal rendering for experiment reports.
+//!
+//! The benchmark harness regenerates every table and figure of the paper
+//! as text: aligned tables (Tables 1–3), horizontal grouped bar charts
+//! (Figures 7–9), matrix heatmaps (Figure 3), and CSV files for external
+//! plotting. No plotting dependency — everything renders to `String`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barchart;
+pub mod csv;
+pub mod fmt;
+pub mod gantt;
+pub mod heatmap;
+pub mod lineplot;
+pub mod table;
+
+pub use barchart::{BarChart, BarGroup};
+pub use csv::CsvWriter;
+pub use fmt::{format_duration_s, format_sig};
+pub use gantt::{render_gantt, GanttSpan};
+pub use heatmap::render_heatmap;
+pub use lineplot::LinePlot;
+pub use table::Table;

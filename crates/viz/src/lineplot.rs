@@ -1,0 +1,189 @@
+//! Multi-series line plots in terminal cells — used for convergence
+//! curves (best cost / γ / entropy per CE iteration or GA generation).
+
+use crate::fmt::format_sig;
+
+/// A terminal line plot: x is the sample index, y is scaled into a
+/// fixed-height character grid. Multiple series get distinct glyphs.
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    title: String,
+    series: Vec<(String, Vec<f64>)>,
+    width: usize,
+    height: usize,
+    log_y: bool,
+}
+
+const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+
+impl LinePlot {
+    /// An empty plot with a title.
+    pub fn new<S: Into<String>>(title: S) -> Self {
+        LinePlot {
+            title: title.into(),
+            series: Vec::new(),
+            width: 72,
+            height: 16,
+            log_y: false,
+        }
+    }
+
+    /// Grid size in characters (clamped to at least 8×4).
+    pub fn with_size(mut self, width: usize, height: usize) -> Self {
+        self.width = width.max(8);
+        self.height = height.max(4);
+        self
+    }
+
+    /// Logarithmic y axis (positive values only; others are dropped).
+    pub fn with_log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Add a named series.
+    pub fn add_series<S: Into<String>>(&mut self, name: S, values: Vec<f64>) -> &mut Self {
+        self.series.push((name.into(), values));
+        self
+    }
+
+    /// Render the plot.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+
+        let transform = |v: f64| -> Option<f64> {
+            if !v.is_finite() {
+                return None;
+            }
+            if self.log_y {
+                if v > 0.0 {
+                    Some(v.ln())
+                } else {
+                    None
+                }
+            } else {
+                Some(v)
+            }
+        };
+        let points: Vec<Vec<Option<f64>>> = self
+            .series
+            .iter()
+            .map(|(_, vs)| vs.iter().map(|&v| transform(v)).collect())
+            .collect();
+        let flat: Vec<f64> = points.iter().flatten().filter_map(|&v| v).collect();
+        if flat.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let lo = flat.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = flat.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-12);
+        let max_len = self.series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, pts) in points.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for (i, &p) in pts.iter().enumerate() {
+                let Some(y) = p else { continue };
+                let col = if max_len <= 1 {
+                    0
+                } else {
+                    i * (self.width - 1) / (max_len - 1)
+                };
+                let row_f = (y - lo) / span;
+                let row = self.height - 1
+                    - ((row_f * (self.height - 1) as f64).round() as usize)
+                        .min(self.height - 1);
+                grid[row][col] = glyph;
+            }
+        }
+
+        // y-axis labels on the first/last rows (untransformed values).
+        let label = |v: f64| -> String {
+            if self.log_y {
+                format_sig(v.exp(), 3)
+            } else {
+                format_sig(v, 3)
+            }
+        };
+        for (r, row) in grid.iter().enumerate() {
+            let tag = if r == 0 {
+                format!("{:>9} ", label(hi))
+            } else if r == self.height - 1 {
+                format!("{:>9} ", label(lo))
+            } else {
+                " ".repeat(10)
+            };
+            out.push_str(&tag);
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(10));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        // Legend.
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>10} {} {}\n",
+                "",
+                GLYPHS[si % GLYPHS.len()],
+                name
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_series_and_legend() {
+        let mut p = LinePlot::new("Convergence").with_size(20, 6);
+        p.add_series("best", vec![10.0, 8.0, 5.0, 4.0, 4.0]);
+        p.add_series("gamma", vec![12.0, 9.0, 7.0, 5.0, 4.5]);
+        let s = p.render();
+        assert!(s.starts_with("Convergence"));
+        assert!(s.contains('*'));
+        assert!(s.contains('+'));
+        assert!(s.contains("best"));
+        assert!(s.contains("gamma"));
+        assert!(s.contains("12")); // max label
+        assert!(s.contains('4')); // min label
+    }
+
+    #[test]
+    fn empty_plot() {
+        let p = LinePlot::new("E");
+        assert!(p.render().contains("no data"));
+    }
+
+    #[test]
+    fn constant_series_does_not_crash() {
+        let mut p = LinePlot::new("C").with_size(10, 4);
+        p.add_series("flat", vec![5.0; 8]);
+        let s = p.render();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive() {
+        let mut p = LinePlot::new("L").with_log_y();
+        p.add_series("s", vec![-1.0, 0.0, 10.0, 100.0]);
+        let s = p.render();
+        assert!(s.contains('*'));
+        assert!(s.contains("100"));
+    }
+
+    #[test]
+    fn single_point_series() {
+        let mut p = LinePlot::new("S").with_size(12, 5);
+        p.add_series("one", vec![3.0]);
+        assert!(p.render().contains('*'));
+    }
+}

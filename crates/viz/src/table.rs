@@ -1,0 +1,150 @@
+//! Aligned text tables (the rendering behind Tables 1–3).
+
+/// A simple column-aligned table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Set a caption printed above the table.
+    pub fn with_title<S: Into<String>>(mut self, title: S) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Append a row. Shorter rows are padded with empty cells; longer
+    /// rows extend the column count.
+    pub fn add_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) -> &mut Self {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with padded columns, a header rule, and right-aligned
+    /// numeric-looking cells.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        fn cell(row: &[String], c: usize) -> &str {
+            row.get(c).map(String::as_str).unwrap_or("")
+        }
+        let mut widths = vec![0usize; cols];
+        #[allow(clippy::needless_range_loop)] // c spans header and all rows
+        for c in 0..cols {
+            widths[c] = self
+                .rows
+                .iter()
+                .map(|r| cell(r, c).chars().count())
+                .chain([cell(&self.header, c).chars().count()])
+                .max()
+                .unwrap_or(0);
+        }
+        let is_numeric = |s: &str| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|ch| ch.is_ascii_digit() || ".-+eE%x×".contains(ch))
+        };
+        let fmt_row = |row: &[String]| -> String {
+            let mut out = String::new();
+            #[allow(clippy::needless_range_loop)] // c spans row cells and widths
+            for c in 0..cols {
+                let s = cell(row, c);
+                let w = widths[c];
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                if is_numeric(s) && c > 0 {
+                    out.push_str(&" ".repeat(w.saturating_sub(s.chars().count())));
+                    out.push_str(s);
+                } else {
+                    out.push_str(s);
+                    if c + 1 < cols {
+                        out.push_str(&" ".repeat(w.saturating_sub(s.chars().count())));
+                    }
+                }
+            }
+            out.trim_end().to_string()
+        };
+
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "value"]).with_title("Demo");
+        t.add_row(["alpha", "1"]);
+        t.add_row(["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "Demo");
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[2].starts_with("---"));
+        // Numeric column right-aligned: the `1` lines up with `12345`'s end.
+        let a = lines[3];
+        let b = lines[4];
+        assert_eq!(a.find('1').map(|i| i + 1), Some(a.len()));
+        assert!(b.ends_with("12345"));
+    }
+
+    #[test]
+    fn pads_ragged_rows() {
+        let mut t = Table::new(["a"]);
+        t.add_row(["x", "y", "z"]);
+        t.add_row(["only"]);
+        let s = t.render();
+        assert!(s.contains('z'));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn empty_table_renders_header() {
+        let t = Table::new(["col1", "col2"]);
+        assert!(t.is_empty());
+        let s = t.render();
+        assert!(s.contains("col1"));
+    }
+}

@@ -1,0 +1,74 @@
+//! A scaled-down rendition of the paper's Table 3: run MaTCH and two
+//! FastMap-GA configurations repeatedly on one 10-node instance, then
+//! compute descriptive statistics and a one-way ANOVA with the built-in
+//! statistics crate.
+//!
+//! ```text
+//! cargo run --release --example anova_study          # 10 runs each
+//! cargo run --release --example anova_study 30       # paper's 30 runs
+//! ```
+
+use matchkit::core::Mapper;
+use matchkit::prelude::*;
+use matchkit::stats::{mean_confidence_interval, one_way_anova, Summary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+
+    let mut rng = StdRng::seed_from_u64(2005);
+    let pair = InstanceGenerator::paper_family(10).generate(&mut rng);
+    let inst = MappingInstance::from_pair(&pair);
+
+    let matcher = Matcher::default();
+    // Budgets scaled to example runtimes; use the table3_anova binary
+    // for the paper-scale 100/10000 and 1000/1000 arms.
+    let ga_long = FastMapGa::new(GaConfig { population: 100, generations: 1000, ..Default::default() });
+    let ga_wide = FastMapGa::new(GaConfig { population: 500, generations: 200, ..Default::default() });
+    let arms: Vec<(&str, &dyn Mapper)> = vec![
+        ("MaTCH", &matcher),
+        ("GA 100/1000", &ga_long),
+        ("GA 500/200", &ga_wide),
+    ];
+
+    let mut groups: Vec<(String, Vec<f64>)> = Vec::new();
+    for (ai, (name, mapper)) in arms.iter().enumerate() {
+        let mut samples = Vec::with_capacity(runs);
+        for run in 0..runs {
+            let mut rng = StdRng::seed_from_u64(77_000 + (ai * 1000 + run) as u64);
+            samples.push(mapper.map(&inst, &mut rng).cost);
+        }
+        groups.push((name.to_string(), samples));
+    }
+
+    println!("{:<14} {:>10} {:>22} {:>9} {:>10}", "heuristic", "mean ET", "95% CI", "std dev", "median");
+    for (name, xs) in &groups {
+        let s = Summary::of(xs);
+        let ci = mean_confidence_interval(xs, 0.95).expect("runs >= 2");
+        println!(
+            "{name:<14} {:>10.0} {:>22} {:>9.1} {:>10.0}",
+            s.mean,
+            format!("{:.0} - {:.0}", ci.lo, ci.hi),
+            s.std_dev,
+            s.median
+        );
+    }
+
+    let slices: Vec<&[f64]> = groups.iter().map(|(_, xs)| xs.as_slice()).collect();
+    let anova = one_way_anova(&slices).expect("three groups");
+    println!(
+        "\nANOVA: F({}, {}) = {:.1}, p = {}",
+        anova.df_between,
+        anova.df_within,
+        anova.f_statistic,
+        if anova.p_value < 0.0001 { "< 0.0001".to_string() } else { format!("{:.4}", anova.p_value) }
+    );
+    println!(
+        "null hypothesis (all heuristics equal) {} at alpha = 0.01",
+        if anova.significant_at(0.01) { "REJECTED" } else { "not rejected" }
+    );
+}

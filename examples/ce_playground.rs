@@ -1,0 +1,64 @@
+//! The generic CE framework beyond task mapping: the benchmark COPs of
+//! the method's literature (max-cut, bipartition, TSP) and continuous
+//! multiextremal optimisation — all driven by the same elite-update
+//! loop that powers MaTCH.
+//!
+//! ```text
+//! cargo run --release -p matchkit --example ce_playground
+//! ```
+
+use matchkit::ce::problems::bipartition::bipartition;
+use matchkit::ce::problems::continuous::{minimize_continuous, rastrigin, rosenbrock};
+use matchkit::ce::problems::maxcut::max_cut;
+use matchkit::ce::problems::tsp::{solve_tsp, DistanceMatrix};
+use matchkit::graph::gen::classic::{grid2d_graph, ring_graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(17);
+
+    // Max-cut on an even ring: the optimum takes every edge.
+    let ring = ring_graph(12, 1.0, 1.0);
+    let cut = max_cut(&ring, 150, &mut rng);
+    println!(
+        "max-cut C12: weight {} of 12 possible ({} CE iterations)",
+        cut.weight, cut.outcome.iterations
+    );
+
+    // Balanced bipartition of a 4×6 grid.
+    let grid = grid2d_graph(4, 6, 1.0, 1.0);
+    let part = bipartition(&grid, 50.0, 250, &mut rng);
+    println!(
+        "bipartition 4x6 grid: cut {} (imbalance {}), optimal balanced cut is 4",
+        part.cut, part.imbalance
+    );
+
+    // TSP on a 16-city circle: optimal tour = polygon perimeter.
+    let n = 16;
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            (a.cos(), a.sin())
+        })
+        .collect();
+    let dm = DistanceMatrix::euclidean(&points);
+    let optimal = dm.tour_length(&(0..n).collect::<Vec<_>>());
+    let tsp = solve_tsp(&dm, None, &mut rng);
+    println!(
+        "TSP 16-city circle: CE tour {:.4} vs optimal {:.4} ({} iterations)",
+        tsp.length, optimal, tsp.outcome.iterations
+    );
+
+    // Continuous: Rosenbrock valley and the multimodal Rastrigin.
+    let rb = minimize_continuous(2, 2.0, 200, 400, &mut rng, rosenbrock);
+    println!(
+        "Rosenbrock 2-D: f = {:.5} at ({:.3}, {:.3}) [optimum 0 at (1, 1)]",
+        rb.best_cost, rb.best_sample[0], rb.best_sample[1]
+    );
+    let ra = minimize_continuous(4, 2.0, 300, 300, &mut rng, rastrigin);
+    println!(
+        "Rastrigin 4-D: f = {:.4} [optimum 0; >1 means trapped in a local minimum]",
+        ra.best_cost
+    );
+}

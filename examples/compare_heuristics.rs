@@ -1,0 +1,76 @@
+//! A miniature of the paper's §5 evaluation: sweep instance sizes,
+//! run MaTCH, FastMap-GA and the extra baselines on each, and print the
+//! execution-time table with improvement ratios.
+//!
+//! ```text
+//! cargo run --release --example compare_heuristics            # sizes 10..30
+//! cargo run --release --example compare_heuristics 10 50 10   # from to step
+//! ```
+
+use matchkit::core::Mapper;
+use matchkit::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let (from, to, step) = match args.as_slice() {
+        [f, t, s] => (*f, *t, *s),
+        [f, t] => (*f, *t, 10),
+        _ => (10, 30, 10),
+    };
+    let sizes: Vec<usize> = (from..=to).step_by(step.max(1)).collect();
+
+    let matcher = Matcher::new(MatchConfig::default());
+    let ga = FastMapGa::new(GaConfig {
+        population: 200,
+        generations: 300,
+        ..GaConfig::paper_default()
+    });
+    let greedy = GreedyMapper;
+    let hill = HillClimber::default();
+    let sa = SimulatedAnnealing::default();
+    let mappers: Vec<&dyn Mapper> = vec![&matcher, &ga, &greedy, &hill, &sa];
+
+    println!(
+        "{:<12} {}",
+        "ET (units)",
+        sizes
+            .iter()
+            .map(|s| format!("{s:>10}"))
+            .collect::<String>()
+    );
+    let mut results: Vec<(String, Vec<f64>)> = Vec::new();
+    for m in &mappers {
+        let mut row = Vec::new();
+        for (si, &size) in sizes.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(1000 + si as u64);
+            let pair = InstanceGenerator::paper_family(size).generate(&mut rng);
+            let inst = MappingInstance::from_pair(&pair);
+            let mut run_rng = StdRng::seed_from_u64(9000 + si as u64);
+            let out = m.map(&inst, &mut run_rng);
+            row.push(out.cost);
+        }
+        println!(
+            "{:<12} {}",
+            m.name(),
+            row.iter().map(|v| format!("{v:>10.0}")).collect::<String>()
+        );
+        results.push((m.name().to_string(), row));
+    }
+
+    // Improvement ratios relative to MaTCH (row 0), the paper's metric.
+    println!();
+    let matcher_row = results[0].1.clone();
+    for (name, row) in &results[1..] {
+        let ratios: String = row
+            .iter()
+            .zip(&matcher_row)
+            .map(|(other, matched)| format!("{:>10.3}", other / matched))
+            .collect();
+        println!("{:<12} {ratios}", format!("{name}/MaTCH"));
+    }
+}

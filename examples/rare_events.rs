@@ -1,0 +1,42 @@
+//! The CE method's original trick (§3, Rubinstein 1997): estimating
+//! rare-event probabilities where crude Monte Carlo sees nothing.
+//!
+//! Estimates `P(Σ Xᵢ > γ)` for i.i.d. exponentials at increasingly rare
+//! thresholds and compares CE importance sampling, crude Monte Carlo
+//! and the closed-form Erlang tail.
+//!
+//! ```text
+//! cargo run --release -p matchkit --example rare_events
+//! ```
+
+use matchkit::ce::rare_event::{crude_exp_sum_tail, erlang_tail, estimate_with_seed};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let k = 5; // components
+    let rates = vec![1.0; k];
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>10} {:>8}",
+        "gamma", "exact", "CE estimate", "crude MC", "CE rel.err", "levels"
+    );
+    for &gamma in &[10.0, 15.0, 20.0, 25.0, 30.0] {
+        let exact = erlang_tail(k, 1.0, gamma);
+        let est = estimate_with_seed(&rates, gamma, 42);
+        let mut rng = StdRng::seed_from_u64(43);
+        let crude = crude_exp_sum_tail(&rates, gamma, 20_000, &mut rng);
+        println!(
+            "{gamma:<8} {exact:>14.3e} {:>14.3e} {:>14.3e} {:>9.1}% {:>8}",
+            est.probability,
+            crude,
+            100.0 * est.relative_error,
+            est.levels.len()
+        );
+    }
+    println!(
+        "\nCrude MC with 20k samples goes blind around gamma = 20 (l ~ 1e-6);\n\
+         the CE estimator keeps tracking the exact tail by tilting the\n\
+         sampling rates toward the rare set (the same quantile mechanism\n\
+         MaTCH uses to tilt its stochastic matrix toward good mappings)."
+    );
+}

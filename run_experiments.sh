@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper (MATCH_BENCH_PROFILE
+# controls scale: paper | quick). Logs land in results/.
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+BIN=target/release
+for exp in table1_et table2_mt fig9_atn table3_anova fig3_matrix ablations scaling_fit sim_modes family_sensitivity many_to_one_sweep; do
+  echo "=== $exp start $(date +%T) ==="
+  $BIN/$exp > results/${exp}_stdout.txt 2> results/${exp}_stderr.txt
+  echo "=== $exp done $(date +%T) rc=$? ==="
+done
+echo ALL_EXPERIMENTS_DONE

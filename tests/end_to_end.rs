@@ -1,0 +1,148 @@
+//! End-to-end integration tests: the full pipeline from instance
+//! generation through mapping to simulated execution, across crates.
+
+use matchkit::core::Mapper;
+use matchkit::prelude::*;
+use matchkit::sim::SimMode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn instance(n: usize, seed: u64) -> MappingInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MappingInstance::from_pair(&InstanceGenerator::paper_family(n).generate(&mut rng))
+}
+
+#[test]
+fn matcher_beats_every_trivial_baseline() {
+    let inst = instance(14, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let matched = Matcher::default().map(&inst, &mut rng);
+
+    let round_robin = matchkit::baselines::RoundRobin.map(&inst, &mut rng);
+    let single_random = RandomSearch::new(1).map(&inst, &mut rng);
+    assert!(matched.cost < round_robin.cost, "vs round-robin");
+    assert!(matched.cost < single_random.cost, "vs one random draw");
+}
+
+#[test]
+fn matcher_competitive_with_all_heuristics() {
+    // MaTCH need not win every contest, but it must land within a small
+    // factor of the best heuristic in the workspace on a paper instance.
+    let inst = instance(12, 3);
+    let matcher = Matcher::default();
+    let ga = FastMapGa::new(GaConfig {
+        population: 200,
+        generations: 200,
+        ..GaConfig::paper_default()
+    });
+    let hill = HillClimber::default();
+    let sa = SimulatedAnnealing::default();
+    let greedy = GreedyMapper;
+    let mappers: Vec<&dyn Mapper> = vec![&matcher, &ga, &hill, &sa, &greedy];
+    let mut costs = Vec::new();
+    for (i, m) in mappers.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(100 + i as u64);
+        costs.push((m.name().to_string(), m.map(&inst, &mut rng).cost));
+    }
+    let best = costs
+        .iter()
+        .map(|&(_, c)| c)
+        .fold(f64::INFINITY, f64::min);
+    let matcher_cost = costs[0].1;
+    assert!(
+        matcher_cost <= 1.10 * best,
+        "MaTCH {matcher_cost} vs best {best} ({costs:?})"
+    );
+}
+
+#[test]
+fn every_mapper_yields_simulatable_mappings() {
+    let inst = instance(10, 5);
+    let matcher = Matcher::default();
+    let ga = FastMapGa::new(GaConfig {
+        population: 50,
+        generations: 50,
+        ..GaConfig::paper_default()
+    });
+    let rs = RandomSearch::new(100);
+    let rr = matchkit::baselines::RoundRobin;
+    let greedy = GreedyMapper;
+    let hill = HillClimber::new(2, 100_000);
+    let sa = SimulatedAnnealing::new(20_000, 0.9995);
+    let mappers: Vec<&dyn Mapper> = vec![&matcher, &ga, &rs, &rr, &greedy, &hill, &sa];
+    for (i, m) in mappers.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(200 + i as u64);
+        let out = m.map(&inst, &mut rng);
+        out.mapping.validate(&inst).unwrap_or_else(|e| {
+            panic!("{} produced invalid mapping: {e}", m.name());
+        });
+        // Simulated single-round makespan equals the analytic ET for
+        // every heuristic's mapping (PaperSerial mode).
+        let rep = Simulator::new(&inst, SimConfig::default()).run(&out.mapping);
+        assert!(
+            (rep.makespan - out.cost).abs() <= 1e-9 * (1.0 + out.cost),
+            "{}: simulated {} vs analytic {}",
+            m.name(),
+            rep.makespan,
+            out.cost
+        );
+    }
+}
+
+#[test]
+fn blocking_simulation_bounds_analytic_model() {
+    let inst = instance(10, 7);
+    let mut rng = StdRng::seed_from_u64(8);
+    let out = Matcher::default().map(&inst, &mut rng);
+    let rounds = 6;
+    let serial = Simulator::new(
+        &inst,
+        SimConfig { rounds, mode: SimMode::PaperSerial, trace: false },
+    )
+    .run(&out.mapping);
+    let blocking = Simulator::new(
+        &inst,
+        SimConfig { rounds, mode: SimMode::BlockingReceives, trace: false },
+    )
+    .run(&out.mapping);
+    assert!((serial.makespan - rounds as f64 * out.cost).abs() <= 1e-6 * serial.makespan);
+    assert!(blocking.makespan >= serial.makespan - 1e-9);
+}
+
+#[test]
+fn overset_workload_end_to_end() {
+    use matchkit::graph::gen::overset::OversetConfig;
+    use matchkit::graph::gen::paper::PaperFamilyConfig;
+    let mut rng = StdRng::seed_from_u64(9);
+    let domain = OversetConfig::new(12).generate_domain(&mut rng);
+    let platform = PaperFamilyConfig::new(12).generate_platform(&mut rng);
+    let inst = MappingInstance::new(&domain.tig, &platform);
+    let out = Matcher::default().run(&inst, &mut rng);
+    assert!(out.mapping.is_permutation());
+    assert!(out.cost > 0.0 && out.cost.is_finite());
+    let rep = Simulator::new(&inst, SimConfig { rounds: 3, ..Default::default() })
+        .run(&out.mapping);
+    assert!(rep.makespan > 0.0);
+    assert!(rep.mean_utilization() > 0.0 && rep.mean_utilization() <= 1.0);
+}
+
+#[test]
+fn graph_io_roundtrip_preserves_costs() {
+    use matchkit::graph::io::{from_text, to_text};
+    let mut rng = StdRng::seed_from_u64(10);
+    let pair = InstanceGenerator::paper_family(9).generate(&mut rng);
+    // Round-trip the TIG through the text format and rebuild the
+    // instance; every mapping must cost the same.
+    let tig2 = matchkit::graph::TaskGraph::new(from_text(&to_text(pair.tig.graph())).unwrap())
+        .unwrap();
+    let inst1 = MappingInstance::new(&pair.tig, &pair.resources);
+    let inst2 = MappingInstance::new(&tig2, &pair.resources);
+    for seed in 0..10 {
+        let mut r = StdRng::seed_from_u64(seed);
+        let assign = matchkit::rngutil::random_permutation(9, &mut r);
+        assert_eq!(
+            matchkit::core::exec_time(&inst1, &assign),
+            matchkit::core::exec_time(&inst2, &assign)
+        );
+    }
+}

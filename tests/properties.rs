@@ -1,0 +1,156 @@
+//! Cross-crate property-based tests (proptest) on the core invariants.
+
+use matchkit::ce::CeModel;
+use matchkit::core::{exec_per_resource, exec_time, IncrementalCost, MappingInstance};
+use matchkit::graph::gen::paper::PaperFamilyConfig;
+use matchkit::rngutil::perm::is_permutation;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn instance(n: usize, seed: u64) -> MappingInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MappingInstance::from_pair(&PaperFamilyConfig::new(n).generate(&mut rng))
+}
+
+/// A permutation strategy of fixed size derived from a seed.
+fn perm_strategy(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    any::<u64>().prop_map(move |seed| {
+        matchkit::rngutil::random_permutation(n, &mut StdRng::seed_from_u64(seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 2 is the max of Eq. 1, and all loads are non-negative.
+    #[test]
+    fn exec_time_is_max_of_loads(seed in 0u64..500, perm in perm_strategy(11)) {
+        let inst = instance(11, seed);
+        let loads = exec_per_resource(&inst, &perm);
+        prop_assert!(loads.iter().all(|&l| l >= 0.0));
+        let max = loads.iter().copied().fold(0.0, f64::max);
+        prop_assert_eq!(exec_time(&inst, &perm), max);
+    }
+
+    /// The cost is invariant under relabeling-neutral operations:
+    /// evaluating twice gives the same value (purity), and the
+    /// incremental tracker agrees with the full recompute after any
+    /// random walk of swaps.
+    #[test]
+    fn incremental_agrees_after_random_walks(
+        seed in 0u64..200,
+        swaps in proptest::collection::vec((0usize..10, 0usize..10), 1..40),
+    ) {
+        let inst = instance(10, seed);
+        let start = matchkit::rngutil::random_permutation(10, &mut StdRng::seed_from_u64(seed));
+        let mut inc = IncrementalCost::new(&inst, start);
+        for (a, b) in swaps {
+            inc.apply_swap(a, b);
+        }
+        prop_assert!(is_permutation(inc.assign()));
+        let full = exec_time(&inst, inc.assign());
+        prop_assert!((inc.cost() - full).abs() <= 1e-9 * (1.0 + full));
+    }
+
+    /// Co-locating any pair of interacting tasks never increases the
+    /// total communication volume charged (monotonicity of the model in
+    /// co-location) — verified via the all-on-one-resource lower bound
+    /// on communication.
+    #[test]
+    fn colocated_mapping_has_no_communication(seed in 0u64..200, res in 0usize..8) {
+        let inst = instance(8, seed);
+        let all_same = vec![res; 8];
+        let loads = exec_per_resource(&inst, &all_same);
+        let pure_compute: f64 = (0..8)
+            .map(|t| inst.computation(t) * inst.processing_cost(res))
+            .sum();
+        prop_assert!((loads[res] - pure_compute).abs() < 1e-9);
+        for (s, &l) in loads.iter().enumerate() {
+            if s != res {
+                prop_assert_eq!(l, 0.0);
+            }
+        }
+    }
+
+    /// GenPerm samples are always permutations, whatever the matrix.
+    #[test]
+    fn genperm_always_permutation(rows in proptest::collection::vec(
+        proptest::collection::vec(0.0f64..1.0, 7), 7), seed in any::<u64>()) {
+        let data: Vec<f64> = rows.into_iter().flatten().collect();
+        let m = matchkit::ce::StochasticMatrix::from_rows(7, 7, data);
+        let model = matchkit::ce::PermutationModel::from_matrix(m);
+        let s = model.sample(&mut StdRng::seed_from_u64(seed));
+        prop_assert!(is_permutation(&s));
+    }
+
+    /// Elite updates keep the matrix row-stochastic.
+    #[test]
+    fn updates_preserve_stochasticity(
+        elites in proptest::collection::vec(perm_strategy(6), 1..10),
+        zeta in 0.0f64..=1.0,
+    ) {
+        let mut model = matchkit::ce::PermutationModel::uniform(6);
+        model.update_from_elites(&elites, zeta);
+        for i in 0..6 {
+            let sum: f64 = model.matrix().row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "row {} sums to {}", i, sum);
+            prop_assert!(model.matrix().row(i).iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        }
+    }
+
+    /// The simulator's paper mode equals the analytic model for
+    /// arbitrary permutations (the central cross-validation, fuzzed).
+    #[test]
+    fn simulator_matches_analytic(seed in 0u64..100, perm in perm_strategy(9)) {
+        let inst = instance(9, seed);
+        let mapping = matchkit::core::Mapping::new(perm);
+        let rep = matchkit::sim::Simulator::new(&inst, matchkit::sim::SimConfig::default())
+            .run(&mapping);
+        let analytic = exec_time(&inst, mapping.as_slice());
+        prop_assert!((rep.makespan - analytic).abs() <= 1e-9 * (1.0 + analytic));
+    }
+
+    /// The provable lower bounds hold for every mapping.
+    #[test]
+    fn lower_bounds_hold(seed in 0u64..100, perm in perm_strategy(10)) {
+        let inst = instance(10, seed);
+        let et = exec_time(&inst, &perm);
+        let lb = matchkit::core::lower_bound(&inst);
+        let blb = matchkit::core::bijective_lower_bound(&inst);
+        prop_assert!(blb >= lb - 1e-9);
+        prop_assert!(et >= blb - 1e-9, "ET {} below bijective bound {}", et, blb);
+    }
+
+    /// Quality analysis is internally consistent for any mapping.
+    #[test]
+    fn quality_analysis_consistent(seed in 0u64..100, perm in perm_strategy(8)) {
+        let inst = instance(8, seed);
+        let q = matchkit::core::analyze(&inst, &perm);
+        prop_assert_eq!(q.makespan, exec_time(&inst, &perm));
+        prop_assert!(q.imbalance >= 1.0 - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&q.comm_fraction_bottleneck));
+        prop_assert!(q.total_compute >= 0.0 && q.total_comm >= 0.0);
+        let total = q.total_compute + q.total_comm;
+        prop_assert!((q.mean_load * 8.0 - total).abs() <= 1e-6 * (1.0 + total));
+    }
+
+    /// TIG clustering always yields dense ids within the requested
+    /// count, and coarsening conserves computation weight.
+    #[test]
+    fn clustering_invariants(seed in 0u64..100, k in 1usize..12) {
+        use matchkit::baselines::{cluster_tig, coarsen_tig};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tig = PaperFamilyConfig::new(12).generate_tig(&mut rng);
+        let cluster = cluster_tig(&tig, k, 2.0);
+        prop_assert_eq!(cluster.len(), 12);
+        let kk = cluster.iter().copied().max().unwrap() + 1;
+        prop_assert!(kk <= k.min(12));
+        for id in 0..kk {
+            prop_assert!(cluster.contains(&id));
+        }
+        let coarse = coarsen_tig(&tig, &cluster, kk);
+        prop_assert!((coarse.total_computation() - tig.total_computation()).abs() < 1e-9);
+        prop_assert!(coarse.total_comm_volume() <= tig.total_comm_volume() + 1e-9);
+    }
+}
