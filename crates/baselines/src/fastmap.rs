@@ -132,10 +132,8 @@ pub fn coarsen_tig(tig: &TaskGraph, cluster: &[usize], k: usize) -> TaskGraph {
     }
     // Zero-weight clusters cannot exist (every cluster has ≥1 task),
     // but guard against rounding by flooring at a tiny epsilon.
-    let mut g = Graph::from_node_weights(
-        weights.into_iter().map(|w| w.max(1e-9)).collect(),
-    )
-    .expect("positive weights");
+    let mut g = Graph::from_node_weights(weights.into_iter().map(|w| w.max(1e-9)).collect())
+        .expect("positive weights");
     let mut volumes = std::collections::HashMap::new();
     for (u, v, c) in tig.all_interactions() {
         let (cu, cv) = (cluster[u], cluster[v]);
@@ -184,10 +182,8 @@ impl<M: Mapper> Mapper for FastMapScheme<M> {
         let r = inst.n_resources();
 
         // Reconstruct graph views from the flattened instance.
-        let mut tg = Graph::from_node_weights(
-            (0..n).map(|t| inst.computation(t)).collect(),
-        )
-        .expect("positive weights");
+        let mut tg = Graph::from_node_weights((0..n).map(|t| inst.computation(t)).collect())
+            .expect("positive weights");
         for t in 0..n {
             for (a, c) in inst.interactions(t) {
                 if t < a {
@@ -201,10 +197,8 @@ impl<M: Mapper> Mapper for FastMapScheme<M> {
         let k = cluster.iter().copied().max().map_or(0, |m| m + 1);
 
         // Coarse platform: keep all resources (k ≤ r always holds).
-        let mut rg = Graph::from_node_weights(
-            (0..r).map(|s| inst.processing_cost(s)).collect(),
-        )
-        .expect("positive weights");
+        let mut rg = Graph::from_node_weights((0..r).map(|s| inst.processing_cost(s)).collect())
+            .expect("positive weights");
         for s in 0..r {
             for b in (s + 1)..r {
                 let c = inst.link_cost(s, b);
@@ -250,7 +244,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let tig = PaperFamilyConfig::new(tasks).generate_tig(&mut rng);
         let platform = PaperFamilyConfig::new(resources).generate_platform(&mut rng);
-        MappingInstance::from_pair(&InstancePair { tig, resources: platform })
+        MappingInstance::from_pair(&InstancePair {
+            tig,
+            resources: platform,
+        })
     }
 
     fn tig(n: usize, seed: u64) -> TaskGraph {

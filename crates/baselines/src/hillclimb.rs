@@ -6,8 +6,12 @@
 //! rectangular instances it is all single-task moves. Optional random
 //! restarts escape local optima within an evaluation budget.
 
-use match_core::{IncrementalCost, Mapper, MapperOutcome, Mapping, MappingInstance};
+use match_core::{
+    record_run_end, record_run_start, IncrementalCost, Mapper, MapperOutcome, Mapping,
+    MappingInstance,
+};
 use match_rngutil::perm::random_permutation;
+use match_telemetry::{Event, IterEvent, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::time::Instant;
@@ -34,11 +38,22 @@ impl Default for HillClimber {
 impl HillClimber {
     /// A climber with the given restart count and evaluation budget.
     pub fn new(restarts: usize, max_evaluations: u64) -> Self {
-        assert!(restarts >= 1, "need at least one descent");
-        HillClimber {
+        let climber = HillClimber {
             restarts,
             max_evaluations,
-        }
+        };
+        climber.validate();
+        climber
+    }
+
+    /// Panic with a clear message on nonsensical settings. Called at the
+    /// top of [`Mapper::map`].
+    pub fn validate(&self) {
+        assert!(self.restarts >= 1, "need at least one descent");
+        assert!(
+            self.max_evaluations >= 1,
+            "need a positive evaluation budget"
+        );
     }
 
     /// One full steepest descent from `start`. Returns the local optimum
@@ -115,6 +130,21 @@ impl Mapper for HillClimber {
     }
 
     fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
+        self.map_traced(inst, rng, &mut NullRecorder)
+    }
+
+    /// Telemetry override: one `iter` event per restart (running best,
+    /// the restart's local-optimum cost as `mean`, wall time of the
+    /// descent) plus an `evaluations` counter per descent.
+    fn map_traced(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+    ) -> MapperOutcome {
+        self.validate();
+        record_run_start(recorder, "HillClimb", inst);
+        let traced = recorder.enabled();
         let start_t = Instant::now();
         let n = inst.n_tasks();
         let r = inst.n_resources();
@@ -122,10 +152,11 @@ impl Mapper for HillClimber {
         let mut best_cost = f64::INFINITY;
         let mut total_evals: u64 = 0;
         let mut descents = 0usize;
-        for _ in 0..self.restarts {
+        for restart in 0..self.restarts {
             if total_evals >= self.max_evaluations {
                 break;
             }
+            let descent_start = traced.then(Instant::now);
             let start: Vec<usize> = if inst.is_square() {
                 random_permutation(n, rng)
             } else {
@@ -139,14 +170,30 @@ impl Mapper for HillClimber {
                 best_cost = cost;
                 best = Some(assign);
             }
+            if let Some(descent_start) = descent_start {
+                recorder.record(Event::Counter {
+                    name: "evaluations".into(),
+                    value: evals,
+                });
+                recorder.record(Event::Iter(IterEvent {
+                    iter: restart as u64,
+                    best: best_cost,
+                    mean: cost,
+                    gamma: None,
+                    elite_size: 0,
+                    wall_ns: descent_start.elapsed().as_nanos() as u64,
+                }));
+            }
         }
-        MapperOutcome {
+        let outcome = MapperOutcome {
             mapping: Mapping::new(best.expect("at least one descent")),
             cost: best_cost,
             evaluations: total_evals,
             iterations: descents,
             elapsed: start_t.elapsed(),
-        }
+        };
+        record_run_end(recorder, &outcome);
+        outcome
     }
 }
 
@@ -203,6 +250,23 @@ mod tests {
         let out = HillClimber::new(10, 500).map(&inst, &mut StdRng::seed_from_u64(8));
         assert!(out.evaluations <= 505, "evaluations {}", out.evaluations);
         assert!(out.mapping.is_permutation());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one descent")]
+    fn zero_restarts_panics() {
+        HillClimber::new(0, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "need a positive evaluation budget")]
+    fn zero_budget_panics() {
+        let inst = instance(4, 70);
+        let climber = HillClimber {
+            restarts: 1,
+            max_evaluations: 0,
+        };
+        climber.map(&inst, &mut StdRng::seed_from_u64(71));
     }
 
     #[test]

@@ -34,11 +34,7 @@ impl PolishedMatcher {
 
     /// Steepest descent from `start` until a local optimum or the
     /// budget runs out. Returns the assignment, cost and evaluations.
-    fn polish(
-        inst: &MappingInstance,
-        start: Vec<usize>,
-        budget: u64,
-    ) -> (Vec<usize>, f64, u64) {
+    fn polish(inst: &MappingInstance, start: Vec<usize>, budget: u64) -> (Vec<usize>, f64, u64) {
         let n = inst.n_tasks();
         let mut inc = IncrementalCost::new(inst, start);
         let mut evals: u64 = 1;

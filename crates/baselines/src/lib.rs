@@ -27,16 +27,16 @@
 
 pub mod fastmap;
 pub mod greedy;
-pub mod hybrid;
 pub mod hillclimb;
+pub mod hybrid;
 pub mod partition;
 pub mod random;
 pub mod sa;
 
 pub use fastmap::{cluster_tig, coarsen_tig, FastMapScheme};
 pub use greedy::GreedyMapper;
-pub use hybrid::PolishedMatcher;
 pub use hillclimb::HillClimber;
+pub use hybrid::PolishedMatcher;
 pub use partition::RecursiveBisection;
 pub use random::{RandomSearch, RoundRobin};
 pub use sa::SimulatedAnnealing;

@@ -55,15 +55,11 @@ impl RecursiveBisection {
             return;
         }
         // Build the induced subgraph over `members`.
-        let index_of: std::collections::HashMap<usize, usize> = members
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (t, i))
-            .collect();
-        let mut g = Graph::from_node_weights(
-            members.iter().map(|&t| inst.computation(t)).collect(),
-        )
-        .expect("positive weights");
+        let index_of: std::collections::HashMap<usize, usize> =
+            members.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let mut g =
+            Graph::from_node_weights(members.iter().map(|&t| inst.computation(t)).collect())
+                .expect("positive weights");
         for (i, &t) in members.iter().enumerate() {
             for (a, c) in inst.interactions(t) {
                 if let Some(&j) = index_of.get(&a) {
@@ -142,8 +138,10 @@ impl Mapper for RecursiveBisection {
                 // charging communication only toward already-placed
                 // neighbours (like the greedy list scheduler, at part
                 // granularity). Intra-part volume is free on `s`.
-                let mut add_s: f64 =
-                    part.iter().map(|&t| inst.computation(t) * inst.processing_cost(s)).sum();
+                let mut add_s: f64 = part
+                    .iter()
+                    .map(|&t| inst.computation(t) * inst.processing_cost(s))
+                    .sum();
                 let mut neighbour_adds: Vec<(usize, f64)> = Vec::new();
                 for &t in part {
                     for (a, c) in inst.interactions(t) {
@@ -204,14 +202,16 @@ impl Mapper for RecursiveBisection {
 }
 
 /// Convenience: expose the partition step for tests and tools.
-pub fn partition_tasks(
-    inst: &MappingInstance,
-    parts: usize,
-    rng: &mut StdRng,
-) -> Vec<Vec<usize>> {
+pub fn partition_tasks(inst: &MappingInstance, parts: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
     let rb = RecursiveBisection::default();
     let mut out = Vec::new();
-    rb.partition(inst, (0..inst.n_tasks()).collect(), parts.max(1), rng, &mut out);
+    rb.partition(
+        inst,
+        (0..inst.n_tasks()).collect(),
+        parts.max(1),
+        rng,
+        &mut out,
+    );
     out
 }
 
@@ -260,7 +260,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let rb = RecursiveBisection::default().map(&inst, &mut rng);
         let random = crate::random::RandomSearch::new(1).map(&inst, &mut rng);
-        assert!(rb.cost <= random.cost * 1.2, "RB {} vs random {}", rb.cost, random.cost);
+        assert!(
+            rb.cost <= random.cost * 1.2,
+            "RB {} vs random {}",
+            rb.cost,
+            random.cost
+        );
     }
 
     #[test]
@@ -273,14 +278,20 @@ mod tests {
             .with_comp_scale(2000)
             .generate_tig(&mut rng);
         let platform = PaperFamilyConfig::new(4).generate_platform(&mut rng);
-        let inst = MappingInstance::from_pair(&InstancePair { tig, resources: platform });
+        let inst = MappingInstance::from_pair(&InstancePair {
+            tig,
+            resources: platform,
+        });
         let out = RecursiveBisection::default().map(&inst, &mut rng);
         assert!(out.mapping.validate(&inst).is_ok());
         assert!(out.mapping.as_slice().iter().all(|&s| s < 4));
         // With computation dominating, at least two resources are used.
-        let distinct: std::collections::HashSet<_> =
-            out.mapping.as_slice().iter().collect();
-        assert!(distinct.len() >= 2, "all on one: {:?}", out.mapping.as_slice());
+        let distinct: std::collections::HashSet<_> = out.mapping.as_slice().iter().collect();
+        assert!(
+            distinct.len() >= 2,
+            "all on one: {:?}",
+            out.mapping.as_slice()
+        );
     }
 
     #[test]

@@ -4,8 +4,12 @@
 //! is calibrated from the instance itself (mean absolute delta of random
 //! moves) so one configuration works across the paper's size sweep.
 
-use match_core::{IncrementalCost, Mapper, MapperOutcome, Mapping, MappingInstance};
+use match_core::{
+    record_run_end, record_run_start, IncrementalCost, Mapper, MapperOutcome, Mapping,
+    MappingInstance,
+};
 use match_rngutil::perm::random_permutation;
+use match_telemetry::{Event, IterEvent, Recorder};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::time::Instant;
@@ -36,12 +40,29 @@ impl SimulatedAnnealing {
     /// An annealer with the given move budget and cooling factor.
     pub fn new(iterations: u64, cooling: f64) -> Self {
         assert!(iterations >= 1, "need at least one move");
-        assert!((0.0..1.0).contains(&cooling) || cooling == 1.0, "cooling in (0,1]");
+        assert!(
+            (0.0..1.0).contains(&cooling) || cooling == 1.0,
+            "cooling in (0,1]"
+        );
         SimulatedAnnealing {
             iterations,
             cooling,
             ..SimulatedAnnealing::default()
         }
+    }
+
+    /// Panic with a clear message on nonsensical settings. Called at the
+    /// top of [`Mapper::map`].
+    pub fn validate(&self) {
+        assert!(self.iterations >= 1, "need at least one move");
+        assert!(
+            self.cooling > 0.0 && self.cooling <= 1.0,
+            "cooling in (0,1]"
+        );
+        assert!(
+            self.initial_acceptance > 0.0 && self.initial_acceptance <= 1.0,
+            "initial acceptance in (0,1]"
+        );
     }
 
     /// Calibrate T₀ so an average uphill move is accepted with
@@ -93,6 +114,22 @@ impl Mapper for SimulatedAnnealing {
     }
 
     fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
+        self.map_traced(inst, rng, &mut match_telemetry::NullRecorder)
+    }
+
+    /// Telemetry override: one `iter` event per temperature epoch (a
+    /// fixed fraction of the move budget), with `gamma` carrying the
+    /// current temperature and `elite_size` the moves accepted in the
+    /// epoch.
+    fn map_traced(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+    ) -> MapperOutcome {
+        self.validate();
+        record_run_start(recorder, "SimAnneal", inst);
+        let traced = recorder.enabled();
         let start_t = Instant::now();
         let n = inst.n_tasks();
         let r = inst.n_resources();
@@ -108,19 +145,29 @@ impl Mapper for SimulatedAnnealing {
         let mut evals: u64 = 1;
 
         if n < 2 || (!square && r < 2) {
-            return MapperOutcome {
+            let outcome = MapperOutcome {
                 mapping: Mapping::new(best),
                 cost: best_cost,
                 evaluations: evals,
                 iterations: 0,
                 elapsed: start_t.elapsed(),
             };
+            record_run_end(recorder, &outcome);
+            return outcome;
         }
 
         let mut temp = self.initial_temperature(&mut inc, square, n, r, rng);
         evals += 64.min((n * n) as u64);
 
-        for _ in 0..self.iterations {
+        // A temperature epoch: enough moves that per-epoch events stay
+        // cheap even for multi-million-move budgets, capped at 256
+        // epochs per run.
+        let epoch_len = (self.iterations / 256).max(1);
+        let mut epoch: u64 = 0;
+        let mut epoch_accepted: u64 = 0;
+        let mut epoch_start = traced.then(Instant::now);
+
+        for step in 0..self.iterations {
             let current = inc.cost();
             let candidate_cost;
             let op: (usize, usize);
@@ -140,8 +187,8 @@ impl Mapper for SimulatedAnnealing {
             }
             evals += 1;
             let delta = candidate_cost - current;
-            let accept = delta <= 0.0
-                || (temp > 0.0 && rng.random::<f64>() < (-delta / temp).exp());
+            let accept =
+                delta <= 0.0 || (temp > 0.0 && rng.random::<f64>() < (-delta / temp).exp());
             if accept {
                 if square {
                     inc.apply_swap(op.0, op.1);
@@ -152,17 +199,38 @@ impl Mapper for SimulatedAnnealing {
                     best_cost = candidate_cost;
                     best = inc.assign().to_vec();
                 }
+                epoch_accepted += 1;
             }
             temp *= self.cooling;
+
+            if traced && (step + 1) % epoch_len == 0 {
+                recorder.record(Event::Counter {
+                    name: "accepted_moves".into(),
+                    value: epoch_accepted,
+                });
+                recorder.record(Event::Iter(IterEvent {
+                    iter: epoch,
+                    best: best_cost,
+                    mean: inc.cost(),
+                    gamma: Some(temp),
+                    elite_size: epoch_accepted,
+                    wall_ns: epoch_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                }));
+                epoch += 1;
+                epoch_accepted = 0;
+                epoch_start = Some(Instant::now());
+            }
         }
 
-        MapperOutcome {
+        let outcome = MapperOutcome {
             mapping: Mapping::new(best),
             cost: best_cost,
             evaluations: evals,
             iterations: self.iterations as usize,
             elapsed: start_t.elapsed(),
-        }
+        };
+        record_run_end(recorder, &outcome);
+        outcome
     }
 }
 
@@ -218,6 +286,34 @@ mod tests {
         let sa = SimulatedAnnealing::new(20_000, 0.9995);
         let out = sa.map(&inst, &mut rng);
         assert!(out.mapping.validate(&inst).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one move")]
+    fn zero_iterations_panics() {
+        SimulatedAnnealing::new(0, 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling in (0,1]")]
+    fn invalid_cooling_panics() {
+        let inst = instance(4, 60);
+        let sa = SimulatedAnnealing {
+            cooling: 0.0,
+            ..SimulatedAnnealing::default()
+        };
+        sa.map(&inst, &mut StdRng::seed_from_u64(61));
+    }
+
+    #[test]
+    #[should_panic(expected = "initial acceptance in (0,1]")]
+    fn invalid_acceptance_panics() {
+        let inst = instance(4, 60);
+        let sa = SimulatedAnnealing {
+            initial_acceptance: 2.0,
+            ..SimulatedAnnealing::default()
+        };
+        sa.map(&inst, &mut StdRng::seed_from_u64(61));
     }
 
     #[test]

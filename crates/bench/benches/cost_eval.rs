@@ -27,6 +27,31 @@ fn bench_full_eval(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_full_eval_recorded(c: &mut Criterion) {
+    // Objective evaluation through the disabled-telemetry path: one
+    // unconditional virtual `record` per call, dropped by `NullRecorder`.
+    // Compare against `exec_time_full`; regression budget is <2%.
+    use match_telemetry::{Event, NullRecorder, Recorder};
+    let mut group = c.benchmark_group("exec_time_full_recorded");
+    for n in [10usize, 30, 50] {
+        let inst = instance(n);
+        let perm = random_permutation(n, &mut StdRng::seed_from_u64(7));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut null = NullRecorder;
+            let recorder: &mut dyn Recorder = &mut null;
+            b.iter(|| {
+                let cost = exec_time(black_box(&inst), black_box(&perm));
+                recorder.record(Event::Counter {
+                    name: "evaluations".into(),
+                    value: 1,
+                });
+                black_box(cost)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_incremental_swap(c: &mut Criterion) {
     let mut group = c.benchmark_group("incremental_swap");
     for n in [10usize, 30, 50] {
@@ -47,5 +72,10 @@ fn bench_incremental_swap(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_eval, bench_incremental_swap);
+criterion_group!(
+    benches,
+    bench_full_eval,
+    bench_full_eval_recorded,
+    bench_incremental_swap
+);
 criterion_main!(benches);

@@ -27,6 +27,35 @@ fn bench_uniform(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_uniform_recorded(c: &mut Criterion) {
+    // The same sampling loop with the disabled-telemetry path a traced
+    // solver takes: one unconditional virtual `record` per sample, which
+    // `NullRecorder` drops. Compare against `genperm_uniform`; the gap is
+    // the observability tax with tracing off (<2% is the budget).
+    use match_telemetry::{Event, NullRecorder, Recorder};
+    let mut group = c.benchmark_group("genperm_uniform_recorded");
+    for n in [10usize, 20, 50] {
+        let model = PermutationModel::uniform(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut used = Vec::new();
+            let mut weights = Vec::new();
+            let mut out = Vec::new();
+            let mut null = NullRecorder;
+            let recorder: &mut dyn Recorder = &mut null;
+            b.iter(|| {
+                model.sample_into(&mut rng, &mut used, &mut weights, &mut out);
+                recorder.record(Event::Counter {
+                    name: "samples".into(),
+                    value: 1,
+                });
+                black_box(out.last().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_degenerate(c: &mut Criterion) {
     // Near-degenerate matrices are the worst case for the restricted
     // wheel (mass concentrates on used columns late in the run).
@@ -49,9 +78,7 @@ fn bench_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("elite_update");
     for n in [10usize, 50] {
         let elites: Vec<Vec<usize>> = (0..((n * n) / 5).max(1))
-            .map(|s| {
-                match_rngutil::random_permutation(n, &mut StdRng::seed_from_u64(s as u64))
-            })
+            .map(|s| match_rngutil::random_permutation(n, &mut StdRng::seed_from_u64(s as u64)))
             .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             let mut model = PermutationModel::uniform(n);
@@ -63,5 +90,11 @@ fn bench_update(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_uniform, bench_degenerate, bench_update);
+criterion_group!(
+    benches,
+    bench_uniform,
+    bench_uniform_recorded,
+    bench_degenerate,
+    bench_update
+);
 criterion_main!(benches);

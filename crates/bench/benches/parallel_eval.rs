@@ -14,8 +14,7 @@ use std::hint::black_box;
 fn bench_batch(c: &mut Criterion) {
     let n = 30usize;
     let mut rng = StdRng::seed_from_u64(9);
-    let inst =
-        MappingInstance::from_pair(&PaperFamilyConfig::new(n).generate(&mut rng));
+    let inst = MappingInstance::from_pair(&PaperFamilyConfig::new(n).generate(&mut rng));
     let batch: Vec<Vec<usize>> = (0..2 * n * n)
         .map(|_| random_permutation(n, &mut rng))
         .collect();

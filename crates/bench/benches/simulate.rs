@@ -31,11 +31,9 @@ fn bench_modes(c: &mut Criterion) {
                     trace: false,
                 },
             );
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, _| b.iter(|| black_box(sim.run(black_box(&mapping)).makespan)),
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| black_box(sim.run(black_box(&mapping)).makespan))
+            });
         }
     }
     group.finish();

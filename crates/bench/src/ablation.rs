@@ -7,7 +7,9 @@
 //! introduced to avoid wasted invalid samples. These experiments measure
 //! each claim, plus a comparison against the extra baselines.
 
-use match_baselines::{GreedyMapper, HillClimber, PolishedMatcher, RandomSearch, SimulatedAnnealing};
+use match_baselines::{
+    GreedyMapper, HillClimber, PolishedMatcher, RandomSearch, SimulatedAnnealing,
+};
 use match_core::{Mapper, MappingInstance, MatchConfig, Matcher};
 use match_graph::gen::paper::PaperFamilyConfig;
 use match_rngutil::SeedSequence;
@@ -120,8 +122,14 @@ where
 }
 
 fn variants_table(title: &str, results: &[VariantResult]) -> Table {
-    let mut t = Table::new(["variant", "mean ET", "mean iters", "mean evals", "mean MT (s)"])
-        .with_title(title.to_string());
+    let mut t = Table::new([
+        "variant",
+        "mean ET",
+        "mean iters",
+        "mean evals",
+        "mean MT (s)",
+    ])
+    .with_title(title.to_string());
     for r in results {
         t.add_row([
             r.label.clone(),
@@ -203,7 +211,10 @@ pub fn ablate_genperm(cfg: &AblationConfig) -> (Vec<VariantResult>, Table) {
                 .into_mapper_outcome()
         }
     }
-    let labels = vec!["GenPerm (paper)".to_string(), "naive + infinity penalty".to_string()];
+    let labels = vec![
+        "GenPerm (paper)".to_string(),
+        "naive + infinity penalty".to_string(),
+    ];
     let results = run_variants(cfg, &labels, |vi| {
         let mc = MatchConfig {
             max_iters: 100,

@@ -147,9 +147,11 @@ pub fn table3(exp: &AnovaExperiment) -> (Table, Table) {
     );
     stats.add_row(
         std::iter::once("95% CI for Mean".to_string())
-            .chain(exp.groups.iter().map(|g| {
-                format!("{}-{}", format_sig(g.ci_lo, 5), format_sig(g.ci_hi, 5))
-            }))
+            .chain(
+                exp.groups
+                    .iter()
+                    .map(|g| format!("{}-{}", format_sig(g.ci_lo, 5), format_sig(g.ci_hi, 5))),
+            )
             .collect::<Vec<_>>(),
     );
     stats.add_row(

@@ -74,7 +74,10 @@ fn main() {
                 }
             };
             let platform = PaperFamilyConfig::new(size).generate_platform(&mut rng);
-            let inst = MappingInstance::from_pair(&InstancePair { tig, resources: platform });
+            let inst = MappingInstance::from_pair(&InstancePair {
+                tig,
+                resources: platform,
+            });
             for run in 0..runs {
                 let mut r1 = seq.child(100 + run as u64).next_rng();
                 let mut r2 = seq.child(100 + run as u64).next_rng();

@@ -50,63 +50,64 @@ fn main() {
     };
     let runs = 3;
     let mut text = String::new();
-    for (regime, comp_scale) in [("comm-dominated (paper weights)", 1u32), ("comp-dominated (W x2000)", 2000)] {
+    for (regime, comp_scale) in [
+        ("comm-dominated (paper weights)", 1u32),
+        ("comp-dominated (W x2000)", 2000),
+    ] {
+        let matcher = ManyToOneMatcher(Matcher::new(MatchConfig {
+            // N = 2·tasks·resources: the assignment matrix has
+            // tasks × resources entries rather than |V|².
+            sample_size: None,
+            ..MatchConfig::default()
+        }));
+        let fastmap = FastMapScheme::new(FastMapGa::new(GaConfig {
+            population: 200,
+            generations: 300,
+            ..GaConfig::paper_default()
+        }));
+        let greedy = GreedyMapper;
+        let bisect = RecursiveBisection::default();
+        let hill = HillClimber::default();
+        let random = RandomSearch::new(50_000);
+        let mappers: Vec<&dyn Mapper> = vec![&matcher, &fastmap, &bisect, &greedy, &hill, &random];
 
-    let matcher = ManyToOneMatcher(Matcher::new(MatchConfig {
-        // N = 2·tasks·resources: the assignment matrix has
-        // tasks × resources entries rather than |V|².
-        sample_size: None,
-        ..MatchConfig::default()
-    }));
-    let fastmap = FastMapScheme::new(FastMapGa::new(GaConfig {
-        population: 200,
-        generations: 300,
-        ..GaConfig::paper_default()
-    }));
-    let greedy = GreedyMapper;
-    let bisect = RecursiveBisection::default();
-    let hill = HillClimber::default();
-    let random = RandomSearch::new(50_000);
-    let mappers: Vec<&dyn Mapper> =
-        vec![&matcher, &fastmap, &bisect, &greedy, &hill, &random];
+        let mut table = Table::new({
+            let mut h = vec!["mean ET".to_string()];
+            h.extend(task_counts.iter().map(|t| format!("{t} tasks")));
+            h
+        })
+        .with_title(format!(
+            "Extension: many-to-one onto {resources} resources, {regime} ({runs} runs per cell)"
+        ));
 
-    let mut table = Table::new({
-        let mut h = vec!["mean ET".to_string()];
-        h.extend(task_counts.iter().map(|t| format!("{t} tasks")));
-        h
-    })
-    .with_title(format!(
-        "Extension: many-to-one onto {resources} resources, {regime} ({runs} runs per cell)"
-    ));
-
-    for mapper in &mappers {
-        let mut row = vec![mapper.name().to_string()];
-        for &tasks in &task_counts {
-            let mut acc = 0.0;
-            for run in 0..runs {
-                let mut seq = SeedSequence::new(777).child(tasks as u64).child(run as u64);
-                let mut rng = seq.next_rng();
-                let tig = PaperFamilyConfig::new(tasks)
-                    .with_comp_scale(comp_scale)
-                    .generate_tig(&mut rng);
-                let platform = PaperFamilyConfig::new(resources).generate_platform(&mut rng);
-                let inst = MappingInstance::from_pair(&InstancePair {
-                    tig,
-                    resources: platform,
-                });
-                let mut run_rng = seq.next_rng();
-                let out = mapper.map(&inst, &mut run_rng);
-                assert!(out.mapping.validate(&inst).is_ok());
-                acc += out.cost;
+        for mapper in &mappers {
+            let mut row = vec![mapper.name().to_string()];
+            for &tasks in &task_counts {
+                let mut acc = 0.0;
+                for run in 0..runs {
+                    let mut seq = SeedSequence::new(777).child(tasks as u64).child(run as u64);
+                    let mut rng = seq.next_rng();
+                    let tig = PaperFamilyConfig::new(tasks)
+                        .with_comp_scale(comp_scale)
+                        .generate_tig(&mut rng);
+                    let platform = PaperFamilyConfig::new(resources).generate_platform(&mut rng);
+                    let inst = MappingInstance::from_pair(&InstancePair {
+                        tig,
+                        resources: platform,
+                    });
+                    let mut run_rng = seq.next_rng();
+                    let out = mapper.map(&inst, &mut run_rng);
+                    assert!(out.mapping.validate(&inst).is_ok());
+                    acc += out.cost;
+                }
+                row.push(format_sig(acc / runs as f64, 5));
             }
-            row.push(format_sig(acc / runs as f64, 5));
+            table.add_row(row);
+            eprintln!("[m21] {} done", mapper.name());
         }
-        table.add_row(row);
-        eprintln!("[m21] {} done", mapper.name());
-    }
 
-    text.push_str(&table.render());
-    text.push('\n');
+        text.push_str(&table.render());
+        text.push('\n');
     }
     println!("{text}");
     match match_bench::report::write_results_file("many_to_one_sweep.txt", &text) {

@@ -23,7 +23,10 @@ fn main() {
         let metrics: [(&str, Vec<f64>); 3] = [
             ("ET", data.cells[h].iter().map(|c| c.mean_et()).collect()),
             ("MT", data.cells[h].iter().map(|c| c.mean_mt()).collect()),
-            ("evals", data.cells[h].iter().map(|c| c.mean_evals()).collect()),
+            (
+                "evals",
+                data.cells[h].iter().map(|c| c.mean_evals()).collect(),
+            ),
         ];
         for (metric, ys) in metrics {
             match power_law_fit(&xs, &ys) {
@@ -37,7 +40,13 @@ fn main() {
                     ]);
                 }
                 None => {
-                    table.add_row([name.clone(), metric.to_string(), "-".into(), "-".into(), "-".into()]);
+                    table.add_row([
+                        name.clone(),
+                        metric.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
                 }
             }
         }

@@ -51,15 +51,21 @@ fn main() {
     for &size in &sizes {
         let mut seq = SeedSequence::new(31_337).child(size as u64);
         let mut rng = seq.next_rng();
-        let inst =
-            MappingInstance::from_pair(&PaperFamilyConfig::new(size).generate(&mut rng));
+        let inst = MappingInstance::from_pair(&PaperFamilyConfig::new(size).generate(&mut rng));
         for mapper in &mappers {
             let mut run_rng = seq.next_rng();
             let out = mapper.map(&inst, &mut run_rng);
             let mk = |mode: SimMode| {
-                Simulator::new(&inst, SimConfig { rounds, mode, trace: false })
-                    .run(&out.mapping)
-                    .makespan
+                Simulator::new(
+                    &inst,
+                    SimConfig {
+                        rounds,
+                        mode,
+                        trace: false,
+                    },
+                )
+                .run(&out.mapping)
+                .makespan
             };
             let serial = mk(SimMode::PaperSerial);
             let blocking = mk(SimMode::BlockingReceives);

@@ -11,8 +11,9 @@ pub fn table_et(data: &SweepData, baseline: &str, target: &str) -> Table {
     let t = data.index_of(target).expect("target present");
     let mut header = vec!["|Vr| = |Vt|".to_string()];
     header.extend(data.sizes.iter().map(|s| s.to_string()));
-    let mut table = Table::new(header)
-        .with_title(format!("Table 1: execution times (ET) — {baseline} vs {target}"));
+    let mut table = Table::new(header).with_title(format!(
+        "Table 1: execution times (ET) — {baseline} vs {target}"
+    ));
     let row = |h: usize| -> Vec<String> {
         data.cells[h]
             .iter()
@@ -43,8 +44,9 @@ pub fn table_mt(data: &SweepData, baseline: &str, target: &str) -> Table {
     let t = data.index_of(target).expect("target present");
     let mut header = vec!["|Vr| = |Vt|".to_string()];
     header.extend(data.sizes.iter().map(|s| s.to_string()));
-    let mut table = Table::new(header)
-        .with_title(format!("Table 2: mapping times (MT) — {baseline} vs {target}"));
+    let mut table = Table::new(header).with_title(format!(
+        "Table 2: mapping times (MT) — {baseline} vs {target}"
+    ));
     let row = |h: usize| -> Vec<String> {
         data.cells[h]
             .iter()
@@ -135,9 +137,54 @@ pub fn sweep_csv(data: &SweepData) -> String {
             w.write_numeric_record(format!("{name},{size},et"), &cell.et);
             w.write_numeric_record(format!("{name},{size},mt_s"), &cell.mt);
             w.write_numeric_record(format!("{name},{size},evals"), &cell.evals);
+            w.write_numeric_record(format!("{name},{size},ns_per_iter"), &cell.ns_per_iter);
         }
     }
     w.into_string()
+}
+
+/// Dump the sweep as JSON: per-cell raw samples plus the derived means,
+/// including wall-clock-per-iteration (`mean_ns_per_iter`). Non-finite
+/// values become `null`.
+pub fn sweep_json(data: &SweepData) -> String {
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+    fn arr(xs: &[f64]) -> String {
+        let body: Vec<String> = xs.iter().map(|&v| num(v)).collect();
+        format!("[{}]", body.join(","))
+    }
+    let mut out = String::from("{\n  \"heuristics\": [\n");
+    for (h, name) in data.names.iter().enumerate() {
+        out.push_str(&format!("    {{\"name\": \"{name}\", \"cells\": [\n"));
+        for (si, &size) in data.sizes.iter().enumerate() {
+            let c = &data.cells[h][si];
+            out.push_str(&format!(
+                "      {{\"size\": {size}, \"mean_et\": {}, \"mean_mt_s\": {}, \
+                 \"mean_evals\": {}, \"mean_ns_per_iter\": {}, \
+                 \"et\": {}, \"mt_s\": {}, \"evals\": {}, \"ns_per_iter\": {}}}{}\n",
+                num(c.mean_et()),
+                num(c.mean_mt()),
+                num(c.mean_evals()),
+                num(c.mean_ns_per_iter()),
+                arr(&c.et),
+                arr(&c.mt),
+                arr(&c.evals),
+                arr(&c.ns_per_iter),
+                if si + 1 < data.sizes.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if h + 1 < data.names.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Parse the CSV produced by [`sweep_csv`] back into a [`SweepData`].
@@ -187,11 +234,13 @@ pub fn parse_sweep_csv(text: &str) -> Option<SweepData> {
             et: Vec::new(),
             mt: Vec::new(),
             evals: Vec::new(),
+            ns_per_iter: Vec::new(),
         });
         match metric {
             "et" => cell.et = values,
             "mt_s" => cell.mt = values,
             "evals" => cell.evals = values,
+            "ns_per_iter" => cell.ns_per_iter = values,
             _ => return None,
         }
     }
@@ -241,6 +290,10 @@ pub fn sweep_cached(profile: crate::sweep::Profile) -> SweepData {
     if let Ok(p) = write_results_file(&cache, &sweep_csv(&data)) {
         eprintln!("[sweep] cached to {}", p.display());
     }
+    // Companion JSON artefact with per-iteration wall-clock attached.
+    if let Ok(p) = write_results_file(&cache.replace(".csv", ".json"), &sweep_json(&data)) {
+        eprintln!("[sweep] json to {}", p.display());
+    }
     data
 }
 
@@ -263,6 +316,7 @@ mod tests {
             et: vec![et, et],
             mt: vec![mt, mt],
             evals: vec![100.0, 100.0],
+            ns_per_iter: vec![mt * 1e9 / 50.0, mt * 1e9 / 50.0],
         };
         SweepData {
             names: vec!["FastMap-GA".into(), "MaTCH".into()],
@@ -308,7 +362,25 @@ mod tests {
         let csv = sweep_csv(&fake_data());
         assert!(csv.contains("\"FastMap-GA,10,et\""));
         assert!(csv.contains("\"MaTCH,20,mt_s\""));
-        assert_eq!(csv.lines().count(), 1 + 2 * 2 * 3);
+        assert!(csv.contains("\"MaTCH,10,ns_per_iter\""));
+        assert_eq!(csv.lines().count(), 1 + 2 * 2 * 4);
+    }
+
+    #[test]
+    fn json_carries_per_iteration_wall_clock() {
+        let d = fake_data();
+        let json = sweep_json(&d);
+        assert!(json.contains("\"mean_ns_per_iter\""));
+        assert!(json.contains("\"name\": \"MaTCH\""));
+        // Expected value for the 10-cell of FastMap-GA: 13.62s / 50 iters.
+        let expect = d.cells[0][0].mean_ns_per_iter();
+        assert!(json.contains(&format!("{expect}")), "{json}");
+        // Balanced braces/brackets as a cheap well-formedness check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = json.matches(open).count();
+            let closes = json.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close}");
+        }
     }
 
     #[test]
@@ -328,6 +400,7 @@ mod tests {
                 assert_eq!(parsed.cells[h][s].et, d.cells[h][s].et);
                 assert_eq!(parsed.cells[h][s].mt, d.cells[h][s].mt);
                 assert_eq!(parsed.cells[h][s].evals, d.cells[h][s].evals);
+                assert_eq!(parsed.cells[h][s].ns_per_iter, d.cells[h][s].ns_per_iter);
             }
         }
     }

@@ -113,6 +113,8 @@ pub struct CellStats {
     pub mt: Vec<f64>,
     /// Objective evaluations per run.
     pub evals: Vec<f64>,
+    /// Wall-clock nanoseconds per solver iteration, one per run.
+    pub ns_per_iter: Vec<f64>,
 }
 
 impl CellStats {
@@ -121,6 +123,7 @@ impl CellStats {
             et: Vec::new(),
             mt: Vec::new(),
             evals: Vec::new(),
+            ns_per_iter: Vec::new(),
         }
     }
 
@@ -128,6 +131,8 @@ impl CellStats {
         self.et.push(out.cost);
         self.mt.push(out.elapsed.as_secs_f64());
         self.evals.push(out.evaluations as f64);
+        self.ns_per_iter
+            .push(out.elapsed.as_nanos() as f64 / out.iterations.max(1) as f64);
     }
 
     /// Mean ET — the quantity of Table 1.
@@ -143,6 +148,11 @@ impl CellStats {
     /// Mean objective evaluations — the machine-independent MT proxy.
     pub fn mean_evals(&self) -> f64 {
         stats_mean(&self.evals)
+    }
+
+    /// Mean wall-clock nanoseconds per solver iteration.
+    pub fn mean_ns_per_iter(&self) -> f64 {
+        stats_mean(&self.ns_per_iter)
     }
 
     /// Mean ATN = ET + MT (Figure 9's unit convention: one ET unit is

@@ -12,6 +12,7 @@
 //! which is how Figure 3's matrix snapshots are collected.
 
 use crate::model::CeModel;
+use match_telemetry::{Event, IterEvent, NullRecorder, Recorder, Span};
 use rand::rngs::StdRng;
 
 /// Tunables of the CE loop. Defaults follow the paper where it commits
@@ -173,7 +174,7 @@ pub fn minimize_with<M, E, O>(
     config: &CeConfig,
     rng: &mut StdRng,
     mut evaluate: E,
-    mut observe: O,
+    observe: O,
 ) -> CeOutcome<M::Sample>
 where
     M: CeModel,
@@ -181,7 +182,41 @@ where
     E: FnMut(&[M::Sample]) -> Vec<f64>,
     O: FnMut(usize, &M),
 {
+    minimize_traced(
+        model,
+        config,
+        rng,
+        |samples, _recorder| evaluate(samples),
+        observe,
+        &mut NullRecorder,
+    )
+}
+
+/// [`minimize_with`] plus live telemetry: per-iteration [`IterEvent`]s
+/// (γ, best, mean, elite size, wall time) and `sample`/`evaluate`/
+/// `update` spans go to `recorder`. The batch evaluator receives the
+/// recorder so it can attach its own events (e.g. `match-par` chunk
+/// timings) to the same stream.
+///
+/// With a [`NullRecorder`] this is exactly `minimize_with`: event
+/// construction and clock reads are skipped when
+/// [`Recorder::enabled`] is `false`.
+pub fn minimize_traced<M, E, O>(
+    model: &mut M,
+    config: &CeConfig,
+    rng: &mut StdRng,
+    mut evaluate: E,
+    mut observe: O,
+    recorder: &mut dyn Recorder,
+) -> CeOutcome<M::Sample>
+where
+    M: CeModel,
+    M::Sample: Clone,
+    E: FnMut(&[M::Sample], &mut dyn Recorder) -> Vec<f64>,
+    O: FnMut(usize, &M),
+{
     config.validate();
+    let traced = recorder.enabled();
     let n = config.sample_size;
     let elite_target = ((config.rho * n as f64).floor() as usize).max(1);
 
@@ -199,11 +234,24 @@ where
 
     for iter in 0..config.max_iters {
         iterations = iter + 1;
+        let iter_start = traced.then(std::time::Instant::now);
 
         // Step 3 (Fig. 5): draw the sample batch.
+        let span = traced.then(|| Span::start("sample", iter as u64));
         let samples: Vec<M::Sample> = (0..n).map(|_| model.sample(rng)).collect();
-        let costs = evaluate(&samples);
-        assert_eq!(costs.len(), samples.len(), "evaluator returned wrong length");
+        if let Some(span) = span {
+            span.finish(recorder);
+        }
+        let span = traced.then(|| Span::start("evaluate", iter as u64));
+        let costs = evaluate(&samples, recorder);
+        if let Some(span) = span {
+            span.finish(recorder);
+        }
+        assert_eq!(
+            costs.len(),
+            samples.len(),
+            "evaluator returned wrong length"
+        );
         evaluations += n as u64;
 
         // Steps 4–5: order by cost, take the ρ-quantile threshold γ.
@@ -232,7 +280,11 @@ where
         }
 
         // Step 6: ML update + smoothing.
+        let span = traced.then(|| Span::start("update", iter as u64));
         model.update_from_elites(&elites, config.zeta);
+        if let Some(span) = span {
+            span.finish(recorder);
+        }
         observe(iter, model);
 
         let mean = costs.iter().sum::<f64>() / n as f64;
@@ -245,6 +297,16 @@ where
             elite_count,
             entropy: model.entropy(),
         });
+        if let Some(start) = iter_start {
+            recorder.record(Event::Iter(IterEvent {
+                iter: iter as u64,
+                best: costs[first],
+                mean,
+                gamma: Some(gamma),
+                elite_size: elite_count as u64,
+                wall_ns: start.elapsed().as_nanos() as u64,
+            }));
+        }
 
         // Step 8: μ-stability (Eq. 12), plus degeneracy early-out.
         let signature = model.stability_signature();
@@ -301,12 +363,7 @@ mod tests {
 
     /// Cost: number of coordinates that differ from a hidden target.
     fn hamming_cost(target: &[bool]) -> impl Fn(&Vec<bool>) -> f64 + '_ {
-        move |s: &Vec<bool>| {
-            s.iter()
-                .zip(target)
-                .filter(|(a, b)| a != b)
-                .count() as f64
-        }
+        move |s: &Vec<bool>| s.iter().zip(target).filter(|(a, b)| a != b).count() as f64
     }
 
     #[test]
@@ -353,7 +410,9 @@ mod tests {
 
     #[test]
     fn best_curve_is_nonincreasing() {
-        let target = vec![true, false, true, false, true, false, true, false, true, false];
+        let target = vec![
+            true, false, true, false, true, false, true, false, true, false,
+        ];
         let mut model = BernoulliModel::uniform(10);
         let cfg = CeConfig::with_sample_size(50);
         let mut rng = StdRng::seed_from_u64(84);
@@ -374,7 +433,12 @@ mod tests {
             &mut model,
             &cfg,
             &mut rng,
-            |samples| samples.iter().map(|s| s.iter().filter(|&&b| b).count() as f64).collect(),
+            |samples| {
+                samples
+                    .iter()
+                    .map(|s| s.iter().filter(|&&b| b).count() as f64)
+                    .collect()
+            },
             |iter, _m| seen.push(iter),
         );
         assert_eq!(seen.len(), out.iterations);
@@ -440,6 +504,32 @@ mod tests {
         cfg.rho = 0.0;
         let mut rng = StdRng::seed_from_u64(89);
         minimize(&mut model, &cfg, &mut rng, |_| 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zeta must be in [0, 1]")]
+    fn invalid_zeta_panics() {
+        let mut model = BernoulliModel::uniform(2);
+        let mut cfg = CeConfig::with_sample_size(10);
+        cfg.zeta = 1.5;
+        minimize(&mut model, &cfg, &mut StdRng::seed_from_u64(89), |_| 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one sample")]
+    fn zero_samples_panics() {
+        let mut model = BernoulliModel::uniform(2);
+        let cfg = CeConfig::with_sample_size(0);
+        minimize(&mut model, &cfg, &mut StdRng::seed_from_u64(89), |_| 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one iteration")]
+    fn zero_iterations_panics() {
+        let mut model = BernoulliModel::uniform(2);
+        let mut cfg = CeConfig::with_sample_size(10);
+        cfg.max_iters = 0;
+        minimize(&mut model, &cfg, &mut StdRng::seed_from_u64(89), |_| 0.0);
     }
 
     #[test]

@@ -38,13 +38,16 @@
 #![warn(missing_docs)]
 
 pub mod driver;
-pub mod rare_event;
 pub mod model;
 pub mod models;
 pub mod problems;
+pub mod rare_event;
 pub mod stochmatrix;
 
-pub use driver::{CeConfig, CeOutcome, CeTelemetry, IterStats, StopReason};
+pub use driver::{
+    minimize, minimize_traced, minimize_with, CeConfig, CeOutcome, CeTelemetry, IterStats,
+    StopReason,
+};
 pub use model::CeModel;
 pub use models::assignment::AssignmentModel;
 pub use models::bernoulli::BernoulliModel;

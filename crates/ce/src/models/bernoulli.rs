@@ -20,7 +20,9 @@ pub struct BernoulliModel {
 impl BernoulliModel {
     /// The maximum-entropy model: every `p_i = 1/2`.
     pub fn uniform(n: usize) -> Self {
-        BernoulliModel { probs: vec![0.5; n] }
+        BernoulliModel {
+            probs: vec![0.5; n],
+        }
     }
 
     /// Build from explicit probabilities (each clamped to `[0, 1]`).
@@ -50,7 +52,10 @@ impl CeModel for BernoulliModel {
     type Sample = Vec<bool>;
 
     fn sample(&self, rng: &mut StdRng) -> Vec<bool> {
-        self.probs.iter().map(|&p| rng.random::<f64>() < p).collect()
+        self.probs
+            .iter()
+            .map(|&p| rng.random::<f64>() < p)
+            .collect()
     }
 
     fn update_from_elites(&mut self, elites: &[Vec<bool>], zeta: f64) {
@@ -120,7 +125,12 @@ mod tests {
     #[test]
     fn update_counts_frequencies() {
         let mut m = BernoulliModel::uniform(2);
-        let elites = vec![vec![true, false], vec![true, false], vec![true, true], vec![false, false]];
+        let elites = vec![
+            vec![true, false],
+            vec![true, false],
+            vec![true, true],
+            vec![false, false],
+        ];
         m.update_from_elites(&elites, 1.0);
         assert!((m.probs()[0] - 0.75).abs() < 1e-12);
         assert!((m.probs()[1] - 0.25).abs() < 1e-12);

@@ -96,12 +96,14 @@ impl CeModel for GaussianModel {
         let m = elites.len() as f64;
         for i in 0..self.mean.len() {
             let elite_mean = elites.iter().map(|e| e[i]).sum::<f64>() / m;
-            let elite_var =
-                elites.iter().map(|e| (e[i] - elite_mean).powi(2)).sum::<f64>() / m;
+            let elite_var = elites
+                .iter()
+                .map(|e| (e[i] - elite_mean).powi(2))
+                .sum::<f64>()
+                / m;
             let elite_std = elite_var.sqrt();
             self.mean[i] = zeta * elite_mean + (1.0 - zeta) * self.mean[i];
-            self.std[i] =
-                (zeta * elite_std + (1.0 - zeta) * self.std[i]).max(self.std_floor);
+            self.std[i] = (zeta * elite_std + (1.0 - zeta) * self.std[i]).max(self.std_floor);
         }
     }
 

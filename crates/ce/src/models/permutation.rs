@@ -37,7 +37,11 @@ impl PermutationModel {
 
     /// Wrap an existing (square) stochastic matrix.
     pub fn from_matrix(matrix: StochasticMatrix) -> Self {
-        assert_eq!(matrix.rows(), matrix.cols(), "permutation model must be square");
+        assert_eq!(
+            matrix.rows(),
+            matrix.cols(),
+            "permutation model must be square"
+        );
         PermutationModel { matrix }
     }
 
@@ -307,9 +311,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(55);
         for _ in 0..20 {
             let n = 7;
-            let data: Vec<f64> = (0..n * n).map(|_| rand::Rng::random::<f64>(&mut rng)).collect();
-            let model =
-                PermutationModel::from_matrix(StochasticMatrix::from_rows(n, n, data));
+            let data: Vec<f64> = (0..n * n)
+                .map(|_| rand::Rng::random::<f64>(&mut rng))
+                .collect();
+            let model = PermutationModel::from_matrix(StochasticMatrix::from_rows(n, n, data));
             assert!(is_permutation(&model.mode()));
         }
     }

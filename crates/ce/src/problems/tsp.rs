@@ -26,7 +26,10 @@ impl DistanceMatrix {
     /// a zero diagonal; symmetry is enforced by averaging.
     pub fn new(n: usize, d: Vec<f64>) -> Self {
         assert_eq!(d.len(), n * n, "matrix shape mismatch");
-        assert!(d.iter().all(|&x| x >= 0.0 && x.is_finite()), "invalid distance");
+        assert!(
+            d.iter().all(|&x| x >= 0.0 && x.is_finite()),
+            "invalid distance"
+        );
         let mut m = DistanceMatrix { n, d };
         for i in 0..n {
             m.d[i * n + i] = 0.0;
@@ -55,8 +58,7 @@ impl DistanceMatrix {
 
     /// `n` uniformly random points in the unit square.
     pub fn random_euclidean(n: usize, rng: &mut StdRng) -> (Self, Vec<(f64, f64)>) {
-        let points: Vec<(f64, f64)> =
-            (0..n).map(|_| (rng.random(), rng.random())).collect();
+        let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.random(), rng.random())).collect();
         (DistanceMatrix::euclidean(&points), points)
     }
 
@@ -112,7 +114,9 @@ pub fn solve_tsp(dm: &DistanceMatrix, sample_size: Option<usize>, rng: &mut StdR
     cfg.rho = 0.03;
     cfg.zeta = 0.5;
     cfg.max_iters = 400;
-    let outcome = minimize(&mut model, &cfg, rng, |tour: &Vec<usize>| dm.tour_length(tour));
+    let outcome = minimize(&mut model, &cfg, rng, |tour: &Vec<usize>| {
+        dm.tour_length(tour)
+    });
     TspResult {
         tour: outcome.best_sample.clone(),
         length: outcome.best_cost,

@@ -162,11 +162,7 @@ pub fn erlang_tail(k: usize, lambda: f64, gamma: f64) -> f64 {
 }
 
 /// Convenience: deterministic estimate with a derived RNG.
-pub fn estimate_with_seed(
-    rates: &[f64],
-    gamma: f64,
-    seed: u64,
-) -> RareEventEstimate {
+pub fn estimate_with_seed(rates: &[f64], gamma: f64, seed: u64) -> RareEventEstimate {
     let mut rng = rng_from(seed, 0xEE);
     estimate_exp_sum_tail(rates, gamma, 0.1, 2000, 20_000, &mut rng)
 }

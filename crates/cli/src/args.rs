@@ -11,6 +11,8 @@ pub struct Args {
     pub options: BTreeMap<String, String>,
     /// Bare `--flag` switches (no value).
     pub switches: Vec<String>,
+    /// Bare tokens after the subcommand (e.g. `report trace.jsonl`).
+    pub positionals: Vec<String>,
 }
 
 /// CLI failures, printable to the user.
@@ -47,7 +49,8 @@ impl Args {
     ///
     /// Tokens starting with `--` become options when followed by a
     /// non-`--` token, otherwise switches. The first bare token is the
-    /// subcommand.
+    /// subcommand; later bare tokens not consumed as option values are
+    /// positionals.
     pub fn parse<S: AsRef<str>, I: IntoIterator<Item = S>>(tokens: I) -> Result<Args, CliError> {
         let tokens: Vec<String> = tokens.into_iter().map(|s| s.as_ref().to_string()).collect();
         let mut args = Args::default();
@@ -65,7 +68,9 @@ impl Args {
             } else {
                 if args.command.is_empty() {
                     args.command = tok.clone();
-                } // extra positionals are ignored
+                } else {
+                    args.positionals.push(tok.clone());
+                }
                 i += 1;
             }
         }
@@ -121,7 +126,10 @@ mod tests {
     #[test]
     fn missing_and_default_options() {
         let a = Args::parse(["gen"]).unwrap();
-        assert!(matches!(a.required("size"), Err(CliError::MissingOption(_))));
+        assert!(matches!(
+            a.required("size"),
+            Err(CliError::MissingOption(_))
+        ));
         assert_eq!(a.get_or("algo", "match"), "match");
         assert_eq!(a.parse_or::<usize>("rounds", 5).unwrap(), 5);
     }
@@ -138,15 +146,20 @@ mod tests {
     #[test]
     fn empty_is_no_command() {
         assert_eq!(Args::parse(Vec::<String>::new()), Err(CliError::NoCommand));
-        assert_eq!(
-            Args::parse(["--flag"]).unwrap_err(),
-            CliError::NoCommand
-        );
+        assert_eq!(Args::parse(["--flag"]).unwrap_err(), CliError::NoCommand);
     }
 
     #[test]
     fn trailing_flag_is_switch() {
         let a = Args::parse(["sim", "--trace"]).unwrap();
         assert!(a.has_switch("trace"));
+    }
+
+    #[test]
+    fn positionals_are_captured() {
+        let a = Args::parse(["report", "trace.jsonl", "--top", "3", "extra"]).unwrap();
+        assert_eq!(a.command, "report");
+        assert_eq!(a.positionals, vec!["trace.jsonl", "extra"]);
+        assert_eq!(a.required("top").unwrap(), "3");
     }
 }

@@ -3,18 +3,17 @@
 use crate::args::{Args, CliError};
 use crate::mapping_io::{mapping_from_text, mapping_to_text};
 use match_baselines::{
-    FastMapScheme, GreedyMapper, HillClimber, PolishedMatcher, RandomSearch,
-    RecursiveBisection, RoundRobin, SimulatedAnnealing,
+    FastMapScheme, GreedyMapper, HillClimber, PolishedMatcher, RandomSearch, RecursiveBisection,
+    RoundRobin, SimulatedAnnealing,
 };
-use match_core::{
-    analyze, bijective_lower_bound, IslandMatcher, Mapper, MappingInstance, Matcher,
-};
+use match_core::{analyze, bijective_lower_bound, IslandMatcher, Mapper, MappingInstance, Matcher};
 use match_ga::{FastMapGa, GaConfig};
 use match_graph::gen::overset::OversetConfig;
 use match_graph::gen::paper::PaperFamilyConfig;
 use match_graph::io::{from_text, to_dot, to_text};
 use match_graph::{ResourceGraph, TaskGraph};
 use match_sim::{SimConfig, SimMode, Simulator};
+use match_telemetry::{read_trace_file, JsonlRecorder, NullRecorder, TraceSummary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,6 +28,8 @@ pub enum Command {
     Solve,
     /// Execute a mapping in the discrete-event simulator.
     Simulate,
+    /// Summarise a JSONL solver trace.
+    Report,
     /// Export an instance to Graphviz DOT.
     Dot,
     /// Print usage.
@@ -42,6 +43,7 @@ impl Command {
             "info" => Ok(Command::Info),
             "solve" => Ok(Command::Solve),
             "simulate" | "sim" => Ok(Command::Simulate),
+            "report" => Ok(Command::Report),
             "dot" => Ok(Command::Dot),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(CliError::UnknownCommand(other.to_string())),
@@ -58,13 +60,20 @@ USAGE:
                     [--out-tig FILE] [--out-platform FILE]
   matchctl info     --tig FILE --platform FILE
   matchctl solve    --tig FILE --platform FILE [--algo ALGO] [--seed S] [--out FILE]
+                    [--trace FILE.jsonl]
   matchctl simulate --tig FILE --platform FILE --mapping FILE
-                    [--rounds N] [--blocking | --link]
+                    [--rounds N] [--blocking | --link] [--trace FILE.jsonl]
+  matchctl report   TRACE.jsonl
   matchctl dot      --tig FILE (or --platform FILE)
   matchctl help
 
 ALGO: match (default) | islands | polish | ga | fastmap | bisect | greedy
       | hill | sa | random | roundrobin
+      (--solver is accepted as an alias for --algo; so are the solver
+       names fastmap-ga for ga and hillclimb for hill)
+
+--trace streams per-iteration telemetry (JSONL, one event per line);
+feed the file to `matchctl report` for a convergence summary.
 ";
 
 /// Run a parsed command line; returns the text to print.
@@ -75,6 +84,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Command::Info => cmd_info(args),
         Command::Solve => cmd_solve(args),
         Command::Simulate => cmd_simulate(args),
+        Command::Report => cmd_report(args),
         Command::Dot => cmd_dot(args),
     }
 }
@@ -162,26 +172,55 @@ fn build_mapper(name: &str) -> Result<Box<dyn Mapper>, CliError> {
     Ok(match name {
         "match" => Box::new(Matcher::default()),
         "islands" => Box::new(IslandMatcher::default()),
-        "ga" => Box::new(FastMapGa::new(GaConfig::paper_default())),
+        "ga" | "fastmap-ga" => Box::new(FastMapGa::new(GaConfig::paper_default())),
         "greedy" => Box::new(GreedyMapper),
-        "hill" => Box::new(HillClimber::default()),
+        "hill" | "hillclimb" => Box::new(HillClimber::default()),
         "sa" => Box::new(SimulatedAnnealing::default()),
         "random" => Box::new(RandomSearch::new(100_000)),
         "roundrobin" => Box::new(RoundRobin),
         "polish" => Box::new(PolishedMatcher::default()),
         "bisect" => Box::new(RecursiveBisection::default()),
-        "fastmap" => Box::new(FastMapScheme::new(FastMapGa::new(GaConfig::paper_default()))),
+        "fastmap" => Box::new(FastMapScheme::new(
+            FastMapGa::new(GaConfig::paper_default()),
+        )),
         other => return Err(CliError::BadValue("algo".into(), other.into())),
     })
 }
 
+/// The `--trace FILE` option; a bare `--trace` switch is an error.
+fn trace_path(args: &Args) -> Result<Option<&str>, CliError> {
+    match args.options.get("trace") {
+        Some(p) => Ok(Some(p.as_str())),
+        None if args.has_switch("trace") => Err(CliError::MissingOption("trace FILE".into())),
+        None => Ok(None),
+    }
+}
+
 fn cmd_solve(args: &Args) -> Result<String, CliError> {
     let inst = load_instance(args)?;
-    let algo = args.get_or("algo", "match");
+    // --solver is an alias for --algo (and wins when both are given).
+    let algo = args
+        .options
+        .get("solver")
+        .map(String::as_str)
+        .unwrap_or_else(|| args.get_or("algo", "match"));
     let seed: u64 = args.parse_or("seed", 1)?;
     let mapper = build_mapper(algo)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let out = mapper.map(&inst, &mut rng);
+    let mut trace_note = String::new();
+    let out = match trace_path(args)? {
+        Some(path) => {
+            let mut rec = JsonlRecorder::create(std::path::Path::new(path))
+                .map_err(|e| CliError::Io(format!("creating {path}: {e}")))?;
+            let out = mapper.map_traced(&inst, &mut rng, &mut rec);
+            let lines = rec.lines();
+            rec.finish()
+                .map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
+            trace_note = format!("trace: {lines} events -> {path}\n");
+            out
+        }
+        None => mapper.map(&inst, &mut rng),
+    };
     out.mapping
         .validate(&inst)
         .map_err(|e| CliError::Io(format!("{algo} produced an invalid mapping: {e}")))?;
@@ -200,20 +239,23 @@ fn cmd_solve(args: &Args) -> Result<String, CliError> {
     if inst.is_square() {
         let lb = bijective_lower_bound(&inst);
         if lb > 0.0 {
-            text.push_str(&format!("optimality gap vs lower bound: {:.2}x\n", out.cost / lb));
+            text.push_str(&format!(
+                "optimality gap vs lower bound: {:.2}x\n",
+                out.cost / lb
+            ));
         }
     }
     if let Some(path) = args.options.get("out") {
         write(path, &mapping_to_text(&out.mapping))?;
         text.push_str(&format!("mapping written to {path}\n"));
     }
+    text.push_str(&trace_note);
     Ok(text)
 }
 
 fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let inst = load_instance(args)?;
-    let mapping = mapping_from_text(&read(args.required("mapping")?)?)
-        .map_err(CliError::Io)?;
+    let mapping = mapping_from_text(&read(args.required("mapping")?)?).map_err(CliError::Io)?;
     mapping
         .validate(&inst)
         .map_err(|e| CliError::Io(format!("mapping does not fit the instance: {e}")))?;
@@ -225,10 +267,31 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     } else {
         SimMode::PaperSerial
     };
-    let rep = Simulator::new(&inst, SimConfig { rounds, mode, trace: false }).run(&mapping);
+    let sim = Simulator::new(
+        &inst,
+        SimConfig {
+            rounds,
+            mode,
+            trace: false,
+        },
+    );
+    let mut trace_note = String::new();
+    let rep = match trace_path(args)? {
+        Some(path) => {
+            let mut rec = JsonlRecorder::create(std::path::Path::new(path))
+                .map_err(|e| CliError::Io(format!("creating {path}: {e}")))?;
+            let rep = sim.run_traced(&mapping, &mut rec);
+            let lines = rec.lines();
+            rec.finish()
+                .map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
+            trace_note = format!("trace: {lines} events -> {path}\n");
+            rep
+        }
+        None => sim.run_traced(&mapping, &mut NullRecorder),
+    };
     let mut text = format!(
-        "simulated {rounds} round(s), mode {mode:?}\nmakespan: {:.2} units   events: {}\n",
-        rep.makespan, rep.events
+        "simulated {rounds} round(s), mode {mode:?}\nmakespan: {:.2} units   events: {} (peak queue {})\n",
+        rep.makespan, rep.events, rep.peak_queue_depth
     );
     text.push_str(&format!(
         "mean utilisation: {:.1}%\n",
@@ -237,7 +300,24 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     for (s, b) in rep.busy.iter().enumerate() {
         text.push_str(&format!("  resource {s}: busy {b:.2}\n"));
     }
+    text.push_str(&trace_note);
     Ok(text)
+}
+
+fn cmd_report(args: &Args) -> Result<String, CliError> {
+    // Path comes as a positional (`matchctl report out.jsonl`) or via
+    // `--trace` for symmetry with solve/simulate.
+    let path = match args.positionals.first().map(String::as_str) {
+        Some(p) => p,
+        None => trace_path(args)?
+            .ok_or_else(|| CliError::MissingOption("trace file argument".into()))?,
+    };
+    let events = read_trace_file(std::path::Path::new(path))
+        .map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
+    if events.is_empty() {
+        return Err(CliError::Io(format!("{path}: trace contains no events")));
+    }
+    Ok(TraceSummary::from_events(&events).render())
 }
 
 fn cmd_dot(args: &Args) -> Result<String, CliError> {
@@ -294,8 +374,15 @@ mod tests {
         let map_s = mapping.to_str().unwrap();
 
         let s = run_tokens(&[
-            "gen", "--size", "8", "--seed", "3", "--out-tig", tig_s,
-            "--out-platform", plat_s,
+            "gen",
+            "--size",
+            "8",
+            "--seed",
+            "3",
+            "--out-tig",
+            tig_s,
+            "--out-platform",
+            plat_s,
         ])
         .unwrap();
         assert!(s.contains("generated"));
@@ -305,16 +392,30 @@ mod tests {
         assert!(s.contains("lower bound"));
 
         let s = run_tokens(&[
-            "solve", "--tig", tig_s, "--platform", plat_s, "--algo", "greedy",
-            "--out", map_s,
+            "solve",
+            "--tig",
+            tig_s,
+            "--platform",
+            plat_s,
+            "--algo",
+            "greedy",
+            "--out",
+            map_s,
         ])
         .unwrap();
         assert!(s.contains("Greedy: ET ="));
         assert!(s.contains("mapping written"));
 
         let s = run_tokens(&[
-            "simulate", "--tig", tig_s, "--platform", plat_s, "--mapping", map_s,
-            "--rounds", "3",
+            "simulate",
+            "--tig",
+            tig_s,
+            "--platform",
+            plat_s,
+            "--mapping",
+            map_s,
+            "--rounds",
+            "3",
         ])
         .unwrap();
         assert!(s.contains("makespan"));
@@ -332,17 +433,203 @@ mod tests {
         let tig = dir.join("t.txt");
         let plat = dir.join("p.txt");
         run_tokens(&[
-            "gen", "--size", "6", "--out-tig", tig.to_str().unwrap(),
-            "--out-platform", plat.to_str().unwrap(),
+            "gen",
+            "--size",
+            "6",
+            "--out-tig",
+            tig.to_str().unwrap(),
+            "--out-platform",
+            plat.to_str().unwrap(),
         ])
         .unwrap();
         let s = run_tokens(&[
-            "solve", "--tig", tig.to_str().unwrap(), "--platform",
-            plat.to_str().unwrap(), "--algo", "match", "--seed", "5",
+            "solve",
+            "--tig",
+            tig.to_str().unwrap(),
+            "--platform",
+            plat.to_str().unwrap(),
+            "--algo",
+            "match",
+            "--seed",
+            "5",
         ])
         .unwrap();
         assert!(s.contains("MaTCH: ET ="));
         assert!(s.contains("optimality gap"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn solve_trace_and_report_roundtrip_all_solvers() {
+        use match_telemetry::Event;
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        let tig_s = tig.to_str().unwrap();
+        let plat_s = plat.to_str().unwrap();
+        run_tokens(&[
+            "gen",
+            "--size",
+            "6",
+            "--out-tig",
+            tig_s,
+            "--out-platform",
+            plat_s,
+        ])
+        .unwrap();
+        for solver in ["match", "fastmap-ga", "sa", "hillclimb", "islands"] {
+            let trace = dir.join(format!("{solver}.jsonl"));
+            let trace_s = trace.to_str().unwrap();
+            let s = run_tokens(&[
+                "solve",
+                "--tig",
+                tig_s,
+                "--platform",
+                plat_s,
+                "--solver",
+                solver,
+                "--seed",
+                "3",
+                "--trace",
+                trace_s,
+            ])
+            .unwrap();
+            assert!(s.contains("trace:"), "{solver}: {s}");
+            // Every line parses and at least one per-iteration record
+            // exists between run_start and run_end.
+            let events = read_trace_file(&trace).unwrap();
+            assert!(
+                matches!(events.first(), Some(Event::RunStart { .. })),
+                "{solver} trace must open with run_start"
+            );
+            assert!(
+                matches!(events.last(), Some(Event::RunEnd { .. })),
+                "{solver} trace must close with run_end"
+            );
+            assert!(
+                events.iter().any(|e| matches!(e, Event::Iter(_))),
+                "{solver} trace has no iter events"
+            );
+            let report = run_tokens(&["report", trace_s]).unwrap();
+            assert!(report.contains("iterations"), "{solver}: {report}");
+            assert!(report.contains("best cost"), "{solver}: {report}");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn traced_solve_matches_untraced_solve() {
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        let trace = dir.join("out.jsonl");
+        let tig_s = tig.to_str().unwrap();
+        let plat_s = plat.to_str().unwrap();
+        run_tokens(&[
+            "gen",
+            "--size",
+            "6",
+            "--out-tig",
+            tig_s,
+            "--out-platform",
+            plat_s,
+        ])
+        .unwrap();
+        let plain = run_tokens(&[
+            "solve",
+            "--tig",
+            tig_s,
+            "--platform",
+            plat_s,
+            "--algo",
+            "sa",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
+        let traced = run_tokens(&[
+            "solve",
+            "--tig",
+            tig_s,
+            "--platform",
+            plat_s,
+            "--algo",
+            "sa",
+            "--seed",
+            "9",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        // Identical ET (the wall-clock MT field legitimately differs):
+        // tracing must not perturb the RNG stream.
+        let et = |s: &str| s.split(" units").next().unwrap().to_string();
+        assert_eq!(et(&plain), et(&traced));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn simulate_trace_and_report() {
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        let map = dir.join("m.txt");
+        let trace = dir.join("sim.jsonl");
+        let tig_s = tig.to_str().unwrap();
+        let plat_s = plat.to_str().unwrap();
+        run_tokens(&[
+            "gen",
+            "--size",
+            "8",
+            "--out-tig",
+            tig_s,
+            "--out-platform",
+            plat_s,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "solve",
+            "--tig",
+            tig_s,
+            "--platform",
+            plat_s,
+            "--algo",
+            "greedy",
+            "--out",
+            map.to_str().unwrap(),
+        ])
+        .unwrap();
+        let s = run_tokens(&[
+            "simulate",
+            "--tig",
+            tig_s,
+            "--platform",
+            plat_s,
+            "--mapping",
+            map.to_str().unwrap(),
+            "--rounds",
+            "40",
+            "--blocking",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(s.contains("peak queue"));
+        assert!(s.contains("trace:"));
+        let report = run_tokens(&["report", trace.to_str().unwrap()]).unwrap();
+        assert!(report.contains("sim_items"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn report_rejects_garbage() {
+        let dir = tmpdir();
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "not json\n").unwrap();
+        let r = run_tokens(&["report", bad.to_str().unwrap()]);
+        assert!(matches!(r, Err(CliError::Io(_))));
+        let r = run_tokens(&["report"]);
+        assert!(matches!(r, Err(CliError::MissingOption(_))));
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -352,13 +639,23 @@ mod tests {
         let tig = dir.join("t.txt");
         let plat = dir.join("p.txt");
         run_tokens(&[
-            "gen", "--size", "4", "--out-tig", tig.to_str().unwrap(),
-            "--out-platform", plat.to_str().unwrap(),
+            "gen",
+            "--size",
+            "4",
+            "--out-tig",
+            tig.to_str().unwrap(),
+            "--out-platform",
+            plat.to_str().unwrap(),
         ])
         .unwrap();
         let r = run_tokens(&[
-            "solve", "--tig", tig.to_str().unwrap(), "--platform",
-            plat.to_str().unwrap(), "--algo", "quantum",
+            "solve",
+            "--tig",
+            tig.to_str().unwrap(),
+            "--platform",
+            plat.to_str().unwrap(),
+            "--algo",
+            "quantum",
         ]);
         assert!(matches!(r, Err(CliError::BadValue(_, _))));
         std::fs::remove_dir_all(dir).ok();
@@ -366,7 +663,13 @@ mod tests {
 
     #[test]
     fn missing_files_reported() {
-        let r = run_tokens(&["info", "--tig", "/nonexistent/a", "--platform", "/nonexistent/b"]);
+        let r = run_tokens(&[
+            "info",
+            "--tig",
+            "/nonexistent/a",
+            "--platform",
+            "/nonexistent/b",
+        ]);
         assert!(matches!(r, Err(CliError::Io(_))));
     }
 
@@ -376,13 +679,26 @@ mod tests {
         let tig = dir.join("t.txt");
         let plat = dir.join("p.txt");
         let s = run_tokens(&[
-            "gen", "--size", "7", "--family", "overset",
-            "--out-tig", tig.to_str().unwrap(),
-            "--out-platform", plat.to_str().unwrap(),
+            "gen",
+            "--size",
+            "7",
+            "--family",
+            "overset",
+            "--out-tig",
+            tig.to_str().unwrap(),
+            "--out-platform",
+            plat.to_str().unwrap(),
         ])
         .unwrap();
         assert!(s.contains("overset"));
-        let s = run_tokens(&["info", "--tig", tig.to_str().unwrap(), "--platform", plat.to_str().unwrap()]).unwrap();
+        let s = run_tokens(&[
+            "info",
+            "--tig",
+            tig.to_str().unwrap(),
+            "--platform",
+            plat.to_str().unwrap(),
+        ])
+        .unwrap();
         assert!(s.contains("tasks: 7"));
         std::fs::remove_dir_all(dir).ok();
     }

@@ -45,19 +45,36 @@ fn full_pipeline_through_the_binary() {
 
     let out = matchctl()
         .args([
-            "gen", "--size", "8", "--seed", "5",
-            "--out-tig", tig.to_str().unwrap(),
-            "--out-platform", plat.to_str().unwrap(),
+            "gen",
+            "--size",
+            "8",
+            "--seed",
+            "5",
+            "--out-tig",
+            tig.to_str().unwrap(),
+            "--out-platform",
+            plat.to_str().unwrap(),
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(tig.exists() && plat.exists());
 
     let out = matchctl()
         .args([
-            "solve", "--tig", tig.to_str().unwrap(), "--platform", plat.to_str().unwrap(),
-            "--algo", "hill", "--out", mapping.to_str().unwrap(),
+            "solve",
+            "--tig",
+            tig.to_str().unwrap(),
+            "--platform",
+            plat.to_str().unwrap(),
+            "--algo",
+            "hill",
+            "--out",
+            mapping.to_str().unwrap(),
         ])
         .output()
         .unwrap();
@@ -66,8 +83,16 @@ fn full_pipeline_through_the_binary() {
 
     let out = matchctl()
         .args([
-            "simulate", "--tig", tig.to_str().unwrap(), "--platform", plat.to_str().unwrap(),
-            "--mapping", mapping.to_str().unwrap(), "--rounds", "2", "--link",
+            "simulate",
+            "--tig",
+            tig.to_str().unwrap(),
+            "--platform",
+            plat.to_str().unwrap(),
+            "--mapping",
+            mapping.to_str().unwrap(),
+            "--rounds",
+            "2",
+            "--link",
         ])
         .output()
         .unwrap();
@@ -85,17 +110,26 @@ fn solve_is_deterministic_across_invocations() {
     let plat = dir.join("platform.txt");
     matchctl()
         .args([
-            "gen", "--size", "6",
-            "--out-tig", tig.to_str().unwrap(),
-            "--out-platform", plat.to_str().unwrap(),
+            "gen",
+            "--size",
+            "6",
+            "--out-tig",
+            tig.to_str().unwrap(),
+            "--out-platform",
+            plat.to_str().unwrap(),
         ])
         .output()
         .unwrap();
     let run = || {
         let out = matchctl()
             .args([
-                "solve", "--tig", tig.to_str().unwrap(), "--platform",
-                plat.to_str().unwrap(), "--algo", "greedy",
+                "solve",
+                "--tig",
+                tig.to_str().unwrap(),
+                "--platform",
+                plat.to_str().unwrap(),
+                "--algo",
+                "greedy",
             ])
             .output()
             .unwrap();

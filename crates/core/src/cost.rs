@@ -112,7 +112,11 @@ impl<'a> IncrementalCost<'a> {
     /// Initialise from an assignment.
     pub fn new(inst: &'a MappingInstance, assign: Vec<usize>) -> Self {
         let loads = exec_per_resource(inst, &assign);
-        IncrementalCost { inst, assign, loads }
+        IncrementalCost {
+            inst,
+            assign,
+            loads,
+        }
     }
 
     /// Current assignment.

@@ -15,13 +15,14 @@
 //! wall-clock times.
 
 use crate::cost::exec_time;
-use crate::mapper::{Mapper, MapperOutcome};
+use crate::mapper::{record_run_end, record_run_start, Mapper, MapperOutcome};
 use crate::mapping::Mapping;
 use crate::matcher::MatchConfig;
 use crate::problem::MappingInstance;
 use match_ce::model::CeModel;
 use match_ce::models::permutation::PermutationModel;
 use match_rngutil::seed::derive_seed;
+use match_telemetry::{Event, IterEvent, NullRecorder, Recorder, Span};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -86,7 +87,28 @@ impl IslandMatcher {
     /// streams, so results are deterministic per seed (and per island
     /// count).
     pub fn run(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
+        self.run_traced(inst, rng, &mut NullRecorder)
+    }
+
+    /// [`IslandMatcher::run`] with live telemetry. Islands advance in
+    /// parallel, so events are recorded at the round barriers on the
+    /// coordinating thread: one `round` span per parallel phase, one
+    /// `migrate` span per migration, and one per-round `iter` event
+    /// (`elite_size` reports the number of still-active islands).
+    pub fn run_traced(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+    ) -> MapperOutcome {
+        self.config.base.validate();
+        assert!(self.config.islands >= 1, "need at least one island");
+        assert!(
+            self.config.migration_interval >= 1,
+            "migration interval >= 1"
+        );
         assert!(inst.is_square(), "island MaTCH needs |V_t| = |V_r|");
+        record_run_start(recorder, "MaTCH-islands", inst);
         let start = std::time::Instant::now();
         let n = inst.n_tasks();
         let k = self.config.islands;
@@ -95,8 +117,11 @@ impl IslandMatcher {
         let rho = self.config.base.rho;
         let zeta = self.config.base.zeta;
         let elite_target = ((rho * per_island_n as f64).floor() as usize).max(1);
-        let max_rounds =
-            self.config.base.max_iters.div_ceil(self.config.migration_interval);
+        let max_rounds = self
+            .config
+            .base
+            .max_iters
+            .div_ceil(self.config.migration_interval);
         let master: u64 = rng.random();
 
         let mut islands: Vec<Island> = (0..k)
@@ -115,7 +140,10 @@ impl IslandMatcher {
         let gamma_window = self.config.base.gamma_window.max(1);
         let interval = self.config.migration_interval;
 
-        for _round in 0..max_rounds {
+        for round in 0..max_rounds {
+            let traced = recorder.enabled();
+            let round_start = traced.then(std::time::Instant::now);
+            let round_span = traced.then(|| Span::start("round", round as u64));
             // Parallel phase: each island advances `interval` iterations.
             crossbeam::thread::scope(|scope| {
                 for island in islands.iter_mut() {
@@ -145,11 +173,7 @@ impl IslandMatcher {
                                 .map(|&i| samples[i].clone())
                                 .collect();
                             let &first = order.first().expect("non-empty");
-                            if island
-                                .best
-                                .as_ref()
-                                .is_none_or(|&(_, c)| costs[first] < c)
-                            {
+                            if island.best.as_ref().is_none_or(|&(_, c)| costs[first] < c) {
                                 island.best = Some((samples[first].clone(), costs[first]));
                             }
                             island.model.update_from_elites(&elites, zeta);
@@ -163,9 +187,7 @@ impl IslandMatcher {
                                 }
                             }
                             island.prev_gamma = Some(gamma);
-                            if island.stable >= gamma_window
-                                || island.model.is_degenerate(1e-6)
-                            {
+                            if island.stable >= gamma_window || island.model.is_degenerate(1e-6) {
                                 island.done = true;
                                 break;
                             }
@@ -174,10 +196,14 @@ impl IslandMatcher {
                 }
             })
             .expect("island thread panicked");
+            if let Some(span) = round_span {
+                span.finish(recorder);
+            }
 
             // Migration barrier: broadcast the global incumbent into
             // every island's matrix (as a single-elite smoothed update —
             // the "migrant" reinforces its mapping's entries).
+            let migrate_span = traced.then(|| Span::start("migrate", round as u64));
             let global_best = islands
                 .iter()
                 .filter_map(|i| i.best.clone())
@@ -185,12 +211,41 @@ impl IslandMatcher {
             if let Some((assign, _)) = &global_best {
                 for island in islands.iter_mut() {
                     if !island.done {
-                        island.model.update_from_elites(
-                            std::slice::from_ref(assign),
-                            zeta * 0.5,
-                        );
+                        island
+                            .model
+                            .update_from_elites(std::slice::from_ref(assign), zeta * 0.5);
                     }
                 }
+                if traced {
+                    recorder.record(Event::Counter {
+                        name: "migrations".into(),
+                        value: 1,
+                    });
+                }
+            }
+            if let Some(span) = migrate_span {
+                span.finish(recorder);
+            }
+            if traced {
+                let bests: Vec<f64> = islands
+                    .iter()
+                    .filter_map(|i| i.best.as_ref().map(|b| b.1))
+                    .collect();
+                let best = global_best.as_ref().map(|b| b.1).unwrap_or(f64::INFINITY);
+                let mean = if bests.is_empty() {
+                    best
+                } else {
+                    bests.iter().sum::<f64>() / bests.len() as f64
+                };
+                let active = islands.iter().filter(|i| !i.done).count();
+                recorder.record(Event::Iter(IterEvent {
+                    iter: round as u64,
+                    best,
+                    mean,
+                    gamma: None,
+                    elite_size: active as u64,
+                    wall_ns: round_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                }));
             }
             if islands.iter().all(|i| i.done) {
                 break;
@@ -202,13 +257,15 @@ impl IslandMatcher {
             .filter_map(|i| i.best.clone())
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             .expect("at least one island produced a sample");
-        MapperOutcome {
+        let outcome = MapperOutcome {
             mapping: Mapping::new(assign),
             cost,
             evaluations: islands.iter().map(|i| i.evaluations).sum(),
             iterations: islands.iter().map(|i| i.iterations).max().unwrap_or(0),
             elapsed: start.elapsed(),
-        }
+        };
+        record_run_end(recorder, &outcome);
+        outcome
     }
 }
 
@@ -220,6 +277,15 @@ impl Mapper for IslandMatcher {
     fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
         self.run(inst, rng)
     }
+
+    fn map_traced(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+    ) -> MapperOutcome {
+        self.run_traced(inst, rng, recorder)
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +296,27 @@ mod tests {
     fn instance(n: usize, seed: u64) -> MappingInstance {
         let mut rng = StdRng::seed_from_u64(seed);
         MappingInstance::from_pair(&InstanceGenerator::paper_family(n).generate(&mut rng))
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one island")]
+    fn zero_islands_panics() {
+        IslandMatcher::new(IslandConfig {
+            islands: 0,
+            ..IslandConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in (0, 1]")]
+    fn invalid_base_config_panics() {
+        let inst = instance(6, 50);
+        let mut cfg = IslandConfig::default();
+        cfg.base.rho = 0.0;
+        // Construction only checks island shape; the CE settings are
+        // validated at the solve entry point.
+        let m = IslandMatcher { config: cfg };
+        m.run(&inst, &mut StdRng::seed_from_u64(51));
     }
 
     #[test]

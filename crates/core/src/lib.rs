@@ -34,9 +34,9 @@ pub mod problem;
 pub mod quality;
 
 pub use cost::{exec_per_resource, exec_time, CostModel, IncrementalCost};
-pub use mapper::{Mapper, MapperOutcome};
-pub use mapping::Mapping;
 pub use islands::{IslandConfig, IslandMatcher};
+pub use mapper::{record_run_end, record_run_start, Mapper, MapperOutcome};
+pub use mapping::Mapping;
 pub use matcher::{MatchConfig, MatchOutcome, Matcher};
-pub use quality::{analyze, bijective_lower_bound, lower_bound, MappingQuality};
 pub use problem::MappingInstance;
+pub use quality::{analyze, bijective_lower_bound, lower_bound, MappingQuality};

@@ -8,6 +8,7 @@
 
 use crate::mapping::Mapping;
 use crate::problem::MappingInstance;
+use match_telemetry::{Event, Recorder};
 use rand::rngs::StdRng;
 use std::time::Duration;
 
@@ -36,6 +37,45 @@ pub trait Mapper {
     /// Solve one instance with the given RNG. Implementations must be
     /// deterministic given the RNG state.
     fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome;
+
+    /// [`Mapper::map`] with live telemetry. The default implementation
+    /// ignores the recorder (a heuristic without instrumentation still
+    /// satisfies the contract); instrumented solvers override it and
+    /// must emit at least `run_start`, one `iter` event per iteration,
+    /// and `run_end`. Tracing must not change the optimisation
+    /// trajectory: `map` and `map_traced` see identical RNG streams.
+    fn map_traced(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+    ) -> MapperOutcome {
+        let _ = recorder;
+        self.map(inst, rng)
+    }
+}
+
+/// Emit the standard `run_start` event for a solver on an instance.
+pub fn record_run_start(recorder: &mut dyn Recorder, solver: &str, inst: &MappingInstance) {
+    if recorder.enabled() {
+        recorder.record(Event::RunStart {
+            solver: solver.to_string().into(),
+            tasks: inst.n_tasks() as u64,
+            resources: inst.n_resources() as u64,
+        });
+    }
+}
+
+/// Emit the standard `run_end` event for a finished outcome.
+pub fn record_run_end(recorder: &mut dyn Recorder, outcome: &MapperOutcome) {
+    if recorder.enabled() {
+        recorder.record(Event::RunEnd {
+            best: outcome.cost,
+            iterations: outcome.iterations as u64,
+            evaluations: outcome.evaluations,
+            wall_ns: outcome.elapsed.as_nanos() as u64,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -85,8 +125,7 @@ mod tests {
     #[test]
     fn determinism_under_equal_seeds() {
         use match_graph::gen::InstanceGenerator;
-        let pair = InstanceGenerator::paper_family(8)
-            .generate(&mut StdRng::seed_from_u64(5));
+        let pair = InstanceGenerator::paper_family(8).generate(&mut StdRng::seed_from_u64(5));
         let inst = MappingInstance::from_pair(&pair);
         let a = RandomOnce.map(&inst, &mut StdRng::seed_from_u64(9));
         let b = RandomOnce.map(&inst, &mut StdRng::seed_from_u64(9));

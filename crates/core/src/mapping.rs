@@ -127,8 +127,14 @@ impl std::fmt::Display for MappingError {
             MappingError::WrongLength { got, want } => {
                 write!(f, "mapping has {got} tasks, instance has {want}")
             }
-            MappingError::ResourceOutOfRange { resource, n_resources } => {
-                write!(f, "resource {resource} out of range ({n_resources} resources)")
+            MappingError::ResourceOutOfRange {
+                resource,
+                n_resources,
+            } => {
+                write!(
+                    f,
+                    "resource {resource} out of range ({n_resources} resources)"
+                )
             }
             MappingError::NotBijective => write!(f, "square instance requires a bijection"),
         }

@@ -13,15 +13,17 @@
 //! `match-par`.
 
 use crate::cost::exec_time;
-use crate::mapper::{Mapper, MapperOutcome};
+use crate::mapper::{record_run_start, Mapper, MapperOutcome};
 use crate::mapping::Mapping;
 use crate::problem::MappingInstance;
-use match_ce::driver::{minimize_with, CeConfig, CeTelemetry, StopReason};
+use match_ce::driver::{minimize_traced, CeConfig, CeTelemetry, StopReason};
 use match_ce::model::CeModel;
 use match_ce::models::assignment::AssignmentModel;
 use match_ce::models::permutation::PermutationModel;
 use match_ce::stochmatrix::StochasticMatrix;
+use match_telemetry::{Event, NullRecorder, PoolEvent, Recorder};
 use rand::rngs::StdRng;
+use std::cell::Cell;
 use std::time::{Duration, Instant};
 
 /// MaTCH tunables. Defaults are the paper's §4–§5 choices.
@@ -75,6 +77,20 @@ impl Default for MatchConfig {
 }
 
 impl MatchConfig {
+    /// Panic with a clear message on nonsensical settings. Called at the
+    /// top of every solver entry point; mirrors
+    /// [`CeConfig::validate`], plus the MaTCH-specific fields.
+    pub fn validate(&self) {
+        assert!(self.rho > 0.0 && self.rho <= 1.0, "rho must be in (0, 1]");
+        if let Some(n) = self.sample_size {
+            assert!(n >= 1, "need at least one sample");
+        }
+        assert!((0.0..=1.0).contains(&self.zeta), "zeta must be in [0, 1]");
+        assert!(self.max_iters >= 1, "need at least one iteration");
+        assert!(self.stability_window >= 1, "stability window >= 1");
+        assert!(self.threads >= 1, "need at least one worker thread");
+    }
+
     /// The paper's sample count for `n` resources: `N = 2n²` ("there are
     /// `|V_r|²` elements in the matrix and to evaluate each of them we
     /// need a sample size of that order", §4).
@@ -176,6 +192,19 @@ impl Matcher {
     /// Panics when `|V_t| ≠ |V_r|` — use
     /// [`Matcher::run_many_to_one`] for rectangular instances.
     pub fn run(&self, inst: &MappingInstance, rng: &mut StdRng) -> MatchOutcome {
+        self.run_traced(inst, rng, &mut NullRecorder)
+    }
+
+    /// [`Matcher::run`] with live telemetry: `run_start`/`run_end`
+    /// bounds, per-iteration events with γ, `sample`/`evaluate`/`update`
+    /// spans, and one pool event per parallel evaluation chunk.
+    pub fn run_traced(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+    ) -> MatchOutcome {
+        self.config.validate();
         assert!(
             inst.is_square(),
             "MaTCH's GenPerm model needs |V_t| = |V_r| (got {} tasks, {} resources); \
@@ -185,22 +214,33 @@ impl Matcher {
         );
         let n = inst.n_tasks();
         let mut model = PermutationModel::uniform(n);
-        self.drive(inst, rng, &mut model, |m| m.matrix().clone())
+        self.drive(inst, rng, &mut model, |m| m.matrix().clone(), recorder)
     }
 
     /// The many-to-one generalisation: rows are sampled independently
     /// (duplicates allowed), supporting `|V_t| ≠ |V_r|`. This is the
     /// "few simple modifications" §4 alludes to.
     pub fn run_many_to_one(&self, inst: &MappingInstance, rng: &mut StdRng) -> MatchOutcome {
+        self.config.validate();
         let mut model = AssignmentModel::uniform(inst.n_tasks(), inst.n_resources());
-        self.drive(inst, rng, &mut model, |m| m.matrix().clone())
+        self.drive(
+            inst,
+            rng,
+            &mut model,
+            |m| m.matrix().clone(),
+            &mut NullRecorder,
+        )
     }
 
     /// Ablation arm: the §4 "naive" formulation over `χ̃` — rows sampled
     /// independently with `S̃(x) = ∞` for non-bijective samples — on a
     /// square instance. Quantifies what GenPerm buys.
     pub fn run_naive_penalized(&self, inst: &MappingInstance, rng: &mut StdRng) -> MatchOutcome {
-        assert!(inst.is_square(), "the penalised ablation needs a square instance");
+        self.config.validate();
+        assert!(
+            inst.is_square(),
+            "the penalised ablation needs a square instance"
+        );
         let n = inst.n_tasks();
         let mut model = AssignmentModel::uniform(n, n);
         let start = Instant::now();
@@ -208,11 +248,11 @@ impl Matcher {
         let threads = self.config.threads;
         let snapshots = std::cell::RefCell::new(Vec::new());
         let every = self.config.snapshot_every;
-        let outcome = minimize_with(
+        let outcome = minimize_traced(
             &mut model,
             &cfg,
             rng,
-            |samples: &[Vec<usize>]| {
+            |samples: &[Vec<usize>], _recorder: &mut dyn Recorder| {
                 match_par::parallel_map(samples.len(), threads, |i| {
                     if match_rngutil::perm::is_permutation(&samples[i]) {
                         exec_time(inst, &samples[i])
@@ -231,6 +271,7 @@ impl Matcher {
                     }
                 }
             },
+            &mut NullRecorder,
         );
         MatchOutcome {
             mapping: Mapping::new(outcome.best_sample),
@@ -250,21 +291,47 @@ impl Matcher {
         rng: &mut StdRng,
         model: &mut M,
         snapshot: impl Fn(&M) -> StochasticMatrix,
+        recorder: &mut dyn Recorder,
     ) -> MatchOutcome
     where
         M: CeModel<Sample = Vec<usize>>,
     {
         let start = Instant::now();
-        let cfg = self.config.ce_config(inst.n_resources().max(inst.n_tasks()));
+        record_run_start(recorder, "MaTCH", inst);
+        let cfg = self
+            .config
+            .ce_config(inst.n_resources().max(inst.n_tasks()));
         let threads = self.config.threads;
         let snapshots = std::cell::RefCell::new(Vec::new());
         let every = self.config.snapshot_every;
-        let outcome = minimize_with(
+        // The evaluate closure runs once per CE iteration, in order; the
+        // counter turns that into the iteration index for pool events.
+        let eval_round = Cell::new(0u64);
+        let outcome = minimize_traced(
             model,
             &cfg,
             rng,
-            |samples: &[Vec<usize>]| {
-                match_par::parallel_map(samples.len(), threads, |i| exec_time(inst, &samples[i]))
+            |samples: &[Vec<usize>], recorder: &mut dyn Recorder| {
+                let iter = eval_round.replace(eval_round.get() + 1);
+                if recorder.enabled() {
+                    let (costs, timings) =
+                        match_par::parallel_map_timed(samples.len(), threads, |i| {
+                            exec_time(inst, &samples[i])
+                        });
+                    for t in timings {
+                        recorder.record(Event::Pool(PoolEvent {
+                            iter,
+                            chunk: t.chunk,
+                            len: t.len,
+                            wall_ns: t.wall_ns,
+                        }));
+                    }
+                    costs
+                } else {
+                    match_par::parallel_map(samples.len(), threads, |i| {
+                        exec_time(inst, &samples[i])
+                    })
+                }
             },
             |iter, m: &M| {
                 if let Some(k) = every {
@@ -276,8 +343,9 @@ impl Matcher {
                     }
                 }
             },
+            recorder,
         );
-        MatchOutcome {
+        let result = MatchOutcome {
             mapping: Mapping::new(outcome.best_sample),
             cost: outcome.best_cost,
             iterations: outcome.iterations,
@@ -286,7 +354,16 @@ impl Matcher {
             stop_reason: outcome.stop_reason,
             telemetry: outcome.telemetry,
             snapshots: snapshots.into_inner(),
+        };
+        if recorder.enabled() {
+            recorder.record(Event::RunEnd {
+                best: result.cost,
+                iterations: result.iterations as u64,
+                evaluations: result.evaluations,
+                wall_ns: result.elapsed.as_nanos() as u64,
+            });
         }
+        result
     }
 }
 
@@ -297,6 +374,15 @@ impl Mapper for Matcher {
 
     fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
         self.run(inst, rng).into_mapper_outcome()
+    }
+
+    fn map_traced(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+    ) -> MapperOutcome {
+        self.run_traced(inst, rng, recorder).into_mapper_outcome()
     }
 }
 
@@ -318,6 +404,50 @@ mod tests {
             threads: 1,
             ..MatchConfig::default()
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in (0, 1]")]
+    fn invalid_rho_panics() {
+        let inst = instance(5, 40);
+        let cfg = MatchConfig {
+            rho: 1.5,
+            ..small_config()
+        };
+        Matcher::new(cfg).run(&inst, &mut StdRng::seed_from_u64(41));
+    }
+
+    #[test]
+    #[should_panic(expected = "zeta must be in [0, 1]")]
+    fn invalid_zeta_panics() {
+        let inst = instance(5, 40);
+        let cfg = MatchConfig {
+            zeta: -0.1,
+            ..small_config()
+        };
+        Matcher::new(cfg).run(&inst, &mut StdRng::seed_from_u64(41));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker thread")]
+    fn zero_threads_panics() {
+        let inst = instance(5, 40);
+        let cfg = MatchConfig {
+            threads: 0,
+            ..MatchConfig::default()
+        };
+        Matcher::new(cfg).run(&inst, &mut StdRng::seed_from_u64(41));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one sample")]
+    fn zero_sample_size_panics() {
+        let inst = instance(5, 40);
+        let cfg = MatchConfig {
+            sample_size: Some(0),
+            ..small_config()
+        };
+        Matcher::new(cfg).run(&inst, &mut StdRng::seed_from_u64(41));
     }
 
     #[test]
@@ -373,10 +503,16 @@ mod tests {
         // Thread count must not change the optimisation trajectory:
         // sampling happens on the driver thread; only evaluation fans out.
         let inst = instance(9, 7);
-        let seq = Matcher::new(MatchConfig { threads: 1, ..MatchConfig::default() })
-            .run(&inst, &mut StdRng::seed_from_u64(8));
-        let par = Matcher::new(MatchConfig { threads: 4, ..MatchConfig::default() })
-            .run(&inst, &mut StdRng::seed_from_u64(8));
+        let seq = Matcher::new(MatchConfig {
+            threads: 1,
+            ..MatchConfig::default()
+        })
+        .run(&inst, &mut StdRng::seed_from_u64(8));
+        let par = Matcher::new(MatchConfig {
+            threads: 4,
+            ..MatchConfig::default()
+        })
+        .run(&inst, &mut StdRng::seed_from_u64(8));
         assert_eq!(seq.mapping, par.mapping);
         assert_eq!(seq.cost, par.cost);
         assert_eq!(seq.iterations, par.iterations);
@@ -387,7 +523,10 @@ mod tests {
         let cfg = MatchConfig::default();
         assert_eq!(cfg.effective_sample_size(10), 200);
         assert_eq!(cfg.effective_sample_size(50), 5000);
-        let cfg = MatchConfig { sample_size: Some(64), ..MatchConfig::default() };
+        let cfg = MatchConfig {
+            sample_size: Some(64),
+            ..MatchConfig::default()
+        };
         assert_eq!(cfg.effective_sample_size(10), 64);
     }
 
@@ -437,7 +576,11 @@ mod tests {
         let tig = PaperFamilyConfig::new(12).generate_tig(&mut rng);
         let resources = PaperFamilyConfig::new(4).generate_platform(&mut rng);
         let inst = MappingInstance::from_pair(&InstancePair { tig, resources });
-        let cfg = MatchConfig { sample_size: Some(200), threads: 1, ..MatchConfig::default() };
+        let cfg = MatchConfig {
+            sample_size: Some(200),
+            threads: 1,
+            ..MatchConfig::default()
+        };
         let out = Matcher::new(cfg).run_many_to_one(&inst, &mut rng);
         assert!(out.mapping.validate(&inst).is_ok());
         assert_eq!(out.mapping.len(), 12);
@@ -448,7 +591,11 @@ mod tests {
     #[test]
     fn naive_penalized_still_finds_permutations() {
         let inst = instance(6, 15);
-        let cfg = MatchConfig { sample_size: Some(400), threads: 1, ..MatchConfig::default() };
+        let cfg = MatchConfig {
+            sample_size: Some(400),
+            threads: 1,
+            ..MatchConfig::default()
+        };
         let out = Matcher::new(cfg).run_naive_penalized(&inst, &mut StdRng::seed_from_u64(16));
         assert!(out.cost.is_finite(), "never found a bijection");
         assert!(out.mapping.is_permutation());
@@ -494,8 +641,7 @@ mod tests {
         assert!(
             matches!(
                 out.stop_reason,
-                match_ce::driver::StopReason::MuStable
-                    | match_ce::driver::StopReason::Degenerate
+                match_ce::driver::StopReason::MuStable | match_ce::driver::StopReason::Degenerate
             ),
             "stopped via {:?}",
             out.stop_reason
@@ -508,8 +654,12 @@ mod tests {
     fn into_mapper_outcome_preserves_fields() {
         let inst = instance(6, 23);
         let out = Matcher::new(small_config()).run(&inst, &mut StdRng::seed_from_u64(24));
-        let (cost, evals, iters, mapping) =
-            (out.cost, out.evaluations, out.iterations, out.mapping.clone());
+        let (cost, evals, iters, mapping) = (
+            out.cost,
+            out.evaluations,
+            out.iterations,
+            out.mapping.clone(),
+        );
         let mo = out.into_mapper_outcome();
         assert_eq!(mo.cost, cost);
         assert_eq!(mo.evaluations, evals);

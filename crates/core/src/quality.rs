@@ -56,7 +56,11 @@ pub fn analyze(inst: &MappingInstance, assign: &[usize]) -> MappingQuality {
         total_compute,
         total_comm,
         mean_load,
-        imbalance: if mean_load > 0.0 { makespan / mean_load } else { 1.0 },
+        imbalance: if mean_load > 0.0 {
+            makespan / mean_load
+        } else {
+            1.0
+        },
         comm_fraction_bottleneck,
     }
 }

@@ -4,8 +4,11 @@
 use crate::chromosome::Chromosome;
 use crate::operators::{crossover, mutate};
 use crate::variants::{inversion_mutate, order_crossover, tournament_select};
-use match_core::{exec_time, Mapper, MapperOutcome, MappingInstance};
+use match_core::{
+    exec_time, record_run_end, record_run_start, Mapper, MapperOutcome, MappingInstance,
+};
 use match_rngutil::roulette::RouletteWheel;
+use match_telemetry::{Event, IterEvent, NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::time::Instant;
@@ -105,7 +108,9 @@ impl GaConfig {
         }
     }
 
-    fn validate(&self) {
+    /// Panic with a clear message on nonsensical settings. Called at the
+    /// top of every solver entry point.
+    pub fn validate(&self) {
         assert!(self.population >= 2, "population must be at least 2");
         assert!(self.generations >= 1, "need at least one generation");
         assert!(
@@ -165,11 +170,27 @@ impl FastMapGa {
 
     /// Run the GA with full telemetry.
     pub fn run(&self, inst: &MappingInstance, rng: &mut StdRng) -> GaOutcome {
+        self.run_traced(inst, rng, &mut NullRecorder)
+    }
+
+    /// [`FastMapGa::run`] with live telemetry: one `iter` event per
+    /// generation (running best, population mean cost, wall time) plus
+    /// `crossovers`/`mutations` operator counters. Tracing does not
+    /// perturb the RNG stream, so traced and untraced runs produce
+    /// identical mappings for the same seed.
+    pub fn run_traced(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+    ) -> GaOutcome {
         self.config.validate();
         assert!(
             inst.is_square(),
             "FastMap-GA's permutation encoding needs |V_t| = |V_r|"
         );
+        record_run_start(recorder, "FastMap-GA", inst);
+        let traced = recorder.enabled();
         let start = Instant::now();
         let n = inst.n_tasks();
         let pop_size = self.config.population;
@@ -189,7 +210,10 @@ impl FastMapGa {
         let mut best_per_generation = Vec::with_capacity(self.config.generations);
 
         let mut next_pop: Vec<Chromosome> = Vec::with_capacity(pop_size);
-        for _gen in 0..self.config.generations {
+        for gen in 0..self.config.generations {
+            let gen_start = traced.then(Instant::now);
+            let mut crossovers = 0u64;
+            let mut mutations = 0u64;
             // Fitness Ψ = K / Exec and the configured selection over it.
             let wheel = match self.config.selection {
                 SelectionOp::Roulette => {
@@ -204,8 +228,7 @@ impl FastMapGa {
                         })
                         .collect();
                     Some(
-                        RouletteWheel::new(&fitness)
-                            .expect("positive costs give positive fitness"),
+                        RouletteWheel::new(&fitness).expect("positive costs give positive fitness"),
                     )
                 }
                 SelectionOp::Tournament(_) => None,
@@ -225,6 +248,7 @@ impl FastMapGa {
                 let p1 = &population[select(rng)];
                 let mut child = if rng.random::<f64>() < self.config.crossover_prob {
                     let p2 = &population[select(rng)];
+                    crossovers += 1;
                     match self.config.crossover_op {
                         CrossoverOp::SinglePointRepair => crossover(p1, p2, rng),
                         CrossoverOp::Order => order_crossover(p1, p2, rng),
@@ -232,11 +256,18 @@ impl FastMapGa {
                 } else {
                     p1.clone()
                 };
+                // The operators draw per-gene, so "did this child mutate"
+                // is only observable by comparison; pay the clone only
+                // when someone is listening.
+                let pre_mutation = traced.then(|| child.clone());
                 match self.config.mutation_op {
                     MutationOp::Swap => mutate(&mut child, self.config.mutation_prob, rng),
                     MutationOp::Inversion => {
                         inversion_mutate(&mut child, self.config.mutation_prob, rng)
                     }
+                }
+                if pre_mutation.is_some_and(|before| before != child) {
+                    mutations += 1;
                 }
                 next_pop.push(child);
             }
@@ -256,9 +287,28 @@ impl FastMapGa {
                 best = population[best_idx].clone();
             }
             best_per_generation.push(best_cost);
+
+            if let Some(gen_start) = gen_start {
+                recorder.record(Event::Counter {
+                    name: "crossovers".into(),
+                    value: crossovers,
+                });
+                recorder.record(Event::Counter {
+                    name: "mutations".into(),
+                    value: mutations,
+                });
+                recorder.record(Event::Iter(IterEvent {
+                    iter: gen as u64,
+                    best: best_cost,
+                    mean: costs.iter().sum::<f64>() / pop_size as f64,
+                    gamma: None,
+                    elite_size: u64::from(self.config.elitism),
+                    wall_ns: gen_start.elapsed().as_nanos() as u64,
+                }));
+            }
         }
 
-        GaOutcome {
+        let result = GaOutcome {
             outcome: MapperOutcome {
                 mapping: best.to_mapping(),
                 cost: best_cost,
@@ -267,7 +317,9 @@ impl FastMapGa {
                 elapsed: start.elapsed(),
             },
             best_per_generation,
-        }
+        };
+        record_run_end(recorder, &result.outcome);
+        result
     }
 }
 
@@ -288,6 +340,15 @@ impl Mapper for FastMapGa {
 
     fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
         self.run(inst, rng).outcome
+    }
+
+    fn map_traced(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+    ) -> MapperOutcome {
+        self.run_traced(inst, rng, recorder).outcome
     }
 }
 
@@ -339,8 +400,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let mut random_best = f64::INFINITY;
         for _ in 0..60 {
-            random_best =
-                random_best.min(exec_time(&inst, &random_permutation(12, &mut rng)));
+            random_best = random_best.min(exec_time(&inst, &random_permutation(12, &mut rng)));
         }
         let out = FastMapGa::new(small_config()).run(&inst, &mut rng);
         assert!(
@@ -432,8 +492,7 @@ mod tests {
             generations: 120,
             ..GaConfig::paper_default()
         };
-        let roulette = FastMapGa::new(base.clone())
-            .run(&inst, &mut StdRng::seed_from_u64(24));
+        let roulette = FastMapGa::new(base.clone()).run(&inst, &mut StdRng::seed_from_u64(24));
         let tournament = FastMapGa::new(GaConfig {
             selection: SelectionOp::Tournament(4),
             ..base

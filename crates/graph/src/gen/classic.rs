@@ -48,10 +48,12 @@ pub fn grid2d_graph(rows: usize, cols: usize, nw: f64, ew: f64) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                g.add_edge(idx(r, c), idx(r, c + 1), ew).expect("fresh edge");
+                g.add_edge(idx(r, c), idx(r, c + 1), ew)
+                    .expect("fresh edge");
             }
             if r + 1 < rows {
-                g.add_edge(idx(r, c), idx(r + 1, c), ew).expect("fresh edge");
+                g.add_edge(idx(r, c), idx(r + 1, c), ew)
+                    .expect("fresh edge");
             }
         }
     }
@@ -202,7 +204,10 @@ mod tests {
     #[test]
     fn barabasi_albert_tiny_cases() {
         let mut rng = StdRng::seed_from_u64(44);
-        assert_eq!(barabasi_albert_graph(0, 2, 1.0, 1.0, &mut rng).node_count(), 0);
+        assert_eq!(
+            barabasi_albert_graph(0, 2, 1.0, 1.0, &mut rng).node_count(),
+            0
+        );
         let g = barabasi_albert_graph(1, 2, 1.0, 1.0, &mut rng);
         assert_eq!((g.node_count(), g.edge_count()), (1, 0));
         let g = barabasi_albert_graph(2, 5, 1.0, 1.0, &mut rng);

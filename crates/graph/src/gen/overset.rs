@@ -34,15 +34,15 @@ pub struct Block {
 impl Block {
     /// Volume of the block.
     pub fn volume(&self) -> f64 {
-        (0..3).map(|d| (self.max[d] - self.min[d]).max(0.0)).product()
+        (0..3)
+            .map(|d| (self.max[d] - self.min[d]).max(0.0))
+            .product()
     }
 
     /// Volume of the intersection with `other` (zero when disjoint).
     pub fn overlap_volume(&self, other: &Block) -> f64 {
         (0..3)
-            .map(|d| {
-                (self.max[d].min(other.max[d]) - self.min[d].max(other.min[d])).max(0.0)
-            })
+            .map(|d| (self.max[d].min(other.max[d]) - self.min[d].max(other.min[d])).max(0.0))
             .product()
     }
 }
@@ -142,8 +142,7 @@ impl OversetConfig {
     /// platform of equal size.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> InstancePair {
         let domain = self.generate_domain(rng);
-        let platform: ResourceGraph =
-            PaperFamilyConfig::new(self.blocks).generate_platform(rng);
+        let platform: ResourceGraph = PaperFamilyConfig::new(self.blocks).generate_platform(rng);
         InstancePair {
             tig: domain.tig,
             resources: platform,
@@ -159,18 +158,33 @@ mod tests {
 
     #[test]
     fn block_volume_and_overlap() {
-        let a = Block { min: [0.0; 3], max: [1.0; 3] };
-        let b = Block { min: [0.5, 0.5, 0.5], max: [1.5, 1.5, 1.5] };
+        let a = Block {
+            min: [0.0; 3],
+            max: [1.0; 3],
+        };
+        let b = Block {
+            min: [0.5, 0.5, 0.5],
+            max: [1.5, 1.5, 1.5],
+        };
         assert!((a.volume() - 1.0).abs() < 1e-12);
         assert!((a.overlap_volume(&b) - 0.125).abs() < 1e-12);
-        let c = Block { min: [2.0; 3], max: [3.0; 3] };
+        let c = Block {
+            min: [2.0; 3],
+            max: [3.0; 3],
+        };
         assert_eq!(a.overlap_volume(&c), 0.0);
     }
 
     #[test]
     fn overlap_is_symmetric() {
-        let a = Block { min: [0.1, 0.0, 0.2], max: [0.6, 0.5, 0.9] };
-        let b = Block { min: [0.3, 0.2, 0.0], max: [0.8, 0.9, 0.5] };
+        let a = Block {
+            min: [0.1, 0.0, 0.2],
+            max: [0.6, 0.5, 0.9],
+        };
+        let b = Block {
+            min: [0.3, 0.2, 0.0],
+            max: [0.8, 0.9, 0.5],
+        };
         assert!((a.overlap_volume(&b) - b.overlap_volume(&a)).abs() < 1e-15);
     }
 

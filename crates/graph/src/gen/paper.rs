@@ -228,13 +228,12 @@ mod tests {
         let p = PaperFamilyConfig::new(20).generate_platform(&mut rng);
         assert!(p.graph().edge_count() < 20 * 19 / 2, "should be sparse");
         assert!(p.graph().edge_count() >= 19, "spanning tree present");
-        assert!(p.is_fully_connected(), "routing closure must cover all pairs");
+        assert!(
+            p.is_fully_connected(),
+            "routing closure must cover all pairs"
+        );
         // Some non-adjacent pair pays more than the max direct link cost.
-        let max_direct = p
-            .graph()
-            .edges()
-            .map(|(_, _, w)| w)
-            .fold(0.0f64, f64::max);
+        let max_direct = p.graph().edges().map(|(_, _, w)| w).fold(0.0f64, f64::max);
         let mut saw_multihop = false;
         for s in 0..20 {
             for b in 0..20 {

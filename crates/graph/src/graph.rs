@@ -174,7 +174,9 @@ impl Graph {
 
     /// Canonical `(u, v, weight)` edge triples with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.edges.iter().map(|&(u, v, w)| (u as usize, v as usize, w))
+        self.edges
+            .iter()
+            .map(|&(u, v, w)| (u as usize, v as usize, w))
     }
 
     /// Sum of all node weights.
@@ -276,9 +278,18 @@ mod tests {
     #[test]
     fn rejects_bad_weights() {
         let mut g = Graph::with_uniform_nodes(2, 1.0);
-        assert!(matches!(g.add_edge(0, 1, -1.0), Err(GraphError::InvalidWeight(_))));
-        assert!(matches!(g.add_edge(0, 1, f64::NAN), Err(GraphError::InvalidWeight(_))));
-        assert!(matches!(g.add_node(f64::INFINITY), Err(GraphError::InvalidWeight(_))));
+        assert!(matches!(
+            g.add_edge(0, 1, -1.0),
+            Err(GraphError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            g.add_edge(0, 1, f64::NAN),
+            Err(GraphError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            g.add_node(f64::INFINITY),
+            Err(GraphError::InvalidWeight(_))
+        ));
         assert!(Graph::from_node_weights(vec![1.0, -2.0]).is_err());
     }
 

@@ -175,7 +175,10 @@ mod tests {
         );
         assert_eq!(from_text("node 0 1.0"), Err(ParseError::MissingHeader));
         assert_eq!(from_text("graph two"), Err(ParseError::BadNumber(1)));
-        assert_eq!(from_text("graph 1\nnode 5 1.0"), Err(ParseError::BadNode(2)));
+        assert_eq!(
+            from_text("graph 1\nnode 5 1.0"),
+            Err(ParseError::BadNode(2))
+        );
         assert_eq!(from_text(""), Err(ParseError::MissingHeader));
     }
 
@@ -184,7 +187,10 @@ mod tests {
         let r = from_text("graph 2\nedge 0 0 1.0");
         assert!(matches!(r, Err(ParseError::Graph(GraphError::SelfLoop(0)))));
         let r = from_text("graph 2\nedge 0 1 1.0\nedge 1 0 2.0");
-        assert!(matches!(r, Err(ParseError::Graph(GraphError::DuplicateEdge(1, 0)))));
+        assert!(matches!(
+            r,
+            Err(ParseError::Graph(GraphError::DuplicateEdge(1, 0)))
+        ));
     }
 
     #[test]

@@ -115,7 +115,10 @@ fn all_pairs_shortest(g: &Graph) -> Vec<f64> {
         let row = &mut out[src * n..(src + 1) * n];
         row[src] = 0.0;
         let mut heap = BinaryHeap::new();
-        heap.push(Entry { dist: 0.0, node: src });
+        heap.push(Entry {
+            dist: 0.0,
+            node: src,
+        });
         while let Some(Entry { dist, node }) = heap.pop() {
             if dist > row[node] {
                 continue;

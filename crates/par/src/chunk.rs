@@ -7,8 +7,7 @@
 //! irregular workloads (e.g. simulating instances of mixed sizes).
 
 /// How to split an index range across workers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ChunkPolicy {
     /// One contiguous chunk per worker (minimal scheduling overhead;
     /// best for uniform work items).
@@ -22,10 +21,13 @@ pub enum ChunkPolicy {
     OverSubscribe(usize),
 }
 
-
 /// Split `0..len` into contiguous non-empty ranges per `policy` for
 /// `workers` workers. The ranges cover the input exactly, in order.
-pub fn chunk_ranges(len: usize, workers: usize, policy: ChunkPolicy) -> Vec<std::ops::Range<usize>> {
+pub fn chunk_ranges(
+    len: usize,
+    workers: usize,
+    policy: ChunkPolicy,
+) -> Vec<std::ops::Range<usize>> {
     if len == 0 {
         return Vec::new();
     }

@@ -29,7 +29,10 @@ pub mod scope_map;
 
 pub use chunk::{chunk_ranges, ChunkPolicy};
 pub use pool::WorkerPool;
-pub use scope_map::{parallel_fill, parallel_map, parallel_map_init, parallel_reduce};
+pub use scope_map::{
+    parallel_fill, parallel_map, parallel_map_init, parallel_map_timed, parallel_reduce,
+    ChunkTiming,
+};
 
 /// Number of worker threads to use by default: the machine's available
 /// parallelism, capped at 16 (the experiment harness saturates memory

@@ -74,7 +74,10 @@ impl WorkerPool {
                     .expect("failed to spawn worker")
             })
             .collect();
-        WorkerPool { tx: Some(tx), workers }
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+        }
     }
 
     /// Number of worker threads.

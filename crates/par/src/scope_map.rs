@@ -45,6 +45,91 @@ where
         .collect()
 }
 
+/// Wall-clock timing of one chunk dispatched by [`parallel_map_timed`].
+///
+/// `match-par` stays telemetry-agnostic: callers that trace convert these
+/// into their own event types (match-core turns them into pool events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkTiming {
+    /// Chunk index within the dispatch (0-based).
+    pub chunk: u64,
+    /// Number of items the chunk processed.
+    pub len: u64,
+    /// Wall-clock nanoseconds the chunk's worker spent on it.
+    pub wall_ns: u64,
+}
+
+/// [`parallel_map`] that also reports per-chunk wall-clock timings, so
+/// callers can observe dispatch imbalance. The inline path (single
+/// thread or small input) reports one chunk covering the whole range.
+pub fn parallel_map_timed<T, F>(len: usize, threads: usize, f: F) -> (Vec<T>, Vec<ChunkTiming>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    use std::time::Instant;
+
+    let threads = threads.max(1);
+    if threads == 1 || len < parallel_threshold() {
+        let start = Instant::now();
+        let out: Vec<T> = (0..len).map(&f).collect();
+        let timings = if len == 0 {
+            Vec::new()
+        } else {
+            vec![ChunkTiming {
+                chunk: 0,
+                len: len as u64,
+                wall_ns: start.elapsed().as_nanos() as u64,
+            }]
+        };
+        return (out, timings);
+    }
+
+    let ranges = chunk_ranges(len, threads, ChunkPolicy::PerWorker);
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(len, || None);
+    let mut pieces: Vec<(usize, &mut [Option<T>])> = Vec::with_capacity(ranges.len());
+    let mut rest = out.as_mut_slice();
+    let mut offset = 0;
+    for r in &ranges {
+        let (head, tail) = rest.split_at_mut(r.len());
+        pieces.push((offset, head));
+        rest = tail;
+        offset += r.len();
+    }
+    let timings: Vec<ChunkTiming> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = pieces
+            .into_iter()
+            .enumerate()
+            .map(|(chunk, (base, piece))| {
+                let f = &f;
+                scope.spawn(move |_| {
+                    let start = Instant::now();
+                    let n = piece.len();
+                    for (k, slot) in piece.iter_mut().enumerate() {
+                        *slot = Some(f(base + k));
+                    }
+                    ChunkTiming {
+                        chunk: chunk as u64,
+                        len: n as u64,
+                        wall_ns: start.elapsed().as_nanos() as u64,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope failed");
+    let out = out
+        .into_iter()
+        .map(|x| x.expect("every index filled"))
+        .collect();
+    (out, timings)
+}
+
 /// Fill `out` in parallel: `f(state, i, &mut out[i])` runs once per index,
 /// with per-worker `state` from `init`. Writes happen directly into the
 /// caller's buffer, so repeated batches can reuse one allocation.
@@ -126,7 +211,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("scope failed");
     partials.into_iter().fold(identity, combine)
@@ -205,7 +293,9 @@ mod tests {
 
     #[test]
     fn reduce_with_min() {
-        let data: Vec<i64> = (0..5000).map(|i| ((i * 7919) % 4999) as i64 - 2500).collect();
+        let data: Vec<i64> = (0..5000)
+            .map(|i| ((i * 7919) % 4999) as i64 - 2500)
+            .collect();
         let got = parallel_reduce(data.len(), 4, i64::MAX, |i| data[i], i64::min);
         assert_eq!(got, *data.iter().min().unwrap());
     }
@@ -229,5 +319,31 @@ mod tests {
     fn zero_threads_clamped() {
         let got = parallel_map(100, 0, |i| i);
         assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn timed_map_matches_sequential_and_covers_len() {
+        for threads in [1, 4] {
+            for len in [0, 10, 64, 1000] {
+                let (got, timings) = parallel_map_timed(len, threads, |i| i * 3);
+                let want: Vec<usize> = (0..len).map(|i| i * 3).collect();
+                assert_eq!(got, want, "threads={threads} len={len}");
+                let covered: u64 = timings.iter().map(|t| t.len).sum();
+                assert_eq!(covered, len as u64, "timings must cover all items");
+                if len == 0 {
+                    assert!(timings.is_empty());
+                }
+                // Chunk indices are dense from zero.
+                for (i, t) in timings.iter().enumerate() {
+                    assert_eq!(t.chunk, i as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timed_map_spawns_multiple_chunks_for_large_input() {
+        let (_, timings) = parallel_map_timed(1000, 4, |i| i);
+        assert!(timings.len() > 1, "expected parallel dispatch");
     }
 }

@@ -8,6 +8,7 @@
 //! ready idles (head-of-line blocking) until the last dependency's
 //! completion event releases it.
 
+use match_telemetry::{Event, NullRecorder, Recorder};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -65,6 +66,9 @@ pub struct SimReport {
     pub busy: Vec<f64>,
     /// Completion events processed.
     pub events: u64,
+    /// Largest completion-event heap depth observed (always tracked;
+    /// it is one comparison per push).
+    pub peak_queue_depth: u64,
     /// Per-item execution trace (when requested).
     pub trace: Option<Vec<TraceEntry>>,
 }
@@ -112,9 +116,30 @@ impl Ord for Time {
 /// Caller builds the workload; see [`crate::workload`].
 pub fn simulate(
     items_per_resource: &[Vec<WorkItem>],
+    deps: Vec<u32>,
+    dependents: &[Vec<usize>],
+    record_trace: bool,
+) -> SimReport {
+    simulate_traced(
+        items_per_resource,
+        deps,
+        dependents,
+        record_trace,
+        &mut NullRecorder,
+    )
+}
+
+/// [`simulate`] with telemetry: samples the completion-event heap depth
+/// as a `queue_depth` gauge every 64 processed events (plus once at the
+/// start), so a trace shows how much concurrency the workload sustains.
+/// Peak depth is tracked unconditionally and reported in
+/// [`SimReport::peak_queue_depth`].
+pub fn simulate_traced(
+    items_per_resource: &[Vec<WorkItem>],
     mut deps: Vec<u32>,
     dependents: &[Vec<usize>],
     record_trace: bool,
+    recorder: &mut dyn Recorder,
 ) -> SimReport {
     let n_res = items_per_resource.len();
     // Global id layout: resource-major.
@@ -148,6 +173,8 @@ pub fn simulate(
     let mut busy = vec![0.0f64; n_res];
     let mut clock = 0.0f64;
     let mut events: u64 = 0;
+    let mut peak_queue_depth: u64 = 0;
+    let traced = recorder.enabled();
     let mut trace = if record_trace { Some(Vec::new()) } else { None };
 
     // Completion-event heap: (time, resource, global item id).
@@ -164,6 +191,7 @@ pub fn simulate(
                     let end = $now + it.duration;
                     running[r] = true;
                     heap.push(Reverse((Time(end), r, id)));
+                    peak_queue_depth = peak_queue_depth.max(heap.len() as u64);
                     if let Some(t) = trace.as_mut() {
                         t.push(TraceEntry {
                             kind: it.kind,
@@ -183,6 +211,13 @@ pub fn simulate(
 
     while let Some(Reverse((Time(t), r, id))) = heap.pop() {
         events += 1;
+        // Depth at processing time, counting the event just popped.
+        if traced && events % 64 == 1 {
+            recorder.record(Event::Sample {
+                name: "queue_depth".into(),
+                value: heap.len() as u64 + 1,
+            });
+        }
         clock = clock.max(t);
         busy[r] += item(id).duration;
         running[r] = false;
@@ -216,6 +251,7 @@ pub fn simulate(
         makespan: clock,
         busy,
         events,
+        peak_queue_depth,
         trace,
     }
 }
@@ -326,6 +362,43 @@ mod tests {
         let deps = vec![1, 1];
         let dependents = vec![vec![1], vec![0]];
         simulate(&items, deps, dependents.as_slice(), false);
+    }
+
+    #[test]
+    fn peak_queue_depth_tracks_concurrency() {
+        // Three independent resources start simultaneously: all three
+        // completion events coexist in the heap.
+        let items = vec![
+            vec![compute(0, 0, 4.0)],
+            vec![compute(1, 1, 7.0)],
+            vec![compute(2, 2, 1.0)],
+        ];
+        let rep = simulate(&items, vec![0, 0, 0], &[vec![], vec![], vec![]], false);
+        assert_eq!(rep.peak_queue_depth, 3);
+        // A serial chain never holds more than one event.
+        let serial = vec![vec![compute(0, 0, 2.0), compute(1, 0, 3.0)]];
+        let rep = simulate(&serial, vec![0, 0], &[vec![], vec![]], false);
+        assert_eq!(rep.peak_queue_depth, 1);
+    }
+
+    #[test]
+    fn queue_depth_is_sampled_when_traced() {
+        use match_telemetry::MemoryRecorder;
+        let items = vec![
+            vec![compute(0, 0, 1.0), compute(1, 0, 1.0)],
+            vec![compute(2, 1, 5.0)],
+        ];
+        let mut rec = MemoryRecorder::new();
+        let rep = simulate_traced(
+            &items,
+            vec![0, 0, 0],
+            &[vec![], vec![], vec![]],
+            false,
+            &mut rec,
+        );
+        let depth = rec.gauge_hist("queue_depth").expect("gauge recorded");
+        assert_eq!(depth.count(), 1, "3 events => one sample at event 1");
+        assert!(depth.max() <= rep.peak_queue_depth);
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //! resource; free when co-located). Rounds repeat `rounds` times — the
 //! outer iterations of the CFD solver the paper's §2 describes.
 
-use crate::engine::{simulate, ItemKind, SimReport, WorkItem};
+use crate::engine::{simulate_traced, ItemKind, SimReport, WorkItem};
 use match_core::{Mapping, MappingInstance};
+use match_telemetry::{Event, NullRecorder, Recorder};
 
 /// Contention model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +89,14 @@ impl<'a> Simulator<'a> {
 
     /// Execute `mapping` and report timings.
     pub fn run(&self, mapping: &Mapping) -> SimReport {
+        self.run_traced(mapping, &mut NullRecorder)
+    }
+
+    /// [`Simulator::run`] with telemetry: records the workload size as
+    /// `sim_items` and `sim_servers` counters, then samples the event
+    /// queue depth during execution (see
+    /// [`crate::engine::simulate_traced`]).
+    pub fn run_traced(&self, mapping: &Mapping, recorder: &mut dyn Recorder) -> SimReport {
         let inst = self.inst;
         assert_eq!(
             mapping.len(),
@@ -136,13 +145,25 @@ impl<'a> Simulator<'a> {
                 });
                 for (a, c) in inst.interactions(t) {
                     let b = assign[a];
-                    let duration = if b == s { 0.0 } else { c * inst.link_cost(s, b) };
+                    let duration = if b == s {
+                        0.0
+                    } else {
+                        c * inst.link_cost(s, b)
+                    };
                     // Local exchanges stay on the resource; remote ones
                     // go to the channel server in link mode.
-                    let server = if link_mode && b != s { channel_of(s, b) } else { s };
+                    let server = if link_mode && b != s {
+                        channel_of(s, b)
+                    } else {
+                        s
+                    };
                     let pos = (server, items[server].len());
                     items[server].push(WorkItem {
-                        kind: ItemKind::Transfer { from: t, to: a, round },
+                        kind: ItemKind::Transfer {
+                            from: t,
+                            to: a,
+                            round,
+                        },
                         resource: server,
                         duration,
                     });
@@ -185,7 +206,17 @@ impl<'a> Simulator<'a> {
             }
         }
 
-        simulate(&items, deps, &dependents, self.config.trace)
+        if recorder.enabled() {
+            recorder.record(Event::Counter {
+                name: "sim_items".into(),
+                value: total as u64,
+            });
+            recorder.record(Event::Counter {
+                name: "sim_servers".into(),
+                value: n_servers as u64,
+            });
+        }
+        simulate_traced(&items, deps, &dependents, self.config.trace, recorder)
     }
 }
 
@@ -229,8 +260,22 @@ mod tests {
     fn paper_mode_scales_linearly_with_rounds() {
         let inst = instance(10, 3);
         let m = Mapping::identity(10);
-        let one = Simulator::new(&inst, SimConfig { rounds: 1, ..Default::default() }).run(&m);
-        let five = Simulator::new(&inst, SimConfig { rounds: 5, ..Default::default() }).run(&m);
+        let one = Simulator::new(
+            &inst,
+            SimConfig {
+                rounds: 1,
+                ..Default::default()
+            },
+        )
+        .run(&m);
+        let five = Simulator::new(
+            &inst,
+            SimConfig {
+                rounds: 5,
+                ..Default::default()
+            },
+        )
+        .run(&m);
         assert!(close(five.makespan, 5.0 * one.makespan));
         for s in 0..10 {
             assert!(close(five.busy[s], 5.0 * one.busy[s]));
@@ -243,8 +288,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..5 {
             let m = Mapping::new(random_permutation(10, &mut rng));
-            let cfg_p = SimConfig { rounds: 4, mode: SimMode::PaperSerial, trace: false };
-            let cfg_b = SimConfig { rounds: 4, mode: SimMode::BlockingReceives, trace: false };
+            let cfg_p = SimConfig {
+                rounds: 4,
+                mode: SimMode::PaperSerial,
+                trace: false,
+            };
+            let cfg_b = SimConfig {
+                rounds: 4,
+                mode: SimMode::BlockingReceives,
+                trace: false,
+            };
             let p = Simulator::new(&inst, cfg_p).run(&m);
             let b = Simulator::new(&inst, cfg_b).run(&m);
             assert!(
@@ -261,8 +314,24 @@ mod tests {
         // With one round there are no cross-round dependencies.
         let inst = instance(8, 6);
         let m = Mapping::identity(8);
-        let p = Simulator::new(&inst, SimConfig { rounds: 1, mode: SimMode::PaperSerial, trace: false }).run(&m);
-        let b = Simulator::new(&inst, SimConfig { rounds: 1, mode: SimMode::BlockingReceives, trace: false }).run(&m);
+        let p = Simulator::new(
+            &inst,
+            SimConfig {
+                rounds: 1,
+                mode: SimMode::PaperSerial,
+                trace: false,
+            },
+        )
+        .run(&m);
+        let b = Simulator::new(
+            &inst,
+            SimConfig {
+                rounds: 1,
+                mode: SimMode::BlockingReceives,
+                trace: false,
+            },
+        )
+        .run(&m);
         assert!(close(b.makespan, p.makespan));
     }
 
@@ -270,7 +339,11 @@ mod tests {
     fn link_contention_reports_channel_servers() {
         let inst = instance(6, 20);
         let m = Mapping::identity(6);
-        let cfg = SimConfig { rounds: 2, mode: SimMode::LinkContention, trace: true };
+        let cfg = SimConfig {
+            rounds: 2,
+            mode: SimMode::LinkContention,
+            trace: true,
+        };
         let rep = Simulator::new(&inst, cfg).run(&m);
         // 6 resources + C(6,2) = 15 channels.
         assert_eq!(rep.busy.len(), 6 + 15);
@@ -314,12 +387,20 @@ mod tests {
             let m = Mapping::new(random_permutation(10, &mut rng));
             let serial = Simulator::new(
                 &inst,
-                SimConfig { rounds: 3, mode: SimMode::PaperSerial, trace: false },
+                SimConfig {
+                    rounds: 3,
+                    mode: SimMode::PaperSerial,
+                    trace: false,
+                },
             )
             .run(&m);
             let link = Simulator::new(
                 &inst,
-                SimConfig { rounds: 3, mode: SimMode::LinkContention, trace: false },
+                SimConfig {
+                    rounds: 3,
+                    mode: SimMode::LinkContention,
+                    trace: false,
+                },
             )
             .run(&m);
             assert!(link.makespan > 0.0);
@@ -334,7 +415,11 @@ mod tests {
     fn link_contention_single_round_no_deadlock() {
         let inst = instance(8, 23);
         let m = Mapping::identity(8);
-        let cfg = SimConfig { rounds: 1, mode: SimMode::LinkContention, trace: false };
+        let cfg = SimConfig {
+            rounds: 1,
+            mode: SimMode::LinkContention,
+            trace: false,
+        };
         let rep = Simulator::new(&inst, cfg).run(&m);
         assert!(rep.makespan.is_finite());
         assert!(rep.events > 0);
@@ -344,7 +429,11 @@ mod tests {
     fn trace_is_consistent() {
         let inst = instance(6, 7);
         let m = Mapping::identity(6);
-        let cfg = SimConfig { rounds: 2, mode: SimMode::BlockingReceives, trace: true };
+        let cfg = SimConfig {
+            rounds: 2,
+            mode: SimMode::BlockingReceives,
+            trace: true,
+        };
         let rep = Simulator::new(&inst, cfg).run(&m);
         let trace = rep.trace.as_ref().unwrap();
         // Every entry well-formed; per-resource entries non-overlapping
@@ -352,7 +441,11 @@ mod tests {
         let mut last_end = [0.0f64; 6];
         for e in trace {
             assert!(e.end >= e.start);
-            assert!(e.start >= last_end[e.resource] - 1e-12, "overlap on {}", e.resource);
+            assert!(
+                e.start >= last_end[e.resource] - 1e-12,
+                "overlap on {}",
+                e.resource
+            );
             last_end[e.resource] = e.end;
         }
         // Makespan equals the max trace end.
@@ -381,10 +474,41 @@ mod tests {
     #[test]
     fn zero_rounds_is_empty() {
         let inst = instance(4, 9);
-        let rep = Simulator::new(&inst, SimConfig { rounds: 0, ..Default::default() })
-            .run(&Mapping::identity(4));
+        let rep = Simulator::new(
+            &inst,
+            SimConfig {
+                rounds: 0,
+                ..Default::default()
+            },
+        )
+        .run(&Mapping::identity(4));
         assert_eq!(rep.makespan, 0.0);
         assert_eq!(rep.events, 0);
+    }
+
+    #[test]
+    fn traced_run_records_workload_counters() {
+        use match_telemetry::MemoryRecorder;
+        let inst = instance(8, 30);
+        let m = Mapping::identity(8);
+        let cfg = SimConfig {
+            rounds: 3,
+            mode: SimMode::BlockingReceives,
+            trace: false,
+        };
+        let mut rec = MemoryRecorder::new();
+        let rep = Simulator::new(&inst, cfg).run_traced(&m, &mut rec);
+        // rounds × (n computes + 2|E| transfers) items on n servers.
+        assert_eq!(
+            rec.counter("sim_items"),
+            3 * (8 + inst.adjacency_len()) as u64
+        );
+        assert_eq!(rec.counter("sim_servers"), 8);
+        assert!(rep.peak_queue_depth >= 1);
+        // Tracing must not change the result.
+        let untraced = Simulator::new(&inst, cfg).run(&m);
+        assert_eq!(rep.makespan, untraced.makespan);
+        assert_eq!(rep.events, untraced.events);
     }
 
     #[test]

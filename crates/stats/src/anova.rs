@@ -58,7 +58,10 @@ impl std::fmt::Display for AnovaError {
             AnovaError::TooFewGroups => write!(f, "ANOVA needs at least two groups"),
             AnovaError::EmptyGroup(i) => write!(f, "group {i} is empty"),
             AnovaError::NoErrorDof => {
-                write!(f, "every group has one observation; no error degrees of freedom")
+                write!(
+                    f,
+                    "every group has one observation; no error degrees of freedom"
+                )
             }
         }
     }

@@ -104,9 +104,24 @@ mod tests {
 
     #[test]
     fn disjointness() {
-        let a = ConfidenceInterval { mean: 1.0, lo: 0.5, hi: 1.5, confidence: 0.95 };
-        let b = ConfidenceInterval { mean: 5.0, lo: 4.0, hi: 6.0, confidence: 0.95 };
-        let c = ConfidenceInterval { mean: 1.4, lo: 1.2, hi: 1.6, confidence: 0.95 };
+        let a = ConfidenceInterval {
+            mean: 1.0,
+            lo: 0.5,
+            hi: 1.5,
+            confidence: 0.95,
+        };
+        let b = ConfidenceInterval {
+            mean: 5.0,
+            lo: 4.0,
+            hi: 6.0,
+            confidence: 0.95,
+        };
+        let c = ConfidenceInterval {
+            mean: 1.4,
+            lo: 1.2,
+            hi: 1.6,
+            confidence: 0.95,
+        };
         assert!(a.disjoint_from(&b));
         assert!(b.disjoint_from(&a));
         assert!(!a.disjoint_from(&c));

@@ -16,7 +16,10 @@ pub struct StudentT {
 impl StudentT {
     /// Create a t distribution. Panics if `nu <= 0` or non-finite.
     pub fn new(nu: f64) -> Self {
-        assert!(nu > 0.0 && nu.is_finite(), "degrees of freedom must be positive");
+        assert!(
+            nu > 0.0 && nu.is_finite(),
+            "degrees of freedom must be positive"
+        );
         StudentT { nu }
     }
 
@@ -171,9 +174,21 @@ mod tests {
     #[test]
     fn t_critical_values_match_tables() {
         // Standard two-sided 95% critical values.
-        assert!(close(StudentT::new(29.0).two_sided_critical(0.95), 2.045, 2e-3));
-        assert!(close(StudentT::new(10.0).two_sided_critical(0.95), 2.228, 2e-3));
-        assert!(close(StudentT::new(1.0).two_sided_critical(0.95), 12.706, 2e-2));
+        assert!(close(
+            StudentT::new(29.0).two_sided_critical(0.95),
+            2.045,
+            2e-3
+        ));
+        assert!(close(
+            StudentT::new(10.0).two_sided_critical(0.95),
+            2.228,
+            2e-3
+        ));
+        assert!(close(
+            StudentT::new(1.0).two_sided_critical(0.95),
+            12.706,
+            2e-2
+        ));
     }
 
     #[test]

@@ -136,7 +136,11 @@ mod tests {
         let s: OnlineStats = xs.iter().copied().collect();
         assert_eq!(s.count(), 8);
         assert!(close(s.mean(), descriptive::mean(&xs), 1e-12));
-        assert!(close(s.sample_variance(), descriptive::sample_variance(&xs), 1e-12));
+        assert!(close(
+            s.sample_variance(),
+            descriptive::sample_variance(&xs),
+            1e-12
+        ));
         assert_eq!(s.min(), 2.0);
         assert_eq!(s.max(), 9.0);
     }

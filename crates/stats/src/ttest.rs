@@ -51,7 +51,11 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
             }
         } else {
             TTestResult {
-                t_statistic: if ma > mb { f64::INFINITY } else { f64::NEG_INFINITY },
+                t_statistic: if ma > mb {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                },
                 dof: na + nb - 2.0,
                 p_value: 0.0,
                 mean_difference: ma - mb,
@@ -60,8 +64,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTestResult> {
     }
     let t = (ma - mb) / se2.sqrt();
     // Welch–Satterthwaite.
-    let dof = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let dof = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     let dist = StudentT::new(dof.max(1.0));
     let p = 2.0 * dist.sf(t.abs());
     Some(TTestResult {
@@ -100,12 +103,12 @@ mod tests {
         // Reference values computed independently with the Welch
         // formulas: t = -2.83526, dof = 27.7136.
         let a = [
-            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6,
-            19.0, 21.7, 21.4,
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7,
+            21.4,
         ];
         let b = [
-            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1,
-            22.9, 30.0, 23.9,
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0,
+            23.9,
         ];
         let r = welch_t_test(&a, &b).unwrap();
         assert!(

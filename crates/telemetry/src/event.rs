@@ -1,0 +1,154 @@
+//! Typed telemetry events shared by every solver in the workspace.
+
+use std::borrow::Cow;
+use std::time::Instant;
+
+use crate::recorder::Recorder;
+
+/// One optimizer iteration: a CE iteration, a GA generation, an SA
+/// temperature epoch, or a hill-climbing restart.
+///
+/// `gamma` is solver-specific: the elite threshold γ for CE, the current
+/// temperature for SA, and `None` where no comparable scalar exists
+/// (GA generations, hill-climbing restarts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterEvent {
+    /// Zero-based iteration index.
+    pub iter: u64,
+    /// Best cost seen in this iteration.
+    pub best: f64,
+    /// Mean cost over the iteration's population (or `best` when the
+    /// solver has no population).
+    pub mean: f64,
+    /// Solver-specific threshold scalar (CE γ, SA temperature).
+    pub gamma: Option<f64>,
+    /// Number of elite samples (0 where the notion does not apply).
+    pub elite_size: u64,
+    /// Wall-clock nanoseconds spent in this iteration.
+    pub wall_ns: u64,
+}
+
+/// A timed phase inside an iteration, e.g. `sample`, `evaluate`,
+/// `update`, `migrate`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Phase name; stable across iterations so totals can be aggregated.
+    pub name: Cow<'static, str>,
+    /// Iteration the span belongs to.
+    pub iter: u64,
+    /// Wall-clock nanoseconds covered by the span.
+    pub wall_ns: u64,
+}
+
+/// One chunk dispatched by the `match-par` fork/join helpers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolEvent {
+    /// Iteration during which the chunk ran.
+    pub iter: u64,
+    /// Chunk index within the dispatch.
+    pub chunk: u64,
+    /// Number of items in the chunk.
+    pub len: u64,
+    /// Wall-clock nanoseconds the chunk took.
+    pub wall_ns: u64,
+}
+
+/// The event stream vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Emitted once when a solver starts on an instance.
+    RunStart {
+        /// Solver name as reported by `Mapper::name`.
+        solver: Cow<'static, str>,
+        /// Number of tasks in the instance.
+        tasks: u64,
+        /// Number of resources in the instance.
+        resources: u64,
+    },
+    /// Per-iteration progress.
+    Iter(IterEvent),
+    /// A timed phase.
+    Span(SpanEvent),
+    /// A parallel chunk timing.
+    Pool(PoolEvent),
+    /// A monotonic counter increment (e.g. `evaluations`, `mutations`).
+    Counter {
+        /// Counter name.
+        name: Cow<'static, str>,
+        /// Amount added to the counter.
+        value: u64,
+    },
+    /// A point sample of a gauge (e.g. simulator event-queue depth).
+    Sample {
+        /// Gauge name.
+        name: Cow<'static, str>,
+        /// Observed value.
+        value: u64,
+    },
+    /// Emitted once when the solver finishes.
+    RunEnd {
+        /// Final best cost.
+        best: f64,
+        /// Total iterations executed.
+        iterations: u64,
+        /// Total candidate evaluations.
+        evaluations: u64,
+        /// Total wall-clock nanoseconds.
+        wall_ns: u64,
+    },
+}
+
+impl Event {
+    /// Short tag identifying the variant; doubles as the `"ev"` field of
+    /// the JSONL encoding.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::Iter(_) => "iter",
+            Event::Span(_) => "span",
+            Event::Pool(_) => "pool",
+            Event::Counter { .. } => "counter",
+            Event::Sample { .. } => "sample",
+            Event::RunEnd { .. } => "run_end",
+        }
+    }
+}
+
+/// A started wall-clock span. Build with [`Span::start`], then call
+/// [`Span::finish`] to emit a [`SpanEvent`] to a recorder.
+///
+/// The clock is read unconditionally (one `Instant::now()`); call sites
+/// on hot paths that want to avoid even that should gate on
+/// [`Recorder::enabled`] themselves.
+#[derive(Debug)]
+pub struct Span {
+    name: Cow<'static, str>,
+    iter: u64,
+    start: Instant,
+}
+
+impl Span {
+    /// Start timing a named phase of iteration `iter`.
+    pub fn start(name: impl Into<Cow<'static, str>>, iter: u64) -> Self {
+        Span {
+            name: name.into(),
+            iter,
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed nanoseconds so far.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Stop the clock and record the span.
+    pub fn finish(self, recorder: &mut dyn Recorder) {
+        let wall_ns = self.elapsed_ns();
+        recorder.record(Event::Span(SpanEvent {
+            name: self.name,
+            iter: self.iter,
+            wall_ns,
+        }));
+    }
+}

@@ -1,0 +1,570 @@
+//! Hand-rolled JSONL encoding for [`Event`] streams.
+//!
+//! Each event becomes one flat JSON object per line with an `"ev"` tag
+//! field. The parser accepts exactly that shape (flat objects with
+//! string / number / null values), which keeps the crate dependency-free
+//! while still producing traces any standard JSON tool can consume.
+//!
+//! Non-finite floats have no JSON number representation; they are
+//! encoded as the strings `"inf"`, `"-inf"`, and `"nan"` and decoded
+//! back to the corresponding `f64` values.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::event::{Event, IterEvent, PoolEvent, SpanEvent};
+
+/// Errors produced when decoding a trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line is not a flat JSON object of the expected shape.
+    Syntax(String),
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A field is present but has the wrong type.
+    BadType(&'static str),
+    /// The `"ev"` tag names no known event.
+    UnknownEvent(String),
+    /// An I/O failure while reading the trace.
+    Io(String),
+}
+
+impl ParseError {
+    /// Attach a 1-based line number for trace-level error reports.
+    pub fn at_line(self, lineno: usize) -> ParseError {
+        match self {
+            ParseError::Syntax(m) => ParseError::Syntax(format!("line {lineno}: {m}")),
+            ParseError::MissingField(f) => {
+                ParseError::Syntax(format!("line {lineno}: missing field `{f}`"))
+            }
+            ParseError::BadType(f) => {
+                ParseError::Syntax(format!("line {lineno}: bad type for field `{f}`"))
+            }
+            ParseError::UnknownEvent(t) => {
+                ParseError::Syntax(format!("line {lineno}: unknown event `{t}`"))
+            }
+            ParseError::Io(m) => ParseError::Io(format!("line {lineno}: {m}")),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax(m) => write!(f, "trace syntax error: {m}"),
+            ParseError::MissingField(name) => write!(f, "trace line missing field `{name}`"),
+            ParseError::BadType(name) => write!(f, "trace field `{name}` has the wrong type"),
+            ParseError::UnknownEvent(tag) => write!(f, "unknown trace event `{tag}`"),
+            ParseError::Io(m) => write!(f, "trace i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else if v.is_nan() {
+        out.push_str("\"nan\"");
+    } else if v > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+/// Encode one event as a single-line JSON object (no trailing newline).
+pub fn to_json(event: &Event) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str("{\"ev\":\"");
+    s.push_str(event.tag());
+    s.push('"');
+    match event {
+        Event::RunStart {
+            solver,
+            tasks,
+            resources,
+        } => {
+            s.push_str(",\"solver\":");
+            push_escaped(&mut s, solver);
+            let _ = write!(s, ",\"tasks\":{tasks},\"resources\":{resources}");
+        }
+        Event::Iter(IterEvent {
+            iter,
+            best,
+            mean,
+            gamma,
+            elite_size,
+            wall_ns,
+        }) => {
+            let _ = write!(s, ",\"iter\":{iter},\"best\":");
+            push_f64(&mut s, *best);
+            s.push_str(",\"mean\":");
+            push_f64(&mut s, *mean);
+            s.push_str(",\"gamma\":");
+            match gamma {
+                Some(g) => push_f64(&mut s, *g),
+                None => s.push_str("null"),
+            }
+            let _ = write!(s, ",\"elite_size\":{elite_size},\"wall_ns\":{wall_ns}");
+        }
+        Event::Span(SpanEvent {
+            name,
+            iter,
+            wall_ns,
+        }) => {
+            s.push_str(",\"name\":");
+            push_escaped(&mut s, name);
+            let _ = write!(s, ",\"iter\":{iter},\"wall_ns\":{wall_ns}");
+        }
+        Event::Pool(PoolEvent {
+            iter,
+            chunk,
+            len,
+            wall_ns,
+        }) => {
+            let _ = write!(
+                s,
+                ",\"iter\":{iter},\"chunk\":{chunk},\"len\":{len},\"wall_ns\":{wall_ns}"
+            );
+        }
+        Event::Counter { name, value } => {
+            s.push_str(",\"name\":");
+            push_escaped(&mut s, name);
+            let _ = write!(s, ",\"value\":{value}");
+        }
+        Event::Sample { name, value } => {
+            s.push_str(",\"name\":");
+            push_escaped(&mut s, name);
+            let _ = write!(s, ",\"value\":{value}");
+        }
+        Event::RunEnd {
+            best,
+            iterations,
+            evaluations,
+            wall_ns,
+        } => {
+            s.push_str(",\"best\":");
+            push_f64(&mut s, *best);
+            let _ = write!(
+                s,
+                ",\"iterations\":{iterations},\"evaluations\":{evaluations},\"wall_ns\":{wall_ns}"
+            );
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// A decoded flat JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Str(String),
+    /// Numbers keep their raw text so integer fields round-trip exactly.
+    Num(String),
+    Null,
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(s: &'a str) -> Self {
+        Scanner {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError::Syntax(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("non-utf8 \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Val, ParseError> {
+        match self.peek() {
+            Some(b'"') => Ok(Val::Str(self.string()?)),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Val::Null)
+                } else {
+                    Err(self.err("expected `null`"))
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => {
+                let start = self.pos;
+                self.pos += 1;
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-')
+                }) {
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid number"))?;
+                Ok(Val::Num(raw.to_string()))
+            }
+            _ => Err(self.err("expected string, number, or null")),
+        }
+    }
+
+    fn object(&mut self) -> Result<BTreeMap<String, Val>, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(map);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing data after object"));
+        }
+        Ok(map)
+    }
+}
+
+fn get_u64(map: &BTreeMap<String, Val>, field: &'static str) -> Result<u64, ParseError> {
+    match map.get(field) {
+        Some(Val::Num(raw)) => raw.parse().map_err(|_| ParseError::BadType(field)),
+        Some(_) => Err(ParseError::BadType(field)),
+        None => Err(ParseError::MissingField(field)),
+    }
+}
+
+fn f64_from_val(v: &Val, field: &'static str) -> Result<f64, ParseError> {
+    match v {
+        Val::Num(raw) => raw.parse().map_err(|_| ParseError::BadType(field)),
+        Val::Str(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            _ => Err(ParseError::BadType(field)),
+        },
+        Val::Null => Err(ParseError::BadType(field)),
+    }
+}
+
+fn get_f64(map: &BTreeMap<String, Val>, field: &'static str) -> Result<f64, ParseError> {
+    match map.get(field) {
+        Some(v) => f64_from_val(v, field),
+        None => Err(ParseError::MissingField(field)),
+    }
+}
+
+fn get_opt_f64(
+    map: &BTreeMap<String, Val>,
+    field: &'static str,
+) -> Result<Option<f64>, ParseError> {
+    match map.get(field) {
+        Some(Val::Null) | None => Ok(None),
+        Some(v) => f64_from_val(v, field).map(Some),
+    }
+}
+
+fn get_string(map: &BTreeMap<String, Val>, field: &'static str) -> Result<String, ParseError> {
+    match map.get(field) {
+        Some(Val::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(ParseError::BadType(field)),
+        None => Err(ParseError::MissingField(field)),
+    }
+}
+
+/// Decode one trace line back into an [`Event`].
+pub fn parse_line(line: &str) -> Result<Event, ParseError> {
+    let map = Scanner::new(line).object()?;
+    let tag = get_string(&map, "ev")?;
+    match tag.as_str() {
+        "run_start" => Ok(Event::RunStart {
+            solver: Cow::Owned(get_string(&map, "solver")?),
+            tasks: get_u64(&map, "tasks")?,
+            resources: get_u64(&map, "resources")?,
+        }),
+        "iter" => Ok(Event::Iter(IterEvent {
+            iter: get_u64(&map, "iter")?,
+            best: get_f64(&map, "best")?,
+            mean: get_f64(&map, "mean")?,
+            gamma: get_opt_f64(&map, "gamma")?,
+            elite_size: get_u64(&map, "elite_size")?,
+            wall_ns: get_u64(&map, "wall_ns")?,
+        })),
+        "span" => Ok(Event::Span(SpanEvent {
+            name: Cow::Owned(get_string(&map, "name")?),
+            iter: get_u64(&map, "iter")?,
+            wall_ns: get_u64(&map, "wall_ns")?,
+        })),
+        "pool" => Ok(Event::Pool(PoolEvent {
+            iter: get_u64(&map, "iter")?,
+            chunk: get_u64(&map, "chunk")?,
+            len: get_u64(&map, "len")?,
+            wall_ns: get_u64(&map, "wall_ns")?,
+        })),
+        "counter" => Ok(Event::Counter {
+            name: Cow::Owned(get_string(&map, "name")?),
+            value: get_u64(&map, "value")?,
+        }),
+        "sample" => Ok(Event::Sample {
+            name: Cow::Owned(get_string(&map, "name")?),
+            value: get_u64(&map, "value")?,
+        }),
+        "run_end" => Ok(Event::RunEnd {
+            best: get_f64(&map, "best")?,
+            iterations: get_u64(&map, "iterations")?,
+            evaluations: get_u64(&map, "evaluations")?,
+            wall_ns: get_u64(&map, "wall_ns")?,
+        }),
+        other => Err(ParseError::UnknownEvent(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(event: Event) {
+        let line = to_json(&event);
+        let back = parse_line(&line).expect("round-trip parse");
+        match (&event, &back) {
+            // NaN != NaN, compare the encoding instead.
+            (Event::Iter(a), Event::Iter(b)) if a.best.is_nan() => {
+                assert!(b.best.is_nan());
+            }
+            _ => assert_eq!(event, back, "line was: {line}"),
+        }
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        roundtrip(Event::RunStart {
+            solver: "match-ce".into(),
+            tasks: 64,
+            resources: 8,
+        });
+        roundtrip(Event::Iter(IterEvent {
+            iter: 3,
+            best: 12.5,
+            mean: 19.75,
+            gamma: Some(14.0),
+            elite_size: 10,
+            wall_ns: 123_456,
+        }));
+        roundtrip(Event::Iter(IterEvent {
+            iter: 0,
+            best: 0.1,
+            mean: 0.2,
+            gamma: None,
+            elite_size: 0,
+            wall_ns: 1,
+        }));
+        roundtrip(Event::Span(SpanEvent {
+            name: "evaluate".into(),
+            iter: 7,
+            wall_ns: 999,
+        }));
+        roundtrip(Event::Pool(PoolEvent {
+            iter: 1,
+            chunk: 2,
+            len: 128,
+            wall_ns: 5_000,
+        }));
+        roundtrip(Event::Counter {
+            name: "evaluations".into(),
+            value: 4096,
+        });
+        roundtrip(Event::Sample {
+            name: "queue_depth".into(),
+            value: 17,
+        });
+        roundtrip(Event::RunEnd {
+            best: 41.0,
+            iterations: 100,
+            evaluations: 100_000,
+            wall_ns: u64::MAX,
+        });
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        roundtrip(Event::RunEnd {
+            best: f64::INFINITY,
+            iterations: 1,
+            evaluations: 1,
+            wall_ns: 1,
+        });
+        roundtrip(Event::RunEnd {
+            best: f64::NEG_INFINITY,
+            iterations: 1,
+            evaluations: 1,
+            wall_ns: 1,
+        });
+        roundtrip(Event::Iter(IterEvent {
+            iter: 0,
+            best: f64::NAN,
+            mean: 0.0,
+            gamma: None,
+            elite_size: 0,
+            wall_ns: 0,
+        }));
+    }
+
+    #[test]
+    fn strings_with_specials_round_trip() {
+        roundtrip(Event::Counter {
+            name: Cow::Owned("we\"ird\\name\nwith\tctrl\u{1}".to_string()),
+            value: 1,
+        });
+        roundtrip(Event::RunStart {
+            solver: Cow::Owned("sølvér-ünïcode".to_string()),
+            tasks: 1,
+            resources: 1,
+        });
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_line("").is_err());
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("{\"ev\":\"iter\"}").is_err(), "missing fields");
+        assert!(parse_line("{\"ev\":\"nope\"}").is_err(), "unknown tag");
+        assert!(
+            parse_line("{\"ev\":\"counter\",\"name\":3,\"value\":1}").is_err(),
+            "bad type"
+        );
+        assert!(
+            parse_line("{\"ev\":\"counter\",\"name\":\"x\",\"value\":1} extra").is_err(),
+            "trailing data"
+        );
+    }
+
+    #[test]
+    fn exact_u64_round_trip() {
+        // Values above 2^53 would be corrupted by an f64 detour.
+        let event = Event::Counter {
+            name: "big".into(),
+            value: (1u64 << 62) + 12345,
+        };
+        let line = to_json(&event);
+        assert_eq!(parse_line(&line).unwrap(), event);
+    }
+}

@@ -1,0 +1,380 @@
+//! Recorder trait and the three built-in sinks.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::event::Event;
+use crate::hist::Histogram;
+use crate::json::to_json;
+
+/// A sink for solver telemetry.
+///
+/// # Cost model
+///
+/// Telemetry is **disabled by default**: every solver entry point that
+/// does not take an explicit recorder runs with [`NullRecorder`], whose
+/// [`record`](Recorder::record) is an empty body and whose
+/// [`enabled`](Recorder::enabled) returns `false`. Solvers call
+/// `record` unconditionally — that costs at most one virtual dispatch
+/// per event, which is noise next to a single cost-function evaluation.
+///
+/// Work done *before* the call is the caller's responsibility: if
+/// building an event requires extra computation (reading the monotonic
+/// clock, computing a population mean that the solver would not
+/// otherwise need), gate it behind [`enabled`](Recorder::enabled):
+///
+/// ```
+/// use match_telemetry::{Event, Recorder, NullRecorder};
+///
+/// fn hot_loop(recorder: &mut dyn Recorder) {
+///     for iter in 0..3u64 {
+///         // ... real work ...
+///         if recorder.enabled() {
+///             // only pay for event construction when someone listens
+///             recorder.record(Event::Counter { name: "iters".into(), value: 1 });
+///         }
+///     }
+/// }
+/// hot_loop(&mut NullRecorder);
+/// ```
+///
+/// Implementations must not panic on `record`; sinks with fallible
+/// backends (files) buffer errors and surface them from
+/// [`flush`](Recorder::flush).
+pub trait Recorder {
+    /// Whether events are observed at all. `false` lets call sites skip
+    /// expensive event construction entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Observe one event.
+    fn record(&mut self, event: Event);
+
+    /// Flush buffered state; returns the first buffered I/O error.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// `&mut R` forwards, so helpers can take `&mut dyn Recorder` while the
+/// owner keeps using the concrete sink afterwards.
+impl<R: Recorder + ?Sized> Recorder for &mut R {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record(&mut self, event: Event) {
+        (**self).record(event)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (**self).flush()
+    }
+}
+
+/// The disabled sink: discards everything, reports `enabled() == false`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn record(&mut self, _event: Event) {}
+}
+
+/// In-memory sink: buffers the raw stream and keeps aggregate views
+/// (running best curve, counter totals, per-span time, pool latency
+/// histogram, gauge histograms).
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    events: Vec<Event>,
+    counters: BTreeMap<Cow<'static, str>, u64>,
+    span_ns: BTreeMap<Cow<'static, str>, u64>,
+    pool_hist: Histogram,
+    gauges: BTreeMap<Cow<'static, str>, Histogram>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events in arrival order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The per-iteration running best: element `i` is the best cost seen
+    /// in iterations `0..=i`. Monotone non-increasing by construction of
+    /// the running minimum.
+    pub fn best_curve(&self) -> Vec<f64> {
+        let mut curve = Vec::new();
+        let mut best = f64::INFINITY;
+        for event in &self.events {
+            if let Event::Iter(it) = event {
+                best = best.min(it.best);
+                curve.push(best);
+            }
+        }
+        curve
+    }
+
+    /// Total accumulated for a named counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total nanoseconds recorded for a named span (0 if never seen).
+    pub fn span_total_ns(&self, name: &str) -> u64 {
+        self.span_ns.get(name).copied().unwrap_or(0)
+    }
+
+    /// Latency histogram over all pool chunk dispatches.
+    pub fn pool_hist(&self) -> &Histogram {
+        &self.pool_hist
+    }
+
+    /// Histogram of a named gauge's samples, if any were recorded.
+    pub fn gauge_hist(&self, name: &str) -> Option<&Histogram> {
+        self.gauges.get(name)
+    }
+
+    /// Consume the recorder, returning the raw event stream.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&mut self, event: Event) {
+        match &event {
+            Event::Counter { name, value } => {
+                *self.counters.entry(name.clone()).or_insert(0) += value;
+            }
+            Event::Span(span) => {
+                *self.span_ns.entry(span.name.clone()).or_insert(0) += span.wall_ns;
+            }
+            Event::Pool(pool) => self.pool_hist.record(pool.wall_ns),
+            Event::Sample { name, value } => {
+                self.gauges.entry(name.clone()).or_default().record(*value);
+            }
+            _ => {}
+        }
+        self.events.push(event);
+    }
+}
+
+/// Streaming JSONL sink over any writer.
+///
+/// Write errors do not panic the solver: the first error is stashed and
+/// returned from [`flush`](Recorder::flush); subsequent events are
+/// dropped. [`JsonlRecorder::lines`] counts lines actually written.
+#[derive(Debug)]
+pub struct JsonlRecorder<W: Write> {
+    out: W,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonlRecorder<BufWriter<File>> {
+    /// Create (truncate) a trace file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(JsonlRecorder::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlRecorder<W> {
+    /// Wrap an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        JsonlRecorder {
+            out,
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush and unwrap the inner writer, or return the first error.
+    pub fn finish(mut self) -> io::Result<W> {
+        Recorder::flush(&mut self)?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> Recorder for JsonlRecorder<W> {
+    fn record(&mut self, event: Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = to_json(&event);
+        match self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+        {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{IterEvent, PoolEvent, SpanEvent};
+    use crate::json::parse_line;
+
+    fn iter_event(iter: u64, best: f64) -> Event {
+        Event::Iter(IterEvent {
+            iter,
+            best,
+            mean: best + 1.0,
+            gamma: Some(best + 0.5),
+            elite_size: 4,
+            wall_ns: 10,
+        })
+    }
+
+    #[test]
+    fn null_recorder_reports_disabled() {
+        let mut r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(iter_event(0, 1.0));
+        assert!(r.flush().is_ok());
+    }
+
+    #[test]
+    fn memory_recorder_aggregates() {
+        let mut r = MemoryRecorder::new();
+        assert!(r.is_empty());
+        r.record(Event::Counter {
+            name: "evals".into(),
+            value: 10,
+        });
+        r.record(Event::Counter {
+            name: "evals".into(),
+            value: 5,
+        });
+        r.record(Event::Span(SpanEvent {
+            name: "sample".into(),
+            iter: 0,
+            wall_ns: 100,
+        }));
+        r.record(Event::Span(SpanEvent {
+            name: "sample".into(),
+            iter: 1,
+            wall_ns: 50,
+        }));
+        r.record(Event::Pool(PoolEvent {
+            iter: 0,
+            chunk: 0,
+            len: 32,
+            wall_ns: 7,
+        }));
+        r.record(Event::Sample {
+            name: "queue_depth".into(),
+            value: 3,
+        });
+        assert_eq!(r.counter("evals"), 15);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.span_total_ns("sample"), 150);
+        assert_eq!(r.pool_hist().count(), 1);
+        assert_eq!(r.gauge_hist("queue_depth").unwrap().max(), 3);
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn best_curve_is_running_minimum() {
+        let mut r = MemoryRecorder::new();
+        for (i, best) in [5.0, 7.0, 3.0, 4.0, 2.0].into_iter().enumerate() {
+            r.record(iter_event(i as u64, best));
+        }
+        assert_eq!(r.best_curve(), vec![5.0, 5.0, 3.0, 3.0, 2.0]);
+        for w in r.best_curve().windows(2) {
+            assert!(w[1] <= w[0], "best curve must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_parseable_lines() {
+        let mut r = JsonlRecorder::new(Vec::new());
+        r.record(Event::RunStart {
+            solver: "test".into(),
+            tasks: 4,
+            resources: 2,
+        });
+        r.record(iter_event(0, 9.0));
+        assert_eq!(r.lines(), 2);
+        let buf = r.finish().expect("no io error");
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            parse_line(line).expect("every line parses");
+        }
+    }
+
+    struct FailingWriter;
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk on fire"))
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_recorder_buffers_write_errors() {
+        let mut r = JsonlRecorder::new(FailingWriter);
+        r.record(iter_event(0, 1.0));
+        r.record(iter_event(1, 1.0));
+        assert_eq!(r.lines(), 0);
+        assert!(Recorder::flush(&mut r).is_err());
+        // Error is surfaced once, then the sink is drained.
+        assert!(Recorder::flush(&mut r).is_ok());
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut inner = MemoryRecorder::new();
+        {
+            let r: &mut dyn Recorder = &mut inner;
+            assert!(r.enabled());
+            r.record(iter_event(0, 2.0));
+        }
+        assert_eq!(inner.len(), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end trace invariants: JSONL round-trips, summaries are
+//! consistent with the in-memory aggregates, and the disabled path stays
+//! cheap.
+
+use std::borrow::Cow;
+use std::time::Instant;
+
+use match_telemetry::{
+    read_trace, to_json, Event, IterEvent, JsonlRecorder, MemoryRecorder, NullRecorder, PoolEvent,
+    Recorder, SpanEvent, TraceSummary,
+};
+
+/// Small xorshift generator so the property-style tests need no
+/// external crates.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next() % 1_000_000) as f64 / 1000.0
+    }
+}
+
+fn random_event(rng: &mut XorShift, i: u64) -> Event {
+    match rng.next() % 7 {
+        0 => Event::RunStart {
+            solver: Cow::Owned(format!("solver-{}", rng.next() % 10)),
+            tasks: rng.next() % 512,
+            resources: rng.next() % 64,
+        },
+        1 => Event::Iter(IterEvent {
+            iter: i,
+            best: rng.next_f64(),
+            mean: rng.next_f64(),
+            gamma: if rng.next() % 2 == 0 {
+                Some(rng.next_f64())
+            } else {
+                None
+            },
+            elite_size: rng.next() % 100,
+            wall_ns: rng.next() % 1_000_000_000,
+        }),
+        2 => Event::Span(SpanEvent {
+            name: ["sample", "evaluate", "update", "migrate"][(rng.next() % 4) as usize].into(),
+            iter: i,
+            wall_ns: rng.next() % 1_000_000,
+        }),
+        3 => Event::Pool(PoolEvent {
+            iter: i,
+            chunk: rng.next() % 16,
+            len: rng.next() % 4096,
+            wall_ns: rng.next() % 10_000_000,
+        }),
+        4 => Event::Counter {
+            name: "evaluations".into(),
+            value: rng.next() % 100_000,
+        },
+        5 => Event::Sample {
+            name: "queue_depth".into(),
+            value: rng.next() % 1000,
+        },
+        _ => Event::RunEnd {
+            best: rng.next_f64(),
+            iterations: rng.next() % 10_000,
+            evaluations: rng.next(),
+            wall_ns: rng.next(),
+        },
+    }
+}
+
+#[test]
+fn random_traces_round_trip_through_jsonl() {
+    let mut rng = XorShift(0xdeadbeefcafef00d);
+    for case in 0..50 {
+        let n = (rng.next() % 100 + 1) as usize;
+        let events: Vec<Event> = (0..n).map(|i| random_event(&mut rng, i as u64)).collect();
+
+        let mut sink = JsonlRecorder::new(Vec::new());
+        for e in &events {
+            sink.record(e.clone());
+        }
+        assert_eq!(sink.lines(), n as u64);
+        let bytes = sink.finish().expect("in-memory writer cannot fail");
+
+        let parsed = read_trace(bytes.as_slice()).expect("trace parses");
+        assert_eq!(parsed.len(), events.len(), "case {case}");
+        for (orig, back) in events.iter().zip(parsed.iter()) {
+            // NaN never occurs in random_event, so equality is exact.
+            assert_eq!(orig, back, "case {case}: {}", to_json(orig));
+        }
+    }
+}
+
+#[test]
+fn summary_matches_memory_recorder_aggregates() {
+    let mut rng = XorShift(42);
+    let events: Vec<Event> = (0..500).map(|i| random_event(&mut rng, i)).collect();
+
+    let mut mem = MemoryRecorder::new();
+    for e in &events {
+        mem.record(e.clone());
+    }
+    let summary = TraceSummary::from_events(&events);
+
+    assert_eq!(summary.best_curve, mem.best_curve());
+    let counter_total: u64 = summary
+        .counters
+        .iter()
+        .find(|(name, _)| name == "evaluations")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert_eq!(counter_total, mem.counter("evaluations"));
+    assert_eq!(summary.pool.count(), mem.pool_hist().count());
+}
+
+#[test]
+fn blank_lines_are_skipped_and_bad_lines_located() {
+    let good = to_json(&Event::Counter {
+        name: "x".into(),
+        value: 1,
+    });
+    let text = format!("{good}\n\n   \n{good}\n");
+    let events = read_trace(text.as_bytes()).unwrap();
+    assert_eq!(events.len(), 2);
+
+    let bad = format!("{good}\nnot json\n");
+    let err = read_trace(bad.as_bytes()).unwrap_err();
+    assert!(
+        format!("{err}").contains("line 2"),
+        "error should name line 2: {err}"
+    );
+}
+
+#[test]
+fn null_recorder_overhead_is_negligible() {
+    // 1M virtual no-op records must complete in well under a second even
+    // unoptimized; this guards against someone adding work to the
+    // disabled path.
+    let recorder: &mut dyn Recorder = &mut NullRecorder;
+    let start = Instant::now();
+    for i in 0..1_000_000u64 {
+        if recorder.enabled() {
+            recorder.record(Event::Counter {
+                name: "never".into(),
+                value: i,
+            });
+        }
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_millis() < 1000,
+        "1M disabled records took {elapsed:?}"
+    );
+}

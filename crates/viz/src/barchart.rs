@@ -91,10 +91,7 @@ impl BarChart {
             out.push('\n');
             for (name, v) in &g.bars {
                 let bar = "█".repeat(scale(*v));
-                out.push_str(&format!(
-                    "  {name:<name_w$} |{bar} {}\n",
-                    format_sig(*v, 5)
-                ));
+                out.push_str(&format!("  {name:<name_w$} |{bar} {}\n", format_sig(*v, 5)));
             }
         }
         out
@@ -110,8 +107,18 @@ mod tests {
         let mut c = BarChart::new("Test").with_width(10);
         c.add_group("g1", vec![("a".into(), 10.0), ("b".into(), 5.0)]);
         let s = c.render();
-        let a_len = s.lines().find(|l| l.contains("a ")).unwrap().matches('█').count();
-        let b_len = s.lines().find(|l| l.contains("b ")).unwrap().matches('█').count();
+        let a_len = s
+            .lines()
+            .find(|l| l.contains("a "))
+            .unwrap()
+            .matches('█')
+            .count();
+        let b_len = s
+            .lines()
+            .find(|l| l.contains("b "))
+            .unwrap()
+            .matches('█')
+            .count();
         assert_eq!(a_len, 10);
         assert_eq!(b_len, 5);
         assert!(s.contains("10"));
@@ -122,8 +129,18 @@ mod tests {
         let mut c = BarChart::new("L").with_width(100).with_log_scale();
         c.add_group("g", vec![("big".into(), 10000.0), ("small".into(), 100.0)]);
         let s = c.render();
-        let big = s.lines().find(|l| l.contains("big")).unwrap().matches('█').count();
-        let small = s.lines().find(|l| l.contains("small")).unwrap().matches('█').count();
+        let big = s
+            .lines()
+            .find(|l| l.contains("big"))
+            .unwrap()
+            .matches('█')
+            .count();
+        let small = s
+            .lines()
+            .find(|l| l.contains("small"))
+            .unwrap()
+            .matches('█')
+            .count();
         assert_eq!(big, 100);
         // ln(100)/ln(10000) = 0.5, not 0.01.
         assert!((small as f64 - 50.0).abs() <= 2.0, "small = {small}");
@@ -143,7 +160,12 @@ mod tests {
         let mut c = BarChart::new("M").with_width(10);
         c.add_group("g", vec![("tiny".into(), 0.0001), ("huge".into(), 1.0e6)]);
         let s = c.render();
-        let tiny = s.lines().find(|l| l.contains("tiny")).unwrap().matches('█').count();
+        let tiny = s
+            .lines()
+            .find(|l| l.contains("tiny"))
+            .unwrap()
+            .matches('█')
+            .count();
         assert_eq!(tiny, 1);
     }
 }

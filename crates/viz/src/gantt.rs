@@ -71,8 +71,18 @@ mod tests {
     #[test]
     fn spans_land_in_their_rows() {
         let spans = [
-            GanttSpan { row: 0, start: 0.0, end: 5.0, class: 0 },
-            GanttSpan { row: 1, start: 5.0, end: 10.0, class: 1 },
+            GanttSpan {
+                row: 0,
+                start: 0.0,
+                end: 5.0,
+                class: 0,
+            },
+            GanttSpan {
+                row: 1,
+                start: 5.0,
+                end: 10.0,
+                class: 1,
+            },
         ];
         let s = render_gantt(&spans, 2, 20, Some(10.0), "T");
         let lines: Vec<&str> = s.lines().collect();
@@ -90,7 +100,12 @@ mod tests {
 
     #[test]
     fn auto_horizon() {
-        let spans = [GanttSpan { row: 0, start: 0.0, end: 42.0, class: 0 }];
+        let spans = [GanttSpan {
+            row: 0,
+            start: 0.0,
+            end: 42.0,
+            class: 0,
+        }];
         let s = render_gantt(&spans, 1, 10, None, "");
         assert!(s.contains("42"));
     }
@@ -98,8 +113,18 @@ mod tests {
     #[test]
     fn empty_and_out_of_range_spans() {
         let spans = [
-            GanttSpan { row: 9, start: 0.0, end: 1.0, class: 0 }, // beyond rows
-            GanttSpan { row: 0, start: 2.0, end: 2.0, class: 0 }, // empty
+            GanttSpan {
+                row: 9,
+                start: 0.0,
+                end: 1.0,
+                class: 0,
+            }, // beyond rows
+            GanttSpan {
+                row: 0,
+                start: 2.0,
+                end: 2.0,
+                class: 0,
+            }, // empty
         ];
         let s = render_gantt(&spans, 1, 10, Some(5.0), "");
         assert!(!s.contains('█'));
@@ -108,9 +133,24 @@ mod tests {
     #[test]
     fn classes_cycle_glyphs() {
         let spans = [
-            GanttSpan { row: 0, start: 0.0, end: 1.0, class: 0 },
-            GanttSpan { row: 0, start: 2.0, end: 3.0, class: 1 },
-            GanttSpan { row: 0, start: 4.0, end: 5.0, class: 5 },
+            GanttSpan {
+                row: 0,
+                start: 0.0,
+                end: 1.0,
+                class: 0,
+            },
+            GanttSpan {
+                row: 0,
+                start: 2.0,
+                end: 3.0,
+                class: 1,
+            },
+            GanttSpan {
+                row: 0,
+                start: 4.0,
+                end: 5.0,
+                class: 5,
+            },
         ];
         let s = render_gantt(&spans, 1, 30, Some(5.0), "");
         assert!(s.contains('█'));

@@ -93,9 +93,9 @@ impl LinePlot {
                     i * (self.width - 1) / (max_len - 1)
                 };
                 let row_f = (y - lo) / span;
-                let row = self.height - 1
-                    - ((row_f * (self.height - 1) as f64).round() as usize)
-                        .min(self.height - 1);
+                let row = self.height
+                    - 1
+                    - ((row_f * (self.height - 1) as f64).round() as usize).min(self.height - 1);
                 grid[row][col] = glyph;
             }
         }

@@ -27,8 +27,16 @@ fn main() {
     let matcher = Matcher::default();
     // Budgets scaled to example runtimes; use the table3_anova binary
     // for the paper-scale 100/10000 and 1000/1000 arms.
-    let ga_long = FastMapGa::new(GaConfig { population: 100, generations: 1000, ..Default::default() });
-    let ga_wide = FastMapGa::new(GaConfig { population: 500, generations: 200, ..Default::default() });
+    let ga_long = FastMapGa::new(GaConfig {
+        population: 100,
+        generations: 1000,
+        ..Default::default()
+    });
+    let ga_wide = FastMapGa::new(GaConfig {
+        population: 500,
+        generations: 200,
+        ..Default::default()
+    });
     let arms: Vec<(&str, &dyn Mapper)> = vec![
         ("MaTCH", &matcher),
         ("GA 100/1000", &ga_long),
@@ -45,7 +53,10 @@ fn main() {
         groups.push((name.to_string(), samples));
     }
 
-    println!("{:<14} {:>10} {:>22} {:>9} {:>10}", "heuristic", "mean ET", "95% CI", "std dev", "median");
+    println!(
+        "{:<14} {:>10} {:>22} {:>9} {:>10}",
+        "heuristic", "mean ET", "95% CI", "std dev", "median"
+    );
     for (name, xs) in &groups {
         let s = Summary::of(xs);
         let ci = mean_confidence_interval(xs, 0.95).expect("runs >= 2");
@@ -65,10 +76,18 @@ fn main() {
         anova.df_between,
         anova.df_within,
         anova.f_statistic,
-        if anova.p_value < 0.0001 { "< 0.0001".to_string() } else { format!("{:.4}", anova.p_value) }
+        if anova.p_value < 0.0001 {
+            "< 0.0001".to_string()
+        } else {
+            format!("{:.4}", anova.p_value)
+        }
     );
     println!(
         "null hypothesis (all heuristics equal) {} at alpha = 0.01",
-        if anova.significant_at(0.01) { "REJECTED" } else { "not rejected" }
+        if anova.significant_at(0.01) {
+            "REJECTED"
+        } else {
+            "not rejected"
+        }
     );
 }

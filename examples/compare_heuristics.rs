@@ -38,10 +38,7 @@ fn main() {
     println!(
         "{:<12} {}",
         "ET (units)",
-        sizes
-            .iter()
-            .map(|s| format!("{s:>10}"))
-            .collect::<String>()
+        sizes.iter().map(|s| format!("{s:>10}")).collect::<String>()
     );
     let mut results: Vec<(String, Vec<f64>)> = Vec::new();
     for m in &mappers {

@@ -38,7 +38,11 @@ fn main() {
     let snaps = &out.snapshots;
     let panels = 6.min(snaps.len());
     for k in 0..panels {
-        let idx = if panels == 1 { 0 } else { k * (snaps.len() - 1) / (panels - 1) };
+        let idx = if panels == 1 {
+            0
+        } else {
+            k * (snaps.len() - 1) / (panels - 1)
+        };
         let snap = &snaps[idx];
         println!(
             "{}",

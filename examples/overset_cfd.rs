@@ -27,16 +27,24 @@ fn main() {
     // 1. Build the overset domain: 16 grids along a random body curve.
     let cfg = OversetConfig::new(16);
     let domain = cfg.generate_domain(&mut rng);
-    println!("overset domain: {} grids, {} overlaps", domain.blocks.len(),
-        domain.tig.all_interactions().count());
+    println!(
+        "overset domain: {} grids, {} overlaps",
+        domain.blocks.len(),
+        domain.tig.all_interactions().count()
+    );
     for (i, b) in domain.blocks.iter().take(4).enumerate() {
         println!(
             "  grid {i}: corner ({:.2}, {:.2}, {:.2}), {:.0} grid points",
-            b.min[0], b.min[1], b.min[2],
+            b.min[0],
+            b.min[1],
+            b.min[2],
             domain.tig.computation(i)
         );
     }
-    println!("  ... computation/communication ratio: {:.4}", domain.tig.comp_comm_ratio());
+    println!(
+        "  ... computation/communication ratio: {:.4}",
+        domain.tig.comp_comm_ratio()
+    );
 
     // 2. A heterogeneous 16-site computational grid to run it on.
     let platform = PaperFamilyConfig::new(16).generate_platform(&mut rng);
@@ -44,13 +52,20 @@ fn main() {
 
     // 3. Map with MaTCH and every baseline.
     let matcher = Matcher::new(MatchConfig::default());
-    let ga = FastMapGa::new(GaConfig { population: 200, generations: 300, ..GaConfig::paper_default() });
+    let ga = FastMapGa::new(GaConfig {
+        population: 200,
+        generations: 300,
+        ..GaConfig::paper_default()
+    });
     let greedy = GreedyMapper;
     let hill = HillClimber::default();
     let random = RandomSearch::new(10_000);
     let mappers: Vec<&dyn Mapper> = vec![&matcher, &ga, &greedy, &hill, &random];
 
-    println!("\n{:<12} {:>12} {:>10} {:>12}", "heuristic", "ET (units)", "MT", "evaluations");
+    println!(
+        "\n{:<12} {:>12} {:>10} {:>12}",
+        "heuristic", "ET (units)", "MT", "evaluations"
+    );
     let mut best: Option<(String, matchkit::core::Mapping, f64)> = None;
     for m in mappers {
         let out = m.map(&inst, &mut rng);
@@ -69,8 +84,19 @@ fn main() {
     println!("\nbest mapping: {name} at ET = {et:.0}");
 
     // 4. Execute 10 CFD iterations of the best mapping.
-    for mode in [SimMode::PaperSerial, SimMode::BlockingReceives, SimMode::LinkContention] {
-        let sim = Simulator::new(&inst, SimConfig { rounds: 10, mode, trace: false });
+    for mode in [
+        SimMode::PaperSerial,
+        SimMode::BlockingReceives,
+        SimMode::LinkContention,
+    ] {
+        let sim = Simulator::new(
+            &inst,
+            SimConfig {
+                rounds: 10,
+                mode,
+                trace: false,
+            },
+        );
         let rep = sim.run(&mapping);
         println!(
             "simulated 10 rounds ({mode:?}): makespan {:.0} units, mean utilisation {:.1}%",
@@ -82,8 +108,15 @@ fn main() {
     // 5. Timeline of one round (compute = solid, transfers = shaded).
     use matchkit::sim::engine::ItemKind;
     use matchkit::viz::{render_gantt, GanttSpan};
-    let rep = Simulator::new(&inst, SimConfig { rounds: 1, mode: SimMode::PaperSerial, trace: true })
-        .run(&mapping);
+    let rep = Simulator::new(
+        &inst,
+        SimConfig {
+            rounds: 1,
+            mode: SimMode::PaperSerial,
+            trace: true,
+        },
+    )
+    .run(&mapping);
     let spans: Vec<GanttSpan> = rep
         .trace
         .as_ref()

@@ -27,13 +27,12 @@ fn main() {
     let matched = Matcher::new(MatchConfig::default()).run(&inst, &mut rng);
     println!(
         "\nMaTCH : ET = {:.0} units in {} CE iterations ({} evaluations, {:.2?}, stop: {:?})",
-        matched.cost,
-        matched.iterations,
-        matched.evaluations,
-        matched.elapsed,
-        matched.stop_reason,
+        matched.cost, matched.iterations, matched.evaluations, matched.elapsed, matched.stop_reason,
     );
-    println!("        mapping (task -> resource): {:?}", matched.mapping.as_slice());
+    println!(
+        "        mapping (task -> resource): {:?}",
+        matched.mapping.as_slice()
+    );
 
     // 3. Map with the FastMap-GA baseline (population 500, 1000
     //    generations, crossover 0.85, mutation 0.07, elitism).
@@ -42,7 +41,10 @@ fn main() {
         "\nFastMap-GA: ET = {:.0} units in {} generations ({} evaluations, {:.2?})",
         ga.outcome.cost, ga.outcome.iterations, ga.outcome.evaluations, ga.outcome.elapsed,
     );
-    println!("        mapping (task -> resource): {:?}", ga.outcome.mapping.as_slice());
+    println!(
+        "        mapping (task -> resource): {:?}",
+        ga.outcome.mapping.as_slice()
+    );
 
     // 4. The paper's headline metric.
     println!(

@@ -49,12 +49,10 @@ pub use match_cli as cli;
 pub mod prelude {
     pub use match_baselines::{GreedyMapper, HillClimber, RandomSearch, SimulatedAnnealing};
     pub use match_core::{
-        CostModel, IslandConfig, IslandMatcher, Mapper, MapperOutcome, Mapping,
-        MappingInstance, MatchConfig, Matcher,
+        CostModel, IslandConfig, IslandMatcher, Mapper, MapperOutcome, Mapping, MappingInstance,
+        MatchConfig, Matcher,
     };
     pub use match_ga::{FastMapGa, GaConfig};
-    pub use match_graph::{
-        gen::InstanceGenerator, Graph, ResourceGraph, TaskGraph,
-    };
+    pub use match_graph::{gen::InstanceGenerator, Graph, ResourceGraph, TaskGraph};
     pub use match_sim::{SimConfig, Simulator};
 }

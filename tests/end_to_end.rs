@@ -44,10 +44,7 @@ fn matcher_competitive_with_all_heuristics() {
         let mut rng = StdRng::seed_from_u64(100 + i as u64);
         costs.push((m.name().to_string(), m.map(&inst, &mut rng).cost));
     }
-    let best = costs
-        .iter()
-        .map(|&(_, c)| c)
-        .fold(f64::INFINITY, f64::min);
+    let best = costs.iter().map(|&(_, c)| c).fold(f64::INFINITY, f64::min);
     let matcher_cost = costs[0].1;
     assert!(
         matcher_cost <= 1.10 * best,
@@ -97,12 +94,20 @@ fn blocking_simulation_bounds_analytic_model() {
     let rounds = 6;
     let serial = Simulator::new(
         &inst,
-        SimConfig { rounds, mode: SimMode::PaperSerial, trace: false },
+        SimConfig {
+            rounds,
+            mode: SimMode::PaperSerial,
+            trace: false,
+        },
     )
     .run(&out.mapping);
     let blocking = Simulator::new(
         &inst,
-        SimConfig { rounds, mode: SimMode::BlockingReceives, trace: false },
+        SimConfig {
+            rounds,
+            mode: SimMode::BlockingReceives,
+            trace: false,
+        },
     )
     .run(&out.mapping);
     assert!((serial.makespan - rounds as f64 * out.cost).abs() <= 1e-6 * serial.makespan);
@@ -120,8 +125,14 @@ fn overset_workload_end_to_end() {
     let out = Matcher::default().run(&inst, &mut rng);
     assert!(out.mapping.is_permutation());
     assert!(out.cost > 0.0 && out.cost.is_finite());
-    let rep = Simulator::new(&inst, SimConfig { rounds: 3, ..Default::default() })
-        .run(&out.mapping);
+    let rep = Simulator::new(
+        &inst,
+        SimConfig {
+            rounds: 3,
+            ..Default::default()
+        },
+    )
+    .run(&out.mapping);
     assert!(rep.makespan > 0.0);
     assert!(rep.mean_utilization() > 0.0 && rep.mean_utilization() <= 1.0);
 }
@@ -133,8 +144,8 @@ fn graph_io_roundtrip_preserves_costs() {
     let pair = InstanceGenerator::paper_family(9).generate(&mut rng);
     // Round-trip the TIG through the text format and rebuild the
     // instance; every mapping must cost the same.
-    let tig2 = matchkit::graph::TaskGraph::new(from_text(&to_text(pair.tig.graph())).unwrap())
-        .unwrap();
+    let tig2 =
+        matchkit::graph::TaskGraph::new(from_text(&to_text(pair.tig.graph())).unwrap()).unwrap();
     let inst1 = MappingInstance::new(&pair.tig, &pair.resources);
     let inst2 = MappingInstance::new(&tig2, &pair.resources);
     for seed in 0..10 {
