@@ -8,7 +8,7 @@
 
 use match_core::{
     record_run_end, record_run_start, IncrementalCost, Mapper, MapperOutcome, Mapping,
-    MappingInstance,
+    MappingInstance, StopToken,
 };
 use match_rngutil::perm::random_permutation;
 use match_telemetry::{Event, IterEvent, NullRecorder, Recorder};
@@ -63,6 +63,7 @@ impl HillClimber {
         inst: &MappingInstance,
         start: Vec<usize>,
         budget: u64,
+        stop: &StopToken,
     ) -> (Vec<usize>, f64, u64) {
         let n = inst.n_tasks();
         let r = inst.n_resources();
@@ -70,6 +71,11 @@ impl HillClimber {
         let mut inc = IncrementalCost::new(inst, start);
         let mut evals: u64 = 1;
         loop {
+            // Polled once per neighbourhood scan (O(n²) evaluations), so
+            // cancellation lands between scans with the state consistent.
+            if stop.should_stop() {
+                break;
+            }
             let current = inc.cost();
             let mut best_delta_cost = current;
             let mut best_op: Option<(usize, usize)> = None;
@@ -142,6 +148,20 @@ impl Mapper for HillClimber {
         rng: &mut StdRng,
         recorder: &mut dyn Recorder,
     ) -> MapperOutcome {
+        self.map_controlled(inst, rng, recorder, &StopToken::never())
+    }
+
+    /// Cancellation override: the stop token is polled between restarts
+    /// and between neighbourhood scans inside a descent. The first
+    /// descent always returns a valid assignment even when the token is
+    /// already tripped at entry.
+    fn map_controlled(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+        stop: &StopToken,
+    ) -> MapperOutcome {
         self.validate();
         record_run_start(recorder, "HillClimb", inst);
         let traced = recorder.enabled();
@@ -156,6 +176,9 @@ impl Mapper for HillClimber {
             if total_evals >= self.max_evaluations {
                 break;
             }
+            if descents > 0 && stop.should_stop() {
+                break;
+            }
             let descent_start = traced.then(Instant::now);
             let start: Vec<usize> = if inst.is_square() {
                 random_permutation(n, rng)
@@ -163,7 +186,7 @@ impl Mapper for HillClimber {
                 (0..n).map(|_| rng.random_range(0..r)).collect()
             };
             let (assign, cost, evals) =
-                self.descend(inst, start, self.max_evaluations - total_evals);
+                self.descend(inst, start, self.max_evaluations - total_evals, stop);
             total_evals += evals;
             descents += 1;
             if cost < best_cost {
@@ -267,6 +290,38 @@ mod tests {
             max_evaluations: 0,
         };
         climber.map(&inst, &mut StdRng::seed_from_u64(71));
+    }
+
+    #[test]
+    fn tripped_stop_token_stops_after_first_descent_scan() {
+        use match_core::StopFlag;
+        let inst = instance(10, 1);
+        let flag = StopFlag::new();
+        flag.trip();
+        let out = HillClimber::default().map_controlled(
+            &inst,
+            &mut StdRng::seed_from_u64(2),
+            &mut NullRecorder,
+            &StopToken::with_flag(flag),
+        );
+        assert_eq!(out.iterations, 1, "only the first restart runs");
+        assert!(out.mapping.is_permutation());
+        assert!((out.cost - exec_time(&inst, out.mapping.as_slice())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_token_matches_plain_run() {
+        let inst = instance(10, 1);
+        let plain = HillClimber::default().map(&inst, &mut StdRng::seed_from_u64(2));
+        let controlled = HillClimber::default().map_controlled(
+            &inst,
+            &mut StdRng::seed_from_u64(2),
+            &mut NullRecorder,
+            &StopToken::never(),
+        );
+        assert_eq!(plain.mapping, controlled.mapping);
+        assert_eq!(plain.cost, controlled.cost);
+        assert_eq!(plain.evaluations, controlled.evaluations);
     }
 
     #[test]

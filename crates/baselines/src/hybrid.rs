@@ -10,7 +10,10 @@
 //! include it, so it lives with the baselines as an extension.
 
 use crate::hillclimb::HillClimber;
-use match_core::{IncrementalCost, Mapper, MapperOutcome, Mapping, MappingInstance, Matcher};
+use match_core::{
+    IncrementalCost, Mapper, MapperOutcome, Mapping, MappingInstance, Matcher, StopToken,
+};
+use match_telemetry::{NullRecorder, Recorder};
 use rand::rngs::StdRng;
 use std::time::Instant;
 
@@ -74,8 +77,32 @@ impl Mapper for PolishedMatcher {
     }
 
     fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
+        self.map_controlled(inst, rng, &mut NullRecorder, &StopToken::never())
+    }
+
+    /// Cancellation override: the stop token is threaded into the CE
+    /// stage (polled per iteration) and, if it has fired by the time CE
+    /// returns, the polish stage is skipped entirely — the CE result is
+    /// already valid and the deadline has passed.
+    fn map_controlled(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        _recorder: &mut dyn Recorder,
+        stop: &StopToken,
+    ) -> MapperOutcome {
         let start = Instant::now();
-        let ce = self.matcher.run(inst, rng);
+        let ce = self
+            .matcher
+            .run_controlled(inst, rng, &mut NullRecorder, stop);
+        if stop.should_stop() {
+            let outcome = ce.into_mapper_outcome();
+            return MapperOutcome {
+                elapsed: start.elapsed(),
+                ..outcome
+            };
+        }
+        let ce = ce.into_mapper_outcome();
         let budget = if self.polish_budget == 1 {
             // Default: one full swap-neighbourhood scan per task pair,
             // a few times over.
@@ -156,6 +183,40 @@ mod tests {
             .evaluations;
         let out = m.map(&inst, &mut StdRng::seed_from_u64(5));
         assert!(out.evaluations <= plain_evals + 55);
+    }
+
+    #[test]
+    fn tripped_stop_token_skips_polish() {
+        use match_core::StopFlag;
+        let inst = instance(10, 1);
+        let flag = StopFlag::new();
+        flag.trip();
+        let out = PolishedMatcher::default().map_controlled(
+            &inst,
+            &mut StdRng::seed_from_u64(2),
+            &mut NullRecorder,
+            &StopToken::with_flag(flag),
+        );
+        // The CE stage cancels after one iteration and the polish stage
+        // is skipped, so the result is exactly the truncated CE result.
+        assert_eq!(out.iterations, 1);
+        assert!(out.mapping.is_permutation());
+        assert_eq!(out.cost, exec_time(&inst, out.mapping.as_slice()));
+    }
+
+    #[test]
+    fn never_token_matches_plain_run() {
+        let inst = instance(9, 6);
+        let m = PolishedMatcher::default();
+        let plain = m.map(&inst, &mut StdRng::seed_from_u64(7));
+        let controlled = m.map_controlled(
+            &inst,
+            &mut StdRng::seed_from_u64(7),
+            &mut NullRecorder,
+            &StopToken::never(),
+        );
+        assert_eq!(plain.mapping, controlled.mapping);
+        assert_eq!(plain.cost, controlled.cost);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Random search and round-robin baselines.
 
-use match_core::{exec_time, Mapper, MapperOutcome, Mapping, MappingInstance};
+use match_core::{exec_time, Mapper, MapperOutcome, Mapping, MappingInstance, StopToken};
 use match_rngutil::perm::random_permutation;
+use match_telemetry::Recorder;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::time::Instant;
@@ -31,12 +32,31 @@ impl Mapper for RandomSearch {
     }
 
     fn map(&self, inst: &MappingInstance, rng: &mut StdRng) -> MapperOutcome {
+        self.map_controlled(
+            inst,
+            rng,
+            &mut match_telemetry::NullRecorder,
+            &StopToken::never(),
+        )
+    }
+
+    /// Cancellation override: the stop token is polled every 256 samples
+    /// (each sample is a full O(V+E) evaluation, so the poll is noise).
+    /// At least one sample is always drawn.
+    fn map_controlled(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        _recorder: &mut dyn Recorder,
+        stop: &StopToken,
+    ) -> MapperOutcome {
         let start = Instant::now();
         let n = inst.n_tasks();
         let r = inst.n_resources();
         let mut best: Option<Vec<usize>> = None;
         let mut best_cost = f64::INFINITY;
-        for _ in 0..self.samples {
+        let mut drawn = 0usize;
+        for sample in 0..self.samples {
             let assign: Vec<usize> = if inst.is_square() {
                 random_permutation(n, rng)
             } else {
@@ -47,12 +67,16 @@ impl Mapper for RandomSearch {
                 best_cost = c;
                 best = Some(assign);
             }
+            drawn = sample + 1;
+            if drawn.is_multiple_of(256) && stop.should_stop() {
+                break;
+            }
         }
         MapperOutcome {
             mapping: Mapping::new(best.expect("samples >= 1")),
             cost: best_cost,
-            evaluations: self.samples as u64,
-            iterations: self.samples,
+            evaluations: drawn as u64,
+            iterations: drawn,
             elapsed: start.elapsed(),
         }
     }
@@ -146,5 +170,23 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn zero_samples_rejected() {
         RandomSearch::new(0);
+    }
+
+    #[test]
+    fn tripped_stop_token_truncates_sampling() {
+        use match_core::StopFlag;
+        use match_telemetry::NullRecorder;
+        let inst = instance(9, 1);
+        let flag = StopFlag::new();
+        flag.trip();
+        let out = RandomSearch::new(100_000).map_controlled(
+            &inst,
+            &mut StdRng::seed_from_u64(2),
+            &mut NullRecorder,
+            &StopToken::with_flag(flag),
+        );
+        assert_eq!(out.evaluations, 256, "stops at the first poll point");
+        assert!(out.mapping.is_permutation());
+        assert_eq!(out.cost, exec_time(&inst, out.mapping.as_slice()));
     }
 }

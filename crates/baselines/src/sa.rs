@@ -6,7 +6,7 @@
 
 use match_core::{
     record_run_end, record_run_start, IncrementalCost, Mapper, MapperOutcome, Mapping,
-    MappingInstance,
+    MappingInstance, StopToken,
 };
 use match_rngutil::perm::random_permutation;
 use match_telemetry::{Event, IterEvent, Recorder};
@@ -127,6 +127,20 @@ impl Mapper for SimulatedAnnealing {
         rng: &mut StdRng,
         recorder: &mut dyn Recorder,
     ) -> MapperOutcome {
+        self.map_controlled(inst, rng, recorder, &StopToken::never())
+    }
+
+    /// Cancellation override: the stop token is polled every 1024 moves
+    /// (an `Instant::now()` per move would dominate the move itself), so
+    /// a fired deadline returns the best-so-far permutation within a
+    /// thousand moves. `iterations` reports the moves actually proposed.
+    fn map_controlled(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+        stop: &StopToken,
+    ) -> MapperOutcome {
         self.validate();
         record_run_start(recorder, "SimAnneal", inst);
         let traced = recorder.enabled();
@@ -167,6 +181,7 @@ impl Mapper for SimulatedAnnealing {
         let mut epoch_accepted: u64 = 0;
         let mut epoch_start = traced.then(Instant::now);
 
+        let mut steps_run: u64 = 0;
         for step in 0..self.iterations {
             let current = inc.cost();
             let candidate_cost;
@@ -220,13 +235,17 @@ impl Mapper for SimulatedAnnealing {
                 epoch_accepted = 0;
                 epoch_start = Some(Instant::now());
             }
+            steps_run = step + 1;
+            if steps_run.is_multiple_of(1024) && stop.should_stop() {
+                break;
+            }
         }
 
         let outcome = MapperOutcome {
             mapping: Mapping::new(best),
             cost: best_cost,
             evaluations: evals,
-            iterations: self.iterations as usize,
+            iterations: steps_run as usize,
             elapsed: start_t.elapsed(),
         };
         record_run_end(recorder, &outcome);
@@ -314,6 +333,42 @@ mod tests {
             ..SimulatedAnnealing::default()
         };
         sa.map(&inst, &mut StdRng::seed_from_u64(61));
+    }
+
+    #[test]
+    fn tripped_stop_token_truncates_the_move_budget() {
+        use match_core::StopFlag;
+        use match_telemetry::NullRecorder;
+        let inst = instance(10, 1);
+        let sa = SimulatedAnnealing::new(100_000, 0.9995);
+        let flag = StopFlag::new();
+        flag.trip();
+        let out = sa.map_controlled(
+            &inst,
+            &mut StdRng::seed_from_u64(2),
+            &mut NullRecorder,
+            &StopToken::with_flag(flag),
+        );
+        assert_eq!(out.iterations, 1024, "stops at the first poll point");
+        assert!(out.mapping.is_permutation());
+        assert!((out.cost - exec_time(&inst, out.mapping.as_slice())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_token_matches_plain_run() {
+        use match_telemetry::NullRecorder;
+        let inst = instance(8, 5);
+        let sa = SimulatedAnnealing::new(10_000, 0.999);
+        let plain = sa.map(&inst, &mut StdRng::seed_from_u64(6));
+        let controlled = sa.map_controlled(
+            &inst,
+            &mut StdRng::seed_from_u64(6),
+            &mut NullRecorder,
+            &StopToken::never(),
+        );
+        assert_eq!(plain.mapping, controlled.mapping);
+        assert_eq!(plain.cost, controlled.cost);
+        assert_eq!(plain.iterations, controlled.iterations);
     }
 
     #[test]

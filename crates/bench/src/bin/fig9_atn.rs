@@ -4,16 +4,19 @@
 //!
 //! ```text
 //! cargo run -p match-bench --release --bin fig9_atn
+//! cargo run -p match-bench --release --bin fig9_atn -- --trace results/traces
 //! ```
 
-use match_bench::report::{chart_atn, sweep_cached, write_results_file};
+use match_bench::report::{
+    chart_atn, sweep_cached_traced, trace_dir_from_args, write_results_file,
+};
 use match_bench::sweep::Profile;
 use match_viz::{format_sig, Table};
 
 fn main() {
     let profile = Profile::from_env();
     eprintln!("[fig9] profile: {profile:?}");
-    let data = sweep_cached(profile);
+    let data = sweep_cached_traced(profile, trace_dir_from_args().as_deref());
 
     // A companion table with the exact ATN numbers.
     let mut header = vec!["ATN = ET + MT".to_string()];

@@ -4,15 +4,18 @@
 //! ```text
 //! cargo run -p match-bench --release --bin table1_et
 //! MATCH_BENCH_PROFILE=quick cargo run -p match-bench --release --bin table1_et
+//! cargo run -p match-bench --release --bin table1_et -- --trace results/traces
 //! ```
 
-use match_bench::report::{chart_et, sweep_cached, table_et, write_results_file};
+use match_bench::report::{
+    chart_et, sweep_cached_traced, table_et, trace_dir_from_args, write_results_file,
+};
 use match_bench::sweep::Profile;
 
 fn main() {
     let profile = Profile::from_env();
     eprintln!("[table1] profile: {profile:?}");
-    let data = sweep_cached(profile);
+    let data = sweep_cached_traced(profile, trace_dir_from_args().as_deref());
     let table = table_et(&data, "FastMap-GA", "MaTCH");
     let chart = chart_et(&data);
     let text = format!("{}\n{}", table.render(), chart.render());

@@ -4,15 +4,18 @@
 //!
 //! ```text
 //! cargo run -p match-bench --release --bin table2_mt
+//! cargo run -p match-bench --release --bin table2_mt -- --trace results/traces
 //! ```
 
-use match_bench::report::{chart_mt, sweep_cached, table_mt, write_results_file};
+use match_bench::report::{
+    chart_mt, sweep_cached_traced, table_mt, trace_dir_from_args, write_results_file,
+};
 use match_bench::sweep::Profile;
 
 fn main() {
     let profile = Profile::from_env();
     eprintln!("[table2] profile: {profile:?}");
-    let data = sweep_cached(profile);
+    let data = sweep_cached_traced(profile, trace_dir_from_args().as_deref());
     let table = table_mt(&data, "FastMap-GA", "MaTCH");
     let chart = chart_mt(&data);
     let text = format!("{}\n{}", table.render(), chart.render());

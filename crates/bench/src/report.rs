@@ -267,6 +267,30 @@ pub fn parse_sweep_csv(text: &str) -> Option<SweepData> {
 /// sweep-derived artefacts (Tables 1–2, Figures 7–9) share one run this
 /// way.
 pub fn sweep_cached(profile: crate::sweep::Profile) -> SweepData {
+    sweep_cached_traced(profile, None)
+}
+
+/// `--trace DIR` from a binary's raw argument list: the directory sweep
+/// cells archive their JSONL traces into. A bare `--trace` without a
+/// value aborts with a usage message rather than silently not tracing.
+pub fn trace_dir_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().position(|a| a == "--trace") {
+        Some(i) => match args.get(i + 1) {
+            Some(dir) if !dir.starts_with("--") => Some(std::path::PathBuf::from(dir)),
+            _ => {
+                eprintln!("usage: --trace DIR (per-cell JSONL traces are written under DIR)");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    }
+}
+
+/// [`sweep_cached`] with optional per-cell trace archiving. A trace
+/// request forces a fresh sweep (an existing cache has no runs to
+/// trace); the refreshed result is re-cached as usual.
+pub fn sweep_cached_traced(profile: crate::sweep::Profile, trace_dir: Option<&Path>) -> SweepData {
     let cfg = crate::sweep::SweepConfig::for_profile(profile);
     let cache = format!(
         "sweep_cache_{}.csv",
@@ -277,7 +301,7 @@ pub fn sweep_cached(profile: crate::sweep::Profile) -> SweepData {
     );
     let path = Path::new("results").join(&cache);
     let refresh = std::env::var("MATCH_BENCH_REFRESH").is_ok_and(|v| v == "1");
-    if !refresh {
+    if !refresh && trace_dir.is_none() {
         if let Ok(text) = std::fs::read_to_string(&path) {
             if let Some(data) = parse_sweep_csv(&text) {
                 eprintln!("[sweep] loaded cache {}", path.display());
@@ -286,7 +310,10 @@ pub fn sweep_cached(profile: crate::sweep::Profile) -> SweepData {
         }
     }
     let (ga, matcher) = crate::sweep::paper_pair(&cfg);
-    let data = crate::sweep::run_sweep(&[&ga, &matcher], &cfg, false);
+    let data = crate::sweep::run_sweep_traced(&[&ga, &matcher], &cfg, false, trace_dir);
+    if let Some(dir) = trace_dir {
+        eprintln!("[sweep] per-cell traces under {}", dir.display());
+    }
     if let Ok(p) = write_results_file(&cache, &sweep_csv(&data)) {
         eprintln!("[sweep] cached to {}", p.display());
     }

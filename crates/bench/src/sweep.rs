@@ -6,6 +6,8 @@ use match_ga::{FastMapGa, GaConfig};
 use match_graph::gen::paper::PaperFamilyConfig;
 use match_rngutil::SeedSequence;
 use match_stats::OnlineStats;
+use match_telemetry::JsonlRecorder;
+use std::path::{Path, PathBuf};
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -196,6 +198,35 @@ impl SweepData {
 /// Run `mappers` over the configured sweep. Progress lines go to stderr
 /// (`quiet = false`) so long paper-scale runs show life.
 pub fn run_sweep(mappers: &[&dyn Mapper], cfg: &SweepConfig, quiet: bool) -> SweepData {
+    run_sweep_traced(mappers, cfg, quiet, None)
+}
+
+/// The per-cell JSONL trace file under `dir` for one sweep run.
+fn cell_trace_path(dir: &Path, name: &str, size: usize, graph: usize, run: usize) -> PathBuf {
+    // Heuristic names are short ASCII but may carry '+' or '-'; keep
+    // alphanumerics and map the rest to '_' for portable file names.
+    let slug: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    dir.join(format!("{slug}_n{size}_g{graph}_r{run}.jsonl"))
+}
+
+/// [`run_sweep`] with per-cell trace archiving: when `trace_dir` is
+/// given, every `(heuristic, size, graph, run)` cell streams its solver
+/// telemetry to its own JSONL file in that directory (inspect any of
+/// them with `matchctl report`). Tracing must not perturb results — the
+/// RNG stream is independent of the recorder.
+pub fn run_sweep_traced(
+    mappers: &[&dyn Mapper],
+    cfg: &SweepConfig,
+    quiet: bool,
+    trace_dir: Option<&Path>,
+) -> SweepData {
+    if let Some(dir) = trace_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("creating trace dir {}: {e}", dir.display()));
+    }
     let names: Vec<String> = mappers.iter().map(|m| m.name().to_string()).collect();
     let mut cells: Vec<Vec<CellStats>> = mappers
         .iter()
@@ -208,7 +239,19 @@ pub fn run_sweep(mappers: &[&dyn Mapper], cfg: &SweepConfig, quiet: bool) -> Swe
             for (hi, mapper) in mappers.iter().enumerate() {
                 for run in 0..cfg.runs_per_graph {
                     let mut rng = cfg.run_rng(hi, size, g, run);
-                    let out = mapper.map(&inst, &mut rng);
+                    let out = match trace_dir {
+                        Some(dir) => {
+                            let path = cell_trace_path(dir, mapper.name(), size, g, run);
+                            let mut rec = JsonlRecorder::create(&path).unwrap_or_else(|e| {
+                                panic!("creating trace {}: {e}", path.display())
+                            });
+                            let out = mapper.map_traced(&inst, &mut rng, &mut rec);
+                            rec.finish()
+                                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+                            out
+                        }
+                        None => mapper.map(&inst, &mut rng),
+                    };
                     debug_assert!(out.mapping.validate(&inst).is_ok());
                     cells[hi][si].push(&out);
                     if !quiet {
@@ -277,6 +320,39 @@ mod tests {
         assert_eq!(data.cells[0][0].et.len(), 4);
         assert!(data.cells[0][0].mean_et() > 0.0);
         assert_eq!(data.cells[0][0].mean_evals(), 10.0);
+    }
+
+    #[test]
+    fn traced_sweep_archives_one_file_per_cell() {
+        use match_telemetry::{read_trace_file, Event};
+        let cfg = tiny_cfg();
+        let dir = std::env::temp_dir().join(format!(
+            "match-sweep-trace-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        // A mapper that records telemetry (RandomSearch records none).
+        let hc = match_baselines::HillClimber::new(1, 500);
+        let traced = run_sweep_traced(&[&hc], &cfg, true, Some(&dir));
+        // 2 sizes × 2 graphs × 2 runs = 8 trace files.
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        assert_eq!(files.len(), 8, "{files:?}");
+        for f in &files {
+            let events = read_trace_file(f).unwrap();
+            assert!(
+                matches!(events.first(), Some(Event::RunStart { .. })),
+                "{f:?}"
+            );
+            assert!(matches!(events.last(), Some(Event::RunEnd { .. })), "{f:?}");
+        }
+        // Tracing must not perturb the results.
+        let plain = run_sweep(&[&hc], &cfg, true);
+        assert_eq!(traced.cells[0][0].et, plain.cells[0][0].et);
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

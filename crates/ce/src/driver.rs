@@ -86,6 +86,9 @@ pub enum StopReason {
     Degenerate,
     /// Iteration cap reached.
     MaxIters,
+    /// The caller's stop predicate fired (deadline or external
+    /// cancellation); the outcome holds the best sample found so far.
+    Cancelled,
 }
 
 /// Telemetry of one iteration.
@@ -205,9 +208,39 @@ pub fn minimize_traced<M, E, O>(
     model: &mut M,
     config: &CeConfig,
     rng: &mut StdRng,
+    evaluate: E,
+    observe: O,
+    recorder: &mut dyn Recorder,
+) -> CeOutcome<M::Sample>
+where
+    M: CeModel,
+    M::Sample: Clone,
+    E: FnMut(&[M::Sample], &mut dyn Recorder) -> Vec<f64>,
+    O: FnMut(usize, &M),
+{
+    minimize_controlled(model, config, rng, evaluate, observe, recorder, &|| false)
+}
+
+/// [`minimize_traced`] with cooperative cancellation: `should_stop` is
+/// polled once per iteration (after the incumbent update, so at least
+/// one iteration always completes and the outcome always holds a valid
+/// best sample). When it fires the loop exits with
+/// [`StopReason::Cancelled`].
+///
+/// The predicate is a plain closure rather than a token type so this
+/// crate stays independent of `match-core` (which depends on it);
+/// callers thread `StopToken::should_stop` through here. Polling must
+/// not consume randomness — an uncancelled run follows exactly the
+/// same RNG trajectory as [`minimize_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn minimize_controlled<M, E, O>(
+    model: &mut M,
+    config: &CeConfig,
+    rng: &mut StdRng,
     mut evaluate: E,
     mut observe: O,
     recorder: &mut dyn Recorder,
+    should_stop: &dyn Fn() -> bool,
 ) -> CeOutcome<M::Sample>
 where
     M: CeModel,
@@ -340,6 +373,12 @@ where
         }
         if model.is_degenerate(config.degeneracy_tol) {
             stop_reason = StopReason::Degenerate;
+            break;
+        }
+        // Cooperative cancellation, polled last so the incumbent from
+        // this iteration is already captured.
+        if should_stop() {
+            stop_reason = StopReason::Cancelled;
             break;
         }
     }
@@ -530,6 +569,64 @@ mod tests {
         let mut cfg = CeConfig::with_sample_size(10);
         cfg.max_iters = 0;
         minimize(&mut model, &cfg, &mut StdRng::seed_from_u64(89), |_| 0.0);
+    }
+
+    #[test]
+    fn cancellation_fires_after_one_iteration() {
+        use match_telemetry::NullRecorder;
+        // A hostile predicate that is always true still lets one
+        // iteration run, so the outcome has a valid incumbent.
+        let mut model = BernoulliModel::uniform(16);
+        let cfg = CeConfig::with_sample_size(20);
+        let mut rng = StdRng::seed_from_u64(91);
+        let out = minimize_controlled(
+            &mut model,
+            &cfg,
+            &mut rng,
+            |samples, _r| {
+                samples
+                    .iter()
+                    .map(|s| s.iter().filter(|&&b| b).count() as f64)
+                    .collect()
+            },
+            |_, _| {},
+            &mut NullRecorder,
+            &|| true,
+        );
+        assert_eq!(out.iterations, 1);
+        assert_eq!(out.stop_reason, StopReason::Cancelled);
+        assert!(out.best_cost.is_finite());
+    }
+
+    #[test]
+    fn never_firing_predicate_changes_nothing() {
+        // Same seed, with and without a (never-firing) stop predicate:
+        // identical trajectories, because polling consumes no RNG.
+        use match_telemetry::NullRecorder;
+        let target = vec![true, false, true, true, false, false, true, false];
+        let cfg = CeConfig::with_sample_size(100);
+        let mut m1 = BernoulliModel::uniform(target.len());
+        let plain = minimize(
+            &mut m1,
+            &cfg,
+            &mut StdRng::seed_from_u64(81),
+            hamming_cost(&target),
+        );
+        let mut m2 = BernoulliModel::uniform(target.len());
+        let cost = hamming_cost(&target);
+        let controlled = minimize_controlled(
+            &mut m2,
+            &cfg,
+            &mut StdRng::seed_from_u64(81),
+            |samples, _r| samples.iter().map(&cost).collect(),
+            |_, _| {},
+            &mut NullRecorder,
+            &|| false,
+        );
+        assert_eq!(plain.best_sample, controlled.best_sample);
+        assert_eq!(plain.best_cost, controlled.best_cost);
+        assert_eq!(plain.iterations, controlled.iterations);
+        assert_eq!(plain.stop_reason, controlled.stop_reason);
     }
 
     #[test]

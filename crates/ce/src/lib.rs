@@ -45,8 +45,8 @@ pub mod rare_event;
 pub mod stochmatrix;
 
 pub use driver::{
-    minimize, minimize_traced, minimize_with, CeConfig, CeOutcome, CeTelemetry, IterStats,
-    StopReason,
+    minimize, minimize_controlled, minimize_traced, minimize_with, CeConfig, CeOutcome,
+    CeTelemetry, IterStats, StopReason,
 };
 pub use model::CeModel;
 pub use models::assignment::AssignmentModel;

@@ -12,6 +12,7 @@ use match_graph::gen::overset::OversetConfig;
 use match_graph::gen::paper::PaperFamilyConfig;
 use match_graph::io::{from_text, to_dot, to_text};
 use match_graph::{ResourceGraph, TaskGraph};
+use match_serve::{Client, Request, Response, ServeConfig, Server, SolveRequest};
 use match_sim::{SimConfig, SimMode, Simulator};
 use match_telemetry::{read_trace_file, JsonlRecorder, NullRecorder, TraceSummary};
 use rand::rngs::StdRng;
@@ -32,6 +33,10 @@ pub enum Command {
     Report,
     /// Export an instance to Graphviz DOT.
     Dot,
+    /// Run the mapping-service daemon.
+    Serve,
+    /// Submit work to a running daemon.
+    Submit,
     /// Print usage.
     Help,
 }
@@ -45,6 +50,8 @@ impl Command {
             "simulate" | "sim" => Ok(Command::Simulate),
             "report" => Ok(Command::Report),
             "dot" => Ok(Command::Dot),
+            "serve" => Ok(Command::Serve),
+            "submit" => Ok(Command::Submit),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(CliError::UnknownCommand(other.to_string())),
         }
@@ -63,8 +70,15 @@ USAGE:
                     [--trace FILE.jsonl]
   matchctl simulate --tig FILE --platform FILE --mapping FILE
                     [--rounds N] [--blocking | --link] [--trace FILE.jsonl]
-  matchctl report   TRACE.jsonl
+  matchctl report   TRACE.jsonl [--gantt]
   matchctl dot      --tig FILE (or --platform FILE)
+  matchctl serve    [--addr HOST:PORT] [--workers N] [--queue-cap N]
+                    [--cache-cap N] [--trace FILE.jsonl] [--addr-file FILE]
+  matchctl submit   [--addr HOST:PORT] --tig FILE --platform FILE
+                    [--algo ALGO] [--seed S] [--deadline-ms MS] [--id ID]
+  matchctl submit   [--addr HOST:PORT] --batch FILE   (lines: TIG PLATFORM
+                    [ALGO [SEED [DEADLINE_MS]]])
+  matchctl submit   [--addr HOST:PORT] --stats | --shutdown
   matchctl help
 
 ALGO: match (default) | islands | polish | ga | fastmap | bisect | greedy
@@ -86,6 +100,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Command::Simulate => cmd_simulate(args),
         Command::Report => cmd_report(args),
         Command::Dot => cmd_dot(args),
+        Command::Serve => cmd_serve(args),
+        Command::Submit => cmd_submit(args),
     }
 }
 
@@ -317,7 +333,14 @@ fn cmd_report(args: &Args) -> Result<String, CliError> {
     if events.is_empty() {
         return Err(CliError::Io(format!("{path}: trace contains no events")));
     }
-    Ok(TraceSummary::from_events(&events).render())
+    let mut text = TraceSummary::from_events(&events).render();
+    if args.has_switch("gantt") {
+        match match_viz::trace_gantt(&events, 72, "\nschedule timeline (█ busy, ▒ idle):") {
+            Some(chart) => text.push_str(&chart),
+            None => text.push_str("\n(no schedule spans in this trace — run `matchctl simulate --trace` to record one)\n"),
+        }
+    }
+    Ok(text)
 }
 
 fn cmd_dot(args: &Args) -> Result<String, CliError> {
@@ -330,6 +353,217 @@ fn cmd_dot(args: &Args) -> Result<String, CliError> {
     } else {
         Err(CliError::MissingOption("tig (or platform)".into()))
     }
+}
+
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: args.get_or("addr", &defaults.addr).to_string(),
+        workers: args.parse_or("workers", defaults.workers)?,
+        queue_cap: args.parse_or("queue-cap", defaults.queue_cap)?,
+        cache_cap: args.parse_or("cache-cap", defaults.cache_cap)?,
+        trace: trace_path(args)?.map(std::path::PathBuf::from),
+    };
+    let trace_file = config.trace.clone();
+    let handle = Server::start(config.clone())
+        .map_err(|e| CliError::Io(format!("starting server on {}: {e}", config.addr)))?;
+    let addr = handle.local_addr();
+    // `:0` binds an ephemeral port; scripts discover it via --addr-file.
+    if let Some(path) = args.options.get("addr-file") {
+        write(path, &format!("{addr}\n"))?;
+    }
+    // Announce readiness on stdout immediately: `run` only prints its
+    // return value, and the daemon blocks here until a client sends
+    // `shutdown`.
+    println!(
+        "match-serve listening on {addr} ({} workers, queue cap {}, cache cap {})",
+        config.workers, config.queue_cap, config.cache_cap
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let summary = handle
+        .wait()
+        .map_err(|e| CliError::Io(format!("shutting down: {e}")))?;
+    let s = &summary.stats;
+    let mut text = format!(
+        "match-serve stopped after {:.1}s: {} jobs ({} cache hits, {} misses), {} rejected, {} cancelled\n",
+        summary.wall.as_secs_f64(),
+        s.jobs,
+        s.cache_hits,
+        s.cache_misses,
+        s.rejected,
+        s.cancelled,
+    );
+    if let (Some(lines), Some(path)) = (summary.trace_lines, trace_file) {
+        text.push_str(&format!("trace: {lines} events -> {}\n", path.display()));
+    }
+    Ok(text)
+}
+
+/// Render one daemon response as user-facing text.
+fn format_response(resp: &Response) -> String {
+    match resp {
+        Response::Solved(r) => {
+            let mut flags = String::new();
+            if r.cached {
+                flags.push_str(" [cached]");
+            }
+            if r.cancelled {
+                flags.push_str(" [cancelled]");
+            }
+            let mapping = r
+                .mapping
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            format!(
+                "{}: {} ET = {:.2} units (seed {}, {} evaluations, wait {:.1}ms, solve {:.1}ms){flags}\n  mapping: {mapping}\n",
+                r.id,
+                r.algo,
+                r.cost,
+                r.seed,
+                r.evaluations,
+                r.queue_wait_ns as f64 / 1e6,
+                r.solve_ns as f64 / 1e6,
+            )
+        }
+        Response::Rejected {
+            id,
+            queue_depth,
+            queue_cap,
+        } => format!("{id}: rejected — queue full ({queue_depth}/{queue_cap})\n"),
+        Response::Error { id, error } if id.is_empty() => format!("error: {error}\n"),
+        Response::Error { id, error } => format!("{id}: error — {error}\n"),
+        Response::Stats(s) => format!(
+            "jobs: {} (cache {} hits / {} misses)   rejected: {}   cancelled: {}\n\
+             queue: {}/{}   workers: {}\n",
+            s.jobs,
+            s.cache_hits,
+            s.cache_misses,
+            s.rejected,
+            s.cancelled,
+            s.queue_depth,
+            s.queue_cap,
+            s.workers,
+        ),
+        Response::Bye => "server acknowledged shutdown\n".to_string(),
+    }
+}
+
+/// Build the solve requests for `matchctl submit`: either one from
+/// `--tig/--platform`, or one per line of `--batch FILE`.
+fn submit_requests(args: &Args) -> Result<Vec<SolveRequest>, CliError> {
+    let default_algo = args
+        .options
+        .get("solver")
+        .map(String::as_str)
+        .unwrap_or_else(|| args.get_or("algo", "match"));
+    let default_seed: u64 = args.parse_or("seed", 1)?;
+    let deadline_ms: Option<u64> = match args.options.get("deadline-ms") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| CliError::BadValue("deadline-ms".into(), v.clone()))?,
+        ),
+    };
+    if let Some(batch) = args.options.get("batch") {
+        let mut reqs = Vec::new();
+        for (lineno, line) in read(batch)?.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() < 2 {
+                return Err(CliError::Io(format!(
+                    "{batch}:{}: expected `TIG PLATFORM [ALGO [SEED [DEADLINE_MS]]]`",
+                    lineno + 1
+                )));
+            }
+            let parse_u64 = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| CliError::Io(format!("{batch}:{}: bad number {v:?}", lineno + 1)))
+            };
+            reqs.push(SolveRequest {
+                id: format!("job-{}", reqs.len()),
+                algo: fields.get(2).unwrap_or(&default_algo).to_string(),
+                seed: match fields.get(3) {
+                    Some(v) => parse_u64(v)?,
+                    None => default_seed,
+                },
+                deadline_ms: match fields.get(4) {
+                    Some(v) => Some(parse_u64(v)?),
+                    None => deadline_ms,
+                },
+                tig: read(fields[0])?,
+                platform: read(fields[1])?,
+            });
+        }
+        if reqs.is_empty() {
+            return Err(CliError::Io(format!("{batch}: no requests in batch file")));
+        }
+        Ok(reqs)
+    } else {
+        Ok(vec![SolveRequest {
+            id: args.get_or("id", "job-0").to_string(),
+            algo: default_algo.to_string(),
+            seed: default_seed,
+            deadline_ms,
+            tig: read(args.required("tig")?)?,
+            platform: read(args.required("platform")?)?,
+        }])
+    }
+}
+
+fn cmd_submit(args: &Args) -> Result<String, CliError> {
+    let addr = args.get_or("addr", "127.0.0.1:7117");
+    let mut client =
+        Client::connect(addr).map_err(|e| CliError::Io(format!("connecting to {addr}: {e}")))?;
+    let net = |e: std::io::Error| CliError::Io(format!("talking to {addr}: {e}"));
+    let mut out = String::new();
+    let solving = args.options.contains_key("tig") || args.options.contains_key("batch");
+    if solving {
+        let reqs = submit_requests(args)?;
+        // Pipeline: send everything, then drain the same number of
+        // responses. The daemon replies out of completion order, so
+        // re-sort by submission order for stable output.
+        for req in &reqs {
+            client.send(&Request::Solve(req.clone())).map_err(net)?;
+        }
+        let order: std::collections::HashMap<&str, usize> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.id.as_str(), i))
+            .collect();
+        let mut resps = Vec::with_capacity(reqs.len());
+        for _ in 0..reqs.len() {
+            resps.push(client.recv().map_err(net)?);
+        }
+        resps.sort_by_key(|r| {
+            let id = match r {
+                Response::Solved(s) => s.id.as_str(),
+                Response::Rejected { id, .. } | Response::Error { id, .. } => id.as_str(),
+                _ => "",
+            };
+            order.get(id).copied().unwrap_or(usize::MAX)
+        });
+        for resp in &resps {
+            out.push_str(&format_response(resp));
+        }
+    }
+    if args.has_switch("stats") {
+        out.push_str(&format_response(&client.stats().map_err(net)?));
+    }
+    if args.has_switch("shutdown") {
+        out.push_str(&format_response(&client.shutdown().map_err(net)?));
+    }
+    if out.is_empty() {
+        return Err(CliError::MissingOption(
+            "tig/--batch (or --stats / --shutdown)".into(),
+        ));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -618,6 +852,9 @@ mod tests {
         assert!(s.contains("trace:"));
         let report = run_tokens(&["report", trace.to_str().unwrap()]).unwrap();
         assert!(report.contains("sim_items"));
+        let with_gantt = run_tokens(&["report", trace.to_str().unwrap(), "--gantt"]).unwrap();
+        assert!(with_gantt.contains("schedule timeline"), "{with_gantt}");
+        assert!(with_gantt.contains('█'), "{with_gantt}");
         std::fs::remove_dir_all(dir).ok();
     }
 
@@ -671,6 +908,137 @@ mod tests {
             "/nonexistent/b",
         ]);
         assert!(matches!(r, Err(CliError::Io(_))));
+    }
+
+    #[test]
+    fn serve_submit_roundtrip() {
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        let addr_file = dir.join("addr.txt");
+        let trace = dir.join("serve.jsonl");
+        let tig_s = tig.to_str().unwrap().to_string();
+        let plat_s = plat.to_str().unwrap().to_string();
+        run_tokens(&[
+            "gen",
+            "--size",
+            "6",
+            "--out-tig",
+            &tig_s,
+            "--out-platform",
+            &plat_s,
+        ])
+        .unwrap();
+
+        let addr_file_s = addr_file.to_str().unwrap().to_string();
+        let trace_s = trace.to_str().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            run_tokens(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--addr-file",
+                &addr_file_s,
+                "--trace",
+                &trace_s,
+            ])
+        });
+        // The daemon writes its ephemeral address before accepting.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                let s = s.trim().to_string();
+                if !s.is_empty() {
+                    break s;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "daemon never came up");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let s = run_tokens(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--tig",
+            &tig_s,
+            "--platform",
+            &plat_s,
+            "--algo",
+            "greedy",
+            "--seed",
+            "4",
+            "--id",
+            "first",
+        ])
+        .unwrap();
+        assert!(s.contains("first: Greedy ET ="), "{s}");
+        assert!(s.contains("mapping:"), "{s}");
+        assert!(!s.contains("[cached]"), "{s}");
+
+        // Identical resubmission is served from the result cache.
+        let s = run_tokens(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--tig",
+            &tig_s,
+            "--platform",
+            &plat_s,
+            "--algo",
+            "greedy",
+            "--seed",
+            "4",
+            "--id",
+            "again",
+            "--stats",
+        ])
+        .unwrap();
+        assert!(s.contains("again: Greedy ET ="), "{s}");
+        assert!(s.contains("[cached]"), "{s}");
+        assert!(s.contains("cache 1 hits"), "{s}");
+
+        // Batch file: two solvers over the same instance, then shutdown.
+        let batch = dir.join("batch.txt");
+        std::fs::write(
+            &batch,
+            format!("# two cells\n{tig_s} {plat_s} sa 7\n{tig_s} {plat_s} hill 7\n"),
+        )
+        .unwrap();
+        let s = run_tokens(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--batch",
+            batch.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(s.contains("job-0: SimAnneal ET ="), "{s}");
+        assert!(s.contains("job-1: HillClimb ET ="), "{s}");
+
+        let s = run_tokens(&["submit", "--addr", &addr, "--shutdown"]).unwrap();
+        assert!(s.contains("acknowledged shutdown"), "{s}");
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("match-serve stopped"), "{summary}");
+        assert!(summary.contains("4 jobs"), "{summary}");
+        assert!(summary.contains("1 cache hits"), "{summary}");
+        assert!(summary.contains("trace:"), "{summary}");
+
+        // The service trace summarises like any solver trace.
+        let report = run_tokens(&["report", trace.to_str().unwrap()]).unwrap();
+        assert!(report.contains("match-serve"), "{report}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn submit_without_work_is_an_error() {
+        let a = Args::parse(["submit", "--addr", "127.0.0.1:1"]).unwrap();
+        // Connection refused (nothing listening) or missing-option —
+        // either way it must not hang or panic.
+        assert!(run(&a).is_err());
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Cooperative cancellation for long-running solvers.
+//!
+//! The mapping daemon (`match-serve`) runs heuristics on behalf of
+//! remote clients with per-request deadlines, and a graceful shutdown
+//! must be able to interrupt a solve mid-flight. Rust offers no safe
+//! preemption, so cancellation is *cooperative*: the caller hands the
+//! solver a [`StopToken`] and the solver polls
+//! [`StopToken::should_stop`] at iteration boundaries (a CE iteration,
+//! a GA generation, an SA epoch, a hill-climbing restart). When the
+//! token fires, the solver stops early and returns the best mapping
+//! found so far — a truncated but valid [`MapperOutcome`].
+//!
+//! The poll is cheap by construction — one relaxed atomic load plus at
+//! most one monotonic clock read — so checking once per iteration adds
+//! nothing measurable to solver cost. Crucially, polling consumes no
+//! randomness: a solve that is never cancelled follows exactly the same
+//! RNG trajectory as one run without a token.
+//!
+//! [`MapperOutcome`]: crate::mapper::MapperOutcome
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shared flag that requests cancellation of one or more solves.
+///
+/// Clones share the same underlying flag; tripping any clone trips them
+/// all. The flag is one-way: once tripped it stays tripped.
+#[derive(Debug, Clone, Default)]
+pub struct StopFlag(Arc<AtomicBool>);
+
+impl StopFlag {
+    /// A fresh, untripped flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent.
+    pub fn trip(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_tripped(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// What a solver polls to decide whether to stop early: an optional
+/// [`StopFlag`] (externally tripped) and/or an optional deadline
+/// (checked against the monotonic clock at poll time — no watchdog
+/// thread involved).
+#[derive(Debug, Clone, Default)]
+pub struct StopToken {
+    flag: Option<StopFlag>,
+    deadline: Option<Instant>,
+}
+
+impl StopToken {
+    /// A token that never fires — the default for direct solver calls.
+    pub fn never() -> Self {
+        Self::default()
+    }
+
+    /// A token controlled by an external flag.
+    pub fn with_flag(flag: StopFlag) -> Self {
+        StopToken {
+            flag: Some(flag),
+            deadline: None,
+        }
+    }
+
+    /// A token that fires once the monotonic clock reaches `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        StopToken {
+            flag: None,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Add (or replace) a deadline on this token, keeping any flag.
+    pub fn and_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether this token can ever fire.
+    pub fn is_never(&self) -> bool {
+        self.flag.is_none() && self.deadline.is_none()
+    }
+
+    /// Poll the token: `true` once the flag is tripped or the deadline
+    /// has passed. Solvers call this at iteration boundaries.
+    pub fn should_stop(&self) -> bool {
+        if let Some(flag) = &self.flag {
+            if flag.is_tripped() {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn never_token_never_fires() {
+        let t = StopToken::never();
+        assert!(t.is_never());
+        assert!(!t.should_stop());
+    }
+
+    #[test]
+    fn flag_trips_all_clones() {
+        let flag = StopFlag::new();
+        let t = StopToken::with_flag(flag.clone());
+        assert!(!t.should_stop());
+        flag.clone().trip();
+        assert!(flag.is_tripped());
+        assert!(t.should_stop());
+    }
+
+    #[test]
+    fn expired_deadline_fires_immediately() {
+        let t = StopToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(!t.is_never());
+        assert!(t.should_stop());
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire() {
+        let t = StopToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!t.should_stop());
+    }
+
+    #[test]
+    fn and_deadline_keeps_flag() {
+        let flag = StopFlag::new();
+        let t = StopToken::with_flag(flag.clone())
+            .and_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!t.should_stop());
+        flag.trip();
+        assert!(t.should_stop(), "flag must still fire after and_deadline");
+    }
+}

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod cost;
 pub mod islands;
 pub mod mapper;
@@ -33,6 +34,7 @@ pub mod matcher;
 pub mod problem;
 pub mod quality;
 
+pub use control::{StopFlag, StopToken};
 pub use cost::{exec_per_resource, exec_time, CostModel, IncrementalCost};
 pub use islands::{IslandConfig, IslandMatcher};
 pub use mapper::{record_run_end, record_run_start, Mapper, MapperOutcome};

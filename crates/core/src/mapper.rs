@@ -6,6 +6,7 @@
 //! trait captures exactly that contract so the benchmark harness treats
 //! MaTCH, FastMap-GA and every baseline uniformly.
 
+use crate::control::StopToken;
 use crate::mapping::Mapping;
 use crate::problem::MappingInstance;
 use match_telemetry::{Event, Recorder};
@@ -52,6 +53,28 @@ pub trait Mapper {
     ) -> MapperOutcome {
         let _ = recorder;
         self.map(inst, rng)
+    }
+
+    /// [`Mapper::map_traced`] with cooperative cancellation: the solver
+    /// polls `stop` at iteration boundaries and, once it fires, returns
+    /// early with the best mapping found so far (still a valid
+    /// assignment — only the search is truncated).
+    ///
+    /// The default implementation ignores the token, which is the right
+    /// behaviour for constructive heuristics that finish in one pass
+    /// (greedy, round-robin, recursive bisection): they cannot be
+    /// meaningfully interrupted. Iterative solvers override this.
+    /// Polling must not consume randomness: an uncancelled controlled
+    /// run sees the same RNG stream as `map_traced`.
+    fn map_controlled(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+        stop: &StopToken,
+    ) -> MapperOutcome {
+        let _ = stop;
+        self.map_traced(inst, rng, recorder)
     }
 }
 

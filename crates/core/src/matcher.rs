@@ -12,11 +12,12 @@
 //! evaluations per iteration) and is fanned out across threads with
 //! `match-par`.
 
+use crate::control::StopToken;
 use crate::cost::exec_time;
 use crate::mapper::{record_run_start, Mapper, MapperOutcome};
 use crate::mapping::Mapping;
 use crate::problem::MappingInstance;
-use match_ce::driver::{minimize_traced, CeConfig, CeTelemetry, StopReason};
+use match_ce::driver::{minimize_controlled, minimize_traced, CeConfig, CeTelemetry, StopReason};
 use match_ce::model::CeModel;
 use match_ce::models::assignment::AssignmentModel;
 use match_ce::models::permutation::PermutationModel;
@@ -214,7 +215,44 @@ impl Matcher {
         );
         let n = inst.n_tasks();
         let mut model = PermutationModel::uniform(n);
-        self.drive(inst, rng, &mut model, |m| m.matrix().clone(), recorder)
+        self.drive(
+            inst,
+            rng,
+            &mut model,
+            |m| m.matrix().clone(),
+            recorder,
+            &StopToken::never(),
+        )
+    }
+
+    /// [`Matcher::run_traced`] with cooperative cancellation: `stop` is
+    /// polled once per CE iteration; when it fires the run ends with
+    /// [`StopReason::Cancelled`] and the best mapping found so far.
+    pub fn run_controlled(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+        stop: &StopToken,
+    ) -> MatchOutcome {
+        self.config.validate();
+        assert!(
+            inst.is_square(),
+            "MaTCH's GenPerm model needs |V_t| = |V_r| (got {} tasks, {} resources); \
+             use run_many_to_one instead",
+            inst.n_tasks(),
+            inst.n_resources()
+        );
+        let n = inst.n_tasks();
+        let mut model = PermutationModel::uniform(n);
+        self.drive(
+            inst,
+            rng,
+            &mut model,
+            |m| m.matrix().clone(),
+            recorder,
+            stop,
+        )
     }
 
     /// The many-to-one generalisation: rows are sampled independently
@@ -229,6 +267,7 @@ impl Matcher {
             &mut model,
             |m| m.matrix().clone(),
             &mut NullRecorder,
+            &StopToken::never(),
         )
     }
 
@@ -292,6 +331,7 @@ impl Matcher {
         model: &mut M,
         snapshot: impl Fn(&M) -> StochasticMatrix,
         recorder: &mut dyn Recorder,
+        stop: &StopToken,
     ) -> MatchOutcome
     where
         M: CeModel<Sample = Vec<usize>>,
@@ -307,7 +347,7 @@ impl Matcher {
         // The evaluate closure runs once per CE iteration, in order; the
         // counter turns that into the iteration index for pool events.
         let eval_round = Cell::new(0u64);
-        let outcome = minimize_traced(
+        let outcome = minimize_controlled(
             model,
             &cfg,
             rng,
@@ -344,6 +384,7 @@ impl Matcher {
                 }
             },
             recorder,
+            &|| stop.should_stop(),
         );
         let result = MatchOutcome {
             mapping: Mapping::new(outcome.best_sample),
@@ -383,6 +424,17 @@ impl Mapper for Matcher {
         recorder: &mut dyn Recorder,
     ) -> MapperOutcome {
         self.run_traced(inst, rng, recorder).into_mapper_outcome()
+    }
+
+    fn map_controlled(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+        stop: &StopToken,
+    ) -> MapperOutcome {
+        self.run_controlled(inst, rng, recorder, stop)
+            .into_mapper_outcome()
     }
 }
 
@@ -665,6 +717,43 @@ mod tests {
         assert_eq!(mo.evaluations, evals);
         assert_eq!(mo.iterations, iters);
         assert_eq!(mo.mapping, mapping);
+    }
+
+    #[test]
+    fn tripped_stop_flag_cancels_after_one_iteration() {
+        use crate::control::StopFlag;
+        use match_telemetry::NullRecorder;
+        let inst = instance(10, 25);
+        let flag = StopFlag::new();
+        flag.trip();
+        let out = Matcher::new(small_config()).run_controlled(
+            &inst,
+            &mut StdRng::seed_from_u64(26),
+            &mut NullRecorder,
+            &StopToken::with_flag(flag),
+        );
+        assert_eq!(out.iterations, 1);
+        assert_eq!(out.stop_reason, StopReason::Cancelled);
+        // The truncated outcome is still a valid bijective mapping.
+        assert!(out.mapping.is_permutation());
+        assert_eq!(out.cost, exec_time(&inst, out.mapping.as_slice()));
+    }
+
+    #[test]
+    fn controlled_run_with_never_token_matches_plain_run() {
+        use match_telemetry::NullRecorder;
+        let inst = instance(8, 27);
+        let m = Matcher::new(small_config());
+        let plain = m.run(&inst, &mut StdRng::seed_from_u64(28));
+        let controlled = m.run_controlled(
+            &inst,
+            &mut StdRng::seed_from_u64(28),
+            &mut NullRecorder,
+            &StopToken::never(),
+        );
+        assert_eq!(plain.mapping, controlled.mapping);
+        assert_eq!(plain.cost, controlled.cost);
+        assert_eq!(plain.iterations, controlled.iterations);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::chromosome::Chromosome;
 use crate::operators::{crossover, mutate};
 use crate::variants::{inversion_mutate, order_crossover, tournament_select};
 use match_core::{
-    exec_time, record_run_end, record_run_start, Mapper, MapperOutcome, MappingInstance,
+    exec_time, record_run_end, record_run_start, Mapper, MapperOutcome, MappingInstance, StopToken,
 };
 use match_rngutil::roulette::RouletteWheel;
 use match_telemetry::{Event, IterEvent, NullRecorder, Recorder};
@@ -184,6 +184,20 @@ impl FastMapGa {
         rng: &mut StdRng,
         recorder: &mut dyn Recorder,
     ) -> GaOutcome {
+        self.run_controlled(inst, rng, recorder, &StopToken::never())
+    }
+
+    /// [`FastMapGa::run_traced`] with cooperative cancellation: the stop
+    /// token is polled once per generation, so a fired deadline returns
+    /// the best-so-far mapping after finishing the current generation.
+    /// `iterations` reports the generations actually run.
+    pub fn run_controlled(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+        stop: &StopToken,
+    ) -> GaOutcome {
         self.config.validate();
         assert!(
             inst.is_square(),
@@ -210,6 +224,7 @@ impl FastMapGa {
         let mut best_per_generation = Vec::with_capacity(self.config.generations);
 
         let mut next_pop: Vec<Chromosome> = Vec::with_capacity(pop_size);
+        let mut generations_run = 0;
         for gen in 0..self.config.generations {
             let gen_start = traced.then(Instant::now);
             let mut crossovers = 0u64;
@@ -306,6 +321,13 @@ impl FastMapGa {
                     wall_ns: gen_start.elapsed().as_nanos() as u64,
                 }));
             }
+            generations_run = gen + 1;
+            // Cooperative cancellation: at least one generation always
+            // completes, so a cancelled run still returns a valid
+            // permutation and its true cost.
+            if stop.should_stop() {
+                break;
+            }
         }
 
         let result = GaOutcome {
@@ -313,7 +335,7 @@ impl FastMapGa {
                 mapping: best.to_mapping(),
                 cost: best_cost,
                 evaluations,
-                iterations: self.config.generations,
+                iterations: generations_run,
                 elapsed: start.elapsed(),
             },
             best_per_generation,
@@ -350,6 +372,16 @@ impl Mapper for FastMapGa {
     ) -> MapperOutcome {
         self.run_traced(inst, rng, recorder).outcome
     }
+
+    fn map_controlled(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+        stop: &StopToken,
+    ) -> MapperOutcome {
+        self.run_controlled(inst, rng, recorder, stop).outcome
+    }
 }
 
 #[cfg(test)]
@@ -383,6 +415,42 @@ mod tests {
         );
         assert_eq!(out.best_per_generation.len(), 60);
         assert_eq!(out.outcome.evaluations, 61 * 60);
+    }
+
+    #[test]
+    fn tripped_stop_token_cancels_after_one_generation() {
+        use match_core::StopFlag;
+        let inst = instance(10, 1);
+        let flag = StopFlag::new();
+        flag.trip();
+        let out = FastMapGa::new(small_config()).run_controlled(
+            &inst,
+            &mut StdRng::seed_from_u64(2),
+            &mut NullRecorder,
+            &StopToken::with_flag(flag),
+        );
+        assert_eq!(out.outcome.iterations, 1, "stops after first generation");
+        assert_eq!(out.best_per_generation.len(), 1);
+        assert!(out.outcome.mapping.validate(&inst).is_ok());
+        assert_eq!(
+            out.outcome.cost,
+            exec_time(&inst, out.outcome.mapping.as_slice())
+        );
+    }
+
+    #[test]
+    fn never_token_matches_plain_run() {
+        let inst = instance(10, 1);
+        let plain = FastMapGa::new(small_config()).run(&inst, &mut StdRng::seed_from_u64(2));
+        let controlled = FastMapGa::new(small_config()).run_controlled(
+            &inst,
+            &mut StdRng::seed_from_u64(2),
+            &mut NullRecorder,
+            &StopToken::never(),
+        );
+        assert_eq!(plain.outcome.mapping, controlled.outcome.mapping);
+        assert_eq!(plain.outcome.cost, controlled.outcome.cost);
+        assert_eq!(plain.outcome.iterations, controlled.outcome.iterations);
     }
 
     #[test]

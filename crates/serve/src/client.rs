@@ -1,0 +1,69 @@
+//! Blocking client for the mapping service.
+//!
+//! Thin wrapper over a `TcpStream`: encode a [`Request`] per line, read
+//! a [`Response`] per line. Requests may be pipelined — send several,
+//! then collect the replies and match them on `id`.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{encode_request, parse_response, Request, Response};
+
+/// A connected protocol client.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Send one request line (does not wait for the reply).
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        let line = encode_request(req);
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()
+    }
+
+    /// Read the next response line, blocking until one arrives.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            return parse_response(trimmed)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+        }
+    }
+
+    /// Send one request and wait for its reply.
+    pub fn call(&mut self, req: &Request) -> io::Result<Response> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Convenience: request service counters.
+    pub fn stats(&mut self) -> io::Result<Response> {
+        self.call(&Request::Stats)
+    }
+
+    /// Convenience: request graceful shutdown (expects `bye`).
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.call(&Request::Shutdown)
+    }
+}

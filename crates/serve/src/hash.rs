@@ -1,0 +1,160 @@
+//! Canonical instance hashing for the result cache.
+//!
+//! Two requests describe "the same work" when their cost tables are
+//! identical — same task weights, same interaction volumes, same
+//! resource and link costs — regardless of the order in which the
+//! instance text listed its `edge` lines. `match-graph`'s parser builds
+//! adjacency in declaration order, so a naive hash over the CSR arrays
+//! would treat reordered-but-equal instances as distinct and miss the
+//! cache. [`instance_hash`] therefore hashes each task's adjacency
+//! *sorted by neighbour index*, making the digest invariant under edge
+//! reordering while still distinguishing any change to a weight, a
+//! volume, or the graph shape.
+//!
+//! The digest is 64-bit FNV-1a — not cryptographic, but the cache key
+//! space (instance × algorithm × seed) is tiny compared to 2⁶⁴ and a
+//! spurious collision merely returns a valid mapping for the colliding
+//! instance, never corrupts state.
+
+use match_core::MappingInstance;
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Incremental FNV-1a over byte chunks.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        // Bit-exact: 1.0 and 1.0000000000000002 must hash differently,
+        // and the text format round-trips weights exactly ({:.17}).
+        self.write(&v.to_bits().to_le_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Canonical digest of an instance's cost tables: task weights,
+/// per-task interaction lists (sorted by neighbour), resource
+/// processing costs, and the full link-cost matrix.
+pub fn instance_hash(inst: &MappingInstance) -> u64 {
+    let mut h = Fnv::new();
+    let (t, r) = (inst.n_tasks(), inst.n_resources());
+    h.write_u64(t as u64);
+    h.write_u64(r as u64);
+    for task in 0..t {
+        h.write_f64(inst.computation(task));
+        let mut adj: Vec<(usize, f64)> = inst.interactions(task).collect();
+        adj.sort_by_key(|a| a.0);
+        h.write_u64(adj.len() as u64);
+        for (neighbour, volume) in adj {
+            h.write_u64(neighbour as u64);
+            h.write_f64(volume);
+        }
+    }
+    for s in 0..r {
+        h.write_f64(inst.processing_cost(s));
+    }
+    for s in 0..r {
+        for b in 0..r {
+            h.write_f64(inst.link_cost(s, b));
+        }
+    }
+    h.finish()
+}
+
+/// Cache key for one request: instance digest × algorithm × seed.
+/// Deterministic solvers make this a complete identity for the result.
+pub fn job_key(inst: &MappingInstance, algo: &str, seed: u64) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(instance_hash(inst));
+    h.write(algo.as_bytes());
+    // Separator prevents ("ab", 1)-style ambiguity with algo suffixes.
+    h.write(&[0]);
+    h.write_u64(seed);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_graph::io::from_text;
+    use match_graph::TaskGraph;
+
+    fn inst_from(tig: &str, platform: &str) -> MappingInstance {
+        let tig = TaskGraph::new(from_text(tig).expect("tig parses")).expect("valid tig");
+        let res = match_graph::ResourceGraph::new(from_text(platform).expect("platform parses"))
+            .expect("valid platform");
+        MappingInstance::new(&tig, &res)
+    }
+
+    const PLATFORM: &str = "# matchkit instance v1\n\
+         graph 3\n\
+         node 0 2\n node 1 1\n node 2 1.5\n\
+         edge 0 1 1\n edge 0 2 2\n edge 1 2 1\n";
+
+    #[test]
+    fn edge_order_does_not_change_hash() {
+        let a = inst_from(
+            "# matchkit instance v1\ngraph 3\nedge 0 1 4\nedge 1 2 5\nedge 0 2 6\n",
+            PLATFORM,
+        );
+        let b = inst_from(
+            "# matchkit instance v1\ngraph 3\nedge 0 2 6\nedge 0 1 4\nedge 1 2 5\n",
+            PLATFORM,
+        );
+        assert_eq!(instance_hash(&a), instance_hash(&b));
+    }
+
+    #[test]
+    fn weight_change_changes_hash() {
+        let a = inst_from(
+            "# matchkit instance v1\ngraph 3\nedge 0 1 4\nedge 1 2 5\n",
+            PLATFORM,
+        );
+        let b = inst_from(
+            "# matchkit instance v1\ngraph 3\nedge 0 1 4\nedge 1 2 5.000001\n",
+            PLATFORM,
+        );
+        assert_ne!(instance_hash(&a), instance_hash(&b));
+    }
+
+    #[test]
+    fn topology_change_changes_hash() {
+        let a = inst_from(
+            "# matchkit instance v1\ngraph 3\nedge 0 1 4\nedge 1 2 5\n",
+            PLATFORM,
+        );
+        let b = inst_from(
+            "# matchkit instance v1\ngraph 3\nedge 0 1 4\nedge 0 2 5\n",
+            PLATFORM,
+        );
+        assert_ne!(instance_hash(&a), instance_hash(&b));
+    }
+
+    #[test]
+    fn job_key_separates_algo_and_seed() {
+        let inst = inst_from("# matchkit instance v1\ngraph 3\nedge 0 1 4\n", PLATFORM);
+        assert_ne!(job_key(&inst, "match", 1), job_key(&inst, "match", 2));
+        assert_ne!(job_key(&inst, "match", 1), job_key(&inst, "sa", 1));
+        assert_eq!(job_key(&inst, "match", 1), job_key(&inst, "match", 1));
+    }
+}

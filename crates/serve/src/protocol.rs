@@ -1,0 +1,793 @@
+//! The JSONL-over-TCP wire protocol.
+//!
+//! One request per line, one response per line. Requests and responses
+//! are flat JSON objects (the only nesting is the `"mapping"` array of
+//! resource indices in a solve response), hand-encoded and hand-parsed
+//! in the same zero-dependency style as `match-telemetry`'s trace
+//! format. Responses carry the request `id`, so clients may pipeline
+//! requests on one connection and match replies out of order.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op":"solve","id":"job-1","algo":"match","seed":7,"deadline_ms":500,
+//!  "tig":"# matchkit instance v1\n...","platform":"..."}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! `tig` and `platform` embed the plain-text instance format of
+//! `match-graph` (`graph n` / `node i w` / `edge u v w` lines) as JSON
+//! strings. `deadline_ms` is optional; when present the solver is
+//! cancelled cooperatively once the deadline (measured from admission)
+//! expires, and the best-so-far mapping is returned with
+//! `"cancelled":true`.
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"status":"ok","id":"job-1","algo":"MaTCH","seed":7,"cost":41.25,
+//!  "cached":false,"cancelled":false,"evaluations":20000,"iterations":100,
+//!  "queue_wait_ns":1200,"solve_ns":150000000,"mapping":[0,2,1]}
+//! {"status":"rejected","id":"job-2","error":"queue full","queue_depth":8,"queue_cap":8}
+//! {"status":"error","id":"job-3","error":"unknown algorithm `zen`"}
+//! {"status":"stats","jobs":5,"cache_hits":2,"cache_misses":3,"rejected":1,
+//!  "cancelled":0,"queue_depth":0,"queue_cap":8,"workers":4}
+//! {"status":"bye"}
+//! ```
+//!
+//! `rejected` is the admission-control backpressure signal (the HTTP
+//! analogue would be 429): the queue was at capacity, and the payload
+//! reports the observed depth and the cap so clients can back off
+//! proportionally.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Errors produced when decoding a protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The line is not a flat JSON object of the expected shape.
+    Syntax(String),
+    /// A required field is absent.
+    MissingField(&'static str),
+    /// A field is present but has the wrong type.
+    BadType(&'static str),
+    /// The `"op"` / `"status"` tag names no known message.
+    UnknownTag(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Syntax(m) => write!(f, "protocol syntax error: {m}"),
+            ProtoError::MissingField(name) => write!(f, "missing field `{name}`"),
+            ProtoError::BadType(name) => write!(f, "field `{name}` has the wrong type"),
+            ProtoError::UnknownTag(tag) => write!(f, "unknown message `{tag}`"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A solve request: one instance, one algorithm, one seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// Client-chosen identifier echoed back in the response.
+    pub id: String,
+    /// Registered algorithm name (`match`, `ga`, `sa`, `hill`, `polish`,
+    /// `greedy`, `random`, `roundrobin`, …).
+    pub algo: String,
+    /// RNG seed; identical instance + algo + seed is deterministic and
+    /// therefore cacheable.
+    pub seed: u64,
+    /// Optional cooperative deadline in milliseconds from admission.
+    pub deadline_ms: Option<u64>,
+    /// Task-interaction graph in `match-graph` plain-text form.
+    pub tig: String,
+    /// Resource graph in `match-graph` plain-text form.
+    pub platform: String,
+}
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Solve one instance.
+    Solve(SolveRequest),
+    /// Report service counters.
+    Stats,
+    /// Begin graceful shutdown: stop admitting, drain in-flight work.
+    Shutdown,
+}
+
+/// A completed solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveResponse {
+    /// Echo of the request id.
+    pub id: String,
+    /// The solver's display name (`Mapper::name`).
+    pub algo: String,
+    /// Echo of the request seed.
+    pub seed: u64,
+    /// Execution time of the returned mapping (ET, Eq. 2).
+    pub cost: f64,
+    /// Whether the result came from the LRU cache.
+    pub cached: bool,
+    /// Whether the solve was truncated by its deadline.
+    pub cancelled: bool,
+    /// Objective evaluations performed (0 on a cache hit).
+    pub evaluations: u64,
+    /// Solver iterations executed (0 on a cache hit).
+    pub iterations: u64,
+    /// Nanoseconds the job waited in the queue.
+    pub queue_wait_ns: u64,
+    /// Nanoseconds spent solving (cache lookup time on a hit).
+    pub solve_ns: u64,
+    /// Task→resource assignment.
+    pub mapping: Vec<usize>,
+}
+
+/// Service counters returned by a `stats` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsResponse {
+    /// Jobs completed (cache hits included).
+    pub jobs: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses (full solves).
+    pub cache_misses: u64,
+    /// Admissions rejected by backpressure.
+    pub rejected: u64,
+    /// Solves truncated by their deadline.
+    pub cancelled: u64,
+    /// Queue depth at the time of the request.
+    pub queue_depth: u64,
+    /// Configured queue capacity.
+    pub queue_cap: u64,
+    /// Configured worker count.
+    pub workers: u64,
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A finished solve (fresh, cached, or deadline-truncated).
+    Solved(SolveResponse),
+    /// Backpressure: the job queue was full at admission.
+    Rejected {
+        /// Echo of the request id.
+        id: String,
+        /// Queue depth observed at rejection.
+        queue_depth: u64,
+        /// Configured queue capacity.
+        queue_cap: u64,
+    },
+    /// The request could not be processed (parse failure, unknown
+    /// algorithm, malformed instance, shutdown in progress, …).
+    Error {
+        /// Echo of the request id ("" when the id itself was unreadable).
+        id: String,
+        /// Human-readable reason.
+        error: String,
+    },
+    /// Service counters.
+    Stats(StatsResponse),
+    /// Acknowledgement of a shutdown request.
+    Bye,
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else if v.is_nan() {
+        out.push_str("\"nan\"");
+    } else if v > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+/// Encode a request as a single JSON line (no trailing newline).
+pub fn encode_request(req: &Request) -> String {
+    let mut s = String::with_capacity(128);
+    match req {
+        Request::Solve(r) => {
+            s.push_str("{\"op\":\"solve\",\"id\":");
+            push_escaped(&mut s, &r.id);
+            s.push_str(",\"algo\":");
+            push_escaped(&mut s, &r.algo);
+            let _ = write!(s, ",\"seed\":{}", r.seed);
+            if let Some(d) = r.deadline_ms {
+                let _ = write!(s, ",\"deadline_ms\":{d}");
+            }
+            s.push_str(",\"tig\":");
+            push_escaped(&mut s, &r.tig);
+            s.push_str(",\"platform\":");
+            push_escaped(&mut s, &r.platform);
+            s.push('}');
+        }
+        Request::Stats => s.push_str("{\"op\":\"stats\"}"),
+        Request::Shutdown => s.push_str("{\"op\":\"shutdown\"}"),
+    }
+    s
+}
+
+/// Encode a response as a single JSON line (no trailing newline).
+pub fn encode_response(resp: &Response) -> String {
+    let mut s = String::with_capacity(128);
+    match resp {
+        Response::Solved(r) => {
+            s.push_str("{\"status\":\"ok\",\"id\":");
+            push_escaped(&mut s, &r.id);
+            s.push_str(",\"algo\":");
+            push_escaped(&mut s, &r.algo);
+            let _ = write!(s, ",\"seed\":{},\"cost\":", r.seed);
+            push_f64(&mut s, r.cost);
+            let _ = write!(
+                s,
+                ",\"cached\":{},\"cancelled\":{},\"evaluations\":{},\"iterations\":{},\
+                 \"queue_wait_ns\":{},\"solve_ns\":{},\"mapping\":[",
+                r.cached, r.cancelled, r.evaluations, r.iterations, r.queue_wait_ns, r.solve_ns
+            );
+            for (i, m) in r.mapping.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{m}");
+            }
+            s.push_str("]}");
+        }
+        Response::Rejected {
+            id,
+            queue_depth,
+            queue_cap,
+        } => {
+            s.push_str("{\"status\":\"rejected\",\"id\":");
+            push_escaped(&mut s, id);
+            let _ = write!(
+                s,
+                ",\"error\":\"queue full\",\"queue_depth\":{queue_depth},\"queue_cap\":{queue_cap}}}"
+            );
+        }
+        Response::Error { id, error } => {
+            s.push_str("{\"status\":\"error\",\"id\":");
+            push_escaped(&mut s, id);
+            s.push_str(",\"error\":");
+            push_escaped(&mut s, error);
+            s.push('}');
+        }
+        Response::Stats(st) => {
+            let _ = write!(
+                s,
+                "{{\"status\":\"stats\",\"jobs\":{},\"cache_hits\":{},\"cache_misses\":{},\
+                 \"rejected\":{},\"cancelled\":{},\"queue_depth\":{},\"queue_cap\":{},\
+                 \"workers\":{}}}",
+                st.jobs,
+                st.cache_hits,
+                st.cache_misses,
+                st.rejected,
+                st.cancelled,
+                st.queue_depth,
+                st.queue_cap,
+                st.workers
+            );
+        }
+        Response::Bye => s.push_str("{\"status\":\"bye\"}"),
+    }
+    s
+}
+
+/// A decoded flat JSON value. Numbers keep their raw text so `u64`
+/// fields round-trip exactly; the only composite shape is an array of
+/// non-negative integers (the mapping vector).
+#[derive(Debug, Clone, PartialEq)]
+enum Val {
+    Str(String),
+    Num(String),
+    Bool(bool),
+    Arr(Vec<u64>),
+    Null,
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(s: &'a str) -> Self {
+        Scanner {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> ProtoError {
+        ProtoError::Syntax(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ProtoError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn keyword(&mut self, word: &'static [u8]) -> Result<(), ProtoError> {
+        if self.bytes[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!(
+                "expected `{}`",
+                std::str::from_utf8(word).unwrap_or("?")
+            )))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("non-utf8 \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<String, ProtoError> {
+        let start = self.pos;
+        self.pos += 1;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map(str::to_string)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn value(&mut self) -> Result<Val, ProtoError> {
+        match self.peek() {
+            Some(b'"') => Ok(Val::Str(self.string()?)),
+            Some(b'n') => self.keyword(b"null").map(|()| Val::Null),
+            Some(b't') => self.keyword(b"true").map(|()| Val::Bool(true)),
+            Some(b'f') => self.keyword(b"false").map(|()| Val::Bool(false)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut arr = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Val::Arr(arr));
+                }
+                loop {
+                    match self.peek() {
+                        Some(b) if b.is_ascii_digit() => {
+                            let raw = self.number()?;
+                            arr.push(
+                                raw.parse()
+                                    .map_err(|_| self.err("non-integer array element"))?,
+                            );
+                        }
+                        _ => return Err(self.err("expected integer array element")),
+                    }
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+                Ok(Val::Arr(arr))
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => Ok(Val::Num(self.number()?)),
+            _ => Err(self.err("expected string, number, bool, array, or null")),
+        }
+    }
+
+    fn object(&mut self) -> Result<BTreeMap<String, Val>, ProtoError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+        } else {
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                let value = self.value()?;
+                map.insert(key, value);
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.err("expected `,` or `}`")),
+                }
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing data after object"));
+        }
+        Ok(map)
+    }
+}
+
+fn get_string(map: &BTreeMap<String, Val>, field: &'static str) -> Result<String, ProtoError> {
+    match map.get(field) {
+        Some(Val::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(ProtoError::BadType(field)),
+        None => Err(ProtoError::MissingField(field)),
+    }
+}
+
+fn get_u64(map: &BTreeMap<String, Val>, field: &'static str) -> Result<u64, ProtoError> {
+    match map.get(field) {
+        Some(Val::Num(raw)) => raw.parse().map_err(|_| ProtoError::BadType(field)),
+        Some(_) => Err(ProtoError::BadType(field)),
+        None => Err(ProtoError::MissingField(field)),
+    }
+}
+
+fn get_opt_u64(
+    map: &BTreeMap<String, Val>,
+    field: &'static str,
+) -> Result<Option<u64>, ProtoError> {
+    match map.get(field) {
+        Some(Val::Null) | None => Ok(None),
+        Some(Val::Num(raw)) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| ProtoError::BadType(field)),
+        Some(_) => Err(ProtoError::BadType(field)),
+    }
+}
+
+fn get_f64(map: &BTreeMap<String, Val>, field: &'static str) -> Result<f64, ProtoError> {
+    match map.get(field) {
+        Some(Val::Num(raw)) => raw.parse().map_err(|_| ProtoError::BadType(field)),
+        Some(Val::Str(s)) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            _ => Err(ProtoError::BadType(field)),
+        },
+        Some(_) => Err(ProtoError::BadType(field)),
+        None => Err(ProtoError::MissingField(field)),
+    }
+}
+
+fn get_bool(map: &BTreeMap<String, Val>, field: &'static str) -> Result<bool, ProtoError> {
+    match map.get(field) {
+        Some(Val::Bool(b)) => Ok(*b),
+        Some(_) => Err(ProtoError::BadType(field)),
+        None => Err(ProtoError::MissingField(field)),
+    }
+}
+
+fn get_mapping(map: &BTreeMap<String, Val>, field: &'static str) -> Result<Vec<usize>, ProtoError> {
+    match map.get(field) {
+        Some(Val::Arr(a)) => Ok(a.iter().map(|&v| v as usize).collect()),
+        Some(_) => Err(ProtoError::BadType(field)),
+        None => Err(ProtoError::MissingField(field)),
+    }
+}
+
+/// Decode one client→server line.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let map = Scanner::new(line).object()?;
+    let op = get_string(&map, "op")?;
+    match op.as_str() {
+        "solve" => Ok(Request::Solve(SolveRequest {
+            id: get_string(&map, "id")?,
+            algo: get_string(&map, "algo")?,
+            seed: get_u64(&map, "seed")?,
+            deadline_ms: get_opt_u64(&map, "deadline_ms")?,
+            tig: get_string(&map, "tig")?,
+            platform: get_string(&map, "platform")?,
+        })),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ProtoError::UnknownTag(other.to_string())),
+    }
+}
+
+/// Decode one server→client line.
+pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
+    let map = Scanner::new(line).object()?;
+    let status = get_string(&map, "status")?;
+    match status.as_str() {
+        "ok" => Ok(Response::Solved(SolveResponse {
+            id: get_string(&map, "id")?,
+            algo: get_string(&map, "algo")?,
+            seed: get_u64(&map, "seed")?,
+            cost: get_f64(&map, "cost")?,
+            cached: get_bool(&map, "cached")?,
+            cancelled: get_bool(&map, "cancelled")?,
+            evaluations: get_u64(&map, "evaluations")?,
+            iterations: get_u64(&map, "iterations")?,
+            queue_wait_ns: get_u64(&map, "queue_wait_ns")?,
+            solve_ns: get_u64(&map, "solve_ns")?,
+            mapping: get_mapping(&map, "mapping")?,
+        })),
+        "rejected" => Ok(Response::Rejected {
+            id: get_string(&map, "id")?,
+            queue_depth: get_u64(&map, "queue_depth")?,
+            queue_cap: get_u64(&map, "queue_cap")?,
+        }),
+        "error" => Ok(Response::Error {
+            id: get_string(&map, "id")?,
+            error: get_string(&map, "error")?,
+        }),
+        "stats" => Ok(Response::Stats(StatsResponse {
+            jobs: get_u64(&map, "jobs")?,
+            cache_hits: get_u64(&map, "cache_hits")?,
+            cache_misses: get_u64(&map, "cache_misses")?,
+            rejected: get_u64(&map, "rejected")?,
+            cancelled: get_u64(&map, "cancelled")?,
+            queue_depth: get_u64(&map, "queue_depth")?,
+            queue_cap: get_u64(&map, "queue_cap")?,
+            workers: get_u64(&map, "workers")?,
+        })),
+        "bye" => Ok(Response::Bye),
+        other => Err(ProtoError::UnknownTag(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let line = encode_request(&req);
+        let back = parse_request(&line).expect("request round-trip");
+        assert_eq!(req, back, "line was: {line}");
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let line = encode_response(&resp);
+        let back = parse_response(&line).expect("response round-trip");
+        assert_eq!(resp, back, "line was: {line}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        roundtrip_request(Request::Solve(SolveRequest {
+            id: "job-1".into(),
+            algo: "match".into(),
+            seed: 7,
+            deadline_ms: Some(500),
+            tig: "# matchkit instance v1\ngraph 2\nedge 0 1 3.5\n".into(),
+            platform: "# matchkit instance v1\ngraph 2\nnode 0 2\nnode 1 1\n".into(),
+        }));
+        roundtrip_request(Request::Solve(SolveRequest {
+            id: "quoted \"id\" with\nnewline".into(),
+            algo: "sa".into(),
+            seed: u64::MAX,
+            deadline_ms: None,
+            tig: String::new(),
+            platform: String::new(),
+        }));
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        roundtrip_response(Response::Solved(SolveResponse {
+            id: "job-1".into(),
+            algo: "MaTCH".into(),
+            seed: 7,
+            cost: 41.25,
+            cached: false,
+            cancelled: true,
+            evaluations: 20_000,
+            iterations: 100,
+            queue_wait_ns: 1_200,
+            solve_ns: 150_000_000,
+            mapping: vec![0, 2, 1],
+        }));
+        roundtrip_response(Response::Solved(SolveResponse {
+            id: "empty".into(),
+            algo: "greedy".into(),
+            seed: 0,
+            cost: 0.0,
+            cached: true,
+            cancelled: false,
+            evaluations: 0,
+            iterations: 0,
+            queue_wait_ns: 0,
+            solve_ns: 0,
+            mapping: vec![],
+        }));
+        roundtrip_response(Response::Rejected {
+            id: "job-2".into(),
+            queue_depth: 8,
+            queue_cap: 8,
+        });
+        roundtrip_response(Response::Error {
+            id: "job-3".into(),
+            error: "unknown algorithm `zen`".into(),
+        });
+        roundtrip_response(Response::Stats(StatsResponse {
+            jobs: 5,
+            cache_hits: 2,
+            cache_misses: 3,
+            rejected: 1,
+            cancelled: 0,
+            queue_depth: 0,
+            queue_cap: 8,
+            workers: 4,
+        }));
+        roundtrip_response(Response::Bye);
+    }
+
+    #[test]
+    fn non_finite_cost_round_trips() {
+        let line = encode_response(&Response::Solved(SolveResponse {
+            id: "inf".into(),
+            algo: "random".into(),
+            seed: 1,
+            cost: f64::INFINITY,
+            cached: false,
+            cancelled: false,
+            evaluations: 1,
+            iterations: 1,
+            queue_wait_ns: 1,
+            solve_ns: 1,
+            mapping: vec![0],
+        }));
+        match parse_response(&line).unwrap() {
+            Response::Solved(r) => assert!(r.cost.is_infinite()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_lines_are_single_line() {
+        // The framing invariant: embedded newlines must be escaped.
+        let line = encode_request(&Request::Solve(SolveRequest {
+            id: "x".into(),
+            algo: "match".into(),
+            seed: 1,
+            deadline_ms: None,
+            tig: "line1\nline2\n".into(),
+            platform: "p\n".into(),
+        }));
+        assert!(!line.contains('\n'), "encoded request spans lines: {line}");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"op\":\"warp\"}").is_err(), "unknown op");
+        assert!(
+            parse_request("{\"op\":\"solve\"}").is_err(),
+            "missing fields"
+        );
+        assert!(
+            parse_request("{\"op\":\"stats\"} trailing").is_err(),
+            "trailing data"
+        );
+        assert!(parse_response("{\"status\":\"weird\"}").is_err());
+        assert!(
+            parse_response(
+                "{\"status\":\"ok\",\"id\":\"a\",\"algo\":\"m\",\"seed\":1,\"cost\":1,\
+                 \"cached\":false,\"cancelled\":false,\"evaluations\":1,\"iterations\":1,\
+                 \"queue_wait_ns\":1,\"solve_ns\":1,\"mapping\":[1,-2]}"
+            )
+            .is_err(),
+            "negative mapping element"
+        );
+    }
+
+    #[test]
+    fn exact_u64_seed_round_trip() {
+        // Seeds above 2^53 would be corrupted by an f64 detour.
+        let req = Request::Solve(SolveRequest {
+            id: "big".into(),
+            algo: "match".into(),
+            seed: (1u64 << 62) + 12345,
+            deadline_ms: None,
+            tig: String::new(),
+            platform: String::new(),
+        });
+        assert_eq!(parse_request(&encode_request(&req)).unwrap(), req);
+    }
+}

@@ -1,0 +1,204 @@
+//! Bounded MPMC job queue with admission control.
+//!
+//! Connection readers push, solver workers pop. The queue enforces the
+//! daemon's backpressure contract at the push side: [`JobQueue::try_push`]
+//! never blocks — a full queue returns [`PushError::Full`] carrying the
+//! observed depth, which the server turns into the protocol's
+//! `rejected` response. Pops block on a condvar until an item arrives
+//! or the queue is closed; close-with-drain semantics (pop keeps
+//! returning queued items after close, then `None`) are exactly what
+//! graceful shutdown needs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue was at capacity; carries the depth observed at
+    /// rejection (== the capacity) for the backpressure payload.
+    Full(usize),
+    /// The queue has been closed (shutdown in progress).
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// An open queue admitting at most `cap` queued items.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap == 0` — a zero-capacity queue could never
+    /// admit work.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current queue depth (racy by nature; informational).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission: enqueue and return the depth *after*
+    /// the push, or refuse with [`PushError`].
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.cap {
+            return Err(PushError::Full(inner.items.len()));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking pop: waits for an item, returns `None` only once the
+    /// queue is closed *and* drained — queued work always completes.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Close the queue: no further admissions; blocked poppers drain
+    /// the remaining items and then observe `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = JobQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_depth() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.try_push('a'), Ok(1));
+        assert_eq!(q.try_push('b'), Ok(2));
+        assert_eq!(q.try_push('c'), Err(PushError::Full(2)));
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.try_push('c'), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = JobQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1), "queued work survives close");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(JobQueue::<u32>::new(1));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Give the popper a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers() {
+        let q = Arc::new(JobQueue::<u64>::new(64));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut sum = 0u64;
+                    while let Some(v) = q.pop() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        // Spin until admitted: the test queue is small.
+                        loop {
+                            if q.try_push(p * 1000 + i).is_ok() {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        let expect: u64 = (0..4u64)
+            .map(|p| (0..100u64).map(|i| p * 1000 + i).sum::<u64>())
+            .sum();
+        assert_eq!(total, expect, "every produced item consumed exactly once");
+    }
+}

@@ -1,0 +1,656 @@
+//! The daemon: accept loop, connection threads, and the solver worker
+//! pool.
+//!
+//! ## Thread structure
+//!
+//! ```text
+//!            accept thread ── spawns ──► connection threads (1 per client)
+//!                                          │ reader: parse line → admit job
+//!                                          │ writer: drain mpsc → socket
+//!                                          ▼
+//!                              bounded JobQueue (admission control)
+//!                                          │
+//!                              worker pool (N threads) ── pop → solve → reply
+//! ```
+//!
+//! Admission happens on the connection thread: parse the instance,
+//! validate the algorithm, then [`JobQueue::try_push`]. A full queue is
+//! answered immediately with the protocol's `rejected` backpressure
+//! response — the connection never blocks on a busy solver pool.
+//! Responses travel back through a per-connection mpsc channel, so a
+//! worker finishing job 3 can reply before job 1 is done (clients match
+//! on `id`).
+//!
+//! ## Shutdown
+//!
+//! A `shutdown` request (or [`ServerHandle::request_shutdown`]) flips
+//! the shutdown flag and closes the queue. Closing the queue refuses new
+//! admissions but lets workers drain everything already queued — in-flight
+//! work always completes and is answered before the daemon exits.
+//!
+//! ## Telemetry
+//!
+//! With a trace path configured the daemon records service-level events
+//! through `match-telemetry`: a `queue_wait` and `solve` span plus one
+//! `iter` event per job (`iter` = job sequence number), `cache_hit` /
+//! `cache_miss` / `rejected` / `cancelled` counters, and a
+//! `queue_depth` gauge sample at every admission. Solver-internal
+//! events are deliberately *not* forwarded — concurrent jobs would
+//! interleave their iteration streams into noise. The resulting JSONL
+//! file summarises cleanly under `matchctl report`.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use match_core::{MappingInstance, StopToken};
+use match_graph::io::from_text;
+use match_graph::{ResourceGraph, TaskGraph};
+use match_telemetry::{Event, IterEvent, JsonlRecorder, NullRecorder, Recorder, SpanEvent};
+
+use crate::cache::{CachedResult, LruCache};
+use crate::hash::job_key;
+use crate::protocol::{
+    encode_response, parse_request, Request, Response, SolveRequest, SolveResponse, StatsResponse,
+};
+use crate::queue::{JobQueue, PushError};
+use crate::solvers;
+
+/// Daemon configuration; see `matchctl serve` for the CLI surface.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7117` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// Solver worker threads.
+    pub workers: usize,
+    /// Job queue capacity — the admission-control bound.
+    pub queue_cap: usize,
+    /// LRU result-cache capacity in entries (0 disables caching).
+    pub cache_cap: usize,
+    /// Optional JSONL trace file for service telemetry.
+    pub trace: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7117".to_string(),
+            workers: match_par::default_threads(),
+            queue_cap: 16,
+            cache_cap: 256,
+            trace: None,
+        }
+    }
+}
+
+/// Final service counters returned when the daemon exits.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Counter snapshot at shutdown.
+    pub stats: StatsResponse,
+    /// Daemon lifetime.
+    pub wall: Duration,
+    /// Trace lines written, when tracing was enabled.
+    pub trace_lines: Option<u64>,
+}
+
+/// One admitted unit of work.
+struct Job {
+    seq: u64,
+    id: String,
+    algo: String,
+    seed: u64,
+    deadline: Option<Duration>,
+    inst: MappingInstance,
+    key: u64,
+    enqueued: Instant,
+    resp: mpsc::Sender<Response>,
+}
+
+/// Trace sink shared across worker and connection threads.
+struct TraceSink {
+    rec: Mutex<Option<JsonlRecorder<BufWriter<File>>>>,
+}
+
+impl TraceSink {
+    fn disabled() -> Self {
+        TraceSink {
+            rec: Mutex::new(None),
+        }
+    }
+
+    fn create(path: &Path) -> io::Result<Self> {
+        Ok(TraceSink {
+            rec: Mutex::new(Some(JsonlRecorder::create(path)?)),
+        })
+    }
+
+    fn record(&self, event: Event) {
+        if let Some(rec) = self.rec.lock().expect("trace sink poisoned").as_mut() {
+            rec.record(event);
+        }
+    }
+
+    /// Flush and close the sink; returns lines written (None if disabled).
+    fn finish(&self) -> io::Result<Option<u64>> {
+        match self.rec.lock().expect("trace sink poisoned").take() {
+            Some(rec) => {
+                let lines = rec.lines();
+                rec.finish()?;
+                Ok(Some(lines))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Lock-free service counters.
+#[derive(Default)]
+struct Counters {
+    jobs: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
+    evaluations: AtomicU64,
+}
+
+/// State shared by every thread in the daemon.
+struct Ctx {
+    queue: JobQueue<Job>,
+    cache: Mutex<LruCache>,
+    counters: Counters,
+    best: Mutex<f64>,
+    sink: TraceSink,
+    shutdown: AtomicBool,
+    seq: AtomicU64,
+    workers: usize,
+}
+
+impl Ctx {
+    fn stats_snapshot(&self) -> StatsResponse {
+        StatsResponse {
+            jobs: self.counters.jobs.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+            queue_depth: self.queue.len() as u64,
+            queue_cap: self.queue.capacity() as u64,
+            workers: self.workers as u64,
+        }
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+}
+
+/// Parse the embedded instance text into a [`MappingInstance`].
+fn parse_instance(tig: &str, platform: &str) -> Result<MappingInstance, String> {
+    let tig = from_text(tig)
+        .map_err(|e| format!("tig: {e}"))
+        .and_then(|g| TaskGraph::new(g).map_err(|e| format!("tig: {e}")))?;
+    let platform = from_text(platform)
+        .map_err(|e| format!("platform: {e}"))
+        .and_then(|g| ResourceGraph::new(g).map_err(|e| format!("platform: {e}")))?;
+    Ok(MappingInstance::new(&tig, &platform))
+}
+
+/// The mapping-service daemon.
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the worker pool and accept loop, and return a handle.
+    pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let sink = match &config.trace {
+            Some(path) => TraceSink::create(path)?,
+            None => TraceSink::disabled(),
+        };
+        sink.record(Event::RunStart {
+            solver: "match-serve".into(),
+            tasks: 0,
+            resources: 0,
+        });
+
+        let workers = config.workers.max(1);
+        let ctx = Arc::new(Ctx {
+            queue: JobQueue::new(config.queue_cap.max(1)),
+            cache: Mutex::new(LruCache::new(config.cache_cap)),
+            counters: Counters::default(),
+            best: Mutex::new(f64::INFINITY),
+            sink,
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            workers,
+        });
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let ctx = Arc::clone(&ctx);
+                thread::spawn(move || {
+                    while let Some(job) = ctx.queue.pop() {
+                        process_job(job, &ctx);
+                    }
+                })
+            })
+            .collect();
+
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let conn_streams = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let ctx = Arc::clone(&ctx);
+            let conn_threads = Arc::clone(&conn_threads);
+            let conn_streams = Arc::clone(&conn_streams);
+            thread::spawn(move || loop {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if let Ok(clone) = stream.try_clone() {
+                            conn_streams.lock().expect("streams poisoned").push(clone);
+                        }
+                        let ctx = Arc::clone(&ctx);
+                        let handle = thread::spawn(move || connection_loop(stream, &ctx));
+                        conn_threads.lock().expect("threads poisoned").push(handle);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+            })
+        };
+
+        Ok(ServerHandle {
+            ctx,
+            local_addr,
+            started: Instant::now(),
+            worker_handles,
+            accept: Some(accept),
+            conn_threads,
+            conn_streams,
+        })
+    }
+}
+
+/// Owner's view of a running daemon.
+pub struct ServerHandle {
+    ctx: Arc<Ctx>,
+    local_addr: SocketAddr,
+    started: Instant,
+    worker_handles: Vec<JoinHandle<()>>,
+    accept: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conn_streams: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live counter snapshot.
+    pub fn stats(&self) -> StatsResponse {
+        self.ctx.stats_snapshot()
+    }
+
+    /// Whether shutdown has been requested (by a client or the owner).
+    pub fn shutdown_requested(&self) -> bool {
+        self.ctx.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Ask the daemon to stop: no new admissions, drain queued work.
+    pub fn request_shutdown(&self) {
+        self.ctx.request_shutdown();
+    }
+
+    /// Block until a client requests shutdown, then drain and exit.
+    pub fn wait(self) -> io::Result<ServeSummary> {
+        while !self.ctx.shutdown.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(20));
+        }
+        self.finish()
+    }
+
+    /// Request shutdown, drain in-flight work, and exit.
+    pub fn shutdown(self) -> io::Result<ServeSummary> {
+        self.ctx.request_shutdown();
+        self.finish()
+    }
+
+    fn finish(mut self) -> io::Result<ServeSummary> {
+        // Workers first: they drain the closed queue, completing (and
+        // answering) everything admitted before shutdown.
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        // Unblock connection readers still waiting on idle clients.
+        // Read-half only: each connection's writer thread may still be
+        // flushing drained-job responses, which clients must receive.
+        for stream in self
+            .conn_streams
+            .lock()
+            .expect("streams poisoned")
+            .drain(..)
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handles: Vec<_> = self
+            .conn_threads
+            .lock()
+            .expect("threads poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let stats = self.ctx.stats_snapshot();
+        let wall = self.started.elapsed();
+        let best = *self.ctx.best.lock().expect("best poisoned");
+        self.ctx.sink.record(Event::RunEnd {
+            best: if best.is_finite() { best } else { 0.0 },
+            iterations: stats.jobs,
+            evaluations: self.ctx.counters.evaluations.load(Ordering::Relaxed),
+            wall_ns: wall.as_nanos() as u64,
+        });
+        let trace_lines = self.ctx.sink.finish()?;
+        Ok(ServeSummary {
+            stats,
+            wall,
+            trace_lines,
+        })
+    }
+}
+
+/// Per-connection reader: parse lines, admit jobs, answer control ops.
+fn connection_loop(stream: TcpStream, ctx: &Arc<Ctx>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = mpsc::channel::<Response>();
+    // Writer thread: drains the channel so responses can arrive out of
+    // order (workers finish jobs at their own pace).
+    let writer = thread::spawn(move || {
+        let mut out = BufWriter::new(write_half);
+        for resp in rx {
+            let line = encode_response(&resp);
+            let ok = out
+                .write_all(line.as_bytes())
+                .and_then(|()| out.write_all(b"\n"))
+                .and_then(|()| out.flush());
+            if ok.is_err() {
+                break;
+            }
+        }
+    });
+
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_request(line) {
+            Err(e) => {
+                let _ = tx.send(Response::Error {
+                    id: String::new(),
+                    error: e.to_string(),
+                });
+            }
+            Ok(Request::Stats) => {
+                let _ = tx.send(Response::Stats(ctx.stats_snapshot()));
+            }
+            Ok(Request::Shutdown) => {
+                let _ = tx.send(Response::Bye);
+                ctx.request_shutdown();
+                // Keep reading: later solves on this connection get a
+                // clean "shutting down" error instead of a hangup.
+            }
+            Ok(Request::Solve(req)) => admit(req, ctx, &tx),
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Validate a solve request and push it through admission control.
+fn admit(req: SolveRequest, ctx: &Ctx, tx: &mpsc::Sender<Response>) {
+    let reject = |error: String| {
+        let _ = tx.send(Response::Error {
+            id: req.id.clone(),
+            error,
+        });
+    };
+    if solvers::build_mapper(&req.algo).is_none() {
+        reject(format!(
+            "unknown algorithm `{}` (known: {})",
+            req.algo,
+            solvers::known_algos_list()
+        ));
+        return;
+    }
+    let inst = match parse_instance(&req.tig, &req.platform) {
+        Ok(inst) => inst,
+        Err(e) => {
+            reject(e);
+            return;
+        }
+    };
+    if solvers::requires_square(&req.algo) && !inst.is_square() {
+        reject(format!(
+            "algorithm `{}` needs a square instance, got {} tasks on {} resources",
+            req.algo,
+            inst.n_tasks(),
+            inst.n_resources()
+        ));
+        return;
+    }
+    let key = job_key(&inst, &req.algo, req.seed);
+    let job = Job {
+        seq: ctx.seq.fetch_add(1, Ordering::Relaxed),
+        id: req.id.clone(),
+        algo: req.algo.clone(),
+        seed: req.seed,
+        deadline: req.deadline_ms.map(Duration::from_millis),
+        inst,
+        key,
+        enqueued: Instant::now(),
+        resp: tx.clone(),
+    };
+    match ctx.queue.try_push(job) {
+        Ok(depth) => {
+            ctx.sink.record(Event::Sample {
+                name: "queue_depth".into(),
+                value: depth as u64,
+            });
+        }
+        Err(PushError::Full(depth)) => {
+            ctx.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            ctx.sink.record(Event::Counter {
+                name: "rejected".into(),
+                value: 1,
+            });
+            let _ = tx.send(Response::Rejected {
+                id: req.id.clone(),
+                queue_depth: depth as u64,
+                queue_cap: ctx.queue.capacity() as u64,
+            });
+        }
+        Err(PushError::Closed) => reject("shutting down".to_string()),
+    }
+}
+
+/// Solve one admitted job on a worker thread.
+fn process_job(job: Job, ctx: &Ctx) {
+    let queue_wait_ns = job.enqueued.elapsed().as_nanos() as u64;
+    let solve_start = Instant::now();
+
+    // Cache first: a hit answers in microseconds with a byte-identical
+    // mapping (every registered solver is deterministic in the seed).
+    let hit = ctx.cache.lock().expect("cache poisoned").get(job.key);
+    if let Some(hit) = hit {
+        let solve_ns = solve_start.elapsed().as_nanos() as u64;
+        ctx.counters.jobs.fetch_add(1, Ordering::Relaxed);
+        ctx.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+        record_job_events(ctx, job.seq, queue_wait_ns, solve_ns, hit.cost, "cache_hit");
+        let _ = job.resp.send(Response::Solved(SolveResponse {
+            id: job.id,
+            algo: hit.algo,
+            seed: job.seed,
+            cost: hit.cost,
+            cached: true,
+            cancelled: false,
+            evaluations: 0,
+            iterations: 0,
+            queue_wait_ns,
+            solve_ns,
+            mapping: hit.mapping,
+        }));
+        return;
+    }
+
+    let Some(mapper) = solvers::build_mapper(&job.algo) else {
+        // Unreachable: admission validated the name. Answer anyway.
+        let _ = job.resp.send(Response::Error {
+            id: job.id,
+            error: format!("unknown algorithm `{}`", job.algo),
+        });
+        return;
+    };
+    let stop = match job.deadline {
+        Some(d) => StopToken::with_deadline(job.enqueued + d),
+        None => StopToken::never(),
+    };
+    let mut rng = StdRng::seed_from_u64(job.seed);
+    let solved = catch_unwind(AssertUnwindSafe(|| {
+        mapper.map_controlled(&job.inst, &mut rng, &mut NullRecorder, &stop)
+    }));
+    let outcome = match solved {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            // A solver panic must not kill the worker thread; surface it
+            // as a protocol error instead.
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_string());
+            let _ = job.resp.send(Response::Error {
+                id: job.id,
+                error: format!("solver panicked: {msg}"),
+            });
+            return;
+        }
+    };
+    let solve_ns = solve_start.elapsed().as_nanos() as u64;
+    // Over-approximation: a solve finishing naturally just past its
+    // deadline is reported cancelled. That only skips a cache insert,
+    // never corrupts a result.
+    let cancelled = stop.should_stop();
+    let mapping = outcome.mapping.as_slice().to_vec();
+
+    ctx.counters.jobs.fetch_add(1, Ordering::Relaxed);
+    ctx.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+    ctx.counters
+        .evaluations
+        .fetch_add(outcome.evaluations, Ordering::Relaxed);
+    if cancelled {
+        ctx.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        ctx.sink.record(Event::Counter {
+            name: "cancelled".into(),
+            value: 1,
+        });
+    } else {
+        // Deadline-truncated results depend on wall-clock timing and
+        // would leak nondeterminism into the cache — skip them.
+        ctx.cache.lock().expect("cache poisoned").put(
+            job.key,
+            CachedResult {
+                mapping: mapping.clone(),
+                cost: outcome.cost,
+                algo: mapper.name().to_string(),
+            },
+        );
+    }
+    {
+        let mut best = ctx.best.lock().expect("best poisoned");
+        if outcome.cost < *best {
+            *best = outcome.cost;
+        }
+    }
+    record_job_events(
+        ctx,
+        job.seq,
+        queue_wait_ns,
+        solve_ns,
+        outcome.cost,
+        "cache_miss",
+    );
+    let _ = job.resp.send(Response::Solved(SolveResponse {
+        id: job.id,
+        algo: mapper.name().to_string(),
+        seed: job.seed,
+        cost: outcome.cost,
+        cached: false,
+        cancelled,
+        evaluations: outcome.evaluations,
+        iterations: outcome.iterations as u64,
+        queue_wait_ns,
+        solve_ns,
+        mapping,
+    }));
+}
+
+/// Service-level telemetry for one completed job.
+fn record_job_events(
+    ctx: &Ctx,
+    seq: u64,
+    queue_wait_ns: u64,
+    solve_ns: u64,
+    cost: f64,
+    counter: &'static str,
+) {
+    ctx.sink.record(Event::Span(SpanEvent {
+        name: "queue_wait".into(),
+        iter: seq,
+        wall_ns: queue_wait_ns,
+    }));
+    ctx.sink.record(Event::Span(SpanEvent {
+        name: "solve".into(),
+        iter: seq,
+        wall_ns: solve_ns,
+    }));
+    ctx.sink.record(Event::Iter(IterEvent {
+        iter: seq,
+        best: cost,
+        mean: cost,
+        gamma: None,
+        elite_size: 0,
+        wall_ns: solve_ns,
+    }));
+    ctx.sink.record(Event::Counter {
+        name: counter.into(),
+        value: 1,
+    });
+}

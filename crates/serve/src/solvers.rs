@@ -1,0 +1,92 @@
+//! Algorithm registry: protocol `algo` strings → boxed [`Mapper`]s.
+//!
+//! Mirrors the CLI's solver table so a request can name any mapper the
+//! command line can. Mappers are cheap to construct (plain config
+//! structs), so workers build one per job rather than sharing instances
+//! across threads.
+
+use match_baselines::{
+    FastMapScheme, GreedyMapper, HillClimber, PolishedMatcher, RandomSearch, RecursiveBisection,
+    RoundRobin, SimulatedAnnealing,
+};
+use match_core::{IslandMatcher, Mapper, Matcher};
+use match_ga::{FastMapGa, GaConfig};
+
+/// All names the registry accepts, for error messages and docs.
+pub const KNOWN_ALGOS: &[&str] = &[
+    "match",
+    "islands",
+    "ga",
+    "fastmap-ga",
+    "greedy",
+    "hill",
+    "hillclimb",
+    "sa",
+    "random",
+    "roundrobin",
+    "polish",
+    "bisect",
+    "fastmap",
+];
+
+/// Construct the solver a request named, or `None` for an unknown name.
+pub fn build_mapper(name: &str) -> Option<Box<dyn Mapper>> {
+    Some(match name {
+        "match" => Box::new(Matcher::default()),
+        "islands" => Box::new(IslandMatcher::default()),
+        "ga" | "fastmap-ga" => Box::new(FastMapGa::new(GaConfig::paper_default())),
+        "greedy" => Box::new(GreedyMapper),
+        "hill" | "hillclimb" => Box::new(HillClimber::default()),
+        "sa" => Box::new(SimulatedAnnealing::default()),
+        "random" => Box::new(RandomSearch::new(100_000)),
+        "roundrobin" => Box::new(RoundRobin),
+        "polish" => Box::new(PolishedMatcher::default()),
+        "bisect" => Box::new(RecursiveBisection::default()),
+        "fastmap" => Box::new(FastMapScheme::new(
+            FastMapGa::new(GaConfig::paper_default()),
+        )),
+        _ => return None,
+    })
+}
+
+/// Whether a solver only accepts square instances (|tasks| == |resources|).
+///
+/// Permutation-model solvers assert squareness; checking here lets the
+/// daemon refuse a mismatched request at admission with a clear error
+/// instead of poisoning a worker thread.
+pub fn requires_square(name: &str) -> bool {
+    matches!(
+        name,
+        "match" | "islands" | "ga" | "fastmap-ga" | "polish" | "fastmap"
+    )
+}
+
+/// A human-readable list of known algorithm names for error payloads.
+pub fn known_algos_list() -> String {
+    KNOWN_ALGOS.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_known_name_builds() {
+        for name in KNOWN_ALGOS {
+            assert!(build_mapper(name).is_some(), "registry missing {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_refused() {
+        assert!(build_mapper("quantum-annealer").is_none());
+    }
+
+    #[test]
+    fn square_only_solvers_are_flagged() {
+        assert!(requires_square("match"));
+        assert!(requires_square("ga"));
+        assert!(!requires_square("greedy"));
+        assert!(!requires_square("sa"));
+    }
+}

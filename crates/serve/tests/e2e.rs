@@ -1,0 +1,340 @@
+//! End-to-end daemon tests over a real TCP socket: concurrency across
+//! solver kinds, result-cache hits, admission-control backpressure,
+//! deadline cancellation, drain-on-shutdown, and trace reporting.
+
+use match_serve::{Client, Request, Response, ServeConfig, Server, ServerHandle, SolveRequest};
+
+/// The paper-family instance for `(n, seed)`, in wire (text) format.
+fn instance_text(n: usize, seed: u64) -> (String, String) {
+    use match_graph::gen::paper::PaperFamilyConfig;
+    use match_graph::io::to_text;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pair = PaperFamilyConfig::new(n).generate(&mut rng);
+    (to_text(pair.tig.graph()), to_text(pair.resources.graph()))
+}
+
+fn start(workers: usize, queue_cap: usize, cache_cap: usize) -> ServerHandle {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_cap,
+        cache_cap,
+        trace: None,
+    })
+    .expect("bind ephemeral port")
+}
+
+fn solve(id: &str, algo: &str, seed: u64, tig: &str, platform: &str) -> Request {
+    Request::Solve(SolveRequest {
+        id: id.to_string(),
+        algo: algo.to_string(),
+        seed,
+        deadline_ms: None,
+        tig: tig.to_string(),
+        platform: platform.to_string(),
+    })
+}
+
+fn expect_solved(resp: Response) -> match_serve::SolveResponse {
+    match resp {
+        Response::Solved(r) => r,
+        other => panic!("expected Solved, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_requests_across_solver_kinds() {
+    let handle = start(4, 64, 64);
+    let addr = handle.local_addr();
+    let (tig, platform) = instance_text(8, 1);
+
+    // 8 concurrent clients across 4 solver kinds, distinct seeds.
+    let algos = ["greedy", "hill", "sa", "roundrobin"];
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let algo = algos[i % algos.len()].to_string();
+            let (tig, platform) = (tig.clone(), platform.clone());
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let id = format!("c{i}");
+                let resp = client
+                    .call(&solve(&id, &algo, 100 + i as u64, &tig, &platform))
+                    .expect("call");
+                let r = expect_solved(resp);
+                assert_eq!(r.id, id);
+                assert_eq!(r.mapping.len(), 8);
+                assert!(r.cost.is_finite() && r.cost > 0.0);
+                r
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    let stats = handle.stats();
+    assert_eq!(stats.jobs, 8);
+    assert_eq!(stats.rejected, 0);
+    let summary = handle.shutdown().expect("shutdown");
+    assert_eq!(summary.stats.jobs, 8);
+}
+
+#[test]
+fn cache_hit_returns_byte_identical_mapping() {
+    let handle = start(2, 16, 16);
+    let (tig, platform) = instance_text(7, 2);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    let first = expect_solved(
+        client
+            .call(&solve("a", "hill", 9, &tig, &platform))
+            .expect("first"),
+    );
+    assert!(!first.cached);
+    let second = expect_solved(
+        client
+            .call(&solve("b", "hill", 9, &tig, &platform))
+            .expect("second"),
+    );
+    assert!(second.cached, "identical resubmission must hit the cache");
+    assert_eq!(second.mapping, first.mapping, "cache must echo the mapping");
+    assert_eq!(second.cost, first.cost);
+    assert_eq!(second.evaluations, 0, "a hit does no solver work");
+
+    // A different seed is a different job: miss, possibly different map.
+    let third = expect_solved(
+        client
+            .call(&solve("c", "hill", 10, &tig, &platform))
+            .expect("third"),
+    );
+    assert!(!third.cached);
+
+    let stats = handle.stats();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (1, 2));
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn per_seed_determinism_without_cache() {
+    // cache_cap = 0 disables the cache, so both runs actually solve.
+    let handle = start(2, 16, 0);
+    let (tig, platform) = instance_text(7, 3);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let a = expect_solved(
+        client
+            .call(&solve("a", "sa", 42, &tig, &platform))
+            .expect("a"),
+    );
+    let b = expect_solved(
+        client
+            .call(&solve("b", "sa", 42, &tig, &platform))
+            .expect("b"),
+    );
+    assert!(!a.cached && !b.cached);
+    assert_eq!(a.mapping, b.mapping, "same seed, same mapping");
+    assert_eq!(a.cost, b.cost);
+    let c = expect_solved(
+        client
+            .call(&solve("c", "sa", 43, &tig, &platform))
+            .expect("c"),
+    );
+    assert!(!c.cached);
+    // (Different seeds may legitimately coincide in the optimum; only
+    // check the cost is still a valid finite objective.)
+    assert!(c.cost.is_finite());
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn backpressure_rejects_when_queue_full() {
+    // One worker, queue of one: a slow blocker occupies the worker, a
+    // second job fills the queue, the rest must be rejected.
+    let handle = start(1, 1, 0);
+    let (tig, platform) = instance_text(10, 4);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Pipeline the blocker plus a burst without reading responses.
+    let n_burst = 8;
+    for i in 0..=n_burst {
+        client
+            .send(&solve(&format!("j{i}"), "sa", i, &tig, &platform))
+            .expect("send");
+    }
+    let mut solved = 0;
+    let mut rejected = 0;
+    for _ in 0..=n_burst {
+        match client.recv().expect("recv") {
+            Response::Solved(_) => solved += 1,
+            Response::Rejected {
+                queue_depth,
+                queue_cap,
+                ..
+            } => {
+                assert_eq!(queue_cap, 1);
+                assert!(queue_depth >= 1);
+                rejected += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(rejected >= 1, "burst past the queue bound must see 429s");
+    assert!(solved >= 1, "admitted work still completes");
+    assert_eq!(solved + rejected, n_burst + 1);
+    let stats = handle.stats();
+    assert_eq!(stats.rejected, rejected);
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn deadline_cancellation_returns_partial_result() {
+    let handle = start(1, 4, 16);
+    let (tig, platform) = instance_text(10, 5);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let req = Request::Solve(SolveRequest {
+        id: "dl".into(),
+        algo: "sa".into(),
+        seed: 6,
+        deadline_ms: Some(0), // already expired at dequeue
+        tig: tig.clone(),
+        platform: platform.clone(),
+    });
+    let r = expect_solved(client.call(&req).expect("call"));
+    assert!(r.cancelled, "an expired deadline must be reported");
+    assert_eq!(r.mapping.len(), 10, "best-so-far mapping still returned");
+    assert!(r.cost.is_finite());
+
+    // Cancelled results are not cached: resubmitting solves again.
+    let r2 = expect_solved(client.call(&req).expect("recall"));
+    assert!(!r2.cached);
+    let stats = handle.stats();
+    assert_eq!(stats.cancelled, 2);
+    assert_eq!(stats.cache_hits, 0);
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn shutdown_drains_admitted_work() {
+    let handle = start(2, 16, 0);
+    let (tig, platform) = instance_text(9, 6);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let n = 6;
+    for i in 0..n {
+        client
+            .send(&solve(&format!("d{i}"), "sa", i, &tig, &platform))
+            .expect("send");
+    }
+    // Request shutdown immediately: everything admitted must still be
+    // answered before the daemon exits.
+    client.send(&Request::Shutdown).expect("send shutdown");
+    let mut solved = 0;
+    let mut bye = false;
+    for _ in 0..=n {
+        match client.recv().expect("recv during drain") {
+            Response::Solved(r) => {
+                assert!(!r.mapping.is_empty());
+                solved += 1;
+            }
+            Response::Bye => bye = true,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert!(bye, "shutdown must be acknowledged");
+    assert_eq!(solved, n, "every admitted job is drained");
+    let summary = handle.wait().expect("wait");
+    assert_eq!(summary.stats.jobs, n);
+}
+
+#[test]
+fn bad_requests_get_protocol_errors_not_hangups() {
+    let handle = start(1, 4, 4);
+    let (tig, platform) = instance_text(6, 7);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Unknown algorithm.
+    let resp = client
+        .call(&solve("x", "quantum", 1, &tig, &platform))
+        .expect("call");
+    match resp {
+        Response::Error { id, error } => {
+            assert_eq!(id, "x");
+            assert!(error.contains("unknown algorithm"), "{error}");
+            assert!(error.contains("greedy"), "lists known algos: {error}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    // Unparseable instance.
+    let resp = client
+        .call(&solve("y", "greedy", 1, "not a graph", &platform))
+        .expect("call");
+    assert!(matches!(resp, Response::Error { .. }));
+
+    // Rectangular instance for a permutation solver.
+    let (tig10, _) = instance_text(10, 8);
+    let resp = client
+        .call(&solve("z", "match", 1, &tig10, &platform))
+        .expect("call");
+    match resp {
+        Response::Error { error, .. } => assert!(error.contains("square"), "{error}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    // The connection is still usable afterwards.
+    let r = expect_solved(
+        client
+            .call(&solve("ok", "greedy", 1, &tig, &platform))
+            .expect("call"),
+    );
+    assert_eq!(r.id, "ok");
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn trace_run_summarises() {
+    use match_telemetry::{read_trace_file, Event, TraceSummary};
+    let dir = std::env::temp_dir().join(format!(
+        "match-serve-e2e-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let trace = dir.join("serve.jsonl");
+    let handle = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_cap: 8,
+        cache_cap: 8,
+        trace: Some(trace.clone()),
+    })
+    .expect("start");
+    let (tig, platform) = instance_text(7, 9);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    for (i, algo) in ["greedy", "hill", "greedy"].iter().enumerate() {
+        // The third request repeats the first: one cache hit in trace.
+        let r = expect_solved(
+            client
+                .call(&solve(&format!("t{i}"), algo, 5, &tig, &platform))
+                .expect("call"),
+        );
+        assert_eq!(r.cached, i == 2);
+    }
+    let summary = handle.shutdown().expect("shutdown");
+    assert!(summary.trace_lines.unwrap() > 0);
+
+    let events = read_trace_file(&trace).expect("trace parses");
+    assert!(matches!(
+        events.first(),
+        Some(Event::RunStart { solver, .. }) if solver == "match-serve"
+    ));
+    assert!(matches!(events.last(), Some(Event::RunEnd { .. })));
+    let hits = events
+        .iter()
+        .filter(|e| matches!(e, Event::Counter { name, .. } if name == "cache_hit"))
+        .count();
+    assert_eq!(hits, 1);
+    let rendered = TraceSummary::from_events(&events).render();
+    assert!(rendered.contains("match-serve"), "{rendered}");
+    std::fs::remove_dir_all(dir).ok();
+}

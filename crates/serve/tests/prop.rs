@@ -1,0 +1,104 @@
+//! Property-based tests for the canonical instance hash: the cache key
+//! must be invariant under representation details (edge declaration
+//! order, endpoint order) and sensitive to anything that changes the
+//! cost tables.
+
+use match_graph::gen::paper::PaperFamilyConfig;
+use match_graph::io::{from_text, to_text};
+use match_graph::{ResourceGraph, TaskGraph};
+use match_serve::{instance_hash, job_key};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn build(tig_text: &str, platform_text: &str) -> match_core::MappingInstance {
+    let tig = TaskGraph::new(from_text(tig_text).expect("tig parses")).expect("valid tig");
+    let platform = ResourceGraph::new(from_text(platform_text).expect("platform parses"))
+        .expect("valid platform");
+    match_core::MappingInstance::new(&tig, &platform)
+}
+
+/// Shuffle the `edge` lines of an instance text, leaving the header and
+/// `node` lines in place — a different declaration of the same graph.
+fn shuffle_edges(text: &str, seed: u64, swap_endpoints: bool) -> String {
+    let mut head: Vec<String> = Vec::new();
+    let mut edges: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("edge ") {
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if swap_endpoints {
+                edges.push(format!("edge {} {} {}", fields[1], fields[0], fields[2]));
+            } else {
+                edges.push(line.to_string());
+            }
+        } else {
+            head.push(line.to_string());
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    edges.shuffle(&mut rng);
+    let mut out = head;
+    out.extend(edges);
+    out.join("\n") + "\n"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hash_invariant_under_edge_reordering(
+        n in 2usize..16,
+        seed in any::<u64>(),
+        perm_seed in any::<u64>(),
+        swap in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pair = PaperFamilyConfig::new(n).generate(&mut rng);
+        let tig_text = to_text(pair.tig.graph());
+        let plat_text = to_text(pair.resources.graph());
+
+        let a = build(&tig_text, &plat_text);
+        let b = build(&shuffle_edges(&tig_text, perm_seed, swap), &plat_text);
+        prop_assert_eq!(instance_hash(&a), instance_hash(&b));
+        prop_assert_eq!(job_key(&a, "match", 7), job_key(&b, "match", 7));
+
+        // Reordering the platform's link declarations is equally inert.
+        let c = build(&tig_text, &shuffle_edges(&plat_text, perm_seed, swap));
+        prop_assert_eq!(instance_hash(&a), instance_hash(&c));
+    }
+
+    #[test]
+    fn job_key_separates_algo_and_seed(
+        n in 2usize..12,
+        seed in any::<u64>(),
+        s1 in any::<u64>(),
+        s2 in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pair = PaperFamilyConfig::new(n).generate(&mut rng);
+        let inst = match_core::MappingInstance::from_pair(&pair);
+        if s1 != s2 {
+            prop_assert_ne!(job_key(&inst, "match", s1), job_key(&inst, "match", s2));
+        }
+        prop_assert_ne!(job_key(&inst, "match", s1), job_key(&inst, "sa", s1));
+        prop_assert_eq!(job_key(&inst, "hill", s1), job_key(&inst, "hill", s1));
+    }
+
+    #[test]
+    fn hash_sensitive_to_instance_identity(
+        n in 3usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = match_core::MappingInstance::from_pair(
+            &PaperFamilyConfig::new(n).generate(&mut rng),
+        );
+        // A freshly drawn instance of the same family and size almost
+        // surely has different weights; its digest must differ.
+        let b = match_core::MappingInstance::from_pair(
+            &PaperFamilyConfig::new(n).generate(&mut rng),
+        );
+        prop_assert_ne!(instance_hash(&a), instance_hash(&b));
+    }
+}

@@ -8,7 +8,7 @@
 //! ready idles (head-of-line blocking) until the last dependency's
 //! completion event releases it.
 
-use match_telemetry::{Event, NullRecorder, Recorder};
+use match_telemetry::{Event, NullRecorder, Recorder, SpanEvent, SIM_SPAN_TIME_SCALE};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -134,6 +134,13 @@ pub fn simulate(
 /// start), so a trace shows how much concurrency the workload sustains.
 /// Peak depth is tracked unconditionally and reported in
 /// [`SimReport::peak_queue_depth`].
+///
+/// Each completed item additionally emits a `res{r}:busy` span, and each
+/// head-of-line stall a `res{r}:idle` span, with the span's `iter` field
+/// carrying the start time and `wall_ns` the width — both in simulated
+/// units scaled by [`SIM_SPAN_TIME_SCALE`]. Together they reconstruct
+/// the full per-resource schedule timeline (see the Gantt renderer in
+/// `match-viz`).
 pub fn simulate_traced(
     items_per_resource: &[Vec<WorkItem>],
     mut deps: Vec<u32>,
@@ -171,6 +178,7 @@ pub fn simulate_traced(
     let mut next_idx = vec![0usize; n_res]; // next item position
     let mut running = vec![false; n_res];
     let mut busy = vec![0.0f64; n_res];
+    let mut last_end = vec![0.0f64; n_res]; // per-resource timeline cursor
     let mut clock = 0.0f64;
     let mut events: u64 = 0;
     let mut peak_queue_depth: u64 = 0;
@@ -219,7 +227,27 @@ pub fn simulate_traced(
             });
         }
         clock = clock.max(t);
-        busy[r] += item(id).duration;
+        let duration = item(id).duration;
+        busy[r] += duration;
+        if traced {
+            // Busy/idle spans: simulated time, scaled to integers.
+            let scale = |x: f64| (x * SIM_SPAN_TIME_SCALE).round() as u64;
+            let start = t - duration;
+            let gap = scale(start - last_end[r]);
+            if gap > 0 {
+                recorder.record(Event::Span(SpanEvent {
+                    name: format!("res{r}:idle").into(),
+                    iter: scale(last_end[r]),
+                    wall_ns: gap,
+                }));
+            }
+            recorder.record(Event::Span(SpanEvent {
+                name: format!("res{r}:busy").into(),
+                iter: scale(start),
+                wall_ns: scale(duration),
+            }));
+            last_end[r] = t;
+        }
         running[r] = false;
         next_idx[r] += 1;
         // Release dependents.
@@ -399,6 +427,49 @@ mod tests {
         let depth = rec.gauge_hist("queue_depth").expect("gauge recorded");
         assert_eq!(depth.count(), 1, "3 events => one sample at event 1");
         assert!(depth.max() <= rep.peak_queue_depth);
+    }
+
+    #[test]
+    fn busy_and_idle_spans_reconstruct_the_timeline() {
+        use match_telemetry::MemoryRecorder;
+        // r0: item A (3.0). r1: item B (1.0) depends on A, so r1 idles
+        // for 3.0 units before its only busy span.
+        let items = vec![vec![compute(0, 0, 3.0)], vec![compute(1, 1, 1.0)]];
+        let mut rec = MemoryRecorder::new();
+        let rep = simulate_traced(&items, vec![0, 1], &[vec![1], vec![]], false, &mut rec);
+        assert_eq!(rep.makespan, 4.0);
+        let spans: Vec<&SpanEvent> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        let scale = |x: f64| (x * SIM_SPAN_TIME_SCALE).round() as u64;
+        let find = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing span {name}"))
+        };
+        let a = find("res0:busy");
+        assert_eq!((a.iter, a.wall_ns), (0, scale(3.0)));
+        let gap = find("res1:idle");
+        assert_eq!((gap.iter, gap.wall_ns), (0, scale(3.0)));
+        let b = find("res1:busy");
+        assert_eq!((b.iter, b.wall_ns), (scale(3.0), scale(1.0)));
+        // No spurious idle span on the resource that never waited.
+        assert!(!spans.iter().any(|s| s.name == "res0:idle"));
+    }
+
+    #[test]
+    fn spans_only_emitted_when_traced() {
+        let items = vec![vec![compute(0, 0, 3.0)], vec![compute(1, 1, 1.0)]];
+        // NullRecorder path (plain `simulate`): must not panic and must
+        // produce the same report as the traced run.
+        let rep = simulate(&items, vec![0, 1], &[vec![1], vec![]], false);
+        assert_eq!(rep.makespan, 4.0);
     }
 
     #[test]

@@ -28,6 +28,17 @@ pub struct IterEvent {
     pub wall_ns: u64,
 }
 
+/// Fixed-point scale used when span events carry *simulated* time
+/// instead of wall-clock nanoseconds.
+///
+/// The discrete-event simulator emits per-resource `res{r}:busy` /
+/// `res{r}:idle` spans whose `iter` field holds the interval start and
+/// whose `wall_ns` field holds the interval length, both multiplied by
+/// this scale and rounded — simulated time is `f64` but the span fields
+/// are integers. Consumers (e.g. `match-viz`'s Gantt-from-trace helper)
+/// divide by the same constant to recover simulated time.
+pub const SIM_SPAN_TIME_SCALE: f64 = 1000.0;
+
 /// A timed phase inside an iteration, e.g. `sample`, `evaluate`,
 /// `update`, `migrate`.
 #[derive(Debug, Clone, PartialEq, Eq)]

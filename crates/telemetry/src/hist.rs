@@ -1,4 +1,5 @@
-//! Fixed-bucket latency histogram.
+//! Fixed-bucket histograms: power-of-two buckets for latencies,
+//! linear buckets for small-range gauges.
 
 /// A power-of-two-bucket histogram for `u64` samples (typically
 /// nanosecond latencies).
@@ -112,6 +113,166 @@ impl Histogram {
     }
 }
 
+/// A linear-bucket histogram for `u64` samples in a small range
+/// (queue depths, pool sizes, other gauge-style metrics).
+///
+/// [`Histogram`]'s power-of-two buckets are the right shape for
+/// nanosecond latencies spanning six orders of magnitude, but they read
+/// poorly for gauges: queue depths 8..=15 all collapse into one bucket,
+/// so `p95` of a depth gauge jumps in powers of two. This variant uses
+/// `n_buckets` fixed-width buckets of `width` each (bucket `i` covers
+/// `[i*width, (i+1)*width)`) plus one overflow bucket, giving exact
+/// per-value resolution for the common `width == 1` case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearHistogram {
+    width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LinearHistogram {
+    fn default() -> Self {
+        Self::for_gauge()
+    }
+}
+
+impl LinearHistogram {
+    /// An empty histogram with `n_buckets` buckets of `width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width == 0` or `n_buckets == 0`.
+    pub fn new(width: u64, n_buckets: usize) -> Self {
+        assert!(width > 0, "bucket width must be positive");
+        assert!(n_buckets > 0, "need at least one bucket");
+        LinearHistogram {
+            width,
+            buckets: vec![0; n_buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The default gauge shape: width-1 buckets covering `0..256`, so
+    /// queue depths and pool sizes are counted exactly.
+    pub fn for_gauge() -> Self {
+        Self::new(1, 256)
+    }
+
+    /// Bucket width this histogram was built with.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Number of regular (non-overflow) buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket_index(&self, value: u64) -> Option<usize> {
+        let i = (value / self.width) as usize;
+        (i < self.buckets.len()).then_some(i)
+    }
+
+    /// Upper bound (inclusive) of bucket `i`.
+    fn bucket_upper(&self, i: usize) -> u64 {
+        (i as u64 + 1) * self.width - 1
+    }
+
+    /// Record one sample. Samples beyond the covered range land in the
+    /// overflow bucket but still contribute to count/sum/max.
+    pub fn record(&mut self, value: u64) {
+        match self.bucket_index(value) {
+            Some(i) => self.buckets[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample, 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Samples that fell beyond the covered range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of the samples, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate q-quantile (`0.0..=1.0`): the inclusive upper bound
+    /// of the first bucket whose cumulative count reaches `q * count`,
+    /// clamped to the observed maximum. Exact when `width == 1` and no
+    /// sample overflowed. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return self.bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two histograms have different shapes (width or
+    /// bucket count) — merging those would silently mis-bucket.
+    pub fn merge(&mut self, other: &LinearHistogram) {
+        assert_eq!(self.width, other.width, "bucket widths differ");
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "bucket counts differ"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,5 +342,95 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn linear_empty() {
+        let h = LinearHistogram::for_gauge();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn linear_quantiles_are_exact_at_width_one() {
+        // 100 samples 0..100: with width-1 buckets, quantiles are exact,
+        // unlike the power-of-two histogram which rounds up to 2^k - 1.
+        let mut h = LinearHistogram::new(1, 256);
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 49);
+        assert_eq!(h.quantile(0.95), 94);
+        assert_eq!(h.quantile(1.0), 99);
+        assert_eq!(h.max(), 99);
+        assert!((h.mean() - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_overflow_counts_but_keeps_stats() {
+        let mut h = LinearHistogram::new(1, 4);
+        for v in [0u64, 1, 2, 3, 10, 20] {
+            h.record(v);
+        }
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 20);
+        assert_eq!(h.sum(), 36);
+        // Overflowed samples surface via the max clamp.
+        assert_eq!(h.quantile(1.0), 20);
+    }
+
+    #[test]
+    fn linear_wide_buckets() {
+        let mut h = LinearHistogram::new(10, 8);
+        for v in [0u64, 9, 10, 25, 79] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.2), 9); // bucket [0,10) upper bound
+        assert_eq!(h.quantile(1.0), 79);
+    }
+
+    #[test]
+    fn linear_merge_matches_combined_recording() {
+        let mut a = LinearHistogram::new(1, 16);
+        let mut b = LinearHistogram::new(1, 16);
+        let mut combined = LinearHistogram::new(1, 16);
+        for v in [0u64, 3, 7, 200] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [1u64, 15, 99] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket widths differ")]
+    fn linear_merge_rejects_mismatched_width() {
+        let mut a = LinearHistogram::new(1, 16);
+        let b = LinearHistogram::new(2, 16);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn linear_quantile_monotone() {
+        let mut h = LinearHistogram::for_gauge();
+        for v in 0..64u64 {
+            h.record(v % 17);
+        }
+        let mut last = 0;
+        for i in 0..=10 {
+            let q = h.quantile(i as f64 / 10.0);
+            assert!(q >= last, "quantile must be monotone");
+            assert!(q <= h.max());
+            last = q;
+        }
     }
 }

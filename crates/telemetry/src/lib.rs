@@ -33,8 +33,8 @@ pub mod json;
 pub mod recorder;
 pub mod report;
 
-pub use event::{Event, IterEvent, PoolEvent, Span, SpanEvent};
-pub use hist::Histogram;
+pub use event::{Event, IterEvent, PoolEvent, Span, SpanEvent, SIM_SPAN_TIME_SCALE};
+pub use hist::{Histogram, LinearHistogram};
 pub use json::{parse_line, to_json, ParseError};
 pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
 pub use report::TraceSummary;

@@ -7,7 +7,7 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
 use crate::event::Event;
-use crate::hist::Histogram;
+use crate::hist::{Histogram, LinearHistogram};
 use crate::json::to_json;
 
 /// A sink for solver telemetry.
@@ -99,7 +99,7 @@ pub struct MemoryRecorder {
     counters: BTreeMap<Cow<'static, str>, u64>,
     span_ns: BTreeMap<Cow<'static, str>, u64>,
     pool_hist: Histogram,
-    gauges: BTreeMap<Cow<'static, str>, Histogram>,
+    gauges: BTreeMap<Cow<'static, str>, LinearHistogram>,
 }
 
 impl MemoryRecorder {
@@ -154,7 +154,10 @@ impl MemoryRecorder {
     }
 
     /// Histogram of a named gauge's samples, if any were recorded.
-    pub fn gauge_hist(&self, name: &str) -> Option<&Histogram> {
+    /// Gauges use linear buckets ([`LinearHistogram`]) because their
+    /// values live in a small range where power-of-two buckets would
+    /// collapse distinct depths together.
+    pub fn gauge_hist(&self, name: &str) -> Option<&LinearHistogram> {
         self.gauges.get(name)
     }
 

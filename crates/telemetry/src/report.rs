@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::event::Event;
-use crate::hist::Histogram;
+use crate::hist::{Histogram, LinearHistogram};
 
 /// Aggregate view of one solver trace, built from the raw event stream.
 #[derive(Debug, Clone, Default)]
@@ -36,8 +36,10 @@ pub struct TraceSummary {
     pub counters: Vec<(String, u64)>,
     /// Latency histogram over pool chunk dispatches.
     pub pool: Histogram,
-    /// Gauge histograms (e.g. simulator queue depth), alphabetical.
-    pub gauges: Vec<(String, Histogram)>,
+    /// Gauge histograms (e.g. simulator or daemon queue depth),
+    /// alphabetical. Linear buckets: gauge values live in a small range
+    /// where power-of-two buckets would collapse distinct depths.
+    pub gauges: Vec<(String, LinearHistogram)>,
     /// Total number of events consumed.
     pub events: usize,
 }
@@ -55,7 +57,7 @@ impl TraceSummary {
         let mut running_best = f64::INFINITY;
         let mut spans: BTreeMap<String, u64> = BTreeMap::new();
         let mut counters: BTreeMap<String, u64> = BTreeMap::new();
-        let mut gauges: BTreeMap<String, Histogram> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, LinearHistogram> = BTreeMap::new();
         let mut gammas: Vec<f64> = Vec::new();
 
         for event in events {

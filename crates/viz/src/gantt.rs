@@ -1,5 +1,11 @@
 //! Gantt-style timeline rendering for simulator traces: one row per
 //! server, busy intervals marked along a scaled time axis.
+//!
+//! [`spans_from_trace`] rebuilds the timeline from the `res{r}:busy` /
+//! `res{r}:idle` span events the simulator emits into a JSONL trace, so
+//! a schedule can be drawn from a trace file alone.
+
+use match_telemetry::{Event, SIM_SPAN_TIME_SCALE};
 
 /// One interval on a timeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,9 +70,60 @@ pub fn render_gantt(
     out
 }
 
+/// `res{r}:busy` → `(r, 0)`, `res{r}:idle` → `(r, 1)`; anything else
+/// (solver phase spans like `sample`) is not a timeline span.
+fn parse_resource_span(name: &str) -> Option<(usize, usize)> {
+    let rest = name.strip_prefix("res")?;
+    let (row, kind) = rest.split_once(':')?;
+    let class = match kind {
+        "busy" => 0,
+        "idle" => 1,
+        _ => return None,
+    };
+    Some((row.parse().ok()?, class))
+}
+
+/// Rebuild per-resource timeline spans from a trace's `res{r}:busy` /
+/// `res{r}:idle` span events (the simulator encodes the start time in
+/// the span's `iter` field and the width in `wall_ns`, both scaled by
+/// [`SIM_SPAN_TIME_SCALE`]). Returns the spans in simulated time units
+/// plus the row count; other events are ignored.
+pub fn spans_from_trace(events: &[Event]) -> (Vec<GanttSpan>, usize) {
+    let mut spans = Vec::new();
+    let mut rows = 0usize;
+    for e in events {
+        let Event::Span(s) = e else { continue };
+        let Some((row, class)) = parse_resource_span(&s.name) else {
+            continue;
+        };
+        let start = s.iter as f64 / SIM_SPAN_TIME_SCALE;
+        let end = start + s.wall_ns as f64 / SIM_SPAN_TIME_SCALE;
+        rows = rows.max(row + 1);
+        spans.push(GanttSpan {
+            row,
+            start,
+            end,
+            class,
+        });
+    }
+    (spans, rows)
+}
+
+/// Render the schedule timeline embedded in a trace, or `None` when the
+/// trace carries no `res{r}:busy` / `res{r}:idle` spans (e.g. a solver
+/// trace rather than a simulator trace).
+pub fn trace_gantt(events: &[Event], width: usize, title: &str) -> Option<String> {
+    let (spans, rows) = spans_from_trace(events);
+    if spans.is_empty() {
+        return None;
+    }
+    Some(render_gantt(&spans, rows, width, None, title))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use match_telemetry::SpanEvent;
 
     #[test]
     fn spans_land_in_their_rows() {
@@ -128,6 +185,63 @@ mod tests {
         ];
         let s = render_gantt(&spans, 1, 10, Some(5.0), "");
         assert!(!s.contains('█'));
+    }
+
+    fn span(name: &str, start: u64, width: u64) -> Event {
+        Event::Span(SpanEvent {
+            name: name.to_string().into(),
+            iter: start,
+            wall_ns: width,
+        })
+    }
+
+    #[test]
+    fn trace_spans_round_trip() {
+        let k = SIM_SPAN_TIME_SCALE as u64;
+        let events = vec![
+            span("res0:busy", 0, 3 * k),
+            span("res1:idle", 0, 3 * k),
+            span("res1:busy", 3 * k, k),
+            span("sample", 0, 999), // solver phase span: ignored
+        ];
+        let (spans, rows) = spans_from_trace(&events);
+        assert_eq!(rows, 2);
+        assert_eq!(
+            spans,
+            vec![
+                GanttSpan {
+                    row: 0,
+                    start: 0.0,
+                    end: 3.0,
+                    class: 0
+                },
+                GanttSpan {
+                    row: 1,
+                    start: 0.0,
+                    end: 3.0,
+                    class: 1
+                },
+                GanttSpan {
+                    row: 1,
+                    start: 3.0,
+                    end: 4.0,
+                    class: 0
+                },
+            ]
+        );
+        let chart = trace_gantt(&events, 40, "schedule").unwrap();
+        assert!(chart.starts_with("schedule\n"));
+        assert!(chart.contains('█'));
+        assert!(chart.contains('▒'));
+    }
+
+    #[test]
+    fn trace_gantt_none_for_solver_traces() {
+        let events = vec![span("sample", 0, 10), span("update", 1, 20)];
+        assert!(trace_gantt(&events, 40, "").is_none());
+        // Malformed resource names are ignored, not misparsed.
+        let events = vec![span("res:busy", 0, 10), span("resX:idle", 0, 10)];
+        assert!(trace_gantt(&events, 40, "").is_none());
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod table;
 pub use barchart::{BarChart, BarGroup};
 pub use csv::CsvWriter;
 pub use fmt::{format_duration_s, format_sig};
-pub use gantt::{render_gantt, GanttSpan};
+pub use gantt::{render_gantt, spans_from_trace, trace_gantt, GanttSpan};
 pub use heatmap::render_heatmap;
 pub use lineplot::LinePlot;
 pub use table::Table;
