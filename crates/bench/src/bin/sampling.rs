@@ -1,0 +1,203 @@
+//! Sampling-pipeline benchmark: sequential GenPerm batches versus the
+//! fused flat alias pipeline, emitted as a machine-readable JSON artefact
+//! (`BENCH_sampling.json`) for CI trend tracking.
+//!
+//! ```text
+//! cargo run -p match-bench --release --bin sampling
+//! cargo run -p match-bench --release --bin sampling -- --quick
+//! cargo run -p match-bench --release --bin sampling -- --json out.json --check
+//! ```
+//!
+//! `--check` exits non-zero when the batched pipeline (at the default
+//! thread count) is slower than the sequential one for any `n ≥ 32` —
+//! the CI smoke gate for the fused sample+evaluate path.
+
+use match_ce::batch::FlatSampler;
+use match_ce::model::CeModel;
+use match_ce::PermutationModel;
+use match_core::{exec_time, MappingInstance, MatchConfig, Matcher, SamplerMode};
+use match_graph::gen::InstanceGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Measurement {
+    ns_per_sample: f64,
+    samples_per_s: f64,
+}
+
+fn fmt_measure(m: &Measurement) -> String {
+    format!(
+        "{{\"ns_per_sample\":{:.1},\"samples_per_s\":{:.0}}}",
+        m.ns_per_sample, m.samples_per_s
+    )
+}
+
+/// Time `reps` repetitions of a whole-batch closure; returns per-sample
+/// cost over `batch` samples per repetition.
+fn time_batches(batch: usize, reps: usize, mut f: impl FnMut()) -> Measurement {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    let total = (batch * reps) as f64;
+    Measurement {
+        ns_per_sample: elapsed / total,
+        samples_per_s: total / (elapsed / 1e9),
+    }
+}
+
+fn sequential_batch(model: &PermutationModel, batch: usize, reps: usize) -> Measurement {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut samples: Vec<Vec<usize>> = Vec::new();
+    time_batches(batch, reps, || {
+        model.sample_batch(&mut rng, batch, &mut samples);
+        black_box(samples.len());
+    })
+}
+
+fn flat_batch(
+    model: &PermutationModel,
+    n: usize,
+    batch: usize,
+    reps: usize,
+    threads: usize,
+) -> Measurement {
+    let mut data = vec![0usize; batch * n];
+    let mut aux = vec![0.0f64; batch];
+    let mut tables = model.new_tables();
+    let mut iter_seed = 0u64;
+    time_batches(batch, reps, || {
+        iter_seed = iter_seed.wrapping_add(1);
+        let seed = iter_seed;
+        model.fill_tables(&mut tables);
+        let tables_ref = &tables;
+        match_par::parallel_fill_rows(
+            &mut data,
+            &mut aux,
+            n,
+            threads,
+            || model.new_scratch(),
+            |scratch, i, row, _aux| {
+                let mut rng = match_rngutil::seed::rng_from(seed, i as u64);
+                model.sample_flat(tables_ref, scratch, &mut rng, row);
+            },
+        );
+        black_box(data.last().copied());
+    })
+}
+
+/// End-to-end mapping time: one full MaTCH solve per sampler mode, same
+/// instance, same seed, bounded iteration budget.
+fn matcher_mt(inst: &MappingInstance, mode: SamplerMode, threads: usize) -> (f64, f64) {
+    let cfg = MatchConfig {
+        threads,
+        sampler: mode,
+        max_iters: 25,
+        ..MatchConfig::default()
+    };
+    let out = Matcher::new(cfg).run(inst, &mut StdRng::seed_from_u64(41));
+    (out.elapsed.as_secs_f64() * 1e3, out.cost)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_sampling.json".to_string());
+
+    let sizes: &[usize] = if quick { &[16, 32] } else { &[16, 32, 48] };
+    let reps = if quick { 5 } else { 20 };
+    let threads = match_par::default_threads();
+
+    let mut entries = Vec::new();
+    let mut failures = Vec::new();
+    for &n in sizes {
+        let model = PermutationModel::uniform(n);
+        let batch = 2 * n * n;
+        let seq = sequential_batch(&model, batch, reps);
+        let flat1 = flat_batch(&model, n, batch, reps, 1);
+        let flatp = flat_batch(&model, n, batch, reps, threads);
+        let speedup = seq.ns_per_sample / flatp.ns_per_sample;
+        eprintln!(
+            "[sampling] n={n:>3} batch={batch:>5}  sequential {:>8.1} ns/sample | \
+             flat t1 {:>8.1} | flat t{threads} {:>8.1}  ({speedup:.2}x)",
+            seq.ns_per_sample, flat1.ns_per_sample, flatp.ns_per_sample
+        );
+        if check && n >= 32 && flatp.ns_per_sample > seq.ns_per_sample {
+            failures.push(format!(
+                "n={n}: batched {:.1} ns/sample slower than sequential {:.1}",
+                flatp.ns_per_sample, seq.ns_per_sample
+            ));
+        }
+        entries.push(format!(
+            "    {{\"n\":{n},\"batch\":{batch},\"reps\":{reps},\
+             \"sequential\":{},\"batched_t1\":{},\
+             \"batched\":{{\"threads\":{threads},\"ns_per_sample\":{:.1},\"samples_per_s\":{:.0}}},\
+             \"speedup_vs_sequential\":{speedup:.3}}}",
+            fmt_measure(&seq),
+            fmt_measure(&flat1),
+            flatp.ns_per_sample,
+            flatp.samples_per_s,
+        ));
+    }
+
+    // End-to-end MT at the largest size: full solves, equal seed.
+    let mt_n = *sizes.last().unwrap();
+    let inst = MappingInstance::from_pair(
+        &InstanceGenerator::paper_family(mt_n).generate(&mut StdRng::seed_from_u64(40)),
+    );
+    let (seq_ms, seq_cost) = matcher_mt(&inst, SamplerMode::Sequential, 1);
+    let (bat_ms, bat_cost) = matcher_mt(&inst, SamplerMode::Batched, threads);
+    let mt_speedup = seq_ms / bat_ms;
+    eprintln!(
+        "[sampling] matcher n={mt_n}: sequential(t1) {seq_ms:.1} ms (cost {seq_cost:.1}) | \
+         batched(t{threads}) {bat_ms:.1} ms (cost {bat_cost:.1})  ({mt_speedup:.2}x MT)"
+    );
+    // Sanity: both modes optimise; costs must be in the same ballpark.
+    let rand_cost = exec_time(
+        &inst,
+        &match_rngutil::random_permutation(mt_n, &mut StdRng::seed_from_u64(42)),
+    );
+    if bat_cost > rand_cost {
+        failures.push(format!(
+            "batched cost {bat_cost:.1} worse than a random mapping {rand_cost:.1}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"sampling\",\n  \"threads\": {threads},\n  \"sizes\": [\n{}\n  ],\n  \
+         \"matcher_mt\": {{\"n\": {mt_n}, \"sequential_t1_ms\": {seq_ms:.1}, \
+         \"batched_ms\": {bat_ms:.1}, \"speedup\": {mt_speedup:.3}, \
+         \"sequential_cost\": {seq_cost:.3}, \"batched_cost\": {bat_cost:.3}}}\n}}\n",
+        entries.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => eprintln!("[sampling] wrote {json_path}"),
+        Err(e) => {
+            eprintln!("[sampling] could not write {json_path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    print!("{json}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("[sampling] FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

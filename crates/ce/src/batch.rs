@@ -1,0 +1,137 @@
+//! Flat-buffer batched sampling: the contract behind the fused parallel
+//! sample+evaluate pipeline.
+//!
+//! [`CeModel::sample`](crate::model::CeModel::sample) heap-allocates one
+//! `Vec` per draw, and the driver's classic loop draws all `N` samples on
+//! the driver thread before evaluation starts. At the paper's budget of
+//! `N = 2|V_r|²` GenPerm draws per iteration, sampling rivals evaluation
+//! for wall-clock time and serialises the pipeline.
+//!
+//! [`FlatSampler`] removes both costs for models whose samples are
+//! fixed-width `usize` rows (the permutation and assignment families):
+//!
+//! * the whole batch lands in **one flat `N × width` buffer** owned by
+//!   the driver and reused across iterations — zero per-sample
+//!   allocations;
+//! * per-iteration **tables** (alias tables per matrix row) are built
+//!   once per batch, amortising O(n) preprocessing over `N` O(1) draws;
+//! * per-worker **scratch** makes a single draw allocation-free, so the
+//!   draw can run *inside* a `match-par` worker, fused with the
+//!   evaluation of the same row.
+//!
+//! The driver entry point is
+//! [`minimize_flat`](crate::driver::minimize_flat).
+
+use rand::rngs::StdRng;
+
+use crate::model::CeModel;
+
+/// A scored batch of fixed-width samples stored row-major in one flat
+/// buffer: row `i` is `data[i * width .. (i + 1) * width]`.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatBatch<'a> {
+    width: usize,
+    data: &'a [usize],
+}
+
+impl<'a> FlatBatch<'a> {
+    /// Wrap a flat row-major buffer. `data.len()` must be a multiple of
+    /// `width` (a zero `width` requires an empty buffer).
+    pub fn new(width: usize, data: &'a [usize]) -> Self {
+        if width == 0 {
+            assert!(data.is_empty(), "zero-width batch must be empty");
+        } else {
+            assert_eq!(data.len() % width, 0, "data must be whole rows");
+        }
+        FlatBatch { width, data }
+    }
+
+    /// Entries per sample.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of samples in the batch.
+    pub fn rows(&self) -> usize {
+        self.data.len().checked_div(self.width).unwrap_or(0)
+    }
+
+    /// Sample `i` as a slice.
+    pub fn row(&self, i: usize) -> &'a [usize] {
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+}
+
+/// A [`CeModel`] that can draw fixed-width `usize` samples straight into
+/// flat buffers, with batch-level preprocessing and reusable scratch —
+/// everything the fused parallel sample+evaluate pipeline needs.
+///
+/// Determinism contract: [`FlatSampler::sample_flat`] must be a pure
+/// function of `(self, tables, rng)` — scratch carries no state between
+/// draws — so a batch drawn with per-sample RNGs derived from a single
+/// seed is identical for every thread count and chunking.
+pub trait FlatSampler: CeModel<Sample = Vec<usize>> + Sync {
+    /// Immutable per-batch sampling tables (e.g. one alias table per
+    /// stochastic-matrix row), shared read-only across workers.
+    type Tables: Send + Sync;
+    /// Per-worker mutable scratch for a single draw.
+    type Scratch: Send;
+
+    /// Entries per sample (the flat buffer holds `N × width` values).
+    fn width(&self) -> usize;
+
+    /// Allocate empty tables, to be populated by
+    /// [`FlatSampler::fill_tables`] before each batch.
+    fn new_tables(&self) -> Self::Tables;
+
+    /// Rebuild `tables` from the current model parameters, reusing their
+    /// allocations. Called once per iteration: the parameters are frozen
+    /// while a batch is drawn.
+    fn fill_tables(&self, tables: &mut Self::Tables);
+
+    /// Allocate scratch for one worker.
+    fn new_scratch(&self) -> Self::Scratch;
+
+    /// Draw one sample into `out` (`out.len() == self.width()`), using
+    /// the precomputed `tables`. Must draw the same distribution as
+    /// [`CeModel::sample`] (the RNG *stream* may differ).
+    fn sample_flat(
+        &self,
+        tables: &Self::Tables,
+        scratch: &mut Self::Scratch,
+        rng: &mut StdRng,
+        out: &mut [usize],
+    );
+
+    /// [`CeModel::update_from_elites`] reading elite rows (given by index,
+    /// in ascending-cost order) out of a flat batch instead of a slice of
+    /// `Vec`s. Must tolerate an empty index slice (no-op).
+    fn update_from_flat(&mut self, batch: &FlatBatch<'_>, elites: &[usize], zeta: f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_batch_indexing() {
+        let data = vec![0usize, 1, 2, 3, 4, 5];
+        let b = FlatBatch::new(3, &data);
+        assert_eq!(b.rows(), 2);
+        assert_eq!(b.width(), 3);
+        assert_eq!(b.row(0), &[0, 1, 2]);
+        assert_eq!(b.row(1), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_width_batch_is_empty() {
+        let b = FlatBatch::new(0, &[]);
+        assert_eq!(b.rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn ragged_batch_rejected() {
+        FlatBatch::new(4, &[1, 2, 3, 4, 5]);
+    }
+}

@@ -11,9 +11,13 @@
 //! `match-par`); an observer hook receives the model after each update,
 //! which is how Figure 3's matrix snapshots are collected.
 
+use crate::batch::{FlatBatch, FlatSampler};
 use crate::model::CeModel;
-use match_telemetry::{Event, IterEvent, NullRecorder, Recorder, Span};
+use match_telemetry::{Event, IterEvent, NullRecorder, PoolEvent, Recorder, Span, SpanEvent};
 use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Tunables of the CE loop. Defaults follow the paper where it commits
 /// to a value: `ρ = 0.1` (within its 0.01–0.1 band), `ζ = 0.3`, `c = 5`.
@@ -264,14 +268,17 @@ where
     let mut gamma_stable = 0usize;
     let mut stop_reason = StopReason::MaxIters;
     let mut iterations = 0usize;
+    let mut samples: Vec<M::Sample> = Vec::with_capacity(n);
 
     for iter in 0..config.max_iters {
         iterations = iter + 1;
-        let iter_start = traced.then(std::time::Instant::now);
+        let iter_start = traced.then(Instant::now);
 
-        // Step 3 (Fig. 5): draw the sample batch.
+        // Step 3 (Fig. 5): draw the sample batch (buffer reused across
+        // iterations; the default `sample_batch` keeps the historical
+        // per-sample RNG stream bit-identical).
         let span = traced.then(|| Span::start("sample", iter as u64));
-        let samples: Vec<M::Sample> = (0..n).map(|_| model.sample(rng)).collect();
+        model.sample_batch(rng, n, &mut samples);
         if let Some(span) = span {
             span.finish(recorder);
         }
@@ -287,24 +294,19 @@ where
         );
         evaluations += n as u64;
 
-        // Steps 4–5: order by cost, take the ρ-quantile threshold γ.
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            costs[a]
-                .partial_cmp(&costs[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let gamma = costs[order[elite_target - 1]];
-        // Ties at γ are admitted (the indicator of Eq. 11 is S ≤ γ).
-        let elites: Vec<M::Sample> = order
+        // Steps 4–5: the ρ-quantile threshold γ and the elite set, in
+        // O(N) expected instead of a full sort.
+        let selection = select_elites(&costs, elite_target);
+        let gamma = selection.gamma;
+        let elites: Vec<M::Sample> = selection
+            .elites
             .iter()
-            .take_while(|&&i| costs[i] <= gamma)
             .map(|&i| samples[i].clone())
             .collect();
         let elite_count = elites.len();
 
         // Track the incumbent.
-        let &first = order.first().expect("n >= 1");
+        let first = selection.best;
         // `<` alone would never capture a sample when every cost is +∞
         // (all-infeasible iterations of penalised formulations).
         if best_sample.is_none() || costs[first] < best_cost {
@@ -326,7 +328,7 @@ where
             gamma,
             best: costs[first],
             mean,
-            worst: costs[order[n - 1]],
+            worst: selection.worst,
             elite_count,
             entropy: model.entropy(),
         });
@@ -377,6 +379,277 @@ where
         }
         // Cooperative cancellation, polled last so the incumbent from
         // this iteration is already captured.
+        if should_stop() {
+            stop_reason = StopReason::Cancelled;
+            break;
+        }
+    }
+
+    CeOutcome {
+        best_sample: best_sample.expect("at least one iteration ran"),
+        best_cost,
+        iterations,
+        evaluations,
+        stop_reason,
+        telemetry,
+    }
+}
+
+/// The elite set of one iteration, by index into the cost slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EliteSelection {
+    /// Elite threshold `γ` — the `⌊ρN⌋`-th smallest cost.
+    pub gamma: f64,
+    /// Indices with cost `≤ γ` (the indicator of Eq. 11), sorted by
+    /// `(cost, index)` — the exact order a stable full sort would give.
+    pub elites: Vec<usize>,
+    /// Index of the best sample (smallest cost; smallest index on ties).
+    pub best: usize,
+    /// Worst sampled cost (telemetry).
+    pub worst: f64,
+}
+
+/// Select the `⌊ρN⌋`-elite plus ties at `γ` in O(N) expected time.
+///
+/// A quickselect ([`slice::select_nth_unstable_by`]) finds the
+/// `elite_target`-th smallest cost — that is `γ` — and a linear sweep
+/// admits every sample with `cost ≤ γ`, matching the `S ≤ γ` indicator
+/// of Eq. 11 (ties included). Only the elite set (≈ `ρN` entries) is then
+/// sorted, so the returned order — and hence the floating-point summation
+/// order of the model update and the incumbent choice — is bit-identical
+/// to the full stable sort this replaces.
+pub fn select_elites(costs: &[f64], elite_target: usize) -> EliteSelection {
+    let n = costs.len();
+    assert!(
+        (1..=n).contains(&elite_target),
+        "elite target must be in 1..=N"
+    );
+    let mut idx: Vec<usize> = (0..n).collect();
+    let (_, &mut kth, _) =
+        idx.select_nth_unstable_by(elite_target - 1, |&a, &b| costs[a].total_cmp(&costs[b]));
+    let gamma = costs[kth];
+    let mut elites: Vec<usize> = (0..n).filter(|&i| costs[i] <= gamma).collect();
+    elites.sort_unstable_by(|&a, &b| costs[a].total_cmp(&costs[b]).then(a.cmp(&b)));
+    let best = *elites.first().expect("gamma itself is admitted");
+    let worst = costs
+        .iter()
+        .copied()
+        .max_by(f64::total_cmp)
+        .expect("n >= 1");
+    EliteSelection {
+        gamma,
+        elites,
+        best,
+        worst,
+    }
+}
+
+/// The fused parallel CE loop for [`FlatSampler`] models: per iteration,
+/// the `N`-sample batch is split into `match-par` row chunks and each
+/// worker **draws and scores its rows in the same pass**, writing into
+/// one flat `N × width` buffer — no per-sample allocation, no
+/// sample-then-evaluate barrier.
+///
+/// Determinism: the driver RNG is consumed exactly once per iteration
+/// (one `u64` → the iteration seed); sample `i` draws from its own
+/// `StdRng` derived as `rng_from(iter_seed, i)` (SplitMix64). Results
+/// are therefore identical for every `threads` value and chunking —
+/// though the stream differs from the sequential
+/// [`minimize_controlled`] path.
+///
+/// When `recorder` is enabled, the fused region still reports separate
+/// `sample` / `evaluate` spans: workers accumulate per-phase nanoseconds
+/// and the region's wall clock is split proportionally (table builds
+/// count as sampling). Per-chunk [`PoolEvent`]s expose dispatch balance.
+#[allow(clippy::too_many_arguments)]
+pub fn minimize_flat<M, F, O>(
+    model: &mut M,
+    config: &CeConfig,
+    rng: &mut StdRng,
+    threads: usize,
+    evaluate: F,
+    mut observe: O,
+    recorder: &mut dyn Recorder,
+    should_stop: &dyn Fn() -> bool,
+) -> CeOutcome<Vec<usize>>
+where
+    M: FlatSampler,
+    F: Fn(&[usize]) -> f64 + Sync,
+    O: FnMut(usize, &M),
+{
+    config.validate();
+    let traced = recorder.enabled();
+    let n = config.sample_size;
+    let width = model.width();
+    let elite_target = ((config.rho * n as f64).floor() as usize).max(1);
+
+    let mut best_sample: Option<Vec<usize>> = None;
+    let mut best_cost = f64::INFINITY;
+    let mut telemetry = CeTelemetry::default();
+    let mut evaluations: u64 = 0;
+
+    let mut prev_signature: Option<Vec<f64>> = None;
+    let mut stable_iters = 0usize;
+    let mut prev_gamma: Option<f64> = None;
+    let mut gamma_stable = 0usize;
+    let mut stop_reason = StopReason::MaxIters;
+    let mut iterations = 0usize;
+
+    let mut tables = model.new_tables();
+    let mut data = vec![0usize; n * width];
+    let mut costs = vec![0.0f64; n];
+
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        let iter_start = traced.then(Instant::now);
+
+        // One driver-RNG draw per iteration; everything below is a pure
+        // function of (model, iter_seed), independent of thread count.
+        let iter_seed: u64 = rng.random();
+
+        let region_start = traced.then(Instant::now);
+        model.fill_tables(&mut tables);
+        let prep_ns = region_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+
+        let sample_ns = AtomicU64::new(0);
+        let eval_ns = AtomicU64::new(0);
+        let tables_ref = &tables;
+        let timings = match_par::parallel_fill_rows(
+            &mut data,
+            &mut costs,
+            width,
+            threads,
+            || model.new_scratch(),
+            |scratch, i, row, cost| {
+                let mut srng = match_rngutil::seed::rng_from(iter_seed, i as u64);
+                if traced {
+                    let t0 = Instant::now();
+                    model.sample_flat(tables_ref, scratch, &mut srng, row);
+                    let t1 = Instant::now();
+                    *cost = evaluate(row);
+                    let t2 = Instant::now();
+                    sample_ns.fetch_add((t1 - t0).as_nanos() as u64, Ordering::Relaxed);
+                    eval_ns.fetch_add((t2 - t1).as_nanos() as u64, Ordering::Relaxed);
+                } else {
+                    model.sample_flat(tables_ref, scratch, &mut srng, row);
+                    *cost = evaluate(row);
+                }
+            },
+        );
+        evaluations += n as u64;
+
+        if let Some(start) = region_start {
+            // Split the fused region's wall clock between the two logical
+            // phases in proportion to the workers' accumulated time, so
+            // phase budgets in `matchctl report` stay comparable with the
+            // sequential pipeline. Table builds count as sampling.
+            let wall = start.elapsed().as_nanos() as u64;
+            let s = prep_ns + sample_ns.load(Ordering::Relaxed);
+            let e = eval_ns.load(Ordering::Relaxed);
+            let total = s + e;
+            let sample_share = if total == 0 {
+                wall
+            } else {
+                (wall as u128 * s as u128 / total as u128) as u64
+            };
+            recorder.record(Event::Span(SpanEvent {
+                name: "sample".into(),
+                iter: iter as u64,
+                wall_ns: sample_share,
+            }));
+            recorder.record(Event::Span(SpanEvent {
+                name: "evaluate".into(),
+                iter: iter as u64,
+                wall_ns: wall - sample_share,
+            }));
+            for t in &timings {
+                recorder.record(Event::Pool(PoolEvent {
+                    iter: iter as u64,
+                    chunk: t.chunk,
+                    len: t.len,
+                    wall_ns: t.wall_ns,
+                }));
+            }
+        }
+
+        // Steps 4–5: γ and the elite set, O(N) expected.
+        let selection = select_elites(&costs, elite_target);
+        let gamma = selection.gamma;
+        let elite_count = selection.elites.len();
+
+        // Track the incumbent.
+        let first = selection.best;
+        if best_sample.is_none() || costs[first] < best_cost {
+            best_cost = costs[first];
+            best_sample = Some(data[first * width..(first + 1) * width].to_vec());
+        }
+
+        // Step 6: ML update + smoothing, straight off the flat batch.
+        let span = traced.then(|| Span::start("update", iter as u64));
+        model.update_from_flat(
+            &FlatBatch::new(width, &data),
+            &selection.elites,
+            config.zeta,
+        );
+        if let Some(span) = span {
+            span.finish(recorder);
+        }
+        observe(iter, model);
+
+        let mean = costs.iter().sum::<f64>() / n as f64;
+        telemetry.iters.push(IterStats {
+            iter,
+            gamma,
+            best: costs[first],
+            mean,
+            worst: selection.worst,
+            elite_count,
+            entropy: model.entropy(),
+        });
+        if let Some(start) = iter_start {
+            recorder.record(Event::Iter(IterEvent {
+                iter: iter as u64,
+                best: costs[first],
+                mean,
+                gamma: Some(gamma),
+                elite_size: elite_count as u64,
+                wall_ns: start.elapsed().as_nanos() as u64,
+            }));
+        }
+
+        // Stopping rules: identical to `minimize_controlled`.
+        let signature = model.stability_signature();
+        if let Some(prev) = &prev_signature {
+            let stable = prev
+                .iter()
+                .zip(&signature)
+                .all(|(a, b)| (a - b).abs() <= config.stability_tol);
+            stable_iters = if stable { stable_iters + 1 } else { 0 };
+        }
+        prev_signature = Some(signature);
+        if stable_iters >= config.stability_window {
+            stop_reason = StopReason::MuStable;
+            break;
+        }
+        if config.gamma_window > 0 {
+            if let Some(pg) = prev_gamma {
+                let equal = if pg.is_finite() && gamma.is_finite() {
+                    (pg - gamma).abs() <= config.gamma_tol * (1.0 + pg.abs())
+                } else {
+                    pg == gamma
+                };
+                gamma_stable = if equal { gamma_stable + 1 } else { 0 };
+            }
+            prev_gamma = Some(gamma);
+            if gamma_stable >= config.gamma_window {
+                stop_reason = StopReason::GammaStable;
+                break;
+            }
+        }
+        if model.is_degenerate(config.degeneracy_tol) {
+            stop_reason = StopReason::Degenerate;
+            break;
+        }
         if should_stop() {
             stop_reason = StopReason::Cancelled;
             break;
@@ -637,5 +910,157 @@ mod tests {
         // Constant objective: every sample ties at γ, so all are elite.
         let out = minimize(&mut model, &cfg, &mut rng, |_| 1.0);
         assert!(out.telemetry.iters[0].elite_count == 50);
+    }
+
+    /// The sorted reference implementation `select_elites` replaced.
+    fn select_elites_by_sort(costs: &[f64], elite_target: usize) -> EliteSelection {
+        let n = costs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            costs[a]
+                .partial_cmp(&costs[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let gamma = costs[order[elite_target - 1]];
+        let elites: Vec<usize> = order
+            .iter()
+            .copied()
+            .take_while(|&i| costs[i] <= gamma)
+            .collect();
+        EliteSelection {
+            gamma,
+            best: order[0],
+            worst: costs[order[n - 1]],
+            elites,
+        }
+    }
+
+    #[test]
+    fn select_elites_matches_sorted_reference() {
+        // Pseudo-random and adversarially tie-heavy cost vectors.
+        let mut rng = StdRng::seed_from_u64(92);
+        for case in 0..200 {
+            let n: usize = 1 + (case % 37);
+            let costs: Vec<f64> = (0..n)
+                .map(|_| {
+                    use rand::Rng;
+                    match rng.random_range(0..4u32) {
+                        // Heavy ties: few distinct plateau levels.
+                        0 => rng.random_range(0..3u32) as f64,
+                        1 => f64::INFINITY,
+                        _ => rng.random::<f64>(),
+                    }
+                })
+                .collect();
+            for target in [1, n.div_ceil(10).max(1), n] {
+                let fast = select_elites(&costs, target);
+                let slow = select_elites_by_sort(&costs, target);
+                assert_eq!(fast, slow, "n={n} target={target} costs={costs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_elites_admits_ties_beyond_target() {
+        let costs = [2.0, 1.0, 1.0, 1.0, 3.0];
+        let sel = select_elites(&costs, 2);
+        assert_eq!(sel.gamma, 1.0);
+        assert_eq!(sel.elites, vec![1, 2, 3]);
+        assert_eq!(sel.best, 1);
+        assert_eq!(sel.worst, 3.0);
+    }
+
+    #[test]
+    fn select_elites_all_infinite() {
+        let costs = [f64::INFINITY; 4];
+        let sel = select_elites(&costs, 1);
+        assert_eq!(sel.gamma, f64::INFINITY);
+        assert_eq!(sel.elites, vec![0, 1, 2, 3]);
+        assert_eq!(sel.best, 0);
+    }
+
+    #[test]
+    fn flat_recovers_hidden_permutation() {
+        let target = vec![3usize, 1, 4, 0, 2, 5];
+        let cost = |s: &[usize]| s.iter().zip(&target).filter(|(a, b)| a != b).count() as f64;
+        let mut model = PermutationModel::uniform(target.len());
+        let cfg = CeConfig::with_sample_size(200);
+        let mut rng = StdRng::seed_from_u64(82);
+        let out = minimize_flat(
+            &mut model,
+            &cfg,
+            &mut rng,
+            1,
+            cost,
+            |_, _| {},
+            &mut NullRecorder,
+            &|| false,
+        );
+        assert_eq!(out.best_cost, 0.0);
+        assert_eq!(out.best_sample, target);
+    }
+
+    #[test]
+    fn flat_outcome_is_thread_count_invariant() {
+        let target = vec![2usize, 0, 3, 1, 4];
+        let run = |threads: usize| {
+            let mut model = PermutationModel::uniform(target.len());
+            let cfg = CeConfig::with_sample_size(120);
+            let mut rng = StdRng::seed_from_u64(93);
+            minimize_flat(
+                &mut model,
+                &cfg,
+                &mut rng,
+                threads,
+                |s: &[usize]| s.iter().zip(&target).filter(|(a, b)| a != b).count() as f64,
+                |_, _| {},
+                &mut NullRecorder,
+                &|| false,
+            )
+        };
+        let one = run(1);
+        for threads in [2, 4, 8] {
+            let other = run(threads);
+            assert_eq!(one.best_sample, other.best_sample, "threads={threads}");
+            assert_eq!(one.best_cost, other.best_cost, "threads={threads}");
+            assert_eq!(one.iterations, other.iterations, "threads={threads}");
+            assert_eq!(one.telemetry, other.telemetry, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn flat_emits_sample_and_evaluate_spans() {
+        use match_telemetry::MemoryRecorder;
+        let mut model = PermutationModel::uniform(4);
+        let mut cfg = CeConfig::with_sample_size(40);
+        cfg.max_iters = 3;
+        let mut rng = StdRng::seed_from_u64(94);
+        let mut recorder = MemoryRecorder::default();
+        minimize_flat(
+            &mut model,
+            &cfg,
+            &mut rng,
+            2,
+            |s: &[usize]| s[0] as f64,
+            |_, _| {},
+            &mut recorder,
+            &|| false,
+        );
+        let mut sample_spans = 0;
+        let mut eval_spans = 0;
+        let mut update_spans = 0;
+        for ev in recorder.events() {
+            if let Event::Span(s) = ev {
+                match s.name.as_ref() {
+                    "sample" => sample_spans += 1,
+                    "evaluate" => eval_spans += 1,
+                    "update" => update_spans += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(sample_spans >= 1);
+        assert_eq!(sample_spans, eval_spans);
+        assert_eq!(sample_spans, update_spans);
     }
 }

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod driver;
 pub mod model;
 pub mod models;
@@ -44,9 +45,10 @@ pub mod problems;
 pub mod rare_event;
 pub mod stochmatrix;
 
+pub use batch::{FlatBatch, FlatSampler};
 pub use driver::{
-    minimize, minimize_controlled, minimize_traced, minimize_with, CeConfig, CeOutcome,
-    CeTelemetry, IterStats, StopReason,
+    minimize, minimize_controlled, minimize_flat, minimize_traced, minimize_with, select_elites,
+    CeConfig, CeOutcome, CeTelemetry, EliteSelection, IterStats, StopReason,
 };
 pub use model::CeModel;
 pub use models::assignment::AssignmentModel;

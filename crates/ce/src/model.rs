@@ -20,6 +20,24 @@ pub trait CeModel {
     /// parallel samplers.
     fn sample(&self, rng: &mut StdRng) -> Self::Sample;
 
+    /// Draw `count` samples into `out` (cleared first), reusing its
+    /// allocation across batches.
+    ///
+    /// The model parameters are frozen for a whole CE iteration, so a
+    /// batch is `count` i.i.d. draws; the default simply repeats
+    /// [`CeModel::sample`] and therefore consumes the identical RNG
+    /// stream. Models with batch-amortisable preprocessing may override
+    /// this — flat-buffer samplers get the stronger
+    /// [`crate::batch::FlatSampler`] contract instead, which is what the
+    /// fused parallel pipeline drives.
+    fn sample_batch(&self, rng: &mut StdRng, count: usize, out: &mut Vec<Self::Sample>) {
+        out.clear();
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(self.sample(rng));
+        }
+    }
+
     /// Fit the parameters to the elite samples (maximum-likelihood count
     /// estimate, Eq. 10/11), then blend with the previous parameters:
     /// `v ← ζ·v̂ + (1 − ζ)·v`.

@@ -8,10 +8,20 @@
 //! for the *many-to-one* generalisation (`|V_t| > |V_r|`) and serves as
 //! the ablation arm that quantifies how much GenPerm buys.
 
+use crate::batch::{FlatBatch, FlatSampler};
 use crate::model::CeModel;
 use crate::stochmatrix::StochasticMatrix;
+use match_rngutil::alias::AliasTable;
 use match_rngutil::roulette::roulette_pick;
 use rand::rngs::StdRng;
+
+/// Per-batch sampling tables for [`AssignmentModel`]: one alias table per
+/// row. Rows are independent, so a draw is `rows` O(1) alias picks with
+/// no rejection at all.
+#[derive(Debug, Clone)]
+pub struct AssignmentTables {
+    rows: Vec<AliasTable>,
+}
 
 /// CE model over `rows`-long vectors with entries in `0..cols`, each row
 /// drawn independently from its distribution.
@@ -101,6 +111,61 @@ impl CeModel for AssignmentModel {
     }
 }
 
+impl FlatSampler for AssignmentModel {
+    type Tables = AssignmentTables;
+    type Scratch = ();
+
+    fn width(&self) -> usize {
+        self.rows()
+    }
+
+    fn new_tables(&self) -> AssignmentTables {
+        AssignmentTables {
+            rows: vec![AliasTable::empty(); self.rows()],
+        }
+    }
+
+    fn fill_tables(&self, tables: &mut AssignmentTables) {
+        tables.rows.resize_with(self.rows(), AliasTable::empty);
+        for (i, table) in tables.rows.iter_mut().enumerate() {
+            let ok = table.rebuild(self.matrix.row(i));
+            assert!(ok, "stochastic rows always have positive mass");
+        }
+    }
+
+    fn new_scratch(&self) {}
+
+    fn sample_flat(
+        &self,
+        tables: &AssignmentTables,
+        _scratch: &mut (),
+        rng: &mut StdRng,
+        out: &mut [usize],
+    ) {
+        debug_assert_eq!(out.len(), self.rows());
+        debug_assert_eq!(tables.rows.len(), self.rows());
+        for (slot, table) in out.iter_mut().zip(&tables.rows) {
+            *slot = table.sample(rng);
+        }
+    }
+
+    fn update_from_flat(&mut self, batch: &FlatBatch<'_>, elites: &[usize], zeta: f64) {
+        if elites.is_empty() {
+            return;
+        }
+        let (rows, cols) = (self.rows(), self.cols());
+        debug_assert_eq!(batch.width(), rows);
+        let mut counts = vec![0.0f64; rows * cols];
+        for &e in elites {
+            for (i, &j) in batch.row(e).iter().enumerate() {
+                counts[i * cols + j] += 1.0;
+            }
+        }
+        let q = StochasticMatrix::from_rows(rows, cols, counts);
+        self.matrix.smooth_toward(&q, zeta);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +227,48 @@ mod tests {
         let mut m = AssignmentModel::uniform(2, 2);
         let before = m.clone();
         m.update_from_elites(&[], 0.4);
+        m.update_from_flat(&FlatBatch::new(2, &[]), &[], 0.4);
         assert_eq!(m, before);
+    }
+
+    #[test]
+    fn flat_sample_shape_and_range() {
+        let m = AssignmentModel::uniform(6, 4);
+        let mut tables = m.new_tables();
+        m.fill_tables(&mut tables);
+        let mut rng = StdRng::seed_from_u64(64);
+        let mut out = vec![0usize; 6];
+        for _ in 0..50 {
+            m.sample_flat(&tables, &mut (), &mut rng, &mut out);
+            assert!(out.iter().all(|&j| j < 4));
+        }
+    }
+
+    #[test]
+    fn flat_degenerate_model_samples_mode() {
+        let data = vec![0.0, 1.0, 1.0, 0.0];
+        let m = AssignmentModel::from_matrix(StochasticMatrix::from_rows(2, 2, data));
+        let mut tables = m.new_tables();
+        m.fill_tables(&mut tables);
+        let mut rng = StdRng::seed_from_u64(65);
+        let mut out = vec![0usize; 2];
+        for _ in 0..20 {
+            m.sample_flat(&tables, &mut (), &mut rng, &mut out);
+            assert_eq!(out, vec![1, 0]);
+        }
+    }
+
+    #[test]
+    fn flat_update_matches_vec_update() {
+        let elites = [vec![0usize, 2], vec![0, 2], vec![1, 2], vec![0, 0]];
+        let mut by_vec = AssignmentModel::uniform(2, 3);
+        by_vec.update_from_elites(elites.as_ref(), 0.6);
+        let mut flat_data = Vec::new();
+        for e in &elites {
+            flat_data.extend_from_slice(e);
+        }
+        let mut by_flat = AssignmentModel::uniform(2, 3);
+        by_flat.update_from_flat(&FlatBatch::new(2, &flat_data), &[0, 1, 2, 3], 0.6);
+        assert_eq!(by_vec, by_flat);
     }
 }

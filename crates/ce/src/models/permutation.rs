@@ -13,12 +13,53 @@
 //!
 //! The update rule is unchanged (Eq. 11): column frequencies over the
 //! elite samples.
+//!
+//! Two sampling paths draw the identical distribution:
+//!
+//! * [`PermutationModel::sample_into`] — the literal Figure-4 roulette,
+//!   O(n²) per draw. This is the historical RNG stream.
+//! * [`FlatSampler::sample_flat`] — one [`AliasTable`] per row, built
+//!   once per batch, drawn O(1) with *rejection* on already-used
+//!   columns. Rejecting used columns and renormalising over the rest are
+//!   the same conditional distribution, so every accepted draw is an
+//!   exact restricted-roulette draw; after a bounded number of
+//!   rejections (degenerate rows concentrate their mass on used columns)
+//!   the row falls back to the exact restricted roulette. Expected cost
+//!   per permutation is O(n log n) instead of O(n²).
 
+use crate::batch::{FlatBatch, FlatSampler};
 use crate::model::CeModel;
 use crate::stochmatrix::StochasticMatrix;
+use match_rngutil::alias::AliasTable;
 use match_rngutil::roulette::roulette_pick;
 use rand::rngs::StdRng;
 use rand::Rng;
+
+/// Reusable per-draw scratch for GenPerm: the random visit order, the
+/// used-column marks, and the restricted-row weight buffer. One draw
+/// allocates nothing once the scratch has warmed up.
+#[derive(Debug, Clone, Default)]
+pub struct GenPermScratch {
+    order: Vec<usize>,
+    used: Vec<bool>,
+    weights: Vec<f64>,
+}
+
+impl GenPermScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        GenPermScratch::default()
+    }
+}
+
+/// Per-batch sampling tables: one alias table per stochastic-matrix row.
+/// Rows without positive mass (cannot occur for a valid stochastic
+/// matrix, but tolerated) hold an empty table and always take the
+/// roulette fallback.
+#[derive(Debug, Clone)]
+pub struct GenPermTables {
+    rows: Vec<AliasTable>,
+}
 
 /// CE model over permutations of `0..n` parameterised by an `n × n`
 /// stochastic matrix; samples via GenPerm.
@@ -60,63 +101,77 @@ impl PermutationModel {
         self.matrix.rows() == 0
     }
 
-    /// One GenPerm draw (Figure 4), reusing caller-provided scratch
-    /// buffers: `used` marks taken columns, `weights` holds the
-    /// restricted row, and `out` receives the permutation.
+    /// One GenPerm draw (Figure 4) via restricted roulette, reusing
+    /// caller-provided [`GenPermScratch`]; `out` receives the
+    /// permutation. This is the historical sampler: its RNG stream is
+    /// bit-compatible with every release since the seed.
     pub fn sample_into(
         &self,
         rng: &mut StdRng,
-        used: &mut Vec<bool>,
-        weights: &mut Vec<f64>,
+        scratch: &mut GenPermScratch,
         out: &mut Vec<usize>,
     ) {
         let n = self.len();
-        used.clear();
-        used.resize(n, false);
         out.clear();
         out.resize(n, 0);
+        scratch.used.clear();
+        scratch.used.resize(n, false);
 
         // Step 1: random task visit order.
-        let mut order: Vec<usize> = (0..n).collect();
-        match_rngutil::perm::shuffle(&mut order, rng);
+        scratch.order.clear();
+        scratch.order.extend(0..n);
+        match_rngutil::perm::shuffle(&mut scratch.order, rng);
 
-        for (visited, &row) in order.iter().enumerate() {
-            // Restrict the row to unused columns (zeroing the column of P
-            // in the paper's phrasing; renormalisation is implicit in the
-            // wheel).
-            weights.clear();
-            weights.extend(self.matrix.row(row).iter().enumerate().map(|(j, &p)| {
-                if used[j] {
-                    0.0
-                } else {
-                    p
-                }
-            }));
-            let pick = match roulette_pick(weights, rng) {
-                Some(j) => j,
-                None => {
-                    // All remaining probability mass sits on used columns
-                    // (degenerate rows agreeing on one resource). Fall
-                    // back to a uniform choice among the unused, keeping
-                    // the sample a valid permutation.
-                    let remaining = n - visited;
-                    let mut k = rng.random_range(0..remaining);
-                    (0..n)
-                        .find(|&j| {
-                            if used[j] {
-                                false
-                            } else if k == 0 {
-                                true
-                            } else {
-                                k -= 1;
-                                false
-                            }
-                        })
-                        .expect("an unused column exists")
-                }
-            };
-            used[pick] = true;
+        for visited in 0..n {
+            let row = scratch.order[visited];
+            let pick = Self::restricted_roulette(
+                self.matrix.row(row),
+                &scratch.used,
+                &mut scratch.weights,
+                n - visited,
+                rng,
+            );
+            scratch.used[pick] = true;
             out[row] = pick;
+        }
+    }
+
+    /// Restrict `row` to unused columns (zeroing the column of P in the
+    /// paper's phrasing; renormalisation is implicit in the wheel) and
+    /// spin. When all remaining probability mass sits on used columns
+    /// (degenerate rows agreeing on one resource), fall back to a
+    /// uniform choice among the unused, keeping the sample a valid
+    /// permutation.
+    fn restricted_roulette(
+        row: &[f64],
+        used: &[bool],
+        weights: &mut Vec<f64>,
+        remaining: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        weights.clear();
+        weights.extend(
+            row.iter()
+                .enumerate()
+                .map(|(j, &p)| if used[j] { 0.0 } else { p }),
+        );
+        match roulette_pick(weights, rng) {
+            Some(j) => j,
+            None => {
+                let mut k = rng.random_range(0..remaining);
+                (0..row.len())
+                    .find(|&j| {
+                        if used[j] {
+                            false
+                        } else if k == 0 {
+                            true
+                        } else {
+                            k -= 1;
+                            false
+                        }
+                    })
+                    .expect("an unused column exists")
+            }
         }
     }
 }
@@ -125,10 +180,9 @@ impl CeModel for PermutationModel {
     type Sample = Vec<usize>;
 
     fn sample(&self, rng: &mut StdRng) -> Vec<usize> {
-        let mut used = Vec::new();
-        let mut weights = Vec::new();
+        let mut scratch = GenPermScratch::new();
         let mut out = Vec::new();
-        self.sample_into(rng, &mut used, &mut weights, &mut out);
+        self.sample_into(rng, &mut scratch, &mut out);
         out
     }
 
@@ -193,6 +247,104 @@ impl CeModel for PermutationModel {
     }
 }
 
+impl FlatSampler for PermutationModel {
+    type Tables = GenPermTables;
+    type Scratch = GenPermScratch;
+
+    fn width(&self) -> usize {
+        self.len()
+    }
+
+    fn new_tables(&self) -> GenPermTables {
+        GenPermTables {
+            rows: vec![AliasTable::empty(); self.len()],
+        }
+    }
+
+    fn fill_tables(&self, tables: &mut GenPermTables) {
+        tables.rows.resize_with(self.len(), AliasTable::empty);
+        for (i, table) in tables.rows.iter_mut().enumerate() {
+            // A failed rebuild (no positive mass) leaves the table empty;
+            // sample_flat then always takes the roulette fallback.
+            table.rebuild(self.matrix.row(i));
+        }
+    }
+
+    fn new_scratch(&self) -> GenPermScratch {
+        GenPermScratch::new()
+    }
+
+    fn sample_flat(
+        &self,
+        tables: &GenPermTables,
+        scratch: &mut GenPermScratch,
+        rng: &mut StdRng,
+        out: &mut [usize],
+    ) {
+        let n = self.len();
+        debug_assert_eq!(out.len(), n);
+        debug_assert_eq!(tables.rows.len(), n);
+        scratch.used.clear();
+        scratch.used.resize(n, false);
+        scratch.order.clear();
+        scratch.order.extend(0..n);
+        match_rngutil::perm::shuffle(&mut scratch.order, rng);
+
+        for visited in 0..n {
+            let row = scratch.order[visited];
+            let remaining = n - visited;
+            let table = &tables.rows[row];
+            let mut pick = None;
+            if !table.is_empty() {
+                // Rejection over the full-row alias table: conditioning
+                // the row distribution on "column unused" IS the
+                // restricted-roulette distribution, so any accepted draw
+                // is exact. The spin budget scales with the expected
+                // n / remaining tries of a near-uniform row; exceeding it
+                // (mass concentrated on used columns) costs nothing but
+                // the fallback below — the fallback is exact too, so the
+                // bound only trades constant factors, never correctness.
+                let budget = 4 * (n / remaining) + 8;
+                for _ in 0..budget {
+                    let j = table.sample(rng);
+                    if !scratch.used[j] {
+                        pick = Some(j);
+                        break;
+                    }
+                }
+            }
+            let pick = match pick {
+                Some(j) => j,
+                None => Self::restricted_roulette(
+                    self.matrix.row(row),
+                    &scratch.used,
+                    &mut scratch.weights,
+                    remaining,
+                    rng,
+                ),
+            };
+            scratch.used[pick] = true;
+            out[row] = pick;
+        }
+    }
+
+    fn update_from_flat(&mut self, batch: &FlatBatch<'_>, elites: &[usize], zeta: f64) {
+        if elites.is_empty() {
+            return;
+        }
+        let n = self.len();
+        debug_assert_eq!(batch.width(), n);
+        let mut counts = vec![0.0f64; n * n];
+        for &e in elites {
+            for (i, &j) in batch.row(e).iter().enumerate() {
+                counts[i * n + j] += 1.0;
+            }
+        }
+        let q = StochasticMatrix::from_rows(n, n, counts);
+        self.matrix.smooth_toward(&q, zeta);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +358,48 @@ mod tests {
         for _ in 0..50 {
             let s = model.sample(&mut rng);
             assert!(is_permutation(&s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn flat_samples_are_permutations() {
+        let model = PermutationModel::uniform(10);
+        let mut tables = model.new_tables();
+        model.fill_tables(&mut tables);
+        let mut scratch = model.new_scratch();
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut out = vec![0usize; 10];
+        for _ in 0..50 {
+            model.sample_flat(&tables, &mut scratch, &mut rng, &mut out);
+            assert!(is_permutation(&out), "{out:?}");
+        }
+    }
+
+    #[test]
+    fn flat_sampling_is_deterministic_per_seed_and_scratch_free() {
+        // Scratch must carry no state between draws: interleaving draws
+        // through one scratch equals fresh-scratch draws, seed by seed.
+        let model = PermutationModel::uniform(8);
+        let mut tables = model.new_tables();
+        model.fill_tables(&mut tables);
+        let mut shared = model.new_scratch();
+        let mut a = vec![0usize; 8];
+        let mut b = vec![0usize; 8];
+        for seed in 0..20u64 {
+            model.sample_flat(
+                &tables,
+                &mut shared,
+                &mut StdRng::seed_from_u64(seed),
+                &mut a,
+            );
+            let mut fresh = model.new_scratch();
+            model.sample_flat(
+                &tables,
+                &mut fresh,
+                &mut StdRng::seed_from_u64(seed),
+                &mut b,
+            );
+            assert_eq!(a, b, "seed {seed}");
         }
     }
 
@@ -239,18 +433,35 @@ mod tests {
         }
         assert!(model.is_degenerate(1e-9));
         assert_eq!(model.mode(), (0..n).collect::<Vec<_>>());
+        // The alias path agrees.
+        let mut tables = model.new_tables();
+        model.fill_tables(&mut tables);
+        let mut scratch = model.new_scratch();
+        let mut out = vec![0usize; n];
+        for _ in 0..20 {
+            model.sample_flat(&tables, &mut scratch, &mut rng, &mut out);
+            assert_eq!(out, (0..n).collect::<Vec<_>>());
+        }
     }
 
     #[test]
     fn conflicting_degenerate_rows_still_yield_permutations() {
         // Both rows put all mass on column 0: GenPerm's fallback must
-        // still return a permutation.
+        // still return a permutation — on both sampling paths.
         let data = vec![1.0, 0.0, 1.0, 0.0];
         let model = PermutationModel::from_matrix(StochasticMatrix::from_rows(2, 2, data));
         let mut rng = StdRng::seed_from_u64(54);
         for _ in 0..50 {
             let s = model.sample(&mut rng);
             assert!(is_permutation(&s), "{s:?}");
+        }
+        let mut tables = model.new_tables();
+        model.fill_tables(&mut tables);
+        let mut scratch = model.new_scratch();
+        let mut out = vec![0usize; 2];
+        for _ in 0..50 {
+            model.sample_flat(&tables, &mut scratch, &mut rng, &mut out);
+            assert!(is_permutation(&out), "{out:?}");
         }
     }
 
@@ -268,6 +479,22 @@ mod tests {
     }
 
     #[test]
+    fn flat_update_matches_vec_update() {
+        let elites = [vec![0usize, 1, 2], vec![0, 1, 2], vec![0, 2, 1]];
+        let mut by_vec = PermutationModel::uniform(3);
+        by_vec.update_from_elites(elites.as_ref(), 0.3);
+        // Same elites through the flat path (indices deliberately out of
+        // storage order to check they are read by index, not position).
+        let mut flat_data = Vec::new();
+        for e in elites.iter().rev() {
+            flat_data.extend_from_slice(e);
+        }
+        let mut by_flat = PermutationModel::uniform(3);
+        by_flat.update_from_flat(&FlatBatch::new(3, &flat_data), &[2, 1, 0], 0.3);
+        assert_eq!(by_vec, by_flat);
+    }
+
+    #[test]
     fn smoothed_update_blends() {
         let mut model = PermutationModel::uniform(2);
         let elites = vec![vec![0, 1]];
@@ -281,6 +508,7 @@ mod tests {
         let mut model = PermutationModel::uniform(3);
         let before = model.clone();
         model.update_from_elites(&[], 0.5);
+        model.update_from_flat(&FlatBatch::new(3, &[]), &[], 0.5);
         assert_eq!(model, before);
     }
 

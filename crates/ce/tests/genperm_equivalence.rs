@@ -1,0 +1,184 @@
+//! Distributional equivalence of the two GenPerm sampling paths and of
+//! the O(N) elite selection against its sorted reference.
+//!
+//! The alias+rejection sampler must draw the *same distribution* as the
+//! restricted-roulette sampler (rejecting used columns over the full-row
+//! alias table is exactly the conditional distribution the restricted
+//! wheel spins), even though the two consume different RNG streams. We
+//! check row-for-row assignment marginals with a two-sample chi-square
+//! statistic over matched draw budgets.
+
+use match_ce::batch::FlatSampler;
+use match_ce::driver::{select_elites, EliteSelection};
+use match_ce::model::CeModel;
+use match_ce::models::permutation::PermutationModel;
+use match_ce::StochasticMatrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-(row, column) assignment counts over `draws` permutations from the
+/// legacy restricted-roulette path.
+fn roulette_counts(model: &PermutationModel, draws: usize, seed: u64) -> Vec<u64> {
+    let n = model.len();
+    let mut counts = vec![0u64; n * n];
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..draws {
+        let perm = model.sample(&mut rng);
+        for (i, &j) in perm.iter().enumerate() {
+            counts[i * n + j] += 1;
+        }
+    }
+    counts
+}
+
+/// Same counts via the alias+rejection flat path.
+fn alias_counts(model: &PermutationModel, draws: usize, seed: u64) -> Vec<u64> {
+    let n = model.len();
+    let mut counts = vec![0u64; n * n];
+    let mut tables = model.new_tables();
+    model.fill_tables(&mut tables);
+    let mut scratch = model.new_scratch();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![0usize; n];
+    for _ in 0..draws {
+        model.sample_flat(&tables, &mut scratch, &mut rng, &mut out);
+        for (i, &j) in out.iter().enumerate() {
+            counts[i * n + j] += 1;
+        }
+    }
+    counts
+}
+
+/// Two-sample chi-square statistic for one row's column marginal.
+fn row_chi_square(a: &[u64], b: &[u64]) -> (f64, usize) {
+    let mut chi = 0.0;
+    let mut dof = 0usize;
+    for (&x, &y) in a.iter().zip(b) {
+        let total = (x + y) as f64;
+        if total > 0.0 {
+            let d = x as f64 - y as f64;
+            chi += d * d / total;
+            dof += 1;
+        }
+    }
+    (chi, dof.saturating_sub(1))
+}
+
+fn model_from_weights(n: usize, weights: &[f64]) -> PermutationModel {
+    PermutationModel::from_matrix(StochasticMatrix::from_rows(n, n, weights.to_vec()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Row-for-row, the alias+rejection GenPerm draws the same column
+    /// marginals as the restricted-roulette GenPerm.
+    #[test]
+    fn alias_genperm_matches_roulette_genperm(
+        seed in any::<u64>(),
+        n in 3usize..7,
+        raw in proptest::collection::vec(0.05f64..1.0, 49),
+    ) {
+        let model = model_from_weights(n, &raw[..n * n]);
+        let draws = 4000;
+        let a = roulette_counts(&model, draws, seed);
+        let b = alias_counts(&model, draws, seed ^ 0x9E37_79B9);
+        for i in 0..n {
+            let (chi, dof) = row_chi_square(&a[i * n..(i + 1) * n], &b[i * n..(i + 1) * n]);
+            // Mean of chi² is dof; a 5·dof + 24 bound is far out in the
+            // tail for every dof here, so failures mean a real
+            // distribution mismatch rather than sampling noise.
+            prop_assert!(
+                chi <= 5.0 * dof as f64 + 24.0,
+                "row {} chi²={} dof={}", i, chi, dof
+            );
+        }
+    }
+
+    /// Spiky matrices (rows concentrating on few columns) force the
+    /// rejection path through its bounded budget and into the roulette
+    /// fallback; the marginals must still agree.
+    #[test]
+    fn alias_genperm_matches_roulette_on_spiky_rows(
+        seed in any::<u64>(),
+        n in 3usize..6,
+        hot in 0usize..6,
+    ) {
+        let hot = hot % n;
+        // Every row loads 0.9 mass on one shared column.
+        let mut raw = vec![0.1 / (n as f64 - 1.0); n * n];
+        for i in 0..n {
+            raw[i * n + hot] = 0.9;
+        }
+        let model = model_from_weights(n, &raw);
+        let draws = 4000;
+        let a = roulette_counts(&model, draws, seed);
+        let b = alias_counts(&model, draws, seed ^ 0x5851_F42D);
+        for i in 0..n {
+            let (chi, dof) = row_chi_square(&a[i * n..(i + 1) * n], &b[i * n..(i + 1) * n]);
+            prop_assert!(
+                chi <= 5.0 * dof as f64 + 24.0,
+                "row {} chi²={} dof={}", i, chi, dof
+            );
+        }
+    }
+
+    /// `select_elites` agrees with the full stable sort on tie-heavy cost
+    /// vectors: same γ, same elite index order, same best/worst.
+    #[test]
+    fn elite_selection_matches_sorted_reference(
+        raw in proptest::collection::vec((0u8..6, 0.0f64..1.0), 1..60),
+        target_frac in 0.01f64..1.0,
+    ) {
+        // Mix tie plateaus, infinities and distinct values.
+        let costs: Vec<f64> = raw
+            .iter()
+            .map(|&(kind, v)| match kind {
+                0..=2 => (kind % 3) as f64,  // heavy ties
+                3 => f64::INFINITY,          // infeasible plateau
+                _ => v,                      // distinct values
+            })
+            .collect();
+        let n = costs.len();
+        let target = ((target_frac * n as f64).floor() as usize).clamp(1, n);
+
+        // Reference: the stable full sort the driver used to do.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            costs[a].partial_cmp(&costs[b]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let gamma = costs[order[target - 1]];
+        let reference = EliteSelection {
+            gamma,
+            best: order[0],
+            worst: costs[order[n - 1]],
+            elites: order.iter().copied().take_while(|&i| costs[i] <= gamma).collect(),
+        };
+
+        let fast = select_elites(&costs, target);
+        prop_assert_eq!(fast, reference);
+    }
+}
+
+#[test]
+fn conflicting_degenerate_rows_agree_across_paths() {
+    // All rows demand column 0: both paths must fall back and produce
+    // uniform-among-unused assignments that are valid permutations.
+    let n = 4;
+    let mut raw = vec![0.0; n * n];
+    for i in 0..n {
+        raw[i * n] = 1.0;
+    }
+    let model = model_from_weights(n, &raw);
+    let draws = 2000;
+    let a = roulette_counts(&model, draws, 11);
+    let b = alias_counts(&model, draws, 12);
+    for i in 0..n {
+        let (chi, dof) = row_chi_square(&a[i * n..(i + 1) * n], &b[i * n..(i + 1) * n]);
+        assert!(
+            chi <= 5.0 * dof as f64 + 24.0,
+            "row {i} chi²={chi} dof={dof}"
+        );
+    }
+}

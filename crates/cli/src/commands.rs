@@ -6,7 +6,10 @@ use match_baselines::{
     FastMapScheme, GreedyMapper, HillClimber, PolishedMatcher, RandomSearch, RecursiveBisection,
     RoundRobin, SimulatedAnnealing,
 };
-use match_core::{analyze, bijective_lower_bound, IslandMatcher, Mapper, MappingInstance, Matcher};
+use match_core::{
+    analyze, bijective_lower_bound, IslandMatcher, Mapper, MappingInstance, MatchConfig, Matcher,
+    SamplerMode,
+};
 use match_ga::{FastMapGa, GaConfig};
 use match_graph::gen::overset::OversetConfig;
 use match_graph::gen::paper::PaperFamilyConfig;
@@ -67,6 +70,7 @@ USAGE:
                     [--out-tig FILE] [--out-platform FILE]
   matchctl info     --tig FILE --platform FILE
   matchctl solve    --tig FILE --platform FILE [--algo ALGO] [--seed S] [--out FILE]
+                    [--threads N] [--sampler auto|sequential|batched]
                     [--trace FILE.jsonl]
   matchctl simulate --tig FILE --platform FILE --mapping FILE
                     [--rounds N] [--blocking | --link] [--trace FILE.jsonl]
@@ -84,7 +88,9 @@ USAGE:
 ALGO: match (default) | islands | polish | ga | fastmap | bisect | greedy
       | hill | sa | random | roundrobin
       (--solver is accepted as an alias for --algo; so are the solver
-       names fastmap-ga for ga and hillclimb for hill)
+       names fastmap-ga for ga and hillclimb for hill; submit also
+       accepts match-batched | match-sequential to pin the CE
+       sampling pipeline daemon-side)
 
 --trace streams per-iteration telemetry (JSONL, one event per line);
 feed the file to `matchctl report` for a convergence summary.
@@ -184,9 +190,27 @@ fn cmd_info(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn build_mapper(name: &str) -> Result<Box<dyn Mapper>, CliError> {
+/// The `--sampler auto|sequential|batched` option (CE solvers only).
+fn sampler_mode(args: &Args) -> Result<SamplerMode, CliError> {
+    Ok(match args.options.get("sampler").map(String::as_str) {
+        None | Some("auto") => SamplerMode::Auto,
+        Some("sequential") => SamplerMode::Sequential,
+        Some("batched") => SamplerMode::Batched,
+        Some(other) => return Err(CliError::BadValue("sampler".into(), other.into())),
+    })
+}
+
+fn build_mapper(
+    name: &str,
+    threads: Option<usize>,
+    sampler: SamplerMode,
+) -> Result<Box<dyn Mapper>, CliError> {
     Ok(match name {
-        "match" => Box::new(Matcher::default()),
+        "match" => Box::new(Matcher::new(MatchConfig {
+            threads: threads.unwrap_or_else(match_par::default_threads),
+            sampler,
+            ..MatchConfig::default()
+        })),
         "islands" => Box::new(IslandMatcher::default()),
         "ga" | "fastmap-ga" => Box::new(FastMapGa::new(GaConfig::paper_default())),
         "greedy" => Box::new(GreedyMapper),
@@ -221,7 +245,17 @@ fn cmd_solve(args: &Args) -> Result<String, CliError> {
         .map(String::as_str)
         .unwrap_or_else(|| args.get_or("algo", "match"));
     let seed: u64 = args.parse_or("seed", 1)?;
-    let mapper = build_mapper(algo)?;
+    let threads = match args.options.get("threads") {
+        Some(_) => {
+            let t: usize = args.parse_or("threads", 1)?;
+            if t == 0 {
+                return Err(CliError::BadValue("threads".into(), "0".into()));
+            }
+            Some(t)
+        }
+        None => None,
+    };
+    let mapper = build_mapper(algo, threads, sampler_mode(args)?)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut trace_note = String::new();
     let out = match trace_path(args)? {
@@ -690,6 +724,63 @@ mod tests {
         .unwrap();
         assert!(s.contains("MaTCH: ET ="));
         assert!(s.contains("optimality gap"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn solve_sampler_and_threads_flags() {
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        let tig_s = tig.to_str().unwrap();
+        let plat_s = plat.to_str().unwrap();
+        run_tokens(&[
+            "gen",
+            "--size",
+            "6",
+            "--out-tig",
+            tig_s,
+            "--out-platform",
+            plat_s,
+        ])
+        .unwrap();
+        for sampler in ["auto", "sequential", "batched"] {
+            let s = run_tokens(&[
+                "solve",
+                "--tig",
+                tig_s,
+                "--platform",
+                plat_s,
+                "--seed",
+                "5",
+                "--threads",
+                "2",
+                "--sampler",
+                sampler,
+            ])
+            .unwrap();
+            assert!(s.contains("MaTCH: ET ="), "sampler {sampler}");
+        }
+        let bad = run_tokens(&[
+            "solve",
+            "--tig",
+            tig_s,
+            "--platform",
+            plat_s,
+            "--sampler",
+            "psychic",
+        ]);
+        assert!(bad.is_err(), "unknown sampler must be refused");
+        let zero = run_tokens(&[
+            "solve",
+            "--tig",
+            tig_s,
+            "--platform",
+            plat_s,
+            "--threads",
+            "0",
+        ]);
+        assert!(zero.is_err(), "zero threads must be refused");
         std::fs::remove_dir_all(dir).ok();
     }
 

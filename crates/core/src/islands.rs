@@ -19,6 +19,8 @@ use crate::mapper::{record_run_end, record_run_start, Mapper, MapperOutcome};
 use crate::mapping::Mapping;
 use crate::matcher::MatchConfig;
 use crate::problem::MappingInstance;
+use match_ce::batch::{FlatBatch, FlatSampler};
+use match_ce::driver::select_elites;
 use match_ce::model::CeModel;
 use match_ce::models::permutation::PermutationModel;
 use match_rngutil::seed::derive_seed;
@@ -144,39 +146,47 @@ impl IslandMatcher {
             let traced = recorder.enabled();
             let round_start = traced.then(std::time::Instant::now);
             let round_span = traced.then(|| Span::start("round", round as u64));
-            // Parallel phase: each island advances `interval` iterations.
+            // Parallel phase: each island advances `interval` iterations,
+            // drawing its batch through the allocation-free flat pipeline
+            // (alias tables rebuilt once per iteration, one reused
+            // `per_island_n × n` buffer) and selecting elites in O(N).
             crossbeam::thread::scope(|scope| {
                 for island in islands.iter_mut() {
                     scope.spawn(move |_| {
                         if island.done {
                             return;
                         }
+                        let mut tables = island.model.new_tables();
+                        let mut scratch = island.model.new_scratch();
+                        let mut data = vec![0usize; per_island_n * n];
+                        let mut costs = vec![0.0f64; per_island_n];
                         for _ in 0..interval {
-                            let samples: Vec<Vec<usize>> = (0..per_island_n)
-                                .map(|_| island.model.sample(&mut island.rng))
-                                .collect();
-                            let costs: Vec<f64> =
-                                samples.iter().map(|s| exec_time(inst, s)).collect();
+                            island.model.fill_tables(&mut tables);
+                            for i in 0..per_island_n {
+                                let row = &mut data[i * n..(i + 1) * n];
+                                island.model.sample_flat(
+                                    &tables,
+                                    &mut scratch,
+                                    &mut island.rng,
+                                    row,
+                                );
+                                costs[i] = exec_time(inst, row);
+                            }
                             island.evaluations += per_island_n as u64;
                             island.iterations += 1;
 
-                            let mut order: Vec<usize> = (0..per_island_n).collect();
-                            order.sort_by(|&a, &b| {
-                                costs[a]
-                                    .partial_cmp(&costs[b])
-                                    .unwrap_or(std::cmp::Ordering::Equal)
-                            });
-                            let gamma = costs[order[elite_target - 1]];
-                            let elites: Vec<Vec<usize>> = order
-                                .iter()
-                                .take_while(|&&i| costs[i] <= gamma)
-                                .map(|&i| samples[i].clone())
-                                .collect();
-                            let &first = order.first().expect("non-empty");
+                            let selection = select_elites(&costs, elite_target);
+                            let gamma = selection.gamma;
+                            let first = selection.best;
                             if island.best.as_ref().is_none_or(|&(_, c)| costs[first] < c) {
-                                island.best = Some((samples[first].clone(), costs[first]));
+                                island.best =
+                                    Some((data[first * n..(first + 1) * n].to_vec(), costs[first]));
                             }
-                            island.model.update_from_elites(&elites, zeta);
+                            island.model.update_from_flat(
+                                &FlatBatch::new(n, &data),
+                                &selection.elites,
+                                zeta,
+                            );
 
                             // Per-island γ-stability stopping.
                             if let Some(pg) = island.prev_gamma {

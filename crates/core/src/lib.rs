@@ -39,6 +39,6 @@ pub use cost::{exec_per_resource, exec_time, CostModel, IncrementalCost};
 pub use islands::{IslandConfig, IslandMatcher};
 pub use mapper::{record_run_end, record_run_start, Mapper, MapperOutcome};
 pub use mapping::Mapping;
-pub use matcher::{MatchConfig, MatchOutcome, Matcher};
+pub use matcher::{MatchConfig, MatchOutcome, Matcher, SamplerMode};
 pub use problem::MappingInstance;
 pub use quality::{analyze, bijective_lower_bound, lower_bound, MappingQuality};

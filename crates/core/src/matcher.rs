@@ -17,8 +17,10 @@ use crate::cost::exec_time;
 use crate::mapper::{record_run_start, Mapper, MapperOutcome};
 use crate::mapping::Mapping;
 use crate::problem::MappingInstance;
-use match_ce::driver::{minimize_controlled, minimize_traced, CeConfig, CeTelemetry, StopReason};
-use match_ce::model::CeModel;
+use match_ce::batch::FlatSampler;
+use match_ce::driver::{
+    minimize_controlled, minimize_flat, minimize_traced, CeConfig, CeTelemetry, StopReason,
+};
 use match_ce::models::assignment::AssignmentModel;
 use match_ce::models::permutation::PermutationModel;
 use match_ce::stochmatrix::StochasticMatrix;
@@ -26,6 +28,52 @@ use match_telemetry::{Event, NullRecorder, PoolEvent, Recorder};
 use rand::rngs::StdRng;
 use std::cell::Cell;
 use std::time::{Duration, Instant};
+
+/// How the CE driver draws each iteration's `N`-sample batch.
+///
+/// The two concrete modes draw the **same distribution** but consume
+/// different RNG streams, so they produce different (equally valid)
+/// trajectories from the same seed:
+///
+/// * [`SamplerMode::Sequential`] draws all samples on the driver thread
+///   from the run RNG — the historical behaviour, bit-compatible with
+///   every release since the seed. Only evaluation fans out.
+/// * [`SamplerMode::Batched`] fuses sampling and evaluation inside the
+///   `match-par` workers: the run RNG is consumed once per iteration
+///   (a single `u64` iteration seed) and sample `i` draws from its own
+///   SplitMix64-derived `StdRng`, so results are *identical for every
+///   thread count* — just not identical to `Sequential`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplerMode {
+    /// Pick per run: `Sequential` when `threads == 1`, `Batched`
+    /// otherwise (parallel runs get the fused pipeline, single-threaded
+    /// runs keep the legacy stream).
+    #[default]
+    Auto,
+    /// Legacy driver-thread sampling; RNG-stream compatible with
+    /// previous releases for any thread count.
+    Sequential,
+    /// Fused parallel sample+evaluate with per-sample derived RNGs and a
+    /// flat reusable sample buffer; deterministic per seed and invariant
+    /// across thread counts.
+    Batched,
+}
+
+impl SamplerMode {
+    /// Resolve `Auto` for a concrete thread count; never returns `Auto`.
+    pub fn resolved(self, threads: usize) -> SamplerMode {
+        match self {
+            SamplerMode::Auto => {
+                if threads <= 1 {
+                    SamplerMode::Sequential
+                } else {
+                    SamplerMode::Batched
+                }
+            }
+            mode => mode,
+        }
+    }
+}
 
 /// MaTCH tunables. Defaults are the paper's §4–§5 choices.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +102,13 @@ pub struct MatchConfig {
     pub degeneracy_tol: f64,
     /// Worker threads for sample evaluation (`1` = sequential).
     pub threads: usize,
+    /// How the sample batch is drawn — see [`SamplerMode`]. The default
+    /// (`Auto`) keeps the historical RNG stream for single-threaded runs
+    /// and switches multi-threaded runs to the fused batched pipeline,
+    /// whose stream differs but is invariant across thread counts. Pin
+    /// [`SamplerMode::Sequential`] to reproduce pre-batching results on
+    /// any thread count.
+    pub sampler: SamplerMode,
     /// Record a stochastic-matrix snapshot every `k` iterations
     /// (Figure 3); `None` disables snapshots.
     pub snapshot_every: Option<usize>,
@@ -72,6 +127,7 @@ impl Default for MatchConfig {
             gamma_tol: 1e-12,
             degeneracy_tol: 1e-6,
             threads: match_par::default_threads(),
+            sampler: SamplerMode::default(),
             snapshot_every: None,
         }
     }
@@ -287,31 +343,50 @@ impl Matcher {
         let threads = self.config.threads;
         let snapshots = std::cell::RefCell::new(Vec::new());
         let every = self.config.snapshot_every;
-        let outcome = minimize_traced(
-            &mut model,
-            &cfg,
-            rng,
-            |samples: &[Vec<usize>], _recorder: &mut dyn Recorder| {
-                match_par::parallel_map(samples.len(), threads, |i| {
-                    if match_rngutil::perm::is_permutation(&samples[i]) {
-                        exec_time(inst, &samples[i])
+        let observe = |iter: usize, m: &AssignmentModel| {
+            if let Some(k) = every {
+                if iter.is_multiple_of(k.max(1)) {
+                    snapshots.borrow_mut().push(MatrixSnapshot {
+                        iter,
+                        matrix: m.matrix().clone(),
+                    });
+                }
+            }
+        };
+        let outcome = match self.config.sampler.resolved(threads) {
+            SamplerMode::Batched => minimize_flat(
+                &mut model,
+                &cfg,
+                rng,
+                threads,
+                |row: &[usize]| {
+                    if match_rngutil::perm::is_permutation(row) {
+                        exec_time(inst, row)
                     } else {
                         f64::INFINITY
                     }
-                })
-            },
-            |iter, m: &AssignmentModel| {
-                if let Some(k) = every {
-                    if iter % k.max(1) == 0 {
-                        snapshots.borrow_mut().push(MatrixSnapshot {
-                            iter,
-                            matrix: m.matrix().clone(),
-                        });
-                    }
-                }
-            },
-            &mut NullRecorder,
-        );
+                },
+                observe,
+                &mut NullRecorder,
+                &|| false,
+            ),
+            _ => minimize_traced(
+                &mut model,
+                &cfg,
+                rng,
+                |samples: &[Vec<usize>], _recorder: &mut dyn Recorder| {
+                    match_par::parallel_map(samples.len(), threads, |i| {
+                        if match_rngutil::perm::is_permutation(&samples[i]) {
+                            exec_time(inst, &samples[i])
+                        } else {
+                            f64::INFINITY
+                        }
+                    })
+                },
+                observe,
+                &mut NullRecorder,
+            ),
+        };
         MatchOutcome {
             mapping: Mapping::new(outcome.best_sample),
             cost: outcome.best_cost,
@@ -334,7 +409,7 @@ impl Matcher {
         stop: &StopToken,
     ) -> MatchOutcome
     where
-        M: CeModel<Sample = Vec<usize>>,
+        M: FlatSampler,
     {
         let start = Instant::now();
         record_run_start(recorder, "MaTCH", inst);
@@ -344,48 +419,64 @@ impl Matcher {
         let threads = self.config.threads;
         let snapshots = std::cell::RefCell::new(Vec::new());
         let every = self.config.snapshot_every;
-        // The evaluate closure runs once per CE iteration, in order; the
-        // counter turns that into the iteration index for pool events.
-        let eval_round = Cell::new(0u64);
-        let outcome = minimize_controlled(
-            model,
-            &cfg,
-            rng,
-            |samples: &[Vec<usize>], recorder: &mut dyn Recorder| {
-                let iter = eval_round.replace(eval_round.get() + 1);
-                if recorder.enabled() {
-                    let (costs, timings) =
-                        match_par::parallel_map_timed(samples.len(), threads, |i| {
-                            exec_time(inst, &samples[i])
-                        });
-                    for t in timings {
-                        recorder.record(Event::Pool(PoolEvent {
-                            iter,
-                            chunk: t.chunk,
-                            len: t.len,
-                            wall_ns: t.wall_ns,
-                        }));
-                    }
-                    costs
-                } else {
-                    match_par::parallel_map(samples.len(), threads, |i| {
-                        exec_time(inst, &samples[i])
-                    })
+        let observe = |iter: usize, m: &M| {
+            if let Some(k) = every {
+                if iter.is_multiple_of(k.max(1)) {
+                    snapshots.borrow_mut().push(MatrixSnapshot {
+                        iter,
+                        matrix: snapshot(m),
+                    });
                 }
-            },
-            |iter, m: &M| {
-                if let Some(k) = every {
-                    if iter % k.max(1) == 0 {
-                        snapshots.borrow_mut().push(MatrixSnapshot {
-                            iter,
-                            matrix: snapshot(m),
-                        });
-                    }
-                }
-            },
-            recorder,
-            &|| stop.should_stop(),
-        );
+            }
+        };
+        let outcome = match self.config.sampler.resolved(threads) {
+            SamplerMode::Batched => minimize_flat(
+                model,
+                &cfg,
+                rng,
+                threads,
+                |row: &[usize]| exec_time(inst, row),
+                observe,
+                recorder,
+                &|| stop.should_stop(),
+            ),
+            _ => {
+                // The evaluate closure runs once per CE iteration, in
+                // order; the counter turns that into the iteration index
+                // for pool events.
+                let eval_round = Cell::new(0u64);
+                minimize_controlled(
+                    model,
+                    &cfg,
+                    rng,
+                    |samples: &[Vec<usize>], recorder: &mut dyn Recorder| {
+                        let iter = eval_round.replace(eval_round.get() + 1);
+                        if recorder.enabled() {
+                            let (costs, timings) =
+                                match_par::parallel_map_timed(samples.len(), threads, |i| {
+                                    exec_time(inst, &samples[i])
+                                });
+                            for t in timings {
+                                recorder.record(Event::Pool(PoolEvent {
+                                    iter,
+                                    chunk: t.chunk,
+                                    len: t.len,
+                                    wall_ns: t.wall_ns,
+                                }));
+                            }
+                            costs
+                        } else {
+                            match_par::parallel_map(samples.len(), threads, |i| {
+                                exec_time(inst, &samples[i])
+                            })
+                        }
+                    },
+                    observe,
+                    recorder,
+                    &|| stop.should_stop(),
+                )
+            }
+        };
         let result = MatchOutcome {
             mapping: Mapping::new(outcome.best_sample),
             cost: outcome.best_cost,
@@ -552,22 +643,76 @@ mod tests {
 
     #[test]
     fn parallel_evaluation_same_results_as_sequential() {
-        // Thread count must not change the optimisation trajectory:
-        // sampling happens on the driver thread; only evaluation fans out.
+        // In Sequential mode the thread count must not change the
+        // optimisation trajectory: sampling happens on the driver
+        // thread; only evaluation fans out.
         let inst = instance(9, 7);
         let seq = Matcher::new(MatchConfig {
             threads: 1,
+            sampler: SamplerMode::Sequential,
             ..MatchConfig::default()
         })
         .run(&inst, &mut StdRng::seed_from_u64(8));
         let par = Matcher::new(MatchConfig {
             threads: 4,
+            sampler: SamplerMode::Sequential,
             ..MatchConfig::default()
         })
         .run(&inst, &mut StdRng::seed_from_u64(8));
         assert_eq!(seq.mapping, par.mapping);
         assert_eq!(seq.cost, par.cost);
         assert_eq!(seq.iterations, par.iterations);
+    }
+
+    #[test]
+    fn batched_mode_is_thread_count_invariant() {
+        // The fused pipeline derives one RNG per sample from a single
+        // iteration seed, so the whole MatchOutcome is bit-identical for
+        // any thread count — including 1.
+        let inst = instance(9, 7);
+        let run = |threads: usize| {
+            Matcher::new(MatchConfig {
+                threads,
+                sampler: SamplerMode::Batched,
+                ..MatchConfig::default()
+            })
+            .run(&inst, &mut StdRng::seed_from_u64(8))
+        };
+        let one = run(1);
+        for threads in [2, 8] {
+            let other = run(threads);
+            assert_eq!(one.mapping, other.mapping, "threads={threads}");
+            assert_eq!(one.cost, other.cost, "threads={threads}");
+            assert_eq!(one.iterations, other.iterations, "threads={threads}");
+            assert_eq!(
+                one.telemetry.iters, other.telemetry.iters,
+                "threads={threads}"
+            );
+        }
+        assert!(one.mapping.is_permutation());
+        assert_eq!(one.cost, exec_time(&inst, one.mapping.as_slice()));
+    }
+
+    #[test]
+    fn auto_sampler_resolution() {
+        assert_eq!(SamplerMode::Auto.resolved(1), SamplerMode::Sequential);
+        assert_eq!(SamplerMode::Auto.resolved(8), SamplerMode::Batched);
+        assert_eq!(SamplerMode::Sequential.resolved(8), SamplerMode::Sequential);
+        assert_eq!(SamplerMode::Batched.resolved(1), SamplerMode::Batched);
+    }
+
+    #[test]
+    fn batched_naive_penalized_still_finds_permutations() {
+        let inst = instance(6, 15);
+        let cfg = MatchConfig {
+            sample_size: Some(400),
+            threads: 2,
+            sampler: SamplerMode::Batched,
+            ..MatchConfig::default()
+        };
+        let out = Matcher::new(cfg).run_naive_penalized(&inst, &mut StdRng::seed_from_u64(16));
+        assert!(out.cost.is_finite(), "never found a bijection");
+        assert!(out.mapping.is_permutation());
     }
 
     #[test]

@@ -175,6 +175,107 @@ where
     .expect("worker panicked");
 }
 
+/// Fill `aux.len()` disjoint `width`-sized rows of `data` — plus one
+/// `aux` slot per row — in parallel, with per-worker state, returning
+/// per-chunk wall-clock timings.
+///
+/// This is the fused produce-and-score primitive: `f(state, i, row, aux)`
+/// runs once per row `i`, receiving the row's `&mut [T]` slice of the
+/// flat `rows × width` buffer and the row's `&mut U` slot (typically its
+/// cost). Both buffers are caller-owned, so repeated batches reuse one
+/// allocation each. `data.len()` must equal `aux.len() * width`.
+///
+/// Chunking, the inline fast path (`threads <= 1` or fewer rows than
+/// [`parallel_threshold`]) and result determinism match [`parallel_fill`].
+pub fn parallel_fill_rows<T, U, S, I, F>(
+    data: &mut [T],
+    aux: &mut [U],
+    width: usize,
+    threads: usize,
+    init: I,
+    f: F,
+) -> Vec<ChunkTiming>
+where
+    T: Send,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T], &mut U) + Sync,
+{
+    use std::time::Instant;
+
+    let rows = aux.len();
+    assert_eq!(
+        data.len(),
+        rows.checked_mul(width).expect("rows × width overflows"),
+        "data must hold rows × width items"
+    );
+    let threads = threads.max(1);
+    if threads == 1 || rows < parallel_threshold() {
+        let start = Instant::now();
+        let mut state = init();
+        let mut rest: &mut [T] = data;
+        for (i, slot) in aux.iter_mut().enumerate() {
+            let (row, tail) = rest.split_at_mut(width);
+            rest = tail;
+            f(&mut state, i, row, slot);
+        }
+        return if rows == 0 {
+            Vec::new()
+        } else {
+            vec![ChunkTiming {
+                chunk: 0,
+                len: rows as u64,
+                wall_ns: start.elapsed().as_nanos() as u64,
+            }]
+        };
+    }
+
+    let ranges = chunk_ranges(rows, threads, ChunkPolicy::PerWorker);
+    let mut pieces: Vec<(usize, &mut [T], &mut [U])> = Vec::with_capacity(ranges.len());
+    let mut data_rest = data;
+    let mut aux_rest = aux;
+    let mut offset = 0;
+    for r in &ranges {
+        let (data_head, data_tail) = data_rest.split_at_mut(r.len() * width);
+        let (aux_head, aux_tail) = aux_rest.split_at_mut(r.len());
+        pieces.push((offset, data_head, aux_head));
+        data_rest = data_tail;
+        aux_rest = aux_tail;
+        offset += r.len();
+    }
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = pieces
+            .into_iter()
+            .enumerate()
+            .map(|(chunk, (base, data_piece, aux_piece))| {
+                let f = &f;
+                let init = &init;
+                scope.spawn(move |_| {
+                    let start = Instant::now();
+                    let mut state = init();
+                    let n = aux_piece.len();
+                    let mut rest: &mut [T] = data_piece;
+                    for (k, slot) in aux_piece.iter_mut().enumerate() {
+                        let (row, tail) = rest.split_at_mut(width);
+                        rest = tail;
+                        f(&mut state, base + k, row, slot);
+                    }
+                    ChunkTiming {
+                        chunk: chunk as u64,
+                        len: n as u64,
+                        wall_ns: start.elapsed().as_nanos() as u64,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope failed")
+}
+
 /// Parallel reduction: map each index through `f`, then fold results with
 /// the associative `combine`, starting from `identity`.
 ///
@@ -281,6 +382,64 @@ mod tests {
         // Second pass over the same buffer.
         parallel_fill(&mut buf, 4, || (), |(), i, slot| *slot = 2 * i);
         assert!(buf.iter().enumerate().all(|(i, &v)| v == 2 * i));
+    }
+
+    #[test]
+    fn fill_rows_matches_sequential() {
+        for threads in [1, 2, 4, 8] {
+            for rows in [0usize, 1, 63, 64, 65, 500] {
+                let width = 3;
+                let mut data = vec![0usize; rows * width];
+                let mut aux = vec![0.0f64; rows];
+                let timings = parallel_fill_rows(
+                    &mut data,
+                    &mut aux,
+                    width,
+                    threads,
+                    || (),
+                    |(), i, row, a| {
+                        for (k, slot) in row.iter_mut().enumerate() {
+                            *slot = i * width + k;
+                        }
+                        *a = i as f64;
+                    },
+                );
+                assert!(
+                    data.iter().enumerate().all(|(j, &v)| v == j),
+                    "threads={threads} rows={rows}"
+                );
+                assert!(aux.iter().enumerate().all(|(i, &v)| v == i as f64));
+                let covered: u64 = timings.iter().map(|t| t.len).sum();
+                assert_eq!(covered, rows as u64, "timings must cover all rows");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_rows_builds_one_state_per_worker() {
+        let builds = AtomicUsize::new(0);
+        let mut data = vec![0u8; 1000];
+        let mut aux = vec![0u8; 1000];
+        parallel_fill_rows(
+            &mut data,
+            &mut aux,
+            1,
+            4,
+            || {
+                builds.fetch_add(1, Ordering::SeqCst);
+            },
+            |(), _, _, _| {},
+        );
+        let n = builds.load(Ordering::SeqCst);
+        assert!((1..=4).contains(&n), "built {n} states");
+    }
+
+    #[test]
+    #[should_panic(expected = "rows × width")]
+    fn fill_rows_rejects_mismatched_buffers() {
+        let mut data = vec![0usize; 10];
+        let mut aux = vec![0.0f64; 4];
+        parallel_fill_rows(&mut data, &mut aux, 3, 2, || (), |(), _, _, _| {});
     }
 
     #[test]

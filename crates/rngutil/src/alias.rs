@@ -3,8 +3,12 @@
 //!
 //! The roulette wheel costs O(log n) per spin; when one distribution is
 //! sampled very many times (e.g. drawing the GA's mating pool from a
-//! fitness vector, or workload generators drawing thousands of grid-point
-//! counts), the alias table is the asymptotically optimal tool.
+//! fitness vector, GenPerm drawing a whole CE batch from one frozen
+//! stochastic matrix, or workload generators drawing thousands of
+//! grid-point counts), the alias table is the asymptotically optimal
+//! tool. [`AliasTable::rebuild`] refreshes a table in place without
+//! allocating, so per-iteration rebuilds (the CE matrix changes between
+//! iterations but not within one) stay off the allocator.
 
 use rand::Rng;
 
@@ -13,6 +17,10 @@ use rand::Rng;
 pub struct AliasTable {
     prob: Vec<f64>,
     alias: Vec<usize>,
+    // Worklist scratch for `rebuild`; drained (empty) between builds so
+    // it does not affect Clone/Debug semantics.
+    small: Vec<usize>,
+    large: Vec<usize>,
 }
 
 impl AliasTable {
@@ -21,48 +29,81 @@ impl AliasTable {
     /// Negative and non-finite weights are clamped to zero. Returns `None`
     /// when the slice is empty or no weight is positive.
     pub fn new(weights: &[f64]) -> Option<Self> {
-        let n = weights.len();
-        let clamped: Vec<f64> = weights
-            .iter()
-            .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 })
-            .collect();
-        let total: f64 = clamped.iter().sum();
-        if n == 0 || total <= 0.0 {
-            return None;
-        }
-        // Scale so the average cell is exactly 1.
-        let scaled: Vec<f64> = clamped.iter().map(|w| w * n as f64 / total).collect();
+        let mut table = AliasTable::empty();
+        table.rebuild(weights).then_some(table)
+    }
 
-        let mut prob = vec![0.0; n];
-        let mut alias = vec![0usize; n];
-        let mut small: Vec<usize> = Vec::with_capacity(n);
-        let mut large: Vec<usize> = Vec::with_capacity(n);
-        let mut rem = scaled;
-        for (i, &p) in rem.iter().enumerate() {
+    /// An empty table (no outcomes; [`AliasTable::sample`] must not be
+    /// called until a successful [`AliasTable::rebuild`]). Useful for
+    /// preallocating a collection of tables that are rebuilt per batch.
+    pub fn empty() -> Self {
+        AliasTable {
+            prob: Vec::new(),
+            alias: Vec::new(),
+            small: Vec::new(),
+            large: Vec::new(),
+        }
+    }
+
+    /// Rebuild the table in place from (unnormalised) `weights`, reusing
+    /// every internal allocation.
+    ///
+    /// Negative and non-finite weights are clamped to zero. Returns
+    /// `false` — leaving the table empty — when the slice is empty or no
+    /// weight is positive.
+    pub fn rebuild(&mut self, weights: &[f64]) -> bool {
+        let n = weights.len();
+        let prob = &mut self.prob;
+        prob.clear();
+        prob.extend(
+            weights
+                .iter()
+                .map(|&w| if w.is_finite() && w > 0.0 { w } else { 0.0 }),
+        );
+        let total: f64 = prob.iter().sum();
+        if n == 0 || total <= 0.0 {
+            prob.clear();
+            self.alias.clear();
+            return false;
+        }
+        // Scale so the average cell is exactly 1. `prob` doubles as the
+        // residual-mass array during the build: a cell's residual is
+        // final once it leaves the worklists, which is exactly when its
+        // `prob` entry stops being touched.
+        let scale = n as f64 / total;
+        for p in prob.iter_mut() {
+            *p *= scale;
+        }
+        self.alias.clear();
+        self.alias.resize(n, 0);
+        self.small.clear();
+        self.large.clear();
+        for (i, &p) in prob.iter().enumerate() {
             if p < 1.0 {
-                small.push(i);
+                self.small.push(i);
             } else {
-                large.push(i);
+                self.large.push(i);
             }
         }
-        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
-            small.pop();
-            large.pop();
-            prob[s] = rem[s];
-            alias[s] = l;
-            rem[l] = (rem[l] + rem[s]) - 1.0;
-            if rem[l] < 1.0 {
-                small.push(l);
+        while let (Some(&s), Some(&l)) = (self.small.last(), self.large.last()) {
+            self.small.pop();
+            self.large.pop();
+            self.alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                self.small.push(l);
             } else {
-                large.push(l);
+                self.large.push(l);
             }
         }
         // Leftovers are numerically 1.
-        for &i in small.iter().chain(large.iter()) {
+        for &i in self.small.iter().chain(self.large.iter()) {
             prob[i] = 1.0;
-            alias[i] = i;
+            self.alias[i] = i;
         }
-        Some(AliasTable { prob, alias })
+        self.small.clear();
+        self.large.clear();
+        true
     }
 
     /// Number of outcomes.
@@ -70,8 +111,8 @@ impl AliasTable {
         self.prob.len()
     }
 
-    /// True when the table has no outcomes (never constructed; kept for
-    /// API completeness).
+    /// True when the table has no outcomes (freshly [`AliasTable::empty`]
+    /// or after a failed [`AliasTable::rebuild`]).
     pub fn is_empty(&self) -> bool {
         self.prob.is_empty()
     }
@@ -145,6 +186,37 @@ mod tests {
         for _ in 0..1000 {
             assert_eq!(t.sample(&mut rng), 0);
         }
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build() {
+        // A reused table must be indistinguishable from a fresh one:
+        // same prob/alias state, hence the same draws for the same RNG.
+        let mut reused = AliasTable::new(&[1.0, 1.0]).unwrap();
+        for weights in [
+            vec![0.5, 0.0, 8.0, 1.5],
+            vec![1.0; 7],
+            vec![10.0, 1e-9],
+            vec![0.2, 0.3, 0.5],
+        ] {
+            assert!(reused.rebuild(&weights));
+            let fresh = AliasTable::new(&weights).unwrap();
+            let mut a = StdRng::seed_from_u64(99);
+            let mut b = StdRng::seed_from_u64(99);
+            for _ in 0..500 {
+                assert_eq!(reused.sample(&mut a), fresh.sample(&mut b));
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_to_degenerate_empties_table() {
+        let mut t = AliasTable::new(&[1.0, 2.0]).unwrap();
+        assert!(!t.rebuild(&[0.0, 0.0]));
+        assert!(t.is_empty());
+        // And it recovers.
+        assert!(t.rebuild(&[3.0]));
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

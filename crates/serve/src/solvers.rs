@@ -9,12 +9,14 @@ use match_baselines::{
     FastMapScheme, GreedyMapper, HillClimber, PolishedMatcher, RandomSearch, RecursiveBisection,
     RoundRobin, SimulatedAnnealing,
 };
-use match_core::{IslandMatcher, Mapper, Matcher};
+use match_core::{IslandMatcher, Mapper, MatchConfig, Matcher, SamplerMode};
 use match_ga::{FastMapGa, GaConfig};
 
 /// All names the registry accepts, for error messages and docs.
 pub const KNOWN_ALGOS: &[&str] = &[
     "match",
+    "match-batched",
+    "match-sequential",
     "islands",
     "ga",
     "fastmap-ga",
@@ -32,7 +34,17 @@ pub const KNOWN_ALGOS: &[&str] = &[
 /// Construct the solver a request named, or `None` for an unknown name.
 pub fn build_mapper(name: &str) -> Option<Box<dyn Mapper>> {
     Some(match name {
+        // `match` resolves the sampler by thread count (`SamplerMode::Auto`);
+        // the suffixed names pin one pipeline for A/B runs through the daemon.
         "match" => Box::new(Matcher::default()),
+        "match-batched" => Box::new(Matcher::new(MatchConfig {
+            sampler: SamplerMode::Batched,
+            ..MatchConfig::default()
+        })),
+        "match-sequential" => Box::new(Matcher::new(MatchConfig {
+            sampler: SamplerMode::Sequential,
+            ..MatchConfig::default()
+        })),
         "islands" => Box::new(IslandMatcher::default()),
         "ga" | "fastmap-ga" => Box::new(FastMapGa::new(GaConfig::paper_default())),
         "greedy" => Box::new(GreedyMapper),
@@ -57,7 +69,14 @@ pub fn build_mapper(name: &str) -> Option<Box<dyn Mapper>> {
 pub fn requires_square(name: &str) -> bool {
     matches!(
         name,
-        "match" | "islands" | "ga" | "fastmap-ga" | "polish" | "fastmap"
+        "match"
+            | "match-batched"
+            | "match-sequential"
+            | "islands"
+            | "ga"
+            | "fastmap-ga"
+            | "polish"
+            | "fastmap"
     )
 }
 
@@ -85,6 +104,7 @@ mod tests {
     #[test]
     fn square_only_solvers_are_flagged() {
         assert!(requires_square("match"));
+        assert!(requires_square("match-batched"));
         assert!(requires_square("ga"));
         assert!(!requires_square("greedy"));
         assert!(!requires_square("sa"));

@@ -38,7 +38,7 @@ fn random_event(rng: &mut XorShift, i: u64) -> Event {
             iter: i,
             best: rng.next_f64(),
             mean: rng.next_f64(),
-            gamma: if rng.next() % 2 == 0 {
+            gamma: if rng.next().is_multiple_of(2) {
                 Some(rng.next_f64())
             } else {
                 None

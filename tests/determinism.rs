@@ -48,14 +48,16 @@ fn all_mappers_are_seed_deterministic() {
 
 #[test]
 fn matcher_thread_count_does_not_change_results() {
-    // Parallel evaluation must be bit-identical to sequential: sampling
-    // stays on the driver thread and evaluation is pure.
+    // Sequential sampling mode: parallel evaluation must be
+    // bit-identical to sequential — sampling stays on the driver thread
+    // and evaluation is pure.
     let inst = instance(12, 4);
     let outs: Vec<_> = [1usize, 2, 8]
         .iter()
         .map(|&threads| {
             Matcher::new(MatchConfig {
                 threads,
+                sampler: SamplerMode::Sequential,
                 ..MatchConfig::default()
             })
             .run(&inst, &mut StdRng::seed_from_u64(5))
@@ -65,6 +67,33 @@ fn matcher_thread_count_does_not_change_results() {
     assert_eq!(outs[1].mapping, outs[2].mapping);
     assert_eq!(outs[0].cost, outs[2].cost);
     assert_eq!(outs[0].iterations, outs[2].iterations);
+}
+
+#[test]
+fn batched_matcher_thread_count_does_not_change_results() {
+    // Batched (fused sample+evaluate) mode: each sample draws from an
+    // RNG derived from a per-iteration seed, so the entire outcome —
+    // mapping, cost, iteration count, per-iteration telemetry — is
+    // bit-identical across thread counts, including threads = 1.
+    let inst = instance(12, 4);
+    let outs: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            Matcher::new(MatchConfig {
+                threads,
+                sampler: SamplerMode::Batched,
+                ..MatchConfig::default()
+            })
+            .run(&inst, &mut StdRng::seed_from_u64(5))
+        })
+        .collect();
+    assert_eq!(outs[0].mapping, outs[1].mapping);
+    assert_eq!(outs[1].mapping, outs[2].mapping);
+    assert_eq!(outs[0].cost, outs[2].cost);
+    assert_eq!(outs[0].iterations, outs[2].iterations);
+    assert_eq!(outs[0].telemetry.iters, outs[1].telemetry.iters);
+    assert_eq!(outs[1].telemetry.iters, outs[2].telemetry.iters);
+    assert!(outs[0].mapping.is_permutation());
 }
 
 #[test]
