@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde` sufficient for derive-only consumers.
+//!
+//! The workspace uses serde exclusively as `#[derive(Serialize,
+//! Deserialize)]` markers (no runtime serialization calls, no trait
+//! bounds), so the derives expand to nothing. Shipping the macros from
+//! the `serde` crate itself means `use serde::{Serialize, Deserialize}`
+//! and `#[derive(serde::Serialize)]` both resolve without a separate
+//! `serde_derive` package.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
