@@ -1,0 +1,167 @@
+//! FastMap-GA generation-pipeline benchmark: the sequential engine
+//! versus the flat-buffer batched rebuild, emitted as a machine-readable
+//! JSON artefact (`BENCH_ga.json`) for CI trend tracking.
+//!
+//! ```text
+//! cargo run -p match-bench --release --bin ga
+//! cargo run -p match-bench --release --bin ga -- --quick
+//! cargo run -p match-bench --release --bin ga -- --json out.json --check
+//! ```
+//!
+//! Each run is a full end-to-end solve (same instance, same driver
+//! seed, same population/generation budget) through one of three
+//! pipelines: the historical sequential loop, the batched pipeline
+//! pinned to one thread (isolating the alias-roulette and delta-cost
+//! wins from the parallel fan-out), and the batched pipeline at the
+//! machine's default thread count.
+//!
+//! `--check` exits non-zero when the batched pipeline (at the default
+//! thread count) is slower than the sequential one for any `n ≥ 32` —
+//! the CI smoke gate for the flat-buffer GA. On a single-core runner
+//! the gate relaxes to rough parity: there is no fan-out to win with.
+
+use match_core::{exec_time, MappingInstance, SamplerMode};
+use match_ga::{FastMapGa, GaConfig};
+use match_graph::gen::InstanceGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+struct Run {
+    ms: f64,
+    cost: f64,
+    evaluations: u64,
+}
+
+fn fmt_run(r: &Run) -> String {
+    format!(
+        "{{\"ms\":{:.1},\"cost\":{:.3},\"evaluations\":{}}}",
+        r.ms, r.cost, r.evaluations
+    )
+}
+
+/// One full GA solve; wall time includes the whole generation loop.
+fn solve(inst: &MappingInstance, config: GaConfig, reps: usize) -> Run {
+    let ga = FastMapGa::new(config);
+    // Warm-up run, then the timed repetitions (same seed each time, so
+    // every repetition does identical work).
+    let mut out = ga.run(inst, &mut StdRng::seed_from_u64(29));
+    let start = Instant::now();
+    for _ in 0..reps {
+        out = ga.run(inst, &mut StdRng::seed_from_u64(29));
+    }
+    Run {
+        ms: start.elapsed().as_secs_f64() * 1e3 / reps as f64,
+        cost: out.outcome.cost,
+        evaluations: out.outcome.evaluations,
+    }
+}
+
+fn config(n: usize, threads: usize, sampler: SamplerMode) -> GaConfig {
+    GaConfig {
+        // A bounded budget that still dominates setup cost: the paper's
+        // 500×1000 run takes too long to repeat per size in CI.
+        population: (4 * n).max(120),
+        generations: 40,
+        threads,
+        sampler,
+        ..GaConfig::paper_default()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_ga.json".to_string());
+
+    let sizes: &[usize] = if quick { &[16, 32] } else { &[16, 32, 48] };
+    let reps = if quick { 2 } else { 5 };
+    let threads = match_par::default_threads();
+
+    let mut entries = Vec::new();
+    let mut failures = Vec::new();
+    for &n in sizes {
+        let inst = MappingInstance::from_pair(
+            &InstanceGenerator::paper_family(n).generate(&mut StdRng::seed_from_u64(40)),
+        );
+        let seq = solve(&inst, config(n, 1, SamplerMode::Sequential), reps);
+        let bat1 = solve(&inst, config(n, 1, SamplerMode::Batched), reps);
+        let batp = solve(&inst, config(n, threads, SamplerMode::Batched), reps);
+        let speedup = seq.ms / batp.ms;
+        eprintln!(
+            "[ga] n={n:>3} pop={:>4}  sequential {:>8.1} ms (cost {:.1}) | \
+             batched t1 {:>8.1} ms | batched t{threads} {:>8.1} ms (cost {:.1})  ({speedup:.2}x)",
+            (4 * n).max(120),
+            seq.ms,
+            seq.cost,
+            bat1.ms,
+            batp.ms,
+            batp.cost,
+        );
+        // With more than one core the parallel fan-out must win outright.
+        // On a single-core runner there is no fan-out and the delta-cost
+        // mutation buys auditability rather than time (the sequential
+        // engine also pays exactly one full evaluation per child), so
+        // only rough parity is enforceable there.
+        let budget = if threads > 1 { seq.ms } else { 1.25 * seq.ms };
+        if check && n >= 32 && batp.ms > budget {
+            failures.push(format!(
+                "n={n}: batched {:.1} ms slower than sequential {:.1} ms (threads={threads})",
+                batp.ms, seq.ms
+            ));
+        }
+        // Sanity: the batched stream must still optimise — never worse
+        // than a random mapping on the same instance.
+        let rand_cost = exec_time(
+            &inst,
+            &match_rngutil::random_permutation(n, &mut StdRng::seed_from_u64(42)),
+        );
+        if batp.cost > rand_cost {
+            failures.push(format!(
+                "n={n}: batched cost {:.1} worse than a random mapping {rand_cost:.1}",
+                batp.cost
+            ));
+        }
+        entries.push(format!(
+            "    {{\"n\":{n},\"reps\":{reps},\
+             \"sequential\":{},\"batched_t1\":{},\
+             \"batched\":{{\"threads\":{threads},\"ms\":{:.1},\"cost\":{:.3}}},\
+             \"speedup_vs_sequential\":{speedup:.3}}}",
+            fmt_run(&seq),
+            fmt_run(&bat1),
+            batp.ms,
+            batp.cost,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"ga\",\n  \"threads\": {threads},\n  \"sizes\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => eprintln!("[ga] wrote {json_path}"),
+        Err(e) => {
+            eprintln!("[ga] could not write {json_path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    print!("{json}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("[ga] FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -22,7 +22,7 @@
 //! The driver entry point is
 //! [`minimize_flat`](crate::driver::minimize_flat).
 
-use rand::rngs::StdRng;
+use rand::Rng;
 
 use crate::model::CeModel;
 
@@ -94,12 +94,14 @@ pub trait FlatSampler: CeModel<Sample = Vec<usize>> + Sync {
 
     /// Draw one sample into `out` (`out.len() == self.width()`), using
     /// the precomputed `tables`. Must draw the same distribution as
-    /// [`CeModel::sample`] (the RNG *stream* may differ).
-    fn sample_flat(
+    /// [`CeModel::sample`] (the RNG *stream* may differ — the islands
+    /// drive this with a long-lived per-island `StdRng`, the fused
+    /// pipeline with one cheap `match_rngutil::SplitMix64` per row).
+    fn sample_flat<R: Rng + ?Sized>(
         &self,
         tables: &Self::Tables,
         scratch: &mut Self::Scratch,
-        rng: &mut StdRng,
+        rng: &mut R,
         out: &mut [usize],
     );
 

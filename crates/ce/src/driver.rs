@@ -452,9 +452,10 @@ pub fn select_elites(costs: &[f64], elite_target: usize) -> EliteSelection {
 ///
 /// Determinism: the driver RNG is consumed exactly once per iteration
 /// (one `u64` → the iteration seed); sample `i` draws from its own
-/// `StdRng` derived as `rng_from(iter_seed, i)` (SplitMix64). Results
-/// are therefore identical for every `threads` value and chunking —
-/// though the stream differs from the sequential
+/// counter-based `match_rngutil::SplitMix64::stream(iter_seed, i)` —
+/// two mixes to set up instead of a full `StdRng` key expansion per
+/// sample. Results are therefore identical for every `threads` value
+/// and chunking — though the stream differs from the sequential
 /// [`minimize_controlled`] path.
 ///
 /// When `recorder` is enabled, the fused region still reports separate
@@ -521,7 +522,7 @@ where
             threads,
             || model.new_scratch(),
             |scratch, i, row, cost| {
-                let mut srng = match_rngutil::seed::rng_from(iter_seed, i as u64);
+                let mut srng = match_rngutil::SplitMix64::stream(iter_seed, i as u64);
                 if traced {
                     let t0 = Instant::now();
                     model.sample_flat(tables_ref, scratch, &mut srng, row);

@@ -14,6 +14,7 @@ use crate::stochmatrix::StochasticMatrix;
 use match_rngutil::alias::AliasTable;
 use match_rngutil::roulette::roulette_pick;
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// Per-batch sampling tables for [`AssignmentModel`]: one alias table per
 /// row. Rows are independent, so a draw is `rows` O(1) alias picks with
@@ -135,11 +136,11 @@ impl FlatSampler for AssignmentModel {
 
     fn new_scratch(&self) {}
 
-    fn sample_flat(
+    fn sample_flat<R: Rng + ?Sized>(
         &self,
         tables: &AssignmentTables,
         _scratch: &mut (),
-        rng: &mut StdRng,
+        rng: &mut R,
         out: &mut [usize],
     ) {
         debug_assert_eq!(out.len(), self.rows());

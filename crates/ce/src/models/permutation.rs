@@ -142,12 +142,12 @@ impl PermutationModel {
     /// (degenerate rows agreeing on one resource), fall back to a
     /// uniform choice among the unused, keeping the sample a valid
     /// permutation.
-    fn restricted_roulette(
+    fn restricted_roulette<R: Rng + ?Sized>(
         row: &[f64],
         used: &[bool],
         weights: &mut Vec<f64>,
         remaining: usize,
-        rng: &mut StdRng,
+        rng: &mut R,
     ) -> usize {
         weights.clear();
         weights.extend(
@@ -274,11 +274,11 @@ impl FlatSampler for PermutationModel {
         GenPermScratch::new()
     }
 
-    fn sample_flat(
+    fn sample_flat<R: Rng + ?Sized>(
         &self,
         tables: &GenPermTables,
         scratch: &mut GenPermScratch,
-        rng: &mut StdRng,
+        rng: &mut R,
         out: &mut [usize],
     ) {
         let n = self.len();

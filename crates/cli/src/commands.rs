@@ -75,6 +75,7 @@ USAGE:
   matchctl simulate --tig FILE --platform FILE --mapping FILE
                     [--rounds N] [--blocking | --link] [--trace FILE.jsonl]
   matchctl report   TRACE.jsonl [--gantt]
+  matchctl report   --diff A.jsonl B.jsonl   (side-by-side comparison)
   matchctl dot      --tig FILE (or --platform FILE)
   matchctl serve    [--addr HOST:PORT] [--workers N] [--queue-cap N]
                     [--cache-cap N] [--trace FILE.jsonl] [--addr-file FILE]
@@ -88,9 +89,10 @@ USAGE:
 ALGO: match (default) | islands | polish | ga | fastmap | bisect | greedy
       | hill | sa | random | roundrobin
       (--solver is accepted as an alias for --algo; so are the solver
-       names fastmap-ga for ga and hillclimb for hill; submit also
-       accepts match-batched | match-sequential to pin the CE
-       sampling pipeline daemon-side)
+       names fastmap-ga for ga and hillclimb for hill; --threads and
+       --sampler apply to match and ga; submit also accepts
+       match-batched | match-sequential | ga-batched | ga-sequential
+       to pin the CE or GA generation pipeline daemon-side)
 
 --trace streams per-iteration telemetry (JSONL, one event per line);
 feed the file to `matchctl report` for a convergence summary.
@@ -212,7 +214,15 @@ fn build_mapper(
             ..MatchConfig::default()
         })),
         "islands" => Box::new(IslandMatcher::default()),
-        "ga" | "fastmap-ga" => Box::new(FastMapGa::new(GaConfig::paper_default())),
+        // The GA honours the same --threads/--sampler pair as `match`:
+        // Auto resolves to the batched pipeline when threads > 1, and
+        // `--sampler sequential` pins the historical per-individual loop
+        // (bit-exact with pre-batching releases).
+        "ga" | "fastmap-ga" => Box::new(FastMapGa::new(GaConfig {
+            threads: threads.unwrap_or_else(match_par::default_threads),
+            sampler,
+            ..GaConfig::paper_default()
+        })),
         "greedy" => Box::new(GreedyMapper),
         "hill" | "hillclimb" => Box::new(HillClimber::default()),
         "sa" => Box::new(SimulatedAnnealing::default()),
@@ -354,7 +364,32 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     Ok(text)
 }
 
+/// Read a JSONL trace and summarise it, with path context on errors.
+fn load_summary(path: &str) -> Result<TraceSummary, CliError> {
+    let events = read_trace_file(std::path::Path::new(path))
+        .map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
+    if events.is_empty() {
+        return Err(CliError::Io(format!("{path}: trace contains no events")));
+    }
+    Ok(TraceSummary::from_events(&events))
+}
+
 fn cmd_report(args: &Args) -> Result<String, CliError> {
+    // `--diff A.jsonl B.jsonl` renders two traces side by side; the
+    // first file is the option value, the second the next positional.
+    if args.has_switch("diff") {
+        return Err(CliError::MissingOption("diff A.jsonl B.jsonl".into()));
+    }
+    if let Some(a_path) = args.options.get("diff") {
+        let b_path = args
+            .positionals
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| CliError::MissingOption("second trace for --diff".into()))?;
+        let a = load_summary(a_path)?;
+        let b = load_summary(b_path)?;
+        return Ok(match_telemetry::render_diff(&a, a_path, &b, b_path));
+    }
     // Path comes as a positional (`matchctl report out.jsonl`) or via
     // `--trace` for symmetry with solve/simulate.
     let path = match args.positionals.first().map(String::as_str) {
@@ -781,6 +816,71 @@ mod tests {
             "0",
         ]);
         assert!(zero.is_err(), "zero threads must be refused");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn ga_sampler_flags_and_diff_report() {
+        use match_telemetry::Event;
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        let seq_trace = dir.join("seq.jsonl");
+        let bat_trace = dir.join("bat.jsonl");
+        let tig_s = tig.to_str().unwrap();
+        let plat_s = plat.to_str().unwrap();
+        let seq_s = seq_trace.to_str().unwrap();
+        let bat_s = bat_trace.to_str().unwrap();
+        run_tokens(&[
+            "gen",
+            "--size",
+            "6",
+            "--out-tig",
+            tig_s,
+            "--out-platform",
+            plat_s,
+        ])
+        .unwrap();
+        // The GA accepts the same --threads/--sampler pair as `match`.
+        for (sampler, threads, trace) in [("sequential", "1", seq_s), ("batched", "2", bat_s)] {
+            let s = run_tokens(&[
+                "solve",
+                "--tig",
+                tig_s,
+                "--platform",
+                plat_s,
+                "--algo",
+                "ga",
+                "--seed",
+                "3",
+                "--sampler",
+                sampler,
+                "--threads",
+                threads,
+                "--trace",
+                trace,
+            ])
+            .unwrap();
+            assert!(s.contains("FastMap-GA: ET ="), "sampler {sampler}: {s}");
+        }
+        // The batched trace carries the delta-mutation counters.
+        let events = read_trace_file(&bat_trace).unwrap();
+        let has_counter = |name: &str| {
+            events
+                .iter()
+                .any(|e| matches!(e, Event::Counter { name: n, .. } if n == name))
+        };
+        assert!(has_counter("full_evaluations"));
+        assert!(has_counter("delta_swaps"));
+
+        let diff = run_tokens(&["report", "--diff", seq_s, bat_s]).unwrap();
+        assert!(diff.contains("A = "), "{diff}");
+        assert!(diff.contains("final best"), "{diff}");
+        assert!(diff.contains("convergence B"), "{diff}");
+        assert!(diff.contains("phase budgets"), "{diff}");
+        // --diff without a second trace is refused, as is a bare switch.
+        assert!(run_tokens(&["report", "--diff", seq_s]).is_err());
+        assert!(run_tokens(&["report", seq_s, "--diff"]).is_err());
         std::fs::remove_dir_all(dir).ok();
     }
 

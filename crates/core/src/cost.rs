@@ -100,6 +100,70 @@ impl<'a> CostModel<'a> {
     }
 }
 
+/// Delta-update `loads` (Eq. 1 per-resource times) for moving task `t`
+/// to resource `new_r`, in O(degree(t)).
+///
+/// `assign` and `loads` must be consistent on entry (`loads` equal to
+/// [`exec_per_resource`] of `assign`); on return `assign[t] == new_r`
+/// and `loads` is consistent again. This is the flat-buffer form of
+/// [`IncrementalCost::apply_move`], shared by the local-search
+/// baselines and the batched GA mutation path, where the assignment
+/// and load vectors live in caller-owned reused buffers.
+pub fn apply_move_delta(
+    inst: &MappingInstance,
+    assign: &mut [usize],
+    loads: &mut [f64],
+    t: usize,
+    new_r: usize,
+) {
+    let old_r = assign[t];
+    if old_r == new_r {
+        return;
+    }
+    // Processing term.
+    loads[old_r] -= inst.computation(t) * inst.processing_cost(old_r);
+    loads[new_r] += inst.computation(t) * inst.processing_cost(new_r);
+    // Communication terms: t's own, and each neighbour's toward t.
+    for (a, c) in inst.interactions(t) {
+        let b = assign[a];
+        // t paid c·link(old_r, b) if split; now pays c·link(new_r, b).
+        if b != old_r {
+            loads[old_r] -= c * inst.link_cost(old_r, b);
+        }
+        if b != new_r {
+            loads[new_r] += c * inst.link_cost(new_r, b);
+        }
+        // Neighbour a paid c·link(b, old_r) if split; symmetric update.
+        if b != old_r {
+            loads[b] -= c * inst.link_cost(b, old_r);
+        }
+        if b != new_r {
+            loads[b] += c * inst.link_cost(b, new_r);
+        }
+    }
+    assign[t] = new_r;
+}
+
+/// Delta-update `loads` for swapping the resources of tasks `t1` and
+/// `t2` (keeps bijectivity), in O(degree(t1) + degree(t2)).
+///
+/// Flat-buffer form of [`IncrementalCost::apply_swap`]; see
+/// [`apply_move_delta`] for the buffer contract.
+pub fn apply_swap_delta(
+    inst: &MappingInstance,
+    assign: &mut [usize],
+    loads: &mut [f64],
+    t1: usize,
+    t2: usize,
+) {
+    let r1 = assign[t1];
+    let r2 = assign[t2];
+    // Two sequential moves are correct because every load update reads
+    // the *current* assignment.
+    apply_move_delta(inst, assign, loads, t1, r2);
+    apply_move_delta(inst, assign, loads, t2, r1);
+}
+
 /// Incrementally maintained per-resource loads under task moves.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IncrementalCost<'a> {
@@ -136,43 +200,12 @@ impl<'a> IncrementalCost<'a> {
 
     /// Move task `t` to `new_r`, updating loads in O(degree(t)).
     pub fn apply_move(&mut self, t: usize, new_r: usize) {
-        let old_r = self.assign[t];
-        if old_r == new_r {
-            return;
-        }
-        let inst = self.inst;
-        // Processing term.
-        self.loads[old_r] -= inst.computation(t) * inst.processing_cost(old_r);
-        self.loads[new_r] += inst.computation(t) * inst.processing_cost(new_r);
-        // Communication terms: t's own, and each neighbour's toward t.
-        for (a, c) in inst.interactions(t) {
-            let b = self.assign[a];
-            // t paid c·link(old_r, b) if split; now pays c·link(new_r, b).
-            if b != old_r {
-                self.loads[old_r] -= c * inst.link_cost(old_r, b);
-            }
-            if b != new_r {
-                self.loads[new_r] += c * inst.link_cost(new_r, b);
-            }
-            // Neighbour a paid c·link(b, old_r) if split; symmetric update.
-            if b != old_r {
-                self.loads[b] -= c * inst.link_cost(b, old_r);
-            }
-            if b != new_r {
-                self.loads[b] += c * inst.link_cost(b, new_r);
-            }
-        }
-        self.assign[t] = new_r;
+        apply_move_delta(self.inst, &mut self.assign, &mut self.loads, t, new_r);
     }
 
     /// Swap the resources of tasks `t1` and `t2` (keeps bijectivity).
     pub fn apply_swap(&mut self, t1: usize, t2: usize) {
-        let r1 = self.assign[t1];
-        let r2 = self.assign[t2];
-        // Two sequential moves are correct because every load update
-        // reads the *current* assignment.
-        self.apply_move(t1, r2);
-        self.apply_move(t2, r1);
+        apply_swap_delta(self.inst, &mut self.assign, &mut self.loads, t1, t2);
     }
 
     /// Cost after hypothetically moving `t` to `new_r` (state unchanged).

@@ -24,7 +24,7 @@ use match_ce::driver::select_elites;
 use match_ce::model::CeModel;
 use match_ce::models::permutation::PermutationModel;
 use match_rngutil::seed::derive_seed;
-use match_telemetry::{Event, IterEvent, NullRecorder, Recorder, Span};
+use match_telemetry::{Event, IterEvent, MemoryRecorder, NullRecorder, Recorder, Span, SpanEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -97,6 +97,12 @@ impl IslandMatcher {
     /// coordinating thread: one `round` span per parallel phase, one
     /// `migrate` span per migration, and one per-round `iter` event
     /// (`elite_size` reports the number of still-active islands).
+    /// Each island additionally records into its own [`MemoryRecorder`]
+    /// while its thread runs — an `island-<i>` span per round it
+    /// advanced — and those buffers are drained into the caller's
+    /// recorder at the migration barrier in island order, so the merged
+    /// stream is deterministic and per-island load imbalance shows up
+    /// in the report's phase breakdown.
     pub fn run_traced(
         &self,
         inst: &MappingInstance,
@@ -141,6 +147,10 @@ impl IslandMatcher {
 
         let gamma_window = self.config.base.gamma_window.max(1);
         let interval = self.config.migration_interval;
+        // One private recorder per island: threads record concurrently
+        // without sharing the caller's sink, and the barrier merges the
+        // buffers in island order so the trace stays deterministic.
+        let mut island_recs: Vec<MemoryRecorder> = (0..k).map(|_| MemoryRecorder::new()).collect();
 
         for round in 0..max_rounds {
             let traced = recorder.enabled();
@@ -151,11 +161,13 @@ impl IslandMatcher {
             // (alias tables rebuilt once per iteration, one reused
             // `per_island_n × n` buffer) and selecting elites in O(N).
             crossbeam::thread::scope(|scope| {
-                for island in islands.iter_mut() {
+                for (i, (island, rec)) in islands.iter_mut().zip(island_recs.iter_mut()).enumerate()
+                {
                     scope.spawn(move |_| {
                         if island.done {
                             return;
                         }
+                        let island_start = traced.then(std::time::Instant::now);
                         let mut tables = island.model.new_tables();
                         let mut scratch = island.model.new_scratch();
                         let mut data = vec![0usize; per_island_n * n];
@@ -202,12 +214,27 @@ impl IslandMatcher {
                                 break;
                             }
                         }
+                        if let Some(t0) = island_start {
+                            rec.record(Event::Span(SpanEvent {
+                                name: format!("island-{i}").into(),
+                                iter: round as u64,
+                                wall_ns: t0.elapsed().as_nanos() as u64,
+                            }));
+                        }
                     });
                 }
             })
             .expect("island thread panicked");
             if let Some(span) = round_span {
                 span.finish(recorder);
+            }
+            // Merge the islands' private event buffers, in island order.
+            if traced {
+                for rec in island_recs.iter_mut() {
+                    for event in std::mem::take(rec).into_events() {
+                        recorder.record(event);
+                    }
+                }
             }
 
             // Migration barrier: broadcast the global incumbent into
@@ -394,6 +421,36 @@ mod tests {
         // 4 islands × ≤8 iterations × (200/4) samples = ≤1600 evals.
         assert!(out.evaluations <= 1600, "evals {}", out.evaluations);
         assert!(out.iterations <= 8);
+    }
+
+    #[test]
+    fn trace_merges_per_island_spans() {
+        let inst = instance(10, 13);
+        let m = IslandMatcher::new(IslandConfig {
+            islands: 2,
+            ..IslandConfig::default()
+        });
+        let mut rec = MemoryRecorder::new();
+        let out = m.run_traced(&inst, &mut StdRng::seed_from_u64(14), &mut rec);
+        assert!(out.mapping.is_permutation());
+        // Every island that advanced recorded one span per round into
+        // its private buffer; the barrier merged them into ours.
+        assert!(rec.span_total_ns("island-0") > 0);
+        assert!(rec.span_total_ns("island-1") > 0);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_search() {
+        let inst = instance(10, 15);
+        let m = IslandMatcher::new(IslandConfig {
+            islands: 3,
+            ..IslandConfig::default()
+        });
+        let plain = m.run(&inst, &mut StdRng::seed_from_u64(16));
+        let mut rec = MemoryRecorder::new();
+        let traced = m.run_traced(&inst, &mut StdRng::seed_from_u64(16), &mut rec);
+        assert_eq!(plain.mapping, traced.mapping);
+        assert_eq!(plain.cost, traced.cost);
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub mod problem;
 pub mod quality;
 
 pub use control::{StopFlag, StopToken};
-pub use cost::{exec_per_resource, exec_time, CostModel, IncrementalCost};
+pub use cost::{
+    apply_move_delta, apply_swap_delta, exec_per_resource, exec_per_resource_into, exec_time,
+    CostModel, IncrementalCost,
+};
 pub use islands::{IslandConfig, IslandMatcher};
 pub use mapper::{record_run_end, record_run_start, Mapper, MapperOutcome};
 pub use mapping::Mapping;

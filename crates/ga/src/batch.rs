@@ -1,0 +1,601 @@
+//! The batched FastMap-GA generation pipeline.
+//!
+//! The sequential engine ([`crate::engine`]) materialises every child as
+//! a fresh heap [`Chromosome`], spins an O(population) roulette wheel
+//! per parent draw, and pays a full Eq. 1/Eq. 2 evaluation per child.
+//! This module is the `FlatSampler`-style rebuild of that loop:
+//!
+//! * **Flat ping-pong buffers** — parent and offspring generations live
+//!   in two reused `population × n` gene buffers; a generation
+//!   allocates nothing.
+//! * **Parallel fan-out** — children are produced and scored inside
+//!   `match_par::parallel_fill_rows` workers. Every child `i` of
+//!   generation `g` draws from its own counter-based
+//!   [`SplitMix64`] stream derived from `(gen_seed, i)`, where
+//!   `gen_seed` is one driver-RNG draw per generation — results are
+//!   bit-identical for every thread count and chunking.
+//! * **Alias roulette** — fitness-proportional selection goes through a
+//!   [`AliasTable`] rebuilt in place once per generation: O(1) per
+//!   parent draw instead of a linear (or binary-search) wheel.
+//! * **Delta-cost mutation** — a child is fully evaluated once, right
+//!   after crossover ([`exec_per_resource_into`] into the row's reused
+//!   load buffer); every mutation swap then updates the per-resource
+//!   loads via [`apply_swap_delta`] in O(degree) instead of calling
+//!   `exec_time` from scratch. The full evaluation stays in as a
+//!   `debug_assert` oracle, and the `full_evaluations` /
+//!   `delta_swaps` trace counters make the claim auditable.
+//!
+//! The stream differs from the sequential engine's: pin
+//! `SamplerMode::Sequential` to reproduce historical trajectories.
+
+use crate::chromosome::Chromosome;
+use crate::engine::{argmin, CrossoverOp, GaConfig, GaOutcome, MutationOp, SelectionOp};
+use crate::operators::crossover_into;
+use crate::variants::{order_crossover_into, tournament_select};
+use match_core::{
+    apply_swap_delta, exec_per_resource_into, exec_time, record_run_end, record_run_start,
+    MapperOutcome, MappingInstance, StopToken,
+};
+use match_rngutil::{AliasTable, SplitMix64};
+use match_telemetry::{Event, IterEvent, PoolEvent, Recorder, SpanEvent};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Per-row worker state, allocated once and reused every generation:
+/// the row's task→resource assignment (the inverse of its gene string),
+/// its Eq. 1 per-resource loads, its Eq. 2 cost, and crossover scratch.
+struct RowState {
+    assign: Vec<usize>,
+    loads: Vec<f64>,
+    used: Vec<bool>,
+    cost: f64,
+}
+
+impl RowState {
+    fn new() -> Self {
+        RowState {
+            assign: Vec::new(),
+            loads: Vec::new(),
+            used: Vec::new(),
+            cost: 0.0,
+        }
+    }
+
+    /// Full evaluation of `genes` (genes\[resource\] = task): rebuild
+    /// the inverse assignment and the Eq. 1 loads, take the Eq. 2 max.
+    fn eval_full(&mut self, inst: &MappingInstance, genes: &[usize]) {
+        // Every slot is overwritten below (genes is a permutation), so
+        // growing without zeroing is enough.
+        self.assign.resize(genes.len(), 0);
+        for (r, &t) in genes.iter().enumerate() {
+            self.assign[t] = r;
+        }
+        exec_per_resource_into(inst, &self.assign, &mut self.loads);
+        self.cost = self.loads.iter().copied().fold(0.0, f64::max);
+    }
+}
+
+/// Split a flat `rows × n` buffer into row `i`.
+#[inline]
+fn row_of(data: &[usize], n: usize, i: usize) -> &[usize] {
+    &data[i * n..(i + 1) * n]
+}
+
+/// The batched generation loop; entered through
+/// [`crate::FastMapGa::run_controlled`] when the configured
+/// `SamplerMode` resolves to `Batched`. Same operators, selection
+/// pressure and elitism as the sequential engine — different (but
+/// thread-count-invariant) RNG stream.
+pub(crate) fn run_batched(
+    config: &GaConfig,
+    inst: &MappingInstance,
+    rng: &mut StdRng,
+    recorder: &mut dyn Recorder,
+    stop: &StopToken,
+) -> GaOutcome {
+    record_run_start(recorder, "FastMap-GA", inst);
+    let traced = recorder.enabled();
+    let start = Instant::now();
+    let n = inst.n_tasks();
+    let pop = config.population;
+    let elitism = usize::from(config.elitism);
+    let threads = config.threads;
+
+    let mut genes_cur = vec![0usize; pop * n];
+    let mut genes_next = vec![0usize; pop * n];
+    let mut states: Vec<RowState> = (0..pop).map(|_| RowState::new()).collect();
+    let mut costs = vec![0.0f64; pop];
+    let mut fitness: Vec<f64> = Vec::with_capacity(pop);
+    let mut alias = AliasTable::empty();
+
+    // Initial population: random permutations (§5.1), one stream per
+    // row so the fill is thread-count invariant like every generation.
+    let init_seed: u64 = rng.random();
+    match_par::parallel_fill_rows(
+        &mut genes_cur,
+        &mut states,
+        n,
+        threads,
+        || (),
+        |(), i, row, st: &mut RowState| {
+            let mut srng = SplitMix64::stream(init_seed, i as u64);
+            for (k, g) in row.iter_mut().enumerate() {
+                *g = k;
+            }
+            match_rngutil::shuffle(row, &mut srng);
+            st.eval_full(inst, row);
+        },
+    );
+    for (c, st) in costs.iter_mut().zip(&states) {
+        *c = st.cost;
+    }
+    let mut evaluations = pop as u64;
+    if traced {
+        recorder.record(Event::Counter {
+            name: "full_evaluations".into(),
+            value: pop as u64,
+        });
+    }
+
+    let mut best_idx = argmin(&costs);
+    let mut best_genes = row_of(&genes_cur, n, best_idx).to_vec();
+    let mut best_cost = costs[best_idx];
+    let mut best_per_generation = Vec::with_capacity(config.generations);
+
+    let mut generations_run = 0;
+    for gen in 0..config.generations {
+        let gen_start = traced.then(Instant::now);
+
+        // Selection preprocessing: fitness Ψ = K / Exec, alias table
+        // rebuilt in place (roulette only; tournament reads costs
+        // directly). One O(pop) build amortised over O(1) draws.
+        let select_start = traced.then(Instant::now);
+        if config.selection == SelectionOp::Roulette {
+            fitness.clear();
+            fitness.extend(costs.iter().map(|&c| {
+                if c > 0.0 {
+                    config.fitness_k / c
+                } else {
+                    f64::MAX
+                }
+            }));
+            let ok = alias.rebuild(&fitness);
+            assert!(ok, "positive costs give positive fitness");
+        }
+        let select_ns = select_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+
+        // One driver-RNG draw per generation; child i below is a pure
+        // function of (parents, gen_seed, i), independent of threads.
+        let gen_seed: u64 = rng.random();
+
+        let crossovers = AtomicU64::new(0);
+        let mutations = AtomicU64::new(0);
+        let delta_swaps = AtomicU64::new(0);
+        let vary_ns = AtomicU64::new(0);
+        let eval_ns = AtomicU64::new(0);
+
+        let region_start = traced.then(Instant::now);
+        let parents = &genes_cur;
+        let parent_costs = &costs;
+        let alias_ref = &alias;
+        let best_ref = &best_genes;
+        let select = |srng: &mut SplitMix64| -> usize {
+            match config.selection {
+                SelectionOp::Roulette => alias_ref.sample(srng),
+                SelectionOp::Tournament(k) => tournament_select(parent_costs, k, srng),
+            }
+        };
+        let timings = match_par::parallel_fill_rows(
+            &mut genes_next,
+            &mut states,
+            n,
+            threads,
+            || (),
+            |(), i, row, st: &mut RowState| {
+                if i < elitism {
+                    // The elite survives unconditionally; its cost is
+                    // already known, so it costs no evaluation at all.
+                    row.copy_from_slice(best_ref);
+                    st.cost = best_cost;
+                    return;
+                }
+                let mut srng = SplitMix64::stream(gen_seed, i as u64);
+                let t0 = traced.then(Instant::now);
+
+                // Selection + crossover, straight into the child's row.
+                let p1 = select(&mut srng);
+                if srng.random::<f64>() < config.crossover_prob {
+                    let p2 = select(&mut srng);
+                    match config.crossover_op {
+                        CrossoverOp::SinglePointRepair => crossover_into(
+                            row_of(parents, n, p1),
+                            row_of(parents, n, p2),
+                            row,
+                            &mut st.used,
+                        ),
+                        CrossoverOp::Order => order_crossover_into(
+                            row_of(parents, n, p1),
+                            row_of(parents, n, p2),
+                            row,
+                            &mut st.used,
+                            &mut srng,
+                        ),
+                    }
+                    crossovers.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    row.copy_from_slice(row_of(parents, n, p1));
+                }
+
+                // The one full Eq. 1/Eq. 2 evaluation this child pays.
+                let t1 = traced.then(Instant::now);
+                st.eval_full(inst, row);
+                let t2 = traced.then(Instant::now);
+
+                // Mutation: every gene swap is mirrored into the row's
+                // assignment and per-resource loads in O(degree) —
+                // no `exec_time` from scratch.
+                let mut swaps = 0u64;
+                match config.mutation_op {
+                    MutationOp::Swap => {
+                        if n >= 2 {
+                            for g in 0..n {
+                                if srng.random::<f64>() < config.mutation_prob {
+                                    let j = srng.random_range(0..n);
+                                    if g != j {
+                                        let (ta, tb) = (row[g], row[j]);
+                                        row.swap(g, j);
+                                        apply_swap_delta(
+                                            inst,
+                                            &mut st.assign,
+                                            &mut st.loads,
+                                            ta,
+                                            tb,
+                                        );
+                                        swaps += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    MutationOp::Inversion => {
+                        if n >= 2 && srng.random::<f64>() < config.mutation_prob {
+                            let a = srng.random_range(0..n);
+                            let b = srng.random_range(0..n);
+                            let (mut lo, mut hi) = if a <= b { (a, b) } else { (b, a) };
+                            // A reversal is a sequence of outside-in
+                            // pairwise swaps, each a delta update.
+                            while lo < hi {
+                                let (ta, tb) = (row[lo], row[hi]);
+                                row.swap(lo, hi);
+                                apply_swap_delta(inst, &mut st.assign, &mut st.loads, ta, tb);
+                                swaps += 1;
+                                lo += 1;
+                                hi -= 1;
+                            }
+                        }
+                    }
+                }
+                if swaps > 0 {
+                    st.cost = st.loads.iter().copied().fold(0.0, f64::max);
+                    delta_swaps.fetch_add(swaps, Ordering::Relaxed);
+                    mutations.fetch_add(1, Ordering::Relaxed);
+                }
+                debug_assert!(
+                    {
+                        let fresh = exec_time(inst, &st.assign);
+                        (st.cost - fresh).abs() <= 1e-9 * (1.0 + fresh.abs())
+                    },
+                    "delta-cost loads drifted from the Eq. 1 oracle"
+                );
+
+                if let (Some(t0), Some(t1), Some(t2)) = (t0, t1, t2) {
+                    let t3 = Instant::now();
+                    vary_ns.fetch_add(((t1 - t0) + (t3 - t2)).as_nanos() as u64, Ordering::Relaxed);
+                    eval_ns.fetch_add((t2 - t1).as_nanos() as u64, Ordering::Relaxed);
+                }
+            },
+        );
+        let children = (pop - elitism) as u64;
+        evaluations += children;
+
+        for (c, st) in costs.iter_mut().zip(&states) {
+            *c = st.cost;
+        }
+        std::mem::swap(&mut genes_cur, &mut genes_next);
+
+        best_idx = argmin(&costs);
+        if costs[best_idx] < best_cost {
+            best_cost = costs[best_idx];
+            best_genes.clear();
+            best_genes.extend_from_slice(row_of(&genes_cur, n, best_idx));
+        }
+        best_per_generation.push(best_cost);
+
+        if let (Some(gen_start), Some(region_start)) = (gen_start, region_start) {
+            // Split the fused region's wall clock between variation
+            // (selection, crossover, mutation deltas) and evaluation in
+            // proportion to worker-accumulated time, mirroring the CE
+            // driver, so `matchctl report` phase budgets stay honest.
+            let wall = region_start.elapsed().as_nanos() as u64;
+            let v = vary_ns.load(Ordering::Relaxed);
+            let e = eval_ns.load(Ordering::Relaxed);
+            let vary_share = if v + e == 0 {
+                0
+            } else {
+                (wall as u128 * v as u128 / (v + e) as u128) as u64
+            };
+            recorder.record(Event::Span(SpanEvent {
+                name: "select".into(),
+                iter: gen as u64,
+                wall_ns: select_ns,
+            }));
+            recorder.record(Event::Span(SpanEvent {
+                name: "vary".into(),
+                iter: gen as u64,
+                wall_ns: vary_share,
+            }));
+            recorder.record(Event::Span(SpanEvent {
+                name: "evaluate".into(),
+                iter: gen as u64,
+                wall_ns: wall - vary_share,
+            }));
+            for t in &timings {
+                recorder.record(Event::Pool(PoolEvent {
+                    iter: gen as u64,
+                    chunk: t.chunk,
+                    len: t.len,
+                    wall_ns: t.wall_ns,
+                }));
+            }
+            recorder.record(Event::Counter {
+                name: "crossovers".into(),
+                value: crossovers.load(Ordering::Relaxed),
+            });
+            recorder.record(Event::Counter {
+                name: "mutations".into(),
+                value: mutations.load(Ordering::Relaxed),
+            });
+            recorder.record(Event::Counter {
+                name: "full_evaluations".into(),
+                value: children,
+            });
+            recorder.record(Event::Counter {
+                name: "delta_swaps".into(),
+                value: delta_swaps.load(Ordering::Relaxed),
+            });
+            recorder.record(Event::Iter(IterEvent {
+                iter: gen as u64,
+                best: best_cost,
+                mean: costs.iter().sum::<f64>() / pop as f64,
+                gamma: None,
+                elite_size: elitism as u64,
+                wall_ns: gen_start.elapsed().as_nanos() as u64,
+            }));
+        }
+        generations_run = gen + 1;
+        // Cooperative cancellation: at least one generation always
+        // completes, so a cancelled run still returns a valid
+        // permutation and its true cost.
+        if stop.should_stop() {
+            break;
+        }
+    }
+
+    let result = GaOutcome {
+        outcome: MapperOutcome {
+            mapping: Chromosome::new(best_genes).to_mapping(),
+            cost: best_cost,
+            evaluations,
+            iterations: generations_run,
+            elapsed: start.elapsed(),
+        },
+        best_per_generation,
+    };
+    record_run_end(recorder, &result.outcome);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{FastMapGa, GaConfig};
+    use match_core::{exec_time, MappingInstance, SamplerMode, StopToken};
+    use match_graph::gen::InstanceGenerator;
+    use match_telemetry::{MemoryRecorder, NullRecorder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn instance(n: usize, seed: u64) -> MappingInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MappingInstance::from_pair(&InstanceGenerator::paper_family(n).generate(&mut rng))
+    }
+
+    fn batched_config(threads: usize) -> GaConfig {
+        GaConfig {
+            population: 60,
+            generations: 60,
+            threads,
+            sampler: SamplerMode::Batched,
+            ..GaConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn batched_produces_valid_mapping() {
+        let inst = instance(10, 1);
+        let out = FastMapGa::new(batched_config(2)).run(&inst, &mut StdRng::seed_from_u64(2));
+        assert!(out.outcome.mapping.validate(&inst).is_ok());
+        assert_eq!(
+            out.outcome.cost,
+            exec_time(&inst, out.outcome.mapping.as_slice())
+        );
+        assert_eq!(out.best_per_generation.len(), 60);
+        // pop initial evaluations + (pop - 1 elite) per generation.
+        assert_eq!(out.outcome.evaluations, 60 + 60 * 59);
+    }
+
+    #[test]
+    fn batched_bit_identical_across_thread_counts() {
+        let inst = instance(12, 3);
+        let runs: Vec<_> = [1usize, 2, 8]
+            .into_iter()
+            .map(|threads| {
+                FastMapGa::new(batched_config(threads)).run(&inst, &mut StdRng::seed_from_u64(4))
+            })
+            .collect();
+        for other in &runs[1..] {
+            assert_eq!(runs[0].outcome.mapping, other.outcome.mapping);
+            assert_eq!(runs[0].outcome.cost, other.outcome.cost);
+            assert_eq!(runs[0].best_per_generation, other.best_per_generation);
+            assert_eq!(runs[0].outcome.evaluations, other.outcome.evaluations);
+        }
+    }
+
+    #[test]
+    fn auto_sampler_resolves_by_thread_count() {
+        let inst = instance(8, 5);
+        // threads = 1: Auto must reproduce the sequential trajectory.
+        let auto1 = FastMapGa::new(GaConfig {
+            population: 40,
+            generations: 30,
+            ..GaConfig::paper_default()
+        })
+        .run(&inst, &mut StdRng::seed_from_u64(6));
+        let seq = FastMapGa::new(GaConfig {
+            population: 40,
+            generations: 30,
+            sampler: SamplerMode::Sequential,
+            ..GaConfig::paper_default()
+        })
+        .run(&inst, &mut StdRng::seed_from_u64(6));
+        assert_eq!(auto1.outcome.mapping, seq.outcome.mapping);
+        assert_eq!(auto1.best_per_generation, seq.best_per_generation);
+        // threads > 1: Auto takes the batched path.
+        let auto4 = FastMapGa::new(GaConfig {
+            population: 40,
+            generations: 30,
+            threads: 4,
+            ..GaConfig::paper_default()
+        })
+        .run(&inst, &mut StdRng::seed_from_u64(6));
+        let batched = FastMapGa::new(GaConfig {
+            population: 40,
+            generations: 30,
+            threads: 4,
+            sampler: SamplerMode::Batched,
+            ..GaConfig::paper_default()
+        })
+        .run(&inst, &mut StdRng::seed_from_u64(6));
+        assert_eq!(auto4.outcome.mapping, batched.outcome.mapping);
+        assert_eq!(auto4.best_per_generation, batched.best_per_generation);
+    }
+
+    #[test]
+    fn mutation_pays_no_full_evaluations() {
+        // The trace accounts for every full Eq. 1 evaluation: pop at
+        // init plus (pop - elite) per generation. Thousands of mutation
+        // swaps happen on top (delta_swaps), so if mutation re-evaluated
+        // from scratch the full_evaluations counter could not balance.
+        let inst = instance(10, 7);
+        let mut rec = MemoryRecorder::new();
+        let out = FastMapGa::new(batched_config(2)).run_controlled(
+            &inst,
+            &mut StdRng::seed_from_u64(8),
+            &mut rec,
+            &StopToken::never(),
+        );
+        assert_eq!(rec.counter("full_evaluations"), out.outcome.evaluations);
+        assert_eq!(rec.counter("full_evaluations"), 60 + 60 * 59);
+        assert!(
+            rec.counter("delta_swaps") > 0,
+            "swap mutation must go through the delta path"
+        );
+        assert!(rec.counter("crossovers") > 0);
+    }
+
+    #[test]
+    fn batched_stop_token_cancels_after_one_generation() {
+        use match_core::StopFlag;
+        let inst = instance(10, 9);
+        let flag = StopFlag::new();
+        flag.trip();
+        let out = FastMapGa::new(batched_config(2)).run_controlled(
+            &inst,
+            &mut StdRng::seed_from_u64(10),
+            &mut NullRecorder,
+            &StopToken::with_flag(flag),
+        );
+        assert_eq!(out.outcome.iterations, 1);
+        assert_eq!(out.best_per_generation.len(), 1);
+        assert!(out.outcome.mapping.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn batched_quality_comparable_to_sequential() {
+        let inst = instance(12, 11);
+        let seq = FastMapGa::new(GaConfig {
+            population: 60,
+            generations: 60,
+            ..GaConfig::paper_default()
+        })
+        .run(&inst, &mut StdRng::seed_from_u64(12));
+        let bat = FastMapGa::new(batched_config(2)).run(&inst, &mut StdRng::seed_from_u64(12));
+        // Different RNG streams, same operators and selection pressure:
+        // allow a modest gap either way.
+        assert!(
+            bat.outcome.cost <= 1.25 * seq.outcome.cost,
+            "batched {} vs sequential {}",
+            bat.outcome.cost,
+            seq.outcome.cost
+        );
+        for w in bat.best_per_generation.windows(2) {
+            assert!(w[1] <= w[0], "elitism keeps the batched best monotone");
+        }
+    }
+
+    #[test]
+    fn batched_no_elitism_still_tracks_best_ever() {
+        let inst = instance(10, 13);
+        let cfg = GaConfig {
+            elitism: false,
+            ..batched_config(2)
+        };
+        let out = FastMapGa::new(cfg).run(&inst, &mut StdRng::seed_from_u64(14));
+        for w in out.best_per_generation.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert!(out.outcome.mapping.is_permutation());
+        // No elite rows: every child of every generation is evaluated.
+        assert_eq!(out.outcome.evaluations, 60 + 60 * 60);
+    }
+
+    #[test]
+    fn batched_variant_operators_produce_valid_mappings() {
+        use crate::engine::{CrossoverOp, MutationOp, SelectionOp};
+        let inst = instance(10, 15);
+        for selection in [SelectionOp::Roulette, SelectionOp::Tournament(3)] {
+            for crossover_op in [CrossoverOp::SinglePointRepair, CrossoverOp::Order] {
+                for mutation_op in [MutationOp::Swap, MutationOp::Inversion] {
+                    let cfg = GaConfig {
+                        population: 30,
+                        generations: 20,
+                        selection,
+                        crossover_op,
+                        mutation_op,
+                        ..batched_config(2)
+                    };
+                    let out = FastMapGa::new(cfg).run(&inst, &mut StdRng::seed_from_u64(16));
+                    assert!(
+                        out.outcome.mapping.is_permutation(),
+                        "{selection:?}/{crossover_op:?}/{mutation_op:?}"
+                    );
+                    assert_eq!(
+                        out.outcome.cost,
+                        exec_time(&inst, out.outcome.mapping.as_slice())
+                    );
+                }
+            }
+        }
+    }
+}

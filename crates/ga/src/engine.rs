@@ -5,7 +5,8 @@ use crate::chromosome::Chromosome;
 use crate::operators::{crossover, mutate};
 use crate::variants::{inversion_mutate, order_crossover, tournament_select};
 use match_core::{
-    exec_time, record_run_end, record_run_start, Mapper, MapperOutcome, MappingInstance, StopToken,
+    exec_time, record_run_end, record_run_start, Mapper, MapperOutcome, MappingInstance,
+    SamplerMode, StopToken,
 };
 use match_rngutil::roulette::RouletteWheel;
 use match_telemetry::{Event, IterEvent, NullRecorder, Recorder};
@@ -63,6 +64,17 @@ pub struct GaConfig {
     pub crossover_op: CrossoverOp,
     /// Mutation operator (paper: per-gene swap).
     pub mutation_op: MutationOp,
+    /// Worker threads for the batched generation pipeline. The library
+    /// default is 1 so that plain configs keep reproducing the
+    /// historical sequential trajectories; the CLI and the daemon pass
+    /// `match_par::default_threads()`.
+    pub threads: usize,
+    /// Generation-loop pipeline selection, mirroring
+    /// [`match_core::MatchConfig`]: `Auto` resolves by thread count,
+    /// `Sequential` pins the historical per-individual loop (bit-exact
+    /// RNG stream), `Batched` pins the flat-buffer parallel loop (a
+    /// *different* stream, identical for every thread count).
+    pub sampler: SamplerMode,
 }
 
 impl Default for GaConfig {
@@ -85,6 +97,18 @@ impl GaConfig {
             selection: SelectionOp::Roulette,
             crossover_op: CrossoverOp::SinglePointRepair,
             mutation_op: MutationOp::Swap,
+            threads: 1,
+            sampler: SamplerMode::Auto,
+        }
+    }
+
+    /// The paper configuration on the batched pipeline: all available
+    /// cores, [`SamplerMode::Batched`] pinned regardless of the count.
+    pub fn batched_paper() -> Self {
+        GaConfig {
+            threads: match_par::default_threads(),
+            sampler: SamplerMode::Batched,
+            ..GaConfig::paper_default()
         }
     }
 
@@ -122,6 +146,7 @@ impl GaConfig {
             "mutation probability out of [0,1]"
         );
         assert!(self.fitness_k > 0.0, "fitness scale must be positive");
+        assert!(self.threads >= 1, "thread count must be at least 1");
     }
 }
 
@@ -203,6 +228,27 @@ impl FastMapGa {
             inst.is_square(),
             "FastMap-GA's permutation encoding needs |V_t| = |V_r|"
         );
+        // Size-0 instances have nothing to fan out; the sequential loop
+        // handles them as a degenerate case.
+        if self.config.sampler.resolved(self.config.threads) == SamplerMode::Batched
+            && inst.n_tasks() > 0
+        {
+            return crate::batch::run_batched(&self.config, inst, rng, recorder, stop);
+        }
+        self.run_sequential(inst, rng, recorder, stop)
+    }
+
+    /// The historical per-individual generation loop (`Sequential`):
+    /// heap-allocated chromosomes, linear roulette wheel, one full
+    /// Eq. 1/Eq. 2 evaluation per child. Its RNG stream is bit-exact
+    /// with every release since the seed.
+    fn run_sequential(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+        stop: &StopToken,
+    ) -> GaOutcome {
         record_run_start(recorder, "FastMap-GA", inst);
         let traced = recorder.enabled();
         let start = Instant::now();
@@ -345,7 +391,7 @@ impl FastMapGa {
     }
 }
 
-fn argmin(xs: &[f64]) -> usize {
+pub(crate) fn argmin(xs: &[f64]) -> usize {
     let mut best = 0;
     for (i, &x) in xs.iter().enumerate().skip(1) {
         if x < xs[best] {

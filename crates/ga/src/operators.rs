@@ -24,35 +24,56 @@ pub fn crossover<R: Rng + ?Sized>(
     if n == 0 {
         return parent1.clone();
     }
+    let mut genes = vec![0usize; n];
+    let mut used = Vec::new();
+    crossover_into(parent1.genes(), parent2.genes(), &mut genes, &mut used);
+    Chromosome::new(genes)
+}
+
+/// The slice core of [`crossover`]: write the repaired single-point
+/// child of `parent1 × parent2` into `child` (all three of length
+/// `n > 0`). `used` is caller-owned scratch, cleared and resized here,
+/// so the batched engine's per-worker buffers make a crossover
+/// allocation-free. Same child as [`crossover`] for the same parents.
+pub fn crossover_into(
+    parent1: &[usize],
+    parent2: &[usize],
+    child: &mut [usize],
+    used: &mut Vec<bool>,
+) {
+    let n = parent1.len();
+    debug_assert_eq!(n, parent2.len());
+    debug_assert_eq!(n, child.len());
+    used.clear();
+    used.resize(n, false);
     let half = n / 2;
-    let mut genes = Vec::with_capacity(n);
-    let mut used = vec![false; n];
     for r in 0..half {
-        let g = parent1.gene(r);
-        genes.push(g);
+        let g = parent1[r];
+        child[r] = g;
         used[g] = true;
     }
     for r in half..n {
-        let candidate = parent2.gene(r);
+        let candidate = parent2[r];
         let gene = if !used[candidate] {
             candidate
         } else {
             // In-order scan of parent2's first half…
-            (0..half)
-                .map(|i| parent2.gene(i))
+            parent2[..half]
+                .iter()
+                .copied()
                 .find(|&g| !used[g])
                 // …falling back to any unused gene of parent2 (odd n).
                 .unwrap_or_else(|| {
-                    (0..n)
-                        .map(|i| parent2.gene(i))
+                    parent2
+                        .iter()
+                        .copied()
                         .find(|&g| !used[g])
                         .expect("some gene is unused")
                 })
         };
-        genes.push(gene);
+        child[r] = gene;
         used[gene] = true;
     }
-    Chromosome::new(genes)
 }
 
 /// Per-gene swap mutation (Figure 6b): each gene independently mutates

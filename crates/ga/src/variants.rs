@@ -39,32 +39,52 @@ pub fn order_crossover<R: Rng + ?Sized>(
 ) -> Chromosome {
     let n = parent1.len();
     assert_eq!(n, parent2.len(), "parent length mismatch");
+    let mut genes = vec![usize::MAX; n];
+    let mut used = Vec::new();
+    order_crossover_into(parent1.genes(), parent2.genes(), &mut genes, &mut used, rng);
+    Chromosome::new(genes)
+}
+
+/// The slice core of [`order_crossover`], writing into caller-owned
+/// buffers (`child` is fully overwritten, `used` is scratch). Consumes
+/// the same RNG draws and produces the same child as
+/// [`order_crossover`].
+pub fn order_crossover_into<R: Rng + ?Sized>(
+    parent1: &[usize],
+    parent2: &[usize],
+    child: &mut [usize],
+    used: &mut Vec<bool>,
+    rng: &mut R,
+) {
+    let n = parent1.len();
+    debug_assert_eq!(n, parent2.len());
+    debug_assert_eq!(n, child.len());
     if n < 2 {
-        return parent1.clone();
+        child.copy_from_slice(parent1);
+        return;
     }
     let a = rng.random_range(0..n);
     let b = rng.random_range(0..n);
     let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
 
-    let mut genes = vec![usize::MAX; n];
-    let mut used = vec![false; n];
+    used.clear();
+    used.resize(n, false);
     #[allow(clippy::needless_range_loop)] // i indexes parent and child in lockstep
     for i in lo..=hi {
-        let g = parent1.gene(i);
-        genes[i] = g;
+        let g = parent1[i];
+        child[i] = g;
         used[g] = true;
     }
     // Fill from parent2 starting after the slice, wrapping around.
     let mut pos = (hi + 1) % n;
     for off in 0..n {
-        let g = parent2.gene((hi + 1 + off) % n);
+        let g = parent2[(hi + 1 + off) % n];
         if !used[g] {
-            genes[pos] = g;
+            child[pos] = g;
             used[g] = true;
             pos = (pos + 1) % n;
         }
     }
-    Chromosome::new(genes)
 }
 
 /// Inversion mutation: with probability `p`, reverse a random segment.

@@ -20,6 +20,8 @@ pub const KNOWN_ALGOS: &[&str] = &[
     "islands",
     "ga",
     "fastmap-ga",
+    "ga-batched",
+    "ga-sequential",
     "greedy",
     "hill",
     "hillclimb",
@@ -46,7 +48,15 @@ pub fn build_mapper(name: &str) -> Option<Box<dyn Mapper>> {
             ..MatchConfig::default()
         })),
         "islands" => Box::new(IslandMatcher::default()),
+        // Plain `ga` keeps the library default (sequential, historical
+        // stream); the suffixed names pin one generation pipeline for
+        // A/B runs through the daemon, like the match-* pair above.
         "ga" | "fastmap-ga" => Box::new(FastMapGa::new(GaConfig::paper_default())),
+        "ga-batched" => Box::new(FastMapGa::new(GaConfig::batched_paper())),
+        "ga-sequential" => Box::new(FastMapGa::new(GaConfig {
+            sampler: SamplerMode::Sequential,
+            ..GaConfig::paper_default()
+        })),
         "greedy" => Box::new(GreedyMapper),
         "hill" | "hillclimb" => Box::new(HillClimber::default()),
         "sa" => Box::new(SimulatedAnnealing::default()),
@@ -75,6 +85,8 @@ pub fn requires_square(name: &str) -> bool {
             | "islands"
             | "ga"
             | "fastmap-ga"
+            | "ga-batched"
+            | "ga-sequential"
             | "polish"
             | "fastmap"
     )
@@ -106,6 +118,8 @@ mod tests {
         assert!(requires_square("match"));
         assert!(requires_square("match-batched"));
         assert!(requires_square("ga"));
+        assert!(requires_square("ga-batched"));
+        assert!(requires_square("ga-sequential"));
         assert!(!requires_square("greedy"));
         assert!(!requires_square("sa"));
     }

@@ -37,7 +37,7 @@ pub use event::{Event, IterEvent, PoolEvent, Span, SpanEvent, SIM_SPAN_TIME_SCAL
 pub use hist::{Histogram, LinearHistogram};
 pub use json::{parse_line, to_json, ParseError};
 pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
-pub use report::TraceSummary;
+pub use report::{render_diff, TraceSummary};
 
 /// Read a full JSONL trace from a reader, one event per line.
 ///

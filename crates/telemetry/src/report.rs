@@ -175,6 +175,145 @@ fn sparkline(curve: &[f64], width: usize) -> String {
         .collect()
 }
 
+/// Signed percentage change from `a` to `b`, or `""` when undefined.
+fn pct_delta(a: f64, b: f64) -> String {
+    if a == 0.0 || !a.is_finite() || !b.is_finite() {
+        return String::new();
+    }
+    format!("{:+.1}%", 100.0 * (b - a) / a)
+}
+
+/// One aligned row of the diff table.
+fn diff_row(out: &mut String, name: &str, a: &str, b: &str, note: &str) {
+    out.push_str(&format!("  {name:<18} {a:>16}  {b:>16}  {note}\n"));
+}
+
+/// Side-by-side comparison of two trace summaries, for
+/// `matchctl report --diff A.jsonl B.jsonl`.
+///
+/// Renders the key run statistics of both traces in two columns with
+/// signed deltas relative to A (the baseline), both convergence
+/// sparklines on adjacent lines for visual comparison, the per-phase
+/// wall-time budgets, and shared counters. Missing values print as `-`
+/// so traces from different solvers still line up.
+pub fn render_diff(a: &TraceSummary, label_a: &str, b: &TraceSummary, label_b: &str) -> String {
+    fn opt<T: fmt::Display>(v: Option<T>) -> String {
+        v.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
+    }
+    let mut out = String::new();
+    out.push_str(&format!("trace diff  A = {label_a}\n"));
+    out.push_str(&format!("            B = {label_b}\n"));
+    diff_row(&mut out, "", "A", "B", "");
+    diff_row(
+        &mut out,
+        "solver",
+        &opt(a.solver.as_deref()),
+        &opt(b.solver.as_deref()),
+        "",
+    );
+    let size = |s: &TraceSummary| match (s.tasks, s.resources) {
+        (Some(t), Some(r)) => format!("{t}x{r}"),
+        _ => "-".into(),
+    };
+    diff_row(&mut out, "instance", &size(a), &size(b), "");
+    diff_row(
+        &mut out,
+        "iterations",
+        &a.iterations.to_string(),
+        &b.iterations.to_string(),
+        "",
+    );
+    let eval_note = match (a.evaluations, b.evaluations) {
+        (Some(ea), Some(eb)) => pct_delta(ea as f64, eb as f64),
+        _ => String::new(),
+    };
+    diff_row(
+        &mut out,
+        "evaluations",
+        &opt(a.evaluations),
+        &opt(b.evaluations),
+        &eval_note,
+    );
+    let wall_note = match (a.wall_ns, b.wall_ns) {
+        (Some(wa), Some(wb)) if wb > 0 => format!("A/B = {:.2}x", wa as f64 / wb as f64),
+        _ => String::new(),
+    };
+    diff_row(
+        &mut out,
+        "wall time",
+        &opt(a.wall_ns.map(fmt_ns)),
+        &opt(b.wall_ns.map(fmt_ns)),
+        &wall_note,
+    );
+    let cost_note = match (a.final_best, b.final_best) {
+        (Some(ca), Some(cb)) => pct_delta(ca, cb),
+        _ => String::new(),
+    };
+    diff_row(
+        &mut out,
+        "final best",
+        &opt(a.final_best),
+        &opt(b.final_best),
+        &cost_note,
+    );
+    if !a.best_curve.is_empty() || !b.best_curve.is_empty() {
+        out.push_str(&format!(
+            "  convergence A {}\n",
+            sparkline(&a.best_curve, 60)
+        ));
+        out.push_str(&format!(
+            "  convergence B {}\n",
+            sparkline(&b.best_curve, 60)
+        ));
+    }
+    let phases_a: BTreeMap<&str, u64> = a.phases.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let phases_b: BTreeMap<&str, u64> = b.phases.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let mut phase_names: Vec<&str> = phases_a.keys().chain(phases_b.keys()).copied().collect();
+    phase_names.sort_unstable();
+    phase_names.dedup();
+    if !phase_names.is_empty() {
+        out.push_str("  phase budgets\n");
+        for name in phase_names {
+            let (pa, pb) = (phases_a.get(name), phases_b.get(name));
+            let note = match (pa, pb) {
+                (Some(&na), Some(&nb)) => pct_delta(na as f64, nb as f64),
+                _ => String::new(),
+            };
+            diff_row(
+                &mut out,
+                &format!("  {name}"),
+                &opt(pa.map(|&ns| fmt_ns(ns))),
+                &opt(pb.map(|&ns| fmt_ns(ns))),
+                &note,
+            );
+        }
+    }
+    let counters_a: BTreeMap<&str, u64> =
+        a.counters.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let counters_b: BTreeMap<&str, u64> =
+        b.counters.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+    let mut counter_names: Vec<&str> = counters_a
+        .keys()
+        .chain(counters_b.keys())
+        .copied()
+        .collect();
+    counter_names.sort_unstable();
+    counter_names.dedup();
+    if !counter_names.is_empty() {
+        out.push_str("  counters\n");
+        for name in counter_names {
+            diff_row(
+                &mut out,
+                &format!("  {name}"),
+                &opt(counters_a.get(name)),
+                &opt(counters_b.get(name)),
+                "",
+            );
+        }
+    }
+    out
+}
+
 impl fmt::Display for TraceSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "trace summary ({} events)", self.events)?;
@@ -349,6 +488,78 @@ mod tests {
         assert_eq!(gamma_stable_after(&[9.0, 7.0, 5.0, 5.0]), Some(2));
         // Never stabilizes until the very end.
         assert_eq!(gamma_stable_after(&[4.0, 3.0, 2.0, 1.0]), Some(3));
+    }
+
+    #[test]
+    fn diff_of_two_traces() {
+        let base = vec![
+            Event::RunStart {
+                solver: "FastMap-GA".into(),
+                tasks: 48,
+                resources: 48,
+            },
+            iter(0, 40.0, 1.0),
+            iter(1, 30.0, 1.0),
+            Event::Span(SpanEvent {
+                name: "evaluate".into(),
+                iter: 0,
+                wall_ns: 8_000,
+            }),
+            Event::Counter {
+                name: "full_evaluations".into(),
+                value: 120,
+            },
+            Event::RunEnd {
+                best: 30.0,
+                iterations: 2,
+                evaluations: 120,
+                wall_ns: 2_000_000,
+            },
+        ];
+        let mut fast = base.clone();
+        // The B trace: same search, half the wall time, extra counter.
+        fast[3] = Event::Span(SpanEvent {
+            name: "evaluate".into(),
+            iter: 0,
+            wall_ns: 4_000,
+        });
+        fast.push(Event::Counter {
+            name: "delta_swaps".into(),
+            value: 7,
+        });
+        fast[5] = Event::RunEnd {
+            best: 30.0,
+            iterations: 2,
+            evaluations: 120,
+            wall_ns: 1_000_000,
+        };
+        let a = TraceSummary::from_events(&base);
+        let b = TraceSummary::from_events(&fast);
+        let text = render_diff(&a, "seq.jsonl", &b, "batched.jsonl");
+        assert!(text.contains("A = seq.jsonl"));
+        assert!(text.contains("B = batched.jsonl"));
+        assert!(
+            text.contains("A/B = 2.00x"),
+            "wall-time ratio missing:\n{text}"
+        );
+        assert!(text.contains("+0.0%"), "final-cost delta missing:\n{text}");
+        assert!(text.contains("convergence A"));
+        assert!(text.contains("convergence B"));
+        assert!(text.contains("phase budgets"));
+        assert!(text.contains("-50.0%"), "phase delta missing:\n{text}");
+        // Counter present in only one trace renders as `-` on the other side.
+        assert!(text.contains("delta_swaps"));
+        let swap_line = text.lines().find(|l| l.contains("delta_swaps")).unwrap();
+        assert!(swap_line.contains('-') && swap_line.contains('7'));
+    }
+
+    #[test]
+    fn diff_of_empty_traces_renders() {
+        let a = TraceSummary::from_events(&[]);
+        let b = TraceSummary::from_events(&[]);
+        let text = render_diff(&a, "a", &b, "b");
+        assert!(text.contains("trace diff"));
+        assert!(!text.contains("phase budgets"));
     }
 
     #[test]
