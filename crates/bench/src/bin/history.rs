@@ -1,0 +1,91 @@
+//! Append bench JSON artefacts to an append-only trend file.
+//!
+//! ```text
+//! cargo run -p match-bench --bin history -- \
+//!     [--label SHA] [--out results/BENCH_history.jsonl] BENCH_*.json
+//! ```
+//!
+//! Each input file becomes one JSONL line tagged with a run label
+//! (`--label`, else `$GITHUB_SHA`, else `local`). Missing inputs are an
+//! error; nothing is written unless every input parses as readable.
+
+use match_bench::history::history_line;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut label: Option<String> = None;
+    let mut out_path = "results/BENCH_history.jsonl".to_string();
+    let mut inputs: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--label" => {
+                label = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--out" => {
+                if let Some(p) = args.get(i + 1) {
+                    out_path = p.clone();
+                }
+                i += 2;
+            }
+            other => {
+                inputs.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    if inputs.is_empty() {
+        eprintln!("usage: history [--label SHA] [--out FILE.jsonl] BENCH_*.json ...");
+        std::process::exit(2);
+    }
+    let label = label
+        .or_else(|| std::env::var("GITHUB_SHA").ok())
+        .unwrap_or_else(|| "local".to_string());
+
+    // Read everything first so a missing artefact aborts before any append.
+    let mut lines = Vec::with_capacity(inputs.len());
+    for path in &inputs {
+        let body = match std::fs::read_to_string(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("[history] cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let source = std::path::Path::new(path)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        lines.push(history_line(&label, &source, &body));
+    }
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    use std::io::Write as _;
+    let mut file = match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out_path)
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("[history] cannot open {out_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    for line in &lines {
+        if let Err(e) = writeln!(file, "{line}") {
+            eprintln!("[history] write failed: {e}");
+            std::process::exit(2);
+        }
+    }
+    eprintln!(
+        "[history] appended {} line(s) to {out_path} (label {label})",
+        lines.len()
+    );
+}

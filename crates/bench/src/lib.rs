@@ -21,6 +21,7 @@
 pub mod ablation;
 pub mod anova;
 pub mod fig3;
+pub mod history;
 pub mod report;
 pub mod sweep;
 

@@ -40,6 +40,8 @@ pub enum Command {
     Serve,
     /// Submit work to a running daemon.
     Submit,
+    /// Run the differential/metamorphic/golden-trajectory harness.
+    Verify,
     /// Print usage.
     Help,
 }
@@ -55,6 +57,7 @@ impl Command {
             "dot" => Ok(Command::Dot),
             "serve" => Ok(Command::Serve),
             "submit" => Ok(Command::Submit),
+            "verify" => Ok(Command::Verify),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(CliError::UnknownCommand(other.to_string())),
         }
@@ -84,6 +87,8 @@ USAGE:
   matchctl submit   [--addr HOST:PORT] --batch FILE   (lines: TIG PLATFORM
                     [ALGO [SEED [DEADLINE_MS]]])
   matchctl submit   [--addr HOST:PORT] --stats | --shutdown
+  matchctl verify   [--corpus smoke|ci|full] [--seed S] [--fixtures DIR]
+                    [--update-golden]
   matchctl help
 
 ALGO: match (default) | islands | polish | ga | fastmap | bisect | greedy
@@ -110,6 +115,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Command::Dot => cmd_dot(args),
         Command::Serve => cmd_serve(args),
         Command::Submit => cmd_submit(args),
+        Command::Verify => cmd_verify(args),
     }
 }
 
@@ -215,7 +221,8 @@ fn build_mapper(
         })),
         "islands" => Box::new(IslandMatcher::default()),
         // The GA honours the same --threads/--sampler pair as `match`:
-        // Auto resolves to the batched pipeline when threads > 1, and
+        // Auto resolves to the batched pipeline when threads > 1 and the
+        // instance reaches SamplerMode::AUTO_BATCH_MIN_TASKS, and
         // `--sampler sequential` pins the historical per-individual loop
         // (bit-exact with pre-batching releases).
         "ga" | "fastmap-ga" => Box::new(FastMapGa::new(GaConfig {
@@ -633,6 +640,26 @@ fn cmd_submit(args: &Args) -> Result<String, CliError> {
         ));
     }
     Ok(out)
+}
+
+fn cmd_verify(args: &Args) -> Result<String, CliError> {
+    let corpus_name = args.get_or("corpus", "ci");
+    let corpus = match_verify::CorpusKind::from_name(corpus_name)
+        .ok_or_else(|| CliError::BadValue("corpus".to_string(), corpus_name.to_string()))?;
+    let opts = match_verify::VerifyOptions {
+        corpus,
+        fixtures_dir: args.options.get("fixtures").map(std::path::PathBuf::from),
+        update_golden: args.has_switch("update-golden"),
+        master_seed: args.parse_or("seed", match_verify::DEFAULT_MASTER_SEED)?,
+    };
+    let report = match_verify::run_verify(&opts);
+    let text = report.render();
+    if report.passed() {
+        Ok(text)
+    } else {
+        // The report *is* the error message; the binary exits nonzero.
+        Err(CliError::Io(text))
+    }
 }
 
 #[cfg(test)]
@@ -1260,5 +1287,55 @@ mod tests {
         .unwrap();
         assert!(s.contains("tasks: 7"));
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn verify_smoke_corpus_passes_and_renders_report() {
+        let dir = tmpdir().join("verify-fixtures");
+        let fix = dir.to_str().unwrap();
+        // First pass writes the golden fixtures into a scratch dir…
+        let s = run_tokens(&[
+            "verify",
+            "--corpus",
+            "smoke",
+            "--fixtures",
+            fix,
+            "--update-golden",
+        ])
+        .unwrap();
+        assert!(s.contains("fixtures rewritten"), "{s}");
+        // …then the same corpus verifies clean against them.
+        let s = run_tokens(&["verify", "--corpus", "smoke", "--fixtures", fix]).unwrap();
+        assert!(s.contains("all checks passed"), "{s}");
+        assert!(s.contains("differential"), "{s}");
+        assert!(s.contains("metamorphic"), "{s}");
+        assert!(s.contains("golden-trajectory"), "{s}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn verify_rejects_an_unknown_corpus() {
+        assert!(matches!(
+            run_tokens(&["verify", "--corpus", "bogus"]),
+            Err(CliError::BadValue(_, _))
+        ));
+    }
+
+    #[test]
+    fn verify_missing_fixtures_fail_with_regeneration_hint() {
+        let dir = tmpdir().join("no-fixtures-here");
+        let err = run_tokens(&[
+            "verify",
+            "--corpus",
+            "smoke",
+            "--fixtures",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        let CliError::Io(report) = err else {
+            panic!("expected the report as the error payload");
+        };
+        assert!(report.contains("FAILED"), "{report}");
+        assert!(report.contains("--update-golden"), "{report}");
     }
 }

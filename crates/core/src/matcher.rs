@@ -45,9 +45,11 @@ use std::time::{Duration, Instant};
 ///   thread count* — just not identical to `Sequential`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SamplerMode {
-    /// Pick per run: `Sequential` when `threads == 1`, `Batched`
-    /// otherwise (parallel runs get the fused pipeline, single-threaded
-    /// runs keep the legacy stream).
+    /// Pick per run: `Batched` when `threads > 1` **and** the instance
+    /// has at least [`SamplerMode::AUTO_BATCH_MIN_TASKS`] tasks,
+    /// `Sequential` otherwise. Parallel runs on instances big enough to
+    /// amortise per-sample RNG setup get the fused pipeline; everything
+    /// else keeps the legacy stream.
     #[default]
     Auto,
     /// Legacy driver-thread sampling; RNG-stream compatible with
@@ -60,18 +62,41 @@ pub enum SamplerMode {
 }
 
 impl SamplerMode {
-    /// Resolve `Auto` for a concrete thread count; never returns `Auto`.
-    pub fn resolved(self, threads: usize) -> SamplerMode {
+    /// Smallest instance (in tasks) for which `Auto` picks the batched
+    /// pipeline on a multi-threaded run. Matches the CI bench gate
+    /// (`match-bench --check`), which only asserts the batched pipeline
+    /// beats sequential sampling for `n ≥ 32`; below that the per-sample
+    /// RNG setup can dominate and the legacy stream is kept.
+    pub const AUTO_BATCH_MIN_TASKS: usize = 32;
+
+    /// Resolve `Auto` for a concrete thread count **and instance size**;
+    /// never returns `Auto`. This is the single decision point shared by
+    /// the CE matcher and FastMap-GA, so the two cannot silently diverge.
+    ///
+    /// An empty instance (`n_tasks == 0`) always resolves to
+    /// `Sequential`: the batched pipeline needs at least one gene/row
+    /// per sample, and the degenerate case is handled by the scalar
+    /// drivers.
+    pub fn resolved_for(self, threads: usize, n_tasks: usize) -> SamplerMode {
+        if n_tasks == 0 {
+            return SamplerMode::Sequential;
+        }
         match self {
             SamplerMode::Auto => {
-                if threads <= 1 {
-                    SamplerMode::Sequential
-                } else {
+                if threads > 1 && n_tasks >= Self::AUTO_BATCH_MIN_TASKS {
                     SamplerMode::Batched
+                } else {
+                    SamplerMode::Sequential
                 }
             }
             mode => mode,
         }
+    }
+
+    /// Resolve `Auto` by thread count alone, assuming a large instance.
+    /// Prefer [`SamplerMode::resolved_for`] when the instance is known.
+    pub fn resolved(self, threads: usize) -> SamplerMode {
+        self.resolved_for(threads, usize::MAX)
     }
 }
 
@@ -104,10 +129,11 @@ pub struct MatchConfig {
     pub threads: usize,
     /// How the sample batch is drawn — see [`SamplerMode`]. The default
     /// (`Auto`) keeps the historical RNG stream for single-threaded runs
-    /// and switches multi-threaded runs to the fused batched pipeline,
-    /// whose stream differs but is invariant across thread counts. Pin
-    /// [`SamplerMode::Sequential`] to reproduce pre-batching results on
-    /// any thread count.
+    /// and for instances below [`SamplerMode::AUTO_BATCH_MIN_TASKS`]
+    /// tasks, and switches larger multi-threaded runs to the fused
+    /// batched pipeline, whose stream differs but is invariant across
+    /// thread counts. Pin [`SamplerMode::Sequential`] to reproduce
+    /// pre-batching results on any thread count.
     pub sampler: SamplerMode,
     /// Record a stochastic-matrix snapshot every `k` iterations
     /// (Figure 3); `None` disables snapshots.
@@ -353,7 +379,7 @@ impl Matcher {
                 }
             }
         };
-        let outcome = match self.config.sampler.resolved(threads) {
+        let outcome = match self.config.sampler.resolved_for(threads, inst.n_tasks()) {
             SamplerMode::Batched => minimize_flat(
                 &mut model,
                 &cfg,
@@ -429,7 +455,7 @@ impl Matcher {
                 }
             }
         };
-        let outcome = match self.config.sampler.resolved(threads) {
+        let outcome = match self.config.sampler.resolved_for(threads, inst.n_tasks()) {
             SamplerMode::Batched => minimize_flat(
                 model,
                 &cfg,
@@ -699,6 +725,44 @@ mod tests {
         assert_eq!(SamplerMode::Auto.resolved(8), SamplerMode::Batched);
         assert_eq!(SamplerMode::Sequential.resolved(8), SamplerMode::Sequential);
         assert_eq!(SamplerMode::Batched.resolved(1), SamplerMode::Batched);
+    }
+
+    #[test]
+    fn auto_batch_cutover_is_pinned() {
+        // The Auto→Batched cutover is a shared contract between the CE
+        // matcher and FastMap-GA: multi-threaded runs switch to the
+        // batched pipeline exactly at AUTO_BATCH_MIN_TASKS tasks.
+        let cut = SamplerMode::AUTO_BATCH_MIN_TASKS;
+        assert_eq!(cut, 32, "cutover must match the CI bench gate (n >= 32)");
+        assert_eq!(
+            SamplerMode::Auto.resolved_for(8, cut - 1),
+            SamplerMode::Sequential
+        );
+        assert_eq!(SamplerMode::Auto.resolved_for(8, cut), SamplerMode::Batched);
+        assert_eq!(SamplerMode::Auto.resolved_for(2, cut), SamplerMode::Batched);
+        // Single-threaded runs never switch, however large the instance.
+        assert_eq!(
+            SamplerMode::Auto.resolved_for(1, 10 * cut),
+            SamplerMode::Sequential
+        );
+        // Pinned modes resolve to themselves on any non-empty instance.
+        assert_eq!(
+            SamplerMode::Sequential.resolved_for(8, 10 * cut),
+            SamplerMode::Sequential
+        );
+        assert_eq!(
+            SamplerMode::Batched.resolved_for(1, 1),
+            SamplerMode::Batched
+        );
+        // The empty instance always takes the scalar (sequential) path.
+        assert_eq!(
+            SamplerMode::Batched.resolved_for(8, 0),
+            SamplerMode::Sequential
+        );
+        assert_eq!(
+            SamplerMode::Auto.resolved_for(8, 0),
+            SamplerMode::Sequential
+        );
     }
 
     #[test]

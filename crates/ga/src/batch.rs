@@ -453,42 +453,44 @@ mod tests {
     }
 
     #[test]
-    fn auto_sampler_resolves_by_thread_count() {
-        let inst = instance(8, 5);
+    fn auto_sampler_resolves_via_shared_cutover() {
+        // Auto resolution is `SamplerMode::resolved_for`, shared with
+        // the CE matcher: batched only when threads > 1 AND the instance
+        // reaches the pinned cutover size.
+        let small = instance(8, 5);
+        let cfg = |threads, sampler| GaConfig {
+            population: 40,
+            generations: 30,
+            threads,
+            sampler,
+            ..GaConfig::paper_default()
+        };
         // threads = 1: Auto must reproduce the sequential trajectory.
-        let auto1 = FastMapGa::new(GaConfig {
-            population: 40,
-            generations: 30,
-            ..GaConfig::paper_default()
-        })
-        .run(&inst, &mut StdRng::seed_from_u64(6));
-        let seq = FastMapGa::new(GaConfig {
-            population: 40,
-            generations: 30,
-            sampler: SamplerMode::Sequential,
-            ..GaConfig::paper_default()
-        })
-        .run(&inst, &mut StdRng::seed_from_u64(6));
-        assert_eq!(auto1.outcome.mapping, seq.outcome.mapping);
-        assert_eq!(auto1.best_per_generation, seq.best_per_generation);
-        // threads > 1: Auto takes the batched path.
-        let auto4 = FastMapGa::new(GaConfig {
-            population: 40,
-            generations: 30,
-            threads: 4,
-            ..GaConfig::paper_default()
-        })
-        .run(&inst, &mut StdRng::seed_from_u64(6));
-        let batched = FastMapGa::new(GaConfig {
-            population: 40,
-            generations: 30,
-            threads: 4,
-            sampler: SamplerMode::Batched,
-            ..GaConfig::paper_default()
-        })
-        .run(&inst, &mut StdRng::seed_from_u64(6));
-        assert_eq!(auto4.outcome.mapping, batched.outcome.mapping);
-        assert_eq!(auto4.best_per_generation, batched.best_per_generation);
+        let auto1 =
+            FastMapGa::new(cfg(1, SamplerMode::Auto)).run(&small, &mut StdRng::seed_from_u64(6));
+        let seq1 = FastMapGa::new(cfg(1, SamplerMode::Sequential))
+            .run(&small, &mut StdRng::seed_from_u64(6));
+        assert_eq!(auto1.outcome.mapping, seq1.outcome.mapping);
+        assert_eq!(auto1.best_per_generation, seq1.best_per_generation);
+        // threads > 1 but below the size cutover: still sequential —
+        // the batched pipeline's per-sample RNG setup doesn't pay off.
+        let auto4 =
+            FastMapGa::new(cfg(4, SamplerMode::Auto)).run(&small, &mut StdRng::seed_from_u64(6));
+        let seq4 = FastMapGa::new(cfg(4, SamplerMode::Sequential))
+            .run(&small, &mut StdRng::seed_from_u64(6));
+        assert_eq!(auto4.outcome.mapping, seq4.outcome.mapping);
+        assert_eq!(auto4.best_per_generation, seq4.best_per_generation);
+        // threads > 1 at the cutover size: Auto takes the batched path.
+        let big = instance(SamplerMode::AUTO_BATCH_MIN_TASKS, 5);
+        let auto_big =
+            FastMapGa::new(cfg(4, SamplerMode::Auto)).run(&big, &mut StdRng::seed_from_u64(6));
+        let batched_big =
+            FastMapGa::new(cfg(4, SamplerMode::Batched)).run(&big, &mut StdRng::seed_from_u64(6));
+        assert_eq!(auto_big.outcome.mapping, batched_big.outcome.mapping);
+        assert_eq!(
+            auto_big.best_per_generation,
+            batched_big.best_per_generation
+        );
     }
 
     #[test]

@@ -70,10 +70,11 @@ pub struct GaConfig {
     /// `match_par::default_threads()`.
     pub threads: usize,
     /// Generation-loop pipeline selection, mirroring
-    /// [`match_core::MatchConfig`]: `Auto` resolves by thread count,
-    /// `Sequential` pins the historical per-individual loop (bit-exact
-    /// RNG stream), `Batched` pins the flat-buffer parallel loop (a
-    /// *different* stream, identical for every thread count).
+    /// [`match_core::MatchConfig`]: `Auto` resolves through the shared
+    /// [`SamplerMode::resolved_for`] cutover (thread count and instance
+    /// size), `Sequential` pins the historical per-individual loop
+    /// (bit-exact RNG stream), `Batched` pins the flat-buffer parallel
+    /// loop (a *different* stream, identical for every thread count).
     pub sampler: SamplerMode,
 }
 
@@ -228,11 +229,14 @@ impl FastMapGa {
             inst.is_square(),
             "FastMap-GA's permutation encoding needs |V_t| = |V_r|"
         );
-        // Size-0 instances have nothing to fan out; the sequential loop
-        // handles them as a degenerate case.
-        if self.config.sampler.resolved(self.config.threads) == SamplerMode::Batched
-            && inst.n_tasks() > 0
-        {
+        // The Auto→Batched decision (thread count, instance-size
+        // cutover, size-0 degenerate case) is shared with the CE matcher
+        // via `SamplerMode::resolved_for` so the two cannot diverge.
+        let mode = self
+            .config
+            .sampler
+            .resolved_for(self.config.threads, inst.n_tasks());
+        if mode == SamplerMode::Batched {
             return crate::batch::run_batched(&self.config, inst, rng, recorder, stop);
         }
         self.run_sequential(inst, rng, recorder, stop)

@@ -29,4 +29,4 @@ pub mod seed;
 pub use alias::AliasTable;
 pub use perm::{random_permutation, shuffle};
 pub use roulette::{roulette_pick, RouletteWheel};
-pub use seed::{derive_seed, rng_from, SeedSequence, SplitMix64};
+pub use seed::{derive_seed, derive_seed_str, rng_from, SeedSequence, SplitMix64};

@@ -292,6 +292,118 @@ fn bad_requests_get_protocol_errors_not_hangups() {
 }
 
 #[test]
+fn malformed_jsonl_line_gets_an_error_and_keeps_the_connection() {
+    use match_serve::{encode_request, parse_response};
+    use std::io::{BufRead, BufReader, Write};
+
+    let handle = start(1, 4, 4);
+    let (tig, platform) = instance_text(6, 11);
+
+    // Talk to the daemon over a raw socket so we can violate the
+    // protocol: the first line is not JSON at all.
+    let stream = std::net::TcpStream::connect(handle.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writer
+        .write_all(b"this is not a protocol line{{{\n")
+        .expect("write garbage");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read error reply");
+    match parse_response(line.trim()).expect("error reply parses") {
+        Response::Error { id, error } => {
+            assert_eq!(id, "", "no request id is attributable to garbage");
+            assert!(!error.is_empty());
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    // The same connection must still serve a well-formed request.
+    // encode_request yields the line body; the newline is ours to send.
+    let req = solve("after-garbage", "greedy", 1, &tig, &platform);
+    let mut wire = encode_request(&req);
+    wire.push('\n');
+    writer.write_all(wire.as_bytes()).expect("write valid");
+    line.clear();
+    reader.read_line(&mut line).expect("read solve reply");
+    let r = expect_solved(parse_response(line.trim()).expect("reply parses"));
+    assert_eq!(r.id, "after-garbage");
+    assert_eq!(r.mapping.len(), 6);
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn deadline_fires_mid_solve_and_result_is_not_cached() {
+    // One worker, a long-running GA job (paper config: population 500,
+    // 1000 generations — far beyond the deadline), and a deadline that
+    // expires after the solve has started: the daemon must return the
+    // best-so-far mapping, flag it cancelled, and *not* cache it.
+    let handle = start(1, 4, 16);
+    let (tig, platform) = instance_text(12, 12);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let req = Request::Solve(SolveRequest {
+        id: "mid".into(),
+        algo: "ga".into(),
+        seed: 3,
+        deadline_ms: Some(10),
+        tig: tig.clone(),
+        platform: platform.clone(),
+    });
+    let r = expect_solved(client.call(&req).expect("call"));
+    assert!(r.cancelled, "deadline must truncate the GA run");
+    assert!(
+        r.evaluations > 0,
+        "the solve started before the deadline fired"
+    );
+    assert!(
+        r.iterations < 1000,
+        "a cancelled run cannot have finished all generations"
+    );
+    assert_eq!(r.mapping.len(), 12, "best-so-far mapping still returned");
+    assert!(r.cost.is_finite());
+
+    // Resubmission must miss the cache (cancelled results are partial).
+    let r2 = expect_solved(client.call(&req).expect("recall"));
+    assert!(!r2.cached);
+    assert!(r2.cancelled);
+    let stats = handle.stats();
+    assert_eq!(stats.cancelled, 2);
+    assert_eq!((stats.cache_hits, stats.cache_misses), (0, 2));
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn cache_eviction_follows_lru_order() {
+    // cache_cap = 2 and three distinct jobs A, B, C (same instance and
+    // algorithm, different seeds). Refreshing A before inserting C must
+    // evict B, not A.
+    let handle = start(1, 8, 2);
+    let (tig, platform) = instance_text(6, 13);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let mut submit = |id: &str, seed: u64| {
+        expect_solved(
+            client
+                .call(&solve(id, "greedy", seed, &tig, &platform))
+                .expect("call"),
+        )
+    };
+
+    assert!(!submit("a1", 1).cached); // miss: cache {A}
+    assert!(!submit("b1", 2).cached); // miss: cache {A, B}
+    assert!(submit("a2", 1).cached); // hit, refreshes A: B is now LRU
+    assert!(!submit("c1", 3).cached); // miss, evicts B: cache {A, C}
+    assert!(submit("a3", 1).cached, "A must have survived the eviction");
+    assert!(
+        !submit("b2", 2).cached,
+        "B was the least recently used entry and must have been evicted"
+    );
+
+    let stats = handle.stats();
+    assert_eq!((stats.cache_hits, stats.cache_misses), (2, 4));
+    assert_eq!(stats.jobs, 6);
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
 fn trace_run_summarises() {
     use match_telemetry::{read_trace_file, Event, TraceSummary};
     let dir = std::env::temp_dir().join(format!(

@@ -138,6 +138,21 @@ impl MemoryRecorder {
         curve
     }
 
+    /// The raw per-iteration bests, one per `Iter` event, in emission
+    /// order and *without* the running-minimum smoothing of
+    /// [`best_curve`](Self::best_curve). Two runs are trajectory-equal
+    /// exactly when these sequences are bit-identical, which is what
+    /// golden-trajectory regression checks pin.
+    pub fn iter_bests(&self) -> Vec<f64> {
+        self.events
+            .iter()
+            .filter_map(|event| match event {
+                Event::Iter(it) => Some(it.best),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Total accumulated for a named counter (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -326,6 +341,8 @@ mod tests {
         for w in r.best_curve().windows(2) {
             assert!(w[1] <= w[0], "best curve must be non-increasing");
         }
+        // iter_bests is the raw sequence, not the running minimum.
+        assert_eq!(r.iter_bests(), vec![5.0, 7.0, 3.0, 4.0, 2.0]);
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! The instance corpus the verification checks run over.
+//!
+//! Every corpus entry is generated from a seed derived from the corpus
+//! master seed and the entry's *name* ([`match_rngutil::derive_seed_str`]),
+//! so adding or removing entries never shifts another entry's instance
+//! or its solver seed — golden fixtures and CI logs stay comparable
+//! across corpus edits.
+
+use match_core::MappingInstance;
+use match_graph::gen::overset::OversetConfig;
+use match_graph::gen::paper::PaperFamilyConfig;
+use match_graph::{ResourceGraph, TaskGraph};
+use match_rngutil::derive_seed_str;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which corpus to run: `Smoke` is a two-instance sanity sweep for unit
+/// tests, `Ci` the fixed-seed set gating every pull request, `Full` a
+/// wider sweep for local soak runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CorpusKind {
+    /// Two tiny instances; sub-second.
+    Smoke,
+    /// The PR gate: small squares, an overset instance, and
+    /// rectangular (many-to-one) instances.
+    #[default]
+    Ci,
+    /// Everything in `Ci` plus larger squares and extra seeds.
+    Full,
+}
+
+impl CorpusKind {
+    /// Parse the `--corpus` CLI value.
+    pub fn from_name(name: &str) -> Option<CorpusKind> {
+        match name {
+            "smoke" => Some(CorpusKind::Smoke),
+            "ci" => Some(CorpusKind::Ci),
+            "full" => Some(CorpusKind::Full),
+            _ => None,
+        }
+    }
+}
+
+/// One corpus entry: the generating graphs (kept so metamorphic
+/// transformations and the shrinker can rebuild variants) plus the
+/// solver seed every check on this instance shares.
+pub struct CorpusInstance {
+    /// Stable name; also the label its seeds derive from.
+    pub name: String,
+    /// The task interaction graph.
+    pub tig: TaskGraph,
+    /// The resource graph.
+    pub resources: ResourceGraph,
+    /// Seed handed to every solver run on this instance.
+    pub seed: u64,
+}
+
+impl CorpusInstance {
+    /// Densify into the evaluator's instance form.
+    pub fn instance(&self) -> MappingInstance {
+        MappingInstance::new(&self.tig, &self.resources)
+    }
+
+    /// `|V_t| = |V_r|`?
+    pub fn is_square(&self) -> bool {
+        self.tig.len() == self.resources.len()
+    }
+}
+
+fn paper_square(master: u64, n: usize, variant: u64) -> CorpusInstance {
+    let name = format!("paper-n{n}-v{variant}");
+    let gen_seed = derive_seed_str(master, &format!("gen/{name}"));
+    let mut rng = StdRng::seed_from_u64(gen_seed);
+    let pair = PaperFamilyConfig::new(n).generate(&mut rng);
+    CorpusInstance {
+        seed: derive_seed_str(master, &format!("run/{name}")),
+        name,
+        tig: pair.tig,
+        resources: pair.resources,
+    }
+}
+
+fn overset(master: u64, blocks: usize) -> CorpusInstance {
+    let name = format!("overset-b{blocks}");
+    let gen_seed = derive_seed_str(master, &format!("gen/{name}"));
+    let mut rng = StdRng::seed_from_u64(gen_seed);
+    let pair = OversetConfig::new(blocks).generate(&mut rng);
+    CorpusInstance {
+        seed: derive_seed_str(master, &format!("run/{name}")),
+        name,
+        tig: pair.tig,
+        resources: pair.resources,
+    }
+}
+
+/// A rectangular (many-to-one) instance: `tasks` tasks on `resources`
+/// resources, both drawn from the paper family's weight distributions.
+fn rectangular(master: u64, tasks: usize, resources: usize) -> CorpusInstance {
+    let name = format!("rect-t{tasks}-r{resources}");
+    let gen_seed = derive_seed_str(master, &format!("gen/{name}"));
+    let mut rng = StdRng::seed_from_u64(gen_seed);
+    let tig = PaperFamilyConfig::new(tasks).generate_tig(&mut rng);
+    let platform = PaperFamilyConfig::new(resources).generate_platform(&mut rng);
+    CorpusInstance {
+        seed: derive_seed_str(master, &format!("run/{name}")),
+        name,
+        tig,
+        resources: platform,
+    }
+}
+
+/// Build the corpus for `kind` under `master_seed`.
+pub fn build(kind: CorpusKind, master_seed: u64) -> Vec<CorpusInstance> {
+    let m = master_seed;
+    match kind {
+        CorpusKind::Smoke => vec![paper_square(m, 6, 0), rectangular(m, 8, 5)],
+        CorpusKind::Ci => vec![
+            paper_square(m, 6, 0),
+            paper_square(m, 9, 0),
+            paper_square(m, 12, 0),
+            paper_square(m, 9, 1),
+            overset(m, 8),
+            rectangular(m, 10, 6),
+            rectangular(m, 12, 5),
+        ],
+        CorpusKind::Full => {
+            let mut all = build(CorpusKind::Ci, m);
+            all.extend([
+                paper_square(m, 16, 0),
+                paper_square(m, 20, 0),
+                paper_square(m, 12, 1),
+                paper_square(m, 6, 1),
+                overset(m, 12),
+                rectangular(m, 16, 6),
+                rectangular(m, 20, 8),
+            ]);
+            all
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_seed_stable_and_name_keyed() {
+        let a = build(CorpusKind::Ci, 2005);
+        let b = build(CorpusKind::Ci, 2005);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.tig, y.tig);
+            assert_eq!(x.resources, y.resources);
+        }
+        // Entries are independent streams: a different master moves all.
+        let c = build(CorpusKind::Ci, 2006);
+        assert!(a.iter().zip(&c).all(|(x, y)| x.seed != y.seed));
+    }
+
+    #[test]
+    fn ci_corpus_covers_square_overset_and_rectangular() {
+        let corpus = build(CorpusKind::Ci, 2005);
+        assert!(corpus.iter().any(|c| c.is_square()));
+        assert!(corpus.iter().any(|c| !c.is_square()));
+        assert!(corpus.iter().any(|c| c.name.starts_with("overset")));
+        for c in &corpus {
+            let inst = c.instance();
+            assert_eq!(inst.n_tasks(), c.tig.len());
+            assert_eq!(inst.n_resources(), c.resources.len());
+        }
+    }
+
+    #[test]
+    fn rectangular_instances_have_more_tasks_than_resources() {
+        for c in build(CorpusKind::Full, 2005) {
+            if c.name.starts_with("rect") {
+                assert!(c.tig.len() > c.resources.len(), "{}", c.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Differential checks: the same instance and seed pushed through
+//! pairs of solver implementations whose documented relationship the
+//! harness then asserts — bit-identity for the Sequential sampler
+//! across thread counts, thread-count invariance for the Batched
+//! pipeline, quality parity between the two streams, and agreement of
+//! every reported cost with the independent Eq. 1/Eq. 2 oracle.
+
+use crate::corpus::CorpusInstance;
+use crate::oracle::{approx_eq, evaluator_disagreement, oracle_makespan, ORACLE_REL_TOL};
+use crate::report::{CheckResult, Pillar};
+use crate::shrink::shrink_instance;
+use match_core::{
+    exec_time, IslandConfig, IslandMatcher, MapperOutcome, MappingInstance, MatchConfig, Matcher,
+    SamplerMode,
+};
+use match_ga::{FastMapGa, GaConfig};
+use match_rngutil::rng_from;
+
+/// Thread counts every thread-invariance check sweeps.
+const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+
+/// Batched and sequential pipelines draw different RNG streams, so
+/// their final costs differ — but on the corpus's small instances both
+/// converge near the optimum. This is the maximum tolerated ratio of
+/// the worse to the better cost.
+const PARITY_FACTOR: f64 = 1.5;
+
+/// Trials per instance when hunting evaluator-vs-oracle disagreements.
+const ORACLE_TRIALS: usize = 48;
+
+fn ce_config(sampler: SamplerMode, threads: usize) -> MatchConfig {
+    MatchConfig {
+        threads,
+        sampler,
+        max_iters: 60,
+        ..MatchConfig::default()
+    }
+}
+
+fn ga_config(sampler: SamplerMode, threads: usize) -> GaConfig {
+    GaConfig {
+        population: 48,
+        generations: 30,
+        threads,
+        sampler,
+        ..GaConfig::paper_default()
+    }
+}
+
+/// Everything that must be identical between two runs claimed to be
+/// bit-equal: the mapping, the exact cost bits, and the loop counters.
+#[derive(PartialEq, Debug)]
+struct RunSignature {
+    mapping: Vec<usize>,
+    cost_bits: u64,
+    iterations: usize,
+    evaluations: u64,
+}
+
+impl RunSignature {
+    fn of(out: &MapperOutcome) -> RunSignature {
+        RunSignature {
+            mapping: out.mapping.as_slice().to_vec(),
+            cost_bits: out.cost.to_bits(),
+            iterations: out.iterations,
+            evaluations: out.evaluations,
+        }
+    }
+}
+
+/// The invariants every solver outcome must satisfy regardless of
+/// which algorithm produced it: a valid assignment (a permutation on
+/// square instances), a reported cost that *is* the evaluator's cost
+/// for the mapping (no stale best), and evaluator agreement with the
+/// independent oracle.
+fn check_outcome_invariants(
+    inst: &MappingInstance,
+    out: &MapperOutcome,
+    expect_permutation: bool,
+) -> Result<(), String> {
+    out.mapping
+        .validate(inst)
+        .map_err(|e| format!("invalid mapping: {e:?}"))?;
+    if expect_permutation && !out.mapping.is_permutation() {
+        return Err(format!(
+            "square instance but mapping is not a permutation: {:?}",
+            out.mapping.as_slice()
+        ));
+    }
+    let recomputed = exec_time(inst, out.mapping.as_slice());
+    if out.cost.to_bits() != recomputed.to_bits() {
+        return Err(format!(
+            "reported cost {} != evaluator recomputation {}",
+            out.cost, recomputed
+        ));
+    }
+    let oracle = oracle_makespan(inst, out.mapping.as_slice());
+    if !approx_eq(out.cost, oracle, ORACLE_REL_TOL) {
+        return Err(format!(
+            "reported cost {} disagrees with Eq. 1/Eq. 2 oracle {}",
+            out.cost, oracle
+        ));
+    }
+    Ok(())
+}
+
+/// Collapse per-instance failure strings into one `CheckResult`.
+fn summarize(pillar: Pillar, name: &str, failures: Vec<String>) -> CheckResult {
+    if failures.is_empty() {
+        CheckResult::pass(pillar, name)
+    } else {
+        CheckResult::fail(pillar, name, failures.join("\n"))
+    }
+}
+
+/// A thread-invariance sweep for one square-instance solver family:
+/// `run(threads)` must produce the same `RunSignature` for every entry
+/// of [`THREAD_SWEEP`], and the outcome must satisfy the shared
+/// invariants.
+fn thread_invariance<F>(corpus: &[CorpusInstance], name: &str, mut run: F) -> CheckResult
+where
+    F: FnMut(&CorpusInstance, usize) -> MapperOutcome,
+{
+    let mut failures = Vec::new();
+    for c in corpus.iter().filter(|c| c.is_square()) {
+        let inst = c.instance();
+        let baseline = run(c, THREAD_SWEEP[0]);
+        if let Err(e) = check_outcome_invariants(&inst, &baseline, true) {
+            failures.push(format!("{}: {e}", c.name));
+            continue;
+        }
+        let want = RunSignature::of(&baseline);
+        for &threads in &THREAD_SWEEP[1..] {
+            let got = RunSignature::of(&run(c, threads));
+            if got != want {
+                failures.push(format!(
+                    "{}: threads={threads} diverged from threads={} \
+                     (cost {} vs {}, iterations {} vs {})",
+                    c.name,
+                    THREAD_SWEEP[0],
+                    f64::from_bits(got.cost_bits),
+                    f64::from_bits(want.cost_bits),
+                    got.iterations,
+                    want.iterations,
+                ));
+            }
+        }
+    }
+    summarize(Pillar::Differential, name, failures)
+}
+
+fn ce_run(c: &CorpusInstance, sampler: SamplerMode, threads: usize, stream: u64) -> MapperOutcome {
+    let mut rng = rng_from(c.seed, stream);
+    Matcher::new(ce_config(sampler, threads))
+        .run(&c.instance(), &mut rng)
+        .into_mapper_outcome()
+}
+
+fn ga_run(c: &CorpusInstance, sampler: SamplerMode, threads: usize, stream: u64) -> MapperOutcome {
+    let mut rng = rng_from(c.seed, stream);
+    FastMapGa::new(ga_config(sampler, threads))
+        .run(&c.instance(), &mut rng)
+        .outcome
+}
+
+/// Quality parity between two streams of the same algorithm: neither
+/// side may be worse than [`PARITY_FACTOR`] times the other.
+fn parity_check<F, G>(
+    corpus: &[CorpusInstance],
+    name: &str,
+    mut left: F,
+    mut right: G,
+) -> CheckResult
+where
+    F: FnMut(&CorpusInstance) -> f64,
+    G: FnMut(&CorpusInstance) -> f64,
+{
+    let mut failures = Vec::new();
+    for c in corpus.iter().filter(|c| c.is_square()) {
+        let (a, b) = (left(c), right(c));
+        let (worse, better) = if a > b { (a, b) } else { (b, a) };
+        // NaN costs must fail the band, so compare via partial_cmp.
+        let within = matches!(
+            worse.partial_cmp(&(better * PARITY_FACTOR)),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        );
+        if !within {
+            failures.push(format!(
+                "{}: costs {a} vs {b} exceed the {PARITY_FACTOR}x parity band",
+                c.name
+            ));
+        }
+    }
+    summarize(Pillar::Differential, name, failures)
+}
+
+/// A determinism + invariants check for solvers without a documented
+/// cross-implementation twin: two runs from the same seed must agree
+/// bit-for-bit and satisfy the shared invariants.
+fn determinism_check<F>(
+    corpus: &[CorpusInstance],
+    name: &str,
+    expect_permutation: bool,
+    mut run: F,
+) -> CheckResult
+where
+    F: FnMut(&CorpusInstance) -> Option<MapperOutcome>,
+{
+    let mut failures = Vec::new();
+    for c in corpus {
+        let Some(first) = run(c) else { continue };
+        let inst = c.instance();
+        if let Err(e) = check_outcome_invariants(&inst, &first, expect_permutation) {
+            failures.push(format!("{}: {e}", c.name));
+            continue;
+        }
+        let second = run(c).expect("run filter must be deterministic");
+        if RunSignature::of(&first) != RunSignature::of(&second) {
+            failures.push(format!(
+                "{}: two runs from the same seed diverged ({} vs {})",
+                c.name, first.cost, second.cost
+            ));
+        }
+    }
+    summarize(Pillar::Differential, name, failures)
+}
+
+/// The evaluator-vs-oracle sweep. On disagreement the instance is
+/// shrunk to a minimal witness before reporting.
+fn oracle_agreement(corpus: &[CorpusInstance]) -> CheckResult {
+    let mut failures = Vec::new();
+    for c in corpus {
+        let subject = |i: &MappingInstance, m: &[usize]| exec_time(i, m);
+        let inst = c.instance();
+        if evaluator_disagreement(&inst, &subject, ORACLE_TRIALS, c.seed).is_some() {
+            // Reproduce on progressively smaller instances.
+            let fails = |tig: &match_graph::TaskGraph, res: &match_graph::ResourceGraph| {
+                let small = MappingInstance::new(tig, res);
+                evaluator_disagreement(&small, &subject, ORACLE_TRIALS, c.seed)
+            };
+            let detail = match shrink_instance(&c.tig, &c.resources, &fails) {
+                Some(witness) => witness.render(),
+                None => "disagreement did not reproduce under the shrinker".to_string(),
+            };
+            failures.push(format!(
+                "{}: evaluator disagrees with oracle\n{detail}",
+                c.name
+            ));
+        }
+    }
+    summarize(Pillar::Differential, "evaluator/oracle-agreement", failures)
+}
+
+/// Satellite: many-to-one coverage. Every instance runs through
+/// [`Matcher::run_many_to_one`]'s assignment model — on square
+/// instances too, where the result need not be a bijection (the model
+/// allows duplicates), so the shared `Mapping::validate` bijection rule
+/// does not apply. What must hold everywhere: in-range targets, a
+/// reported cost that is the evaluator's cost bit-for-bit (the same
+/// `exec_time` the permutation path uses), oracle agreement, and seeded
+/// determinism.
+fn many_to_one(corpus: &[CorpusInstance]) -> CheckResult {
+    let mut failures = Vec::new();
+    let mut rectangular = 0usize;
+    for c in corpus {
+        let inst = c.instance();
+        let run = |stream: u64| {
+            let mut rng = rng_from(c.seed, stream);
+            Matcher::new(ce_config(SamplerMode::Sequential, 1))
+                .run_many_to_one(&inst, &mut rng)
+                .into_mapper_outcome()
+        };
+        let out = run(11);
+        if !c.is_square() {
+            rectangular += 1;
+        }
+        let assign = out.mapping.as_slice();
+        if assign.len() != inst.n_tasks() || assign.iter().any(|&s| s >= inst.n_resources()) {
+            failures.push(format!("{}: assignment out of range: {assign:?}", c.name));
+            continue;
+        }
+        let recomputed = exec_time(&inst, assign);
+        if out.cost.to_bits() != recomputed.to_bits() {
+            failures.push(format!(
+                "{}: reported cost {} != evaluator recomputation {}",
+                c.name, out.cost, recomputed
+            ));
+            continue;
+        }
+        let oracle = oracle_makespan(&inst, assign);
+        if !approx_eq(out.cost, oracle, ORACLE_REL_TOL) {
+            failures.push(format!(
+                "{}: cost {} disagrees with Eq. 1/Eq. 2 oracle {}",
+                c.name, out.cost, oracle
+            ));
+            continue;
+        }
+        if RunSignature::of(&out) != RunSignature::of(&run(11)) {
+            failures.push(format!(
+                "{}: many-to-one run is not seed-deterministic",
+                c.name
+            ));
+        }
+    }
+    if rectangular == 0 {
+        failures.push("corpus contains no rectangular instance".to_string());
+    }
+    summarize(Pillar::Differential, "many-to-one/invariants", failures)
+}
+
+/// Run every differential check over the corpus.
+pub fn run_checks(corpus: &[CorpusInstance]) -> Vec<CheckResult> {
+    let mut checks = Vec::new();
+
+    checks.push(thread_invariance(
+        corpus,
+        "ce-sequential/thread-invariance",
+        |c, threads| ce_run(c, SamplerMode::Sequential, threads, 1),
+    ));
+    checks.push(thread_invariance(
+        corpus,
+        "ce-batched/thread-invariance",
+        |c, threads| ce_run(c, SamplerMode::Batched, threads, 2),
+    ));
+    checks.push(parity_check(
+        corpus,
+        "ce/batched-vs-sequential-parity",
+        |c| ce_run(c, SamplerMode::Sequential, 1, 3).cost,
+        |c| ce_run(c, SamplerMode::Batched, 2, 3).cost,
+    ));
+
+    checks.push(thread_invariance(
+        corpus,
+        "ga-sequential/thread-invariance",
+        |c, threads| ga_run(c, SamplerMode::Sequential, threads, 4),
+    ));
+    checks.push(thread_invariance(
+        corpus,
+        "ga-batched/thread-invariance",
+        |c, threads| ga_run(c, SamplerMode::Batched, threads, 5),
+    ));
+    checks.push(parity_check(
+        corpus,
+        "ga/batched-vs-sequential-parity",
+        |c| ga_run(c, SamplerMode::Sequential, 1, 6).cost,
+        |c| ga_run(c, SamplerMode::Batched, 2, 6).cost,
+    ));
+
+    // The §4 naive penalised ablation wastes samples on non-bijective
+    // draws, so it only reliably finds permutations on tiny instances;
+    // restrict to n <= 6 with the sample budget the ablation arm uses.
+    checks.push(determinism_check(
+        corpus,
+        "naive-penalized/determinism-and-invariants",
+        true,
+        |c| {
+            (c.is_square() && c.tig.len() <= 6).then(|| {
+                let cfg = MatchConfig {
+                    sample_size: Some(400),
+                    ..ce_config(SamplerMode::Sequential, 1)
+                };
+                let mut rng = rng_from(c.seed, 8);
+                Matcher::new(cfg)
+                    .run_naive_penalized(&c.instance(), &mut rng)
+                    .into_mapper_outcome()
+            })
+        },
+    ));
+
+    checks.push(determinism_check(
+        corpus,
+        "islands/determinism-and-invariants",
+        true,
+        |c| {
+            c.is_square().then(|| {
+                let cfg = IslandConfig {
+                    islands: 2,
+                    migration_interval: 3,
+                    base: ce_config(SamplerMode::Sequential, 1),
+                };
+                let mut rng = rng_from(c.seed, 9);
+                IslandMatcher::new(cfg).run(&c.instance(), &mut rng)
+            })
+        },
+    ));
+
+    checks.push(many_to_one(corpus));
+    checks.push(oracle_agreement(corpus));
+    checks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{build, CorpusKind};
+
+    #[test]
+    fn smoke_corpus_passes_every_differential_check() {
+        let corpus = build(CorpusKind::Smoke, 2005);
+        let checks = run_checks(&corpus);
+        assert!(checks.len() >= 9, "expected the full check battery");
+        for check in &checks {
+            assert!(check.passed, "{}: {}", check.name, check.details);
+        }
+    }
+
+    #[test]
+    fn invariant_checker_rejects_a_stale_cost() {
+        let corpus = build(CorpusKind::Smoke, 2005);
+        let c = corpus.iter().find(|c| c.is_square()).unwrap();
+        let inst = c.instance();
+        let mut out = ce_run(c, SamplerMode::Sequential, 1, 99);
+        out.cost += 1.0; // no longer the evaluator's cost for the mapping
+        let err = check_outcome_invariants(&inst, &out, true).unwrap_err();
+        assert!(err.contains("recomputation"), "{err}");
+    }
+
+    #[test]
+    fn parity_check_flags_a_gap() {
+        let corpus = build(CorpusKind::Smoke, 2005);
+        let check = parity_check(&corpus, "synthetic/parity", |_| 1.0, |_| 10.0);
+        assert!(!check.passed);
+        assert!(check.details.contains("parity band"));
+    }
+}

@@ -1,0 +1,137 @@
+//! An independent re-derivation of the paper's cost model (Eq. 1 /
+//! Eq. 2), used as the reference against which `match_core::exec_time`
+//! is differentially checked.
+//!
+//! The implementation is deliberately *not* shared with
+//! [`match_core::cost`]: it accumulates processing and communication
+//! loads in separate passes and different order, so a bug in either
+//! implementation (a dropped term, a transposed index) shows up as a
+//! disagreement instead of cancelling out. Floating-point sums in a
+//! different order differ in the last bits, hence the relative
+//! tolerance in [`approx_eq`].
+
+use match_core::MappingInstance;
+use match_rngutil::rng_from;
+use rand::Rng;
+
+/// Relative tolerance for oracle-vs-subject comparisons: generous
+/// enough for summation-order noise, far below any modelling bug.
+pub const ORACLE_REL_TOL: f64 = 1e-9;
+
+/// `|a - b| <= tol * max(1, |a|, |b|)`.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Eq. 1 from scratch: the execution time every resource would take
+/// under `mapping` (tasks may share a resource — the general
+/// assignment model).
+///
+/// Processing: `Σ_{t on s} W^t · w_s`. Communication: `Σ_{t on s}
+/// Σ_{a ~ t, a off s} C^{t,a} · c_{s, m(a)}`; co-located neighbours
+/// are free.
+pub fn oracle_loads(inst: &MappingInstance, mapping: &[usize]) -> Vec<f64> {
+    assert_eq!(mapping.len(), inst.n_tasks(), "mapping length mismatch");
+    let mut processing = vec![0.0; inst.n_resources()];
+    let mut communication = vec![0.0; inst.n_resources()];
+    for t in 0..inst.n_tasks() {
+        let s = mapping[t];
+        processing[s] += inst.computation(t) * inst.processing_cost(s);
+        for (a, volume) in inst.interactions(t) {
+            let b = mapping[a];
+            if b != s {
+                communication[s] += volume * inst.link_cost(s, b);
+            }
+        }
+    }
+    processing
+        .iter()
+        .zip(&communication)
+        .map(|(p, c)| p + c)
+        .collect()
+}
+
+/// Eq. 2 from scratch: the makespan is the slowest resource.
+pub fn oracle_makespan(inst: &MappingInstance, mapping: &[usize]) -> f64 {
+    oracle_loads(inst, mapping).into_iter().fold(0.0, f64::max)
+}
+
+/// Hunt for a mapping on which `subject` disagrees with the oracle.
+///
+/// Draws `trials` random assignments (and, on square instances, random
+/// permutations) from a stream derived from `seed`, evaluates each
+/// through both implementations, and returns a description of the
+/// first disagreement — or `None` when the subject matches the oracle
+/// everywhere. This is the predicate the instance shrinker minimises
+/// over when a differential failure needs a small witness.
+pub fn evaluator_disagreement(
+    inst: &MappingInstance,
+    subject: &dyn Fn(&MappingInstance, &[usize]) -> f64,
+    trials: usize,
+    seed: u64,
+) -> Option<String> {
+    if inst.n_tasks() == 0 || inst.n_resources() == 0 {
+        return None;
+    }
+    let mut rng = rng_from(seed, 0x0eac);
+    for trial in 0..trials {
+        let mapping: Vec<usize> = if inst.is_square() && trial % 2 == 0 {
+            match_rngutil::random_permutation(inst.n_tasks(), &mut rng)
+        } else {
+            (0..inst.n_tasks())
+                .map(|_| rng.random_range(0..inst.n_resources()))
+                .collect()
+        };
+        let got = subject(inst, &mapping);
+        let want = oracle_makespan(inst, &mapping);
+        if !approx_eq(got, want, ORACLE_REL_TOL) {
+            return Some(format!(
+                "mapping {mapping:?}: subject reports {got}, Eq. 1/Eq. 2 oracle says {want}"
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_core::exec_time;
+    use match_graph::gen::InstanceGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn instance(n: usize, seed: u64) -> MappingInstance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MappingInstance::from_pair(&InstanceGenerator::paper_family(n).generate(&mut rng))
+    }
+
+    #[test]
+    fn oracle_agrees_with_exec_time_on_permutations_and_assignments() {
+        let inst = instance(9, 3);
+        assert!(
+            evaluator_disagreement(&inst, &|i, m| exec_time(i, m), 64, 11).is_none(),
+            "exec_time must match the independent Eq. 1/Eq. 2 oracle"
+        );
+    }
+
+    #[test]
+    fn oracle_catches_a_dropped_communication_term() {
+        let inst = instance(8, 5);
+        // A subject that forgets Eq. 1's communication sum.
+        let buggy = |i: &MappingInstance, m: &[usize]| {
+            let mut loads = vec![0.0; i.n_resources()];
+            for t in 0..i.n_tasks() {
+                loads[m[t]] += i.computation(t) * i.processing_cost(m[t]);
+            }
+            loads.into_iter().fold(0.0, f64::max)
+        };
+        assert!(evaluator_disagreement(&inst, &buggy, 64, 11).is_some());
+    }
+
+    #[test]
+    fn approx_eq_scales_relative() {
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+}

@@ -1,0 +1,160 @@
+//! The verification report: one typed result per check, rendered as a
+//! grouped pass/fail summary for `matchctl verify` and CI logs.
+
+use std::fmt;
+
+/// Which of the harness's three pillars a check belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pillar {
+    /// Solver-vs-solver and solver-vs-oracle cross-checks.
+    Differential,
+    /// Cost-preserving / cost-predictable transformations.
+    Metamorphic,
+    /// Committed per-iteration trajectory fixtures.
+    Golden,
+}
+
+impl fmt::Display for Pillar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pillar::Differential => write!(f, "differential"),
+            Pillar::Metamorphic => write!(f, "metamorphic"),
+            Pillar::Golden => write!(f, "golden-trajectory"),
+        }
+    }
+}
+
+/// Outcome of one named check.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// The pillar the check belongs to.
+    pub pillar: Pillar,
+    /// Stable check name, `area/property` style.
+    pub name: String,
+    /// Did every instance pass?
+    pub passed: bool,
+    /// Failure narrative (witness instances, diffs); empty on pass.
+    pub details: String,
+}
+
+impl CheckResult {
+    /// A passing result.
+    pub fn pass(pillar: Pillar, name: impl Into<String>) -> CheckResult {
+        CheckResult {
+            pillar,
+            name: name.into(),
+            passed: true,
+            details: String::new(),
+        }
+    }
+
+    /// A failing result carrying its evidence.
+    pub fn fail(
+        pillar: Pillar,
+        name: impl Into<String>,
+        details: impl Into<String>,
+    ) -> CheckResult {
+        CheckResult {
+            pillar,
+            name: name.into(),
+            passed: false,
+            details: details.into(),
+        }
+    }
+}
+
+/// Everything `run_verify` produced.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// All check results, in execution order.
+    pub checks: Vec<CheckResult>,
+    /// Corpus label ("ci", "full", …) for the header line.
+    pub corpus: String,
+    /// Number of corpus instances the checks swept.
+    pub instances: usize,
+}
+
+impl VerifyReport {
+    /// True when every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Count of failing checks.
+    pub fn failures(&self) -> usize {
+        self.checks.iter().filter(|c| !c.passed).count()
+    }
+
+    /// Render the grouped pass/fail summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "match-verify: corpus `{}` ({} instances), {} checks\n",
+            self.corpus,
+            self.instances,
+            self.checks.len()
+        );
+        for pillar in [Pillar::Differential, Pillar::Metamorphic, Pillar::Golden] {
+            let group: Vec<&CheckResult> =
+                self.checks.iter().filter(|c| c.pillar == pillar).collect();
+            if group.is_empty() {
+                continue;
+            }
+            let ok = group.iter().filter(|c| c.passed).count();
+            out.push_str(&format!("\n{pillar} ({ok}/{} passed)\n", group.len()));
+            for check in group {
+                out.push_str(&format!(
+                    "  [{}] {}\n",
+                    if check.passed { "PASS" } else { "FAIL" },
+                    check.name
+                ));
+                if !check.passed {
+                    for line in check.details.lines() {
+                        out.push_str(&format!("       {line}\n"));
+                    }
+                }
+            }
+        }
+        let failures = self.failures();
+        if failures == 0 {
+            out.push_str("\nall checks passed\n");
+        } else {
+            out.push_str(&format!("\n{failures} check(s) FAILED\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_groups_by_pillar_and_reports_failures() {
+        let report = VerifyReport {
+            checks: vec![
+                CheckResult::pass(Pillar::Differential, "ce/thread-invariance"),
+                CheckResult::fail(
+                    Pillar::Metamorphic,
+                    "scale/evaluator",
+                    "paper-n6-v0: cost 3 != 2 * 1.6\nwitness: ...",
+                ),
+            ],
+            corpus: "ci".into(),
+            instances: 7,
+        };
+        assert!(!report.passed());
+        assert_eq!(report.failures(), 1);
+        let text = report.render();
+        assert!(text.contains("differential (1/1 passed)"));
+        assert!(text.contains("[FAIL] scale/evaluator"));
+        assert!(text.contains("witness"));
+        assert!(text.contains("1 check(s) FAILED"));
+    }
+
+    #[test]
+    fn empty_report_passes() {
+        let r = VerifyReport::default();
+        assert!(r.passed());
+        assert!(r.render().contains("0 checks"));
+    }
+}

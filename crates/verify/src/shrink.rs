@@ -1,0 +1,189 @@
+//! A minimising instance shrinker: when a differential check fails on a
+//! generated instance, greedily drop tasks and edges while the failure
+//! still reproduces, so the report carries a small witness instead of a
+//! 50-node blob (delta debugging over graphs).
+
+use match_graph::io::to_text;
+use match_graph::{Graph, ResourceGraph, TaskGraph};
+
+/// The failing predicate the shrinker minimises over: `Some(detail)`
+/// when the (tig, resources) pair still reproduces the failure.
+pub type FailurePredicate<'a> = dyn Fn(&TaskGraph, &ResourceGraph) -> Option<String> + 'a;
+
+/// A minimised failing instance plus the failure it reproduces.
+pub struct Witness {
+    /// The shrunken task graph.
+    pub tig: TaskGraph,
+    /// The shrunken resource graph.
+    pub resources: ResourceGraph,
+    /// The predicate's detail on the shrunken instance.
+    pub detail: String,
+}
+
+impl Witness {
+    /// Render the witness in the repo's instance text format, ready to
+    /// paste into `matchctl solve --tig/--platform` for replay.
+    pub fn render(&self) -> String {
+        format!(
+            "witness instance ({} tasks, {} resources): {}\n--- TIG ---\n{}--- platform ---\n{}",
+            self.tig.len(),
+            self.resources.len(),
+            self.detail,
+            to_text(self.tig.graph()),
+            to_text(self.resources.graph()),
+        )
+    }
+}
+
+/// Rebuild `g` without node `v` (remaining nodes keep their relative
+/// order; incident edges vanish).
+fn drop_node(g: &Graph, v: usize) -> Option<Graph> {
+    let weights: Vec<f64> = (0..g.node_count())
+        .filter(|&u| u != v)
+        .map(|u| g.node_weight(u))
+        .collect();
+    let mut out = Graph::from_node_weights(weights).ok()?;
+    let reindex = |u: usize| if u > v { u - 1 } else { u };
+    for (a, b, w) in g.edges() {
+        if a != v && b != v {
+            out.add_edge(reindex(a), reindex(b), w).ok()?;
+        }
+    }
+    Some(out)
+}
+
+/// Rebuild `g` without the edge `(a, b)`.
+fn drop_edge(g: &Graph, a: usize, b: usize) -> Option<Graph> {
+    let weights: Vec<f64> = (0..g.node_count()).map(|u| g.node_weight(u)).collect();
+    let mut out = Graph::from_node_weights(weights).ok()?;
+    for (u, v, w) in g.edges() {
+        if (u, v) != (a, b) && (v, u) != (a, b) {
+            out.add_edge(u, v, w).ok()?;
+        }
+    }
+    Some(out)
+}
+
+/// Greedily minimise a failing instance.
+///
+/// `fails` must return `Some(..)` for the input pair, otherwise `None`
+/// is returned (nothing to shrink). On square instances task `v` and
+/// resource `v` are dropped together so the instance stays square; on
+/// rectangular instances only tasks are dropped. After node removal
+/// stalls, single TIG edges are dropped the same way. The result is
+/// 1-minimal with respect to these two operations.
+pub fn shrink_instance(
+    tig: &TaskGraph,
+    resources: &ResourceGraph,
+    fails: &FailurePredicate<'_>,
+) -> Option<Witness> {
+    let mut detail = fails(tig, resources)?;
+    let mut tig = tig.clone();
+    let mut resources = resources.clone();
+    let square = tig.len() == resources.len();
+
+    let mut progress = true;
+    while progress {
+        progress = false;
+        // Pass 1: drop a task (and its same-index resource when square).
+        let mut v = 0;
+        while tig.len() > 2 && v < tig.len() {
+            let candidate_tig = drop_node(tig.graph(), v).and_then(|g| TaskGraph::new(g).ok());
+            let candidate_res = if square {
+                drop_node(resources.graph(), v).and_then(|g| ResourceGraph::new(g).ok())
+            } else {
+                Some(resources.clone())
+            };
+            match (candidate_tig, candidate_res) {
+                (Some(t), Some(r)) => {
+                    if let Some(d) = fails(&t, &r) {
+                        tig = t;
+                        resources = r;
+                        detail = d;
+                        progress = true;
+                        // Same index now names the next node; do not advance.
+                    } else {
+                        v += 1;
+                    }
+                }
+                _ => v += 1,
+            }
+        }
+        // Pass 2: drop single TIG edges.
+        let edges: Vec<(usize, usize)> = tig.graph().edges().map(|(a, b, _)| (a, b)).collect();
+        for (a, b) in edges {
+            let Some(candidate) = drop_edge(tig.graph(), a, b).and_then(|g| TaskGraph::new(g).ok())
+            else {
+                continue;
+            };
+            if let Some(d) = fails(&candidate, &resources) {
+                tig = candidate;
+                detail = d;
+                progress = true;
+            }
+        }
+    }
+
+    Some(Witness {
+        tig,
+        resources,
+        detail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_graph::gen::InstanceGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pair(n: usize, seed: u64) -> (TaskGraph, ResourceGraph) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = InstanceGenerator::paper_family(n).generate(&mut rng);
+        (p.tig, p.resources)
+    }
+
+    #[test]
+    fn shrinks_to_a_small_witness_when_failure_depends_on_one_edge() {
+        let (tig, res) = pair(12, 3);
+        // "Failure" whenever the TIG still has any edge with volume above
+        // the median — reproduces down to a single heavy edge.
+        let threshold = {
+            let mut vols: Vec<f64> = tig.graph().edges().map(|(_, _, w)| w).collect();
+            vols.sort_by(f64::total_cmp);
+            vols[vols.len() / 2]
+        };
+        let fails = move |t: &TaskGraph, _r: &ResourceGraph| {
+            t.graph()
+                .edges()
+                .any(|(_, _, w)| w > threshold)
+                .then(|| "heavy edge survives".to_string())
+        };
+        let witness = shrink_instance(&tig, &res, &fails).expect("input must fail");
+        assert!(witness.tig.len() <= 4, "got {} tasks", witness.tig.len());
+        assert_eq!(witness.tig.len(), witness.resources.len(), "stays square");
+        assert!(fails(&witness.tig, &witness.resources).is_some());
+        assert!(witness.render().contains("--- TIG ---"));
+    }
+
+    #[test]
+    fn non_failing_input_yields_none() {
+        let (tig, res) = pair(6, 4);
+        assert!(shrink_instance(&tig, &res, &|_, _| None).is_none());
+    }
+
+    #[test]
+    fn rectangular_instances_keep_their_resources() {
+        let mut rng = StdRng::seed_from_u64(9);
+        use match_graph::gen::paper::PaperFamilyConfig;
+        let tig = PaperFamilyConfig::new(10).generate_tig(&mut rng);
+        let res = PaperFamilyConfig::new(4).generate_platform(&mut rng);
+        let witness = shrink_instance(&tig, &res, &|t, _| {
+            (t.len() >= 3).then(|| "still big".to_string())
+        })
+        .unwrap();
+        assert_eq!(witness.resources.len(), 4);
+        assert_eq!(witness.tig.len(), 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! End-to-end acceptance check for the harness: deliberately break the
+//! evaluator (drop Eq. 1's communication term, the classic "forgot the
+//! network" bug) and confirm the differential oracle catches it on the
+//! CI corpus and the shrinker reduces the failure to a small witness.
+
+use match_core::MappingInstance;
+use match_verify::corpus::{build, CorpusKind};
+use match_verify::{evaluator_disagreement, shrink_instance};
+
+/// Eq. 1 with the communication sum deleted.
+fn buggy_exec_time(inst: &MappingInstance, mapping: &[usize]) -> f64 {
+    let mut loads = vec![0.0; inst.n_resources()];
+    for t in 0..inst.n_tasks() {
+        loads[mapping[t]] += inst.computation(t) * inst.processing_cost(mapping[t]);
+    }
+    loads.into_iter().fold(0.0, f64::max)
+}
+
+#[test]
+fn dropped_communication_term_is_caught_and_shrunk() {
+    let corpus = build(CorpusKind::Ci, 2005);
+    let subject = |i: &MappingInstance, m: &[usize]| buggy_exec_time(i, m);
+
+    let mut caught = 0;
+    for c in &corpus {
+        let inst = c.instance();
+        if evaluator_disagreement(&inst, &subject, 48, c.seed).is_none() {
+            continue;
+        }
+        caught += 1;
+
+        let fails = |tig: &match_graph::TaskGraph, res: &match_graph::ResourceGraph| {
+            let small = MappingInstance::new(tig, res);
+            evaluator_disagreement(&small, &subject, 48, c.seed)
+        };
+        let witness = shrink_instance(&c.tig, &c.resources, &fails)
+            .expect("disagreement must reproduce through the shrinker");
+        assert!(
+            witness.tig.len() <= 8,
+            "{}: witness has {} tasks, expected <= 8",
+            c.name,
+            witness.tig.len()
+        );
+        // A shrunken witness still needs at least one interaction —
+        // without an edge the dropped term would be invisible.
+        assert!(
+            witness.tig.graph().edge_count() >= 1,
+            "{}: witness lost the communicating pair",
+            c.name
+        );
+        assert!(
+            witness.render().contains("oracle"),
+            "witness must carry the disagreement narrative"
+        );
+    }
+    assert_eq!(
+        caught,
+        corpus.len(),
+        "the dropped term must be visible on every CI corpus instance"
+    );
+}
+
+#[test]
+fn correct_evaluator_survives_the_same_hunt() {
+    let corpus = build(CorpusKind::Ci, 2005);
+    for c in &corpus {
+        let inst = c.instance();
+        assert!(
+            evaluator_disagreement(&inst, &|i, m| match_core::exec_time(i, m), 48, c.seed)
+                .is_none(),
+            "{}: the real evaluator must match the oracle",
+            c.name
+        );
+    }
+}

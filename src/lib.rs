@@ -14,6 +14,8 @@
 //!   (serial, blocking-receive and link-contention models).
 //! * [`stats`] — ANOVA / Welch t-tests / confidence intervals used in
 //!   the evaluation.
+//! * [`verify`] — the differential / metamorphic / golden-trajectory
+//!   correctness harness behind `matchctl verify`.
 //! * [`par`], [`rngutil`], [`viz`] — supporting substrates.
 //! * [`cli`] — the `matchctl` command-line front end.
 //!
@@ -41,6 +43,7 @@ pub use match_par as par;
 pub use match_rngutil as rngutil;
 pub use match_sim as sim;
 pub use match_stats as stats;
+pub use match_verify as verify;
 pub use match_viz as viz;
 
 pub use match_cli as cli;
