@@ -293,6 +293,12 @@ where
             "evaluator returned wrong length"
         );
         evaluations += n as u64;
+        if traced {
+            recorder.record(Event::Counter {
+                name: "evaluations".into(),
+                value: n as u64,
+            });
+        }
 
         // Steps 4–5: the ρ-quantile threshold γ and the elite set, in
         // O(N) expected instead of a full sort.
@@ -538,6 +544,12 @@ where
             },
         );
         evaluations += n as u64;
+        if traced {
+            recorder.record(Event::Counter {
+                name: "evaluations".into(),
+                value: n as u64,
+            });
+        }
 
         if let Some(start) = region_start {
             // Split the fused region's wall clock between the two logical

@@ -40,6 +40,10 @@ pub enum Command {
     Serve,
     /// Submit work to a running daemon.
     Submit,
+    /// Fetch one Prometheus metrics snapshot from a daemon.
+    Metrics,
+    /// Poll a daemon's metrics and render a live dashboard.
+    Top,
     /// Run the differential/metamorphic/golden-trajectory harness.
     Verify,
     /// Print usage.
@@ -57,6 +61,8 @@ impl Command {
             "dot" => Ok(Command::Dot),
             "serve" => Ok(Command::Serve),
             "submit" => Ok(Command::Submit),
+            "metrics" => Ok(Command::Metrics),
+            "top" => Ok(Command::Top),
             "verify" => Ok(Command::Verify),
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(CliError::UnknownCommand(other.to_string())),
@@ -77,16 +83,20 @@ USAGE:
                     [--trace FILE.jsonl]
   matchctl simulate --tig FILE --platform FILE --mapping FILE
                     [--rounds N] [--blocking | --link] [--trace FILE.jsonl]
-  matchctl report   TRACE.jsonl [--gantt]
+  matchctl report   TRACE.jsonl [--gantt] [--request ID]
   matchctl report   --diff A.jsonl B.jsonl   (side-by-side comparison)
   matchctl dot      --tig FILE (or --platform FILE)
   matchctl serve    [--addr HOST:PORT] [--workers N] [--queue-cap N]
                     [--cache-cap N] [--trace FILE.jsonl] [--addr-file FILE]
+                    [--metrics-addr HOST:PORT] [--metrics-addr-file FILE]
   matchctl submit   [--addr HOST:PORT] --tig FILE --platform FILE
                     [--algo ALGO] [--seed S] [--deadline-ms MS] [--id ID]
   matchctl submit   [--addr HOST:PORT] --batch FILE   (lines: TIG PLATFORM
                     [ALGO [SEED [DEADLINE_MS]]])
   matchctl submit   [--addr HOST:PORT] --stats | --shutdown
+  matchctl metrics  [--addr HOST:PORT | --http HOST:PORT]
+  matchctl top      [--addr HOST:PORT] [--interval-ms MS] [--count N]
+                    [--no-clear]
   matchctl verify   [--corpus smoke|ci|full] [--seed S] [--fixtures DIR]
                     [--update-golden]
   matchctl help
@@ -101,6 +111,13 @@ ALGO: match (default) | islands | polish | ga | fastmap | bisect | greedy
 
 --trace streams per-iteration telemetry (JSONL, one event per line);
 feed the file to `matchctl report` for a convergence summary.
+
+`metrics` prints one Prometheus text-format snapshot (over the JSONL
+protocol by default, or scraped from the HTTP side port with --http);
+`top` polls the same snapshot and renders queue/cache/latency series
+with per-frame deltas (--count 0 polls until interrupted). A service
+trace recorded with `serve --trace` carries per-request spans named
+req:ID#SEQ:stage; `report --request ID` correlates them.
 ";
 
 /// Run a parsed command line; returns the text to print.
@@ -115,6 +132,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Command::Dot => cmd_dot(args),
         Command::Serve => cmd_serve(args),
         Command::Submit => cmd_submit(args),
+        Command::Metrics => cmd_metrics(args),
+        Command::Top => cmd_top(args),
         Command::Verify => cmd_verify(args),
     }
 }
@@ -409,6 +428,12 @@ fn cmd_report(args: &Args) -> Result<String, CliError> {
     if events.is_empty() {
         return Err(CliError::Io(format!("{path}: trace contains no events")));
     }
+    if args.has_switch("request") {
+        return Err(CliError::MissingOption("request ID".into()));
+    }
+    if let Some(wanted) = args.options.get("request") {
+        return render_request_report(path, &events, wanted);
+    }
     let mut text = TraceSummary::from_events(&events).render();
     if args.has_switch("gantt") {
         match match_viz::trace_gantt(&events, 72, "\nschedule timeline (█ busy, ▒ idle):") {
@@ -417,6 +442,55 @@ fn cmd_report(args: &Args) -> Result<String, CliError> {
         }
     }
     Ok(text)
+}
+
+/// `report --request ID`: correlate the per-request spans that
+/// `match-serve --trace` records as `req:ID#SEQ:stage`. `ID` may be
+/// the full trace id (`alpha#0`) or just the job id (`alpha`).
+fn render_request_report(
+    path: &str,
+    events: &[match_telemetry::Event],
+    wanted: &str,
+) -> Result<String, CliError> {
+    let mut by_tid: std::collections::BTreeMap<String, Vec<(String, u64)>> = Default::default();
+    for e in events {
+        if let match_telemetry::Event::Span(s) = e {
+            if let Some(rest) = s.name.strip_prefix("req:") {
+                if let Some((tid, stage)) = rest.rsplit_once(':') {
+                    by_tid
+                        .entry(tid.to_string())
+                        .or_default()
+                        .push((stage.to_string(), s.wall_ns));
+                }
+            }
+        }
+    }
+    if by_tid.is_empty() {
+        return Err(CliError::Io(format!(
+            "{path}: no request-scoped spans (req:ID#SEQ:stage) — record a \
+             service trace with `matchctl serve --trace FILE.jsonl`"
+        )));
+    }
+    let hits: Vec<(&String, &Vec<(String, u64)>)> = by_tid
+        .iter()
+        .filter(|(tid, _)| *tid == wanted || tid.starts_with(&format!("{wanted}#")))
+        .collect();
+    if hits.is_empty() {
+        let known: Vec<&str> = by_tid.keys().take(8).map(String::as_str).collect();
+        return Err(CliError::Io(format!(
+            "{path}: no request matches {wanted:?}; trace ids include {}",
+            known.join(", ")
+        )));
+    }
+    let mut out = format!("requests matching {wanted:?} in {path}:\n");
+    for (tid, stages) in hits {
+        let total: u64 = stages.iter().map(|(_, ns)| *ns).sum();
+        out.push_str(&format!("  {tid}  (total {:.3}ms)\n", total as f64 / 1e6));
+        for (stage, ns) in stages {
+            out.push_str(&format!("    {stage:<12} {:>10.3}ms\n", *ns as f64 / 1e6));
+        }
+    }
+    Ok(out)
 }
 
 fn cmd_dot(args: &Args) -> Result<String, CliError> {
@@ -439,6 +513,7 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         queue_cap: args.parse_or("queue-cap", defaults.queue_cap)?,
         cache_cap: args.parse_or("cache-cap", defaults.cache_cap)?,
         trace: trace_path(args)?.map(std::path::PathBuf::from),
+        metrics_addr: args.options.get("metrics-addr").cloned(),
     };
     let trace_file = config.trace.clone();
     let handle = Server::start(config.clone())
@@ -448,11 +523,25 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
     if let Some(path) = args.options.get("addr-file") {
         write(path, &format!("{addr}\n"))?;
     }
+    if let Some(path) = args.options.get("metrics-addr-file") {
+        match handle.metrics_addr() {
+            Some(maddr) => write(path, &format!("{maddr}\n"))?,
+            None => {
+                return Err(CliError::MissingOption(
+                    "metrics-addr (required by --metrics-addr-file)".into(),
+                ))
+            }
+        }
+    }
     // Announce readiness on stdout immediately: `run` only prints its
     // return value, and the daemon blocks here until a client sends
     // `shutdown`.
+    let metrics_note = match handle.metrics_addr() {
+        Some(maddr) => format!(", metrics on http://{maddr}/metrics"),
+        None => String::new(),
+    };
     println!(
-        "match-serve listening on {addr} ({} workers, queue cap {}, cache cap {})",
+        "match-serve listening on {addr} ({} workers, queue cap {}, cache cap {}{metrics_note})",
         config.workers, config.queue_cap, config.cache_cap
     );
     use std::io::Write as _;
@@ -523,6 +612,7 @@ fn format_response(resp: &Response) -> String {
             s.queue_cap,
             s.workers,
         ),
+        Response::Metrics { text } => text.clone(),
         Response::Bye => "server acknowledged shutdown\n".to_string(),
     }
 }
@@ -640,6 +730,170 @@ fn cmd_submit(args: &Args) -> Result<String, CliError> {
         ));
     }
     Ok(out)
+}
+
+/// One Prometheus snapshot: over the JSONL protocol (`--addr`, the
+/// default), or scraped from the HTTP side port (`--http HOST:PORT`)
+/// exactly as an external collector would.
+fn cmd_metrics(args: &Args) -> Result<String, CliError> {
+    if let Some(http_addr) = args.options.get("http") {
+        return match_serve::http_get(http_addr, "/metrics")
+            .map_err(|e| CliError::Io(format!("scraping http://{http_addr}/metrics: {e}")));
+    }
+    let addr = args.get_or("addr", "127.0.0.1:7117");
+    let mut client =
+        Client::connect(addr).map_err(|e| CliError::Io(format!("connecting to {addr}: {e}")))?;
+    match client
+        .metrics()
+        .map_err(|e| CliError::Io(format!("talking to {addr}: {e}")))?
+    {
+        Response::Metrics { text } => Ok(text),
+        other => Err(CliError::Io(format!(
+            "unexpected reply to metrics request: {}",
+            format_response(&other).trim_end()
+        ))),
+    }
+}
+
+/// Parse Prometheus text exposition into `series -> value`, keyed by
+/// `name{labels}` exactly as rendered (comments and blanks skipped).
+fn parse_exposition(text: &str) -> std::collections::BTreeMap<String, f64> {
+    let mut series = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Label values never contain spaces (our renderer escapes
+        // nothing that introduces one), so the value is the last field.
+        if let Some((key, value)) = line.rsplit_once(' ') {
+            if let Ok(v) = value.parse::<f64>() {
+                series.insert(key.to_string(), v);
+            }
+        }
+    }
+    series
+}
+
+/// Split `name{...,quantile="Q"}` into the series without the quantile
+/// label and `Q`; `None` for non-quantile series. The renderer always
+/// appends `quantile` after the user labels, so it is the last label.
+fn split_quantile(series: &str) -> Option<(String, String)> {
+    let i = series.find("quantile=\"")?;
+    let q = series[i + 10..].split('"').next()?.to_string();
+    let mut base = series[..i].to_string();
+    if base.ends_with(',') {
+        base.pop();
+        base.push('}');
+    } else if base.ends_with('{') {
+        base.pop();
+    }
+    Some((base, q))
+}
+
+/// Render one `top` frame: gauges, latency summaries, counters (with
+/// per-frame deltas once a previous frame exists).
+fn render_top_frame(
+    addr: &str,
+    frame: u64,
+    interval_ms: u64,
+    cur: &std::collections::BTreeMap<String, f64>,
+    prev: Option<&std::collections::BTreeMap<String, f64>>,
+) -> String {
+    let mut gauges: Vec<(&str, f64)> = Vec::new();
+    let mut counters: Vec<(&str, f64)> = Vec::new();
+    // base series -> [(quantile, value)]
+    let mut latency: std::collections::BTreeMap<String, Vec<(String, f64)>> = Default::default();
+    for (key, &v) in cur {
+        if let Some((base, q)) = split_quantile(key) {
+            latency.entry(base).or_default().push((q, v));
+        } else if key.contains("_total") {
+            counters.push((key, v));
+        } else if !key.contains("_sum") && !key.contains("_count") {
+            gauges.push((key, v));
+        }
+    }
+    let mut out = format!("match-serve top — {addr} (frame {frame}, every {interval_ms}ms)\n");
+    if !gauges.is_empty() {
+        out.push_str("  gauges:\n");
+        for (key, v) in gauges {
+            out.push_str(&format!("    {key:<44} {v:>12}\n"));
+        }
+    }
+    if !latency.is_empty() {
+        out.push_str("  latency (ms):\n");
+        for (base, qs) in &latency {
+            // `name{labels}` -> `name_count{labels}` for the sample count.
+            let count_key = match base.find('{') {
+                Some(i) => format!("{}_count{}", &base[..i], &base[i..]),
+                None => format!("{base}_count"),
+            };
+            let n = cur.get(&count_key).copied().unwrap_or(0.0);
+            let fmt = |q: &str| {
+                qs.iter()
+                    .find(|(quant, _)| quant == q)
+                    .map(|(_, v)| format!("{:.3}", v / 1e6))
+                    .unwrap_or_else(|| "-".into())
+            };
+            out.push_str(&format!(
+                "    {base:<44} p50 {} / p90 {} / p99 {}  (n={n})\n",
+                fmt("0.5"),
+                fmt("0.9"),
+                fmt("0.99"),
+            ));
+        }
+    }
+    if !counters.is_empty() {
+        out.push_str("  counters (total, Δ/frame):\n");
+        for (key, v) in counters {
+            match prev.and_then(|p| p.get(key)) {
+                Some(old) => out.push_str(&format!("    {key:<44} {v:>12} {:>+8}\n", v - old)),
+                None => out.push_str(&format!("    {key:<44} {v:>12}\n")),
+            }
+        }
+    }
+    out
+}
+
+/// Poll a daemon's metrics snapshot and render frames until `--count`
+/// frames are shown (0 = until interrupted or the daemon goes away).
+/// All frames but the last print directly (preceded by a clear-screen
+/// escape unless `--no-clear`); the last is returned like any command.
+fn cmd_top(args: &Args) -> Result<String, CliError> {
+    let addr = args.get_or("addr", "127.0.0.1:7117");
+    let interval_ms: u64 = args.parse_or("interval-ms", 1000)?;
+    let count: u64 = args.parse_or("count", 0)?;
+    let clear = !args.has_switch("no-clear");
+    let mut client =
+        Client::connect(addr).map_err(|e| CliError::Io(format!("connecting to {addr}: {e}")))?;
+    let net = |e: std::io::Error| CliError::Io(format!("talking to {addr}: {e}"));
+    let mut prev: Option<std::collections::BTreeMap<String, f64>> = None;
+    let mut frame = 0u64;
+    loop {
+        frame += 1;
+        let text = match client.metrics().map_err(net)? {
+            Response::Metrics { text } => text,
+            other => {
+                return Err(CliError::Io(format!(
+                    "unexpected reply to metrics request: {}",
+                    format_response(&other).trim_end()
+                )))
+            }
+        };
+        let cur = parse_exposition(&text);
+        let rendered = render_top_frame(addr, frame, interval_ms, &cur, prev.as_ref());
+        if count != 0 && frame >= count {
+            return Ok(rendered);
+        }
+        if clear {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{rendered}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        prev = Some(cur);
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
 }
 
 fn cmd_verify(args: &Args) -> Result<String, CliError> {
@@ -1248,6 +1502,165 @@ mod tests {
         // The service trace summarises like any solver trace.
         let report = run_tokens(&["report", trace.to_str().unwrap()]).unwrap();
         assert!(report.contains("match-serve"), "{report}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn exposition_parser_handles_labels_and_quantiles() {
+        let text = "# HELP match_serve_jobs_total jobs\n\
+                    # TYPE match_serve_jobs_total counter\n\
+                    match_serve_jobs_total 3\n\
+                    match_serve_queue_depth 0\n\
+                    match_serve_solve_latency_ns{algo=\"hill\",quantile=\"0.5\"} 1000000\n\
+                    match_serve_solve_latency_ns{algo=\"hill\",quantile=\"0.99\"} 2000000\n\
+                    match_serve_solve_latency_ns_sum{algo=\"hill\"} 3000000\n\
+                    match_serve_solve_latency_ns_count{algo=\"hill\"} 3\n";
+        let series = parse_exposition(text);
+        assert_eq!(series["match_serve_jobs_total"], 3.0);
+        assert_eq!(series["match_serve_queue_depth"], 0.0);
+        assert_eq!(
+            split_quantile("match_serve_solve_latency_ns{algo=\"hill\",quantile=\"0.5\"}"),
+            Some((
+                "match_serve_solve_latency_ns{algo=\"hill\"}".to_string(),
+                "0.5".to_string()
+            ))
+        );
+        assert_eq!(
+            split_quantile("queue_wait_ns{quantile=\"0.99\"}"),
+            Some(("queue_wait_ns".to_string(), "0.99".to_string()))
+        );
+        assert_eq!(split_quantile("match_serve_jobs_total"), None);
+
+        let frame = render_top_frame("x:1", 1, 500, &series, None);
+        assert!(frame.contains("gauges:"), "{frame}");
+        assert!(frame.contains("match_serve_queue_depth"), "{frame}");
+        assert!(frame.contains("latency (ms):"), "{frame}");
+        assert!(
+            frame.contains("p50 1.000 / p90 - / p99 2.000  (n=3)"),
+            "{frame}"
+        );
+        assert!(frame.contains("counters"), "{frame}");
+        // Second frame against the first carries counter deltas.
+        let mut later = series.clone();
+        *later.get_mut("match_serve_jobs_total").unwrap() = 5.0;
+        let frame = render_top_frame("x:1", 2, 500, &later, Some(&series));
+        assert!(frame.contains("+2"), "{frame}");
+    }
+
+    #[test]
+    fn metrics_top_and_request_report_against_live_daemon() {
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        let addr_file = dir.join("addr.txt");
+        let maddr_file = dir.join("maddr.txt");
+        let trace = dir.join("serve.jsonl");
+        let tig_s = tig.to_str().unwrap().to_string();
+        let plat_s = plat.to_str().unwrap().to_string();
+        run_tokens(&[
+            "gen",
+            "--size",
+            "6",
+            "--out-tig",
+            &tig_s,
+            "--out-platform",
+            &plat_s,
+        ])
+        .unwrap();
+
+        let addr_file_s = addr_file.to_str().unwrap().to_string();
+        let maddr_file_s = maddr_file.to_str().unwrap().to_string();
+        let trace_s = trace.to_str().unwrap().to_string();
+        let trace_for_server = trace_s.clone();
+        let server = std::thread::spawn(move || {
+            run_tokens(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--addr-file",
+                &addr_file_s,
+                "--metrics-addr",
+                "127.0.0.1:0",
+                "--metrics-addr-file",
+                &maddr_file_s,
+                "--trace",
+                &trace_for_server,
+            ])
+        });
+        let wait_for = |path: &std::path::Path| {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                if let Ok(s) = std::fs::read_to_string(path) {
+                    let s = s.trim().to_string();
+                    if !s.is_empty() {
+                        break s;
+                    }
+                }
+                assert!(std::time::Instant::now() < deadline, "daemon never came up");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        };
+        let addr = wait_for(&addr_file);
+        let maddr = wait_for(&maddr_file);
+
+        run_tokens(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--tig",
+            &tig_s,
+            "--platform",
+            &plat_s,
+            "--algo",
+            "greedy",
+            "--id",
+            "alpha",
+        ])
+        .unwrap();
+
+        // JSONL-protocol snapshot and HTTP scrape agree on the job count.
+        let text = run_tokens(&["metrics", "--addr", &addr]).unwrap();
+        assert!(
+            text.contains("# TYPE match_serve_jobs_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("match_serve_jobs_total 1"), "{text}");
+        assert!(text.contains("match_serve_solve_latency_ns"), "{text}");
+        let scraped = run_tokens(&["metrics", "--http", &maddr]).unwrap();
+        assert!(scraped.contains("match_serve_jobs_total 1"), "{scraped}");
+
+        // One-frame top returns a dashboard with all three sections.
+        let frame = run_tokens(&["top", "--addr", &addr, "--count", "1"]).unwrap();
+        assert!(frame.contains("match-serve top"), "{frame}");
+        assert!(frame.contains("match_serve_queue_depth"), "{frame}");
+        assert!(frame.contains("match_serve_jobs_total"), "{frame}");
+        // Two frames with a short interval exercise the delta path.
+        let frame = run_tokens(&[
+            "top",
+            "--addr",
+            &addr,
+            "--count",
+            "2",
+            "--interval-ms",
+            "10",
+            "--no-clear",
+        ])
+        .unwrap();
+        assert!(frame.contains("frame 2"), "{frame}");
+
+        run_tokens(&["submit", "--addr", &addr, "--shutdown"]).unwrap();
+        server.join().unwrap().unwrap();
+
+        // The service trace correlates per-request spans by trace id.
+        let report = run_tokens(&["report", &trace_s, "--request", "alpha"]).unwrap();
+        assert!(report.contains("alpha#"), "{report}");
+        assert!(report.contains("queue_wait"), "{report}");
+        assert!(report.contains("solve"), "{report}");
+        // Unknown ids fail with a hint; a bare switch is refused.
+        assert!(run_tokens(&["report", &trace_s, "--request", "nope"]).is_err());
+        assert!(run_tokens(&["report", &trace_s, "--request"]).is_err());
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -172,6 +172,7 @@ impl IslandMatcher {
                         let mut scratch = island.model.new_scratch();
                         let mut data = vec![0usize; per_island_n * n];
                         let mut costs = vec![0.0f64; per_island_n];
+                        let mut round_evals = 0u64;
                         for _ in 0..interval {
                             island.model.fill_tables(&mut tables);
                             for i in 0..per_island_n {
@@ -185,6 +186,7 @@ impl IslandMatcher {
                                 costs[i] = exec_time(inst, row);
                             }
                             island.evaluations += per_island_n as u64;
+                            round_evals += per_island_n as u64;
                             island.iterations += 1;
 
                             let selection = select_elites(&costs, elite_target);
@@ -220,6 +222,15 @@ impl IslandMatcher {
                                 iter: round as u64,
                                 wall_ns: t0.elapsed().as_nanos() as u64,
                             }));
+                        }
+                        if traced && round_evals > 0 {
+                            // Merged at the barrier like the spans, so a
+                            // live metrics bridge sees island evaluations
+                            // as they complete each round.
+                            rec.record(Event::Counter {
+                                name: "island.evaluations".into(),
+                                value: round_evals,
+                            });
                         }
                     });
                 }

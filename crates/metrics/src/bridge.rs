@@ -1,0 +1,170 @@
+//! Bridge from the solver-side [`match_telemetry::Recorder`] seam into
+//! a live [`Metrics`] registry.
+//!
+//! Solvers already emit `Counter`/`Iter`/`RunEnd` events through
+//! `map_controlled`'s recorder argument; [`MetricsRecorder`] turns that
+//! stream into service-level series without the solvers knowing metrics
+//! exist. Crucially, when built over [`Metrics::null`] it reports
+//! `enabled() == false`, so solvers take exactly the same untraced code
+//! path (and draw exactly the same RNG stream) as with `NullRecorder`.
+
+use std::collections::BTreeMap;
+
+use match_telemetry::{Event, Recorder};
+
+use crate::registry::{Counter, Metrics};
+
+/// Replace characters Prometheus metric names cannot contain (solver
+/// counters use dotted names like `island.evaluations`).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// A [`Recorder`] that forwards solver telemetry into [`Metrics`]
+/// series labelled by algorithm:
+///
+/// | event | series |
+/// |---|---|
+/// | `Counter { name, value }` | `match_solver_<name>_total{algo}` `+= value` |
+/// | `Iter(..)` | `match_solver_iterations_total{algo}` `+= 1` |
+/// | `RunEnd { evaluations, .. }` | `match_solver_evaluations_total{algo}` `+= evaluations` |
+///
+/// `RunStart`/`Span`/`Pool`/`Sample` are dropped: spans can carry
+/// request-scoped names (unbounded label cardinality) and pool chunk
+/// timings belong in traces, not scrapes. Counter handles are resolved
+/// once per distinct name and cached, so the steady state is one map
+/// lookup plus one relaxed atomic add per event.
+pub struct MetricsRecorder {
+    metrics: Metrics,
+    algo: String,
+    iterations: Counter,
+    evaluations: Counter,
+    counters: BTreeMap<String, Counter>,
+}
+
+impl MetricsRecorder {
+    /// Build a recorder forwarding into `metrics`, labelling every
+    /// series with `algo`. Over [`Metrics::null`] the result is
+    /// indistinguishable from `NullRecorder` to the solver.
+    pub fn new(metrics: &Metrics, algo: &str) -> Self {
+        MetricsRecorder {
+            iterations: metrics.counter_with("match_solver_iterations_total", &[("algo", algo)]),
+            evaluations: metrics.counter_with("match_solver_evaluations_total", &[("algo", algo)]),
+            metrics: metrics.clone(),
+            algo: algo.to_string(),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    fn named_counter(&mut self, name: &str) -> &Counter {
+        if !self.counters.contains_key(name) {
+            let series = format!("match_solver_{}_total", sanitize(name));
+            let handle = self.metrics.counter_with(&series, &[("algo", &self.algo)]);
+            self.counters.insert(name.to_string(), handle);
+        }
+        &self.counters[name]
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn enabled(&self) -> bool {
+        self.metrics.enabled()
+    }
+
+    fn record(&mut self, event: Event) {
+        if !self.metrics.enabled() {
+            return;
+        }
+        match event {
+            Event::Counter { name, value } => self.named_counter(&name).add(value),
+            Event::Iter(_) => self.iterations.inc(),
+            Event::RunEnd { evaluations, .. } => self.evaluations.add(evaluations),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_telemetry::IterEvent;
+
+    fn iter_event(iter: u64) -> Event {
+        Event::Iter(IterEvent {
+            iter,
+            best: 1.0,
+            mean: 2.0,
+            gamma: None,
+            elite_size: 0,
+            wall_ns: 5,
+        })
+    }
+
+    #[test]
+    fn forwards_counters_iters_and_run_end() {
+        let metrics = Metrics::new();
+        let mut rec = MetricsRecorder::new(&metrics, "ce");
+        assert!(rec.enabled());
+        rec.record(Event::Counter {
+            name: "evaluations".into(),
+            value: 64,
+        });
+        rec.record(Event::Counter {
+            name: "island.evaluations".into(),
+            value: 8,
+        });
+        rec.record(iter_event(0));
+        rec.record(iter_event(1));
+        rec.record(Event::RunEnd {
+            best: 1.0,
+            iterations: 2,
+            evaluations: 72,
+            wall_ns: 100,
+        });
+        let snap = metrics.snapshot();
+        let get = |name: &str| {
+            snap.counters
+                .get(&crate::MetricKey::new(name, &[("algo", "ce")]))
+                .copied()
+                .unwrap_or(0)
+        };
+        assert_eq!(get("match_solver_evaluations_total"), 64 + 72);
+        assert_eq!(get("match_solver_island_evaluations_total"), 8);
+        assert_eq!(get("match_solver_iterations_total"), 2);
+    }
+
+    #[test]
+    fn null_metrics_bridge_reports_disabled() {
+        let mut rec = MetricsRecorder::new(&Metrics::null(), "ga");
+        assert!(!rec.enabled());
+        rec.record(iter_event(0));
+        // Nothing to observe; the point is enabled() == false means the
+        // solver takes the untraced path, preserving its RNG stream.
+    }
+
+    #[test]
+    fn algo_label_separates_solvers() {
+        let metrics = Metrics::new();
+        MetricsRecorder::new(&metrics, "ce").record(iter_event(0));
+        MetricsRecorder::new(&metrics, "ga").record(iter_event(0));
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.counters
+                [&crate::MetricKey::new("match_solver_iterations_total", &[("algo", "ce")])],
+            1
+        );
+        assert_eq!(
+            snap.counters
+                [&crate::MetricKey::new("match_solver_iterations_total", &[("algo", "ga")])],
+            1
+        );
+    }
+}

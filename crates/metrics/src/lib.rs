@@ -1,0 +1,58 @@
+//! `match-metrics` — live service metrics for the mapping stack.
+//!
+//! PR 1's `match-telemetry` records *per-solve* JSONL traces that are
+//! analysed after the fact; this crate is the *runtime* counterpart: a
+//! process-wide registry of named counters, gauges and log-bucketed
+//! latency histograms that `match-serve` (and anything else) can update
+//! from many threads and snapshot at any moment, cheaply enough to sit
+//! on a daemon's hot path.
+//!
+//! ## Design
+//!
+//! * **Handles, not lookups.** Call sites resolve a metric once
+//!   ([`Metrics::counter`], [`Metrics::gauge`], [`Metrics::histogram`])
+//!   behind a registry mutex, then update through the returned handle
+//!   with plain relaxed atomics — the hot path never takes a lock.
+//! * **Sharded counters and histograms.** Each counter and histogram
+//!   is split across [`SHARDS`] cache-line-padded cells; a thread picks
+//!   its shard once (round-robin thread-local) so concurrent writers
+//!   rarely contend on a cache line. Snapshots sum the shards — per
+//!   shard the histogram becomes a [`match_telemetry::Histogram`] and
+//!   shards fold together with `Histogram::merge`.
+//! * **`NullMetrics` costs one branch.** [`Metrics::null`] returns the
+//!   disabled handle; every handle it vends is empty and every update
+//!   is a single `Option` test. Uninstrumented paths pay that branch
+//!   and nothing else — gated in CI by the `BENCH_metrics.json`
+//!   overhead bench.
+//! * **Prometheus text exposition.** [`Snapshot::to_prometheus`]
+//!   renders counters as `counter`, gauges as `gauge` and histograms
+//!   as `summary` series with `quantile="0.5|0.9|0.99"` labels — the
+//!   format `curl`d off `match-serve`'s `/metrics` side port.
+//!
+//! ```
+//! use match_metrics::Metrics;
+//!
+//! let metrics = Metrics::new();
+//! let jobs = metrics.counter("jobs_total");
+//! let latency = metrics.histogram_with("solve_latency_ns", &[("algo", "greedy")]);
+//! jobs.inc();
+//! latency.record(1_250_000);
+//! let snap = metrics.snapshot();
+//! assert_eq!(snap.counter("jobs_total"), 1);
+//! assert!(snap.to_prometheus().contains("solve_latency_ns"));
+//!
+//! // The NullMetrics handle: same API, no work, one branch per call.
+//! let null = Metrics::null();
+//! null.counter("jobs_total").inc();
+//! assert_eq!(null.snapshot().counter("jobs_total"), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod prometheus;
+pub mod registry;
+
+pub use bridge::MetricsRecorder;
+pub use registry::{Counter, Gauge, LatencyHistogram, MetricKey, Metrics, Snapshot, SHARDS};

@@ -1,0 +1,604 @@
+//! The metric registry: sharded counters, gauges, latency histograms.
+//!
+//! Registration (name → handle) is the cold path and takes a mutex;
+//! every update through a returned handle is lock-free — one or two
+//! relaxed atomic RMWs on a cache-line-padded cell chosen per thread.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use match_telemetry::Histogram;
+
+/// Number of independent cells each counter and histogram is split
+/// across. Snapshots fold the shards back together; more shards means
+/// less write contention and a slightly more expensive snapshot.
+pub const SHARDS: usize = 16;
+
+/// Histogram bucket count, matching [`match_telemetry::Histogram`]:
+/// bucket 0 holds value 0, bucket `i` holds values with highest set bit
+/// `i - 1`.
+const BUCKETS: usize = 65;
+
+/// One `u64` on its own cache line, so two threads bumping adjacent
+/// shards of the same counter never ping-pong a line between cores.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// Round-robin shard assignment: each thread draws an index once from a
+/// global counter and keeps it for life. Threads spread evenly without
+/// any per-update hashing.
+fn shard_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: usize = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+    }
+    SHARD.with(|s| *s)
+}
+
+/// A metric's identity: name plus sorted label pairs.
+///
+/// `Ord` over `(name, labels)` gives snapshots and the Prometheus
+/// renderer a stable, deterministic series order for free.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, e.g. `match_serve_jobs_total`.
+    pub name: String,
+    /// Label pairs, sorted by label name at construction.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Build a key; labels are sorted so `[("a","1"),("b","2")]` and
+    /// `[("b","2"),("a","1")]` identify the same series.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+impl fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        if !self.labels.is_empty() {
+            f.write_str("{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{k}=\"{v}\"")?;
+            }
+            f.write_str("}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared core of one counter: [`SHARDS`] padded cells.
+#[derive(Default)]
+struct CounterCore {
+    shards: [PaddedU64; SHARDS],
+}
+
+impl CounterCore {
+    fn add(&self, delta: u64) {
+        self.shards[shard_index()]
+            .0
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Shared core of one latency histogram: per shard, 65 log-2 buckets
+/// plus a sum cell; a single max cell is shared (a CAS loop on max is
+/// rare enough not to matter, and keeps the exact maximum).
+struct HistCore {
+    shards: [HistShard; SHARDS],
+    max: AtomicU64,
+}
+
+struct HistShard {
+    buckets: [PaddedU64; BUCKETS],
+    sum: PaddedU64,
+}
+
+impl Default for HistShard {
+    fn default() -> Self {
+        HistShard {
+            buckets: std::array::from_fn(|_| PaddedU64::default()),
+            sum: PaddedU64::default(),
+        }
+    }
+}
+
+impl Default for HistCore {
+    fn default() -> Self {
+        HistCore {
+            shards: std::array::from_fn(|_| HistShard::default()),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Same bucketing rule as `match_telemetry::Histogram`: bucket 0 is the
+/// value 0; otherwise `65 - leading_zeros` minus one past the highest
+/// set bit.
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+impl HistCore {
+    fn record(&self, value: u64) {
+        let shard = &self.shards[shard_index()];
+        shard.buckets[bucket_of(value)]
+            .0
+            .fetch_add(1, Ordering::Relaxed);
+        // Saturating, to match `Histogram::record`'s sum semantics.
+        let _ = shard
+            .sum
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            });
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Fold the shards into one telemetry histogram. Concurrent writers
+    /// may land between bucket reads — each recorded value is counted
+    /// at most once, never corrupted, so a snapshot under load is a
+    /// consistent *recent* view rather than a point-in-time freeze.
+    fn snapshot(&self) -> Histogram {
+        let max = self.max.load(Ordering::Relaxed);
+        let mut merged = Histogram::new();
+        for shard in &self.shards {
+            let mut buckets = [0u64; BUCKETS];
+            for (dst, src) in buckets.iter_mut().zip(shard.buckets.iter()) {
+                *dst = src.0.load(Ordering::Relaxed);
+            }
+            let sum = shard.sum.0.load(Ordering::Relaxed);
+            merged.merge(&Histogram::from_parts(buckets, sum, max));
+        }
+        merged
+    }
+}
+
+/// Handle to a monotonically increasing counter. Cheap to clone; all
+/// clones update the same underlying cells. A handle from
+/// [`Metrics::null`] is empty: updates are one `Option` branch.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<CounterCore>>);
+
+impl Counter {
+    /// A disabled counter (what [`Metrics::null`] vends).
+    pub fn null() -> Self {
+        Counter(None)
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        if let Some(core) = &self.0 {
+            core.add(delta);
+        }
+    }
+
+    /// Current total across all shards (0 for a null handle).
+    pub fn value(&self) -> u64 {
+        self.0.as_ref().map_or(0, |core| core.value())
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Counter").field(&self.value()).finish()
+    }
+}
+
+/// Handle to a signed gauge (queue depth, in-flight requests). Gauges
+/// see far less traffic than counters, so a single atomic suffices.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A disabled gauge.
+    pub fn null() -> Self {
+        Gauge(None)
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Add a signed delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a null handle).
+    pub fn value(&self) -> i64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Gauge").field(&self.value()).finish()
+    }
+}
+
+/// Handle to a log-bucketed latency histogram (power-of-two buckets, so
+/// quantiles carry at most 2× relative error — plenty for p50/p99
+/// dashboards).
+#[derive(Clone, Default)]
+pub struct LatencyHistogram(Option<Arc<HistCore>>);
+
+impl LatencyHistogram {
+    /// A disabled histogram.
+    pub fn null() -> Self {
+        LatencyHistogram(None)
+    }
+
+    /// Record one observation (typically nanoseconds).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(core) = &self.0 {
+            core.record(value);
+        }
+    }
+
+    /// Fold the shards into a [`match_telemetry::Histogram`] for
+    /// quantile queries (empty for a null handle).
+    pub fn snapshot(&self) -> Histogram {
+        self.0
+            .as_ref()
+            .map_or_else(Histogram::new, |c| c.snapshot())
+    }
+}
+
+impl fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("LatencyHistogram")
+            .field(&self.snapshot().count())
+            .finish()
+    }
+}
+
+/// The registry proper: three name→core maps behind mutexes. Only
+/// registration touches these; updates go through the handles.
+#[derive(Default)]
+struct Registry {
+    counters: Mutex<BTreeMap<MetricKey, Arc<CounterCore>>>,
+    gauges: Mutex<BTreeMap<MetricKey, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<MetricKey, Arc<HistCore>>>,
+}
+
+/// The top-level metrics handle: clone-able, thread-safe, and either
+/// live ([`Metrics::new`]) or the no-op **NullMetrics**
+/// ([`Metrics::null`]) whose every operation is a single branch.
+#[derive(Clone, Default)]
+pub struct Metrics(Option<Arc<Registry>>);
+
+impl Metrics {
+    /// A live registry.
+    pub fn new() -> Self {
+        Metrics(Some(Arc::new(Registry::default())))
+    }
+
+    /// The NullMetrics handle: vends disabled sub-handles, snapshots
+    /// empty. Instrumented code runs unchanged at one branch per call.
+    pub fn null() -> Self {
+        Metrics(None)
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Resolve (registering on first use) an unlabelled counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Resolve (registering on first use) a labelled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match &self.0 {
+            None => Counter::null(),
+            Some(reg) => {
+                let key = MetricKey::new(name, labels);
+                let mut map = reg.counters.lock().expect("metrics registry poisoned");
+                Counter(Some(Arc::clone(map.entry(key).or_default())))
+            }
+        }
+    }
+
+    /// Resolve (registering on first use) an unlabelled gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Resolve (registering on first use) a labelled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match &self.0 {
+            None => Gauge::null(),
+            Some(reg) => {
+                let key = MetricKey::new(name, labels);
+                let mut map = reg.gauges.lock().expect("metrics registry poisoned");
+                Gauge(Some(Arc::clone(map.entry(key).or_default())))
+            }
+        }
+    }
+
+    /// Resolve (registering on first use) an unlabelled histogram.
+    pub fn histogram(&self, name: &str) -> LatencyHistogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Resolve (registering on first use) a labelled histogram.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> LatencyHistogram {
+        match &self.0 {
+            None => LatencyHistogram::null(),
+            Some(reg) => {
+                let key = MetricKey::new(name, labels);
+                let mut map = reg.histograms.lock().expect("metrics registry poisoned");
+                LatencyHistogram(Some(Arc::clone(map.entry(key).or_default())))
+            }
+        }
+    }
+
+    /// A point-ish-in-time view of every registered series. Writers may
+    /// run concurrently; each metric's own invariants (counter totals
+    /// never over- or under-count a completed `add`) hold regardless.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        if let Some(reg) = &self.0 {
+            for (key, core) in reg
+                .counters
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+            {
+                snap.counters.insert(key.clone(), core.value());
+            }
+            for (key, cell) in reg.gauges.lock().expect("metrics registry poisoned").iter() {
+                snap.gauges
+                    .insert(key.clone(), cell.load(Ordering::Relaxed));
+            }
+            for (key, core) in reg
+                .histograms
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+            {
+                snap.histograms.insert(key.clone(), core.snapshot());
+            }
+        }
+        snap
+    }
+}
+
+impl fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Metrics")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+/// A frozen copy of every registered series, decoupled from the live
+/// registry: cheap to ship across threads, mergeable across processes
+/// or shards, renderable as Prometheus text.
+#[derive(Debug, Default, Clone)]
+pub struct Snapshot {
+    /// Counter totals by series.
+    pub counters: BTreeMap<MetricKey, u64>,
+    /// Gauge values by series.
+    pub gauges: BTreeMap<MetricKey, i64>,
+    /// Histograms by series.
+    pub histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+impl Snapshot {
+    /// Counter total for an unlabelled series (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .get(&MetricKey::new(name, &[]))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Gauge value for an unlabelled series (0 if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .get(&MetricKey::new(name, &[]))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Histogram for an unlabelled series, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(&MetricKey::new(name, &[]))
+    }
+
+    /// Fold another snapshot in: counters add, gauges add (deltas from
+    /// disjoint sources), histograms merge.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (key, value) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += value;
+        }
+        for (key, value) in &other.gauges {
+            *self.gauges.entry(key.clone()).or_insert(0) += value;
+        }
+        for (key, hist) in &other.histograms {
+            self.histograms.entry(key.clone()).or_default().merge(hist);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip() {
+        let m = Metrics::new();
+        let c = m.counter("jobs");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        // Same name resolves to the same cells.
+        let again = m.counter("jobs");
+        again.inc();
+        assert_eq!(c.value(), 6);
+        assert_eq!(m.snapshot().counter("jobs"), 6);
+    }
+
+    #[test]
+    fn labelled_series_are_distinct_and_order_insensitive() {
+        let m = Metrics::new();
+        m.counter_with("req", &[("op", "solve")]).add(3);
+        m.counter_with("req", &[("op", "stats")]).add(2);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters[&MetricKey::new("req", &[("op", "solve")])], 3);
+        assert_eq!(snap.counters[&MetricKey::new("req", &[("op", "stats")])], 2);
+        // Label order does not create a new series.
+        let a = MetricKey::new("x", &[("a", "1"), ("b", "2")]);
+        let b = MetricKey::new("x", &[("b", "2"), ("a", "1")]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gauge_up_down_set() {
+        let m = Metrics::new();
+        let g = m.gauge("depth");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.value(), 1);
+        g.set(42);
+        assert_eq!(m.snapshot().gauge("depth"), 42);
+        g.add(-50);
+        assert_eq!(g.value(), -8);
+    }
+
+    #[test]
+    fn histogram_snapshot_quantiles() {
+        let m = Metrics::new();
+        let h = m.histogram("lat");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1000);
+        assert_eq!(snap.sum(), (1..=1000u64).sum::<u64>());
+        assert_eq!(snap.max(), 1000);
+        // Log-2 buckets: quantile answers are within 2x of exact.
+        let p50 = snap.quantile(0.5);
+        assert!((250..=1000).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn null_metrics_is_inert() {
+        let m = Metrics::null();
+        assert!(!m.enabled());
+        let c = m.counter("jobs");
+        let g = m.gauge("depth");
+        let h = m.histogram("lat");
+        c.add(100);
+        g.set(7);
+        h.record(123);
+        assert_eq!(c.value(), 0);
+        assert_eq!(g.value(), 0);
+        assert_eq!(h.snapshot().count(), 0);
+        let snap = m.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_merges_histograms() {
+        let a = Metrics::new();
+        a.counter("jobs").add(3);
+        a.histogram("lat").record(10);
+        let b = Metrics::new();
+        b.counter("jobs").add(4);
+        b.counter("only_b").inc();
+        b.histogram("lat").record(1000);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counter("jobs"), 7);
+        assert_eq!(snap.counter("only_b"), 1);
+        let h = snap.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn bucket_rule_matches_telemetry_histogram() {
+        // Record the same values through the sharded core and a plain
+        // telemetry histogram; snapshots must agree exactly.
+        let m = Metrics::new();
+        let h = m.histogram("x");
+        let mut reference = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(v);
+            reference.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), reference.count());
+        assert_eq!(snap.sum(), reference.sum());
+        assert_eq!(snap.max(), reference.max());
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), reference.quantile(q), "q={q}");
+        }
+    }
+}

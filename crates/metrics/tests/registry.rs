@@ -1,0 +1,213 @@
+//! Concurrency and accuracy tests for the metrics registry (ISSUE 6
+//! satellite): multi-threaded counter exactness, histogram percentile
+//! accuracy against exact quantiles, and snapshot-during-write safety.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use match_metrics::Metrics;
+
+/// N threads x M increments must sum exactly — sharding may spread the
+/// writes but must never lose or double-count one.
+#[test]
+fn multithreaded_counter_sums_exactly() {
+    const THREADS: usize = 8;
+    const INCREMENTS: u64 = 50_000;
+    let metrics = Metrics::new();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let counter = metrics.counter("hits");
+            thread::spawn(move || {
+                for _ in 0..INCREMENTS {
+                    counter.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(metrics.counter("hits").value(), THREADS as u64 * INCREMENTS);
+    assert_eq!(
+        metrics.snapshot().counter("hits"),
+        THREADS as u64 * INCREMENTS
+    );
+}
+
+/// Labelled series written from many threads stay independent and exact.
+#[test]
+fn multithreaded_labelled_counters_stay_separate() {
+    const THREADS: usize = 6;
+    const INCREMENTS: u64 = 10_000;
+    let metrics = Metrics::new();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let op = if t % 2 == 0 { "solve" } else { "stats" };
+            let counter = metrics.counter_with("requests", &[("op", op)]);
+            thread::spawn(move || {
+                for _ in 0..INCREMENTS {
+                    counter.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = metrics.snapshot();
+    let get = |op: &str| {
+        snap.counters
+            .get(&match_metrics::MetricKey::new("requests", &[("op", op)]))
+            .copied()
+            .unwrap_or(0)
+    };
+    assert_eq!(get("solve"), 3 * INCREMENTS);
+    assert_eq!(get("stats"), 3 * INCREMENTS);
+}
+
+/// Exact quantile of a sorted sample set (nearest-rank definition, the
+/// same "first index where cumulative count reaches ceil(q*n)" rule the
+/// histogram uses over its buckets).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil().max(1.0) as usize).min(sorted.len());
+    sorted[rank - 1]
+}
+
+/// Log-2 buckets promise at most one power of two of error: the
+/// reported quantile is >= the exact one (bucket upper bound) and < 2x
+/// (next power of two), clamped to the true max.
+#[test]
+fn histogram_percentiles_track_exact_quantiles() {
+    // Three shapes: uniform, heavily skewed, and bimodal.
+    let distributions: Vec<(&str, Vec<u64>)> = vec![
+        ("uniform", (1..=10_000u64).collect()),
+        (
+            "skewed",
+            (0..10_000u64).map(|i| (i % 100) * (i % 100) + 1).collect(),
+        ),
+        (
+            "bimodal",
+            (0..10_000u64)
+                .map(|i| if i % 10 == 0 { 1_000_000 } else { 500 })
+                .collect(),
+        ),
+    ];
+    for (name, values) in distributions {
+        let metrics = Metrics::new();
+        let hist = metrics.histogram("lat");
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), values.len() as u64, "{name}: count");
+        assert_eq!(snap.max(), *sorted.last().unwrap(), "{name}: max");
+        for q in [0.5, 0.9, 0.99] {
+            let exact = exact_quantile(&sorted, q);
+            let approx = snap.quantile(q);
+            assert!(
+                approx >= exact,
+                "{name}: q{q} reported {approx} below exact {exact}"
+            );
+            assert!(
+                approx < (exact + 1).saturating_mul(2),
+                "{name}: q{q} reported {approx}, more than 2x exact {exact}"
+            );
+        }
+        assert_eq!(snap.quantile(1.0), snap.max(), "{name}: p100 is max");
+    }
+}
+
+/// Snapshots taken while writers are mid-flight must always be
+/// internally coherent: monotone totals, count never exceeding what has
+/// been handed to `record`, quantiles within the recorded range.
+#[test]
+fn snapshot_during_write_is_safe_and_monotone() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 40_000;
+    let metrics = Metrics::new();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let counter = metrics.counter("ops");
+            let gauge = metrics.gauge("in_flight");
+            let hist = metrics.histogram("lat");
+            thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    gauge.inc();
+                    hist.record((w as u64 + 1) * 1000 + i % 997);
+                    counter.inc();
+                    gauge.dec();
+                }
+            })
+        })
+        .collect();
+
+    let reader = {
+        let metrics = metrics.clone();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let total = WRITERS as u64 * PER_WRITER;
+            let mut last_count = 0u64;
+            let mut snaps = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = metrics.snapshot();
+                let ops = snap.counter("ops");
+                assert!(ops >= last_count, "counter went backwards");
+                assert!(ops <= total, "counter overshot");
+                last_count = ops;
+                let depth = snap.gauge("in_flight");
+                assert!(
+                    (0..=WRITERS as i64).contains(&depth),
+                    "in_flight gauge {depth} outside [0, {WRITERS}]"
+                );
+                if let Some(h) = snap.histogram("lat") {
+                    assert!(h.count() <= total);
+                    let p99 = h.quantile(0.99);
+                    assert!(p99 <= h.max(), "quantile above max");
+                    if h.count() > 0 {
+                        // All recorded values are >= 1000.
+                        assert!(h.max() >= 1000);
+                    }
+                }
+                // Rendering must never panic mid-write either.
+                let _ = snap.to_prometheus();
+                snaps += 1;
+            }
+            snaps
+        })
+    };
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let snaps = reader.join().unwrap();
+    assert!(snaps > 0, "reader never snapshotted");
+
+    let final_snap = metrics.snapshot();
+    let total = WRITERS as u64 * PER_WRITER;
+    assert_eq!(final_snap.counter("ops"), total);
+    assert_eq!(final_snap.gauge("in_flight"), 0);
+    let h = final_snap.histogram("lat").unwrap();
+    assert_eq!(h.count(), total);
+}
+
+/// Cloned `Metrics` handles share one registry; `Metrics::null()`
+/// clones stay inert.
+#[test]
+fn clones_share_state() {
+    let a = Metrics::new();
+    let b = a.clone();
+    a.counter("x").inc();
+    b.counter("x").inc();
+    assert_eq!(a.snapshot().counter("x"), 2);
+
+    let n = Metrics::null();
+    let m = n.clone();
+    m.counter("x").add(5);
+    assert_eq!(n.snapshot().counter("x"), 0);
+}

@@ -73,10 +73,12 @@ impl LruCache {
     }
 
     /// Insert (or refresh) a key, evicting the least-recently-used
-    /// entry when over capacity.
-    pub fn put(&mut self, key: u64, value: CachedResult) {
+    /// entry when over capacity. Returns `true` when an entry was
+    /// evicted to make room — the signal behind the daemon's
+    /// `match_serve_cache_evictions_total` metric.
+    pub fn put(&mut self, key: u64, value: CachedResult) -> bool {
         if self.cap == 0 {
-            return;
+            return false;
         }
         self.clock += 1;
         let stamp = self.clock;
@@ -84,8 +86,10 @@ impl LruCache {
         if self.map.len() > self.cap {
             if let Some(&oldest) = self.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k) {
                 self.map.remove(&oldest);
+                return true;
             }
         }
+        false
     }
 }
 
@@ -113,11 +117,11 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut c = LruCache::new(2);
-        c.put(1, result(1));
-        c.put(2, result(2));
+        assert!(!c.put(1, result(1)));
+        assert!(!c.put(2, result(2)));
         // Touch 1 so 2 becomes the LRU entry.
         assert!(c.get(1).is_some());
-        c.put(3, result(3));
+        assert!(c.put(3, result(3)), "over capacity must report eviction");
         assert_eq!(c.len(), 2);
         assert!(c.get(1).is_some(), "recently used survives");
         assert!(c.get(2).is_none(), "LRU entry evicted");

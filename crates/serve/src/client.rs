@@ -7,7 +7,7 @@
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::protocol::{encode_request, parse_response, Request, Response};
+use crate::protocol::{encode_request_line, parse_response, Request, Response};
 
 /// A connected protocol client.
 pub struct Client {
@@ -25,9 +25,8 @@ impl Client {
 
     /// Send one request line (does not wait for the reply).
     pub fn send(&mut self, req: &Request) -> io::Result<()> {
-        let line = encode_request(req);
+        let line = encode_request_line(req);
         self.stream.write_all(line.as_bytes())?;
-        self.stream.write_all(b"\n")?;
         self.stream.flush()
     }
 
@@ -60,6 +59,11 @@ impl Client {
     /// Convenience: request service counters.
     pub fn stats(&mut self) -> io::Result<Response> {
         self.call(&Request::Stats)
+    }
+
+    /// Convenience: request a Prometheus metrics snapshot.
+    pub fn metrics(&mut self) -> io::Result<Response> {
+        self.call(&Request::Metrics)
     }
 
     /// Convenience: request graceful shutdown (expects `bye`).

@@ -40,6 +40,7 @@
 pub mod cache;
 pub mod client;
 pub mod hash;
+pub mod http;
 pub mod protocol;
 pub mod queue;
 pub mod server;
@@ -48,9 +49,10 @@ pub mod solvers;
 pub use cache::{CachedResult, LruCache};
 pub use client::Client;
 pub use hash::{instance_hash, job_key};
+pub use http::http_get;
 pub use protocol::{
-    encode_request, encode_response, parse_request, parse_response, ProtoError, Request, Response,
-    SolveRequest, SolveResponse, StatsResponse,
+    encode_request, encode_request_line, encode_response, encode_response_line, parse_request,
+    parse_response, ProtoError, Request, Response, SolveRequest, SolveResponse, StatsResponse,
 };
 pub use queue::{JobQueue, PushError};
 pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};

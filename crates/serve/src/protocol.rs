@@ -13,6 +13,7 @@
 //! {"op":"solve","id":"job-1","algo":"match","seed":7,"deadline_ms":500,
 //!  "tig":"# matchkit instance v1\n...","platform":"..."}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -26,15 +27,23 @@
 //! ## Responses
 //!
 //! ```json
-//! {"status":"ok","id":"job-1","algo":"MaTCH","seed":7,"cost":41.25,
+//! {"status":"ok","id":"job-1","trace_id":"job-1#0","algo":"MaTCH","seed":7,"cost":41.25,
 //!  "cached":false,"cancelled":false,"evaluations":20000,"iterations":100,
 //!  "queue_wait_ns":1200,"solve_ns":150000000,"mapping":[0,2,1]}
 //! {"status":"rejected","id":"job-2","error":"queue full","queue_depth":8,"queue_cap":8}
 //! {"status":"error","id":"job-3","error":"unknown algorithm `zen`"}
 //! {"status":"stats","jobs":5,"cache_hits":2,"cache_misses":3,"rejected":1,
 //!  "cancelled":0,"queue_depth":0,"queue_cap":8,"workers":4}
+//! {"status":"metrics","text":"# TYPE match_serve_jobs_total counter\n..."}
 //! {"status":"bye"}
 //! ```
+//!
+//! `trace_id` is the daemon-assigned request identity (`{id}#{seq}`):
+//! it names the `req:{trace_id}:queue_wait` / `req:{trace_id}:solve`
+//! spans in the service trace, so `matchctl report --request` can
+//! correlate one response with its trace events. The `metrics` response
+//! carries a full Prometheus text exposition snapshot — the same bytes
+//! the HTTP `/metrics` side port serves.
 //!
 //! `rejected` is the admission-control backpressure signal (the HTTP
 //! analogue would be 429): the queue was at capacity, and the payload
@@ -96,6 +105,8 @@ pub enum Request {
     Solve(SolveRequest),
     /// Report service counters.
     Stats,
+    /// Dump the live metrics registry in Prometheus text format.
+    Metrics,
     /// Begin graceful shutdown: stop admitting, drain in-flight work.
     Shutdown,
 }
@@ -105,6 +116,9 @@ pub enum Request {
 pub struct SolveResponse {
     /// Echo of the request id.
     pub id: String,
+    /// Daemon-assigned request identity (`{id}#{seq}`), the key for
+    /// correlating this solve with its spans in a service trace.
+    pub trace_id: String,
     /// The solver's display name (`Mapper::name`).
     pub algo: String,
     /// Echo of the request seed.
@@ -172,6 +186,11 @@ pub enum Response {
     },
     /// Service counters.
     Stats(StatsResponse),
+    /// A Prometheus text exposition snapshot of the live metrics.
+    Metrics {
+        /// The rendered exposition text (may be empty).
+        text: String,
+    },
     /// Acknowledgement of a shutdown request.
     Bye,
 }
@@ -226,8 +245,27 @@ pub fn encode_request(req: &Request) -> String {
             s.push('}');
         }
         Request::Stats => s.push_str("{\"op\":\"stats\"}"),
+        Request::Metrics => s.push_str("{\"op\":\"metrics\"}"),
         Request::Shutdown => s.push_str("{\"op\":\"shutdown\"}"),
     }
+    s
+}
+
+/// Encode a request as a newline-terminated wire line, ready to write
+/// to a socket as-is. Prefer this over [`encode_request`] when framing:
+/// the bare encoder's missing `\n` was an easy way to hang both peers
+/// on a read.
+pub fn encode_request_line(req: &Request) -> String {
+    let mut s = encode_request(req);
+    s.push('\n');
+    s
+}
+
+/// Encode a response as a newline-terminated wire line; the response
+/// counterpart of [`encode_request_line`].
+pub fn encode_response_line(resp: &Response) -> String {
+    let mut s = encode_response(resp);
+    s.push('\n');
     s
 }
 
@@ -238,6 +276,8 @@ pub fn encode_response(resp: &Response) -> String {
         Response::Solved(r) => {
             s.push_str("{\"status\":\"ok\",\"id\":");
             push_escaped(&mut s, &r.id);
+            s.push_str(",\"trace_id\":");
+            push_escaped(&mut s, &r.trace_id);
             s.push_str(",\"algo\":");
             push_escaped(&mut s, &r.algo);
             let _ = write!(s, ",\"seed\":{},\"cost\":", r.seed);
@@ -290,6 +330,11 @@ pub fn encode_response(resp: &Response) -> String {
                 st.queue_cap,
                 st.workers
             );
+        }
+        Response::Metrics { text } => {
+            s.push_str("{\"status\":\"metrics\",\"text\":");
+            push_escaped(&mut s, text);
+            s.push('}');
         }
         Response::Bye => s.push_str("{\"status\":\"bye\"}"),
     }
@@ -582,6 +627,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             platform: get_string(&map, "platform")?,
         })),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ProtoError::UnknownTag(other.to_string())),
     }
@@ -594,6 +640,7 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
     match status.as_str() {
         "ok" => Ok(Response::Solved(SolveResponse {
             id: get_string(&map, "id")?,
+            trace_id: get_string(&map, "trace_id")?,
             algo: get_string(&map, "algo")?,
             seed: get_u64(&map, "seed")?,
             cost: get_f64(&map, "cost")?,
@@ -624,6 +671,9 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             queue_cap: get_u64(&map, "queue_cap")?,
             workers: get_u64(&map, "workers")?,
         })),
+        "metrics" => Ok(Response::Metrics {
+            text: get_string(&map, "text")?,
+        }),
         "bye" => Ok(Response::Bye),
         other => Err(ProtoError::UnknownTag(other.to_string())),
     }
@@ -664,13 +714,45 @@ mod tests {
             platform: String::new(),
         }));
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Metrics);
         roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn line_encoders_terminate_with_exactly_one_newline() {
+        for req in [
+            Request::Stats,
+            Request::Metrics,
+            Request::Shutdown,
+            Request::Solve(SolveRequest {
+                id: "x".into(),
+                algo: "match".into(),
+                seed: 1,
+                deadline_ms: None,
+                tig: "a\nb".into(),
+                platform: "c".into(),
+            }),
+        ] {
+            let line = encode_request_line(&req);
+            assert!(line.ends_with('\n'), "missing newline: {line:?}");
+            assert_eq!(
+                line.matches('\n').count(),
+                1,
+                "embedded newline must stay escaped: {line:?}"
+            );
+            assert_eq!(line.trim_end_matches('\n'), encode_request(&req));
+            assert_eq!(parse_request(line.trim()).unwrap(), req);
+        }
+        let line = encode_response_line(&Response::Bye);
+        assert_eq!(line, "{\"status\":\"bye\"}\n");
+        assert_eq!(parse_response(line.trim()).unwrap(), Response::Bye);
     }
 
     #[test]
     fn responses_round_trip() {
         roundtrip_response(Response::Solved(SolveResponse {
             id: "job-1".into(),
+            trace_id: "job-1#0".into(),
             algo: "MaTCH".into(),
             seed: 7,
             cost: 41.25,
@@ -684,6 +766,7 @@ mod tests {
         }));
         roundtrip_response(Response::Solved(SolveResponse {
             id: "empty".into(),
+            trace_id: "empty#42".into(),
             algo: "greedy".into(),
             seed: 0,
             cost: 0.0,
@@ -714,6 +797,9 @@ mod tests {
             queue_cap: 8,
             workers: 4,
         }));
+        roundtrip_response(Response::Metrics {
+            text: "# TYPE match_serve_jobs_total counter\nmatch_serve_jobs_total 5\n".into(),
+        });
         roundtrip_response(Response::Bye);
     }
 
@@ -721,6 +807,7 @@ mod tests {
     fn non_finite_cost_round_trips() {
         let line = encode_response(&Response::Solved(SolveResponse {
             id: "inf".into(),
+            trace_id: "inf#1".into(),
             algo: "random".into(),
             seed: 1,
             cost: f64::INFINITY,
@@ -768,7 +855,7 @@ mod tests {
         assert!(parse_response("{\"status\":\"weird\"}").is_err());
         assert!(
             parse_response(
-                "{\"status\":\"ok\",\"id\":\"a\",\"algo\":\"m\",\"seed\":1,\"cost\":1,\
+                "{\"status\":\"ok\",\"id\":\"a\",\"trace_id\":\"a#0\",\"algo\":\"m\",\"seed\":1,\"cost\":1,\
                  \"cached\":false,\"cancelled\":false,\"evaluations\":1,\"iterations\":1,\
                  \"queue_wait_ns\":1,\"solve_ns\":1,\"mapping\":[1,-2]}"
             )

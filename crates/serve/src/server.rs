@@ -34,10 +34,23 @@
 //! through `match-telemetry`: a `queue_wait` and `solve` span plus one
 //! `iter` event per job (`iter` = job sequence number), `cache_hit` /
 //! `cache_miss` / `rejected` / `cancelled` counters, and a
-//! `queue_depth` gauge sample at every admission. Solver-internal
-//! events are deliberately *not* forwarded — concurrent jobs would
-//! interleave their iteration streams into noise. The resulting JSONL
-//! file summarises cleanly under `matchctl report`.
+//! `queue_depth` gauge sample at every admission, plus request-scoped
+//! `req:{trace_id}:queue_wait` / `req:{trace_id}:solve` spans keyed by
+//! the `trace_id` echoed in each solve response. Solver-internal
+//! events are deliberately *not* forwarded to the trace — concurrent
+//! jobs would interleave their iteration streams into noise. The
+//! resulting JSONL file summarises cleanly under `matchctl report`.
+//!
+//! ## Metrics
+//!
+//! Independent of tracing, every daemon carries a live `match-metrics`
+//! registry: request/job/rejection/cancellation counters, cache
+//! hit/miss/eviction counters, queue-depth and in-flight gauges, a
+//! queue-wait histogram, per-algorithm solve-latency histograms, and
+//! bridged solver counters (iterations, evaluations, `delta_swaps`, …)
+//! labelled by algorithm. Snapshots are served two ways: the JSONL
+//! `{"op":"metrics"}` command and, when [`ServeConfig::metrics_addr`]
+//! is set, an HTTP `GET /metrics` side port in Prometheus text format.
 
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -55,12 +68,15 @@ use rand::SeedableRng;
 use match_core::{MappingInstance, StopToken};
 use match_graph::io::from_text;
 use match_graph::{ResourceGraph, TaskGraph};
-use match_telemetry::{Event, IterEvent, JsonlRecorder, NullRecorder, Recorder, SpanEvent};
+use match_metrics::{Counter, Gauge, LatencyHistogram, Metrics, MetricsRecorder};
+use match_telemetry::{Event, IterEvent, JsonlRecorder, Recorder, SpanEvent};
 
 use crate::cache::{CachedResult, LruCache};
 use crate::hash::job_key;
+use crate::http;
 use crate::protocol::{
-    encode_response, parse_request, Request, Response, SolveRequest, SolveResponse, StatsResponse,
+    encode_response_line, parse_request, Request, Response, SolveRequest, SolveResponse,
+    StatsResponse,
 };
 use crate::queue::{JobQueue, PushError};
 use crate::solvers;
@@ -78,6 +94,10 @@ pub struct ServeConfig {
     pub cache_cap: usize,
     /// Optional JSONL trace file for service telemetry.
     pub trace: Option<PathBuf>,
+    /// Optional HTTP side port serving `GET /metrics` Prometheus
+    /// scrapes, e.g. `127.0.0.1:9117` (`:0` picks an ephemeral port).
+    /// The JSONL `{"op":"metrics"}` command works regardless.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +108,7 @@ impl Default for ServeConfig {
             queue_cap: 16,
             cache_cap: 256,
             trace: None,
+            metrics_addr: None,
         }
     }
 }
@@ -164,6 +185,48 @@ struct Counters {
     evaluations: AtomicU64,
 }
 
+/// Handles into the live [`Metrics`] registry, resolved once at
+/// startup so the request path never takes the registration lock.
+/// Per-algorithm latency histograms are the exception: they are keyed
+/// by request content, so workers resolve them per job (one short
+/// mutex hold against a full solve).
+struct ServeMetrics {
+    req_solve: Counter,
+    req_stats: Counter,
+    req_metrics: Counter,
+    req_shutdown: Counter,
+    jobs: Counter,
+    rejected: Counter,
+    cancelled: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    queue_depth: Gauge,
+    in_flight: Gauge,
+    queue_wait: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    fn new(metrics: &Metrics) -> Self {
+        let req = |op: &str| metrics.counter_with("match_serve_requests_total", &[("op", op)]);
+        ServeMetrics {
+            req_solve: req("solve"),
+            req_stats: req("stats"),
+            req_metrics: req("metrics"),
+            req_shutdown: req("shutdown"),
+            jobs: metrics.counter("match_serve_jobs_total"),
+            rejected: metrics.counter("match_serve_rejected_total"),
+            cancelled: metrics.counter("match_serve_cancelled_total"),
+            cache_hits: metrics.counter("match_serve_cache_hits_total"),
+            cache_misses: metrics.counter("match_serve_cache_misses_total"),
+            cache_evictions: metrics.counter("match_serve_cache_evictions_total"),
+            queue_depth: metrics.gauge("match_serve_queue_depth"),
+            in_flight: metrics.gauge("match_serve_in_flight"),
+            queue_wait: metrics.histogram("match_serve_queue_wait_ns"),
+        }
+    }
+}
+
 /// State shared by every thread in the daemon.
 struct Ctx {
     queue: JobQueue<Job>,
@@ -171,6 +234,8 @@ struct Ctx {
     counters: Counters,
     best: Mutex<f64>,
     sink: TraceSink,
+    metrics: Metrics,
+    sm: ServeMetrics,
     shutdown: AtomicBool,
     seq: AtomicU64,
     workers: usize,
@@ -227,6 +292,17 @@ impl Server {
             resources: 0,
         });
 
+        let metrics = Metrics::new();
+        let sm = ServeMetrics::new(&metrics);
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+
         let workers = config.workers.max(1);
         let ctx = Arc::new(Ctx {
             queue: JobQueue::new(config.queue_cap.max(1)),
@@ -234,9 +310,21 @@ impl Server {
             counters: Counters::default(),
             best: Mutex::new(f64::INFINITY),
             sink,
+            metrics,
+            sm,
             shutdown: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             workers,
+        });
+
+        let scrape_thread = metrics_listener.map(|listener| {
+            let metrics = ctx.metrics.clone();
+            let ctx = Arc::clone(&ctx);
+            thread::spawn(move || {
+                http::serve_scrapes(listener, metrics, move || {
+                    ctx.shutdown.load(Ordering::SeqCst)
+                })
+            })
         });
 
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
@@ -244,7 +332,10 @@ impl Server {
                 let ctx = Arc::clone(&ctx);
                 thread::spawn(move || {
                     while let Some(job) = ctx.queue.pop() {
+                        ctx.sm.queue_depth.set(ctx.queue.len() as i64);
+                        ctx.sm.in_flight.inc();
                         process_job(job, &ctx);
+                        ctx.sm.in_flight.dec();
                     }
                 })
             })
@@ -280,9 +371,11 @@ impl Server {
         Ok(ServerHandle {
             ctx,
             local_addr,
+            metrics_addr,
             started: Instant::now(),
             worker_handles,
             accept: Some(accept),
+            scrape_thread,
             conn_threads,
             conn_streams,
         })
@@ -293,9 +386,11 @@ impl Server {
 pub struct ServerHandle {
     ctx: Arc<Ctx>,
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     started: Instant,
     worker_handles: Vec<JoinHandle<()>>,
     accept: Option<JoinHandle<()>>,
+    scrape_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     conn_streams: Arc<Mutex<Vec<TcpStream>>>,
 }
@@ -304,6 +399,16 @@ impl ServerHandle {
     /// The bound address (resolves `:0` to the actual ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound HTTP `/metrics` side-port address, when configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// A clone of the daemon's live metrics handle (always enabled).
+    pub fn metrics(&self) -> Metrics {
+        self.ctx.metrics.clone()
     }
 
     /// Live counter snapshot.
@@ -355,6 +460,9 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        if let Some(scrape) = self.scrape_thread.take() {
+            let _ = scrape.join();
+        }
         let handles: Vec<_> = self
             .conn_threads
             .lock()
@@ -393,11 +501,8 @@ fn connection_loop(stream: TcpStream, ctx: &Arc<Ctx>) {
     let writer = thread::spawn(move || {
         let mut out = BufWriter::new(write_half);
         for resp in rx {
-            let line = encode_response(&resp);
-            let ok = out
-                .write_all(line.as_bytes())
-                .and_then(|()| out.write_all(b"\n"))
-                .and_then(|()| out.flush());
+            let line = encode_response_line(&resp);
+            let ok = out.write_all(line.as_bytes()).and_then(|()| out.flush());
             if ok.is_err() {
                 break;
             }
@@ -419,15 +524,26 @@ fn connection_loop(stream: TcpStream, ctx: &Arc<Ctx>) {
                 });
             }
             Ok(Request::Stats) => {
+                ctx.sm.req_stats.inc();
                 let _ = tx.send(Response::Stats(ctx.stats_snapshot()));
             }
+            Ok(Request::Metrics) => {
+                ctx.sm.req_metrics.inc();
+                let _ = tx.send(Response::Metrics {
+                    text: ctx.metrics.snapshot().to_prometheus(),
+                });
+            }
             Ok(Request::Shutdown) => {
+                ctx.sm.req_shutdown.inc();
                 let _ = tx.send(Response::Bye);
                 ctx.request_shutdown();
                 // Keep reading: later solves on this connection get a
                 // clean "shutting down" error instead of a hangup.
             }
-            Ok(Request::Solve(req)) => admit(req, ctx, &tx),
+            Ok(Request::Solve(req)) => {
+                ctx.sm.req_solve.inc();
+                admit(req, ctx, &tx)
+            }
         }
     }
     drop(tx);
@@ -480,6 +596,7 @@ fn admit(req: SolveRequest, ctx: &Ctx, tx: &mpsc::Sender<Response>) {
     };
     match ctx.queue.try_push(job) {
         Ok(depth) => {
+            ctx.sm.queue_depth.set(depth as i64);
             ctx.sink.record(Event::Sample {
                 name: "queue_depth".into(),
                 value: depth as u64,
@@ -487,6 +604,7 @@ fn admit(req: SolveRequest, ctx: &Ctx, tx: &mpsc::Sender<Response>) {
         }
         Err(PushError::Full(depth)) => {
             ctx.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            ctx.sm.rejected.inc();
             ctx.sink.record(Event::Counter {
                 name: "rejected".into(),
                 value: 1,
@@ -505,6 +623,11 @@ fn admit(req: SolveRequest, ctx: &Ctx, tx: &mpsc::Sender<Response>) {
 fn process_job(job: Job, ctx: &Ctx) {
     let queue_wait_ns = job.enqueued.elapsed().as_nanos() as u64;
     let solve_start = Instant::now();
+    let trace_id = format!("{}#{}", job.id, job.seq);
+    ctx.sm.queue_wait.record(queue_wait_ns);
+    let latency = ctx
+        .metrics
+        .histogram_with("match_serve_solve_latency_ns", &[("algo", &job.algo)]);
 
     // Cache first: a hit answers in microseconds with a byte-identical
     // mapping (every registered solver is deterministic in the seed).
@@ -513,9 +636,21 @@ fn process_job(job: Job, ctx: &Ctx) {
         let solve_ns = solve_start.elapsed().as_nanos() as u64;
         ctx.counters.jobs.fetch_add(1, Ordering::Relaxed);
         ctx.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-        record_job_events(ctx, job.seq, queue_wait_ns, solve_ns, hit.cost, "cache_hit");
+        ctx.sm.jobs.inc();
+        ctx.sm.cache_hits.inc();
+        latency.record(solve_ns);
+        record_job_events(
+            ctx,
+            &trace_id,
+            job.seq,
+            queue_wait_ns,
+            solve_ns,
+            hit.cost,
+            "cache_hit",
+        );
         let _ = job.resp.send(Response::Solved(SolveResponse {
             id: job.id,
+            trace_id,
             algo: hit.algo,
             seed: job.seed,
             cost: hit.cost,
@@ -543,8 +678,13 @@ fn process_job(job: Job, ctx: &Ctx) {
         None => StopToken::never(),
     };
     let mut rng = StdRng::seed_from_u64(job.seed);
+    // Bridge solver telemetry (iterations, evaluations, full-vs-delta
+    // counters) into the live registry. The recorder seam guarantees
+    // the RNG stream is identical with or without a listener, so cached
+    // and fresh results stay byte-identical.
+    let mut solver_metrics = MetricsRecorder::new(&ctx.metrics, &job.algo);
     let solved = catch_unwind(AssertUnwindSafe(|| {
-        mapper.map_controlled(&job.inst, &mut rng, &mut NullRecorder, &stop)
+        mapper.map_controlled(&job.inst, &mut rng, &mut solver_metrics, &stop)
     }));
     let outcome = match solved {
         Ok(outcome) => outcome,
@@ -575,8 +715,12 @@ fn process_job(job: Job, ctx: &Ctx) {
     ctx.counters
         .evaluations
         .fetch_add(outcome.evaluations, Ordering::Relaxed);
+    ctx.sm.jobs.inc();
+    ctx.sm.cache_misses.inc();
+    latency.record(solve_ns);
     if cancelled {
         ctx.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        ctx.sm.cancelled.inc();
         ctx.sink.record(Event::Counter {
             name: "cancelled".into(),
             value: 1,
@@ -584,7 +728,7 @@ fn process_job(job: Job, ctx: &Ctx) {
     } else {
         // Deadline-truncated results depend on wall-clock timing and
         // would leak nondeterminism into the cache — skip them.
-        ctx.cache.lock().expect("cache poisoned").put(
+        let evicted = ctx.cache.lock().expect("cache poisoned").put(
             job.key,
             CachedResult {
                 mapping: mapping.clone(),
@@ -592,6 +736,9 @@ fn process_job(job: Job, ctx: &Ctx) {
                 algo: mapper.name().to_string(),
             },
         );
+        if evicted {
+            ctx.sm.cache_evictions.inc();
+        }
     }
     {
         let mut best = ctx.best.lock().expect("best poisoned");
@@ -601,6 +748,7 @@ fn process_job(job: Job, ctx: &Ctx) {
     }
     record_job_events(
         ctx,
+        &trace_id,
         job.seq,
         queue_wait_ns,
         solve_ns,
@@ -609,6 +757,7 @@ fn process_job(job: Job, ctx: &Ctx) {
     );
     let _ = job.resp.send(Response::Solved(SolveResponse {
         id: job.id,
+        trace_id,
         algo: mapper.name().to_string(),
         seed: job.seed,
         cost: outcome.cost,
@@ -623,8 +772,15 @@ fn process_job(job: Job, ctx: &Ctx) {
 }
 
 /// Service-level telemetry for one completed job.
+///
+/// Aggregate spans (`queue_wait`, `solve`) feed `matchctl report`'s
+/// per-phase totals; the request-scoped `req:{trace_id}:…` twins let
+/// `matchctl report --request` pull one request's timeline back out of
+/// a shared trace file.
+#[allow(clippy::too_many_arguments)]
 fn record_job_events(
     ctx: &Ctx,
+    trace_id: &str,
     seq: u64,
     queue_wait_ns: u64,
     solve_ns: u64,
@@ -638,6 +794,16 @@ fn record_job_events(
     }));
     ctx.sink.record(Event::Span(SpanEvent {
         name: "solve".into(),
+        iter: seq,
+        wall_ns: solve_ns,
+    }));
+    ctx.sink.record(Event::Span(SpanEvent {
+        name: format!("req:{trace_id}:queue_wait").into(),
+        iter: seq,
+        wall_ns: queue_wait_ns,
+    }));
+    ctx.sink.record(Event::Span(SpanEvent {
+        name: format!("req:{trace_id}:solve").into(),
         iter: seq,
         wall_ns: solve_ns,
     }));

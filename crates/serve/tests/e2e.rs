@@ -22,6 +22,7 @@ fn start(workers: usize, queue_cap: usize, cache_cap: usize) -> ServerHandle {
         queue_cap,
         cache_cap,
         trace: None,
+        metrics_addr: None,
     })
     .expect("bind ephemeral port")
 }
@@ -293,7 +294,7 @@ fn bad_requests_get_protocol_errors_not_hangups() {
 
 #[test]
 fn malformed_jsonl_line_gets_an_error_and_keeps_the_connection() {
-    use match_serve::{encode_request, parse_response};
+    use match_serve::{encode_request_line, parse_response};
     use std::io::{BufRead, BufReader, Write};
 
     let handle = start(1, 4, 4);
@@ -318,10 +319,10 @@ fn malformed_jsonl_line_gets_an_error_and_keeps_the_connection() {
     }
 
     // The same connection must still serve a well-formed request.
-    // encode_request yields the line body; the newline is ours to send.
+    // encode_request_line is newline-terminated, ready for the wire.
     let req = solve("after-garbage", "greedy", 1, &tig, &platform);
-    let mut wire = encode_request(&req);
-    wire.push('\n');
+    let wire = encode_request_line(&req);
+    assert!(wire.ends_with('\n'), "line encoder must frame the request");
     writer.write_all(wire.as_bytes()).expect("write valid");
     line.clear();
     reader.read_line(&mut line).expect("read solve reply");
@@ -403,6 +404,182 @@ fn cache_eviction_follows_lru_order() {
     handle.shutdown().expect("shutdown");
 }
 
+/// Pull the value of an unlabelled series out of exposition text, or
+/// the sum over all label sets when the name is labelled.
+fn series_value(text: &str, name: &str) -> f64 {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| {
+            let (series, value) = l.rsplit_once(' ')?;
+            let base = series.split('{').next().unwrap_or(series);
+            (base == name && !series.contains("quantile=")).then(|| value.parse::<f64>().ok())?
+        })
+        .sum()
+}
+
+#[test]
+fn metrics_op_reports_live_series() {
+    let handle = start(2, 8, 8);
+    let (tig, platform) = instance_text(7, 21);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Two distinct solves plus one repeat: 3 jobs, 1 hit, 2 misses.
+    for (id, seed) in [("m1", 1u64), ("m2", 2), ("m3", 1)] {
+        expect_solved(
+            client
+                .call(&solve(id, "hill", seed, &tig, &platform))
+                .expect("call"),
+        );
+    }
+    // The worker marks the job not-in-flight just *after* sending the
+    // response, so poll until the gauge settles instead of racing it.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let text = loop {
+        let text = match client.metrics().expect("metrics op") {
+            Response::Metrics { text } => text,
+            other => panic!("expected Metrics, got {other:?}"),
+        };
+        if series_value(&text, "match_serve_in_flight") == 0.0 {
+            break text;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "in_flight never settled:\n{text}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+
+    assert_eq!(series_value(&text, "match_serve_jobs_total"), 3.0, "{text}");
+    assert_eq!(series_value(&text, "match_serve_cache_hits_total"), 1.0);
+    assert_eq!(series_value(&text, "match_serve_cache_misses_total"), 2.0);
+    assert!(series_value(&text, "match_serve_requests_total") >= 4.0);
+    assert_eq!(series_value(&text, "match_serve_queue_wait_ns_count"), 3.0);
+    // Per-algo latency summary: count matches jobs, p50 <= p99.
+    assert!(
+        text.contains("match_serve_solve_latency_ns{algo=\"hill\",quantile=\"0.5\"}"),
+        "{text}"
+    );
+    assert_eq!(
+        series_value(&text, "match_serve_solve_latency_ns_count"),
+        3.0
+    );
+    // Solver-side series bridged through the recorder seam.
+    assert!(
+        series_value(&text, "match_solver_evaluations_total") > 0.0,
+        "bridged solver evaluations missing:\n{text}"
+    );
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn http_side_port_serves_prometheus_scrape() {
+    let handle = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_cap: 8,
+        cache_cap: 8,
+        trace: None,
+        metrics_addr: Some("127.0.0.1:0".into()),
+    })
+    .expect("start");
+    let metrics_addr = handle.metrics_addr().expect("side port bound");
+    let (tig, platform) = instance_text(6, 22);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    expect_solved(
+        client
+            .call(&solve("h1", "greedy", 1, &tig, &platform))
+            .expect("call"),
+    );
+
+    let body = match_serve::http_get(&metrics_addr.to_string(), "/metrics").expect("scrape");
+    assert!(
+        body.contains("# TYPE match_serve_jobs_total counter"),
+        "{body}"
+    );
+    assert_eq!(series_value(&body, "match_serve_jobs_total"), 1.0);
+    assert!(body.contains("match_serve_solve_latency_ns{algo=\"greedy\",quantile=\"0.99\"}"));
+
+    // Scrapes are repeatable and consistent with the JSONL view.
+    let again = match_serve::http_get(&metrics_addr.to_string(), "/metrics").expect("rescrape");
+    assert_eq!(
+        series_value(&again, "match_serve_jobs_total"),
+        1.0,
+        "scraping must not perturb counters"
+    );
+    match client.metrics().expect("metrics op") {
+        Response::Metrics { text } => {
+            assert_eq!(
+                series_value(&text, "match_serve_jobs_total"),
+                series_value(&again, "match_serve_jobs_total")
+            );
+        }
+        other => panic!("expected Metrics, got {other:?}"),
+    }
+
+    // Unknown routes are refused without wedging the scrape thread.
+    assert!(match_serve::http_get(&metrics_addr.to_string(), "/nope").is_err());
+    let after = match_serve::http_get(&metrics_addr.to_string(), "/metrics").expect("survives");
+    assert!(!after.is_empty());
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn trace_ids_name_request_scoped_spans() {
+    use match_telemetry::{read_trace_file, Event};
+    let dir = std::env::temp_dir().join(format!(
+        "match-serve-traceid-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let trace = dir.join("serve.jsonl");
+    let handle = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_cap: 8,
+        cache_cap: 8,
+        trace: Some(trace.clone()),
+        metrics_addr: None,
+    })
+    .expect("start");
+    let (tig, platform) = instance_text(6, 23);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let r1 = expect_solved(
+        client
+            .call(&solve("alpha", "greedy", 1, &tig, &platform))
+            .expect("a"),
+    );
+    let r2 = expect_solved(
+        client
+            .call(&solve("beta", "greedy", 2, &tig, &platform))
+            .expect("b"),
+    );
+    assert!(r1.trace_id.starts_with("alpha#"), "{}", r1.trace_id);
+    assert!(r2.trace_id.starts_with("beta#"), "{}", r2.trace_id);
+    assert_ne!(r1.trace_id, r2.trace_id);
+    handle.shutdown().expect("shutdown");
+
+    // Each response's trace_id names exactly its own span pair.
+    let events = read_trace_file(&trace).expect("trace parses");
+    for tid in [&r1.trace_id, &r2.trace_id] {
+        let spans: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span(s) if s.name.starts_with(&format!("req:{tid}:")) => {
+                    Some(s.name.to_string())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spans,
+            vec![format!("req:{tid}:queue_wait"), format!("req:{tid}:solve")],
+            "request {tid} must own one queue_wait + one solve span"
+        );
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
 #[test]
 fn trace_run_summarises() {
     use match_telemetry::{read_trace_file, Event, TraceSummary};
@@ -419,6 +596,7 @@ fn trace_run_summarises() {
         queue_cap: 8,
         cache_cap: 8,
         trace: Some(trace.clone()),
+        metrics_addr: None,
     })
     .expect("start");
     let (tig, platform) = instance_text(7, 9);

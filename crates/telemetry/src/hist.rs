@@ -111,6 +111,31 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
+
+    /// Reassemble a histogram from externally-held state — the seam
+    /// `match-metrics` uses to turn one atomic shard into a snapshot
+    /// that [`merge`](Self::merge) can then aggregate across shards.
+    ///
+    /// `count` is derived from the bucket totals; `sum` and `max` are
+    /// the caller's (a `max` smaller than the top occupied bucket's
+    /// lower bound would make [`quantile`](Self::quantile) lie, so it
+    /// is clamped up to that bound).
+    pub fn from_parts(buckets: [u64; 65], sum: u64, max: u64) -> Self {
+        let count = buckets.iter().sum();
+        let top = buckets.iter().rposition(|&n| n > 0);
+        let floor = match top {
+            // Lower bound of bucket i is 2^(i-1) for i >= 1, and 0 for
+            // bucket 0 (which holds only the value 0).
+            Some(i) if i >= 1 => 1u64 << (i - 1),
+            _ => 0,
+        };
+        Histogram {
+            buckets,
+            count,
+            sum,
+            max: max.max(floor),
+        }
+    }
 }
 
 /// A linear-bucket histogram for `u64` samples in a small range
@@ -342,6 +367,63 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, combined);
+    }
+
+    #[test]
+    fn merged_percentiles_match_single_histogram() {
+        // Sharded recording (the match-metrics snapshot path): samples
+        // split across 4 shards, merged, must report the same p50/p90/
+        // p99 as recording every sample into one histogram.
+        let mut single = Histogram::new();
+        let mut shards = vec![Histogram::new(); 4];
+        // A skewed latency-like distribution spanning several decades.
+        for i in 0..4000u64 {
+            let v = (i % 97) * (i % 97) + i / 3;
+            single.record(v);
+            shards[(i % 4) as usize].record(v);
+        }
+        let mut merged = shards.remove(0);
+        for s in &shards {
+            merged.merge(s);
+        }
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                merged.quantile(q),
+                single.quantile(q),
+                "quantile {q} diverged after merge"
+            );
+        }
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.sum(), single.sum());
+        assert_eq!(merged.max(), single.max());
+    }
+
+    #[test]
+    fn from_parts_round_trips_through_recording() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 300, 1 << 20] {
+            h.record(v);
+        }
+        let rebuilt = Histogram::from_parts(
+            {
+                let mut b = [0u64; 65];
+                for v in [0u64, 1, 7, 300, 1 << 20] {
+                    b[(64 - v.leading_zeros()) as usize] += 1;
+                }
+                b
+            },
+            h.sum(),
+            h.max(),
+        );
+        assert_eq!(rebuilt, h);
+        // A stale max is clamped up to the top occupied bucket's floor
+        // so quantiles stay within the recorded range.
+        let clamped = Histogram::from_parts([0; 65], 0, 0);
+        assert_eq!(clamped.count(), 0);
+        let mut one = [0u64; 65];
+        one[21] = 1; // one sample in [2^20, 2^21)
+        let fixed = Histogram::from_parts(one, 1 << 20, 0);
+        assert!(fixed.quantile(1.0) >= 1 << 20);
     }
 
     #[test]

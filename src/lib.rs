@@ -16,6 +16,8 @@
 //!   the evaluation.
 //! * [`verify`] — the differential / metamorphic / golden-trajectory
 //!   correctness harness behind `matchctl verify`.
+//! * [`metrics`] — live service metrics: sharded atomic registries,
+//!   Prometheus text exposition, and the telemetry→metrics bridge.
 //! * [`par`], [`rngutil`], [`viz`] — supporting substrates.
 //! * [`cli`] — the `matchctl` command-line front end.
 //!
@@ -39,6 +41,7 @@ pub use match_ce as ce;
 pub use match_core as core;
 pub use match_ga as ga;
 pub use match_graph as graph;
+pub use match_metrics as metrics;
 pub use match_par as par;
 pub use match_rngutil as rngutil;
 pub use match_sim as sim;
