@@ -8,13 +8,15 @@ use match_baselines::{
 };
 use match_core::{
     analyze, bijective_lower_bound, IslandMatcher, Mapper, MappingInstance, MatchConfig, Matcher,
-    SamplerMode,
+    MultilevelConfig, SamplerMode,
 };
 use match_ga::{FastMapGa, GaConfig};
+use match_graph::gen::large::LargeFamilyConfig;
 use match_graph::gen::overset::OversetConfig;
 use match_graph::gen::paper::PaperFamilyConfig;
 use match_graph::io::{from_text, to_dot, to_text};
 use match_graph::{ResourceGraph, TaskGraph};
+use match_multilevel::MultilevelMapper;
 use match_serve::{Client, Request, Response, ServeConfig, Server, SolveRequest};
 use match_sim::{SimConfig, SimMode, Simulator};
 use match_telemetry::{read_trace_file, JsonlRecorder, NullRecorder, TraceSummary};
@@ -75,11 +77,12 @@ pub const USAGE: &str = "\
 matchctl — task mapping on heterogeneous platforms (MaTCH reproduction)
 
 USAGE:
-  matchctl gen      --size N [--family paper|overset] [--seed S]
+  matchctl gen      --size N [--family paper|overset|large] [--seed S]
                     [--out-tig FILE] [--out-platform FILE]
   matchctl info     --tig FILE --platform FILE
   matchctl solve    --tig FILE --platform FILE [--algo ALGO] [--seed S] [--out FILE]
                     [--threads N] [--sampler auto|sequential|batched]
+                    [--coarsen-target N] [--refine-passes N]
                     [--trace FILE.jsonl]
   matchctl simulate --tig FILE --platform FILE --mapping FILE
                     [--rounds N] [--blocking | --link] [--trace FILE.jsonl]
@@ -101,13 +104,17 @@ USAGE:
                     [--update-golden]
   matchctl help
 
-ALGO: match (default) | islands | polish | ga | fastmap | bisect | greedy
-      | hill | sa | random | roundrobin
+ALGO: match (default) | multilevel | islands | polish | ga | fastmap
+      | bisect | greedy | hill | sa | random | roundrobin
       (--solver is accepted as an alias for --algo; so are the solver
        names fastmap-ga for ga and hillclimb for hill; --threads and
-       --sampler apply to match and ga; submit also accepts
-       match-batched | match-sequential | ga-batched | ga-sequential
-       to pin the CE or GA generation pipeline daemon-side)
+       --sampler apply to match and ga; --threads, --coarsen-target and
+       --refine-passes apply to multilevel, which scales past n ≈ 50 by
+       coarsening to paper scale, solving with batched CE and refining
+       back up — use `gen --family large` for sparse large-n instances;
+       submit also accepts match-batched | match-sequential | ga-batched
+       | ga-sequential to pin the CE or GA generation pipeline
+       daemon-side)
 
 --trace streams per-iteration telemetry (JSONL, one event per line);
 feed the file to `matchctl report` for a convergence summary.
@@ -171,6 +178,7 @@ fn cmd_gen(args: &Args) -> Result<String, CliError> {
     let pair = match family {
         "paper" => PaperFamilyConfig::new(size).generate(&mut rng),
         "overset" => OversetConfig::new(size).generate(&mut rng),
+        "large" => LargeFamilyConfig::new(size).generate(&mut rng),
         other => return Err(CliError::BadValue("family".into(), other.into())),
     };
     let out_tig = args.get_or("out-tig", "tig.txt");
@@ -231,8 +239,10 @@ fn build_mapper(
     name: &str,
     threads: Option<usize>,
     sampler: SamplerMode,
+    multilevel: MultilevelConfig,
 ) -> Result<Box<dyn Mapper>, CliError> {
     Ok(match name {
+        "multilevel" => Box::new(MultilevelMapper::new(multilevel)),
         "match" => Box::new(Matcher::new(MatchConfig {
             threads: threads.unwrap_or_else(match_par::default_threads),
             sampler,
@@ -260,6 +270,25 @@ fn build_mapper(
             FastMapGa::new(GaConfig::paper_default()),
         )),
         other => return Err(CliError::BadValue("algo".into(), other.into())),
+    })
+}
+
+/// The `--coarsen-target/--refine-passes` pair (multilevel solver only);
+/// `--threads` is shared with the CE/GA solvers and reused here.
+fn multilevel_config(args: &Args, threads: Option<usize>) -> Result<MultilevelConfig, CliError> {
+    let defaults = MultilevelConfig::default();
+    let coarsen_target: usize = args.parse_or("coarsen-target", defaults.coarsen_target)?;
+    if coarsen_target < 2 {
+        return Err(CliError::BadValue(
+            "coarsen-target".into(),
+            coarsen_target.to_string(),
+        ));
+    }
+    Ok(MultilevelConfig {
+        coarsen_target,
+        refine_passes: args.parse_or("refine-passes", defaults.refine_passes)?,
+        threads: threads.unwrap_or(defaults.threads),
+        refine_candidates: defaults.refine_candidates,
     })
 }
 
@@ -291,7 +320,12 @@ fn cmd_solve(args: &Args) -> Result<String, CliError> {
         }
         None => None,
     };
-    let mapper = build_mapper(algo, threads, sampler_mode(args)?)?;
+    let mapper = build_mapper(
+        algo,
+        threads,
+        sampler_mode(args)?,
+        multilevel_config(args, threads)?,
+    )?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut trace_note = String::new();
     let out = match trace_path(args)? {
@@ -1040,6 +1074,63 @@ mod tests {
         .unwrap();
         assert!(s.contains("MaTCH: ET ="));
         assert!(s.contains("optimality gap"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn multilevel_solve_on_large_family_instance() {
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        let tig_s = tig.to_str().unwrap();
+        let plat_s = plat.to_str().unwrap();
+        let s = run_tokens(&[
+            "gen",
+            "--size",
+            "96",
+            "--family",
+            "large",
+            "--seed",
+            "2",
+            "--out-tig",
+            tig_s,
+            "--out-platform",
+            plat_s,
+        ])
+        .unwrap();
+        assert!(s.contains("generated large instance"), "{s}");
+        let s = run_tokens(&[
+            "solve",
+            "--tig",
+            tig_s,
+            "--platform",
+            plat_s,
+            "--algo",
+            "multilevel",
+            "--seed",
+            "5",
+            "--coarsen-target",
+            "24",
+            "--refine-passes",
+            "3",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(s.contains("multilevel: ET ="), "{s}");
+        assert!(s.contains("optimality gap"), "{s}");
+        let bad = run_tokens(&[
+            "solve",
+            "--tig",
+            tig_s,
+            "--platform",
+            plat_s,
+            "--algo",
+            "multilevel",
+            "--coarsen-target",
+            "1",
+        ]);
+        assert!(matches!(bad, Err(CliError::BadValue(_, _))));
         std::fs::remove_dir_all(dir).ok();
     }
 

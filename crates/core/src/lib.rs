@@ -31,6 +31,7 @@ pub mod islands;
 pub mod mapper;
 pub mod mapping;
 pub mod matcher;
+pub mod multilevel_config;
 pub mod problem;
 pub mod quality;
 
@@ -43,5 +44,6 @@ pub use islands::{IslandConfig, IslandMatcher};
 pub use mapper::{record_run_end, record_run_start, Mapper, MapperOutcome};
 pub use mapping::Mapping;
 pub use matcher::{MatchConfig, MatchOutcome, Matcher, SamplerMode};
+pub use multilevel_config::MultilevelConfig;
 pub use problem::MappingInstance;
 pub use quality::{analyze, bijective_lower_bound, lower_bound, MappingQuality};

@@ -1,0 +1,102 @@
+//! Knobs for the multilevel coarsen–solve–refine driver.
+//!
+//! The driver itself lives in `match-multilevel` (it needs the CE and
+//! GA engines for the coarse solve), but the configuration lives here so
+//! `matchctl` and the service registry can construct and validate it
+//! without pulling in the driver crate's solver plumbing — the same
+//! split [`MatchConfig`](crate::MatchConfig) uses for the flat solver.
+
+/// Configuration for the multilevel driver.
+///
+/// The driver coarsens the task-interaction graph by iterated heavy-edge
+/// matching until at most [`coarsen_target`](Self::coarsen_target) tasks
+/// remain, solves that paper-scale instance with an existing heuristic,
+/// then projects the mapping back level by level, running
+/// [`refine_passes`](Self::refine_passes) passes of delta-cost local
+/// refinement at each level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultilevelConfig {
+    /// Stop coarsening once the task count is at or below this. The
+    /// default (48) keeps the coarsest instance at the paper's n ≈ 50
+    /// scale, where the CE's `N = 2n²` sample budget is affordable.
+    pub coarsen_target: usize,
+    /// Local-refinement passes per uncoarsening level. Zero disables
+    /// refinement (projection only) — useful for isolating coarsening
+    /// quality, not recommended for real solves.
+    pub refine_passes: usize,
+    /// Random partner candidates proposed per task per pass; one guided
+    /// candidate (towards the heaviest neighbour's resource) is always
+    /// added on top.
+    pub refine_candidates: usize,
+    /// Worker threads for the refinement proposal fan-out. Results are
+    /// bit-identical across thread counts.
+    pub threads: usize,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig {
+            coarsen_target: 48,
+            refine_passes: 2,
+            refine_candidates: 4,
+            threads: match_par::default_threads(),
+        }
+    }
+}
+
+impl MultilevelConfig {
+    /// Panic with a descriptive message when a field is out of range.
+    pub fn validate(&self) {
+        assert!(
+            self.coarsen_target >= 2,
+            "coarsen target must be at least 2"
+        );
+        assert!(
+            self.refine_candidates >= 1,
+            "need at least one refinement candidate per task"
+        );
+        assert!(self.threads > 0, "need at least one worker thread");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_paper_scale() {
+        let c = MultilevelConfig::default();
+        c.validate();
+        assert_eq!(c.coarsen_target, 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "coarsen target must be at least 2")]
+    fn tiny_coarsen_target_is_refused() {
+        MultilevelConfig {
+            coarsen_target: 1,
+            ..MultilevelConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one worker thread")]
+    fn zero_threads_is_refused() {
+        MultilevelConfig {
+            threads: 0,
+            ..MultilevelConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one refinement candidate")]
+    fn zero_candidates_is_refused() {
+        MultilevelConfig {
+            refine_candidates: 0,
+            ..MultilevelConfig::default()
+        }
+        .validate();
+    }
+}

@@ -58,6 +58,89 @@ impl MappingInstance {
         MappingInstance::new(&pair.tig, &pair.resources)
     }
 
+    /// Assemble an instance directly from flattened parts.
+    ///
+    /// The multilevel driver builds coarse levels with this constructor:
+    /// a coarse platform's link costs are derived from the parent
+    /// level's already-routed matrix, so going back through
+    /// [`ResourceGraph`](match_graph::ResourceGraph) (which re-runs the
+    /// all-pairs shortest-path closure) would be both wasted work and
+    /// wrong — the coarse matrix is not a metric closure of any graph.
+    ///
+    /// `edges` are canonical undirected interactions `(u, v, volume)`
+    /// with `u != v`; parallel entries must already be collapsed.
+    /// Panics on malformed input (out-of-range endpoints, non-positive
+    /// weights where the graph layer would reject them, or a link
+    /// matrix that is not `n_resources²` row-major).
+    pub fn from_parts(
+        task_comp: Vec<f64>,
+        edges: &[(u32, u32, f64)],
+        proc_cost: Vec<f64>,
+        link_cost: Vec<f64>,
+    ) -> Self {
+        let n = task_comp.len();
+        let n_r = proc_cost.len();
+        assert!(n > 0, "need at least one task");
+        assert!(n_r > 0, "need at least one resource");
+        assert_eq!(
+            link_cost.len(),
+            n_r * n_r,
+            "link matrix must be n_resources x n_resources row-major"
+        );
+        assert!(
+            task_comp.iter().all(|&w| w.is_finite() && w > 0.0),
+            "task computation weights must be finite and positive"
+        );
+        assert!(
+            proc_cost.iter().all(|&w| w.is_finite() && w > 0.0),
+            "resource processing costs must be finite and positive"
+        );
+        assert!(
+            link_cost.iter().all(|&c| !c.is_nan() && c >= 0.0),
+            "link costs must be non-negative"
+        );
+        let mut degree = vec![0u32; n];
+        for &(u, v, w) in edges {
+            assert!(
+                (u as usize) < n && (v as usize) < n && u != v,
+                "interaction endpoints must be distinct in-range tasks"
+            );
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "interaction volumes must be finite and non-negative"
+            );
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut adj_offsets = Vec::with_capacity(n + 1);
+        adj_offsets.push(0u32);
+        for t in 0..n {
+            adj_offsets.push(adj_offsets[t] + degree[t]);
+        }
+        let total = adj_offsets[n] as usize;
+        let mut cursor: Vec<u32> = adj_offsets[..n].to_vec();
+        let mut adj_targets = vec![0u32; total];
+        let mut adj_volumes = vec![0.0f64; total];
+        for &(u, v, w) in edges {
+            let cu = cursor[u as usize] as usize;
+            adj_targets[cu] = v;
+            adj_volumes[cu] = w;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            adj_targets[cv] = u;
+            adj_volumes[cv] = w;
+            cursor[v as usize] += 1;
+        }
+        MappingInstance {
+            task_comp,
+            adj_offsets,
+            adj_targets,
+            adj_volumes,
+            proc_cost,
+            link_cost,
+        }
+    }
+
     /// Number of tasks `|V_t|`.
     pub fn n_tasks(&self) -> usize {
         self.task_comp.len()
@@ -159,6 +242,57 @@ mod tests {
         let b = MappingInstance::new(&pair.tig, &pair.resources);
         assert_eq!(a, b);
         assert_eq!(a.n_tasks(), 12);
+    }
+
+    #[test]
+    fn from_parts_matches_graph_flattening() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pair = InstanceGenerator::paper_family(10).generate(&mut rng);
+        let via_graphs = MappingInstance::from_pair(&pair);
+        let edges: Vec<(u32, u32, f64)> = pair
+            .tig
+            .graph()
+            .edges()
+            .map(|(u, v, w)| (u as u32, v as u32, w))
+            .collect();
+        let rebuilt = MappingInstance::from_parts(
+            (0..pair.tig.len())
+                .map(|t| pair.tig.computation(t))
+                .collect(),
+            &edges,
+            (0..pair.resources.len())
+                .map(|s| pair.resources.processing_cost(s))
+                .collect(),
+            pair.resources.link_cost_matrix().to_vec(),
+        );
+        assert_eq!(rebuilt.n_tasks(), via_graphs.n_tasks());
+        assert_eq!(rebuilt.n_resources(), via_graphs.n_resources());
+        for t in 0..rebuilt.n_tasks() {
+            assert_eq!(rebuilt.computation(t), via_graphs.computation(t));
+            let mut a: Vec<_> = rebuilt.interactions(t).collect();
+            let mut b: Vec<_> = via_graphs.interactions(t).collect();
+            a.sort_by_key(|x| x.0);
+            b.sort_by_key(|x| x.0);
+            assert_eq!(a, b, "task {t} adjacency differs");
+        }
+        for s in 0..rebuilt.n_resources() {
+            assert_eq!(rebuilt.processing_cost(s), via_graphs.processing_cost(s));
+            for b in 0..rebuilt.n_resources() {
+                assert_eq!(rebuilt.link_cost(s, b), via_graphs.link_cost(s, b));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "link matrix must be")]
+    fn from_parts_rejects_misshapen_link_matrix() {
+        MappingInstance::from_parts(vec![1.0, 2.0], &[], vec![1.0, 1.0], vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct in-range tasks")]
+    fn from_parts_rejects_self_loops() {
+        MappingInstance::from_parts(vec![1.0, 2.0], &[(1, 1, 5.0)], vec![1.0], vec![0.0]);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Sparse large-n instance family for the multilevel solver.
+//!
+//! The paper-family generator ([`super::paper`]) loops over all `n²/2`
+//! node pairs with a dense-region probability of 0.7 — faithful at the
+//! paper's n ≤ 50, but both too slow and too dense to be meaningful at
+//! the 10³–10⁴ tasks the multilevel driver targets (real large task
+//! graphs have bounded degree; a 0.7-dense TIG at n = 4096 would carry
+//! ~5.9M edges). This family keeps the §5.2 weight ranges but builds
+//! bounded-degree graphs in O(n):
+//!
+//! * **TIG** — a uniform random recursive tree (connectivity) plus
+//!   `tig_extra_per_node · n` random extra edges, giving average degree
+//!   ≈ `2(1 + tig_extra_per_node)`. Node weights 1–10, edge weights
+//!   50–100, as in the paper.
+//! * **Platform** — a random spanning tree plus
+//!   `platform_extra_per_node · n` extra links, closed under
+//!   shortest-path routing exactly like the sparse paper platform.
+//!   Node weights 1–5, link weights 10–20.
+//!
+//! The platform closure (all-pairs Dijkstra over a sparse graph) and
+//! its dense `n²` link matrix are the real cost at n = 4096 — roughly a
+//! second and ~134 MB — which is why the generator, not the solver, is
+//! the floor on end-to-end wall time at that scale.
+
+use crate::graph::Graph;
+use crate::resource::ResourceGraph;
+use crate::tig::TaskGraph;
+use crate::InstancePair;
+use rand::Rng;
+
+/// Configuration for the sparse large-n family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LargeFamilyConfig {
+    /// Number of tasks and of resources (`|V_t| = |V_r| = n`).
+    pub n: usize,
+    /// TIG node (computation) weight range, inclusive. Paper: 1–10.
+    pub tig_node_weights: (u32, u32),
+    /// TIG edge (communication volume) weight range, inclusive. Paper: 50–100.
+    pub tig_edge_weights: (u32, u32),
+    /// Platform node (per-unit processing cost) range, inclusive. Paper: 1–5.
+    pub res_node_weights: (u32, u32),
+    /// Platform link (per-unit communication cost) range, inclusive. Paper: 10–20.
+    pub res_edge_weights: (u32, u32),
+    /// Extra TIG edges per node on top of the spanning tree.
+    pub tig_extra_per_node: f64,
+    /// Extra platform links per node on top of the spanning tree.
+    pub platform_extra_per_node: f64,
+}
+
+impl LargeFamilyConfig {
+    /// The default sparse family at size `n`: §5.2 weight ranges,
+    /// average TIG degree ≈ 6, platform link count ≈ 1.25 n.
+    pub fn new(n: usize) -> Self {
+        LargeFamilyConfig {
+            n,
+            tig_node_weights: (1, 10),
+            tig_edge_weights: (50, 100),
+            res_node_weights: (1, 5),
+            res_edge_weights: (10, 20),
+            tig_extra_per_node: 2.0,
+            platform_extra_per_node: 0.25,
+        }
+    }
+
+    /// Generate one TIG/platform pair.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> InstancePair {
+        let tig = self.generate_tig(rng);
+        let resources = self.generate_platform(rng);
+        InstancePair { tig, resources }
+    }
+
+    /// Generate only the TIG.
+    pub fn generate_tig<R: Rng + ?Sized>(&self, rng: &mut R) -> TaskGraph {
+        let g = sparse_connected(
+            rng,
+            self.n,
+            self.tig_node_weights,
+            self.tig_edge_weights,
+            self.tig_extra_per_node,
+        );
+        TaskGraph::new(g).expect("valid TIG by construction")
+    }
+
+    /// Generate only the platform (sparse, shortest-path routed).
+    pub fn generate_platform<R: Rng + ?Sized>(&self, rng: &mut R) -> ResourceGraph {
+        let g = sparse_connected(
+            rng,
+            self.n,
+            self.res_node_weights,
+            self.res_edge_weights,
+            self.platform_extra_per_node,
+        );
+        ResourceGraph::new(g).expect("valid platform by construction")
+    }
+}
+
+/// Spanning tree plus `extra_per_node · n` random extra edges; each
+/// extra-edge attempt that lands on an existing pair or a self-loop is
+/// simply skipped, so the realised count can fall slightly short.
+fn sparse_connected<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    node_range: (u32, u32),
+    edge_range: (u32, u32),
+    extra_per_node: f64,
+) -> Graph {
+    let weights: Vec<f64> = (0..n).map(|_| draw(rng, node_range) as f64).collect();
+    let mut g = Graph::from_node_weights(weights).expect("positive weights");
+    // Uniform random recursive tree, as in the paper family.
+    for v in 1..n {
+        let u = rng.random_range(0..v);
+        let w = draw(rng, edge_range) as f64;
+        g.add_edge(u, v, w).expect("fresh edge");
+    }
+    if n < 2 {
+        return g;
+    }
+    let attempts = (extra_per_node * n as f64).round() as usize;
+    for _ in 0..attempts {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        // The weight is drawn unconditionally so the RNG stream consumed
+        // per attempt is fixed — skipping a duplicate pair must not
+        // shift every later draw.
+        let w = draw(rng, edge_range) as f64;
+        if u != v && !g.has_edge(u, v) {
+            g.add_edge(u, v, w).expect("checked fresh");
+        }
+    }
+    g
+}
+
+fn draw<R: Rng + ?Sized>(rng: &mut R, (lo, hi): (u32, u32)) -> u32 {
+    rng.random_range(lo..=hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_respect_paper_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pair = LargeFamilyConfig::new(200).generate(&mut rng);
+        for t in 0..200 {
+            let w = pair.tig.computation(t);
+            assert!((1.0..=10.0).contains(&w), "TIG node weight {w}");
+        }
+        for (_, _, w) in pair.tig.all_interactions() {
+            assert!((50.0..=100.0).contains(&w), "TIG edge weight {w}");
+        }
+        for s in 0..200 {
+            let w = pair.resources.processing_cost(s);
+            assert!((1.0..=5.0).contains(&w), "platform node weight {w}");
+        }
+        for (_, _, w) in pair.resources.graph().edges() {
+            assert!((10.0..=20.0).contains(&w), "platform edge weight {w}");
+        }
+    }
+
+    #[test]
+    fn graphs_are_sparse_and_connected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pair = LargeFamilyConfig::new(500).generate(&mut rng);
+        assert!(is_connected(pair.tig.graph()));
+        assert!(pair.resources.is_fully_connected());
+        let tig_edges = pair.tig.graph().edge_count();
+        assert!(
+            (499..=499 + 1000).contains(&tig_edges),
+            "TIG edge count {tig_edges} outside tree..tree+2n"
+        );
+        let plat_edges = pair.resources.graph().edge_count();
+        assert!(
+            (499..=499 + 125).contains(&plat_edges),
+            "platform link count {plat_edges} outside tree..tree+n/4"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = LargeFamilyConfig::new(64).generate(&mut StdRng::seed_from_u64(7));
+        let b = LargeFamilyConfig::new(64).generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a.tig, b.tig);
+        assert_eq!(a.resources, b.resources);
+    }
+
+    #[test]
+    fn single_node_instance() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pair = LargeFamilyConfig::new(1).generate(&mut rng);
+        assert_eq!(pair.tig.len(), 1);
+        assert_eq!(pair.resources.graph().edge_count(), 0);
+    }
+}

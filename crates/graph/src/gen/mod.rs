@@ -8,10 +8,12 @@
 //! topologies for tests and ablations.
 
 pub mod classic;
+pub mod large;
 pub mod overset;
 pub mod paper;
 
 pub use classic::{complete_graph, gnp_graph, grid2d_graph, ring_graph, star_graph};
+pub use large::LargeFamilyConfig;
 pub use overset::{OversetConfig, OversetDomain};
 pub use paper::PaperFamilyConfig;
 
@@ -28,6 +30,8 @@ pub enum InstanceGenerator {
     Paper(PaperFamilyConfig),
     /// Overset-grid CFD abstraction for the TIG; paper-family platform.
     Overset(OversetConfig),
+    /// Sparse bounded-degree family for n ≫ paper scale.
+    Large(LargeFamilyConfig),
 }
 
 impl InstanceGenerator {
@@ -43,11 +47,18 @@ impl InstanceGenerator {
         InstanceGenerator::Overset(OversetConfig::new(blocks))
     }
 
+    /// The sparse large-n family at size `n` (paper weight ranges,
+    /// bounded degree, O(n) generation).
+    pub fn large_family(n: usize) -> Self {
+        InstanceGenerator::Large(LargeFamilyConfig::new(n))
+    }
+
     /// Generate one instance pair.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> InstancePair {
         match self {
             InstanceGenerator::Paper(cfg) => cfg.generate(rng),
             InstanceGenerator::Overset(cfg) => cfg.generate(rng),
+            InstanceGenerator::Large(cfg) => cfg.generate(rng),
         }
     }
 }

@@ -1,0 +1,43 @@
+//! `match-multilevel` — the coarsen–solve–refine driver that takes the
+//! paper's solver past its `N = 2|V_r|²` sampling wall.
+//!
+//! MaTCH's CE sampler draws `2n²` mappings per iteration, which caps
+//! the flat solver at the paper's n ≈ 50. Following the multilevel
+//! scheme of *Shared-Memory Hierarchical Process Mapping* (Schulz &
+//! Woydt), this crate:
+//!
+//! 1. [`coarsen`]s the instance by iterated heavy-edge matching —
+//!    merging the task pairs that communicate the most, so the
+//!    communication a coarse level can no longer see is exactly the
+//!    communication any mapping of it keeps free — until at most
+//!    `coarsen_target` (default 48, paper scale) tasks remain. Square
+//!    instances coarsen the platform in lockstep along cheapest links,
+//!    keeping every level inside the paper's bijective GenPerm regime.
+//! 2. Solves the coarsest level with an existing heuristic — batched CE
+//!    or FastMap-GA via [`CoarseSolver`] — at full paper fidelity,
+//!    since the instance is back at paper scale.
+//! 3. [`project`]s the mapping down one level at a time and runs
+//!    delta-cost local refinement (parallel proposals over `match-par`,
+//!    per-task `SplitMix64` streams, sequential deterministic commit
+//!    through `apply_swap_delta`/`apply_move_delta`), bit-identical
+//!    across thread counts.
+//!
+//! The driver implements [`match_core::Mapper`] under the name
+//! `"multilevel"` and is registered in `matchctl solve` and the
+//! `match-serve` registry.
+//!
+//! [`coarsen`]: coarsen::coarsen
+//! [`project`]: project::project
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coarsen;
+pub mod driver;
+pub mod project;
+mod refine;
+
+pub use coarsen::{coarsen, coarsen_step, CoarseLevel, Hierarchy};
+pub use driver::{CoarseSolver, MultilevelMapper};
+pub use match_core::MultilevelConfig;
+pub use project::project;

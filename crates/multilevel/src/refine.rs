@@ -1,0 +1,461 @@
+//! Delta-cost local refinement: parallel proposals, sequential commit.
+//!
+//! Each pass fans the proposal phase out over `match-par` with one
+//! `SplitMix64::stream(pass_seed, t)` RNG per task, so the proposal set
+//! is a pure function of `(instance, assignment, pass_seed)` — results
+//! are bit-identical across thread counts, like the PR 3/4 samplers.
+//! Every task scores a handful of random partners plus one guided
+//! partner (whoever sits on its heaviest neighbour's resource) using a
+//! *local* Eq. 1 delta over only the affected resources, in
+//! O(degree). The commit phase is sequential and deterministic: the
+//! proposals are ranked (largest local peak reduction first, then
+//! largest total-load reduction, then ids), each surviving proposal is
+//! applied with [`apply_swap_delta`]/[`apply_move_delta`] and accepted
+//! only if the *global* makespan did not get worse — local scores are a
+//! ranking heuristic, the commit re-checks against the true Eq. 2.
+//!
+//! Square levels refine with swaps (bijectivity is preserved by
+//! construction); rectangular levels refine with single-task moves.
+
+use match_core::{apply_move_delta, apply_swap_delta, MappingInstance};
+use match_par::parallel_map;
+use match_rngutil::SplitMix64;
+use rand::RngCore;
+
+/// Outcome of one refinement pass.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PassStats {
+    /// Proposals committed (makespan-improving swaps/moves applied).
+    pub accepted: usize,
+    /// Local delta evaluations performed (the pass's work measure).
+    pub evaluations: u64,
+    /// Makespan (Eq. 2) after the pass, from the incremental loads.
+    pub best: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Proposal {
+    t: u32,
+    /// Partner task (square/swap mode) or target resource (move mode).
+    partner: u32,
+    /// Local peak reduction: `old local max − new local max`.
+    gain_max: f64,
+    /// Total load change (negative is better).
+    delta_sum: f64,
+}
+
+/// Sparse per-resource load delta; the touched set is O(degree), so a
+/// linear-scan association list beats any hash map here.
+struct DeltaMap {
+    entries: Vec<(usize, f64)>,
+}
+
+impl DeltaMap {
+    fn new() -> Self {
+        DeltaMap {
+            entries: Vec::with_capacity(8),
+        }
+    }
+
+    fn add(&mut self, r: usize, d: f64) {
+        for e in &mut self.entries {
+            if e.0 == r {
+                e.1 += d;
+                return;
+            }
+        }
+        self.entries.push((r, d));
+    }
+
+    /// `(old local max, new local max, total delta)` over the touched
+    /// resources.
+    fn gains(&self, loads: &[f64]) -> (f64, f64, f64) {
+        let mut old_max = f64::NEG_INFINITY;
+        let mut new_max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &(r, d) in &self.entries {
+            old_max = old_max.max(loads[r]);
+            new_max = new_max.max(loads[r] + d);
+            sum += d;
+        }
+        (old_max, new_max, sum)
+    }
+}
+
+/// Mirror of [`apply_move_delta`]'s arithmetic into a [`DeltaMap`],
+/// with `res(a)` supplying the neighbour's current resource (so the
+/// second half of a swap sees the first half's relocation).
+fn move_into(
+    inst: &MappingInstance,
+    t: usize,
+    from: usize,
+    to: usize,
+    res: impl Fn(usize) -> usize,
+    dm: &mut DeltaMap,
+) {
+    dm.add(from, -inst.computation(t) * inst.processing_cost(from));
+    dm.add(to, inst.computation(t) * inst.processing_cost(to));
+    for (a, c) in inst.interactions(t) {
+        let b = res(a);
+        if b != from {
+            dm.add(from, -c * inst.link_cost(from, b));
+            dm.add(b, -c * inst.link_cost(b, from));
+        }
+        if b != to {
+            dm.add(to, c * inst.link_cost(to, b));
+            dm.add(b, c * inst.link_cost(b, to));
+        }
+    }
+}
+
+fn swap_gains(
+    inst: &MappingInstance,
+    assign: &[usize],
+    loads: &[f64],
+    t: usize,
+    u: usize,
+) -> (f64, f64, f64) {
+    let (r_t, r_u) = (assign[t], assign[u]);
+    let mut dm = DeltaMap::new();
+    move_into(inst, t, r_t, r_u, |a| assign[a], &mut dm);
+    move_into(
+        inst,
+        u,
+        r_u,
+        r_t,
+        |a| if a == t { r_u } else { assign[a] },
+        &mut dm,
+    );
+    dm.gains(loads)
+}
+
+fn move_gains(
+    inst: &MappingInstance,
+    assign: &[usize],
+    loads: &[f64],
+    t: usize,
+    to: usize,
+) -> (f64, f64, f64) {
+    let mut dm = DeltaMap::new();
+    move_into(inst, t, assign[t], to, |a| assign[a], &mut dm);
+    dm.gains(loads)
+}
+
+/// The task interacting with `t` over the largest volume (smallest id
+/// on ties); `None` for isolated tasks.
+fn heaviest_neighbour(inst: &MappingInstance, t: usize) -> Option<usize> {
+    let mut best: Option<(f64, usize)> = None;
+    for (a, c) in inst.interactions(t) {
+        let better = match best {
+            None => true,
+            Some((bc, ba)) => c > bc || (c == bc && a < ba),
+        };
+        if better {
+            best = Some((c, a));
+        }
+    }
+    best.map(|(_, a)| a)
+}
+
+fn scan(loads: &[f64]) -> (f64, f64) {
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &l in loads {
+        max = max.max(l);
+        sum += l;
+    }
+    (max, sum)
+}
+
+/// Is the proposal's local score an improvement worth ranking?
+fn improves(old_max: f64, new_max: f64, sum: f64) -> bool {
+    new_max < old_max || (new_max <= old_max && sum < 0.0)
+}
+
+/// One propose-and-commit refinement pass.
+///
+/// `assign`/`loads` must be consistent on entry and are on exit. `inv`
+/// is the resource→task inverse, maintained only in square (swap) mode;
+/// pass an empty vec in move mode.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn refine_pass(
+    inst: &MappingInstance,
+    assign: &mut [usize],
+    inv: &mut [usize],
+    loads: &mut [f64],
+    square: bool,
+    pass_seed: u64,
+    candidates: usize,
+    threads: usize,
+) -> PassStats {
+    let n = inst.n_tasks();
+    let n_r = inst.n_resources();
+    let partner_range = if square { n } else { n_r };
+    let assign_ro: &[usize] = assign;
+    let loads_ro: &[f64] = loads;
+    let inv_ro: &[usize] = inv;
+
+    let results: Vec<(Option<Proposal>, u64)> = parallel_map(n, threads, |t| {
+        let mut rng = SplitMix64::stream(pass_seed, t as u64);
+        let mut evals = 0u64;
+        let mut best: Option<Proposal> = None;
+        for i in 0..candidates + 1 {
+            let partner = if i < candidates {
+                (rng.next_u64() % partner_range as u64) as usize
+            } else {
+                // Guided: chase the heaviest neighbour's resource.
+                let Some(a) = heaviest_neighbour(inst, t) else {
+                    continue;
+                };
+                let r_a = assign_ro[a];
+                if square {
+                    inv_ro[r_a]
+                } else {
+                    r_a
+                }
+            };
+            let (old_max, new_max, sum) = if square {
+                if partner == t || assign_ro[partner] == assign_ro[t] {
+                    continue;
+                }
+                evals += 1;
+                swap_gains(inst, assign_ro, loads_ro, t, partner)
+            } else {
+                if partner == assign_ro[t] {
+                    continue;
+                }
+                evals += 1;
+                move_gains(inst, assign_ro, loads_ro, t, partner)
+            };
+            if !improves(old_max, new_max, sum) {
+                continue;
+            }
+            let p = Proposal {
+                t: t as u32,
+                partner: partner as u32,
+                gain_max: old_max - new_max,
+                delta_sum: sum,
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => match p.gain_max.total_cmp(&b.gain_max) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Less => false,
+                    std::cmp::Ordering::Equal => {
+                        p.delta_sum < b.delta_sum
+                            || (p.delta_sum == b.delta_sum && p.partner < b.partner)
+                    }
+                },
+            };
+            if better {
+                best = Some(p);
+            }
+        }
+        (best, evals)
+    });
+
+    let evaluations: u64 = results.iter().map(|(_, e)| e).sum();
+    let mut props: Vec<Proposal> = results.into_iter().filter_map(|(p, _)| p).collect();
+    props.sort_by(|a, b| {
+        b.gain_max
+            .total_cmp(&a.gain_max)
+            .then(a.delta_sum.total_cmp(&b.delta_sum))
+            .then(a.t.cmp(&b.t))
+            .then(a.partner.cmp(&b.partner))
+    });
+
+    let mut touched = vec![false; n];
+    let (mut cur_max, mut cur_sum) = scan(loads);
+    let mut accepted = 0usize;
+    for p in &props {
+        let t = p.t as usize;
+        if square {
+            let u = p.partner as usize;
+            if touched[t] || touched[u] {
+                continue;
+            }
+            apply_swap_delta(inst, assign, loads, t, u);
+            let (new_max, new_sum) = scan(loads);
+            if new_max < cur_max || (new_max <= cur_max && new_sum < cur_sum) {
+                cur_max = new_max;
+                cur_sum = new_sum;
+                touched[t] = true;
+                touched[u] = true;
+                inv[assign[t]] = t;
+                inv[assign[u]] = u;
+                accepted += 1;
+            } else {
+                apply_swap_delta(inst, assign, loads, t, u);
+            }
+        } else {
+            if touched[t] {
+                continue;
+            }
+            let to = p.partner as usize;
+            let from = assign[t];
+            if from == to {
+                continue;
+            }
+            apply_move_delta(inst, assign, loads, t, to);
+            let (new_max, new_sum) = scan(loads);
+            if new_max < cur_max || (new_max <= cur_max && new_sum < cur_sum) {
+                cur_max = new_max;
+                cur_sum = new_sum;
+                touched[t] = true;
+                accepted += 1;
+            } else {
+                apply_move_delta(inst, assign, loads, t, from);
+            }
+        }
+    }
+
+    // Full Eq. 1 as the debug oracle: the incremental loads (including
+    // any revert round-trips) must track a fresh recomputation.
+    #[cfg(debug_assertions)]
+    {
+        let fresh = match_core::exec_per_resource(inst, assign);
+        for (s, (&inc, &full)) in loads.iter().zip(&fresh).enumerate() {
+            let tol = 1e-9 * full.abs().max(1.0);
+            debug_assert!(
+                (inc - full).abs() <= tol,
+                "incremental load drifted on resource {s}: {inc} vs {full}"
+            );
+        }
+    }
+
+    PassStats {
+        accepted,
+        evaluations,
+        best: cur_max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use match_core::{exec_per_resource, exec_time, Mapping};
+    use match_graph::gen::InstanceGenerator;
+    use match_rngutil::random_permutation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_inst(n: usize, seed: u64) -> MappingInstance {
+        MappingInstance::from_pair(
+            &InstanceGenerator::paper_family(n).generate(&mut StdRng::seed_from_u64(seed)),
+        )
+    }
+
+    fn run_pass(inst: &MappingInstance, threads: usize) -> (Vec<usize>, f64, usize) {
+        let n = inst.n_tasks();
+        let mut assign = random_permutation(n, &mut StdRng::seed_from_u64(77));
+        let mut inv = vec![0usize; n];
+        for (t, &s) in assign.iter().enumerate() {
+            inv[s] = t;
+        }
+        let mut loads = exec_per_resource(inst, &assign);
+        let mut accepted = 0;
+        for pass in 0..3u64 {
+            let stats = refine_pass(
+                inst,
+                &mut assign,
+                &mut inv,
+                &mut loads,
+                true,
+                1000 + pass,
+                4,
+                threads,
+            );
+            accepted += stats.accepted;
+        }
+        let cost = exec_time(inst, &assign);
+        (assign, cost, accepted)
+    }
+
+    #[test]
+    fn refinement_improves_and_stays_bijective() {
+        let inst = paper_inst(24, 21);
+        let start = exec_time(
+            &inst,
+            &random_permutation(24, &mut StdRng::seed_from_u64(77)),
+        );
+        let (assign, cost, accepted) = run_pass(&inst, 1);
+        assert!(accepted > 0, "no swap accepted on a random start");
+        assert!(
+            cost < start,
+            "refinement failed to improve {start} -> {cost}"
+        );
+        Mapping::new(assign).validate(&inst).expect("bijective");
+    }
+
+    #[test]
+    fn passes_are_bit_identical_across_thread_counts() {
+        let inst = paper_inst(32, 22);
+        let (a1, c1, _) = run_pass(&inst, 1);
+        let (a2, c2, _) = run_pass(&inst, 2);
+        let (a8, c8, _) = run_pass(&inst, 8);
+        assert_eq!(a1, a2);
+        assert_eq!(a1, a8);
+        assert_eq!(c1.to_bits(), c2.to_bits());
+        assert_eq!(c1.to_bits(), c8.to_bits());
+    }
+
+    #[test]
+    fn move_mode_refines_rectangular_instances() {
+        let pair = InstanceGenerator::paper_family(18).generate(&mut StdRng::seed_from_u64(23));
+        let plat = InstanceGenerator::paper_family(5)
+            .generate(&mut StdRng::seed_from_u64(24))
+            .resources;
+        let inst = MappingInstance::new(&pair.tig, &plat);
+        let mut assign: Vec<usize> = (0..18).map(|t| t % 5).collect();
+        let mut loads = exec_per_resource(&inst, &assign);
+        let start = scan(&loads).0;
+        let mut inv = Vec::new();
+        let mut accepted = 0;
+        for pass in 0..4u64 {
+            let stats = refine_pass(
+                &inst,
+                &mut assign,
+                &mut inv,
+                &mut loads,
+                false,
+                500 + pass,
+                4,
+                2,
+            );
+            accepted += stats.accepted;
+        }
+        assert!(accepted > 0);
+        assert!(exec_time(&inst, &assign) < start);
+        Mapping::new(assign).validate(&inst).expect("valid mapping");
+    }
+
+    #[test]
+    fn accepted_swaps_never_worsen_makespan() {
+        let inst = paper_inst(20, 25);
+        let mut assign = random_permutation(20, &mut StdRng::seed_from_u64(26));
+        let mut inv = vec![0usize; 20];
+        for (t, &s) in assign.iter().enumerate() {
+            inv[s] = t;
+        }
+        let mut loads = exec_per_resource(&inst, &assign);
+        let mut prev = scan(&loads).0;
+        for pass in 0..5u64 {
+            refine_pass(
+                &inst,
+                &mut assign,
+                &mut inv,
+                &mut loads,
+                true,
+                9000 + pass,
+                3,
+                1,
+            );
+            let cur = exec_time(&inst, &assign);
+            assert!(
+                cur <= prev + 1e-9 * prev,
+                "pass {pass} worsened makespan {prev} -> {cur}"
+            );
+            prev = cur;
+        }
+    }
+}

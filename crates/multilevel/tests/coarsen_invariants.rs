@@ -1,0 +1,149 @@
+//! Proptest coverage for the coarsening invariants the multilevel
+//! driver's correctness rests on:
+//!
+//! * conservation — total interaction volume (counting absorbed
+//!   intra-pair weight) and total computation mass survive every level;
+//! * validity — projecting any coarse mapping yields a valid fine
+//!   mapping (a bijection on square instances, in-range many-to-one on
+//!   rectangular ones);
+//! * exactness — with task-only coarsening the coarse Eq. 1 cost of a
+//!   mapping equals the fine cost of its projection (children
+//!   co-located with their parent), up to float summation order.
+
+use match_core::{exec_time, Mapping, MappingInstance};
+use match_graph::gen::InstanceGenerator;
+use match_multilevel::{coarsen, coarsen_step, Hierarchy};
+use match_rngutil::random_permutation;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn paper_inst(n: usize, seed: u64) -> MappingInstance {
+    MappingInstance::from_pair(
+        &InstanceGenerator::paper_family(n).generate(&mut StdRng::seed_from_u64(seed)),
+    )
+}
+
+fn rect_inst(tasks: usize, resources: usize, seed: u64) -> MappingInstance {
+    let tig = InstanceGenerator::paper_family(tasks)
+        .generate(&mut StdRng::seed_from_u64(seed))
+        .tig;
+    let plat = InstanceGenerator::paper_family(resources)
+        .generate(&mut StdRng::seed_from_u64(seed ^ 0x9e37_79b9))
+        .resources;
+    MappingInstance::new(&tig, &plat)
+}
+
+fn total_edge_weight(inst: &MappingInstance) -> f64 {
+    let mut sum = 0.0;
+    for t in 0..inst.n_tasks() {
+        for (a, c) in inst.interactions(t) {
+            if a > t {
+                sum += c;
+            }
+        }
+    }
+    sum
+}
+
+fn total_comp(inst: &MappingInstance) -> f64 {
+    (0..inst.n_tasks()).map(|t| inst.computation(t)).sum()
+}
+
+fn check_conservation(fine: &MappingInstance, hier: &Hierarchy) {
+    let mut parent_w = total_edge_weight(fine);
+    let mut parent_c = total_comp(fine);
+    for (i, level) in hier.levels.iter().enumerate() {
+        let w = total_edge_weight(&level.inst);
+        let c = total_comp(&level.inst);
+        let w_tol = 1e-9 * parent_w.max(1.0);
+        let c_tol = 1e-9 * parent_c.max(1.0);
+        assert!(
+            (w + level.absorbed_comm - parent_w).abs() <= w_tol,
+            "level {i}: edge mass {w} + absorbed {} != parent {parent_w}",
+            level.absorbed_comm
+        );
+        assert!(
+            (c - parent_c).abs() <= c_tol,
+            "level {i}: computation mass {c} != parent {parent_c}"
+        );
+        parent_w = w;
+        parent_c = c;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn square_mass_is_conserved_at_every_level(
+        n in 4usize..48,
+        seed in 0u64..10_000,
+        target in 2usize..16,
+    ) {
+        let inst = paper_inst(n, seed);
+        let hier = coarsen(&inst, target);
+        check_conservation(&inst, &hier);
+        for level in &hier.levels {
+            prop_assert!(level.inst.is_square());
+        }
+    }
+
+    #[test]
+    fn rectangular_mass_is_conserved_at_every_level(
+        tasks in 11usize..40,
+        resources in 2usize..10,
+        seed in 0u64..10_000,
+    ) {
+        let inst = rect_inst(tasks, resources, seed);
+        let hier = coarsen(&inst, 6);
+        check_conservation(&inst, &hier);
+        for level in &hier.levels {
+            prop_assert_eq!(level.inst.n_resources(), resources);
+        }
+    }
+
+    #[test]
+    fn any_coarse_permutation_projects_to_a_valid_fine_mapping(
+        n in 4usize..48,
+        seed in 0u64..10_000,
+        map_seed in 0u64..10_000,
+        target in 2usize..16,
+    ) {
+        let inst = paper_inst(n, seed);
+        let hier = coarsen(&inst, target);
+        let mut rng = StdRng::seed_from_u64(map_seed);
+        let mut assign = random_permutation(hier.coarsest(&inst).n_tasks(), &mut rng);
+        for (i, level) in hier.levels.iter().enumerate().rev() {
+            let parent = if i == 0 { &inst } else { &hier.levels[i - 1].inst };
+            assign = match_multilevel::project(level, parent.n_resources(), &assign);
+            prop_assert!(Mapping::new(assign.clone()).validate(parent).is_ok(),
+                "projection to level {i} is not a valid bijection");
+        }
+    }
+
+    #[test]
+    fn rect_projection_is_valid_and_cost_exact(
+        tasks in 11usize..40,
+        resources in 2usize..10,
+        seed in 0u64..10_000,
+        map_seed in 0u64..10_000,
+    ) {
+        let inst = rect_inst(tasks, resources, seed);
+        let level = coarsen_step(&inst, false);
+        let mut rng = StdRng::seed_from_u64(map_seed);
+        let coarse: Vec<usize> = (0..level.inst.n_tasks())
+            .map(|_| rand::Rng::random_range(&mut rng, 0..resources))
+            .collect();
+        let fine = match_multilevel::project(&level, resources, &coarse);
+        prop_assert!(Mapping::new(fine.clone()).validate(&inst).is_ok());
+        // Restricted to merged pairs (children inherit the parent's
+        // resource), the coarse Eq. 1 cost is the fine cost.
+        let c_cost = exec_time(&level.inst, &coarse);
+        let f_cost = exec_time(&inst, &fine);
+        prop_assert!(
+            (c_cost - f_cost).abs() <= 1e-9 * c_cost.abs().max(1.0),
+            "coarse cost {} != projected fine cost {}", c_cost, f_cost
+        );
+    }
+}

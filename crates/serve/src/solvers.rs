@@ -9,8 +9,9 @@ use match_baselines::{
     FastMapScheme, GreedyMapper, HillClimber, PolishedMatcher, RandomSearch, RecursiveBisection,
     RoundRobin, SimulatedAnnealing,
 };
-use match_core::{IslandMatcher, Mapper, MatchConfig, Matcher, SamplerMode};
+use match_core::{IslandMatcher, Mapper, MatchConfig, Matcher, MultilevelConfig, SamplerMode};
 use match_ga::{FastMapGa, GaConfig};
+use match_multilevel::MultilevelMapper;
 
 /// All names the registry accepts, for error messages and docs.
 pub const KNOWN_ALGOS: &[&str] = &[
@@ -18,6 +19,7 @@ pub const KNOWN_ALGOS: &[&str] = &[
     "match-batched",
     "match-sequential",
     "islands",
+    "multilevel",
     "ga",
     "fastmap-ga",
     "ga-batched",
@@ -48,6 +50,10 @@ pub fn build_mapper(name: &str) -> Option<Box<dyn Mapper>> {
             ..MatchConfig::default()
         })),
         "islands" => Box::new(IslandMatcher::default()),
+        // Coarsen–solve–refine driver: handles square and rectangular
+        // instances alike, so it is deliberately absent from
+        // `requires_square`.
+        "multilevel" => Box::new(MultilevelMapper::new(MultilevelConfig::default())),
         // Plain `ga` keeps the library default (sequential, historical
         // stream); the suffixed names pin one generation pipeline for
         // A/B runs through the daemon, like the match-* pair above.
@@ -111,6 +117,12 @@ mod tests {
     #[test]
     fn unknown_name_is_refused() {
         assert!(build_mapper("quantum-annealer").is_none());
+    }
+
+    #[test]
+    fn multilevel_is_registered_and_not_square_only() {
+        assert!(build_mapper("multilevel").is_some());
+        assert!(!requires_square("multilevel"));
     }
 
     #[test]

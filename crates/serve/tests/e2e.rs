@@ -472,6 +472,45 @@ fn metrics_op_reports_live_series() {
 }
 
 #[test]
+fn multilevel_solve_carries_trace_id_and_labelled_series() {
+    // n = 64 exceeds the default coarsen target (48), so the daemon-side
+    // multilevel solver actually coarsens, solves coarse, and refines.
+    let handle = start(2, 8, 8);
+    let (tig, platform) = instance_text(64, 31);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let r = expect_solved(
+        client
+            .call(&solve("ml", "multilevel", 5, &tig, &platform))
+            .expect("call"),
+    );
+    assert_eq!(r.algo, "multilevel");
+    assert!(r.trace_id.starts_with("ml#"), "{}", r.trace_id);
+    assert!(r.cost.is_finite() && r.cost > 0.0);
+    assert!(r.evaluations > 0);
+    // Square instance: the mapping must be a permutation.
+    let mut seen = [false; 64];
+    for &s in &r.mapping {
+        assert!(!seen[s], "duplicate resource {s} in multilevel mapping");
+        seen[s] = true;
+    }
+    // The telemetry→metrics bridge labels solver series by algo.
+    let text = match client.metrics().expect("metrics op") {
+        Response::Metrics { text } => text,
+        other => panic!("expected Metrics, got {other:?}"),
+    };
+    assert!(
+        text.contains("match_solver_iterations_total{algo=\"multilevel\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("match_solver_evaluations_total{algo=\"multilevel\"}"),
+        "{text}"
+    );
+    assert!(series_value(&text, "match_solver_evaluations_total") > 0.0);
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
 fn http_side_port_serves_prometheus_scrape() {
     let handle = Server::start(ServeConfig {
         addr: "127.0.0.1:0".into(),

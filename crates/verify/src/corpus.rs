@@ -7,6 +7,7 @@
 //! across corpus edits.
 
 use match_core::MappingInstance;
+use match_graph::gen::large::LargeFamilyConfig;
 use match_graph::gen::overset::OversetConfig;
 use match_graph::gen::paper::PaperFamilyConfig;
 use match_graph::{ResourceGraph, TaskGraph};
@@ -109,6 +110,39 @@ fn rectangular(master: u64, tasks: usize, resources: usize) -> CorpusInstance {
     }
 }
 
+/// A sparse large-n square instance from the multilevel solver's
+/// instance family.
+fn large_square(master: u64, n: usize) -> CorpusInstance {
+    let name = format!("large-n{n}");
+    let gen_seed = derive_seed_str(master, &format!("gen/{name}"));
+    let mut rng = StdRng::seed_from_u64(gen_seed);
+    let pair = LargeFamilyConfig::new(n).generate(&mut rng);
+    CorpusInstance {
+        seed: derive_seed_str(master, &format!("run/{name}")),
+        name,
+        tig: pair.tig,
+        resources: pair.resources,
+    }
+}
+
+/// The large-n companion corpus for the multilevel differential checks.
+///
+/// Kept out of [`build`] deliberately: every existing CE/GA sweep runs
+/// over the instances `build` returns, and a flat `2n²`-sample solve at
+/// n = 4096 would never finish. Only the checks that understand these
+/// sizes (the multilevel pillar) should iterate this set.
+pub fn build_large(kind: CorpusKind, master_seed: u64) -> Vec<CorpusInstance> {
+    let m = master_seed;
+    match kind {
+        CorpusKind::Smoke => vec![large_square(m, 128)],
+        CorpusKind::Ci | CorpusKind::Full => vec![
+            large_square(m, 512),
+            large_square(m, 2048),
+            large_square(m, 4096),
+        ],
+    }
+}
+
 /// Build the corpus for `kind` under `master_seed`.
 pub fn build(kind: CorpusKind, master_seed: u64) -> Vec<CorpusInstance> {
     let m = master_seed;
@@ -169,6 +203,23 @@ mod tests {
             let inst = c.instance();
             assert_eq!(inst.n_tasks(), c.tig.len());
             assert_eq!(inst.n_resources(), c.resources.len());
+        }
+    }
+
+    #[test]
+    fn large_corpus_is_square_sparse_and_seed_stable() {
+        let a = build_large(CorpusKind::Smoke, 2005);
+        let b = build_large(CorpusKind::Smoke, 2005);
+        assert_eq!(a.len(), 1);
+        assert!(a[0].is_square());
+        assert_eq!(a[0].tig, b[0].tig);
+        assert_eq!(a[0].seed, b[0].seed);
+        // (The CI set's 512/2048/4096 entries are exercised by the
+        // release-built `matchctl verify --corpus ci` run, not here —
+        // their platform closure alone is too slow for a debug test.)
+        // These names must never leak into the regular corpus.
+        for c in build(CorpusKind::Full, 2005) {
+            assert!(!c.name.starts_with("large-"), "{}", c.name);
         }
     }
 

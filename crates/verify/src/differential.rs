@@ -10,10 +10,11 @@ use crate::oracle::{approx_eq, evaluator_disagreement, oracle_makespan, ORACLE_R
 use crate::report::{CheckResult, Pillar};
 use crate::shrink::shrink_instance;
 use match_core::{
-    exec_time, IslandConfig, IslandMatcher, MapperOutcome, MappingInstance, MatchConfig, Matcher,
-    SamplerMode,
+    exec_time, IslandConfig, IslandMatcher, Mapper, MapperOutcome, MappingInstance, MatchConfig,
+    Matcher, MultilevelConfig, SamplerMode,
 };
 use match_ga::{FastMapGa, GaConfig};
+use match_multilevel::MultilevelMapper;
 use match_rngutil::rng_from;
 
 /// Thread counts every thread-invariance check sweeps.
@@ -384,15 +385,106 @@ pub fn run_checks(corpus: &[CorpusInstance]) -> Vec<CheckResult> {
         },
     ));
 
+    // The multilevel driver on the regular (paper-scale) corpus: the
+    // hierarchy degenerates to a single solve-and-refine at these sizes,
+    // which is exactly the regime where its cost must match the flat
+    // solvers' invariants.
+    checks.push(determinism_check(
+        corpus,
+        "multilevel/determinism-and-invariants-square",
+        true,
+        |c| {
+            c.is_square().then(|| {
+                let mut rng = rng_from(c.seed, 12);
+                MultilevelMapper::new(ml_config(1)).map(&c.instance(), &mut rng)
+            })
+        },
+    ));
+    checks.push(determinism_check(
+        corpus,
+        "multilevel/determinism-and-invariants-rect",
+        false,
+        |c| {
+            (!c.is_square()).then(|| {
+                let mut rng = rng_from(c.seed, 13);
+                MultilevelMapper::new(ml_config(1)).map(&c.instance(), &mut rng)
+            })
+        },
+    ));
+
     checks.push(many_to_one(corpus));
     checks.push(oracle_agreement(corpus));
     checks
 }
 
+/// Multilevel configuration the differential checks share. The coarsen
+/// target is lowered from the paper-scale default (48) to keep the
+/// coarse CE solve affordable on the debug builds the smoke corpus runs
+/// under; correctness checks do not care where coarsening stops.
+fn ml_config(threads: usize) -> MultilevelConfig {
+    MultilevelConfig {
+        coarsen_target: 24,
+        threads,
+        ..MultilevelConfig::default()
+    }
+}
+
+/// Satellite: the multilevel driver at the scales the flat `2n²`
+/// samplers cannot reach. Each instance is built once (the dense link
+/// matrix at n = 4096 is ~134 MB — rebuilding it per thread count would
+/// dominate the check), then swept for [`THREAD_SWEEP`] bit-identity
+/// and the shared validity/recomputation/oracle invariants.
+pub fn run_large_checks(large: &[CorpusInstance]) -> Vec<CheckResult> {
+    let mut failures = Vec::new();
+    for c in large {
+        let inst = c.instance();
+        let run = |threads: usize| {
+            let mut rng = rng_from(c.seed, 14);
+            MultilevelMapper::new(ml_config(threads)).map(&inst, &mut rng)
+        };
+        let baseline = run(THREAD_SWEEP[0]);
+        if let Err(e) = check_outcome_invariants(&inst, &baseline, c.is_square()) {
+            failures.push(format!("{}: {e}", c.name));
+            continue;
+        }
+        let want = RunSignature::of(&baseline);
+        for &threads in &THREAD_SWEEP[1..] {
+            let got = RunSignature::of(&run(threads));
+            if got != want {
+                failures.push(format!(
+                    "{}: threads={threads} diverged from threads={} \
+                     (cost {} vs {}, iterations {} vs {})",
+                    c.name,
+                    THREAD_SWEEP[0],
+                    f64::from_bits(got.cost_bits),
+                    f64::from_bits(want.cost_bits),
+                    got.iterations,
+                    want.iterations,
+                ));
+            }
+        }
+    }
+    vec![summarize(
+        Pillar::Differential,
+        "multilevel/large-n-thread-invariance",
+        failures,
+    )]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::corpus::{build, CorpusKind};
+    use crate::corpus::{build, build_large, CorpusKind};
+
+    #[test]
+    fn smoke_large_corpus_passes_multilevel_checks() {
+        let large = build_large(CorpusKind::Smoke, 2005);
+        let checks = run_large_checks(&large);
+        assert_eq!(checks.len(), 1);
+        for check in &checks {
+            assert!(check.passed, "{}: {}", check.name, check.details);
+        }
+    }
 
     #[test]
     fn smoke_corpus_passes_every_differential_check() {

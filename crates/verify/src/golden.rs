@@ -11,9 +11,10 @@
 //! stream change, regenerate with `matchctl verify --update-golden`.
 
 use crate::report::{CheckResult, Pillar};
-use match_core::{MappingInstance, MatchConfig, Matcher, SamplerMode};
+use match_core::{Mapper, MappingInstance, MatchConfig, Matcher, MultilevelConfig, SamplerMode};
 use match_ga::{FastMapGa, GaConfig};
 use match_graph::gen::paper::PaperFamilyConfig;
+use match_multilevel::MultilevelMapper;
 use match_rngutil::{derive_seed_str, rng_from};
 use match_telemetry::MemoryRecorder;
 use rand::rngs::StdRng;
@@ -36,6 +37,7 @@ enum Solver {
     CeBatched,
     GaSequential,
     GaBatched,
+    Multilevel,
 }
 
 /// One committed fixture: a named solver configuration on the shared
@@ -47,9 +49,10 @@ pub struct FixtureSpec {
     solver: Solver,
 }
 
-/// The four committed fixtures: both sampling pipelines of both
-/// iterative solver families.
-pub const FIXTURES: [FixtureSpec; 4] = [
+/// The five committed fixtures: both sampling pipelines of both
+/// iterative solver families, plus the multilevel driver's
+/// coarsen–solve–refine trajectory.
+pub const FIXTURES: [FixtureSpec; 5] = [
     FixtureSpec {
         name: "ce-sequential-n8",
         solver: Solver::CeSequential,
@@ -65,6 +68,10 @@ pub const FIXTURES: [FixtureSpec; 4] = [
     FixtureSpec {
         name: "ga-batched-n8",
         solver: Solver::GaBatched,
+    },
+    FixtureSpec {
+        name: "multilevel-n8",
+        solver: Solver::Multilevel,
     },
 ];
 
@@ -126,6 +133,19 @@ pub fn capture(spec: &FixtureSpec) -> Trajectory {
             };
             let out = FastMapGa::new(cfg).run_traced(&inst, &mut rng, &mut recorder);
             (out.outcome.mapping.as_slice().to_vec(), out.outcome.cost)
+        }
+        Solver::Multilevel => {
+            // A low coarsen target forces a real hierarchy even at the
+            // fixture's n = 8, so the trajectory pins the coarsening
+            // and per-level refinement streams, not just the coarse CE.
+            let cfg = MultilevelConfig {
+                coarsen_target: 4,
+                refine_passes: 2,
+                refine_candidates: 4,
+                threads: 2,
+            };
+            let out = MultilevelMapper::new(cfg).map_traced(&inst, &mut rng, &mut recorder);
+            (out.mapping.as_slice().to_vec(), out.cost)
         }
     };
     Trajectory {

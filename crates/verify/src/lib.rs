@@ -34,7 +34,9 @@ pub mod oracle;
 pub mod report;
 pub mod shrink;
 
-pub use corpus::{build as build_corpus, CorpusInstance, CorpusKind};
+pub use corpus::{
+    build as build_corpus, build_large as build_large_corpus, CorpusInstance, CorpusKind,
+};
 pub use oracle::{approx_eq, evaluator_disagreement, oracle_loads, oracle_makespan};
 pub use report::{CheckResult, Pillar, VerifyReport};
 pub use shrink::{shrink_instance, Witness};
@@ -74,6 +76,10 @@ pub fn run_verify(opts: &VerifyOptions) -> VerifyReport {
     let corpus = corpus::build(opts.corpus, opts.master_seed);
     let mut checks = Vec::new();
     checks.extend(differential::run_checks(&corpus));
+    // The large-n companion corpus only feeds the multilevel checks;
+    // the flat-solver sweeps above would never finish at these sizes.
+    let large = corpus::build_large(opts.corpus, opts.master_seed);
+    checks.extend(differential::run_large_checks(&large));
     checks.extend(metamorphic::run_checks(&corpus));
 
     let dir = opts

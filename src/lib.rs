@@ -8,6 +8,8 @@
 //!   synthetic generators (including the paper's workload family).
 //! * [`core`] — the MaTCH cross-entropy mapping heuristic itself.
 //! * [`ga`] — the FastMap-GA baseline the paper compares against.
+//! * [`multilevel`] — the coarsen–solve–refine driver that scales the
+//!   heuristics past the paper's n ≈ 50 sampling wall.
 //! * [`baselines`] — further comparators (greedy, hill climbing, SA, …).
 //! * [`ce`] — the generic cross-entropy optimisation framework.
 //! * [`sim`] — a discrete-event simulator executing mapped applications
@@ -42,6 +44,7 @@ pub use match_core as core;
 pub use match_ga as ga;
 pub use match_graph as graph;
 pub use match_metrics as metrics;
+pub use match_multilevel as multilevel;
 pub use match_par as par;
 pub use match_rngutil as rngutil;
 pub use match_sim as sim;
@@ -60,5 +63,6 @@ pub mod prelude {
     };
     pub use match_ga::{FastMapGa, GaConfig};
     pub use match_graph::{gen::InstanceGenerator, Graph, ResourceGraph, TaskGraph};
+    pub use match_multilevel::{CoarseSolver, MultilevelConfig, MultilevelMapper};
     pub use match_sim::{SimConfig, Simulator};
 }
