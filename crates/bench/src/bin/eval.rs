@@ -1,0 +1,274 @@
+//! Batched-evaluation backend benchmark: the `match-eval` lane kernel
+//! against the reference scalar kernel on one core, emitted as a
+//! machine-readable JSON artefact (`BENCH_eval.json`) for CI trend
+//! tracking.
+//!
+//! ```text
+//! cargo run -p match-bench --release --bin eval
+//! cargo run -p match-bench --release --bin eval -- --quick
+//! cargo run -p match-bench --release --bin eval -- --json out.json --check
+//! ```
+//!
+//! The workload is the CE sampler's natural shape: a `2n²`-row batch of
+//! assignments pushed through [`InstancePlan::eval_batch`]. The gate
+//! (`--check`) requires the Simd backend to deliver ≥ 4× the Scalar
+//! backend's single-core throughput at n = 64 — the largest size whose
+//! `c_{s,b}` link matrix is still L1-resident (`n²·8` bytes = 32 KiB
+//! exactly). Below n = 64 the batch is too small to amortise the SoA
+//! transpose and parity is allowed; above it the link matrix outgrows
+//! L1 and both kernels taper towards the memory wall (n = 128 and 256
+//! are still reported, ungated, so the taper stays visible in the
+//! trend history). On hosts
+//! without a usable vector unit (no AVX2 on x86-64, non-aarch64
+//! exotics) the 4× gate degrades to a warn-pass parity check instead
+//! of failing CI — the lane kernel is portable Rust, but the 4× claim
+//! is about what the gather unit buys on real silicon.
+//!
+//! Scalar and Simd passes are interleaved and each side keeps its
+//! fastest pass, so a host-load drift during the run inflates both
+//! sides rather than skewing the ratio; a gated size that still misses
+//! the floor is re-timed (minimums merged) before the gate fails.
+//!
+//! Every timed batch is also checked for bit-equality between the two
+//! backends; a fast-but-wrong kernel fails regardless of flags.
+
+use match_core::{build_plan, EvalBackend, MappingInstance};
+use match_eval::{InstancePlan, LANES};
+use match_graph::gen::InstanceGenerator;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// The floor the `--check` gate enforces on SIMD-capable hosts.
+const SPEEDUP_FLOOR: f64 = 4.0;
+
+/// Sizes below this only need parity (the SoA transpose overhead is
+/// not amortised by tiny batches).
+const GATE_MIN_N: usize = 64;
+
+/// The gate only binds while the row-major `c_{s,b}` link matrix
+/// (`n² · 8` bytes) fits a 32 KiB L1d — the regime the 4× claim is
+/// about. Past it (n = 128 is already 131 KiB) the gathers stream from
+/// L2 and the ratio measures the host's cache hierarchy, not the
+/// kernel; those sizes are still reported so the taper stays visible
+/// in the trend history.
+const GATE_L1_BYTES: usize = 32 * 1024;
+
+/// Re-time a gated size this many times (merging per-side minimums)
+/// before declaring the floor missed, pausing between attempts so a
+/// multi-second host-load spike cannot blanket every attempt; absorbs
+/// noise without weakening the floor itself.
+const GATE_ATTEMPTS: usize = 6;
+
+/// Pause between gate re-timing attempts.
+const GATE_RETRY_PAUSE_MS: u64 = 1500;
+
+/// Keep a single timing pass affordable at the largest sizes.
+const MAX_ROWS: usize = 8192;
+
+/// Whether this host has a vector unit the lane kernel's claims are
+/// calibrated against. The kernel itself is portable; this only picks
+/// which gate applies.
+fn simd_capable() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        true // NEON is baseline on aarch64
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+struct Timing {
+    ms_per_pass: f64,
+    rows_per_s: f64,
+}
+
+impl Timing {
+    fn from_best(best_secs: f64, n_rows: usize) -> Timing {
+        Timing {
+            ms_per_pass: best_secs * 1e3,
+            rows_per_s: n_rows as f64 / best_secs,
+        }
+    }
+}
+
+/// Time interleaved full-batch passes of both backends, keeping each
+/// side's *fastest* pass: on shared single-core hosts the mean is
+/// dominated by scheduler noise, while the minimum approaches the true
+/// cost of the work, and alternating the backends means a load drift
+/// mid-run inflates both sides instead of skewing the ratio. Runs at
+/// least 5 pass pairs and keeps going until ~800 ms of wall clock has
+/// accumulated. Returns `(scalar, simd)` best pass times in seconds
+/// plus each backend's cost vector for the bit-equality check.
+fn time_pair(plan: &InstancePlan, rows: &[usize], n_rows: usize) -> (f64, f64, Vec<f64>, Vec<f64>) {
+    let mut scratch = plan.new_scratch();
+    let mut costs_scalar = vec![0.0; n_rows];
+    let mut costs_simd = vec![0.0; n_rows];
+    // Warm-up passes size the scratch and fault the tables in.
+    plan.eval_batch(
+        EvalBackend::Scalar,
+        rows,
+        &mut costs_scalar,
+        None,
+        &mut scratch,
+    );
+    plan.eval_batch(EvalBackend::Simd, rows, &mut costs_simd, None, &mut scratch);
+    let mut passes = 0u32;
+    let mut best_scalar = f64::INFINITY;
+    let mut best_simd = f64::INFINITY;
+    let start = Instant::now();
+    while passes < 5 || start.elapsed().as_secs_f64() < 0.8 {
+        let t0 = Instant::now();
+        plan.eval_batch(
+            EvalBackend::Scalar,
+            rows,
+            &mut costs_scalar,
+            None,
+            &mut scratch,
+        );
+        best_scalar = best_scalar.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        plan.eval_batch(EvalBackend::Simd, rows, &mut costs_simd, None, &mut scratch);
+        best_simd = best_simd.min(t0.elapsed().as_secs_f64());
+        passes += 1;
+    }
+    (best_scalar, best_simd, costs_scalar, costs_simd)
+}
+
+fn fmt_timing(t: &Timing) -> String {
+    format!(
+        "{{\"ms_per_pass\":{:.3},\"rows_per_s\":{:.0}}}",
+        t.ms_per_pass, t.rows_per_s
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_eval.json".to_string());
+
+    // Quick mode still crosses the n ≥ 64 line so the 4× gate is
+    // exercised on every CI run.
+    let sizes: &[usize] = if quick {
+        &[16, 64, 128]
+    } else {
+        &[16, 48, 64, 128, 256]
+    };
+    let capable = simd_capable();
+    eprintln!(
+        "[eval] single-core batched evaluation, LANES={LANES}, simd_capable={capable}{}",
+        if capable {
+            ""
+        } else {
+            " (4x gate degraded to parity)"
+        }
+    );
+
+    let mut entries = Vec::new();
+    let mut failures = Vec::new();
+    for &n in sizes {
+        let generator = InstanceGenerator::paper_family(n);
+        let inst = MappingInstance::from_pair(&generator.generate(&mut StdRng::seed_from_u64(40)));
+        let plan = build_plan(&inst);
+        // The CE sampler's batch: 2n² assignment rows. Random
+        // assignments (not permutations) keep the generator trivial;
+        // the kernel's work per row is identical either way.
+        let n_rows = (2 * n * n).min(MAX_ROWS);
+        let mut rng = match_rngutil::SplitMix64::new(0x5eed ^ n as u64);
+        let rows: Vec<usize> = (0..n_rows * n).map(|_| rng.random_range(0..n)).collect();
+
+        let (mut best_scalar, mut best_simd, costs_scalar, costs_simd) =
+            time_pair(&plan, &rows, n_rows);
+        let gated = capable && n >= GATE_MIN_N && n * n * 8 <= GATE_L1_BYTES;
+        if check && gated {
+            // Re-time on a miss, merging each side's minimum: a
+            // one-off host-load spike cannot fail the gate, while a
+            // genuinely slow kernel still can.
+            let mut attempts = 1;
+            while best_scalar / best_simd < SPEEDUP_FLOOR && attempts < GATE_ATTEMPTS {
+                std::thread::sleep(std::time::Duration::from_millis(GATE_RETRY_PAUSE_MS));
+                let (s2, v2, _, _) = time_pair(&plan, &rows, n_rows);
+                best_scalar = best_scalar.min(s2);
+                best_simd = best_simd.min(v2);
+                attempts += 1;
+            }
+        }
+        let scalar = Timing::from_best(best_scalar, n_rows);
+        let simd = Timing::from_best(best_simd, n_rows);
+        let speedup = best_scalar / best_simd;
+        eprintln!(
+            "[eval] n={n:>4} rows={n_rows:>5}  scalar {:>8.3} ms/pass ({:>10.0} rows/s) | \
+             simd {:>8.3} ms/pass ({:>10.0} rows/s)  ({speedup:.2}x)",
+            scalar.ms_per_pass, scalar.rows_per_s, simd.ms_per_pass, simd.rows_per_s,
+        );
+
+        // Correctness before speed: the timed batches must agree
+        // bit-for-bit, flags or not.
+        if let Some(r) = (0..n_rows).find(|&r| costs_scalar[r].to_bits() != costs_simd[r].to_bits())
+        {
+            failures.push(format!(
+                "n={n}: backends disagree on row {r} ({} vs {})",
+                costs_scalar[r], costs_simd[r]
+            ));
+        }
+        if check {
+            if gated && speedup < SPEEDUP_FLOOR {
+                failures.push(format!(
+                    "n={n}: simd speedup {speedup:.2}x below the {SPEEDUP_FLOOR}x floor"
+                ));
+            }
+            if !gated && speedup < 0.75 {
+                // Parity / ungated regime: simd must at least not
+                // regress badly.
+                failures.push(format!(
+                    "n={n}: simd speedup {speedup:.2}x is a regression even for the parity regime"
+                ));
+            }
+        }
+        entries.push(format!(
+            "    {{\"n\":{n},\"rows\":{n_rows},\"scalar\":{},\"simd\":{},\
+             \"speedup\":{speedup:.3},\"gated\":{gated}}}",
+            fmt_timing(&scalar),
+            fmt_timing(&simd),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"eval\",\n  \"threads\": 1,\n  \"lanes\": {LANES},\n  \
+         \"simd_capable\": {capable},\n  \"speedup_floor\": {SPEEDUP_FLOOR},\n  \
+         \"sizes\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => eprintln!("[eval] wrote {json_path}"),
+        Err(e) => {
+            eprintln!("[eval] could not write {json_path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    print!("{json}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("[eval] FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -111,6 +111,60 @@ pub trait FlatSampler: CeModel<Sample = Vec<usize>> + Sync {
     fn update_from_flat(&mut self, batch: &FlatBatch<'_>, elites: &[usize], zeta: f64);
 }
 
+/// Batch scoring of flat sample rows — the evaluation half of the fused
+/// pipeline.
+///
+/// Where [`FlatSampler`] hands the driver whole-batch *production*,
+/// `FlatEvaluator` hands it whole-chunk *scoring*: each `match-par`
+/// worker calls [`FlatEvaluator::evaluate_rows`] once per chunk, so an
+/// implementation can amortise per-call setup (a structure-of-arrays
+/// transpose, lane buffers) across many rows instead of paying it per
+/// sample. `match-core` plugs in its SIMD-style batch kernel here.
+///
+/// Determinism contract: evaluation must be a pure function of the rows
+/// — same costs for any chunking of the same batch, bit-for-bit — so
+/// the driver's outcome stays thread-count invariant.
+pub trait FlatEvaluator: Sync {
+    /// Per-worker mutable scratch (buffers reused across chunks).
+    type Scratch: Send;
+
+    /// Allocate scratch for one worker.
+    fn new_scratch(&self) -> Self::Scratch;
+
+    /// Score `costs.len()` rows stored row-major in `rows`
+    /// (`rows.len() == costs.len() × width`), writing one cost per row.
+    fn evaluate_rows(&self, rows: &[usize], costs: &mut [f64], scratch: &mut Self::Scratch);
+}
+
+/// Adapter lifting a per-row scoring closure to a [`FlatEvaluator`]
+/// (no batch-level setup, so the chunk call is just a loop). This is
+/// what [`minimize_flat`](crate::driver::minimize_flat) wraps its
+/// closure argument in.
+pub struct RowEval<F>(pub F);
+
+impl<F> FlatEvaluator for RowEval<F>
+where
+    F: Fn(&[usize]) -> f64 + Sync,
+{
+    type Scratch = ();
+
+    fn new_scratch(&self) -> Self::Scratch {}
+
+    fn evaluate_rows(&self, rows: &[usize], costs: &mut [f64], _scratch: &mut Self::Scratch) {
+        if costs.is_empty() {
+            return;
+        }
+        let width = rows.len() / costs.len();
+        debug_assert_eq!(rows.len(), costs.len() * width);
+        let mut rest = rows;
+        for cost in costs.iter_mut() {
+            let (row, tail) = rest.split_at(width);
+            rest = tail;
+            *cost = (self.0)(row);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +189,20 @@ mod tests {
     #[should_panic(expected = "whole rows")]
     fn ragged_batch_rejected() {
         FlatBatch::new(4, &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn row_eval_scores_each_row() {
+        let eval = RowEval(|row: &[usize]| row.iter().sum::<usize>() as f64);
+        let rows = [1usize, 2, 3, 4, 5, 6];
+        let mut costs = [0.0; 2];
+        eval.evaluate_rows(&rows, &mut costs, &mut ());
+        assert_eq!(costs, [6.0, 15.0]);
+    }
+
+    #[test]
+    fn row_eval_handles_empty_batch() {
+        let eval = RowEval(|_: &[usize]| 1.0);
+        eval.evaluate_rows(&[], &mut [], &mut ());
     }
 }

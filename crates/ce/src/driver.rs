@@ -11,7 +11,7 @@
 //! `match-par`); an observer hook receives the model after each update,
 //! which is how Figure 3's matrix snapshots are collected.
 
-use crate::batch::{FlatBatch, FlatSampler};
+use crate::batch::{FlatBatch, FlatEvaluator, FlatSampler, RowEval};
 use crate::model::CeModel;
 use match_telemetry::{Event, IterEvent, NullRecorder, PoolEvent, Recorder, Span, SpanEvent};
 use rand::rngs::StdRng;
@@ -475,13 +475,53 @@ pub fn minimize_flat<M, F, O>(
     rng: &mut StdRng,
     threads: usize,
     evaluate: F,
-    mut observe: O,
+    observe: O,
     recorder: &mut dyn Recorder,
     should_stop: &dyn Fn() -> bool,
 ) -> CeOutcome<Vec<usize>>
 where
     M: FlatSampler,
     F: Fn(&[usize]) -> f64 + Sync,
+    O: FnMut(usize, &M),
+{
+    minimize_flat_with(
+        model,
+        config,
+        rng,
+        threads,
+        &RowEval(evaluate),
+        observe,
+        recorder,
+        should_stop,
+    )
+}
+
+/// [`minimize_flat`] with a [`FlatEvaluator`] instead of a per-row
+/// closure: each worker samples its whole chunk of rows first, then
+/// scores the chunk in **one** `evaluate_rows` call — the hook that
+/// lets `match-core`'s SIMD-style batch kernel amortise its transpose
+/// and lane buffers across a chunk.
+///
+/// The RNG contract is unchanged from [`minimize_flat`] (one driver
+/// draw per iteration, sample `i` from `SplitMix64::stream(iter_seed,
+/// i)`), and evaluation is pure, so for a bit-exact evaluator the
+/// trajectory is identical to the per-row pipeline — and still
+/// thread-count invariant, because chunk boundaries only regroup the
+/// evaluator's batches, never reorder any per-sample computation.
+#[allow(clippy::too_many_arguments)]
+pub fn minimize_flat_with<M, E, O>(
+    model: &mut M,
+    config: &CeConfig,
+    rng: &mut StdRng,
+    threads: usize,
+    evaluator: &E,
+    mut observe: O,
+    recorder: &mut dyn Recorder,
+    should_stop: &dyn Fn() -> bool,
+) -> CeOutcome<Vec<usize>>
+where
+    M: FlatSampler,
+    E: FlatEvaluator,
     O: FnMut(usize, &M),
 {
     config.validate();
@@ -521,25 +561,31 @@ where
         let sample_ns = AtomicU64::new(0);
         let eval_ns = AtomicU64::new(0);
         let tables_ref = &tables;
-        let timings = match_par::parallel_fill_rows(
+        let timings = match_par::parallel_fill_rows_chunked(
             &mut data,
             &mut costs,
             width,
             threads,
-            || model.new_scratch(),
-            |scratch, i, row, cost| {
-                let mut srng = match_rngutil::SplitMix64::stream(iter_seed, i as u64);
-                if traced {
-                    let t0 = Instant::now();
+            || (model.new_scratch(), evaluator.new_scratch()),
+            |(scratch, eval_scratch), base, chunk_data, chunk_costs| {
+                // Draw every row of the chunk, then score the chunk in
+                // one batch call. Sample i's RNG stream depends only on
+                // its global index, and evaluation is pure, so chunk
+                // boundaries cannot show in the results.
+                let t0 = traced.then(Instant::now);
+                let mut rest: &mut [usize] = chunk_data;
+                for k in 0..chunk_costs.len() {
+                    let (row, tail) = rest.split_at_mut(width);
+                    rest = tail;
+                    let mut srng = match_rngutil::SplitMix64::stream(iter_seed, (base + k) as u64);
                     model.sample_flat(tables_ref, scratch, &mut srng, row);
-                    let t1 = Instant::now();
-                    *cost = evaluate(row);
+                }
+                let t1 = traced.then(Instant::now);
+                evaluator.evaluate_rows(chunk_data, chunk_costs, eval_scratch);
+                if let (Some(t0), Some(t1)) = (t0, t1) {
                     let t2 = Instant::now();
                     sample_ns.fetch_add((t1 - t0).as_nanos() as u64, Ordering::Relaxed);
                     eval_ns.fetch_add((t2 - t1).as_nanos() as u64, Ordering::Relaxed);
-                } else {
-                    model.sample_flat(tables_ref, scratch, &mut srng, row);
-                    *cost = evaluate(row);
                 }
             },
         );
@@ -1038,6 +1084,60 @@ mod tests {
             assert_eq!(one.best_cost, other.best_cost, "threads={threads}");
             assert_eq!(one.iterations, other.iterations, "threads={threads}");
             assert_eq!(one.telemetry, other.telemetry, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn flat_with_batch_evaluator_matches_per_row_closure() {
+        use crate::batch::FlatEvaluator;
+
+        // A chunk-level evaluator computing the same pure cost as the
+        // closure must reproduce the per-row pipeline's trajectory
+        // exactly, for every thread count.
+        struct SumDistance(Vec<usize>);
+        impl FlatEvaluator for SumDistance {
+            type Scratch = ();
+            fn new_scratch(&self) -> Self::Scratch {}
+            fn evaluate_rows(&self, rows: &[usize], costs: &mut [f64], _s: &mut Self::Scratch) {
+                let width = self.0.len();
+                for (row, cost) in rows.chunks_exact(width).zip(costs.iter_mut()) {
+                    *cost = row.iter().zip(&self.0).filter(|(a, b)| a != b).count() as f64;
+                }
+            }
+        }
+
+        let target = vec![2usize, 0, 3, 1, 4];
+        let cfg = CeConfig::with_sample_size(120);
+        let mut model = PermutationModel::uniform(target.len());
+        let per_row = minimize_flat(
+            &mut model,
+            &cfg,
+            &mut StdRng::seed_from_u64(93),
+            1,
+            |s: &[usize]| s.iter().zip(&target).filter(|(a, b)| a != b).count() as f64,
+            |_, _| {},
+            &mut NullRecorder,
+            &|| false,
+        );
+        for threads in [1, 2, 8] {
+            let mut model = PermutationModel::uniform(target.len());
+            let batched = minimize_flat_with(
+                &mut model,
+                &cfg,
+                &mut StdRng::seed_from_u64(93),
+                threads,
+                &SumDistance(target.clone()),
+                |_, _| {},
+                &mut NullRecorder,
+                &|| false,
+            );
+            assert_eq!(
+                per_row.best_sample, batched.best_sample,
+                "threads={threads}"
+            );
+            assert_eq!(per_row.best_cost, batched.best_cost, "threads={threads}");
+            assert_eq!(per_row.iterations, batched.iterations, "threads={threads}");
+            assert_eq!(per_row.telemetry, batched.telemetry, "threads={threads}");
         }
     }
 

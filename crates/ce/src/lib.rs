@@ -45,10 +45,11 @@ pub mod problems;
 pub mod rare_event;
 pub mod stochmatrix;
 
-pub use batch::{FlatBatch, FlatSampler};
+pub use batch::{FlatBatch, FlatEvaluator, FlatSampler, RowEval};
 pub use driver::{
-    minimize, minimize_controlled, minimize_flat, minimize_traced, minimize_with, select_elites,
-    CeConfig, CeOutcome, CeTelemetry, EliteSelection, IterStats, StopReason,
+    minimize, minimize_controlled, minimize_flat, minimize_flat_with, minimize_traced,
+    minimize_with, select_elites, CeConfig, CeOutcome, CeTelemetry, EliteSelection, IterStats,
+    StopReason,
 };
 pub use model::CeModel;
 pub use models::assignment::AssignmentModel;

@@ -7,8 +7,8 @@ use match_baselines::{
     RoundRobin, SimulatedAnnealing,
 };
 use match_core::{
-    analyze, bijective_lower_bound, IslandMatcher, Mapper, MappingInstance, MatchConfig, Matcher,
-    MultilevelConfig, SamplerMode,
+    analyze, bijective_lower_bound, EvalBackend, IslandMatcher, Mapper, MappingInstance,
+    MatchConfig, Matcher, MultilevelConfig, SamplerMode,
 };
 use match_ga::{FastMapGa, GaConfig};
 use match_graph::gen::large::LargeFamilyConfig;
@@ -82,6 +82,7 @@ USAGE:
   matchctl info     --tig FILE --platform FILE
   matchctl solve    --tig FILE --platform FILE [--algo ALGO] [--seed S] [--out FILE]
                     [--threads N] [--sampler auto|sequential|batched]
+                    [--backend auto|scalar|simd]
                     [--coarsen-target N] [--refine-passes N]
                     [--trace FILE.jsonl]
   matchctl simulate --tig FILE --platform FILE --mapping FILE
@@ -94,6 +95,7 @@ USAGE:
                     [--metrics-addr HOST:PORT] [--metrics-addr-file FILE]
   matchctl submit   [--addr HOST:PORT] --tig FILE --platform FILE
                     [--algo ALGO] [--seed S] [--deadline-ms MS] [--id ID]
+                    [--backend auto|scalar|simd]
   matchctl submit   [--addr HOST:PORT] --batch FILE   (lines: TIG PLATFORM
                     [ALGO [SEED [DEADLINE_MS]]])
   matchctl submit   [--addr HOST:PORT] --stats | --shutdown
@@ -107,9 +109,10 @@ USAGE:
 ALGO: match (default) | multilevel | islands | polish | ga | fastmap
       | bisect | greedy | hill | sa | random | roundrobin
       (--solver is accepted as an alias for --algo; so are the solver
-       names fastmap-ga for ga and hillclimb for hill; --threads and
-       --sampler apply to match and ga; --threads, --coarsen-target and
-       --refine-passes apply to multilevel, which scales past n ≈ 50 by
+       names fastmap-ga for ga and hillclimb for hill; --threads,
+       --sampler and --backend apply to match and ga; --threads,
+       --backend, --coarsen-target and --refine-passes apply to
+       multilevel, which scales past n ≈ 50 by
        coarsening to paper scale, solving with batched CE and refining
        back up — use `gen --family large` for sparse large-n instances;
        submit also accepts match-batched | match-sequential | ga-batched
@@ -235,10 +238,21 @@ fn sampler_mode(args: &Args) -> Result<SamplerMode, CliError> {
     })
 }
 
+/// The `--backend auto|scalar|simd` option (batched pipelines only;
+/// both kernels are bit-identical, so this is a throughput knob).
+fn backend_mode(args: &Args) -> Result<EvalBackend, CliError> {
+    match args.options.get("backend") {
+        None => Ok(EvalBackend::Auto),
+        Some(name) => EvalBackend::parse(name)
+            .ok_or_else(|| CliError::BadValue("backend".into(), name.clone())),
+    }
+}
+
 fn build_mapper(
     name: &str,
     threads: Option<usize>,
     sampler: SamplerMode,
+    backend: EvalBackend,
     multilevel: MultilevelConfig,
 ) -> Result<Box<dyn Mapper>, CliError> {
     Ok(match name {
@@ -246,6 +260,7 @@ fn build_mapper(
         "match" => Box::new(Matcher::new(MatchConfig {
             threads: threads.unwrap_or_else(match_par::default_threads),
             sampler,
+            backend,
             ..MatchConfig::default()
         })),
         "islands" => Box::new(IslandMatcher::default()),
@@ -257,6 +272,7 @@ fn build_mapper(
         "ga" | "fastmap-ga" => Box::new(FastMapGa::new(GaConfig {
             threads: threads.unwrap_or_else(match_par::default_threads),
             sampler,
+            backend,
             ..GaConfig::paper_default()
         })),
         "greedy" => Box::new(GreedyMapper),
@@ -275,7 +291,11 @@ fn build_mapper(
 
 /// The `--coarsen-target/--refine-passes` pair (multilevel solver only);
 /// `--threads` is shared with the CE/GA solvers and reused here.
-fn multilevel_config(args: &Args, threads: Option<usize>) -> Result<MultilevelConfig, CliError> {
+fn multilevel_config(
+    args: &Args,
+    threads: Option<usize>,
+    backend: EvalBackend,
+) -> Result<MultilevelConfig, CliError> {
     let defaults = MultilevelConfig::default();
     let coarsen_target: usize = args.parse_or("coarsen-target", defaults.coarsen_target)?;
     if coarsen_target < 2 {
@@ -289,6 +309,7 @@ fn multilevel_config(args: &Args, threads: Option<usize>) -> Result<MultilevelCo
         refine_passes: args.parse_or("refine-passes", defaults.refine_passes)?,
         threads: threads.unwrap_or(defaults.threads),
         refine_candidates: defaults.refine_candidates,
+        backend,
     })
 }
 
@@ -320,11 +341,13 @@ fn cmd_solve(args: &Args) -> Result<String, CliError> {
         }
         None => None,
     };
+    let backend = backend_mode(args)?;
     let mapper = build_mapper(
         algo,
         threads,
         sampler_mode(args)?,
-        multilevel_config(args, threads)?,
+        backend,
+        multilevel_config(args, threads, backend)?,
     )?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut trace_note = String::new();
@@ -617,11 +640,13 @@ fn format_response(resp: &Response) -> String {
                 .collect::<Vec<_>>()
                 .join(" ");
             format!(
-                "{}: {} ET = {:.2} units (seed {}, {} evaluations, wait {:.1}ms, solve {:.1}ms){flags}\n  mapping: {mapping}\n",
+                "{}: {} ET = {:.2} units (seed {}, backend {}, {} evaluations, wait {:.1}ms, \
+                 solve {:.1}ms){flags}\n  mapping: {mapping}\n",
                 r.id,
                 r.algo,
                 r.cost,
                 r.seed,
+                r.backend,
                 r.evaluations,
                 r.queue_wait_ns as f64 / 1e6,
                 r.solve_ns as f64 / 1e6,
@@ -667,6 +692,16 @@ fn submit_requests(args: &Args) -> Result<Vec<SolveRequest>, CliError> {
                 .map_err(|_| CliError::BadValue("deadline-ms".into(), v.clone()))?,
         ),
     };
+    // Validate client-side so a typo fails before anything is sent; the
+    // daemon re-validates at admission.
+    let backend: Option<String> = match args.options.get("backend") {
+        None => None,
+        Some(name) => {
+            EvalBackend::parse(name)
+                .ok_or_else(|| CliError::BadValue("backend".into(), name.clone()))?;
+            Some(name.clone())
+        }
+    };
     if let Some(batch) = args.options.get("batch") {
         let mut reqs = Vec::new();
         for (lineno, line) in read(batch)?.lines().enumerate() {
@@ -696,6 +731,7 @@ fn submit_requests(args: &Args) -> Result<Vec<SolveRequest>, CliError> {
                     Some(v) => Some(parse_u64(v)?),
                     None => deadline_ms,
                 },
+                backend: backend.clone(),
                 tig: read(fields[0])?,
                 platform: read(fields[1])?,
             });
@@ -710,6 +746,7 @@ fn submit_requests(args: &Args) -> Result<Vec<SolveRequest>, CliError> {
             algo: default_algo.to_string(),
             seed: default_seed,
             deadline_ms,
+            backend,
             tig: read(args.required("tig")?)?,
             platform: read(args.required("platform")?)?,
         }])
@@ -1188,6 +1225,68 @@ mod tests {
             "0",
         ]);
         assert!(zero.is_err(), "zero threads must be refused");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn solve_backend_flag_is_bit_neutral() {
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        let tig_s = tig.to_str().unwrap();
+        let plat_s = plat.to_str().unwrap();
+        run_tokens(&[
+            "gen",
+            "--size",
+            "12",
+            "--out-tig",
+            tig_s,
+            "--out-platform",
+            plat_s,
+        ])
+        .unwrap();
+        // Same batched run under all three backends: the kernels are
+        // bit-identical, so everything but the wall clock (the `MT`
+        // field) must not change at all.
+        let solve = |algo: &str, backend: &str| {
+            let s = run_tokens(&[
+                "solve",
+                "--tig",
+                tig_s,
+                "--platform",
+                plat_s,
+                "--seed",
+                "5",
+                "--threads",
+                "2",
+                "--sampler",
+                "batched",
+                "--algo",
+                algo,
+                "--backend",
+                backend,
+            ])
+            .unwrap();
+            let first = s.lines().next().unwrap();
+            let (head, tail) = first.split_once(", MT = ").unwrap();
+            let timeless = tail.split_once(", ").unwrap().1;
+            format!("{head}, {timeless}")
+        };
+        for algo in ["match", "ga", "multilevel"] {
+            let auto = solve(algo, "auto");
+            assert_eq!(auto, solve(algo, "scalar"), "{algo}");
+            assert_eq!(auto, solve(algo, "simd"), "{algo}");
+        }
+        let bad = run_tokens(&[
+            "solve",
+            "--tig",
+            tig_s,
+            "--platform",
+            plat_s,
+            "--backend",
+            "avx512",
+        ]);
+        assert!(bad.is_err(), "unknown backend must be refused");
         std::fs::remove_dir_all(dir).ok();
     }
 

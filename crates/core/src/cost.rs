@@ -71,6 +71,15 @@ pub fn exec_time(inst: &MappingInstance, assign: &[usize]) -> f64 {
     loads.into_iter().fold(0.0, f64::max)
 }
 
+/// [`exec_time`] writing the Eq. 1 loads into a caller-owned scratch
+/// vector instead of allocating one per call. Hot recomputation loops —
+/// the verify oracle re-scoring thousands of samples, delta-update
+/// cross-checks — call this with one reused buffer.
+pub fn exec_time_with(inst: &MappingInstance, assign: &[usize], scratch: &mut Vec<f64>) -> f64 {
+    exec_per_resource_into(inst, assign, scratch);
+    scratch.iter().copied().fold(0.0, f64::max)
+}
+
 /// A borrowed view bundling an instance with its cost functions — the
 /// objective object handed to CE, the GA and the baselines.
 #[derive(Debug, Clone, Copy)]
@@ -295,6 +304,17 @@ mod tests {
         let cm = CostModel::new(&inst);
         assert_eq!(cm.evaluate(&[0, 1, 2]), 154.0);
         assert_eq!(cm.per_resource(&[0, 0, 0]), vec![6.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn exec_time_with_reuses_scratch_and_matches() {
+        let inst = tiny();
+        let mut scratch = Vec::new();
+        for assign in [[0usize, 1, 2], [2, 0, 1], [0, 0, 0]] {
+            let got = exec_time_with(&inst, &assign, &mut scratch);
+            assert_eq!(got.to_bits(), exec_time(&inst, &assign).to_bits());
+            assert_eq!(scratch, exec_per_resource(&inst, &assign));
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batcheval;
 pub mod control;
 pub mod cost;
 pub mod islands;
@@ -35,14 +36,16 @@ pub mod multilevel_config;
 pub mod problem;
 pub mod quality;
 
+pub use batcheval::{build_plan, PlanEvaluator};
 pub use control::{StopFlag, StopToken};
 pub use cost::{
     apply_move_delta, apply_swap_delta, exec_per_resource, exec_per_resource_into, exec_time,
-    CostModel, IncrementalCost,
+    exec_time_with, CostModel, IncrementalCost,
 };
 pub use islands::{IslandConfig, IslandMatcher};
 pub use mapper::{record_run_end, record_run_start, Mapper, MapperOutcome};
 pub use mapping::Mapping;
+pub use match_eval::EvalBackend;
 pub use matcher::{MatchConfig, MatchOutcome, Matcher, SamplerMode};
 pub use multilevel_config::MultilevelConfig;
 pub use problem::MappingInstance;

@@ -12,6 +12,7 @@
 //! evaluations per iteration) and is fanned out across threads with
 //! `match-par`.
 
+use crate::batcheval::PlanEvaluator;
 use crate::control::StopToken;
 use crate::cost::exec_time;
 use crate::mapper::{record_run_start, Mapper, MapperOutcome};
@@ -19,11 +20,13 @@ use crate::mapping::Mapping;
 use crate::problem::MappingInstance;
 use match_ce::batch::FlatSampler;
 use match_ce::driver::{
-    minimize_controlled, minimize_flat, minimize_traced, CeConfig, CeTelemetry, StopReason,
+    minimize_controlled, minimize_flat, minimize_flat_with, minimize_traced, CeConfig, CeTelemetry,
+    StopReason,
 };
 use match_ce::models::assignment::AssignmentModel;
 use match_ce::models::permutation::PermutationModel;
 use match_ce::stochmatrix::StochasticMatrix;
+use match_eval::EvalBackend;
 use match_telemetry::{Event, NullRecorder, PoolEvent, Recorder};
 use rand::rngs::StdRng;
 use std::cell::Cell;
@@ -135,6 +138,14 @@ pub struct MatchConfig {
     /// thread counts. Pin [`SamplerMode::Sequential`] to reproduce
     /// pre-batching results on any thread count.
     pub sampler: SamplerMode,
+    /// Evaluation backend for the batched pipeline — see
+    /// [`EvalBackend`]. Both backends are bit-identical (the lane
+    /// kernel never reassociates a sample's terms), so this changes
+    /// throughput only; `Auto` picks the lane kernel whenever a chunk
+    /// is at least [`match_eval::LANES`] rows wide. Ignored by
+    /// [`SamplerMode::Sequential`] runs, which score samples one at a
+    /// time on the historical scalar path.
+    pub backend: EvalBackend,
     /// Record a stochastic-matrix snapshot every `k` iterations
     /// (Figure 3); `None` disables snapshots.
     pub snapshot_every: Option<usize>,
@@ -154,6 +165,7 @@ impl Default for MatchConfig {
             degeneracy_tol: 1e-6,
             threads: match_par::default_threads(),
             sampler: SamplerMode::default(),
+            backend: EvalBackend::default(),
             snapshot_every: None,
         }
     }
@@ -456,12 +468,12 @@ impl Matcher {
             }
         };
         let outcome = match self.config.sampler.resolved_for(threads, inst.n_tasks()) {
-            SamplerMode::Batched => minimize_flat(
+            SamplerMode::Batched => minimize_flat_with(
                 model,
                 &cfg,
                 rng,
                 threads,
-                |row: &[usize]| exec_time(inst, row),
+                &PlanEvaluator::new(inst, self.config.backend),
                 observe,
                 recorder,
                 &|| stop.should_stop(),
@@ -717,6 +729,43 @@ mod tests {
         }
         assert!(one.mapping.is_permutation());
         assert_eq!(one.cost, exec_time(&inst, one.mapping.as_slice()));
+    }
+
+    #[test]
+    fn eval_backends_produce_identical_batched_runs() {
+        // The lane kernel never reassociates a sample's terms, so
+        // forcing Scalar, Simd, or Auto must give the same trajectory
+        // bit for bit — on any thread count.
+        let inst = instance(12, 7);
+        let run = |backend: EvalBackend, threads: usize| {
+            Matcher::new(MatchConfig {
+                threads,
+                sampler: SamplerMode::Batched,
+                backend,
+                ..MatchConfig::default()
+            })
+            .run(&inst, &mut StdRng::seed_from_u64(8))
+        };
+        let base = run(EvalBackend::Scalar, 1);
+        for backend in [EvalBackend::Simd, EvalBackend::Auto] {
+            for threads in [1, 2, 8] {
+                let other = run(backend, threads);
+                assert_eq!(base.mapping, other.mapping, "{backend} threads={threads}");
+                assert_eq!(
+                    base.cost.to_bits(),
+                    other.cost.to_bits(),
+                    "{backend} threads={threads}"
+                );
+                assert_eq!(
+                    base.iterations, other.iterations,
+                    "{backend} threads={threads}"
+                );
+                assert_eq!(
+                    base.telemetry.iters, other.telemetry.iters,
+                    "{backend} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub struct MultilevelConfig {
     /// Worker threads for the refinement proposal fan-out. Results are
     /// bit-identical across thread counts.
     pub threads: usize,
+    /// Evaluation backend pinned onto the coarse solver's batched
+    /// pipeline (see [`MatchConfig`](crate::MatchConfig)'s `backend`
+    /// field). Coarse instances carry non-zero link diagonals, so the
+    /// lane kernel runs its masked co-location variant there — still
+    /// bit-identical to scalar.
+    pub backend: match_eval::EvalBackend,
 }
 
 impl Default for MultilevelConfig {
@@ -40,6 +46,7 @@ impl Default for MultilevelConfig {
             refine_passes: 2,
             refine_candidates: 4,
             threads: match_par::default_threads(),
+            backend: match_eval::EvalBackend::default(),
         }
     }
 }

@@ -1,0 +1,55 @@
+//! # match-eval
+//!
+//! Batch evaluation of the paper's cost model (Eq. 1 / Eq. 2) over flat
+//! `N×n` sample buffers: a precomputed structure-of-arrays
+//! [`InstancePlan`] plus two interchangeable kernels selected by
+//! [`EvalBackend`].
+//!
+//! Every solver in the workspace funnels its hot loop through flat
+//! row-major batches (the CE `2n²` sample matrix, the GA generation
+//! buffer, the multilevel coarse solves). Evaluating those rows one at
+//! a time leaves two kinds of throughput on the table:
+//!
+//! * the per-row accumulator is a single serial FP add chain (each
+//!   `acc += c·link` waits ~4 cycles on the previous add), and
+//! * the co-location test `if b != s` is a data-dependent branch on
+//!   gathered indices.
+//!
+//! The [`Simd`](EvalBackend::Simd) kernel fixes both by evaluating
+//! [`LANES`] samples per pass from a transposed (structure-of-arrays)
+//! assignment buffer: eight independent accumulator chains hide the add
+//! latency, and the co-location rule becomes a branch-free mask/select
+//! on the gathered link costs. There are no explicit intrinsics — the
+//! lanes are fixed-size arrays a vectorising compiler can pack, and the
+//! portable chunked-scalar layout is the fallback on any target.
+//!
+//! ## Bit-exactness
+//!
+//! The lane kernel is **bit-identical** to the scalar path (and hence
+//! to `match_core::exec_per_resource_into`), not merely close:
+//!
+//! * each sample's accumulation visits tasks and CSR entries in exactly
+//!   the scalar order — lanes group independent *samples*, never terms
+//!   of one sample, so no FP sum is reassociated;
+//! * the co-location rule `b = s ⇒ skip` is implemented as adding
+//!   `c·0.0 = +0.0` instead of branching. Eq. 1 loads are sums of
+//!   non-negative terms starting from `W^t·w_s ≥ 0`, so the running
+//!   accumulator is never `-0.0`, and IEEE-754 guarantees
+//!   `x + (+0.0) == x` bit-for-bit for every such `x`. When the link
+//!   matrix has an all-`+0.0` diagonal (the graph layer always builds
+//!   one) the mask is dropped entirely and the gathered diagonal entry
+//!   itself supplies the `+0.0`;
+//! * Eq. 2's horizontal max folds resources in index order with
+//!   `f64::max`, exactly like the scalar fold.
+//!
+//! Because batch evaluation is pure (no RNG draws), swapping backends
+//! — or regrouping rows into different lane chunks under different
+//! thread counts — cannot perturb any solver trajectory.
+
+mod backend;
+mod kernel;
+mod plan;
+
+pub use backend::EvalBackend;
+pub use kernel::{EvalScratch, LANES};
+pub use plan::InstancePlan;

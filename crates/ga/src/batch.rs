@@ -33,9 +33,10 @@ use crate::engine::{argmin, CrossoverOp, GaConfig, GaOutcome, MutationOp, Select
 use crate::operators::crossover_into;
 use crate::variants::{order_crossover_into, tournament_select};
 use match_core::{
-    apply_swap_delta, exec_per_resource_into, exec_time, record_run_end, record_run_start,
-    MapperOutcome, MappingInstance, StopToken,
+    apply_swap_delta, build_plan, exec_per_resource_into, exec_time, record_run_end,
+    record_run_start, MapperOutcome, MappingInstance, StopToken,
 };
+use match_eval::EvalScratch;
 use match_rngutil::{AliasTable, SplitMix64};
 use match_telemetry::{Event, IterEvent, PoolEvent, Recorder, SpanEvent};
 use rand::rngs::StdRng;
@@ -83,6 +84,20 @@ fn row_of(data: &[usize], n: usize, i: usize) -> &[usize] {
     &data[i * n..(i + 1) * n]
 }
 
+/// Per-worker buffers for the chunk-fused generation pipeline: the
+/// chunk's children are crossed over first (stashing each child's RNG),
+/// scored in **one** `match-eval` batch over the contiguous assignment
+/// rows, then mutated with the stashed RNGs resumed — so the batch
+/// kernel sees the widest batches the chunking allows without changing
+/// any child's RNG stream.
+struct ChunkScratch {
+    eval: EvalScratch,
+    assign: Vec<usize>,
+    costs: Vec<f64>,
+    loads: Vec<f64>,
+    srngs: Vec<SplitMix64>,
+}
+
 /// The batched generation loop; entered through
 /// [`crate::FastMapGa::run_controlled`] when the configured
 /// `SamplerMode` resolves to `Batched`. Same operators, selection
@@ -102,6 +117,11 @@ pub(crate) fn run_batched(
     let pop = config.population;
     let elitism = usize::from(config.elitism);
     let threads = config.threads;
+    // SoA evaluation plan, built once per run; both backends reproduce
+    // `exec_per_resource` bit for bit, so the delta-cost mutation below
+    // composes with batch-kernel loads exactly as with scalar ones.
+    let plan = build_plan(inst);
+    let backend = config.backend;
 
     let mut genes_cur = vec![0usize; pop * n];
     let mut genes_next = vec![0usize; pop * n];
@@ -187,108 +207,156 @@ pub(crate) fn run_batched(
                 SelectionOp::Tournament(k) => tournament_select(parent_costs, k, srng),
             }
         };
-        let timings = match_par::parallel_fill_rows(
+        let plan_ref = &plan;
+        let timings = match_par::parallel_fill_rows_chunked(
             &mut genes_next,
             &mut states,
             n,
             threads,
-            || (),
-            |(), i, row, st: &mut RowState| {
-                if i < elitism {
-                    // The elite survives unconditionally; its cost is
-                    // already known, so it costs no evaluation at all.
-                    row.copy_from_slice(best_ref);
-                    st.cost = best_cost;
-                    return;
-                }
-                let mut srng = SplitMix64::stream(gen_seed, i as u64);
+            || ChunkScratch {
+                eval: plan_ref.new_scratch(),
+                assign: Vec::new(),
+                costs: Vec::new(),
+                loads: Vec::new(),
+                srngs: Vec::new(),
+            },
+            |cs: &mut ChunkScratch, base, chunk_genes, chunk_states: &mut [RowState]| {
+                let rows = chunk_states.len();
+                // Elite rows sit at the front of the population, so
+                // within a chunk they form a prefix; they survive
+                // unconditionally, consume no RNG and no evaluation.
+                let skip = elitism.saturating_sub(base).min(rows);
+                let children = rows - skip;
                 let t0 = traced.then(Instant::now);
 
-                // Selection + crossover, straight into the child's row.
-                let p1 = select(&mut srng);
-                if srng.random::<f64>() < config.crossover_prob {
-                    let p2 = select(&mut srng);
-                    match config.crossover_op {
-                        CrossoverOp::SinglePointRepair => crossover_into(
-                            row_of(parents, n, p1),
-                            row_of(parents, n, p2),
-                            row,
-                            &mut st.used,
-                        ),
-                        CrossoverOp::Order => order_crossover_into(
-                            row_of(parents, n, p1),
-                            row_of(parents, n, p2),
-                            row,
-                            &mut st.used,
-                            &mut srng,
-                        ),
+                // Phase A — selection + crossover for every child in
+                // the chunk, straight into its row; the child's inverse
+                // assignment lands contiguously in the chunk buffer and
+                // its RNG is stashed so mutation resumes the exact
+                // stream after the batch evaluation.
+                cs.srngs.clear();
+                cs.assign.resize(children * n, 0);
+                for (k, st) in chunk_states.iter_mut().enumerate() {
+                    let row = &mut chunk_genes[k * n..(k + 1) * n];
+                    if k < skip {
+                        row.copy_from_slice(best_ref);
+                        st.cost = best_cost;
+                        continue;
                     }
-                    crossovers.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    row.copy_from_slice(row_of(parents, n, p1));
+                    let mut srng = SplitMix64::stream(gen_seed, (base + k) as u64);
+                    let p1 = select(&mut srng);
+                    if srng.random::<f64>() < config.crossover_prob {
+                        let p2 = select(&mut srng);
+                        match config.crossover_op {
+                            CrossoverOp::SinglePointRepair => crossover_into(
+                                row_of(parents, n, p1),
+                                row_of(parents, n, p2),
+                                row,
+                                &mut st.used,
+                            ),
+                            CrossoverOp::Order => order_crossover_into(
+                                row_of(parents, n, p1),
+                                row_of(parents, n, p2),
+                                row,
+                                &mut st.used,
+                                &mut srng,
+                            ),
+                        }
+                        crossovers.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        row.copy_from_slice(row_of(parents, n, p1));
+                    }
+                    let assign = &mut cs.assign[(k - skip) * n..(k - skip + 1) * n];
+                    for (r, &t) in row.iter().enumerate() {
+                        assign[t] = r;
+                    }
+                    st.assign.clear();
+                    st.assign.extend_from_slice(assign);
+                    cs.srngs.push(srng);
                 }
 
-                // The one full Eq. 1/Eq. 2 evaluation this child pays.
+                // Phase B — the one full Eq. 1/Eq. 2 evaluation each
+                // child pays, batched across the whole chunk through
+                // the SoA kernel (loads are kept: mutation needs them).
                 let t1 = traced.then(Instant::now);
-                st.eval_full(inst, row);
+                cs.costs.resize(children, 0.0);
+                cs.loads.resize(children * plan_ref.n_resources(), 0.0);
+                plan_ref.eval_batch(
+                    backend,
+                    &cs.assign,
+                    &mut cs.costs,
+                    Some(&mut cs.loads),
+                    &mut cs.eval,
+                );
                 let t2 = traced.then(Instant::now);
 
-                // Mutation: every gene swap is mirrored into the row's
-                // assignment and per-resource loads in O(degree) —
-                // no `exec_time` from scratch.
-                let mut swaps = 0u64;
-                match config.mutation_op {
-                    MutationOp::Swap => {
-                        if n >= 2 {
-                            for g in 0..n {
-                                if srng.random::<f64>() < config.mutation_prob {
-                                    let j = srng.random_range(0..n);
-                                    if g != j {
-                                        let (ta, tb) = (row[g], row[j]);
-                                        row.swap(g, j);
-                                        apply_swap_delta(
-                                            inst,
-                                            &mut st.assign,
-                                            &mut st.loads,
-                                            ta,
-                                            tb,
-                                        );
-                                        swaps += 1;
+                // Phase C — mutation with the stashed RNGs resumed:
+                // every gene swap is mirrored into the row's assignment
+                // and per-resource loads in O(degree), no `exec_time`
+                // from scratch.
+                let n_r = plan_ref.n_resources();
+                for (k, st) in chunk_states.iter_mut().enumerate().skip(skip) {
+                    let row = &mut chunk_genes[k * n..(k + 1) * n];
+                    let c = k - skip;
+                    st.cost = cs.costs[c];
+                    st.loads.clear();
+                    st.loads
+                        .extend_from_slice(&cs.loads[c * n_r..(c + 1) * n_r]);
+                    let mut srng = cs.srngs[c].clone();
+                    let mut swaps = 0u64;
+                    match config.mutation_op {
+                        MutationOp::Swap => {
+                            if n >= 2 {
+                                for g in 0..n {
+                                    if srng.random::<f64>() < config.mutation_prob {
+                                        let j = srng.random_range(0..n);
+                                        if g != j {
+                                            let (ta, tb) = (row[g], row[j]);
+                                            row.swap(g, j);
+                                            apply_swap_delta(
+                                                inst,
+                                                &mut st.assign,
+                                                &mut st.loads,
+                                                ta,
+                                                tb,
+                                            );
+                                            swaps += 1;
+                                        }
                                     }
                                 }
                             }
                         }
-                    }
-                    MutationOp::Inversion => {
-                        if n >= 2 && srng.random::<f64>() < config.mutation_prob {
-                            let a = srng.random_range(0..n);
-                            let b = srng.random_range(0..n);
-                            let (mut lo, mut hi) = if a <= b { (a, b) } else { (b, a) };
-                            // A reversal is a sequence of outside-in
-                            // pairwise swaps, each a delta update.
-                            while lo < hi {
-                                let (ta, tb) = (row[lo], row[hi]);
-                                row.swap(lo, hi);
-                                apply_swap_delta(inst, &mut st.assign, &mut st.loads, ta, tb);
-                                swaps += 1;
-                                lo += 1;
-                                hi -= 1;
+                        MutationOp::Inversion => {
+                            if n >= 2 && srng.random::<f64>() < config.mutation_prob {
+                                let a = srng.random_range(0..n);
+                                let b = srng.random_range(0..n);
+                                let (mut lo, mut hi) = if a <= b { (a, b) } else { (b, a) };
+                                // A reversal is a sequence of outside-in
+                                // pairwise swaps, each a delta update.
+                                while lo < hi {
+                                    let (ta, tb) = (row[lo], row[hi]);
+                                    row.swap(lo, hi);
+                                    apply_swap_delta(inst, &mut st.assign, &mut st.loads, ta, tb);
+                                    swaps += 1;
+                                    lo += 1;
+                                    hi -= 1;
+                                }
                             }
                         }
                     }
+                    if swaps > 0 {
+                        st.cost = st.loads.iter().copied().fold(0.0, f64::max);
+                        delta_swaps.fetch_add(swaps, Ordering::Relaxed);
+                        mutations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    debug_assert!(
+                        {
+                            let fresh = exec_time(inst, &st.assign);
+                            (st.cost - fresh).abs() <= 1e-9 * (1.0 + fresh.abs())
+                        },
+                        "delta-cost loads drifted from the Eq. 1 oracle"
+                    );
                 }
-                if swaps > 0 {
-                    st.cost = st.loads.iter().copied().fold(0.0, f64::max);
-                    delta_swaps.fetch_add(swaps, Ordering::Relaxed);
-                    mutations.fetch_add(1, Ordering::Relaxed);
-                }
-                debug_assert!(
-                    {
-                        let fresh = exec_time(inst, &st.assign);
-                        (st.cost - fresh).abs() <= 1e-9 * (1.0 + fresh.abs())
-                    },
-                    "delta-cost loads drifted from the Eq. 1 oracle"
-                );
 
                 if let (Some(t0), Some(t1), Some(t2)) = (t0, t1, t2) {
                     let t3 = Instant::now();
@@ -449,6 +517,38 @@ mod tests {
             assert_eq!(runs[0].outcome.cost, other.outcome.cost);
             assert_eq!(runs[0].best_per_generation, other.best_per_generation);
             assert_eq!(runs[0].outcome.evaluations, other.outcome.evaluations);
+        }
+    }
+
+    #[test]
+    fn eval_backends_produce_identical_batched_runs() {
+        use match_core::EvalBackend;
+        let inst = instance(12, 3);
+        let run = |backend: EvalBackend, threads: usize| {
+            FastMapGa::new(GaConfig {
+                backend,
+                ..batched_config(threads)
+            })
+            .run(&inst, &mut StdRng::seed_from_u64(4))
+        };
+        let base = run(EvalBackend::Scalar, 1);
+        for backend in [EvalBackend::Simd, EvalBackend::Auto] {
+            for threads in [1, 2, 8] {
+                let other = run(backend, threads);
+                assert_eq!(
+                    base.outcome.mapping, other.outcome.mapping,
+                    "{backend:?} threads={threads}"
+                );
+                assert_eq!(
+                    base.outcome.cost.to_bits(),
+                    other.outcome.cost.to_bits(),
+                    "{backend:?} threads={threads}"
+                );
+                assert_eq!(
+                    base.best_per_generation, other.best_per_generation,
+                    "{backend:?} threads={threads}"
+                );
+            }
         }
     }
 

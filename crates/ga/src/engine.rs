@@ -5,8 +5,8 @@ use crate::chromosome::Chromosome;
 use crate::operators::{crossover, mutate};
 use crate::variants::{inversion_mutate, order_crossover, tournament_select};
 use match_core::{
-    exec_time, record_run_end, record_run_start, Mapper, MapperOutcome, MappingInstance,
-    SamplerMode, StopToken,
+    exec_time, record_run_end, record_run_start, EvalBackend, Mapper, MapperOutcome,
+    MappingInstance, SamplerMode, StopToken,
 };
 use match_rngutil::roulette::RouletteWheel;
 use match_telemetry::{Event, IterEvent, NullRecorder, Recorder};
@@ -76,6 +76,11 @@ pub struct GaConfig {
     /// (bit-exact RNG stream), `Batched` pins the flat-buffer parallel
     /// loop (a *different* stream, identical for every thread count).
     pub sampler: SamplerMode,
+    /// Evaluation backend for the batched pipeline's per-chunk fitness
+    /// batches, mirroring [`match_core::MatchConfig`]'s `backend`: the
+    /// Scalar and Simd kernels are bit-identical, so this changes
+    /// throughput only. Ignored by the sequential engine.
+    pub backend: EvalBackend,
 }
 
 impl Default for GaConfig {
@@ -100,6 +105,7 @@ impl GaConfig {
             mutation_op: MutationOp::Swap,
             threads: 1,
             sampler: SamplerMode::Auto,
+            backend: EvalBackend::Auto,
         }
     }
 

@@ -45,6 +45,7 @@ fn sanitize(name: &str) -> String {
 pub struct MetricsRecorder {
     metrics: Metrics,
     algo: String,
+    backend: String,
     iterations: Counter,
     evaluations: Counter,
     counters: BTreeMap<String, Counter>,
@@ -52,14 +53,24 @@ pub struct MetricsRecorder {
 
 impl MetricsRecorder {
     /// Build a recorder forwarding into `metrics`, labelling every
-    /// series with `algo`. Over [`Metrics::null`] the result is
-    /// indistinguishable from `NullRecorder` to the solver.
+    /// series with `algo` and the default `backend="auto"`. Over
+    /// [`Metrics::null`] the result is indistinguishable from
+    /// `NullRecorder` to the solver.
     pub fn new(metrics: &Metrics, algo: &str) -> Self {
+        Self::with_backend(metrics, algo, "auto")
+    }
+
+    /// Build a recorder labelling every series with both `algo` and the
+    /// evaluation `backend` the solve runs under, so scrapes can split
+    /// solver throughput per kernel.
+    pub fn with_backend(metrics: &Metrics, algo: &str, backend: &str) -> Self {
+        let labels = [("algo", algo), ("backend", backend)];
         MetricsRecorder {
-            iterations: metrics.counter_with("match_solver_iterations_total", &[("algo", algo)]),
-            evaluations: metrics.counter_with("match_solver_evaluations_total", &[("algo", algo)]),
+            iterations: metrics.counter_with("match_solver_iterations_total", &labels),
+            evaluations: metrics.counter_with("match_solver_evaluations_total", &labels),
             metrics: metrics.clone(),
             algo: algo.to_string(),
+            backend: backend.to_string(),
             counters: BTreeMap::new(),
         }
     }
@@ -67,7 +78,9 @@ impl MetricsRecorder {
     fn named_counter(&mut self, name: &str) -> &Counter {
         if !self.counters.contains_key(name) {
             let series = format!("match_solver_{}_total", sanitize(name));
-            let handle = self.metrics.counter_with(&series, &[("algo", &self.algo)]);
+            let handle = self
+                .metrics
+                .counter_with(&series, &[("algo", &self.algo), ("backend", &self.backend)]);
             self.counters.insert(name.to_string(), handle);
         }
         &self.counters[name]
@@ -132,7 +145,10 @@ mod tests {
         let snap = metrics.snapshot();
         let get = |name: &str| {
             snap.counters
-                .get(&crate::MetricKey::new(name, &[("algo", "ce")]))
+                .get(&crate::MetricKey::new(
+                    name,
+                    &[("algo", "ce"), ("backend", "auto")],
+                ))
                 .copied()
                 .unwrap_or(0)
         };
@@ -151,20 +167,20 @@ mod tests {
     }
 
     #[test]
-    fn algo_label_separates_solvers() {
+    fn algo_and_backend_labels_separate_series() {
         let metrics = Metrics::new();
         MetricsRecorder::new(&metrics, "ce").record(iter_event(0));
         MetricsRecorder::new(&metrics, "ga").record(iter_event(0));
+        MetricsRecorder::with_backend(&metrics, "ce", "simd").record(iter_event(0));
         let snap = metrics.snapshot();
-        assert_eq!(
-            snap.counters
-                [&crate::MetricKey::new("match_solver_iterations_total", &[("algo", "ce")])],
-            1
-        );
-        assert_eq!(
-            snap.counters
-                [&crate::MetricKey::new("match_solver_iterations_total", &[("algo", "ga")])],
-            1
-        );
+        let key = |algo: &str, backend: &str| {
+            crate::MetricKey::new(
+                "match_solver_iterations_total",
+                &[("algo", algo), ("backend", backend)],
+            )
+        };
+        assert_eq!(snap.counters[&key("ce", "auto")], 1);
+        assert_eq!(snap.counters[&key("ga", "auto")], 1);
+        assert_eq!(snap.counters[&key("ce", "simd")], 1);
     }
 }

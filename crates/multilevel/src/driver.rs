@@ -19,8 +19,9 @@ use crate::coarsen::coarsen;
 use crate::project::project;
 use crate::refine::refine_pass;
 use match_core::{
-    exec_per_resource, exec_time, record_run_end, record_run_start, Mapper, MapperOutcome, Mapping,
-    MappingInstance, MatchConfig, Matcher, MultilevelConfig, SamplerMode, StopToken,
+    exec_per_resource, exec_time, record_run_end, record_run_start, EvalBackend, Mapper,
+    MapperOutcome, Mapping, MappingInstance, MatchConfig, Matcher, MultilevelConfig, SamplerMode,
+    StopToken,
 };
 use match_ga::{FastMapGa, GaConfig};
 use match_rngutil::{derive_seed_str, rng_from};
@@ -54,11 +55,18 @@ impl CoarseSolver {
         })
     }
 
-    fn solve(&self, inst: &MappingInstance, rng: &mut StdRng, stop: &StopToken) -> MapperOutcome {
+    fn solve(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        stop: &StopToken,
+        backend: EvalBackend,
+    ) -> MapperOutcome {
         match self {
             CoarseSolver::Ce(cfg) => {
                 let matcher = Matcher::new(MatchConfig {
                     sampler: SamplerMode::Batched,
+                    backend,
                     ..cfg.clone()
                 });
                 if inst.is_square() {
@@ -73,6 +81,7 @@ impl CoarseSolver {
                 if inst.is_square() {
                     FastMapGa::new(GaConfig {
                         sampler: SamplerMode::Batched,
+                        backend,
                         ..cfg.clone()
                     })
                     .run_controlled(inst, rng, &mut NullRecorder, stop)
@@ -80,6 +89,7 @@ impl CoarseSolver {
                 } else {
                     Matcher::new(MatchConfig {
                         sampler: SamplerMode::Batched,
+                        backend,
                         ..MatchConfig::default()
                     })
                     .run_many_to_one(inst, rng)
@@ -135,9 +145,12 @@ impl MultilevelMapper {
         let depth = hier.depth();
         let span = Span::start(format!("solve@L{depth}"), 0);
         let mut coarse_rng = rng_from(master, 1);
-        let coarse_out = self
-            .coarse
-            .solve(hier.coarsest(inst), &mut coarse_rng, stop);
+        let coarse_out = self.coarse.solve(
+            hier.coarsest(inst),
+            &mut coarse_rng,
+            stop,
+            self.config.backend,
+        );
         span.finish(recorder);
 
         let mut evaluations = coarse_out.evaluations;
@@ -333,6 +346,41 @@ mod tests {
             assert_eq!(o.mapping.as_slice(), outs[0].mapping.as_slice());
             assert_eq!(o.cost.to_bits(), outs[0].cost.to_bits());
             assert_eq!(o.evaluations, outs[0].evaluations);
+        }
+    }
+
+    #[test]
+    fn eval_backends_produce_identical_multilevel_runs() {
+        // The coarse solve is the only stage using the batch kernels
+        // (refinement scores candidates via O(degree) deltas), and the
+        // coarse link matrices carry non-zero diagonals — this pins the
+        // masked lane variant to the scalar trajectory end to end.
+        let inst = paper_inst(36, 32);
+        let run = |backend: EvalBackend, threads: usize| {
+            MultilevelMapper::new(MultilevelConfig {
+                coarsen_target: 10,
+                threads,
+                backend,
+                ..MultilevelConfig::default()
+            })
+            .map(&inst, &mut StdRng::seed_from_u64(6))
+        };
+        let base = run(EvalBackend::Scalar, 1);
+        for backend in [EvalBackend::Simd, EvalBackend::Auto] {
+            for threads in [1, 2, 8] {
+                let other = run(backend, threads);
+                assert_eq!(
+                    other.mapping.as_slice(),
+                    base.mapping.as_slice(),
+                    "{backend:?} threads={threads}"
+                );
+                assert_eq!(
+                    other.cost.to_bits(),
+                    base.cost.to_bits(),
+                    "{backend:?} threads={threads}"
+                );
+                assert_eq!(other.evaluations, base.evaluations);
+            }
         }
     }
 

@@ -30,8 +30,8 @@ pub mod scope_map;
 pub use chunk::{chunk_ranges, ChunkPolicy};
 pub use pool::WorkerPool;
 pub use scope_map::{
-    parallel_fill, parallel_fill_rows, parallel_map, parallel_map_init, parallel_map_timed,
-    parallel_reduce, ChunkTiming,
+    parallel_fill, parallel_fill_rows, parallel_fill_rows_chunked, parallel_map, parallel_map_init,
+    parallel_map_timed, parallel_reduce, ChunkTiming,
 };
 
 /// Number of worker threads to use by default: the machine's available

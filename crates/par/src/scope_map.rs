@@ -276,6 +276,97 @@ where
     .expect("scope failed")
 }
 
+/// Like [`parallel_fill_rows`], but hands each worker its **whole
+/// chunk** at once: `f(state, base, chunk_data, chunk_aux)` where
+/// `chunk_data` covers `chunk_aux.len()` rows of `width` items starting
+/// at global row `base`. Batch evaluators want this shape — they
+/// amortise per-call setup (a structure-of-arrays transpose, lane
+/// buffers) across a chunk instead of paying it per row.
+///
+/// Chunk boundaries follow [`crate::chunk::chunk_ranges`] with
+/// `ChunkPolicy::PerWorker`, and the inline fast path (`threads <= 1`
+/// or fewer rows than [`parallel_threshold`]) passes the entire buffer
+/// as one chunk — identical to [`parallel_fill_rows`], so a caller
+/// whose `f` is row-order-deterministic gets the same results here.
+pub fn parallel_fill_rows_chunked<T, U, S, I, F>(
+    data: &mut [T],
+    aux: &mut [U],
+    width: usize,
+    threads: usize,
+    init: I,
+    f: F,
+) -> Vec<ChunkTiming>
+where
+    T: Send,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T], &mut [U]) + Sync,
+{
+    use std::time::Instant;
+
+    let rows = aux.len();
+    assert_eq!(
+        data.len(),
+        rows.checked_mul(width).expect("rows × width overflows"),
+        "data must hold rows × width items"
+    );
+    let threads = threads.max(1);
+    if threads == 1 || rows < parallel_threshold() {
+        let start = Instant::now();
+        let mut state = init();
+        f(&mut state, 0, data, aux);
+        return if rows == 0 {
+            Vec::new()
+        } else {
+            vec![ChunkTiming {
+                chunk: 0,
+                len: rows as u64,
+                wall_ns: start.elapsed().as_nanos() as u64,
+            }]
+        };
+    }
+
+    let ranges = chunk_ranges(rows, threads, ChunkPolicy::PerWorker);
+    let mut pieces: Vec<(usize, &mut [T], &mut [U])> = Vec::with_capacity(ranges.len());
+    let mut data_rest = data;
+    let mut aux_rest = aux;
+    let mut offset = 0;
+    for r in &ranges {
+        let (data_head, data_tail) = data_rest.split_at_mut(r.len() * width);
+        let (aux_head, aux_tail) = aux_rest.split_at_mut(r.len());
+        pieces.push((offset, data_head, aux_head));
+        data_rest = data_tail;
+        aux_rest = aux_tail;
+        offset += r.len();
+    }
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = pieces
+            .into_iter()
+            .enumerate()
+            .map(|(chunk, (base, data_piece, aux_piece))| {
+                let f = &f;
+                let init = &init;
+                scope.spawn(move |_| {
+                    let start = Instant::now();
+                    let mut state = init();
+                    let n = aux_piece.len();
+                    f(&mut state, base, data_piece, aux_piece);
+                    ChunkTiming {
+                        chunk: chunk as u64,
+                        len: n as u64,
+                        wall_ns: start.elapsed().as_nanos() as u64,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("scope failed")
+}
+
 /// Parallel reduction: map each index through `f`, then fold results with
 /// the associative `combine`, starting from `identity`.
 ///
@@ -432,6 +523,63 @@ mod tests {
         );
         let n = builds.load(Ordering::SeqCst);
         assert!((1..=4).contains(&n), "built {n} states");
+    }
+
+    #[test]
+    fn fill_rows_chunked_matches_sequential() {
+        for threads in [1, 2, 4, 8] {
+            for rows in [0usize, 1, 63, 64, 65, 500] {
+                let width = 3;
+                let mut data = vec![0usize; rows * width];
+                let mut aux = vec![0.0f64; rows];
+                let timings = parallel_fill_rows_chunked(
+                    &mut data,
+                    &mut aux,
+                    width,
+                    threads,
+                    || (),
+                    |(), base, chunk_data, chunk_aux| {
+                        assert_eq!(chunk_data.len(), chunk_aux.len() * width);
+                        for (k, slot) in chunk_aux.iter_mut().enumerate() {
+                            let i = base + k;
+                            for (j, cell) in chunk_data[k * width..(k + 1) * width]
+                                .iter_mut()
+                                .enumerate()
+                            {
+                                *cell = i * width + j;
+                            }
+                            *slot = i as f64;
+                        }
+                    },
+                );
+                assert!(
+                    data.iter().enumerate().all(|(j, &v)| v == j),
+                    "threads={threads} rows={rows}"
+                );
+                assert!(aux.iter().enumerate().all(|(i, &v)| v == i as f64));
+                let covered: u64 = timings.iter().map(|t| t.len).sum();
+                assert_eq!(covered, rows as u64, "timings must cover all rows");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_rows_chunked_small_input_is_one_chunk() {
+        let rows = parallel_threshold() - 1;
+        let mut data = vec![0u8; rows];
+        let mut aux = vec![0u8; rows];
+        let timings =
+            parallel_fill_rows_chunked(&mut data, &mut aux, 1, 8, || (), |(), _, _, _| {});
+        assert_eq!(timings.len(), 1, "inline path must report one chunk");
+        assert_eq!(timings[0].len, rows as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows × width")]
+    fn fill_rows_chunked_rejects_mismatched_buffers() {
+        let mut data = vec![0usize; 10];
+        let mut aux = vec![0.0f64; 4];
+        parallel_fill_rows_chunked(&mut data, &mut aux, 3, 2, || (), |(), _, _, _| {});
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //!     algo: "match".into(),
 //!     seed: 7,
 //!     deadline_ms: None,
+//!     backend: None,
 //!     tig: std::fs::read_to_string("app.tig")?,
 //!     platform: std::fs::read_to_string("cluster.res")?,
 //! }))?;

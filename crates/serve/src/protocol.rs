@@ -92,6 +92,10 @@ pub struct SolveRequest {
     pub seed: u64,
     /// Optional cooperative deadline in milliseconds from admission.
     pub deadline_ms: Option<u64>,
+    /// Optional evaluation backend (`auto` | `scalar` | `simd`) for the
+    /// batched pipelines; absent means `auto`. Backends are bit-exact,
+    /// so this never changes the returned mapping — or the cache key.
+    pub backend: Option<String>,
     /// Task-interaction graph in `match-graph` plain-text form.
     pub tig: String,
     /// Resource graph in `match-graph` plain-text form.
@@ -123,6 +127,10 @@ pub struct SolveResponse {
     pub algo: String,
     /// Echo of the request seed.
     pub seed: u64,
+    /// The evaluation backend the solve ran under (`auto` | `scalar` |
+    /// `simd`; a cache hit echoes the *requesting* backend — backends
+    /// are bit-exact, so cached results are backend-agnostic).
+    pub backend: String,
     /// Execution time of the returned mapping (ET, Eq. 2).
     pub cost: f64,
     /// Whether the result came from the LRU cache.
@@ -238,6 +246,10 @@ pub fn encode_request(req: &Request) -> String {
             if let Some(d) = r.deadline_ms {
                 let _ = write!(s, ",\"deadline_ms\":{d}");
             }
+            if let Some(b) = &r.backend {
+                s.push_str(",\"backend\":");
+                push_escaped(&mut s, b);
+            }
             s.push_str(",\"tig\":");
             push_escaped(&mut s, &r.tig);
             s.push_str(",\"platform\":");
@@ -280,7 +292,10 @@ pub fn encode_response(resp: &Response) -> String {
             push_escaped(&mut s, &r.trace_id);
             s.push_str(",\"algo\":");
             push_escaped(&mut s, &r.algo);
-            let _ = write!(s, ",\"seed\":{},\"cost\":", r.seed);
+            let _ = write!(s, ",\"seed\":{}", r.seed);
+            s.push_str(",\"backend\":");
+            push_escaped(&mut s, &r.backend);
+            s.push_str(",\"cost\":");
             push_f64(&mut s, r.cost);
             let _ = write!(
                 s,
@@ -569,6 +584,17 @@ fn get_u64(map: &BTreeMap<String, Val>, field: &'static str) -> Result<u64, Prot
     }
 }
 
+fn get_opt_string(
+    map: &BTreeMap<String, Val>,
+    field: &'static str,
+) -> Result<Option<String>, ProtoError> {
+    match map.get(field) {
+        Some(Val::Null) | None => Ok(None),
+        Some(Val::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(ProtoError::BadType(field)),
+    }
+}
+
 fn get_opt_u64(
     map: &BTreeMap<String, Val>,
     field: &'static str,
@@ -623,6 +649,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
             algo: get_string(&map, "algo")?,
             seed: get_u64(&map, "seed")?,
             deadline_ms: get_opt_u64(&map, "deadline_ms")?,
+            backend: get_opt_string(&map, "backend")?,
             tig: get_string(&map, "tig")?,
             platform: get_string(&map, "platform")?,
         })),
@@ -643,6 +670,7 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             trace_id: get_string(&map, "trace_id")?,
             algo: get_string(&map, "algo")?,
             seed: get_u64(&map, "seed")?,
+            backend: get_string(&map, "backend")?,
             cost: get_f64(&map, "cost")?,
             cached: get_bool(&map, "cached")?,
             cancelled: get_bool(&map, "cancelled")?,
@@ -702,6 +730,7 @@ mod tests {
             algo: "match".into(),
             seed: 7,
             deadline_ms: Some(500),
+            backend: Some("simd".into()),
             tig: "# matchkit instance v1\ngraph 2\nedge 0 1 3.5\n".into(),
             platform: "# matchkit instance v1\ngraph 2\nnode 0 2\nnode 1 1\n".into(),
         }));
@@ -710,6 +739,7 @@ mod tests {
             algo: "sa".into(),
             seed: u64::MAX,
             deadline_ms: None,
+            backend: None,
             tig: String::new(),
             platform: String::new(),
         }));
@@ -729,6 +759,7 @@ mod tests {
                 algo: "match".into(),
                 seed: 1,
                 deadline_ms: None,
+                backend: None,
                 tig: "a\nb".into(),
                 platform: "c".into(),
             }),
@@ -755,6 +786,7 @@ mod tests {
             trace_id: "job-1#0".into(),
             algo: "MaTCH".into(),
             seed: 7,
+            backend: "simd".into(),
             cost: 41.25,
             cached: false,
             cancelled: true,
@@ -769,6 +801,7 @@ mod tests {
             trace_id: "empty#42".into(),
             algo: "greedy".into(),
             seed: 0,
+            backend: "auto".into(),
             cost: 0.0,
             cached: true,
             cancelled: false,
@@ -810,6 +843,7 @@ mod tests {
             trace_id: "inf#1".into(),
             algo: "random".into(),
             seed: 1,
+            backend: "scalar".into(),
             cost: f64::INFINITY,
             cached: false,
             cancelled: false,
@@ -833,6 +867,7 @@ mod tests {
             algo: "match".into(),
             seed: 1,
             deadline_ms: None,
+            backend: None,
             tig: "line1\nline2\n".into(),
             platform: "p\n".into(),
         }));
@@ -855,8 +890,8 @@ mod tests {
         assert!(parse_response("{\"status\":\"weird\"}").is_err());
         assert!(
             parse_response(
-                "{\"status\":\"ok\",\"id\":\"a\",\"trace_id\":\"a#0\",\"algo\":\"m\",\"seed\":1,\"cost\":1,\
-                 \"cached\":false,\"cancelled\":false,\"evaluations\":1,\"iterations\":1,\
+                "{\"status\":\"ok\",\"id\":\"a\",\"trace_id\":\"a#0\",\"algo\":\"m\",\"seed\":1,\
+                 \"backend\":\"auto\",\"cost\":1,\"cached\":false,\"cancelled\":false,\"evaluations\":1,\"iterations\":1,\
                  \"queue_wait_ns\":1,\"solve_ns\":1,\"mapping\":[1,-2]}"
             )
             .is_err(),
@@ -872,6 +907,7 @@ mod tests {
             algo: "match".into(),
             seed: (1u64 << 62) + 12345,
             deadline_ms: None,
+            backend: None,
             tig: String::new(),
             platform: String::new(),
         });

@@ -65,7 +65,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use match_core::{MappingInstance, StopToken};
+use match_core::{EvalBackend, MappingInstance, StopToken};
 use match_graph::io::from_text;
 use match_graph::{ResourceGraph, TaskGraph};
 use match_metrics::{Counter, Gauge, LatencyHistogram, Metrics, MetricsRecorder};
@@ -131,6 +131,7 @@ struct Job {
     algo: String,
     seed: u64,
     deadline: Option<Duration>,
+    backend: EvalBackend,
     inst: MappingInstance,
     key: u64,
     enqueued: Instant,
@@ -566,6 +567,18 @@ fn admit(req: SolveRequest, ctx: &Ctx, tx: &mpsc::Sender<Response>) {
         ));
         return;
     }
+    let backend = match req.backend.as_deref() {
+        None => EvalBackend::Auto,
+        Some(name) => match EvalBackend::parse(name) {
+            Some(b) => b,
+            None => {
+                reject(format!(
+                    "unknown backend `{name}` (known: auto, scalar, simd)"
+                ));
+                return;
+            }
+        },
+    };
     let inst = match parse_instance(&req.tig, &req.platform) {
         Ok(inst) => inst,
         Err(e) => {
@@ -589,6 +602,7 @@ fn admit(req: SolveRequest, ctx: &Ctx, tx: &mpsc::Sender<Response>) {
         algo: req.algo.clone(),
         seed: req.seed,
         deadline: req.deadline_ms.map(Duration::from_millis),
+        backend,
         inst,
         key,
         enqueued: Instant::now(),
@@ -653,6 +667,7 @@ fn process_job(job: Job, ctx: &Ctx) {
             trace_id,
             algo: hit.algo,
             seed: job.seed,
+            backend: job.backend.as_str().to_string(),
             cost: hit.cost,
             cached: true,
             cancelled: false,
@@ -665,7 +680,7 @@ fn process_job(job: Job, ctx: &Ctx) {
         return;
     }
 
-    let Some(mapper) = solvers::build_mapper(&job.algo) else {
+    let Some(mapper) = solvers::build_mapper_with(&job.algo, job.backend) else {
         // Unreachable: admission validated the name. Answer anyway.
         let _ = job.resp.send(Response::Error {
             id: job.id,
@@ -682,7 +697,8 @@ fn process_job(job: Job, ctx: &Ctx) {
     // counters) into the live registry. The recorder seam guarantees
     // the RNG stream is identical with or without a listener, so cached
     // and fresh results stay byte-identical.
-    let mut solver_metrics = MetricsRecorder::new(&ctx.metrics, &job.algo);
+    let mut solver_metrics =
+        MetricsRecorder::with_backend(&ctx.metrics, &job.algo, job.backend.as_str());
     let solved = catch_unwind(AssertUnwindSafe(|| {
         mapper.map_controlled(&job.inst, &mut rng, &mut solver_metrics, &stop)
     }));
@@ -760,6 +776,7 @@ fn process_job(job: Job, ctx: &Ctx) {
         trace_id,
         algo: mapper.name().to_string(),
         seed: job.seed,
+        backend: job.backend.as_str().to_string(),
         cost: outcome.cost,
         cached: false,
         cancelled,

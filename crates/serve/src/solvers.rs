@@ -9,7 +9,9 @@ use match_baselines::{
     FastMapScheme, GreedyMapper, HillClimber, PolishedMatcher, RandomSearch, RecursiveBisection,
     RoundRobin, SimulatedAnnealing,
 };
-use match_core::{IslandMatcher, Mapper, MatchConfig, Matcher, MultilevelConfig, SamplerMode};
+use match_core::{
+    EvalBackend, IslandMatcher, Mapper, MatchConfig, Matcher, MultilevelConfig, SamplerMode,
+};
 use match_ga::{FastMapGa, GaConfig};
 use match_multilevel::MultilevelMapper;
 
@@ -35,32 +37,56 @@ pub const KNOWN_ALGOS: &[&str] = &[
     "fastmap",
 ];
 
-/// Construct the solver a request named, or `None` for an unknown name.
+/// Construct the solver a request named with the default (`Auto`)
+/// evaluation backend, or `None` for an unknown name.
 pub fn build_mapper(name: &str) -> Option<Box<dyn Mapper>> {
+    build_mapper_with(name, EvalBackend::Auto)
+}
+
+/// Construct the solver a request named, pinning the evaluation backend
+/// on the solvers with a batched pipeline (`match*`, `ga*`,
+/// `multilevel`); backends are bit-exact, so the other solvers can
+/// ignore it. `None` for an unknown name.
+pub fn build_mapper_with(name: &str, backend: EvalBackend) -> Option<Box<dyn Mapper>> {
     Some(match name {
         // `match` resolves the sampler by thread count (`SamplerMode::Auto`);
         // the suffixed names pin one pipeline for A/B runs through the daemon.
-        "match" => Box::new(Matcher::default()),
+        "match" => Box::new(Matcher::new(MatchConfig {
+            backend,
+            ..MatchConfig::default()
+        })),
         "match-batched" => Box::new(Matcher::new(MatchConfig {
             sampler: SamplerMode::Batched,
+            backend,
             ..MatchConfig::default()
         })),
         "match-sequential" => Box::new(Matcher::new(MatchConfig {
             sampler: SamplerMode::Sequential,
+            backend,
             ..MatchConfig::default()
         })),
         "islands" => Box::new(IslandMatcher::default()),
         // Coarsen–solve–refine driver: handles square and rectangular
         // instances alike, so it is deliberately absent from
         // `requires_square`.
-        "multilevel" => Box::new(MultilevelMapper::new(MultilevelConfig::default())),
+        "multilevel" => Box::new(MultilevelMapper::new(MultilevelConfig {
+            backend,
+            ..MultilevelConfig::default()
+        })),
         // Plain `ga` keeps the library default (sequential, historical
         // stream); the suffixed names pin one generation pipeline for
         // A/B runs through the daemon, like the match-* pair above.
-        "ga" | "fastmap-ga" => Box::new(FastMapGa::new(GaConfig::paper_default())),
-        "ga-batched" => Box::new(FastMapGa::new(GaConfig::batched_paper())),
+        "ga" | "fastmap-ga" => Box::new(FastMapGa::new(GaConfig {
+            backend,
+            ..GaConfig::paper_default()
+        })),
+        "ga-batched" => Box::new(FastMapGa::new(GaConfig {
+            backend,
+            ..GaConfig::batched_paper()
+        })),
         "ga-sequential" => Box::new(FastMapGa::new(GaConfig {
             sampler: SamplerMode::Sequential,
+            backend,
             ..GaConfig::paper_default()
         })),
         "greedy" => Box::new(GreedyMapper),
@@ -111,6 +137,12 @@ mod tests {
     fn every_known_name_builds() {
         for name in KNOWN_ALGOS {
             assert!(build_mapper(name).is_some(), "registry missing {name}");
+            for backend in [EvalBackend::Auto, EvalBackend::Scalar, EvalBackend::Simd] {
+                assert!(
+                    build_mapper_with(name, backend).is_some(),
+                    "registry missing {name} with backend {backend}"
+                );
+            }
         }
     }
 

@@ -33,6 +33,7 @@ fn solve(id: &str, algo: &str, seed: u64, tig: &str, platform: &str) -> Request 
         algo: algo.to_string(),
         seed,
         deadline_ms: None,
+        backend: None,
         tig: tig.to_string(),
         platform: platform.to_string(),
     })
@@ -80,6 +81,63 @@ fn concurrent_requests_across_solver_kinds() {
     assert_eq!(stats.rejected, 0);
     let summary = handle.shutdown().expect("shutdown");
     assert_eq!(summary.stats.jobs, 8);
+}
+
+#[test]
+fn backend_choice_is_bit_neutral_and_cache_agnostic() {
+    // The evaluation backends are bit-exact, so the daemon keys its
+    // result cache on (instance, algo, seed) only: a `simd` solve and a
+    // `scalar` resubmission of the same job must return the identical
+    // mapping, with the second one served from the cache.
+    let handle = start(2, 16, 16);
+    let (tig, platform) = instance_text(16, 3);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let with_backend = |id: &str, backend: Option<&str>| {
+        Request::Solve(SolveRequest {
+            id: id.to_string(),
+            algo: "match".to_string(),
+            seed: 11,
+            deadline_ms: None,
+            backend: backend.map(str::to_string),
+            tig: tig.clone(),
+            platform: platform.clone(),
+        })
+    };
+
+    let simd = expect_solved(client.call(&with_backend("s", Some("simd"))).expect("simd"));
+    assert!(!simd.cached);
+    assert_eq!(simd.backend, "simd", "response must echo the backend");
+
+    let scalar = expect_solved(
+        client
+            .call(&with_backend("c", Some("scalar")))
+            .expect("scalar"),
+    );
+    assert!(scalar.cached, "cache key must ignore the backend");
+    assert_eq!(
+        scalar.backend, "scalar",
+        "hit echoes the *requested* backend"
+    );
+    assert_eq!(scalar.mapping, simd.mapping);
+    assert_eq!(scalar.cost.to_bits(), simd.cost.to_bits());
+
+    let auto = expect_solved(client.call(&with_backend("a", None)).expect("auto"));
+    assert!(auto.cached);
+    assert_eq!(auto.backend, "auto", "omitted backend defaults to auto");
+    assert_eq!(auto.mapping, simd.mapping);
+
+    // Unknown backends are rejected at admission, before any solver work.
+    match client
+        .call(&with_backend("bad", Some("avx512")))
+        .expect("bad")
+    {
+        Response::Error { id, error } => {
+            assert_eq!(id, "bad");
+            assert!(error.contains("unknown backend"), "{error}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    handle.shutdown().expect("shutdown");
 }
 
 #[test]
@@ -198,6 +256,7 @@ fn deadline_cancellation_returns_partial_result() {
         algo: "sa".into(),
         seed: 6,
         deadline_ms: Some(0), // already expired at dequeue
+        backend: None,
         tig: tig.clone(),
         platform: platform.clone(),
     });
@@ -346,6 +405,7 @@ fn deadline_fires_mid_solve_and_result_is_not_cached() {
         algo: "ga".into(),
         seed: 3,
         deadline_ms: Some(10),
+        backend: None,
         tig: tig.clone(),
         platform: platform.clone(),
     });
@@ -499,11 +559,11 @@ fn multilevel_solve_carries_trace_id_and_labelled_series() {
         other => panic!("expected Metrics, got {other:?}"),
     };
     assert!(
-        text.contains("match_solver_iterations_total{algo=\"multilevel\"}"),
+        text.contains("match_solver_iterations_total{algo=\"multilevel\",backend=\"auto\"}"),
         "{text}"
     );
     assert!(
-        text.contains("match_solver_evaluations_total{algo=\"multilevel\"}"),
+        text.contains("match_solver_evaluations_total{algo=\"multilevel\",backend=\"auto\"}"),
         "{text}"
     );
     assert!(series_value(&text, "match_solver_evaluations_total") > 0.0);

@@ -10,8 +10,8 @@ use crate::oracle::{approx_eq, evaluator_disagreement, oracle_makespan, ORACLE_R
 use crate::report::{CheckResult, Pillar};
 use crate::shrink::shrink_instance;
 use match_core::{
-    exec_time, IslandConfig, IslandMatcher, Mapper, MapperOutcome, MappingInstance, MatchConfig,
-    Matcher, MultilevelConfig, SamplerMode,
+    exec_time, exec_time_with, EvalBackend, IslandConfig, IslandMatcher, Mapper, MapperOutcome,
+    MappingInstance, MatchConfig, Matcher, MultilevelConfig, SamplerMode,
 };
 use match_ga::{FastMapGa, GaConfig};
 use match_multilevel::MultilevelMapper;
@@ -230,8 +230,13 @@ where
 /// shrunk to a minimal witness before reporting.
 fn oracle_agreement(corpus: &[CorpusInstance]) -> CheckResult {
     let mut failures = Vec::new();
+    // The sweep recomputes Eq. 2 for thousands of sampled mappings, so
+    // reuse one load buffer across all of them via `exec_time_with`
+    // (the subject is a `&dyn Fn`, hence the `RefCell`).
+    let scratch = std::cell::RefCell::new(Vec::new());
+    let subject =
+        |i: &MappingInstance, m: &[usize]| exec_time_with(i, m, &mut scratch.borrow_mut());
     for c in corpus {
-        let subject = |i: &MappingInstance, m: &[usize]| exec_time(i, m);
         let inst = c.instance();
         if evaluator_disagreement(&inst, &subject, ORACLE_TRIALS, c.seed).is_some() {
             // Reproduce on progressively smaller instances.
@@ -307,6 +312,77 @@ fn many_to_one(corpus: &[CorpusInstance]) -> CheckResult {
         failures.push("corpus contains no rectangular instance".to_string());
     }
     summarize(Pillar::Differential, "many-to-one/invariants", failures)
+}
+
+/// Forcing the Simd evaluation backend on every corpus instance must
+/// reproduce the Scalar backend bit-for-bit — same mapping, same cost
+/// bits, same loop counters — through every pipeline that dispatches on
+/// [`EvalBackend`]: the batched CE sampler, the batched GA fitness
+/// fan-out, and the multilevel coarse solve. Lanes group independent
+/// samples and never reassociate the terms of one sample, so any
+/// divergence here is a kernel bug, not FP noise.
+fn backend_bit_equality(corpus: &[CorpusInstance]) -> CheckResult {
+    let mut failures = Vec::new();
+    let ce = |c: &CorpusInstance, backend| {
+        let cfg = MatchConfig {
+            backend,
+            ..ce_config(SamplerMode::Batched, 2)
+        };
+        let mut rng = rng_from(c.seed, 15);
+        Matcher::new(cfg)
+            .run(&c.instance(), &mut rng)
+            .into_mapper_outcome()
+    };
+    let ga = |c: &CorpusInstance, backend| {
+        let cfg = GaConfig {
+            backend,
+            ..ga_config(SamplerMode::Batched, 2)
+        };
+        let mut rng = rng_from(c.seed, 16);
+        FastMapGa::new(cfg).run(&c.instance(), &mut rng).outcome
+    };
+    let ml = |c: &CorpusInstance, backend| {
+        let cfg = MultilevelConfig {
+            backend,
+            ..ml_config(2)
+        };
+        let mut rng = rng_from(c.seed, 17);
+        MultilevelMapper::new(cfg).map(&c.instance(), &mut rng)
+    };
+    for c in corpus {
+        // Multilevel accepts every instance; the flat batched pipelines
+        // are permutation solvers and need square ones.
+        let mut pairs = vec![(
+            "multilevel",
+            ml(c, EvalBackend::Scalar),
+            ml(c, EvalBackend::Simd),
+        )];
+        if c.is_square() {
+            pairs.push((
+                "ce-batched",
+                ce(c, EvalBackend::Scalar),
+                ce(c, EvalBackend::Simd),
+            ));
+            pairs.push((
+                "ga-batched",
+                ga(c, EvalBackend::Scalar),
+                ga(c, EvalBackend::Simd),
+            ));
+        }
+        for (algo, scalar, simd) in pairs {
+            if RunSignature::of(&simd) != RunSignature::of(&scalar) {
+                failures.push(format!(
+                    "{}: {algo} Simd diverged from Scalar (cost {} vs {})",
+                    c.name, simd.cost, scalar.cost
+                ));
+            }
+        }
+    }
+    summarize(
+        Pillar::Differential,
+        "backend/simd-vs-scalar-bit-equality",
+        failures,
+    )
 }
 
 /// Run every differential check over the corpus.
@@ -412,6 +488,7 @@ pub fn run_checks(corpus: &[CorpusInstance]) -> Vec<CheckResult> {
         },
     ));
 
+    checks.push(backend_bit_equality(corpus));
     checks.push(many_to_one(corpus));
     checks.push(oracle_agreement(corpus));
     checks

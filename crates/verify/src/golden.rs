@@ -11,7 +11,9 @@
 //! stream change, regenerate with `matchctl verify --update-golden`.
 
 use crate::report::{CheckResult, Pillar};
-use match_core::{Mapper, MappingInstance, MatchConfig, Matcher, MultilevelConfig, SamplerMode};
+use match_core::{
+    EvalBackend, Mapper, MappingInstance, MatchConfig, Matcher, MultilevelConfig, SamplerMode,
+};
 use match_ga::{FastMapGa, GaConfig};
 use match_graph::gen::paper::PaperFamilyConfig;
 use match_multilevel::MultilevelMapper;
@@ -98,6 +100,14 @@ fn fixture_instance() -> MappingInstance {
 /// Re-run a fixture's solver and capture its trajectory through a
 /// [`MemoryRecorder`].
 pub fn capture(spec: &FixtureSpec) -> Trajectory {
+    capture_with_backend(spec, EvalBackend::default())
+}
+
+/// [`capture`] with the evaluation backend forced. Backends are
+/// bit-exact, so every fixture must reproduce the *same* committed
+/// trajectory whichever backend runs it — that claim is checked by
+/// [`run_checks`], not just asserted.
+pub fn capture_with_backend(spec: &FixtureSpec, backend: EvalBackend) -> Trajectory {
     let inst = fixture_instance();
     let run_seed = derive_seed_str(FIXTURE_MASTER, &format!("run/{}", spec.name));
     let mut rng = rng_from(run_seed, 0);
@@ -112,6 +122,7 @@ pub fn capture(spec: &FixtureSpec) -> Trajectory {
             let cfg = MatchConfig {
                 threads: 2,
                 sampler,
+                backend,
                 max_iters: 40,
                 ..MatchConfig::default()
             };
@@ -129,6 +140,7 @@ pub fn capture(spec: &FixtureSpec) -> Trajectory {
                 generations: 25,
                 threads,
                 sampler,
+                backend,
                 ..GaConfig::paper_default()
             };
             let out = FastMapGa::new(cfg).run_traced(&inst, &mut rng, &mut recorder);
@@ -143,6 +155,7 @@ pub fn capture(spec: &FixtureSpec) -> Trajectory {
                 refine_passes: 2,
                 refine_candidates: 4,
                 threads: 2,
+                backend,
             };
             let out = MultilevelMapper::new(cfg).map_traced(&inst, &mut rng, &mut recorder);
             (out.mapping.as_slice().to_vec(), out.cost)
@@ -345,19 +358,18 @@ pub fn run_checks(dir: &Path) -> Vec<CheckResult> {
                     )
                 }
             };
+            let bitwise_eq = |a: &Trajectory, b: &Trajectory| {
+                a == b
+                    && a.final_cost.to_bits() == b.final_cost.to_bits()
+                    && a.iter_bests.len() == b.iter_bests.len()
+                    && a.iter_bests
+                        .iter()
+                        .zip(&b.iter_bests)
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            };
             let got = capture(spec);
-            if want == got
-                && want.final_cost.to_bits() == got.final_cost.to_bits()
-                && want
-                    .iter_bests
-                    .iter()
-                    .zip(&got.iter_bests)
-                    .all(|(a, b)| a.to_bits() == b.to_bits())
-                && want.iter_bests.len() == got.iter_bests.len()
-            {
-                CheckResult::pass(Pillar::Golden, name)
-            } else {
-                CheckResult::fail(
+            if !bitwise_eq(&want, &got) {
+                return CheckResult::fail(
                     Pillar::Golden,
                     name,
                     format!(
@@ -366,8 +378,26 @@ pub fn run_checks(dir: &Path) -> Vec<CheckResult> {
                         path.display(),
                         render_diff(&want, &got)
                     ),
-                )
+                );
             }
+            // The same fixture re-run with the Simd backend forced must
+            // land on the identical committed trajectory: backend choice
+            // is throughput-only, never a stream change.
+            let simd = capture_with_backend(spec, EvalBackend::Simd);
+            if !bitwise_eq(&want, &simd) {
+                return CheckResult::fail(
+                    Pillar::Golden,
+                    name,
+                    format!(
+                        "Simd backend diverged from the committed trajectory {} \
+                         (the default backend reproduced it, so this is an eval-kernel bug, \
+                         not a stream change):\n{}",
+                        path.display(),
+                        render_diff(&want, &simd)
+                    ),
+                );
+            }
+            CheckResult::pass(Pillar::Golden, name)
         })
         .collect()
 }
