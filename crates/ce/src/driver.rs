@@ -725,6 +725,56 @@ where
     }
 }
 
+/// Warm-started [`minimize_flat_with`] for the permutation family: seed
+/// the stochastic matrix as `α·prior + (1 − α)·uniform`
+/// ([`StochasticMatrix::warm_seed`]) instead of uniform, run the fused
+/// flat loop, and return the **converged** matrix alongside the outcome
+/// so the caller can persist it as the next request's prior.
+///
+/// `α = 0` (or a `prior` of the wrong shape) reproduces the cold path
+/// bit-for-bit: `warm_seed` returns the exact uniform matrix and the
+/// loop below is the same code `minimize_flat_with` runs on a
+/// `PermutationModel::uniform` model.
+#[allow(clippy::too_many_arguments)]
+pub fn minimize_flat_from<E, O>(
+    prior: Option<&crate::stochmatrix::StochasticMatrix>,
+    alpha: f64,
+    n_rows: usize,
+    config: &CeConfig,
+    rng: &mut StdRng,
+    threads: usize,
+    evaluator: &E,
+    observe: O,
+    recorder: &mut dyn Recorder,
+    should_stop: &dyn Fn() -> bool,
+) -> (CeOutcome<Vec<usize>>, crate::stochmatrix::StochasticMatrix)
+where
+    E: FlatEvaluator,
+    O: FnMut(usize, &crate::models::permutation::PermutationModel),
+{
+    use crate::models::permutation::PermutationModel;
+    use crate::stochmatrix::StochasticMatrix;
+    let init = match prior {
+        Some(p) if alpha > 0.0 && p.rows() == n_rows && p.cols() == n_rows => {
+            StochasticMatrix::warm_seed(p, alpha)
+        }
+        _ => StochasticMatrix::uniform(n_rows, n_rows),
+    };
+    let mut model = PermutationModel::from_matrix(init);
+    let out = minimize_flat_with(
+        &mut model,
+        config,
+        rng,
+        threads,
+        evaluator,
+        observe,
+        recorder,
+        should_stop,
+    );
+    let converged = model.matrix().clone();
+    (out, converged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

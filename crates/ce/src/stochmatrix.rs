@@ -54,6 +54,41 @@ impl StochasticMatrix {
         m
     }
 
+    /// Build from raw row-major data **without** normalising. The
+    /// caller asserts the rows are already stochastic — this is the
+    /// trusted constructor the warm-start store uses to round-trip a
+    /// converged matrix bit-exactly (`from_rows` would divide every
+    /// row by its ≈1.0 sum and perturb the mantissas).
+    pub fn from_raw(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        assert!(cols > 0, "a row needs at least one column");
+        StochasticMatrix { rows, cols, data }
+    }
+
+    /// Warm-start seed: `α·prior + (1 − α)·uniform`, elementwise.
+    ///
+    /// Both addends are row-stochastic, so the mix is row-stochastic
+    /// by construction — no renormalisation, which keeps `α = 0`
+    /// **bit-identical** to [`StochasticMatrix::uniform`] (the cold
+    /// path). `α` is clamped to `[0, 1]`.
+    pub fn warm_seed(prior: &StochasticMatrix, alpha: f64) -> Self {
+        let alpha = alpha.clamp(0.0, 1.0);
+        if alpha <= 0.0 {
+            return StochasticMatrix::uniform(prior.rows, prior.cols);
+        }
+        let u = 1.0 / prior.cols as f64;
+        let data = prior
+            .data
+            .iter()
+            .map(|&p| alpha * p + (1.0 - alpha) * u)
+            .collect();
+        StochasticMatrix {
+            rows: prior.rows,
+            cols: prior.cols,
+            data,
+        }
+    }
+
     /// Number of rows (tasks).
     pub fn rows(&self) -> usize {
         self.rows
@@ -275,6 +310,38 @@ mod tests {
         assert_eq!(a.tv_distance(&a), 0.0);
         assert!(close(a.tv_distance(&b), 0.5, 1e-12));
         assert!(close(a.tv_distance(&b), b.tv_distance(&a), 1e-15));
+    }
+
+    #[test]
+    fn from_raw_does_not_normalise() {
+        let data = vec![0.75, 0.25, 0.1 + 0.2, 0.7];
+        let m = StochasticMatrix::from_raw(2, 2, data.clone());
+        // Bit-exact round-trip: from_rows would divide by the ≈1.0 sum.
+        for (got, want) in m.data().iter().zip(data.iter()) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_seed_alpha_zero_is_bitwise_uniform() {
+        let prior = StochasticMatrix::from_rows(3, 3, vec![vec![1.0, 0.0, 0.0]; 3].concat());
+        let seed = StochasticMatrix::warm_seed(&prior, 0.0);
+        let uniform = StochasticMatrix::uniform(3, 3);
+        for (a, b) in seed.data().iter().zip(uniform.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_seed_mixes_toward_prior() {
+        let prior = StochasticMatrix::from_rows(1, 2, vec![1.0, 0.0]);
+        let seed = StochasticMatrix::warm_seed(&prior, 0.6);
+        assert!(close(seed.get(0, 0), 0.6 * 1.0 + 0.4 * 0.5, 1e-12));
+        assert!(close(seed.get(0, 1), 0.4 * 0.5, 1e-12));
+        assert!(close(seed.row(0).iter().sum::<f64>(), 1.0, 1e-12));
+        // α = 1 copies the prior exactly.
+        let copy = StochasticMatrix::warm_seed(&prior, 1.0);
+        assert_eq!(copy, prior);
     }
 
     #[test]

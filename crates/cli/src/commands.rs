@@ -40,6 +40,8 @@ pub enum Command {
     Dot,
     /// Run the mapping-service daemon.
     Serve,
+    /// Run the consistent-hashing router over several daemons.
+    Router,
     /// Submit work to a running daemon.
     Submit,
     /// Fetch one Prometheus metrics snapshot from a daemon.
@@ -62,6 +64,7 @@ impl Command {
             "report" => Ok(Command::Report),
             "dot" => Ok(Command::Dot),
             "serve" => Ok(Command::Serve),
+            "router" => Ok(Command::Router),
             "submit" => Ok(Command::Submit),
             "metrics" => Ok(Command::Metrics),
             "top" => Ok(Command::Top),
@@ -90,12 +93,18 @@ USAGE:
   matchctl report   TRACE.jsonl [--gantt] [--request ID]
   matchctl report   --diff A.jsonl B.jsonl   (side-by-side comparison)
   matchctl dot      --tig FILE (or --platform FILE)
-  matchctl serve    [--addr HOST:PORT] [--workers N] [--queue-cap N]
-                    [--cache-cap N] [--trace FILE.jsonl] [--addr-file FILE]
-                    [--metrics-addr HOST:PORT] [--metrics-addr-file FILE]
+  matchctl serve    [--addr HOST:PORT] [--workers N] [--io-threads N]
+                    [--queue-cap N] [--cache-cap N] [--trace FILE.jsonl]
+                    [--addr-file FILE] [--metrics-addr HOST:PORT]
+                    [--metrics-addr-file FILE] [--shard LABEL]
+                    [--warm-alpha A] [--warm-store FILE] [--warm-cap N]
+                    [--solver-threads N] [--drain-deadline-ms MS]
+  matchctl router   --backends ADDR1,ADDR2,... [--addr HOST:PORT]
+                    [--addr-file FILE] [--health-interval-ms MS]
   matchctl submit   [--addr HOST:PORT] --tig FILE --platform FILE
                     [--algo ALGO] [--seed S] [--deadline-ms MS] [--id ID]
                     [--backend auto|scalar|simd]
+                    [--count N] [--concurrency C] [--trace-out FILE.jsonl]
   matchctl submit   [--addr HOST:PORT] --batch FILE   (lines: TIG PLATFORM
                     [ALGO [SEED [DEADLINE_MS]]])
   matchctl submit   [--addr HOST:PORT] --stats | --shutdown
@@ -122,6 +131,16 @@ ALGO: match (default) | multilevel | islands | polish | ga | fastmap
 --trace streams per-iteration telemetry (JSONL, one event per line);
 feed the file to `matchctl report` for a convergence summary.
 
+`serve --warm-alpha A` (0 < A <= 1) warm-starts CE-family solves from a
+persisted stochastic-matrix store keyed by graph *structure* (weights
+quantized), seeding P = A*prior + (1-A)*uniform; --warm-store persists
+the store across restarts (flushed and fsynced on drain). `router`
+consistent-hashes each instance across the backends (bounded remap on
+membership change, health-checked). `submit --count N --concurrency C`
+expands the request into N jobs (seed base+i) pipelined over C
+connections and prints throughput and latency percentiles; --trace-out
+appends one JSONL record per response.
+
 `metrics` prints one Prometheus text-format snapshot (over the JSONL
 protocol by default, or scraped from the HTTP side port with --http);
 `top` polls the same snapshot and renders queue/cache/latency series
@@ -141,6 +160,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Command::Report => cmd_report(args),
         Command::Dot => cmd_dot(args),
         Command::Serve => cmd_serve(args),
+        Command::Router => cmd_router(args),
         Command::Submit => cmd_submit(args),
         Command::Metrics => cmd_metrics(args),
         Command::Top => cmd_top(args),
@@ -564,13 +584,43 @@ fn cmd_dot(args: &Args) -> Result<String, CliError> {
 
 fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let defaults = ServeConfig::default();
+    let warm_alpha: f64 = args.parse_or("warm-alpha", defaults.warm_alpha)?;
+    if !(0.0..=1.0).contains(&warm_alpha) {
+        return Err(CliError::BadValue(
+            "warm-alpha".into(),
+            warm_alpha.to_string(),
+        ));
+    }
+    let solver_threads = match args.options.get("solver-threads") {
+        Some(_) => {
+            let t: usize = args.parse_or("solver-threads", 1)?;
+            if t == 0 {
+                return Err(CliError::BadValue("solver-threads".into(), "0".into()));
+            }
+            Some(t)
+        }
+        None => None,
+    };
+    let drain_deadline = match args.options.get("drain-deadline-ms") {
+        Some(_) => Some(std::time::Duration::from_millis(
+            args.parse_or("drain-deadline-ms", 0)?,
+        )),
+        None => None,
+    };
     let config = ServeConfig {
         addr: args.get_or("addr", &defaults.addr).to_string(),
         workers: args.parse_or("workers", defaults.workers)?,
+        io_threads: args.parse_or("io-threads", defaults.io_threads)?,
         queue_cap: args.parse_or("queue-cap", defaults.queue_cap)?,
         cache_cap: args.parse_or("cache-cap", defaults.cache_cap)?,
         trace: trace_path(args)?.map(std::path::PathBuf::from),
         metrics_addr: args.options.get("metrics-addr").cloned(),
+        shard: args.get_or("shard", &defaults.shard).to_string(),
+        warm_alpha,
+        warm_store: args.options.get("warm-store").map(std::path::PathBuf::from),
+        warm_cap: args.parse_or("warm-cap", defaults.warm_cap)?,
+        solver_threads,
+        drain_deadline,
     };
     let trace_file = config.trace.clone();
     let handle = Server::start(config.clone())
@@ -597,9 +647,15 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         Some(maddr) => format!(", metrics on http://{maddr}/metrics"),
         None => String::new(),
     };
+    let warm_note = if config.warm_alpha > 0.0 {
+        format!(", warm starts at alpha {}", config.warm_alpha)
+    } else {
+        String::new()
+    };
     println!(
-        "match-serve listening on {addr} ({} workers, queue cap {}, cache cap {}{metrics_note})",
-        config.workers, config.queue_cap, config.cache_cap
+        "match-serve listening on {addr} (shard {}, {} workers, {} io threads, queue cap {}, \
+         cache cap {}{warm_note}{metrics_note})",
+        config.shard, config.workers, config.io_threads, config.queue_cap, config.cache_cap
     );
     use std::io::Write as _;
     std::io::stdout().flush().ok();
@@ -608,11 +664,13 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         .map_err(|e| CliError::Io(format!("shutting down: {e}")))?;
     let s = &summary.stats;
     let mut text = format!(
-        "match-serve stopped after {:.1}s: {} jobs ({} cache hits, {} misses), {} rejected, {} cancelled\n",
+        "match-serve stopped after {:.1}s: {} jobs ({} cache hits, {} misses, {} warm hits), \
+         {} rejected, {} cancelled\n",
         summary.wall.as_secs_f64(),
         s.jobs,
         s.cache_hits,
         s.cache_misses,
+        summary.warm_hits,
         s.rejected,
         s.cancelled,
     );
@@ -620,6 +678,49 @@ fn cmd_serve(args: &Args) -> Result<String, CliError> {
         text.push_str(&format!("trace: {lines} events -> {}\n", path.display()));
     }
     Ok(text)
+}
+
+fn cmd_router(args: &Args) -> Result<String, CliError> {
+    let defaults = match_serve::RouterConfig::default();
+    let backends: Vec<String> = args
+        .required("backends")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if backends.is_empty() {
+        return Err(CliError::MissingOption("backends".into()));
+    }
+    let config = match_serve::RouterConfig {
+        addr: args.get_or("addr", &defaults.addr).to_string(),
+        backends,
+        health_interval: std::time::Duration::from_millis(
+            args.parse_or("health-interval-ms", 500)?,
+        ),
+    };
+    let n_backends = config.backends.len();
+    let handle = match_serve::Router::start(config.clone())
+        .map_err(|e| CliError::Io(format!("starting router on {}: {e}", config.addr)))?;
+    let addr = handle.local_addr();
+    if let Some(path) = args.options.get("addr-file") {
+        write(path, &format!("{addr}\n"))?;
+    }
+    let up = handle.healthy().iter().filter(|&&h| h).count();
+    println!(
+        "matchctl router listening on {addr} ({up}/{n_backends} backends healthy: {})",
+        config.backends.join(", ")
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let summary = handle
+        .wait()
+        .map_err(|e| CliError::Io(format!("shutting down router: {e}")))?;
+    Ok(format!(
+        "router stopped after {:.1}s: {} solves routed, {} errors\n",
+        summary.wall.as_secs_f64(),
+        summary.routed,
+        summary.errors,
+    ))
 }
 
 /// Render one daemon response as user-facing text.
@@ -632,6 +733,9 @@ fn format_response(resp: &Response) -> String {
             }
             if r.cancelled {
                 flags.push_str(" [cancelled]");
+            }
+            if r.warm {
+                flags.push_str(&format!(" [warm, saved {} iters]", r.iterations_saved));
             }
             let mapping = r
                 .mapping
@@ -753,6 +857,84 @@ fn submit_requests(args: &Args) -> Result<Vec<SolveRequest>, CliError> {
     }
 }
 
+/// The id a daemon response carries, for submission-order sorting.
+fn response_id(resp: &Response) -> &str {
+    match resp {
+        Response::Solved(s) => s.id.as_str(),
+        Response::Rejected { id, .. } | Response::Error { id, .. } => id.as_str(),
+        _ => "",
+    }
+}
+
+/// One JSONL record per response for `submit --trace-out`.
+fn response_trace_line(resp: &Response) -> String {
+    match resp {
+        Response::Solved(r) => format!(
+            "{{\"id\":\"{}\",\"algo\":\"{}\",\"seed\":{},\"cost\":{},\"cached\":{},\
+             \"warm\":{},\"iterations\":{},\"iterations_saved\":{},\"evaluations\":{},\
+             \"queue_wait_ns\":{},\"solve_ns\":{}}}",
+            r.id,
+            r.algo,
+            r.seed,
+            r.cost,
+            r.cached,
+            r.warm,
+            r.iterations,
+            r.iterations_saved,
+            r.evaluations,
+            r.queue_wait_ns,
+            r.solve_ns,
+        ),
+        Response::Rejected { id, .. } => format!("{{\"id\":\"{id}\",\"rejected\":true}}"),
+        Response::Error { id, error } => format!(
+            "{{\"id\":\"{id}\",\"error\":\"{}\"}}",
+            error.replace('\\', "\\\\").replace('"', "\\\"")
+        ),
+        _ => "{}".to_string(),
+    }
+}
+
+/// Pipeline `reqs` over `concurrency` connections (round-robin), each
+/// sending its share up front and then draining the replies.
+fn submit_concurrent(
+    addr: &str,
+    reqs: &[SolveRequest],
+    concurrency: usize,
+) -> Result<Vec<Response>, CliError> {
+    let lanes = concurrency.min(reqs.len()).max(1);
+    let chunks: Vec<Vec<SolveRequest>> = (0..lanes)
+        .map(|lane| {
+            reqs.iter()
+                .skip(lane)
+                .step_by(lanes)
+                .cloned()
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let workers: Vec<_> = chunks
+        .into_iter()
+        .map(|chunk| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || -> std::io::Result<Vec<Response>> {
+                let mut client = Client::connect(&addr)?;
+                for req in &chunk {
+                    client.send(&Request::Solve(req.clone()))?;
+                }
+                (0..chunk.len()).map(|_| client.recv()).collect()
+            })
+        })
+        .collect();
+    let mut resps = Vec::with_capacity(reqs.len());
+    for worker in workers {
+        let lane = worker
+            .join()
+            .map_err(|_| CliError::Io("submit worker panicked".into()))?
+            .map_err(|e| CliError::Io(format!("talking to {addr}: {e}")))?;
+        resps.extend(lane);
+    }
+    Ok(resps)
+}
+
 fn cmd_submit(args: &Args) -> Result<String, CliError> {
     let addr = args.get_or("addr", "127.0.0.1:7117");
     let mut client =
@@ -761,32 +943,108 @@ fn cmd_submit(args: &Args) -> Result<String, CliError> {
     let mut out = String::new();
     let solving = args.options.contains_key("tig") || args.options.contains_key("batch");
     if solving {
-        let reqs = submit_requests(args)?;
-        // Pipeline: send everything, then drain the same number of
-        // responses. The daemon replies out of completion order, so
-        // re-sort by submission order for stable output.
-        for req in &reqs {
-            client.send(&Request::Solve(req.clone())).map_err(net)?;
+        let count: u64 = args.parse_or("count", 1)?;
+        let concurrency: usize = args.parse_or("concurrency", 1)?;
+        if count == 0 {
+            return Err(CliError::BadValue("count".into(), "0".into()));
         }
+        if concurrency == 0 {
+            return Err(CliError::BadValue("concurrency".into(), "0".into()));
+        }
+        let base = submit_requests(args)?;
+        // --count N cycles the base request(s) with distinct seeds and
+        // suffixed ids, so every job is real solver work.
+        let reqs: Vec<SolveRequest> = if count > 1 {
+            (0..count)
+                .map(|i| {
+                    let template = &base[(i % base.len() as u64) as usize];
+                    let mut req = template.clone();
+                    req.id = format!("{}-{i}", template.id);
+                    req.seed = template.seed.wrapping_add(i);
+                    req
+                })
+                .collect()
+        } else {
+            base
+        };
+        let started = std::time::Instant::now();
+        let mut resps = if concurrency > 1 {
+            submit_concurrent(addr, &reqs, concurrency)?
+        } else {
+            // Pipeline on the single connection: send everything, then
+            // drain the same number of responses.
+            for req in &reqs {
+                client.send(&Request::Solve(req.clone())).map_err(net)?;
+            }
+            (0..reqs.len())
+                .map(|_| client.recv().map_err(net))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        let wall = started.elapsed();
+        // The daemon replies out of completion order, so re-sort by
+        // submission order for stable output.
         let order: std::collections::HashMap<&str, usize> = reqs
             .iter()
             .enumerate()
             .map(|(i, r)| (r.id.as_str(), i))
             .collect();
-        let mut resps = Vec::with_capacity(reqs.len());
-        for _ in 0..reqs.len() {
-            resps.push(client.recv().map_err(net)?);
+        resps.sort_by_key(|r| order.get(response_id(r)).copied().unwrap_or(usize::MAX));
+        if let Some(path) = args.options.get("trace-out") {
+            let lines: String = resps
+                .iter()
+                .map(|r| response_trace_line(r) + "\n")
+                .collect();
+            write(path, &lines)?;
         }
-        resps.sort_by_key(|r| {
-            let id = match r {
-                Response::Solved(s) => s.id.as_str(),
-                Response::Rejected { id, .. } | Response::Error { id, .. } => id.as_str(),
-                _ => "",
+        // Per-response lines stay readable for small batches; large
+        // batches report in aggregate only.
+        if resps.len() <= 16 {
+            for resp in &resps {
+                out.push_str(&format_response(resp));
+            }
+        }
+        if count > 1 || concurrency > 1 {
+            let mut solved = 0u64;
+            let mut rejected = 0u64;
+            let mut errors = 0u64;
+            let mut warm = 0u64;
+            let mut cached = 0u64;
+            let mut solve_ns: Vec<u64> = Vec::new();
+            for resp in &resps {
+                match resp {
+                    Response::Solved(r) => {
+                        solved += 1;
+                        if r.warm {
+                            warm += 1;
+                        }
+                        if r.cached {
+                            cached += 1;
+                        }
+                        solve_ns.push(r.solve_ns);
+                    }
+                    Response::Rejected { .. } => rejected += 1,
+                    _ => errors += 1,
+                }
+            }
+            solve_ns.sort_unstable();
+            let pct = |p: f64| -> f64 {
+                if solve_ns.is_empty() {
+                    return 0.0;
+                }
+                let idx = ((solve_ns.len() - 1) as f64 * p).round() as usize;
+                solve_ns[idx] as f64 / 1e6
             };
-            order.get(id).copied().unwrap_or(usize::MAX)
-        });
-        for resp in &resps {
-            out.push_str(&format_response(resp));
+            out.push_str(&format!(
+                "{} requests over {} connection(s) in {:.2}s ({:.1} req/s): \
+                 {solved} solved ({cached} cached, {warm} warm), {rejected} rejected, \
+                 {errors} errors\nsolve latency: p50 {:.2}ms  p99 {:.2}ms\n",
+                resps.len(),
+                concurrency,
+                wall.as_secs_f64(),
+                resps.len() as f64 / wall.as_secs_f64().max(1e-9),
+                pct(0.5),
+                pct(0.99),
+            ));
         }
     }
     if args.has_switch("stats") {
@@ -1816,10 +2074,16 @@ mod tests {
             text.contains("# TYPE match_serve_jobs_total counter"),
             "{text}"
         );
-        assert!(text.contains("match_serve_jobs_total 1"), "{text}");
+        assert!(
+            text.contains("match_serve_jobs_total{shard=\"0\"} 1"),
+            "{text}"
+        );
         assert!(text.contains("match_serve_solve_latency_ns"), "{text}");
         let scraped = run_tokens(&["metrics", "--http", &maddr]).unwrap();
-        assert!(scraped.contains("match_serve_jobs_total 1"), "{scraped}");
+        assert!(
+            scraped.contains("match_serve_jobs_total{shard=\"0\"} 1"),
+            "{scraped}"
+        );
 
         // One-frame top returns a dashboard with all three sections.
         let frame = run_tokens(&["top", "--addr", &addr, "--count", "1"]).unwrap();
@@ -1851,6 +2115,93 @@ mod tests {
         // Unknown ids fail with a hint; a bare switch is refused.
         assert!(run_tokens(&["report", &trace_s, "--request", "nope"]).is_err());
         assert!(run_tokens(&["report", &trace_s, "--request"]).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn submit_batches_concurrently_and_writes_a_trace() {
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        let addr_file = dir.join("addr.txt");
+        let trace_out = dir.join("requests.jsonl");
+        let tig_s = tig.to_str().unwrap().to_string();
+        let plat_s = plat.to_str().unwrap().to_string();
+        run_tokens(&[
+            "gen",
+            "--size",
+            "6",
+            "--out-tig",
+            &tig_s,
+            "--out-platform",
+            &plat_s,
+        ])
+        .unwrap();
+
+        let addr_file_s = addr_file.to_str().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            run_tokens(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--addr-file",
+                &addr_file_s,
+            ])
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                let s = s.trim().to_string();
+                if !s.is_empty() {
+                    break s;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "daemon never came up");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let out = run_tokens(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--tig",
+            &tig_s,
+            "--platform",
+            &plat_s,
+            "--algo",
+            "greedy",
+            "--id",
+            "burst",
+            "--count",
+            "4",
+            "--concurrency",
+            "2",
+            "--trace-out",
+            trace_out.to_str().unwrap(),
+        ])
+        .unwrap();
+        // Small batch: per-response lines plus the aggregate summary.
+        assert!(out.contains("burst-0"), "{out}");
+        assert!(out.contains("burst-3"), "{out}");
+        assert!(out.contains("4 requests over 2 connection(s)"), "{out}");
+        assert!(out.contains("4 solved"), "{out}");
+        assert!(out.contains("p50"), "{out}");
+        // The replay trace has one JSONL record per request, in
+        // submission order.
+        let trace = std::fs::read_to_string(&trace_out).unwrap();
+        let lines: Vec<&str> = trace.lines().collect();
+        assert_eq!(lines.len(), 4, "{trace}");
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.contains(&format!("\"id\":\"burst-{i}\"")), "{trace}");
+            assert!(line.contains("\"solve_ns\":"), "{trace}");
+        }
+        // Distinct seeds per expanded request: nothing was cache-served.
+        assert!(out.contains("0 cached"), "{out}");
+
+        run_tokens(&["submit", "--addr", &addr, "--shutdown"]).unwrap();
+        server.join().unwrap().unwrap();
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -349,6 +349,53 @@ impl Matcher {
         )
     }
 
+    /// [`Matcher::run_controlled`] warm-started from a persisted prior:
+    /// the stochastic matrix is seeded as `α·prior + (1 − α)·uniform`
+    /// instead of uniform, and the **converged** matrix is returned
+    /// alongside the outcome so the caller can store it as the next
+    /// near-duplicate request's prior.
+    ///
+    /// Cold-path contract: `α ≤ 0`, `prior = None`, or a prior whose
+    /// shape does not match the instance all seed the exact uniform
+    /// matrix ([`StochasticMatrix::warm_seed`] returns it bit-for-bit),
+    /// so the trajectory is identical to [`Matcher::run_controlled`].
+    pub fn run_warm_controlled(
+        &self,
+        inst: &MappingInstance,
+        rng: &mut StdRng,
+        recorder: &mut dyn Recorder,
+        stop: &StopToken,
+        prior: Option<&StochasticMatrix>,
+        alpha: f64,
+    ) -> (MatchOutcome, StochasticMatrix) {
+        self.config.validate();
+        assert!(
+            inst.is_square(),
+            "MaTCH's GenPerm model needs |V_t| = |V_r| (got {} tasks, {} resources); \
+             use run_many_to_one instead",
+            inst.n_tasks(),
+            inst.n_resources()
+        );
+        let n = inst.n_tasks();
+        let init = match prior {
+            Some(p) if alpha > 0.0 && p.rows() == n && p.cols() == n => {
+                StochasticMatrix::warm_seed(p, alpha)
+            }
+            _ => StochasticMatrix::uniform(n, n),
+        };
+        let mut model = PermutationModel::from_matrix(init);
+        let outcome = self.drive(
+            inst,
+            rng,
+            &mut model,
+            |m| m.matrix().clone(),
+            recorder,
+            stop,
+        );
+        let converged = model.matrix().clone();
+        (outcome, converged)
+    }
+
     /// The many-to-one generalisation: rows are sampled independently
     /// (duplicates allowed), supporting `|V_t| ≠ |V_r|`. This is the
     /// "few simple modifications" §4 alludes to.

@@ -81,6 +81,50 @@ pub fn instance_hash(inst: &MappingInstance) -> u64 {
     h.finish()
 }
 
+/// Quantize a strictly-positive cost to its log2 bucket; zero and
+/// negative values get sentinel buckets. Instances whose costs differ
+/// by < 2× land in the same bucket, so near-duplicate templates share
+/// a structure hash.
+fn log2_bucket(v: f64) -> i64 {
+    if v > 0.0 && v.is_finite() {
+        v.log2().floor() as i64
+    } else if v == 0.0 {
+        i64::MIN + 1
+    } else {
+        i64::MIN
+    }
+}
+
+/// Structure digest for the warm-start store: graph **shape** plus
+/// coarse cost scale, deliberately insensitive to the exact weights.
+///
+/// Unlike [`instance_hash`] this excludes edge volumes entirely and
+/// quantizes computation/processing costs to log2 buckets, so the
+/// resubmit-with-tweaked-weights traffic that dominates real arrival
+/// streams hits the same stored prior. A collision only mis-seeds the
+/// CE start distribution — the solver still converges on the true
+/// instance, and the verify pillar's quality-parity gate bounds the
+/// damage.
+pub fn structure_hash(inst: &MappingInstance) -> u64 {
+    let mut h = Fnv::new();
+    let (t, r) = (inst.n_tasks(), inst.n_resources());
+    h.write_u64(t as u64);
+    h.write_u64(r as u64);
+    for task in 0..t {
+        h.write_u64(log2_bucket(inst.computation(task)) as u64);
+        let mut adj: Vec<usize> = inst.interactions(task).map(|(n, _)| n).collect();
+        adj.sort_unstable();
+        h.write_u64(adj.len() as u64);
+        for neighbour in adj {
+            h.write_u64(neighbour as u64);
+        }
+    }
+    for s in 0..r {
+        h.write_u64(log2_bucket(inst.processing_cost(s)) as u64);
+    }
+    h.finish()
+}
+
 /// Cache key for one request: instance digest × algorithm × seed.
 /// Deterministic solvers make this a complete identity for the result.
 pub fn job_key(inst: &MappingInstance, algo: &str, seed: u64) -> u64 {
@@ -148,6 +192,52 @@ mod tests {
             PLATFORM,
         );
         assert_ne!(instance_hash(&a), instance_hash(&b));
+    }
+
+    #[test]
+    fn structure_hash_ignores_edge_volumes() {
+        let a = inst_from(
+            "# matchkit instance v1\ngraph 3\nedge 0 1 4\nedge 1 2 5\n",
+            PLATFORM,
+        );
+        let b = inst_from(
+            "# matchkit instance v1\ngraph 3\nedge 0 1 7\nedge 1 2 9\n",
+            PLATFORM,
+        );
+        assert_ne!(instance_hash(&a), instance_hash(&b));
+        assert_eq!(structure_hash(&a), structure_hash(&b));
+    }
+
+    #[test]
+    fn structure_hash_sees_topology() {
+        let a = inst_from(
+            "# matchkit instance v1\ngraph 3\nedge 0 1 4\nedge 1 2 5\n",
+            PLATFORM,
+        );
+        let b = inst_from(
+            "# matchkit instance v1\ngraph 3\nedge 0 1 4\nedge 0 2 5\n",
+            PLATFORM,
+        );
+        assert_ne!(structure_hash(&a), structure_hash(&b));
+    }
+
+    #[test]
+    fn structure_hash_buckets_node_costs() {
+        // 2.0 vs 3.0 share a log2 bucket; 2.0 vs 5.0 do not.
+        let near = inst_from(
+            "# matchkit instance v1\ngraph 3\nnode 0 3\nedge 0 1 4\n",
+            PLATFORM,
+        );
+        let base = inst_from(
+            "# matchkit instance v1\ngraph 3\nnode 0 2\nedge 0 1 4\n",
+            PLATFORM,
+        );
+        let far = inst_from(
+            "# matchkit instance v1\ngraph 3\nnode 0 5\nedge 0 1 4\n",
+            PLATFORM,
+        );
+        assert_eq!(structure_hash(&base), structure_hash(&near));
+        assert_ne!(structure_hash(&base), structure_hash(&far));
     }
 
     #[test]

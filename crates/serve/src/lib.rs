@@ -42,18 +42,23 @@ pub mod cache;
 pub mod client;
 pub mod hash;
 pub mod http;
+mod io;
 pub mod protocol;
 pub mod queue;
+pub mod router;
 pub mod server;
+pub mod shard;
 pub mod solvers;
 
 pub use cache::{CachedResult, LruCache};
 pub use client::Client;
-pub use hash::{instance_hash, job_key};
+pub use hash::{instance_hash, job_key, structure_hash};
 pub use http::http_get;
 pub use protocol::{
     encode_request, encode_request_line, encode_response, encode_response_line, parse_request,
     parse_response, ProtoError, Request, Response, SolveRequest, SolveResponse, StatsResponse,
 };
 pub use queue::{JobQueue, PushError};
+pub use router::{Router, RouterConfig, RouterHandle};
 pub use server::{ServeConfig, ServeSummary, Server, ServerHandle};
+pub use shard::{ShardPool, SlotRing, SLOTS};

@@ -28,7 +28,8 @@
 //!
 //! ```json
 //! {"status":"ok","id":"job-1","trace_id":"job-1#0","algo":"MaTCH","seed":7,"cost":41.25,
-//!  "cached":false,"cancelled":false,"evaluations":20000,"iterations":100,
+//!  "cached":false,"cancelled":false,"warm":true,"iterations_saved":37,
+//!  "evaluations":20000,"iterations":100,
 //!  "queue_wait_ns":1200,"solve_ns":150000000,"mapping":[0,2,1]}
 //! {"status":"rejected","id":"job-2","error":"queue full","queue_depth":8,"queue_cap":8}
 //! {"status":"error","id":"job-3","error":"unknown algorithm `zen`"}
@@ -137,6 +138,12 @@ pub struct SolveResponse {
     pub cached: bool,
     /// Whether the solve was truncated by its deadline.
     pub cancelled: bool,
+    /// Whether the solve was warm-started from a stored prior
+    /// (structure-hash hit in the warm store with `α > 0`).
+    pub warm: bool,
+    /// CE iterations saved versus the stored cold baseline for this
+    /// structure (0 when not warm, or when the warm solve was slower).
+    pub iterations_saved: u64,
     /// Objective evaluations performed (0 on a cache hit).
     pub evaluations: u64,
     /// Solver iterations executed (0 on a cache hit).
@@ -299,9 +306,17 @@ pub fn encode_response(resp: &Response) -> String {
             push_f64(&mut s, r.cost);
             let _ = write!(
                 s,
-                ",\"cached\":{},\"cancelled\":{},\"evaluations\":{},\"iterations\":{},\
+                ",\"cached\":{},\"cancelled\":{},\"warm\":{},\"iterations_saved\":{},\
+                 \"evaluations\":{},\"iterations\":{},\
                  \"queue_wait_ns\":{},\"solve_ns\":{},\"mapping\":[",
-                r.cached, r.cancelled, r.evaluations, r.iterations, r.queue_wait_ns, r.solve_ns
+                r.cached,
+                r.cancelled,
+                r.warm,
+                r.iterations_saved,
+                r.evaluations,
+                r.iterations,
+                r.queue_wait_ns,
+                r.solve_ns
             );
             for (i, m) in r.mapping.iter().enumerate() {
                 if i > 0 {
@@ -631,6 +646,16 @@ fn get_bool(map: &BTreeMap<String, Val>, field: &'static str) -> Result<bool, Pr
     }
 }
 
+/// Optional boolean defaulting to `false` — for fields added after the
+/// v1 wire format shipped, so a new client can read an old server.
+fn get_opt_bool(map: &BTreeMap<String, Val>, field: &'static str) -> Result<bool, ProtoError> {
+    match map.get(field) {
+        Some(Val::Bool(b)) => Ok(*b),
+        Some(Val::Null) | None => Ok(false),
+        Some(_) => Err(ProtoError::BadType(field)),
+    }
+}
+
 fn get_mapping(map: &BTreeMap<String, Val>, field: &'static str) -> Result<Vec<usize>, ProtoError> {
     match map.get(field) {
         Some(Val::Arr(a)) => Ok(a.iter().map(|&v| v as usize).collect()),
@@ -674,6 +699,8 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             cost: get_f64(&map, "cost")?,
             cached: get_bool(&map, "cached")?,
             cancelled: get_bool(&map, "cancelled")?,
+            warm: get_opt_bool(&map, "warm")?,
+            iterations_saved: get_opt_u64(&map, "iterations_saved")?.unwrap_or(0),
             evaluations: get_u64(&map, "evaluations")?,
             iterations: get_u64(&map, "iterations")?,
             queue_wait_ns: get_u64(&map, "queue_wait_ns")?,
@@ -790,6 +817,8 @@ mod tests {
             cost: 41.25,
             cached: false,
             cancelled: true,
+            warm: true,
+            iterations_saved: 37,
             evaluations: 20_000,
             iterations: 100,
             queue_wait_ns: 1_200,
@@ -805,6 +834,8 @@ mod tests {
             cost: 0.0,
             cached: true,
             cancelled: false,
+            warm: false,
+            iterations_saved: 0,
             evaluations: 0,
             iterations: 0,
             queue_wait_ns: 0,
@@ -847,6 +878,8 @@ mod tests {
             cost: f64::INFINITY,
             cached: false,
             cancelled: false,
+            warm: false,
+            iterations_saved: 0,
             evaluations: 1,
             iterations: 1,
             queue_wait_ns: 1,
@@ -855,6 +888,23 @@ mod tests {
         }));
         match parse_response(&line).unwrap() {
             Response::Solved(r) => assert!(r.cost.is_infinite()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_response_without_warm_fields_still_parses() {
+        // Old servers don't emit `warm`/`iterations_saved`; a new
+        // client must default them instead of erroring.
+        let line = "{\"status\":\"ok\",\"id\":\"a\",\"trace_id\":\"a#0\",\"algo\":\"m\",\
+                    \"seed\":1,\"backend\":\"auto\",\"cost\":1,\"cached\":false,\
+                    \"cancelled\":false,\"evaluations\":1,\"iterations\":1,\
+                    \"queue_wait_ns\":1,\"solve_ns\":1,\"mapping\":[0]}";
+        match parse_response(line).unwrap() {
+            Response::Solved(r) => {
+                assert!(!r.warm);
+                assert_eq!(r.iterations_saved, 0);
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

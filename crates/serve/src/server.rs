@@ -1,60 +1,73 @@
-//! The daemon: accept loop, connection threads, and the solver worker
-//! pool.
+//! The daemon: non-blocking I/O front-end, solver worker pool, and the
+//! warm-start seam.
 //!
 //! ## Thread structure
 //!
 //! ```text
-//!            accept thread ── spawns ──► connection threads (1 per client)
-//!                                          │ reader: parse line → admit job
-//!                                          │ writer: drain mpsc → socket
-//!                                          ▼
-//!                              bounded JobQueue (admission control)
-//!                                          │
-//!                              worker pool (N threads) ── pop → solve → reply
+//!   I/O threads (few) ── poll every client socket ──► parse line → admit job
+//!     │      ▲                                             │
+//!     │      └── per-connection mpsc ◄── responses ────────┤
+//!     │                                                    ▼
+//!     │                                  bounded JobQueue (admission control)
+//!     │                                                    │
+//!     └── thread 0 also accepts            worker pool (N threads)
+//!                                            pop → solve → reply
 //! ```
 //!
-//! Admission happens on the connection thread: parse the instance,
-//! validate the algorithm, then [`JobQueue::try_push`]. A full queue is
-//! answered immediately with the protocol's `rejected` backpressure
-//! response — the connection never blocks on a busy solver pool.
-//! Responses travel back through a per-connection mpsc channel, so a
-//! worker finishing job 3 can reply before job 1 is done (clients match
-//! on `id`).
+//! Admission happens on an I/O thread: parse the instance, validate the
+//! algorithm, then [`JobQueue::try_push`]. A full queue is answered
+//! immediately with the protocol's `rejected` backpressure response —
+//! the connection never blocks on a busy solver pool. Responses travel
+//! back through a per-connection mpsc channel drained by the owning I/O
+//! thread, so a worker finishing job 3 can reply before job 1 is done
+//! (clients match on `id`). Thousands of idle connections cost buffer
+//! space, not parked threads — see [`crate::io`].
+//!
+//! ## Warm starts
+//!
+//! With [`ServeConfig::warm_alpha`] > 0, CE-family solves on square
+//! instances run through [`Matcher::run_warm_controlled`]: the daemon
+//! looks up the instance's *structure hash* (weights quantized/excluded,
+//! so near-duplicate graphs hit) in a [`WarmStore`], seeds the CE
+//! stochastic matrix as `α·P_prior + (1 − α)·uniform` on a hit, and
+//! persists the converged matrix after every *cold* solve. Warm hits
+//! report `warm:true` and `iterations_saved` against the stored cold
+//! baseline; the baseline entry is never overwritten by a warm solve, so
+//! savings stay measured against a true cold start.
 //!
 //! ## Shutdown
 //!
 //! A `shutdown` request (or [`ServerHandle::request_shutdown`]) flips
 //! the shutdown flag and closes the queue. Closing the queue refuses new
-//! admissions but lets workers drain everything already queued — in-flight
-//! work always completes and is answered before the daemon exits.
+//! admissions but lets workers drain everything already queued — with
+//! [`ServeConfig::drain_deadline`] set, a watchdog trips the drain
+//! [`StopFlag`] when the drain overruns, cancelling in-flight solves
+//! cooperatively instead of blocking shutdown on a slow solve. The warm
+//! store is flushed **and fsynced** before the daemon exits.
 //!
 //! ## Telemetry
 //!
 //! With a trace path configured the daemon records service-level events
 //! through `match-telemetry`: a `queue_wait` and `solve` span plus one
 //! `iter` event per job (`iter` = job sequence number), `cache_hit` /
-//! `cache_miss` / `rejected` / `cancelled` counters, and a
-//! `queue_depth` gauge sample at every admission, plus request-scoped
-//! `req:{trace_id}:queue_wait` / `req:{trace_id}:solve` spans keyed by
-//! the `trace_id` echoed in each solve response. Solver-internal
-//! events are deliberately *not* forwarded to the trace — concurrent
-//! jobs would interleave their iteration streams into noise. The
-//! resulting JSONL file summarises cleanly under `matchctl report`.
+//! `cache_miss` / `rejected` / `cancelled` / `warm_hit` /
+//! `iterations_saved` counters, and a `queue_depth` gauge sample at
+//! every admission, plus request-scoped `req:{trace_id}:…` spans keyed
+//! by the `trace_id` echoed in each solve response.
 //!
 //! ## Metrics
 //!
 //! Independent of tracing, every daemon carries a live `match-metrics`
-//! registry: request/job/rejection/cancellation counters, cache
-//! hit/miss/eviction counters, queue-depth and in-flight gauges, a
-//! queue-wait histogram, per-algorithm solve-latency histograms, and
-//! bridged solver counters (iterations, evaluations, `delta_swaps`, …)
-//! labelled by algorithm. Snapshots are served two ways: the JSONL
-//! `{"op":"metrics"}` command and, when [`ServeConfig::metrics_addr`]
-//! is set, an HTTP `GET /metrics` side port in Prometheus text format.
+//! registry. All `match_serve_*` series carry a `shard` label
+//! ([`ServeConfig::shard`], default `"0"`) so a router can scrape many
+//! backends into one dashboard without series collisions. Snapshots are
+//! served two ways: the JSONL `{"op":"metrics"}` command and, when
+//! [`ServeConfig::metrics_addr`] is set, an HTTP `GET /metrics` side
+//! port in Prometheus text format.
 
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{self, BufWriter};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -65,18 +78,19 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use match_core::{EvalBackend, MappingInstance, StopToken};
+use match_core::{EvalBackend, MappingInstance, Matcher, StopFlag, StopToken};
 use match_graph::io::from_text;
 use match_graph::{ResourceGraph, TaskGraph};
 use match_metrics::{Counter, Gauge, LatencyHistogram, Metrics, MetricsRecorder};
 use match_telemetry::{Event, IterEvent, JsonlRecorder, Recorder, SpanEvent};
+use match_warmstore::{WarmEntry, WarmStore};
 
 use crate::cache::{CachedResult, LruCache};
-use crate::hash::job_key;
+use crate::hash::{job_key, structure_hash};
 use crate::http;
+use crate::io as serve_io;
 use crate::protocol::{
-    encode_response_line, parse_request, Request, Response, SolveRequest, SolveResponse,
-    StatsResponse,
+    parse_request, Request, Response, SolveRequest, SolveResponse, StatsResponse,
 };
 use crate::queue::{JobQueue, PushError};
 use crate::solvers;
@@ -88,6 +102,8 @@ pub struct ServeConfig {
     pub addr: String,
     /// Solver worker threads.
     pub workers: usize,
+    /// Connection I/O threads multiplexing all client sockets.
+    pub io_threads: usize,
     /// Job queue capacity — the admission-control bound.
     pub queue_cap: usize,
     /// LRU result-cache capacity in entries (0 disables caching).
@@ -98,6 +114,27 @@ pub struct ServeConfig {
     /// scrapes, e.g. `127.0.0.1:9117` (`:0` picks an ephemeral port).
     /// The JSONL `{"op":"metrics"}` command works regardless.
     pub metrics_addr: Option<String>,
+    /// Value of the `shard` label on every `match_serve_*` metric
+    /// series — set per backend in a sharded deployment.
+    pub shard: String,
+    /// Warm-start mixing weight `α` in `α·P_prior + (1 − α)·uniform`.
+    /// `0` (the default) disables warm starts entirely; the cold path
+    /// is then bit-identical to previous releases.
+    pub warm_alpha: f64,
+    /// Warm-store log path. `None` with `warm_alpha > 0` keeps priors
+    /// in memory only (lost at exit).
+    pub warm_store: Option<PathBuf>,
+    /// Warm-store capacity in entries (LRU beyond this).
+    pub warm_cap: usize,
+    /// Per-solve thread cap for CE-family solves — lets co-located
+    /// shards split one host's cores instead of oversubscribing it.
+    /// `None` keeps each solver's own default.
+    pub solver_threads: Option<usize>,
+    /// Bound on the shutdown drain: when draining queued work takes
+    /// longer than this, in-flight solves are cancelled cooperatively
+    /// (they still answer, marked `cancelled`). `None` drains without
+    /// a bound, as previous releases did.
+    pub drain_deadline: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -105,10 +142,17 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:7117".to_string(),
             workers: match_par::default_threads(),
+            io_threads: 2,
             queue_cap: 16,
             cache_cap: 256,
             trace: None,
             metrics_addr: None,
+            shard: "0".to_string(),
+            warm_alpha: 0.0,
+            warm_store: None,
+            warm_cap: 512,
+            solver_threads: None,
+            drain_deadline: None,
         }
     }
 }
@@ -122,6 +166,8 @@ pub struct ServeSummary {
     pub wall: Duration,
     /// Trace lines written, when tracing was enabled.
     pub trace_lines: Option<u64>,
+    /// Warm-start hits served, when warm starts were enabled.
+    pub warm_hits: u64,
 }
 
 /// One admitted unit of work.
@@ -134,6 +180,9 @@ struct Job {
     backend: EvalBackend,
     inst: MappingInstance,
     key: u64,
+    /// Structure hash for the warm store — `Some` only for CE-family
+    /// solves on square instances with warm starts enabled.
+    skey: Option<u64>,
     enqueued: Instant,
     resp: mpsc::Sender<Response>,
 }
@@ -184,6 +233,7 @@ struct Counters {
     rejected: AtomicU64,
     cancelled: AtomicU64,
     evaluations: AtomicU64,
+    warm_hits: AtomicU64,
 }
 
 /// Handles into the live [`Metrics`] registry, resolved once at
@@ -202,28 +252,38 @@ struct ServeMetrics {
     cache_hits: Counter,
     cache_misses: Counter,
     cache_evictions: Counter,
+    warm_hits: Counter,
+    warm_iterations_saved: Counter,
     queue_depth: Gauge,
     in_flight: Gauge,
     queue_wait: LatencyHistogram,
 }
 
 impl ServeMetrics {
-    fn new(metrics: &Metrics) -> Self {
-        let req = |op: &str| metrics.counter_with("match_serve_requests_total", &[("op", op)]);
+    fn new(metrics: &Metrics, shard: &str) -> Self {
+        let labelled = |name: &'static str| metrics.counter_with(name, &[("shard", shard)]);
+        let req = |op: &str| {
+            metrics.counter_with(
+                "match_serve_requests_total",
+                &[("op", op), ("shard", shard)],
+            )
+        };
         ServeMetrics {
             req_solve: req("solve"),
             req_stats: req("stats"),
             req_metrics: req("metrics"),
             req_shutdown: req("shutdown"),
-            jobs: metrics.counter("match_serve_jobs_total"),
-            rejected: metrics.counter("match_serve_rejected_total"),
-            cancelled: metrics.counter("match_serve_cancelled_total"),
-            cache_hits: metrics.counter("match_serve_cache_hits_total"),
-            cache_misses: metrics.counter("match_serve_cache_misses_total"),
-            cache_evictions: metrics.counter("match_serve_cache_evictions_total"),
-            queue_depth: metrics.gauge("match_serve_queue_depth"),
-            in_flight: metrics.gauge("match_serve_in_flight"),
-            queue_wait: metrics.histogram("match_serve_queue_wait_ns"),
+            jobs: labelled("match_serve_jobs_total"),
+            rejected: labelled("match_serve_rejected_total"),
+            cancelled: labelled("match_serve_cancelled_total"),
+            cache_hits: labelled("match_serve_cache_hits_total"),
+            cache_misses: labelled("match_serve_cache_misses_total"),
+            cache_evictions: labelled("match_serve_cache_evictions_total"),
+            warm_hits: labelled("match_serve_warm_hits_total"),
+            warm_iterations_saved: labelled("match_serve_warm_iterations_saved_total"),
+            queue_depth: metrics.gauge_with("match_serve_queue_depth", &[("shard", shard)]),
+            in_flight: metrics.gauge_with("match_serve_in_flight", &[("shard", shard)]),
+            queue_wait: metrics.histogram_with("match_serve_queue_wait_ns", &[("shard", shard)]),
         }
     }
 }
@@ -240,6 +300,11 @@ struct Ctx {
     shutdown: AtomicBool,
     seq: AtomicU64,
     workers: usize,
+    shard: String,
+    warm: Option<WarmStore>,
+    warm_alpha: f64,
+    solver_threads: Option<usize>,
+    drain_flag: StopFlag,
 }
 
 impl Ctx {
@@ -263,7 +328,7 @@ impl Ctx {
 }
 
 /// Parse the embedded instance text into a [`MappingInstance`].
-fn parse_instance(tig: &str, platform: &str) -> Result<MappingInstance, String> {
+pub(crate) fn parse_instance(tig: &str, platform: &str) -> Result<MappingInstance, String> {
     let tig = from_text(tig)
         .map_err(|e| format!("tig: {e}"))
         .and_then(|g| TaskGraph::new(g).map_err(|e| format!("tig: {e}")))?;
@@ -277,7 +342,7 @@ fn parse_instance(tig: &str, platform: &str) -> Result<MappingInstance, String> 
 pub struct Server;
 
 impl Server {
-    /// Bind, spawn the worker pool and accept loop, and return a handle.
+    /// Bind, spawn the worker pool and I/O threads, and return a handle.
     pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -294,7 +359,7 @@ impl Server {
         });
 
         let metrics = Metrics::new();
-        let sm = ServeMetrics::new(&metrics);
+        let sm = ServeMetrics::new(&metrics, &config.shard);
         let metrics_listener = match &config.metrics_addr {
             Some(addr) => Some(TcpListener::bind(addr)?),
             None => None,
@@ -302,6 +367,15 @@ impl Server {
         let metrics_addr = match &metrics_listener {
             Some(l) => Some(l.local_addr()?),
             None => None,
+        };
+
+        let warm = if config.warm_alpha > 0.0 {
+            Some(match &config.warm_store {
+                Some(path) => WarmStore::open(path, config.warm_cap.max(1))?,
+                None => WarmStore::in_memory(config.warm_cap.max(1)),
+            })
+        } else {
+            None
         };
 
         let workers = config.workers.max(1);
@@ -316,6 +390,11 @@ impl Server {
             shutdown: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             workers,
+            shard: config.shard.clone(),
+            warm,
+            warm_alpha: config.warm_alpha,
+            solver_threads: config.solver_threads,
+            drain_flag: StopFlag::new(),
         });
 
         let scrape_thread = metrics_listener.map(|listener| {
@@ -342,43 +421,28 @@ impl Server {
             })
             .collect();
 
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
-        let conn_streams = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
+        let io_exit = Arc::new(AtomicBool::new(false));
+        let dispatch: serve_io::Dispatch = {
             let ctx = Arc::clone(&ctx);
-            let conn_threads = Arc::clone(&conn_threads);
-            let conn_streams = Arc::clone(&conn_streams);
-            thread::spawn(move || loop {
-                if ctx.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        if let Ok(clone) = stream.try_clone() {
-                            conn_streams.lock().expect("streams poisoned").push(clone);
-                        }
-                        let ctx = Arc::clone(&ctx);
-                        let handle = thread::spawn(move || connection_loop(stream, &ctx));
-                        conn_threads.lock().expect("threads poisoned").push(handle);
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(10));
-                    }
-                    Err(_) => break,
-                }
-            })
+            Arc::new(move |line, tx| handle_request_line(line, &ctx, tx))
         };
+        let io_threads = serve_io::spawn(
+            listener,
+            config.io_threads.max(1),
+            Arc::clone(&io_exit),
+            dispatch,
+        );
 
         Ok(ServerHandle {
             ctx,
             local_addr,
             metrics_addr,
             started: Instant::now(),
+            drain_deadline: config.drain_deadline,
             worker_handles,
-            accept: Some(accept),
+            io_threads,
+            io_exit,
             scrape_thread,
-            conn_threads,
-            conn_streams,
         })
     }
 }
@@ -389,11 +453,11 @@ pub struct ServerHandle {
     local_addr: SocketAddr,
     metrics_addr: Option<SocketAddr>,
     started: Instant,
+    drain_deadline: Option<Duration>,
     worker_handles: Vec<JoinHandle<()>>,
-    accept: Option<JoinHandle<()>>,
+    io_threads: Vec<JoinHandle<()>>,
+    io_exit: Arc<AtomicBool>,
     scrape_thread: Option<JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    conn_streams: Arc<Mutex<Vec<TcpStream>>>,
 }
 
 impl ServerHandle {
@@ -415,6 +479,11 @@ impl ServerHandle {
     /// Live counter snapshot.
     pub fn stats(&self) -> StatsResponse {
         self.ctx.stats_snapshot()
+    }
+
+    /// Warm-start hits served so far.
+    pub fn warm_hits(&self) -> u64 {
+        self.ctx.counters.warm_hits.load(Ordering::Relaxed)
     }
 
     /// Whether shutdown has been requested (by a client or the owner).
@@ -442,36 +511,41 @@ impl ServerHandle {
     }
 
     fn finish(mut self) -> io::Result<ServeSummary> {
+        // Bound the drain: if joining the workers overruns the deadline,
+        // trip the shared drain flag — every in-flight and queued job's
+        // stop token carries it, so solves cancel cooperatively and
+        // still answer their clients (marked `cancelled`).
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let watchdog = self.drain_deadline.map(|deadline| {
+            let flag = self.ctx.drain_flag.clone();
+            thread::spawn(move || {
+                if done_rx.recv_timeout(deadline).is_err() {
+                    flag.trip();
+                }
+            })
+        });
         // Workers first: they drain the closed queue, completing (and
         // answering) everything admitted before shutdown.
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
-        // Unblock connection readers still waiting on idle clients.
-        // Read-half only: each connection's writer thread may still be
-        // flushing drained-job responses, which clients must receive.
-        for stream in self
-            .conn_streams
-            .lock()
-            .expect("streams poisoned")
-            .drain(..)
-        {
-            let _ = stream.shutdown(std::net::Shutdown::Read);
+        let _ = done_tx.send(());
+        if let Some(watchdog) = watchdog {
+            let _ = watchdog.join();
         }
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        // All responses are now sitting in per-connection channels; the
+        // I/O threads flush them on their way out.
+        self.io_exit.store(true, Ordering::SeqCst);
+        for handle in self.io_threads.drain(..) {
+            let _ = handle.join();
         }
         if let Some(scrape) = self.scrape_thread.take() {
             let _ = scrape.join();
         }
-        let handles: Vec<_> = self
-            .conn_threads
-            .lock()
-            .expect("threads poisoned")
-            .drain(..)
-            .collect();
-        for handle in handles {
-            let _ = handle.join();
+        // Durability point: everything learned this run is on disk
+        // before the process can exit.
+        if let Some(warm) = &self.ctx.warm {
+            warm.flush()?;
         }
         let stats = self.ctx.stats_snapshot();
         let wall = self.started.elapsed();
@@ -487,68 +561,44 @@ impl ServerHandle {
             stats,
             wall,
             trace_lines,
+            warm_hits: self.ctx.counters.warm_hits.load(Ordering::Relaxed),
         })
     }
 }
 
-/// Per-connection reader: parse lines, admit jobs, answer control ops.
-fn connection_loop(stream: TcpStream, ctx: &Arc<Ctx>) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let (tx, rx) = mpsc::channel::<Response>();
-    // Writer thread: drains the channel so responses can arrive out of
-    // order (workers finish jobs at their own pace).
-    let writer = thread::spawn(move || {
-        let mut out = BufWriter::new(write_half);
-        for resp in rx {
-            let line = encode_response_line(&resp);
-            let ok = out.write_all(line.as_bytes()).and_then(|()| out.flush());
-            if ok.is_err() {
-                break;
-            }
+/// Dispatch one parsed request line from an I/O thread. Control ops
+/// answer inline; solves go through admission control. Never blocks on
+/// solver work.
+fn handle_request_line(line: &str, ctx: &Arc<Ctx>, tx: &mpsc::Sender<Response>) {
+    match parse_request(line) {
+        Err(e) => {
+            let _ = tx.send(Response::Error {
+                id: String::new(),
+                error: e.to_string(),
+            });
         }
-    });
-
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
+        Ok(Request::Stats) => {
+            ctx.sm.req_stats.inc();
+            let _ = tx.send(Response::Stats(ctx.stats_snapshot()));
         }
-        match parse_request(line) {
-            Err(e) => {
-                let _ = tx.send(Response::Error {
-                    id: String::new(),
-                    error: e.to_string(),
-                });
-            }
-            Ok(Request::Stats) => {
-                ctx.sm.req_stats.inc();
-                let _ = tx.send(Response::Stats(ctx.stats_snapshot()));
-            }
-            Ok(Request::Metrics) => {
-                ctx.sm.req_metrics.inc();
-                let _ = tx.send(Response::Metrics {
-                    text: ctx.metrics.snapshot().to_prometheus(),
-                });
-            }
-            Ok(Request::Shutdown) => {
-                ctx.sm.req_shutdown.inc();
-                let _ = tx.send(Response::Bye);
-                ctx.request_shutdown();
-                // Keep reading: later solves on this connection get a
-                // clean "shutting down" error instead of a hangup.
-            }
-            Ok(Request::Solve(req)) => {
-                ctx.sm.req_solve.inc();
-                admit(req, ctx, &tx)
-            }
+        Ok(Request::Metrics) => {
+            ctx.sm.req_metrics.inc();
+            let _ = tx.send(Response::Metrics {
+                text: ctx.metrics.snapshot().to_prometheus(),
+            });
+        }
+        Ok(Request::Shutdown) => {
+            ctx.sm.req_shutdown.inc();
+            let _ = tx.send(Response::Bye);
+            ctx.request_shutdown();
+            // The connection stays open: later solves on it get a
+            // clean "shutting down" error instead of a hangup.
+        }
+        Ok(Request::Solve(req)) => {
+            ctx.sm.req_solve.inc();
+            admit(req, ctx, tx)
         }
     }
-    drop(tx);
-    let _ = writer.join();
 }
 
 /// Validate a solve request and push it through admission control.
@@ -596,6 +646,8 @@ fn admit(req: SolveRequest, ctx: &Ctx, tx: &mpsc::Sender<Response>) {
         return;
     }
     let key = job_key(&inst, &req.algo, req.seed);
+    let skey = (ctx.warm.is_some() && solvers::ce_family(&req.algo) && inst.is_square())
+        .then(|| structure_hash(&inst));
     let job = Job {
         seq: ctx.seq.fetch_add(1, Ordering::Relaxed),
         id: req.id.clone(),
@@ -605,6 +657,7 @@ fn admit(req: SolveRequest, ctx: &Ctx, tx: &mpsc::Sender<Response>) {
         backend,
         inst,
         key,
+        skey,
         enqueued: Instant::now(),
         resp: tx.clone(),
     };
@@ -633,15 +686,27 @@ fn admit(req: SolveRequest, ctx: &Ctx, tx: &mpsc::Sender<Response>) {
     }
 }
 
+/// What one solve produced, however it ran.
+struct Solved {
+    algo: String,
+    cost: f64,
+    iterations: u64,
+    evaluations: u64,
+    mapping: Vec<usize>,
+    warm: bool,
+    iterations_saved: u64,
+}
+
 /// Solve one admitted job on a worker thread.
 fn process_job(job: Job, ctx: &Ctx) {
     let queue_wait_ns = job.enqueued.elapsed().as_nanos() as u64;
     let solve_start = Instant::now();
     let trace_id = format!("{}#{}", job.id, job.seq);
     ctx.sm.queue_wait.record(queue_wait_ns);
-    let latency = ctx
-        .metrics
-        .histogram_with("match_serve_solve_latency_ns", &[("algo", &job.algo)]);
+    let latency = ctx.metrics.histogram_with(
+        "match_serve_solve_latency_ns",
+        &[("algo", &job.algo), ("shard", &ctx.shard)],
+    );
 
     // Cache first: a hit answers in microseconds with a byte-identical
     // mapping (every registered solver is deterministic in the seed).
@@ -671,6 +736,8 @@ fn process_job(job: Job, ctx: &Ctx) {
             cost: hit.cost,
             cached: true,
             cancelled: false,
+            warm: false,
+            iterations_saved: 0,
             evaluations: 0,
             iterations: 0,
             queue_wait_ns,
@@ -680,17 +747,14 @@ fn process_job(job: Job, ctx: &Ctx) {
         return;
     }
 
-    let Some(mapper) = solvers::build_mapper_with(&job.algo, job.backend) else {
-        // Unreachable: admission validated the name. Answer anyway.
-        let _ = job.resp.send(Response::Error {
-            id: job.id,
-            error: format!("unknown algorithm `{}`", job.algo),
-        });
-        return;
-    };
-    let stop = match job.deadline {
-        Some(d) => StopToken::with_deadline(job.enqueued + d),
-        None => StopToken::never(),
+    // Deadline and drain cancellation share one token: whichever fires
+    // first stops the solve cooperatively.
+    let stop = {
+        let base = StopToken::with_flag(ctx.drain_flag.clone());
+        match job.deadline {
+            Some(d) => base.and_deadline(job.enqueued + d),
+            None => base,
+        }
     };
     let mut rng = StdRng::seed_from_u64(job.seed);
     // Bridge solver telemetry (iterations, evaluations, full-vs-delta
@@ -699,19 +763,98 @@ fn process_job(job: Job, ctx: &Ctx) {
     // and fresh results stay byte-identical.
     let mut solver_metrics =
         MetricsRecorder::with_backend(&ctx.metrics, &job.algo, job.backend.as_str());
-    let solved = catch_unwind(AssertUnwindSafe(|| {
-        mapper.map_controlled(&job.inst, &mut rng, &mut solver_metrics, &stop)
-    }));
-    let outcome = match solved {
-        Ok(outcome) => outcome,
-        Err(payload) => {
+
+    let solved: Result<Solved, String> = match (job.skey, &ctx.warm) {
+        (Some(skey), Some(store)) => {
+            // Warm-start seam: CE-family solve through the Matcher's
+            // warm API, seeded from the structure-keyed prior when one
+            // exists.
+            let cfg = solvers::match_config_for(&job.algo, job.backend, ctx.solver_threads)
+                .expect("skey is only set for CE-family algos");
+            let matcher = Matcher::new(cfg);
+            let prior = store.get(skey);
+            let alpha = ctx.warm_alpha;
+            let n = job.inst.n_tasks();
+            let warm = matches!(&prior, Some(e) if e.n == n);
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                matcher.run_warm_controlled(
+                    &job.inst,
+                    &mut rng,
+                    &mut solver_metrics,
+                    &stop,
+                    prior.as_ref().map(|e| &e.matrix),
+                    alpha,
+                )
+            }));
+            match run {
+                Ok((out, converged)) => {
+                    let iterations = out.iterations as u64;
+                    let iterations_saved = if warm {
+                        prior
+                            .as_ref()
+                            .map_or(0, |e| e.cold_iterations.saturating_sub(iterations))
+                    } else {
+                        0
+                    };
+                    // Persist only cold, complete solves: the stored
+                    // baseline stays a true cold start, so later warm
+                    // hits measure real savings — and truncated runs
+                    // never poison the prior.
+                    if !warm && !stop.should_stop() {
+                        let _ = store.put(
+                            skey,
+                            WarmEntry {
+                                n,
+                                cold_iterations: iterations,
+                                cost: out.cost,
+                                matrix: converged,
+                            },
+                        );
+                    }
+                    Ok(Solved {
+                        algo: "MaTCH".to_string(),
+                        cost: out.cost,
+                        iterations,
+                        evaluations: out.evaluations,
+                        mapping: out.mapping.as_slice().to_vec(),
+                        warm,
+                        iterations_saved,
+                    })
+                }
+                Err(payload) => Err(panic_message(payload)),
+            }
+        }
+        _ => {
+            let Some(mapper) = solvers::build_mapper_with(&job.algo, job.backend) else {
+                // Unreachable: admission validated the name. Answer anyway.
+                let _ = job.resp.send(Response::Error {
+                    id: job.id,
+                    error: format!("unknown algorithm `{}`", job.algo),
+                });
+                return;
+            };
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                mapper.map_controlled(&job.inst, &mut rng, &mut solver_metrics, &stop)
+            }));
+            match run {
+                Ok(outcome) => Ok(Solved {
+                    algo: mapper.name().to_string(),
+                    cost: outcome.cost,
+                    iterations: outcome.iterations as u64,
+                    evaluations: outcome.evaluations,
+                    mapping: outcome.mapping.as_slice().to_vec(),
+                    warm: false,
+                    iterations_saved: 0,
+                }),
+                Err(payload) => Err(panic_message(payload)),
+            }
+        }
+    };
+    let solved = match solved {
+        Ok(solved) => solved,
+        Err(msg) => {
             // A solver panic must not kill the worker thread; surface it
             // as a protocol error instead.
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "unknown panic".to_string());
             let _ = job.resp.send(Response::Error {
                 id: job.id,
                 error: format!("solver panicked: {msg}"),
@@ -724,16 +867,28 @@ fn process_job(job: Job, ctx: &Ctx) {
     // deadline is reported cancelled. That only skips a cache insert,
     // never corrupts a result.
     let cancelled = stop.should_stop();
-    let mapping = outcome.mapping.as_slice().to_vec();
 
     ctx.counters.jobs.fetch_add(1, Ordering::Relaxed);
     ctx.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
     ctx.counters
         .evaluations
-        .fetch_add(outcome.evaluations, Ordering::Relaxed);
+        .fetch_add(solved.evaluations, Ordering::Relaxed);
     ctx.sm.jobs.inc();
     ctx.sm.cache_misses.inc();
     latency.record(solve_ns);
+    if solved.warm {
+        ctx.counters.warm_hits.fetch_add(1, Ordering::Relaxed);
+        ctx.sm.warm_hits.inc();
+        ctx.sm.warm_iterations_saved.add(solved.iterations_saved);
+        ctx.sink.record(Event::Counter {
+            name: "warm_hit".into(),
+            value: 1,
+        });
+        ctx.sink.record(Event::Counter {
+            name: "iterations_saved".into(),
+            value: solved.iterations_saved,
+        });
+    }
     if cancelled {
         ctx.counters.cancelled.fetch_add(1, Ordering::Relaxed);
         ctx.sm.cancelled.inc();
@@ -747,9 +902,9 @@ fn process_job(job: Job, ctx: &Ctx) {
         let evicted = ctx.cache.lock().expect("cache poisoned").put(
             job.key,
             CachedResult {
-                mapping: mapping.clone(),
-                cost: outcome.cost,
-                algo: mapper.name().to_string(),
+                mapping: solved.mapping.clone(),
+                cost: solved.cost,
+                algo: solved.algo.clone(),
             },
         );
         if evicted {
@@ -758,8 +913,8 @@ fn process_job(job: Job, ctx: &Ctx) {
     }
     {
         let mut best = ctx.best.lock().expect("best poisoned");
-        if outcome.cost < *best {
-            *best = outcome.cost;
+        if solved.cost < *best {
+            *best = solved.cost;
         }
     }
     record_job_events(
@@ -768,24 +923,35 @@ fn process_job(job: Job, ctx: &Ctx) {
         job.seq,
         queue_wait_ns,
         solve_ns,
-        outcome.cost,
+        solved.cost,
         "cache_miss",
     );
     let _ = job.resp.send(Response::Solved(SolveResponse {
         id: job.id,
         trace_id,
-        algo: mapper.name().to_string(),
+        algo: solved.algo,
         seed: job.seed,
         backend: job.backend.as_str().to_string(),
-        cost: outcome.cost,
+        cost: solved.cost,
         cached: false,
         cancelled,
-        evaluations: outcome.evaluations,
-        iterations: outcome.iterations as u64,
+        warm: solved.warm,
+        iterations_saved: solved.iterations_saved,
+        evaluations: solved.evaluations,
+        iterations: solved.iterations,
         queue_wait_ns,
         solve_ns,
-        mapping,
+        mapping: solved.mapping,
     }));
+}
+
+/// Best-effort text from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".to_string())
 }
 
 /// Service-level telemetry for one completed job.

@@ -1,0 +1,319 @@
+//! Consistent hashing across serve backends, with a **provable** remap
+//! bound on membership change.
+//!
+//! The router keys every solve request by its canonical
+//! [`instance_hash`](crate::hash::instance_hash), so each backend's LRU
+//! result cache and warm-start store shard naturally: the same instance
+//! always lands on the same backend. The failure mode to engineer
+//! against is membership change — when a shard joins or leaves, every
+//! remapped key is a cold cache somewhere else.
+//!
+//! [`SlotRing`] uses explicit slots rather than hashed vnode points: `S`
+//! fixed slots, each owned by one member, with ownership kept balanced
+//! (any two members' slot counts differ by at most one). A join steals
+//! exactly `⌈S/(N+1)⌉` slots — taken from the currently largest owners —
+//! and a leave redistributes only the leaver's `≤ ⌈S/N⌉` slots. Keys
+//! route by `key mod S`, so the fraction of keys that move is *exactly*
+//! the fraction of slots that move: at most `⌈K/N⌉` of `K` keys for an
+//! `N`-member ring, the classic consistent-hashing bound — here a
+//! deterministic guarantee, not an expectation over hash positions.
+//!
+//! [`ShardPool`] runs N in-process daemons behind one ring — the test
+//! and bench deployment mode; `matchctl router` is the out-of-process
+//! equivalent.
+
+use std::io;
+use std::net::SocketAddr;
+
+use crate::protocol::StatsResponse;
+use crate::server::{ServeConfig, ServeSummary, Server, ServerHandle};
+
+/// Number of slots in a ring. A power of two, comfortably larger than
+/// any realistic shard count, so per-member ownership stays within one
+/// slot of ideal while `key % SLOTS` stays cheap.
+pub const SLOTS: usize = 256;
+
+/// An explicit-slot consistent-hash ring over generic member handles.
+#[derive(Debug, Clone)]
+pub struct SlotRing<T> {
+    members: Vec<T>,
+    /// `slots[s]` = index into `members` owning slot `s`.
+    slots: Vec<usize>,
+}
+
+impl<T> SlotRing<T> {
+    /// A ring owned entirely by one first member.
+    pub fn new(first: T) -> Self {
+        SlotRing {
+            members: vec![first],
+            slots: vec![0; SLOTS],
+        }
+    }
+
+    /// Build a ring over several members (round-robin initial slot
+    /// assignment — balanced by construction). Panics on empty input.
+    pub fn from_members(members: Vec<T>) -> Self {
+        assert!(!members.is_empty(), "a ring needs at least one member");
+        let n = members.len();
+        let slots = (0..SLOTS).map(|s| s % n).collect();
+        SlotRing { members, slots }
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always false — a ring holds at least one member.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The members, in join order.
+    pub fn members(&self) -> &[T] {
+        &self.members
+    }
+
+    /// Route a key to its owning member.
+    pub fn route(&self, key: u64) -> &T {
+        &self.members[self.slots[(key % SLOTS as u64) as usize]]
+    }
+
+    /// Index of the member a key routes to.
+    pub fn route_index(&self, key: u64) -> usize {
+        self.slots[(key % SLOTS as u64) as usize]
+    }
+
+    /// Per-member slot counts (diagnostics and tests).
+    pub fn slot_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.members.len()];
+        for &owner in &self.slots {
+            counts[owner] += 1;
+        }
+        counts
+    }
+
+    /// Add a member, stealing exactly `⌈S/(N+1)⌉` slots from the
+    /// currently largest owners — the minimum any balanced assignment
+    /// must move. Returns the number of slots remapped.
+    pub fn join(&mut self, member: T) -> usize {
+        let new_idx = self.members.len();
+        self.members.push(member);
+        let n = self.members.len();
+        let take = SLOTS.div_ceil(n);
+        let mut counts = self.slot_counts();
+        let mut moved = 0;
+        while moved < take {
+            // Steal one slot from the current largest owner, so no
+            // member is drained below the post-join fair share.
+            let donor = (0..n - 1)
+                .max_by_key(|&m| counts[m])
+                .expect("ring had members before the join");
+            let slot = self
+                .slots
+                .iter()
+                .position(|&o| o == donor)
+                .expect("donor owns at least one slot");
+            self.slots[slot] = new_idx;
+            counts[donor] -= 1;
+            moved += 1;
+        }
+        moved
+    }
+
+    /// Remove the member at `index`, redistributing only its slots
+    /// (`≤ ⌈S/N⌉` for an `N`-member ring) to the remaining members,
+    /// smallest owners first. Panics when removing the last member.
+    /// Returns the number of slots remapped.
+    pub fn leave(&mut self, index: usize) -> usize {
+        assert!(index < self.members.len(), "no such member");
+        assert!(self.members.len() > 1, "cannot empty the ring");
+        self.members.remove(index);
+        let n = self.members.len();
+        // Mark the leaver's slots before shifting the indices above it
+        // down — afterwards `index` would also match the member that
+        // slid into the leaver's position.
+        let mut orphans = Vec::new();
+        for (s, owner) in self.slots.iter_mut().enumerate() {
+            if *owner == index {
+                *owner = usize::MAX;
+                orphans.push(s);
+            } else if *owner > index {
+                *owner -= 1;
+            }
+        }
+        let mut counts = vec![0usize; n];
+        for &owner in &self.slots {
+            if owner != usize::MAX {
+                counts[owner] += 1;
+            }
+        }
+        let moved = orphans.len();
+        for s in orphans {
+            let adoptive = (0..n)
+                .min_by_key(|&m| counts[m])
+                .expect("ring still has members");
+            self.slots[s] = adoptive;
+            counts[adoptive] += 1;
+        }
+        moved
+    }
+}
+
+/// N in-process daemons behind one [`SlotRing`] — the deployment mode
+/// tests and the serve bench use (client-side routing, no router hop).
+pub struct ShardPool {
+    handles: Vec<ServerHandle>,
+    ring: SlotRing<SocketAddr>,
+}
+
+impl ShardPool {
+    /// Start `n` daemons from a config template. Each shard gets
+    /// `addr` rewritten to an ephemeral port and its metrics `shard`
+    /// label set to its index.
+    pub fn start(n: usize, template: &ServeConfig) -> io::Result<ShardPool> {
+        assert!(n > 0, "a pool needs at least one shard");
+        let mut handles = Vec::with_capacity(n);
+        for shard in 0..n {
+            let mut config = template.clone();
+            config.addr = "127.0.0.1:0".to_string();
+            config.shard = shard.to_string();
+            if let Some(path) = &template.warm_store {
+                // One log per shard — stores shard with the traffic.
+                config.warm_store = Some(path.with_extension(format!("shard{shard}")));
+            }
+            handles.push(Server::start(config)?);
+        }
+        let ring = SlotRing::from_members(handles.iter().map(|h| h.local_addr()).collect());
+        Ok(ShardPool { handles, ring })
+    }
+
+    /// Shard count.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Always false — a pool holds at least one shard.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// The ring, for client-side routing.
+    pub fn ring(&self) -> &SlotRing<SocketAddr> {
+        &self.ring
+    }
+
+    /// Address of the shard a key routes to.
+    pub fn route_addr(&self, key: u64) -> SocketAddr {
+        *self.ring.route(key)
+    }
+
+    /// Address of shard `i`.
+    pub fn addr(&self, i: usize) -> SocketAddr {
+        self.handles[i].local_addr()
+    }
+
+    /// Aggregated live stats across all shards.
+    pub fn stats(&self) -> StatsResponse {
+        let mut total = StatsResponse {
+            jobs: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            rejected: 0,
+            cancelled: 0,
+            queue_depth: 0,
+            queue_cap: 0,
+            workers: 0,
+        };
+        for h in &self.handles {
+            let s = h.stats();
+            total.jobs += s.jobs;
+            total.cache_hits += s.cache_hits;
+            total.cache_misses += s.cache_misses;
+            total.rejected += s.rejected;
+            total.cancelled += s.cancelled;
+            total.queue_depth += s.queue_depth;
+            total.queue_cap += s.queue_cap;
+            total.workers += s.workers;
+        }
+        total
+    }
+
+    /// Shut every shard down, returning per-shard summaries.
+    pub fn shutdown(self) -> io::Result<Vec<ServeSummary>> {
+        self.handles.into_iter().map(|h| h.shutdown()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_member_owns_everything() {
+        let ring = SlotRing::new("a");
+        assert_eq!(ring.slot_counts(), vec![SLOTS]);
+        assert_eq!(*ring.route(123), "a");
+    }
+
+    #[test]
+    fn from_members_is_balanced() {
+        for n in 1..=9 {
+            let ring = SlotRing::from_members((0..n).collect::<Vec<_>>());
+            let counts = ring.slot_counts();
+            let (min, max) = (counts.iter().min(), counts.iter().max());
+            assert!(max.unwrap() - min.unwrap() <= 1, "n={n}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn join_moves_exactly_the_fair_share() {
+        for n in 1..=8 {
+            let mut ring = SlotRing::from_members((0..n).collect::<Vec<_>>());
+            let before = ring.slots.clone();
+            let moved = ring.join(n);
+            assert_eq!(moved, SLOTS.div_ceil(n + 1), "n={n}");
+            let diff = before
+                .iter()
+                .zip(&ring.slots)
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(diff, moved, "only stolen slots changed owners");
+            let counts = ring.slot_counts();
+            let (min, max) = (counts.iter().min(), counts.iter().max());
+            assert!(max.unwrap() - min.unwrap() <= 1, "n={n}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn leave_moves_only_the_leavers_slots() {
+        for n in 2..=8 {
+            let mut ring = SlotRing::from_members((0..n).collect::<Vec<_>>());
+            let share = ring.slot_counts()[1];
+            let moved = ring.leave(1);
+            assert_eq!(moved, share, "n={n}");
+            assert!(moved <= SLOTS.div_ceil(n), "n={n}");
+            let counts = ring.slot_counts();
+            let (min, max) = (counts.iter().min(), counts.iter().max());
+            assert!(max.unwrap() - min.unwrap() <= 1, "n={n}: {counts:?}");
+            assert_eq!(
+                ring.members(),
+                &(0..n).filter(|&m| m != 1).collect::<Vec<_>>()[..]
+            );
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_for_survivors() {
+        let mut ring = SlotRing::from_members(vec!["a", "b", "c"]);
+        let before: Vec<&str> = (0..SLOTS as u64).map(|k| *ring.route(k)).collect();
+        ring.join("d");
+        for (k, &owner) in before.iter().enumerate() {
+            let now = *ring.route(k as u64);
+            assert!(
+                now == owner || now == "d",
+                "key {k} moved between survivors: {owner} -> {now}"
+            );
+        }
+    }
+}

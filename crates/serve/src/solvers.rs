@@ -103,6 +103,38 @@ pub fn build_mapper_with(name: &str, backend: EvalBackend) -> Option<Box<dyn Map
     })
 }
 
+/// The solvers that run the CE permutation pipeline and can be
+/// warm-started from a stored stochastic matrix.
+pub fn ce_family(name: &str) -> bool {
+    matches!(name, "match" | "match-batched" | "match-sequential")
+}
+
+/// The [`MatchConfig`] behind a CE-family algo name, with the
+/// evaluation backend pinned and the solver thread count optionally
+/// overridden — the daemon caps per-solve parallelism so co-located
+/// shards don't oversubscribe one host. `None` for non-CE names.
+pub fn match_config_for(
+    name: &str,
+    backend: EvalBackend,
+    threads: Option<usize>,
+) -> Option<MatchConfig> {
+    let sampler = match name {
+        "match" => SamplerMode::Auto,
+        "match-batched" => SamplerMode::Batched,
+        "match-sequential" => SamplerMode::Sequential,
+        _ => return None,
+    };
+    let mut cfg = MatchConfig {
+        sampler,
+        backend,
+        ..MatchConfig::default()
+    };
+    if let Some(t) = threads {
+        cfg.threads = t.max(1);
+    }
+    Some(cfg)
+}
+
 /// Whether a solver only accepts square instances (|tasks| == |resources|).
 ///
 /// Permutation-model solvers assert squareness; checking here lets the
@@ -149,6 +181,23 @@ mod tests {
     #[test]
     fn unknown_name_is_refused() {
         assert!(build_mapper("quantum-annealer").is_none());
+    }
+
+    #[test]
+    fn ce_family_matches_match_config_for() {
+        for name in KNOWN_ALGOS {
+            assert_eq!(
+                ce_family(name),
+                match_config_for(name, EvalBackend::Auto, None).is_some(),
+                "{name}"
+            );
+        }
+        let cfg = match_config_for("match-batched", EvalBackend::Auto, Some(3)).unwrap();
+        assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.sampler, SamplerMode::Batched);
+        // threads = 0 is clamped, not passed through to validate().
+        let cfg = match_config_for("match", EvalBackend::Auto, Some(0)).unwrap();
+        assert_eq!(cfg.threads, 1);
     }
 
     #[test]

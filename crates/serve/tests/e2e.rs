@@ -21,8 +21,7 @@ fn start(workers: usize, queue_cap: usize, cache_cap: usize) -> ServerHandle {
         workers,
         queue_cap,
         cache_cap,
-        trace: None,
-        metrics_addr: None,
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port")
 }
@@ -516,7 +515,7 @@ fn metrics_op_reports_live_series() {
     assert_eq!(series_value(&text, "match_serve_queue_wait_ns_count"), 3.0);
     // Per-algo latency summary: count matches jobs, p50 <= p99.
     assert!(
-        text.contains("match_serve_solve_latency_ns{algo=\"hill\",quantile=\"0.5\"}"),
+        text.contains("match_serve_solve_latency_ns{algo=\"hill\",shard=\"0\",quantile=\"0.5\"}"),
         "{text}"
     );
     assert_eq!(
@@ -577,8 +576,8 @@ fn http_side_port_serves_prometheus_scrape() {
         workers: 2,
         queue_cap: 8,
         cache_cap: 8,
-        trace: None,
         metrics_addr: Some("127.0.0.1:0".into()),
+        ..ServeConfig::default()
     })
     .expect("start");
     let metrics_addr = handle.metrics_addr().expect("side port bound");
@@ -596,7 +595,8 @@ fn http_side_port_serves_prometheus_scrape() {
         "{body}"
     );
     assert_eq!(series_value(&body, "match_serve_jobs_total"), 1.0);
-    assert!(body.contains("match_serve_solve_latency_ns{algo=\"greedy\",quantile=\"0.99\"}"));
+    assert!(body
+        .contains("match_serve_solve_latency_ns{algo=\"greedy\",shard=\"0\",quantile=\"0.99\"}"));
 
     // Scrapes are repeatable and consistent with the JSONL view.
     let again = match_serve::http_get(&metrics_addr.to_string(), "/metrics").expect("rescrape");
@@ -638,7 +638,7 @@ fn trace_ids_name_request_scoped_spans() {
         queue_cap: 8,
         cache_cap: 8,
         trace: Some(trace.clone()),
-        metrics_addr: None,
+        ..ServeConfig::default()
     })
     .expect("start");
     let (tig, platform) = instance_text(6, 23);
@@ -695,7 +695,7 @@ fn trace_run_summarises() {
         queue_cap: 8,
         cache_cap: 8,
         trace: Some(trace.clone()),
-        metrics_addr: None,
+        ..ServeConfig::default()
     })
     .expect("start");
     let (tig, platform) = instance_text(7, 9);
@@ -726,4 +726,328 @@ fn trace_run_summarises() {
     let rendered = TraceSummary::from_events(&events).render();
     assert!(rendered.contains("match-serve"), "{rendered}");
     std::fs::remove_dir_all(dir).ok();
+}
+
+/// The paper-family instance for `(n, seed)`, as text plus the parsed
+/// [`match_core::MappingInstance`] (for client-side ring routing).
+fn instance_with_text(n: usize, seed: u64) -> (String, String, match_core::MappingInstance) {
+    use match_graph::gen::paper::PaperFamilyConfig;
+    use match_graph::io::to_text;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pair = PaperFamilyConfig::new(n).generate(&mut rng);
+    let inst = match_core::MappingInstance::new(&pair.tig, &pair.resources);
+    (
+        to_text(pair.tig.graph()),
+        to_text(pair.resources.graph()),
+        inst,
+    )
+}
+
+#[test]
+fn warm_repeat_saves_iterations_and_is_reported() {
+    let handle = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        warm_alpha: 0.5,
+        ..ServeConfig::default()
+    })
+    .expect("start");
+    let (tig, platform) = instance_text(16, 41);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Same structure, different seed: a result-cache miss (the job key
+    // includes the seed) but a warm-store hit (the structure hash does
+    // not), so the second solve starts from the first one's prior.
+    let cold = expect_solved(
+        client
+            .call(&solve("cold", "match-batched", 1, &tig, &platform))
+            .expect("cold"),
+    );
+    assert!(!cold.cached && !cold.warm);
+    assert_eq!(cold.iterations_saved, 0);
+
+    let warm = expect_solved(
+        client
+            .call(&solve("warm", "match-batched", 2, &tig, &platform))
+            .expect("warm"),
+    );
+    assert!(!warm.cached, "different seed must miss the result cache");
+    assert!(warm.warm, "same structure must hit the warm store");
+    assert!(
+        warm.iterations < cold.iterations,
+        "warm start must converge in fewer CE iterations ({} vs {})",
+        warm.iterations,
+        cold.iterations
+    );
+    assert_eq!(warm.iterations_saved, cold.iterations - warm.iterations);
+    // Quality parity: warm may not degrade the objective materially.
+    assert!(
+        warm.cost <= cold.cost * 1.02,
+        "warm cost {} vs cold {}",
+        warm.cost,
+        cold.cost
+    );
+
+    // The warm hit shows up on the shard-labelled metrics surface.
+    let text = match client.metrics().expect("metrics") {
+        Response::Metrics { text } => text,
+        other => panic!("expected Metrics, got {other:?}"),
+    };
+    assert!(
+        text.contains("match_serve_warm_hits_total{shard=\"0\"} 1"),
+        "{text}"
+    );
+    assert!(
+        series_value(&text, "match_serve_warm_iterations_saved_total") >= 1.0,
+        "{text}"
+    );
+    let summary = handle.shutdown().expect("shutdown");
+    assert_eq!(summary.warm_hits, 1);
+}
+
+#[test]
+fn first_warm_path_solve_is_bit_identical_to_cold_daemon() {
+    // With no prior in the store the warm path seeds the CE matrix with
+    // the exact uniform cold start, so a warm-enabled daemon's first
+    // solve must be bit-identical to a warm-disabled daemon's.
+    let warm_handle = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        warm_alpha: 0.5,
+        ..ServeConfig::default()
+    })
+    .expect("start warm");
+    let cold_handle = start(1, 8, 8);
+    let (tig, platform) = instance_text(12, 42);
+    let mut warm_client = Client::connect(warm_handle.local_addr()).expect("connect");
+    let mut cold_client = Client::connect(cold_handle.local_addr()).expect("connect");
+
+    let a = expect_solved(
+        warm_client
+            .call(&solve("a", "match-batched", 7, &tig, &platform))
+            .expect("warm daemon"),
+    );
+    let b = expect_solved(
+        cold_client
+            .call(&solve("b", "match-batched", 7, &tig, &platform))
+            .expect("cold daemon"),
+    );
+    assert!(!a.warm, "an empty store cannot produce a warm hit");
+    assert_eq!(a.mapping, b.mapping, "warm seam must not perturb the RNG");
+    assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.evaluations, b.evaluations);
+    warm_handle.shutdown().expect("shutdown warm");
+    cold_handle.shutdown().expect("shutdown cold");
+}
+
+#[test]
+fn warm_store_survives_daemon_restart() {
+    let dir = std::env::temp_dir().join(format!(
+        "match-serve-warm-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let store = dir.join("warm.log");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        warm_alpha: 0.5,
+        warm_store: Some(store.clone()),
+        ..ServeConfig::default()
+    };
+    let (tig, platform) = instance_text(16, 43);
+
+    // First daemon: one cold solve, then a drain that must flush and
+    // fsync the store.
+    let handle = Server::start(config.clone()).expect("start 1");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let cold = expect_solved(
+        client
+            .call(&solve("c", "match-batched", 1, &tig, &platform))
+            .expect("cold"),
+    );
+    assert!(!cold.warm);
+    handle.shutdown().expect("shutdown 1");
+    assert!(store.exists(), "shutdown must have persisted the log");
+
+    // Second daemon on the same log: the prior is already there.
+    let handle = Server::start(config).expect("start 2");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let warm = expect_solved(
+        client
+            .call(&solve("w", "match-batched", 2, &tig, &platform))
+            .expect("warm"),
+    );
+    assert!(warm.warm, "restarted daemon must warm-start from disk");
+    assert!(warm.iterations < cold.iterations);
+    handle.shutdown().expect("shutdown 2");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn drain_deadline_bounds_shutdown_of_a_long_job() {
+    let handle = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_cap: 4,
+        cache_cap: 0,
+        drain_deadline: Some(std::time::Duration::from_millis(50)),
+        ..ServeConfig::default()
+    })
+    .expect("start");
+    let (tig, platform) = instance_text(12, 44);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    // A paper-config GA run takes far longer than the drain bound.
+    client
+        .send(&solve("long", "ga", 3, &tig, &platform))
+        .expect("send");
+    // Let the worker pick the job up before shutting down.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let reader = std::thread::spawn(move || client.recv().expect("drained response"));
+    let begun = std::time::Instant::now();
+    handle.shutdown().expect("shutdown");
+    assert!(
+        begun.elapsed() < std::time::Duration::from_secs(10),
+        "drain deadline must bound shutdown"
+    );
+    let r = expect_solved(reader.join().expect("reader"));
+    assert!(r.cancelled, "the overrunning job is cancelled, not lost");
+    assert_eq!(r.mapping.len(), 12, "best-so-far mapping still returned");
+}
+
+#[test]
+fn shard_pool_routes_consistently_and_aggregates() {
+    use match_serve::{instance_hash, ShardPool};
+    let pool = ShardPool::start(
+        2,
+        &ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("pool");
+    assert_eq!(pool.len(), 2);
+
+    let mut per_shard = [0u64; 2];
+    for seed in 0..6u64 {
+        let (tig, platform, inst) = instance_with_text(6, 100 + seed);
+        let key = instance_hash(&inst);
+        let addr = pool.route_addr(key);
+        let shard = (0..2).find(|&i| pool.addr(i) == addr).expect("pool addr");
+        per_shard[shard] += 1;
+        // Routing is a pure function of the key: re-route agrees.
+        assert_eq!(pool.route_addr(key), addr);
+        let mut client = Client::connect(addr).expect("connect shard");
+        let r = expect_solved(
+            client
+                .call(&solve(&format!("s{seed}"), "greedy", 1, &tig, &platform))
+                .expect("call"),
+        );
+        assert_eq!(r.mapping.len(), 6);
+        // The same instance re-submitted to the same shard hits its cache.
+        let again = expect_solved(
+            client
+                .call(&solve(&format!("r{seed}"), "greedy", 1, &tig, &platform))
+                .expect("recall"),
+        );
+        assert!(again.cached, "instance affinity must keep the cache hot");
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.jobs, 12);
+    assert_eq!(stats.cache_hits, 6);
+    assert_eq!(stats.workers, 2);
+
+    // Each shard carries its own metrics label.
+    for i in 0..2 {
+        let mut client = Client::connect(pool.addr(i)).expect("connect");
+        let text = match client.metrics().expect("metrics") {
+            Response::Metrics { text } => text,
+            other => panic!("expected Metrics, got {other:?}"),
+        };
+        assert!(
+            text.contains(&format!("match_serve_jobs_total{{shard=\"{i}\"}}")),
+            "shard {i}: {text}"
+        );
+    }
+    let summaries = pool.shutdown().expect("shutdown");
+    assert_eq!(summaries.len(), 2);
+    assert_eq!(summaries.iter().map(|s| s.stats.jobs).sum::<u64>(), 12);
+    assert_eq!(per_shard[0] + per_shard[1], 6);
+}
+
+#[test]
+fn router_forwards_merges_and_survives_a_backend_death() {
+    use match_serve::{Router, RouterConfig};
+    let backend_a = start(1, 8, 8);
+    let backend_b = start(1, 8, 8);
+    let router = Router::start(RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        backends: vec![
+            backend_a.local_addr().to_string(),
+            backend_b.local_addr().to_string(),
+        ],
+        health_interval: std::time::Duration::from_millis(100),
+    })
+    .expect("router");
+    assert_eq!(router.healthy(), vec![true, true]);
+
+    let mut client = Client::connect(router.local_addr()).expect("connect router");
+    for seed in 0..4u64 {
+        let (tig, platform) = instance_text(6, 200 + seed);
+        let r = expect_solved(
+            client
+                .call(&solve(&format!("v{seed}"), "greedy", 1, &tig, &platform))
+                .expect("via router"),
+        );
+        assert_eq!(r.mapping.len(), 6);
+    }
+    // stats through the router merges both backends' counters.
+    match client.stats().expect("stats") {
+        Response::Stats(s) => {
+            assert_eq!(s.jobs, 4);
+            assert_eq!(s.workers, 2);
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+    // metrics through the router carries both shard labels.
+    match client.metrics().expect("metrics") {
+        Response::Metrics { text } => {
+            assert!(text.contains("shard=\"0\""), "{text}");
+        }
+        other => panic!("expected Metrics, got {other:?}"),
+    }
+
+    // Kill one backend out from under the router: after a health tick
+    // every request lands on the survivor.
+    backend_b.shutdown().expect("kill backend b");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while router.healthy()[1] {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "health probe never noticed the dead backend"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    for seed in 0..4u64 {
+        let (tig, platform) = instance_text(6, 300 + seed);
+        let r = expect_solved(
+            client
+                .call(&solve(&format!("f{seed}"), "greedy", 1, &tig, &platform))
+                .expect("failover"),
+        );
+        assert_eq!(r.mapping.len(), 6);
+    }
+
+    // Shutdown through the router reaches the surviving backend.
+    match client.shutdown().expect("shutdown") {
+        Response::Bye => {}
+        other => panic!("expected Bye, got {other:?}"),
+    }
+    let summary = router.shutdown().expect("router shutdown");
+    assert!(summary.routed >= 8);
+    backend_a.wait().expect("backend a drained");
 }

@@ -102,3 +102,108 @@ proptest! {
         prop_assert_ne!(instance_hash(&a), instance_hash(&b));
     }
 }
+
+mod ring {
+    //! Properties of the consistent-hash ring: bounded remap on
+    //! membership change and survivor stability.
+
+    use match_serve::{SlotRing, SLOTS};
+    use proptest::prelude::*;
+
+    /// Keys 0..SLOTS cover every slot exactly once, so routing these K
+    /// keys measures slot movement exactly: "remaps ≤ ⌈K/N⌉" for the
+    /// full key space follows from the slot bound.
+    fn routes(ring: &SlotRing<usize>) -> Vec<usize> {
+        (0..SLOTS as u64).map(|k| *ring.route(k)).collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn join_remaps_at_most_fair_share(
+            n in 1usize..12,
+            churn in proptest::collection::vec(any::<bool>(), 0..6),
+        ) {
+            let mut ring = SlotRing::from_members((0..n).collect::<Vec<_>>());
+            let mut next = n;
+            // Arbitrary join/leave churn first: the bound must hold from
+            // any reachable ring state, not just the balanced initial one.
+            for join in churn {
+                if join {
+                    ring.join(next);
+                    next += 1;
+                } else if ring.len() > 1 {
+                    ring.leave(ring.len() / 2);
+                }
+            }
+            let before = routes(&ring);
+            let n_before = ring.len();
+            let moved = ring.join(next);
+            prop_assert_eq!(moved, SLOTS.div_ceil(n_before + 1));
+            let after = routes(&ring);
+            let remapped = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+            prop_assert!(
+                remapped <= SLOTS.div_ceil(n_before + 1),
+                "{} of {} keys remapped on join into {} members",
+                remapped, SLOTS, n_before
+            );
+            // Every remapped key moved *to* the joiner, none between survivors.
+            for (a, b) in before.iter().zip(&after) {
+                prop_assert!(a == b || *b == next);
+            }
+        }
+
+        #[test]
+        fn leave_remaps_at_most_fair_share(
+            n in 2usize..12,
+            victim_seed in any::<u64>(),
+        ) {
+            let mut ring = SlotRing::from_members((0..n).collect::<Vec<_>>());
+            let victim = (victim_seed % n as u64) as usize;
+            let before = routes(&ring);
+            let moved = ring.leave(victim);
+            prop_assert!(moved <= SLOTS.div_ceil(n));
+            let after = routes(&ring);
+            let remapped = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+            prop_assert!(
+                remapped <= SLOTS.div_ceil(n),
+                "{} of {} keys remapped on leave from {} members",
+                remapped, SLOTS, n
+            );
+            // Only the leaver's keys moved; survivors kept theirs.
+            for (a, b) in before.iter().zip(&after) {
+                if *a != victim {
+                    prop_assert_eq!(a, b);
+                }
+            }
+        }
+
+        #[test]
+        fn ownership_stays_balanced_under_churn(
+            n in 1usize..8,
+            churn in proptest::collection::vec(any::<bool>(), 1..20),
+        ) {
+            let mut ring = SlotRing::from_members((0..n).collect::<Vec<_>>());
+            let mut next = n;
+            for join in churn {
+                if join {
+                    ring.join(next);
+                    next += 1;
+                } else if ring.len() > 1 {
+                    ring.leave(0);
+                }
+                let counts = ring.slot_counts();
+                let (min, max) = (
+                    *counts.iter().min().expect("nonempty"),
+                    *counts.iter().max().expect("nonempty"),
+                );
+                prop_assert!(
+                    max - min <= 1,
+                    "ownership skewed after churn: {:?}", counts
+                );
+                prop_assert_eq!(counts.iter().sum::<usize>(), SLOTS);
+            }
+        }
+    }
+}

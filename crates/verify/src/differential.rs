@@ -9,13 +9,15 @@ use crate::corpus::CorpusInstance;
 use crate::oracle::{approx_eq, evaluator_disagreement, oracle_makespan, ORACLE_REL_TOL};
 use crate::report::{CheckResult, Pillar};
 use crate::shrink::shrink_instance;
+use match_ce::StochasticMatrix;
 use match_core::{
     exec_time, exec_time_with, EvalBackend, IslandConfig, IslandMatcher, Mapper, MapperOutcome,
-    MappingInstance, MatchConfig, Matcher, MultilevelConfig, SamplerMode,
+    MappingInstance, MatchConfig, Matcher, MultilevelConfig, SamplerMode, StopToken,
 };
 use match_ga::{FastMapGa, GaConfig};
 use match_multilevel::MultilevelMapper;
 use match_rngutil::rng_from;
+use match_telemetry::NullRecorder;
 
 /// Thread counts every thread-invariance check sweeps.
 const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
@@ -491,7 +493,118 @@ pub fn run_checks(corpus: &[CorpusInstance]) -> Vec<CheckResult> {
     checks.push(backend_bit_equality(corpus));
     checks.push(many_to_one(corpus));
     checks.push(oracle_agreement(corpus));
+    checks.extend(run_warm_checks(corpus));
     checks
+}
+
+/// Warm solve under the batched pipeline: seed the stochastic matrix
+/// from `prior` mixed at `alpha`, return the outcome plus the converged
+/// matrix.
+fn warm_run(
+    c: &CorpusInstance,
+    threads: usize,
+    stream: u64,
+    prior: Option<&StochasticMatrix>,
+    alpha: f64,
+) -> (MapperOutcome, StochasticMatrix) {
+    let mut rng = rng_from(c.seed, stream);
+    let (outcome, converged) = Matcher::new(ce_config(SamplerMode::Batched, threads))
+        .run_warm_controlled(
+            &c.instance(),
+            &mut rng,
+            &mut NullRecorder,
+            &StopToken::never(),
+            prior,
+            alpha,
+        );
+    (outcome.into_mapper_outcome(), converged)
+}
+
+/// The quality band a warm start may cost relative to cold: a prior can
+/// steer early sampling, never the verdict.
+const WARM_COST_FACTOR: f64 = 1.02;
+
+/// Satellite: the warm-start seam. Three properties per square
+/// instance, each against the same cold batched baseline:
+///
+/// 1. **α = 0 bit-identity** — a warm call with a *real* converged
+///    prior but `α = 0` must reproduce the cold run exactly (mapping,
+///    cost bits, loop counters): the seam may not perturb the RNG
+///    stream or the seed matrix.
+/// 2. **Quality parity + oracle** — an `α = 0.5` warm start from a
+///    prior converged under a different seed must still satisfy every
+///    shared outcome invariant (valid permutation, Eq. 1/Eq. 2 oracle
+///    agreement) and land within [`WARM_COST_FACTOR`]× of the cold
+///    cost: priors can never degrade answers silently.
+/// 3. **Thread invariance** — the warm run's `RunSignature` must be
+///    identical across [`THREAD_SWEEP`], like every other batched
+///    pipeline.
+pub fn run_warm_checks(corpus: &[CorpusInstance]) -> Vec<CheckResult> {
+    let mut identity_failures = Vec::new();
+    let mut quality_failures = Vec::new();
+    let mut thread_failures = Vec::new();
+    for c in corpus.iter().filter(|c| c.is_square()) {
+        let inst = c.instance();
+        // Cold baseline and the prior it converged to.
+        let (cold, prior) = warm_run(c, 1, 18, None, 0.0);
+        if let Err(e) = check_outcome_invariants(&inst, &cold, true) {
+            identity_failures.push(format!("{}: cold baseline: {e}", c.name));
+            continue;
+        }
+        // 1. α = 0 with a real prior supplied: bit-identical to cold.
+        let (alpha0, _) = warm_run(c, 1, 18, Some(&prior), 0.0);
+        if RunSignature::of(&alpha0) != RunSignature::of(&cold) {
+            identity_failures.push(format!(
+                "{}: alpha=0 warm run diverged from cold (cost {} vs {}, iterations {} vs {})",
+                c.name, alpha0.cost, cold.cost, alpha0.iterations, cold.iterations
+            ));
+        }
+        // 2. α > 0 from a different-seed prior: invariants + parity.
+        let (_, other_prior) = warm_run(c, 1, 19, None, 0.0);
+        let (warm, _) = warm_run(c, 1, 18, Some(&other_prior), 0.5);
+        if let Err(e) = check_outcome_invariants(&inst, &warm, true) {
+            quality_failures.push(format!("{}: {e}", c.name));
+        } else if warm.cost > cold.cost * WARM_COST_FACTOR {
+            quality_failures.push(format!(
+                "{}: warm cost {} exceeds {WARM_COST_FACTOR}x cold cost {}",
+                c.name, warm.cost, cold.cost
+            ));
+        }
+        // 3. Warm thread invariance at fixed prior and α.
+        let want = RunSignature::of(&warm);
+        for &threads in &THREAD_SWEEP[1..] {
+            let got = RunSignature::of(&warm_run(c, threads, 18, Some(&other_prior), 0.5).0);
+            if got != want {
+                thread_failures.push(format!(
+                    "{}: warm threads={threads} diverged from threads={} \
+                     (cost {} vs {}, iterations {} vs {})",
+                    c.name,
+                    THREAD_SWEEP[0],
+                    f64::from_bits(got.cost_bits),
+                    f64::from_bits(want.cost_bits),
+                    got.iterations,
+                    want.iterations,
+                ));
+            }
+        }
+    }
+    vec![
+        summarize(
+            Pillar::Differential,
+            "ce-warm/alpha0-bit-identity",
+            identity_failures,
+        ),
+        summarize(
+            Pillar::Differential,
+            "ce-warm/quality-parity-and-oracle",
+            quality_failures,
+        ),
+        summarize(
+            Pillar::Differential,
+            "ce-warm/thread-invariance",
+            thread_failures,
+        ),
+    ]
 }
 
 /// Multilevel configuration the differential checks share. The coarsen
