@@ -7,18 +7,20 @@ use match_baselines::{
     RoundRobin, SimulatedAnnealing,
 };
 use match_core::{
-    analyze, bijective_lower_bound, EvalBackend, IslandMatcher, Mapper, MappingInstance,
-    MatchConfig, Matcher, MultilevelConfig, SamplerMode,
+    analyze, bijective_lower_bound, CapacityModel, EvalBackend, IslandMatcher, Mapper,
+    MapperOutcome, MappingInstance, MatchConfig, Matcher, MultilevelConfig, RemapConfig,
+    SamplerMode,
 };
 use match_ga::{FastMapGa, GaConfig};
 use match_graph::gen::large::LargeFamilyConfig;
 use match_graph::gen::overset::OversetConfig;
 use match_graph::gen::paper::PaperFamilyConfig;
+use match_graph::gen::topology::{CapacitySpec, TopologyConfig, TopologyKind};
 use match_graph::io::{from_text, to_dot, to_text};
 use match_graph::{ResourceGraph, TaskGraph};
 use match_multilevel::MultilevelMapper;
-use match_serve::{Client, Request, Response, ServeConfig, Server, SolveRequest};
-use match_sim::{SimConfig, SimMode, Simulator};
+use match_serve::{Client, RemapRequest, Request, Response, ServeConfig, Server, SolveRequest};
+use match_sim::{run_dynamic, DynamicConfig, SimConfig, SimMode, Simulator};
 use match_telemetry::{read_trace_file, JsonlRecorder, NullRecorder, TraceSummary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -80,16 +82,21 @@ pub const USAGE: &str = "\
 matchctl — task mapping on heterogeneous platforms (MaTCH reproduction)
 
 USAGE:
-  matchctl gen      --size N [--family paper|overset|large] [--seed S]
-                    [--out-tig FILE] [--out-platform FILE]
+  matchctl gen      --size N [--family paper|overset|large
+                    |grid|torus|fattree|dragonfly] [--seed S]
+                    [--out-tig FILE] [--out-platform FILE] [--out-caps FILE]
   matchctl info     --tig FILE --platform FILE
   matchctl solve    --tig FILE --platform FILE [--algo ALGO] [--seed S] [--out FILE]
                     [--threads N] [--sampler auto|sequential|batched]
                     [--backend auto|scalar|simd]
                     [--coarsen-target N] [--refine-passes N]
+                    [--caps FILE] [--cap-gamma G]
                     [--trace FILE.jsonl]
   matchctl simulate --tig FILE --platform FILE --mapping FILE
                     [--rounds N] [--blocking | --link] [--trace FILE.jsonl]
+  matchctl simulate --tig FILE --platform FILE --dynamic
+                    [--epochs N] [--events N] [--mu M] [--seed S]
+                    [--trace FILE.jsonl]
   matchctl report   TRACE.jsonl [--gantt] [--request ID]
   matchctl report   --diff A.jsonl B.jsonl   (side-by-side comparison)
   matchctl dot      --tig FILE (or --platform FILE)
@@ -105,6 +112,7 @@ USAGE:
                     [--algo ALGO] [--seed S] [--deadline-ms MS] [--id ID]
                     [--backend auto|scalar|simd]
                     [--count N] [--concurrency C] [--trace-out FILE.jsonl]
+                    [--remap-prior FILE [--mu N]]
   matchctl submit   [--addr HOST:PORT] --batch FILE   (lines: TIG PLATFORM
                     [ALGO [SEED [DEADLINE_MS]]])
   matchctl submit   [--addr HOST:PORT] --stats | --shutdown
@@ -140,6 +148,18 @@ membership change, health-checked). `submit --count N --concurrency C`
 expands the request into N jobs (seed base+i) pipelined over C
 connections and prints throughput and latency percentiles; --trace-out
 appends one JSONL record per response.
+
+`gen --family grid|torus|fattree|dragonfly` builds a topology-aware
+platform whose link costs grow monotonically with hop distance;
+--out-caps also writes per-resource memory/bandwidth capacities, which
+`solve --caps FILE --cap-gamma G` folds into the Eq. 1 objective as a
+soft penalty (γ = 0 is bit-neutral; CE solver only). `simulate
+--dynamic` streams task arrival/departure events and re-maps
+incrementally after every batch (warm-started from the previous epoch,
+refinement restricted to the changed subgraph); --mu weighs the
+migration-cost term μ·|moved|. `submit --remap-prior FILE` sends one
+`remap` request carrying the prior mapping so the daemon re-maps
+incrementally instead of solving cold.
 
 `metrics` prints one Prometheus text-format snapshot (over the JSONL
 protocol by default, or scraped from the HTTP side port with --http);
@@ -198,18 +218,34 @@ fn cmd_gen(args: &Args) -> Result<String, CliError> {
     let seed: u64 = args.parse_or("seed", 2005)?;
     let family = args.get_or("family", "paper");
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut caps_note = String::new();
     let pair = match family {
         "paper" => PaperFamilyConfig::new(size).generate(&mut rng),
         "overset" => OversetConfig::new(size).generate(&mut rng),
         "large" => LargeFamilyConfig::new(size).generate(&mut rng),
-        other => return Err(CliError::BadValue("family".into(), other.into())),
+        other => match TopologyKind::from_name(other) {
+            Some(kind) => {
+                let cfg = TopologyConfig::new(kind, size);
+                let pair = cfg.generate(&mut rng);
+                if let Some(path) = args.options.get("out-caps") {
+                    write(path, &cfg.generate_caps(&mut rng).to_text())?;
+                    caps_note = format!(", capacities -> {path}");
+                }
+                pair
+            }
+            None => return Err(CliError::BadValue("family".into(), other.into())),
+        },
     };
+    if args.options.contains_key("out-caps") && caps_note.is_empty() {
+        // Capacities are a property of the topology families only.
+        return Err(CliError::BadValue("out-caps".into(), family.into()));
+    }
     let out_tig = args.get_or("out-tig", "tig.txt");
     let out_platform = args.get_or("out-platform", "platform.txt");
     write(out_tig, &to_text(pair.tig.graph()))?;
     write(out_platform, &to_text(pair.resources.graph()))?;
     Ok(format!(
-        "generated {family} instance: {size} tasks -> {out_tig}, {size} resources -> {out_platform} (seed {seed})\n"
+        "generated {family} instance: {size} tasks -> {out_tig}, {size} resources -> {out_platform} (seed {seed}){caps_note}\n"
     ))
 }
 
@@ -362,6 +398,21 @@ fn cmd_solve(args: &Args) -> Result<String, CliError> {
         None => None,
     };
     let backend = backend_mode(args)?;
+    // --caps FILE folds per-resource memory/bandwidth capacities into
+    // the objective as a soft penalty weighted by --cap-gamma (γ = 0 is
+    // bit-neutral). The capacitated objective lives on the CE solver.
+    let caps = match args.options.get("caps") {
+        None => None,
+        Some(path) => {
+            if algo != "match" {
+                return Err(CliError::BadValue("caps".into(), algo.into()));
+            }
+            let gamma: f64 = args.parse_or("cap-gamma", 1.0)?;
+            let spec = CapacitySpec::from_text(&read(path)?)
+                .map_err(|e| CliError::Io(format!("parsing {path}: {e}")))?;
+            Some(CapacityModel::from_spec(&spec, gamma))
+        }
+    };
     let mapper = build_mapper(
         algo,
         threads,
@@ -371,18 +422,53 @@ fn cmd_solve(args: &Args) -> Result<String, CliError> {
     )?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut trace_note = String::new();
-    let out = match trace_path(args)? {
-        Some(path) => {
-            let mut rec = JsonlRecorder::create(std::path::Path::new(path))
-                .map_err(|e| CliError::Io(format!("creating {path}: {e}")))?;
-            let out = mapper.map_traced(&inst, &mut rng, &mut rec);
-            let lines = rec.lines();
-            rec.finish()
-                .map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
-            trace_note = format!("trace: {lines} events -> {path}\n");
-            out
+    let out = if let Some(model) = &caps {
+        let matcher = Matcher::new(MatchConfig {
+            threads: threads.unwrap_or_else(match_par::default_threads),
+            sampler: sampler_mode(args)?,
+            backend,
+            ..MatchConfig::default()
+        });
+        let o = match trace_path(args)? {
+            Some(path) => {
+                let mut rec = JsonlRecorder::create(std::path::Path::new(path))
+                    .map_err(|e| CliError::Io(format!("creating {path}: {e}")))?;
+                let o = matcher.run_capacitated_controlled(
+                    &inst,
+                    model,
+                    &mut rng,
+                    &mut rec,
+                    &match_core::StopToken::never(),
+                );
+                let lines = rec.lines();
+                rec.finish()
+                    .map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
+                trace_note = format!("trace: {lines} events -> {path}\n");
+                o
+            }
+            None => matcher.run_capacitated(&inst, model, &mut rng),
+        };
+        MapperOutcome {
+            mapping: o.mapping,
+            cost: o.cost,
+            evaluations: o.evaluations,
+            iterations: o.iterations,
+            elapsed: o.elapsed,
         }
-        None => mapper.map(&inst, &mut rng),
+    } else {
+        match trace_path(args)? {
+            Some(path) => {
+                let mut rec = JsonlRecorder::create(std::path::Path::new(path))
+                    .map_err(|e| CliError::Io(format!("creating {path}: {e}")))?;
+                let out = mapper.map_traced(&inst, &mut rng, &mut rec);
+                let lines = rec.lines();
+                rec.finish()
+                    .map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
+                trace_note = format!("trace: {lines} events -> {path}\n");
+                out
+            }
+            None => mapper.map(&inst, &mut rng),
+        }
     };
     out.mapping
         .validate(&inst)
@@ -418,6 +504,9 @@ fn cmd_solve(args: &Args) -> Result<String, CliError> {
 
 fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let inst = load_instance(args)?;
+    if args.has_switch("dynamic") {
+        return simulate_dynamic(args, &inst);
+    }
     let mapping = mapping_from_text(&read(args.required("mapping")?)?).map_err(CliError::Io)?;
     mapping
         .validate(&inst)
@@ -463,6 +552,70 @@ fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     for (s, b) in rep.busy.iter().enumerate() {
         text.push_str(&format!("  resource {s}: busy {b:.2}\n"));
     }
+    text.push_str(&trace_note);
+    Ok(text)
+}
+
+/// `simulate --dynamic`: stream task arrival/departure events over the
+/// instance and re-map incrementally after each batch, warm-starting
+/// from the previous epoch's mapping with refinement restricted to the
+/// changed subgraph. `--mu` weighs the migration-cost term μ·|moved|.
+fn simulate_dynamic(args: &Args, inst: &MappingInstance) -> Result<String, CliError> {
+    let epochs: usize = args.parse_or("epochs", 5)?;
+    if epochs == 0 {
+        return Err(CliError::BadValue("epochs".into(), "0".into()));
+    }
+    let events: usize = args.parse_or("events", 3)?;
+    let mu: f64 = args.parse_or("mu", 0.0)?;
+    if !mu.is_finite() || mu < 0.0 {
+        return Err(CliError::BadValue("mu".into(), mu.to_string()));
+    }
+    let seed: u64 = args.parse_or("seed", 1)?;
+    let cfg = DynamicConfig {
+        epochs,
+        events_per_epoch: events,
+        remap: RemapConfig {
+            mu,
+            ..RemapConfig::default()
+        },
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace_note = String::new();
+    let rep = match trace_path(args)? {
+        Some(path) => {
+            let mut rec = JsonlRecorder::create(std::path::Path::new(path))
+                .map_err(|e| CliError::Io(format!("creating {path}: {e}")))?;
+            let rep = run_dynamic(inst, &cfg, &mut rng, &mut rec);
+            let lines = rec.lines();
+            rec.finish()
+                .map_err(|e| CliError::Io(format!("writing {path}: {e}")))?;
+            trace_note = format!("trace: {lines} events -> {path}\n");
+            rep
+        }
+        None => run_dynamic(inst, &cfg, &mut rng, &mut NullRecorder),
+    };
+    let mut text = format!(
+        "dynamic workload: {} tasks, {epochs} epoch(s), {events} event(s)/epoch, mu = {mu}\n",
+        inst.n_tasks()
+    );
+    for ep in &rep.epochs {
+        let o = &ep.outcome;
+        text.push_str(&format!(
+            "  epoch {}: {} events, {} tasks changed, {} active | ET {:.2} + migration {:.2} \
+             = {:.2} ({} moved, {}, {} evaluations)\n",
+            ep.epoch,
+            ep.events,
+            ep.changed,
+            ep.active,
+            o.cost,
+            o.migration_cost,
+            o.total,
+            o.migrated,
+            if o.warm { "warm" } else { "cold" },
+            o.evaluations,
+        ));
+    }
+    text.push_str(&format!("total migrations: {}\n", rep.total_migrations()));
     text.push_str(&trace_note);
     Ok(text)
 }
@@ -737,6 +890,9 @@ fn format_response(resp: &Response) -> String {
             if r.warm {
                 flags.push_str(&format!(" [warm, saved {} iters]", r.iterations_saved));
             }
+            if r.migrated_tasks > 0 {
+                flags.push_str(&format!(" [migrated {}]", r.migrated_tasks));
+            }
             let mapping = r
                 .mapping
                 .iter()
@@ -942,7 +1098,27 @@ fn cmd_submit(args: &Args) -> Result<String, CliError> {
     let net = |e: std::io::Error| CliError::Io(format!("talking to {addr}: {e}"));
     let mut out = String::new();
     let solving = args.options.contains_key("tig") || args.options.contains_key("batch");
-    if solving {
+    if let Some(prior_path) = args.options.get("remap-prior") {
+        // One incremental re-map: wrap the single solve request with the
+        // prior mapping and the migration weight μ.
+        let mut base = submit_requests(args)?;
+        if base.len() != 1 {
+            return Err(CliError::BadValue(
+                "remap-prior".into(),
+                "re-mapping takes a single --tig/--platform request".into(),
+            ));
+        }
+        let prior = mapping_from_text(&read(prior_path)?).map_err(CliError::Io)?;
+        let mu: u64 = args.parse_or("mu", 0)?;
+        let resp = client
+            .call(&Request::Remap(RemapRequest {
+                solve: base.pop().expect("one request"),
+                prior: prior.as_slice().to_vec(),
+                mu,
+            }))
+            .map_err(net)?;
+        out.push_str(&format_response(&resp));
+    } else if solving {
         let count: u64 = args.parse_or("count", 1)?;
         let concurrency: usize = args.parse_or("concurrency", 1)?;
         if count == 0 {
@@ -2291,5 +2467,299 @@ mod tests {
         };
         assert!(report.contains("FAILED"), "{report}");
         assert!(report.contains("--update-golden"), "{report}");
+    }
+
+    #[test]
+    fn topology_families_gen_and_solve_roundtrip() {
+        let dir = tmpdir();
+        for family in ["grid", "torus", "fattree", "dragonfly"] {
+            let tig = dir.join(format!("{family}-t.txt"));
+            let plat = dir.join(format!("{family}-p.txt"));
+            let caps = dir.join(format!("{family}-caps.txt"));
+            let s = run_tokens(&[
+                "gen",
+                "--size",
+                "9",
+                "--family",
+                family,
+                "--seed",
+                "11",
+                "--out-tig",
+                tig.to_str().unwrap(),
+                "--out-platform",
+                plat.to_str().unwrap(),
+                "--out-caps",
+                caps.to_str().unwrap(),
+            ])
+            .unwrap();
+            assert!(s.contains(family), "{s}");
+            assert!(s.contains("capacities"), "{s}");
+            // The capacity sidecar parses back.
+            let spec = CapacitySpec::from_text(&std::fs::read_to_string(&caps).unwrap()).unwrap();
+            assert_eq!(spec.mem_capacity.len(), 9);
+            // The default CE solve round-trips on the generated pair.
+            let s = run_tokens(&[
+                "solve",
+                "--tig",
+                tig.to_str().unwrap(),
+                "--platform",
+                plat.to_str().unwrap(),
+                "--seed",
+                "3",
+            ])
+            .unwrap();
+            assert!(s.contains("ET ="), "{family}: {s}");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn capacitated_solve_is_bit_neutral_at_gamma_zero() {
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        let caps = dir.join("caps.txt");
+        let tig_s = tig.to_str().unwrap();
+        let plat_s = plat.to_str().unwrap();
+        let caps_s = caps.to_str().unwrap();
+        run_tokens(&[
+            "gen",
+            "--size",
+            "8",
+            "--family",
+            "grid",
+            "--out-tig",
+            tig_s,
+            "--out-platform",
+            plat_s,
+            "--out-caps",
+            caps_s,
+        ])
+        .unwrap();
+        let et = |extra: &[&str]| {
+            let mut argv = vec!["solve", "--tig", tig_s, "--platform", plat_s, "--seed", "5"];
+            argv.extend_from_slice(extra);
+            let s = run_tokens(&argv).unwrap();
+            s.split(" units").next().unwrap().to_string()
+        };
+        // γ = 0 keeps the sampled objective bit-identical to the plain
+        // Eq. 2 run; γ > 0 still produces a valid solve.
+        assert_eq!(et(&[]), et(&["--caps", caps_s, "--cap-gamma", "0"]));
+        assert!(run_tokens(&[
+            "solve",
+            "--tig",
+            tig_s,
+            "--platform",
+            plat_s,
+            "--caps",
+            caps_s,
+            "--cap-gamma",
+            "2.5",
+        ])
+        .unwrap()
+        .contains("ET ="));
+        // Capacities only make sense for the CE solver…
+        assert!(matches!(
+            run_tokens(&[
+                "solve",
+                "--tig",
+                tig_s,
+                "--platform",
+                plat_s,
+                "--algo",
+                "greedy",
+                "--caps",
+                caps_s,
+            ]),
+            Err(CliError::BadValue(_, _))
+        ));
+        // …and the sidecar only for topology families.
+        assert!(matches!(
+            run_tokens(&["gen", "--size", "6", "--out-caps", caps_s]),
+            Err(CliError::BadValue(_, _))
+        ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn dynamic_simulate_reports_epochs_and_migrations() {
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        let trace = dir.join("dyn.jsonl");
+        let tig_s = tig.to_str().unwrap();
+        let plat_s = plat.to_str().unwrap();
+        run_tokens(&[
+            "gen",
+            "--size",
+            "12",
+            "--out-tig",
+            tig_s,
+            "--out-platform",
+            plat_s,
+        ])
+        .unwrap();
+        let s = run_tokens(&[
+            "simulate",
+            "--tig",
+            tig_s,
+            "--platform",
+            plat_s,
+            "--dynamic",
+            "--epochs",
+            "3",
+            "--events",
+            "2",
+            "--mu",
+            "0.5",
+            "--seed",
+            "7",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(s.contains("dynamic workload: 12 tasks"), "{s}");
+        assert!(s.contains("epoch 0:"), "{s}");
+        assert!(s.contains("epoch 2:"), "{s}");
+        assert!(s.contains("cold"), "{s}");
+        assert!(s.contains("warm"), "{s}");
+        assert!(s.contains("total migrations:"), "{s}");
+        assert!(s.contains("trace:"), "{s}");
+        assert!(std::fs::metadata(&trace).unwrap().len() > 0);
+        // Identical seeds replay identically (wall-clock aside).
+        let rerun = |_: ()| {
+            run_tokens(&[
+                "simulate",
+                "--tig",
+                tig_s,
+                "--platform",
+                plat_s,
+                "--dynamic",
+                "--epochs",
+                "3",
+                "--events",
+                "2",
+                "--mu",
+                "0.5",
+                "--seed",
+                "7",
+            ])
+            .unwrap()
+        };
+        assert_eq!(rerun(()), rerun(()));
+        // μ must be a finite non-negative number.
+        assert!(run_tokens(&[
+            "simulate",
+            "--tig",
+            tig_s,
+            "--platform",
+            plat_s,
+            "--dynamic",
+            "--mu",
+            "-1",
+        ])
+        .is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn submit_remap_against_live_daemon() {
+        let dir = tmpdir();
+        let tig = dir.join("t.txt");
+        let plat = dir.join("p.txt");
+        let map = dir.join("m.txt");
+        let addr_file = dir.join("addr.txt");
+        let tig_s = tig.to_str().unwrap().to_string();
+        let plat_s = plat.to_str().unwrap().to_string();
+        run_tokens(&[
+            "gen",
+            "--size",
+            "8",
+            "--out-tig",
+            &tig_s,
+            "--out-platform",
+            &plat_s,
+        ])
+        .unwrap();
+        // A cold local CE solve provides the prior mapping file.
+        run_tokens(&[
+            "solve",
+            "--tig",
+            &tig_s,
+            "--platform",
+            &plat_s,
+            "--seed",
+            "4",
+            "--out",
+            map.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        let addr_file_s = addr_file.to_str().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            run_tokens(&[
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                "1",
+                "--addr-file",
+                &addr_file_s,
+            ])
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&addr_file) {
+                let s = s.trim().to_string();
+                if !s.is_empty() {
+                    break s;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "daemon never came up");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let s = run_tokens(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--tig",
+            &tig_s,
+            "--platform",
+            &plat_s,
+            "--algo",
+            "match",
+            "--seed",
+            "9",
+            "--id",
+            "re",
+            "--remap-prior",
+            map.to_str().unwrap(),
+            "--mu",
+            "1",
+        ])
+        .unwrap();
+        assert!(s.contains("re: MaTCH ET ="), "{s}");
+        assert!(s.contains("[warm"), "{s}");
+        // Non-CE algorithms are refused daemon-side.
+        let s = run_tokens(&[
+            "submit",
+            "--addr",
+            &addr,
+            "--tig",
+            &tig_s,
+            "--platform",
+            &plat_s,
+            "--algo",
+            "hill",
+            "--remap-prior",
+            map.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(s.contains("CE-family"), "{s}");
+
+        run_tokens(&["submit", "--addr", &addr, "--shutdown"]).unwrap();
+        server.join().unwrap().unwrap();
+        std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod batcheval;
+pub mod capacity;
 pub mod control;
 pub mod cost;
 pub mod islands;
@@ -35,8 +36,10 @@ pub mod matcher;
 pub mod multilevel_config;
 pub mod problem;
 pub mod quality;
+pub mod remap;
 
 pub use batcheval::{build_plan, PlanEvaluator};
+pub use capacity::CapacityModel;
 pub use control::{StopFlag, StopToken};
 pub use cost::{
     apply_move_delta, apply_swap_delta, exec_per_resource, exec_per_resource_into, exec_time,
@@ -50,3 +53,4 @@ pub use matcher::{MatchConfig, MatchOutcome, Matcher, SamplerMode};
 pub use multilevel_config::MultilevelConfig;
 pub use problem::MappingInstance;
 pub use quality::{analyze, bijective_lower_bound, lower_bound, MappingQuality};
+pub use remap::{remap, remap_incremental, RemapConfig, RemapOutcome, RemapStrategy};

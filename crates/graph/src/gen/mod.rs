@@ -11,11 +11,13 @@ pub mod classic;
 pub mod large;
 pub mod overset;
 pub mod paper;
+pub mod topology;
 
 pub use classic::{complete_graph, gnp_graph, grid2d_graph, ring_graph, star_graph};
 pub use large::LargeFamilyConfig;
 pub use overset::{OversetConfig, OversetDomain};
 pub use paper::PaperFamilyConfig;
+pub use topology::{hop_distance, CapacitySpec, TopologyConfig, TopologyKind};
 
 use crate::InstancePair;
 use rand::Rng;
@@ -32,6 +34,9 @@ pub enum InstanceGenerator {
     Overset(OversetConfig),
     /// Sparse bounded-degree family for n ≫ paper scale.
     Large(LargeFamilyConfig),
+    /// Paper-family TIG on a hop-distance-routed interconnect
+    /// (grid / torus / fat-tree / dragonfly).
+    Topology(TopologyConfig),
 }
 
 impl InstanceGenerator {
@@ -53,12 +58,19 @@ impl InstanceGenerator {
         InstanceGenerator::Large(LargeFamilyConfig::new(n))
     }
 
+    /// A topology-aware family: paper-family TIG, platform link costs
+    /// proportional to `kind`'s hop distance.
+    pub fn topology_family(kind: TopologyKind, n: usize) -> Self {
+        InstanceGenerator::Topology(TopologyConfig::new(kind, n))
+    }
+
     /// Generate one instance pair.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> InstancePair {
         match self {
             InstanceGenerator::Paper(cfg) => cfg.generate(rng),
             InstanceGenerator::Overset(cfg) => cfg.generate(rng),
             InstanceGenerator::Large(cfg) => cfg.generate(rng),
+            InstanceGenerator::Topology(cfg) => cfg.generate(rng),
         }
     }
 }

@@ -1,0 +1,545 @@
+//! Topology-aware platform generators: grid, torus, fat-tree, dragonfly.
+//!
+//! The paper's §5.2 family draws `c_{s,b}` link costs uniformly, but real
+//! heterogeneous platforms derive communication cost from interconnect
+//! *hop distance* (Glantz et al., *Algorithms for Mapping Parallel
+//! Processes onto Grid and Torus Architectures*). Each generator here
+//! builds a platform whose routed link cost is an exactly monotone
+//! function of hop count:
+//!
+//! ```text
+//!   c_{s,b} = per_hop · hops(s, b)
+//! ```
+//!
+//! where `per_hop` is one uniform integer draw from the paper's 10–20
+//! link-weight range and `hops` is the topology's graph distance. The
+//! grid and torus are built as sparse nearest-neighbour graphs with
+//! uniform link weight (so the shortest-path closure *is* the hop
+//! metric); the fat-tree and dragonfly are built as complete metric
+//! graphs over their standard hierarchical distances. All arithmetic is
+//! integer-valued in `f64`, so `link_cost(s, b) == per_hop · hops(s, b)`
+//! holds bit-exactly — the property tests assert equality, not
+//! tolerance.
+//!
+//! Per-resource memory/bandwidth capacities and per-task demands
+//! (Wilhelm et al., *Modeling Task Mapping for Data-intensive
+//! Applications in Heterogeneous Systems*) ride along as an optional
+//! [`CapacitySpec`]; `match-core` turns them into a penalty term on the
+//! Eq. 1 objective.
+
+use crate::graph::Graph;
+use crate::resource::ResourceGraph;
+use crate::tig::TaskGraph;
+use crate::InstancePair;
+use rand::Rng;
+
+use super::paper::PaperFamilyConfig;
+
+/// Which interconnect topology to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// 2-D mesh: resources on a `rows × cols` grid, nearest-neighbour
+    /// links, hop distance = Manhattan distance.
+    Grid,
+    /// 2-D torus: the grid plus wrap-around links; hop distance =
+    /// wrap-around Manhattan distance.
+    Torus,
+    /// Fat-tree with arity [`TopologyConfig::FAT_TREE_ARITY`]: resources
+    /// are leaves; hop distance = `2 · (levels to the lowest common
+    /// ancestor)`.
+    FatTree,
+    /// Dragonfly: resources partitioned into `⌈√n⌉`-sized groups;
+    /// 1 hop inside a group, 3 hops (local–global–local) across groups.
+    Dragonfly,
+}
+
+impl TopologyKind {
+    /// The CLI/corpus name of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Grid => "grid",
+            TopologyKind::Torus => "torus",
+            TopologyKind::FatTree => "fattree",
+            TopologyKind::Dragonfly => "dragonfly",
+        }
+    }
+
+    /// Parse a CLI/corpus name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "grid" => Some(TopologyKind::Grid),
+            "torus" => Some(TopologyKind::Torus),
+            "fattree" => Some(TopologyKind::FatTree),
+            "dragonfly" => Some(TopologyKind::Dragonfly),
+            _ => None,
+        }
+    }
+
+    /// All four kinds, in canonical order.
+    pub const ALL: [TopologyKind; 4] = [
+        TopologyKind::Grid,
+        TopologyKind::Torus,
+        TopologyKind::FatTree,
+        TopologyKind::Dragonfly,
+    ];
+}
+
+/// Configuration for a topology-aware instance: a paper-family TIG
+/// mapped onto a hop-distance-routed platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyConfig {
+    /// The interconnect shape.
+    pub kind: TopologyKind,
+    /// Number of tasks and of resources.
+    pub n: usize,
+    /// Platform node (per-unit processing cost) range, inclusive. Paper: 1–5.
+    pub res_node_weights: (u32, u32),
+    /// Per-hop link cost range, inclusive; one integer draw per
+    /// platform. Paper link range: 10–20.
+    pub per_hop_cost: (u32, u32),
+    /// Per-task memory demand range for [`TopologyConfig::generate_caps`].
+    pub mem_demand: (u32, u32),
+    /// Per-task bandwidth demand range for [`TopologyConfig::generate_caps`].
+    pub bw_demand: (u32, u32),
+}
+
+impl TopologyConfig {
+    /// Fat-tree arity (children per switch).
+    pub const FAT_TREE_ARITY: usize = 2;
+
+    /// Defaults at size `n`: paper weight ranges, modest capacity demands.
+    pub fn new(kind: TopologyKind, n: usize) -> Self {
+        TopologyConfig {
+            kind,
+            n,
+            res_node_weights: (1, 5),
+            per_hop_cost: (10, 20),
+            mem_demand: (1, 8),
+            bw_demand: (5, 20),
+        }
+    }
+
+    /// Grid/torus dimensions for `n` resources: `rows` is the largest
+    /// divisor of `n` with `rows ≤ √n` (1 for primes, degrading to a
+    /// ring/path), `cols = n / rows`.
+    pub fn dims(n: usize) -> (usize, usize) {
+        if n == 0 {
+            return (0, 0);
+        }
+        let mut rows = 1;
+        let mut d = 1;
+        while d * d <= n {
+            if n.is_multiple_of(d) {
+                rows = d;
+            }
+            d += 1;
+        }
+        (rows, n / rows)
+    }
+
+    /// The dragonfly group size for `n` resources: `⌈√n⌉`.
+    pub fn dragonfly_group(n: usize) -> usize {
+        if n == 0 {
+            return 1;
+        }
+        let mut g = 1;
+        while g * g < n {
+            g += 1;
+        }
+        g
+    }
+
+    /// The topology's hop distance between resources `a` and `b` — the
+    /// pure metric the generated platform's link costs scale. Symmetric,
+    /// zero iff `a == b`, and satisfies the triangle inequality.
+    pub fn hop_distance(&self, a: usize, b: usize) -> usize {
+        hop_distance(self.kind, self.n, a, b)
+    }
+
+    /// Generate one TIG/platform pair: a §5.2 paper-family TIG and a
+    /// hop-distance-routed platform.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> InstancePair {
+        let tig = self.generate_tig(rng);
+        let resources = self.generate_platform(rng);
+        InstancePair { tig, resources }
+    }
+
+    /// Generate only the TIG (the §5.2 paper family at size `n`).
+    pub fn generate_tig<R: Rng + ?Sized>(&self, rng: &mut R) -> TaskGraph {
+        PaperFamilyConfig::new(self.n).generate_tig(rng)
+    }
+
+    /// Generate only the platform. Node weights are per-resource draws
+    /// from [`TopologyConfig::res_node_weights`]; link structure and
+    /// weights follow the topology's hop metric scaled by one
+    /// `per_hop_cost` draw.
+    pub fn generate_platform<R: Rng + ?Sized>(&self, rng: &mut R) -> ResourceGraph {
+        let n = self.n;
+        let weights: Vec<f64> = (0..n)
+            .map(|_| draw(rng, self.res_node_weights) as f64)
+            .collect();
+        let per_hop = draw(rng, self.per_hop_cost) as f64;
+        let mut g = Graph::from_node_weights(weights).expect("positive weights");
+        match self.kind {
+            TopologyKind::Grid | TopologyKind::Torus => {
+                // Sparse nearest-neighbour links of uniform weight: the
+                // shortest-path closure then equals per_hop · hops
+                // exactly (every intermediate Dijkstra sum is an
+                // integer-valued f64).
+                let (rows, cols) = Self::dims(n);
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let v = r * cols + c;
+                        if c + 1 < cols {
+                            g.add_edge(v, v + 1, per_hop).expect("fresh edge");
+                        }
+                        if r + 1 < rows {
+                            g.add_edge(v, v + cols, per_hop).expect("fresh edge");
+                        }
+                    }
+                }
+                if self.kind == TopologyKind::Torus {
+                    // Wrap links; a dimension of length ≤ 2 already has
+                    // its wrap neighbour adjacent.
+                    if cols > 2 {
+                        for r in 0..rows {
+                            g.add_edge(r * cols, r * cols + cols - 1, per_hop)
+                                .expect("fresh edge");
+                        }
+                    }
+                    if rows > 2 {
+                        for c in 0..cols {
+                            g.add_edge(c, (rows - 1) * cols + c, per_hop)
+                                .expect("fresh edge");
+                        }
+                    }
+                }
+            }
+            TopologyKind::FatTree | TopologyKind::Dragonfly => {
+                // Complete metric graph: hop counts already satisfy the
+                // triangle inequality, so the closure preserves every
+                // direct weight.
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        let hops = hop_distance(self.kind, n, a, b) as f64;
+                        g.add_edge(a, b, per_hop * hops).expect("fresh edge");
+                    }
+                }
+            }
+        }
+        ResourceGraph::new(g).expect("valid platform by construction")
+    }
+
+    /// Generate per-task demands and per-resource capacities (memory and
+    /// bandwidth, à la Wilhelm et al.). Capacities are drawn so the
+    /// aggregate comfortably fits but individual resources can overflow
+    /// under a bad mapping — the capacity penalty has teeth without
+    /// making the instance infeasible.
+    pub fn generate_caps<R: Rng + ?Sized>(&self, rng: &mut R) -> CapacitySpec {
+        let n = self.n;
+        let mem_demand: Vec<f64> = (0..n).map(|_| draw(rng, self.mem_demand) as f64).collect();
+        let bw_demand: Vec<f64> = (0..n).map(|_| draw(rng, self.bw_demand) as f64).collect();
+        let mem_capacity = draw_capacities(rng, &mem_demand, n);
+        let bw_capacity = draw_capacities(rng, &bw_demand, n);
+        CapacitySpec {
+            mem_demand,
+            mem_capacity,
+            bw_demand,
+            bw_capacity,
+        }
+    }
+}
+
+/// The pure hop metric of `kind` over `n` resources. Exposed standalone
+/// so property tests can cross-check generated link costs against it.
+pub fn hop_distance(kind: TopologyKind, n: usize, a: usize, b: usize) -> usize {
+    assert!(a < n && b < n, "resource out of range");
+    if a == b {
+        return 0;
+    }
+    match kind {
+        TopologyKind::Grid => {
+            let (_, cols) = TopologyConfig::dims(n);
+            let (ra, ca) = (a / cols, a % cols);
+            let (rb, cb) = (b / cols, b % cols);
+            ra.abs_diff(rb) + ca.abs_diff(cb)
+        }
+        TopologyKind::Torus => {
+            let (rows, cols) = TopologyConfig::dims(n);
+            let (ra, ca) = (a / cols, a % cols);
+            let (rb, cb) = (b / cols, b % cols);
+            let dr = ra.abs_diff(rb);
+            let dc = ca.abs_diff(cb);
+            dr.min(rows - dr) + dc.min(cols - dc)
+        }
+        TopologyKind::FatTree => {
+            // Leaves of an arity-k tree: climb both until they meet.
+            let k = TopologyConfig::FAT_TREE_ARITY;
+            let (mut x, mut y) = (a, b);
+            let mut levels = 0;
+            while x != y {
+                x /= k;
+                y /= k;
+                levels += 1;
+            }
+            2 * levels
+        }
+        TopologyKind::Dragonfly => {
+            let g = TopologyConfig::dragonfly_group(n);
+            if a / g == b / g {
+                1
+            } else {
+                3
+            }
+        }
+    }
+}
+
+fn draw<R: Rng + ?Sized>(rng: &mut R, (lo, hi): (u32, u32)) -> u32 {
+    rng.random_range(lo..=hi)
+}
+
+fn draw_capacities<R: Rng + ?Sized>(rng: &mut R, demand: &[f64], n: usize) -> Vec<f64> {
+    let total: f64 = demand.iter().sum();
+    let max = demand.iter().fold(0.0f64, |m, &d| m.max(d));
+    let lo = (total / n as f64).ceil().max(1.0) as u32;
+    let hi = ((2.0 * total / n as f64).ceil() as u32 + max as u32).max(lo + 1);
+    (0..n).map(|_| draw(rng, (lo, hi)) as f64).collect()
+}
+
+/// Per-task demands and per-resource capacities for the optional
+/// capacity term on the Eq. 1 objective (Wilhelm et al.).
+///
+/// All vectors are strictly positive; demand vectors are per-task,
+/// capacity vectors per-resource. Serialized with the same
+/// line-oriented text shape as the graph I/O:
+///
+/// ```text
+/// caps <n_tasks> <n_resources>
+/// mem_demand <v0> <v1> …
+/// mem_capacity <v0> …
+/// bw_demand <v0> …
+/// bw_capacity <v0> …
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacitySpec {
+    /// Memory demand per task.
+    pub mem_demand: Vec<f64>,
+    /// Memory capacity per resource.
+    pub mem_capacity: Vec<f64>,
+    /// Bandwidth demand per task.
+    pub bw_demand: Vec<f64>,
+    /// Bandwidth capacity per resource.
+    pub bw_capacity: Vec<f64>,
+}
+
+impl CapacitySpec {
+    /// Serialize to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        fn line(name: &str, vs: &[f64]) -> String {
+            let mut s = String::from(name);
+            for v in vs {
+                s.push(' ');
+                s.push_str(&format!("{v}"));
+            }
+            s.push('\n');
+            s
+        }
+        let mut out = format!(
+            "caps {} {}\n",
+            self.mem_demand.len(),
+            self.mem_capacity.len()
+        );
+        out.push_str(&line("mem_demand", &self.mem_demand));
+        out.push_str(&line("mem_capacity", &self.mem_capacity));
+        out.push_str(&line("bw_demand", &self.bw_demand));
+        out.push_str(&line("bw_capacity", &self.bw_capacity));
+        out
+    }
+
+    /// Parse the text format produced by [`CapacitySpec::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut tasks = 0usize;
+        let mut resources = 0usize;
+        let mut fields: [Option<Vec<f64>>; 4] = [None, None, None, None];
+        const NAMES: [&str; 4] = ["mem_demand", "mem_capacity", "bw_demand", "bw_capacity"];
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let head = parts.next().unwrap();
+            if head == "caps" {
+                tasks = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("line {}: bad caps header", lineno + 1))?;
+                resources = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("line {}: bad caps header", lineno + 1))?;
+                continue;
+            }
+            let Some(slot) = NAMES.iter().position(|&n| n == head) else {
+                return Err(format!("line {}: unknown record `{head}`", lineno + 1));
+            };
+            let vs: Result<Vec<f64>, _> = parts.map(|s| s.parse::<f64>()).collect();
+            let vs = vs.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if vs.iter().any(|v| !v.is_finite() || *v <= 0.0) {
+                return Err(format!("line {}: values must be positive", lineno + 1));
+            }
+            fields[slot] = Some(vs);
+        }
+        let [Some(mem_demand), Some(mem_capacity), Some(bw_demand), Some(bw_capacity)] = fields
+        else {
+            return Err("missing capacity record".into());
+        };
+        if mem_demand.len() != tasks
+            || bw_demand.len() != tasks
+            || mem_capacity.len() != resources
+            || bw_capacity.len() != resources
+        {
+            return Err("capacity vector length mismatch".into());
+        }
+        Ok(CapacitySpec {
+            mem_demand,
+            mem_capacity,
+            bw_demand,
+            bw_capacity,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dims_factor_reasonably() {
+        assert_eq!(TopologyConfig::dims(12), (3, 4));
+        assert_eq!(TopologyConfig::dims(16), (4, 4));
+        assert_eq!(TopologyConfig::dims(7), (1, 7)); // prime → ring/path
+        assert_eq!(TopologyConfig::dims(1), (1, 1));
+    }
+
+    #[test]
+    fn link_cost_is_per_hop_times_hops_exactly() {
+        for kind in TopologyKind::ALL {
+            let cfg = TopologyConfig::new(kind, 12);
+            let mut rng = StdRng::seed_from_u64(11);
+            let p = cfg.generate_platform(&mut rng);
+            // Recover per_hop from any adjacent (1-hop for grid/torus,
+            // minimal-hop otherwise) pair.
+            let mut per_hop = f64::INFINITY;
+            for a in 0..12 {
+                for b in 0..12 {
+                    if a != b {
+                        let h = cfg.hop_distance(a, b) as f64;
+                        per_hop = per_hop.min(p.link_cost(a, b) / h);
+                    }
+                }
+            }
+            for a in 0..12 {
+                for b in 0..12 {
+                    let expected = per_hop * cfg.hop_distance(a, b) as f64;
+                    assert_eq!(
+                        p.link_cost(a, b).to_bits(),
+                        expected.to_bits(),
+                        "{} ({a},{b})",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_wraps_shrink_distances() {
+        // On a 4×4 torus opposite corners are 2+2 hops by wrapping, not 6.
+        assert_eq!(hop_distance(TopologyKind::Torus, 16, 0, 15), 2);
+        assert_eq!(hop_distance(TopologyKind::Grid, 16, 0, 15), 6);
+    }
+
+    #[test]
+    fn fattree_distance_is_even_and_bounded() {
+        for a in 0..8 {
+            for b in 0..8 {
+                let d = hop_distance(TopologyKind::FatTree, 8, a, b);
+                if a == b {
+                    assert_eq!(d, 0);
+                } else {
+                    assert!(d.is_multiple_of(2) && d <= 6, "d({a},{b}) = {d}");
+                }
+            }
+        }
+        // Siblings under one switch are 2 apart.
+        assert_eq!(hop_distance(TopologyKind::FatTree, 8, 0, 1), 2);
+        // Opposite halves pay the full climb.
+        assert_eq!(hop_distance(TopologyKind::FatTree, 8, 0, 7), 6);
+    }
+
+    #[test]
+    fn dragonfly_distance_is_one_or_three() {
+        let g = TopologyConfig::dragonfly_group(12); // 4
+        assert_eq!(g, 4);
+        assert_eq!(hop_distance(TopologyKind::Dragonfly, 12, 0, 3), 1);
+        assert_eq!(hop_distance(TopologyKind::Dragonfly, 12, 0, 4), 3);
+    }
+
+    #[test]
+    fn all_topologies_generate_connected_square_pairs() {
+        for kind in TopologyKind::ALL {
+            let mut rng = StdRng::seed_from_u64(5);
+            let pair = TopologyConfig::new(kind, 9).generate(&mut rng);
+            assert!(pair.is_square(), "{}", kind.name());
+            assert!(is_connected(pair.tig.graph()), "{}", kind.name());
+            assert!(pair.resources.is_fully_connected(), "{}", kind.name());
+            for s in 0..9 {
+                let w = pair.resources.processing_cost(s);
+                assert!((1.0..=5.0).contains(&w), "{} node weight {w}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for kind in TopologyKind::ALL {
+            let cfg = TopologyConfig::new(kind, 10);
+            let a = cfg.generate(&mut StdRng::seed_from_u64(7));
+            let b = cfg.generate(&mut StdRng::seed_from_u64(7));
+            assert_eq!(a.tig, b.tig, "{}", kind.name());
+            assert_eq!(a.resources, b.resources, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in TopologyKind::ALL {
+            assert_eq!(TopologyKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(TopologyKind::from_name("mesh3d"), None);
+    }
+
+    #[test]
+    fn caps_round_trip_through_text() {
+        let cfg = TopologyConfig::new(TopologyKind::Grid, 9);
+        let caps = cfg.generate_caps(&mut StdRng::seed_from_u64(3));
+        assert_eq!(caps.mem_demand.len(), 9);
+        assert_eq!(caps.mem_capacity.len(), 9);
+        assert!(caps.mem_demand.iter().all(|&d| d >= 1.0));
+        assert!(caps.bw_capacity.iter().all(|&c| c > 0.0));
+        let parsed = CapacitySpec::from_text(&caps.to_text()).unwrap();
+        assert_eq!(parsed, caps);
+    }
+
+    #[test]
+    fn caps_parse_rejects_garbage() {
+        assert!(CapacitySpec::from_text("nope 1 2\n").is_err());
+        assert!(CapacitySpec::from_text("caps 2 2\nmem_demand 1 -3\n").is_err());
+        assert!(CapacitySpec::from_text("caps 2 2\nmem_demand 1 2\n").is_err());
+    }
+}

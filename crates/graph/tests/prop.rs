@@ -99,6 +99,105 @@ proptest! {
     }
 
     #[test]
+    fn topology_link_costs_symmetric(n in 2usize..30, kind_ix in 0usize..4, seed in any::<u64>()) {
+        use match_graph::gen::topology::{TopologyConfig, TopologyKind};
+        let kind = TopologyKind::ALL[kind_ix];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = TopologyConfig::new(kind, n).generate_platform(&mut rng);
+        for a in 0..n {
+            prop_assert_eq!(p.link_cost(a, a).to_bits(), 0.0f64.to_bits());
+            for b in 0..n {
+                prop_assert_eq!(
+                    p.link_cost(a, b).to_bits(),
+                    p.link_cost(b, a).to_bits(),
+                    "c_(s,b) != c_(b,s) on {} ({}, {})", kind.name(), a, b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_torus_triangle_inequality(n in 2usize..30, torus in any::<bool>(), seed in any::<u64>()) {
+        use match_graph::gen::topology::{TopologyConfig, TopologyKind};
+        let kind = if torus { TopologyKind::Torus } else { TopologyKind::Grid };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = TopologyConfig::new(kind, n).generate_platform(&mut rng);
+        // Uniform per-hop weights make every cost an exact integer
+        // multiple, so the triangle inequality holds without tolerance.
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    prop_assert!(
+                        p.link_cost(a, c) <= p.link_cost(a, b) + p.link_cost(b, c),
+                        "triangle violated on {} ({}, {}, {})", kind.name(), a, b, c
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topology_cost_is_monotone_in_hop_count(n in 2usize..30, kind_ix in 0usize..4, seed in any::<u64>()) {
+        use match_graph::gen::topology::{hop_distance, TopologyConfig, TopologyKind};
+        let kind = TopologyKind::ALL[kind_ix];
+        let cfg = TopologyConfig::new(kind, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = cfg.generate_platform(&mut rng);
+        // More hops never costs less, and equal hops cost exactly the
+        // same — c_{s,b} is a monotone function of hop distance.
+        let mut pairs: Vec<(usize, u64)> = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                pairs.push((hop_distance(kind, n, a, b), p.link_cost(a, b).to_bits()));
+            }
+        }
+        pairs.sort();
+        for w in pairs.windows(2) {
+            let ((h1, c1), (h2, c2)) = (w[0], w[1]);
+            if h1 == h2 {
+                prop_assert_eq!(c1, c2, "equal hops, different cost on {}", kind.name());
+            } else {
+                prop_assert!(
+                    f64::from_bits(c1) < f64::from_bits(c2),
+                    "cost not strictly increasing in hops on {}", kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn torus_wraparound_distance_correct(n in 2usize..40, seed in any::<u64>()) {
+        use match_graph::gen::topology::{hop_distance, TopologyConfig, TopologyKind};
+        let (rows, cols) = TopologyConfig::dims(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = TopologyConfig::new(TopologyKind::Torus, n).generate_platform(&mut rng);
+        let per_hop = p
+            .graph()
+            .edges()
+            .map(|(_, _, w)| w)
+            .fold(f64::INFINITY, f64::min);
+        for a in 0..n {
+            for b in 0..n {
+                let (ra, ca) = (a / cols, a % cols);
+                let (rb, cb) = (b / cols, b % cols);
+                let dr = ra.abs_diff(rb);
+                let dc = ca.abs_diff(cb);
+                let wrap = dr.min(rows - dr) + dc.min(cols - dc);
+                prop_assert_eq!(hop_distance(TopologyKind::Torus, n, a, b), wrap);
+                // The routed platform realises exactly the wrap metric:
+                // never more than wrap hops, never fewer than any path.
+                if n > 1 {
+                    prop_assert_eq!(
+                        p.link_cost(a, b).to_bits(),
+                        (per_hop * wrap as f64).to_bits(),
+                        "torus cost != per_hop * wrap distance ({}, {})", a, b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn overset_tig_weights_positive(blocks in 1usize..25, seed in any::<u64>()) {
         use match_graph::gen::overset::OversetConfig;
         let mut rng = StdRng::seed_from_u64(seed);

@@ -46,6 +46,9 @@ pub struct MetricsRecorder {
     metrics: Metrics,
     algo: String,
     backend: String,
+    /// Extra `op` label (e.g. `remap`) on every series; absent for plain
+    /// solves so their series names stay exactly as previous releases.
+    op: Option<String>,
     iterations: Counter,
     evaluations: Counter,
     counters: BTreeMap<String, Counter>,
@@ -64,13 +67,30 @@ impl MetricsRecorder {
     /// evaluation `backend` the solve runs under, so scrapes can split
     /// solver throughput per kernel.
     pub fn with_backend(metrics: &Metrics, algo: &str, backend: &str) -> Self {
-        let labels = [("algo", algo), ("backend", backend)];
+        Self::build(metrics, algo, backend, None)
+    }
+
+    /// Build a recorder that additionally labels every series with an
+    /// `op` (e.g. `op="remap"`), so scrapes can split solver throughput
+    /// between full solves and incremental re-maps.
+    pub fn with_op(metrics: &Metrics, algo: &str, backend: &str, op: &str) -> Self {
+        Self::build(metrics, algo, backend, Some(op))
+    }
+
+    fn build(metrics: &Metrics, algo: &str, backend: &str, op: Option<&str>) -> Self {
+        let resolve = |name: &str| match op {
+            Some(op) => {
+                metrics.counter_with(name, &[("algo", algo), ("backend", backend), ("op", op)])
+            }
+            None => metrics.counter_with(name, &[("algo", algo), ("backend", backend)]),
+        };
         MetricsRecorder {
-            iterations: metrics.counter_with("match_solver_iterations_total", &labels),
-            evaluations: metrics.counter_with("match_solver_evaluations_total", &labels),
+            iterations: resolve("match_solver_iterations_total"),
+            evaluations: resolve("match_solver_evaluations_total"),
             metrics: metrics.clone(),
             algo: algo.to_string(),
             backend: backend.to_string(),
+            op: op.map(str::to_string),
             counters: BTreeMap::new(),
         }
     }
@@ -78,9 +98,15 @@ impl MetricsRecorder {
     fn named_counter(&mut self, name: &str) -> &Counter {
         if !self.counters.contains_key(name) {
             let series = format!("match_solver_{}_total", sanitize(name));
-            let handle = self
-                .metrics
-                .counter_with(&series, &[("algo", &self.algo), ("backend", &self.backend)]);
+            let handle = match &self.op {
+                Some(op) => self.metrics.counter_with(
+                    &series,
+                    &[("algo", &self.algo), ("backend", &self.backend), ("op", op)],
+                ),
+                None => self
+                    .metrics
+                    .counter_with(&series, &[("algo", &self.algo), ("backend", &self.backend)]),
+            };
             self.counters.insert(name.to_string(), handle);
         }
         &self.counters[name]
@@ -182,5 +208,33 @@ mod tests {
         assert_eq!(snap.counters[&key("ce", "auto")], 1);
         assert_eq!(snap.counters[&key("ga", "auto")], 1);
         assert_eq!(snap.counters[&key("ce", "simd")], 1);
+    }
+
+    #[test]
+    fn op_label_separates_remap_series() {
+        let metrics = Metrics::new();
+        let mut rec = MetricsRecorder::with_op(&metrics, "match", "auto", "remap");
+        rec.record(iter_event(0));
+        rec.record(Event::Counter {
+            name: "evaluations".into(),
+            value: 7,
+        });
+        MetricsRecorder::with_backend(&metrics, "match", "auto").record(iter_event(0));
+        let snap = metrics.snapshot();
+        let remap_key = crate::MetricKey::new(
+            "match_solver_iterations_total",
+            &[("algo", "match"), ("backend", "auto"), ("op", "remap")],
+        );
+        let solve_key = crate::MetricKey::new(
+            "match_solver_iterations_total",
+            &[("algo", "match"), ("backend", "auto")],
+        );
+        assert_eq!(snap.counters[&remap_key], 1);
+        assert_eq!(snap.counters[&solve_key], 1);
+        let named_key = crate::MetricKey::new(
+            "match_solver_evaluations_total",
+            &[("algo", "match"), ("backend", "auto"), ("op", "remap")],
+        );
+        assert_eq!(snap.counters[&named_key], 7);
     }
 }

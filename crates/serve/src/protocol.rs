@@ -103,11 +103,28 @@ pub struct SolveRequest {
     pub platform: String,
 }
 
+/// An incremental re-mapping request: a solve plus a prior mapping to
+/// warm-start from and a migration-cost weight μ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemapRequest {
+    /// The embedded solve fields (id, algo, seed, deadline, backend,
+    /// instance text). Only CE-family algorithms accept `remap`.
+    pub solve: SolveRequest,
+    /// The prior task→resource assignment to re-map from.
+    pub prior: Vec<usize>,
+    /// Migration-cost weight: the refined objective is
+    /// `ET + μ·(tasks moved off their prior resource)`. Integer on the
+    /// wire (the protocol's numbers are `u64`).
+    pub mu: u64,
+}
+
 /// A client→server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Solve one instance.
     Solve(SolveRequest),
+    /// Incrementally re-map an instance from a prior mapping.
+    Remap(RemapRequest),
     /// Report service counters.
     Stats,
     /// Dump the live metrics registry in Prometheus text format.
@@ -152,6 +169,10 @@ pub struct SolveResponse {
     pub queue_wait_ns: u64,
     /// Nanoseconds spent solving (cache lookup time on a hit).
     pub solve_ns: u64,
+    /// Tasks assigned to a different resource than the request's prior
+    /// mapping (always 0 for plain `solve` requests, which carry no
+    /// prior).
+    pub migrated_tasks: u64,
     /// Task→resource assignment.
     pub mapping: Vec<usize>,
 }
@@ -240,28 +261,43 @@ fn push_f64(out: &mut String, v: f64) {
     }
 }
 
+fn push_solve_fields(s: &mut String, op: &str, r: &SolveRequest) {
+    let _ = write!(s, "{{\"op\":\"{op}\",\"id\":");
+    push_escaped(s, &r.id);
+    s.push_str(",\"algo\":");
+    push_escaped(s, &r.algo);
+    let _ = write!(s, ",\"seed\":{}", r.seed);
+    if let Some(d) = r.deadline_ms {
+        let _ = write!(s, ",\"deadline_ms\":{d}");
+    }
+    if let Some(b) = &r.backend {
+        s.push_str(",\"backend\":");
+        push_escaped(s, b);
+    }
+    s.push_str(",\"tig\":");
+    push_escaped(s, &r.tig);
+    s.push_str(",\"platform\":");
+    push_escaped(s, &r.platform);
+}
+
 /// Encode a request as a single JSON line (no trailing newline).
 pub fn encode_request(req: &Request) -> String {
     let mut s = String::with_capacity(128);
     match req {
         Request::Solve(r) => {
-            s.push_str("{\"op\":\"solve\",\"id\":");
-            push_escaped(&mut s, &r.id);
-            s.push_str(",\"algo\":");
-            push_escaped(&mut s, &r.algo);
-            let _ = write!(s, ",\"seed\":{}", r.seed);
-            if let Some(d) = r.deadline_ms {
-                let _ = write!(s, ",\"deadline_ms\":{d}");
-            }
-            if let Some(b) = &r.backend {
-                s.push_str(",\"backend\":");
-                push_escaped(&mut s, b);
-            }
-            s.push_str(",\"tig\":");
-            push_escaped(&mut s, &r.tig);
-            s.push_str(",\"platform\":");
-            push_escaped(&mut s, &r.platform);
+            push_solve_fields(&mut s, "solve", r);
             s.push('}');
+        }
+        Request::Remap(r) => {
+            push_solve_fields(&mut s, "remap", &r.solve);
+            let _ = write!(s, ",\"mu\":{},\"prior\":[", r.mu);
+            for (i, p) in r.prior.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{p}");
+            }
+            s.push_str("]}");
         }
         Request::Stats => s.push_str("{\"op\":\"stats\"}"),
         Request::Metrics => s.push_str("{\"op\":\"metrics\"}"),
@@ -308,7 +344,7 @@ pub fn encode_response(resp: &Response) -> String {
                 s,
                 ",\"cached\":{},\"cancelled\":{},\"warm\":{},\"iterations_saved\":{},\
                  \"evaluations\":{},\"iterations\":{},\
-                 \"queue_wait_ns\":{},\"solve_ns\":{},\"mapping\":[",
+                 \"queue_wait_ns\":{},\"solve_ns\":{},\"migrated_tasks\":{},\"mapping\":[",
                 r.cached,
                 r.cancelled,
                 r.warm,
@@ -316,7 +352,8 @@ pub fn encode_response(resp: &Response) -> String {
                 r.evaluations,
                 r.iterations,
                 r.queue_wait_ns,
-                r.solve_ns
+                r.solve_ns,
+                r.migrated_tasks
             );
             for (i, m) in r.mapping.iter().enumerate() {
                 if i > 0 {
@@ -664,19 +701,28 @@ fn get_mapping(map: &BTreeMap<String, Val>, field: &'static str) -> Result<Vec<u
     }
 }
 
+fn parse_solve_fields(map: &BTreeMap<String, Val>) -> Result<SolveRequest, ProtoError> {
+    Ok(SolveRequest {
+        id: get_string(map, "id")?,
+        algo: get_string(map, "algo")?,
+        seed: get_u64(map, "seed")?,
+        deadline_ms: get_opt_u64(map, "deadline_ms")?,
+        backend: get_opt_string(map, "backend")?,
+        tig: get_string(map, "tig")?,
+        platform: get_string(map, "platform")?,
+    })
+}
+
 /// Decode one client→server line.
 pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     let map = Scanner::new(line).object()?;
     let op = get_string(&map, "op")?;
     match op.as_str() {
-        "solve" => Ok(Request::Solve(SolveRequest {
-            id: get_string(&map, "id")?,
-            algo: get_string(&map, "algo")?,
-            seed: get_u64(&map, "seed")?,
-            deadline_ms: get_opt_u64(&map, "deadline_ms")?,
-            backend: get_opt_string(&map, "backend")?,
-            tig: get_string(&map, "tig")?,
-            platform: get_string(&map, "platform")?,
+        "solve" => Ok(Request::Solve(parse_solve_fields(&map)?)),
+        "remap" => Ok(Request::Remap(RemapRequest {
+            solve: parse_solve_fields(&map)?,
+            prior: get_mapping(&map, "prior")?,
+            mu: get_opt_u64(&map, "mu")?.unwrap_or(0),
         })),
         "stats" => Ok(Request::Stats),
         "metrics" => Ok(Request::Metrics),
@@ -705,6 +751,7 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             iterations: get_u64(&map, "iterations")?,
             queue_wait_ns: get_u64(&map, "queue_wait_ns")?,
             solve_ns: get_u64(&map, "solve_ns")?,
+            migrated_tasks: get_opt_u64(&map, "migrated_tasks")?.unwrap_or(0),
             mapping: get_mapping(&map, "mapping")?,
         })),
         "rejected" => Ok(Response::Rejected {
@@ -776,6 +823,39 @@ mod tests {
     }
 
     #[test]
+    fn remap_requests_round_trip() {
+        roundtrip_request(Request::Remap(RemapRequest {
+            solve: SolveRequest {
+                id: "job-9".into(),
+                algo: "match".into(),
+                seed: 11,
+                deadline_ms: Some(250),
+                backend: Some("auto".into()),
+                tig: "# matchkit instance v1\ngraph 2\nedge 0 1 3.5\n".into(),
+                platform: "# matchkit instance v1\ngraph 2\nnode 0 2\nnode 1 1\n".into(),
+            },
+            prior: vec![1, 0],
+            mu: 5,
+        }));
+        // `mu` is optional on the wire and defaults to 0.
+        let line = "{\"op\":\"remap\",\"id\":\"a\",\"algo\":\"match\",\"seed\":1,\
+                    \"tig\":\"\",\"platform\":\"\",\"prior\":[0,1]}";
+        match parse_request(line).unwrap() {
+            Request::Remap(r) => {
+                assert_eq!(r.mu, 0);
+                assert_eq!(r.prior, vec![0, 1]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A remap without a prior is malformed.
+        assert!(parse_request(
+            "{\"op\":\"remap\",\"id\":\"a\",\"algo\":\"match\",\"seed\":1,\
+             \"tig\":\"\",\"platform\":\"\"}"
+        )
+        .is_err());
+    }
+
+    #[test]
     fn line_encoders_terminate_with_exactly_one_newline() {
         for req in [
             Request::Stats,
@@ -823,6 +903,7 @@ mod tests {
             iterations: 100,
             queue_wait_ns: 1_200,
             solve_ns: 150_000_000,
+            migrated_tasks: 2,
             mapping: vec![0, 2, 1],
         }));
         roundtrip_response(Response::Solved(SolveResponse {
@@ -840,6 +921,7 @@ mod tests {
             iterations: 0,
             queue_wait_ns: 0,
             solve_ns: 0,
+            migrated_tasks: 0,
             mapping: vec![],
         }));
         roundtrip_response(Response::Rejected {
@@ -884,6 +966,7 @@ mod tests {
             iterations: 1,
             queue_wait_ns: 1,
             solve_ns: 1,
+            migrated_tasks: 0,
             mapping: vec![0],
         }));
         match parse_response(&line).unwrap() {

@@ -35,7 +35,9 @@ use std::time::{Duration, Instant};
 
 use crate::client::Client;
 use crate::hash::instance_hash;
-use crate::protocol::{encode_response_line, parse_request, Request, Response, StatsResponse};
+use crate::protocol::{
+    encode_response_line, parse_request, RemapRequest, Request, Response, StatsResponse,
+};
 use crate::server::parse_instance;
 use crate::shard::SlotRing;
 
@@ -416,7 +418,9 @@ fn client_loop(stream: TcpStream, shared: &Arc<Shared>) {
                 shared.shutdown.store(true, Ordering::SeqCst);
                 return;
             }
-            Ok(Request::Solve(req)) => {
+            // Remaps route exactly like solves — by instance hash — so a
+            // re-map lands on the shard that warm-started the original.
+            Ok(Request::Solve(req)) | Ok(Request::Remap(RemapRequest { solve: req, .. })) => {
                 let key = match parse_instance(&req.tig, &req.platform) {
                     Ok(inst) => instance_hash(&inst),
                     Err(e) => {

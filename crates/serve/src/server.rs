@@ -78,7 +78,10 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use match_core::{EvalBackend, MappingInstance, Matcher, StopFlag, StopToken};
+use match_core::{
+    remap_incremental, EvalBackend, MappingInstance, Matcher, RemapConfig, RemapStrategy, StopFlag,
+    StopToken,
+};
 use match_graph::io::from_text;
 use match_graph::{ResourceGraph, TaskGraph};
 use match_metrics::{Counter, Gauge, LatencyHistogram, Metrics, MetricsRecorder};
@@ -90,7 +93,7 @@ use crate::hash::{job_key, structure_hash};
 use crate::http;
 use crate::io as serve_io;
 use crate::protocol::{
-    parse_request, Request, Response, SolveRequest, SolveResponse, StatsResponse,
+    parse_request, RemapRequest, Request, Response, SolveRequest, SolveResponse, StatsResponse,
 };
 use crate::queue::{JobQueue, PushError};
 use crate::solvers;
@@ -170,6 +173,14 @@ pub struct ServeSummary {
     pub warm_hits: u64,
 }
 
+/// Remap-specific parameters carried alongside a solve job.
+struct RemapParams {
+    /// The prior task→resource assignment to re-map from.
+    prior: Vec<usize>,
+    /// Migration-cost weight μ.
+    mu: u64,
+}
+
 /// One admitted unit of work.
 struct Job {
     seq: u64,
@@ -183,6 +194,10 @@ struct Job {
     /// Structure hash for the warm store — `Some` only for CE-family
     /// solves on square instances with warm starts enabled.
     skey: Option<u64>,
+    /// `Some` for `remap` requests: the prior mapping to warm-start from
+    /// and the migration weight. Remap jobs bypass the result cache —
+    /// the cache key does not cover the prior.
+    remap: Option<RemapParams>,
     enqueued: Instant,
     resp: mpsc::Sender<Response>,
 }
@@ -243,6 +258,7 @@ struct Counters {
 /// mutex hold against a full solve).
 struct ServeMetrics {
     req_solve: Counter,
+    req_remap: Counter,
     req_stats: Counter,
     req_metrics: Counter,
     req_shutdown: Counter,
@@ -270,6 +286,7 @@ impl ServeMetrics {
         };
         ServeMetrics {
             req_solve: req("solve"),
+            req_remap: req("remap"),
             req_stats: req("stats"),
             req_metrics: req("metrics"),
             req_shutdown: req("shutdown"),
@@ -596,13 +613,18 @@ fn handle_request_line(line: &str, ctx: &Arc<Ctx>, tx: &mpsc::Sender<Response>) 
         }
         Ok(Request::Solve(req)) => {
             ctx.sm.req_solve.inc();
-            admit(req, ctx, tx)
+            admit(req, None, ctx, tx)
+        }
+        Ok(Request::Remap(RemapRequest { solve, prior, mu })) => {
+            ctx.sm.req_remap.inc();
+            admit(solve, Some(RemapParams { prior, mu }), ctx, tx)
         }
     }
 }
 
-/// Validate a solve request and push it through admission control.
-fn admit(req: SolveRequest, ctx: &Ctx, tx: &mpsc::Sender<Response>) {
+/// Validate a solve or remap request and push it through admission
+/// control.
+fn admit(req: SolveRequest, remap: Option<RemapParams>, ctx: &Ctx, tx: &mpsc::Sender<Response>) {
     let reject = |error: String| {
         let _ = tx.send(Response::Error {
             id: req.id.clone(),
@@ -614,6 +636,13 @@ fn admit(req: SolveRequest, ctx: &Ctx, tx: &mpsc::Sender<Response>) {
             "unknown algorithm `{}` (known: {})",
             req.algo,
             solvers::known_algos_list()
+        ));
+        return;
+    }
+    if remap.is_some() && !solvers::ce_family(&req.algo) {
+        reject(format!(
+            "op `remap` needs a CE-family algorithm, got `{}`",
+            req.algo
         ));
         return;
     }
@@ -645,9 +674,23 @@ fn admit(req: SolveRequest, ctx: &Ctx, tx: &mpsc::Sender<Response>) {
         ));
         return;
     }
+    if let Some(rm) = &remap {
+        if rm.prior.len() != inst.n_tasks() {
+            reject(format!(
+                "prior mapping has {} entries, instance has {} tasks",
+                rm.prior.len(),
+                inst.n_tasks()
+            ));
+            return;
+        }
+    }
     let key = job_key(&inst, &req.algo, req.seed);
-    let skey = (ctx.warm.is_some() && solvers::ce_family(&req.algo) && inst.is_square())
-        .then(|| structure_hash(&inst));
+    // Remap jobs warm-start from the request's prior, not the store.
+    let skey = (remap.is_none()
+        && ctx.warm.is_some()
+        && solvers::ce_family(&req.algo)
+        && inst.is_square())
+    .then(|| structure_hash(&inst));
     let job = Job {
         seq: ctx.seq.fetch_add(1, Ordering::Relaxed),
         id: req.id.clone(),
@@ -658,6 +701,7 @@ fn admit(req: SolveRequest, ctx: &Ctx, tx: &mpsc::Sender<Response>) {
         inst,
         key,
         skey,
+        remap,
         enqueued: Instant::now(),
         resp: tx.clone(),
     };
@@ -699,6 +743,9 @@ struct Solved {
 
 /// Solve one admitted job on a worker thread.
 fn process_job(job: Job, ctx: &Ctx) {
+    if job.remap.is_some() {
+        return process_remap(job, ctx);
+    }
     let queue_wait_ns = job.enqueued.elapsed().as_nanos() as u64;
     let solve_start = Instant::now();
     let trace_id = format!("{}#{}", job.id, job.seq);
@@ -742,6 +789,7 @@ fn process_job(job: Job, ctx: &Ctx) {
             iterations: 0,
             queue_wait_ns,
             solve_ns,
+            migrated_tasks: 0,
             mapping: hit.mapping,
         }));
         return;
@@ -941,7 +989,124 @@ fn process_job(job: Job, ctx: &Ctx) {
         iterations: solved.iterations,
         queue_wait_ns,
         solve_ns,
+        migrated_tasks: 0,
         mapping: solved.mapping,
+    }));
+}
+
+/// Incrementally re-map one admitted `remap` job on a worker thread.
+///
+/// The prior comes from the request (not the warm store) and the result
+/// never enters the cache — the cache key does not cover the prior, and
+/// two remaps of the same instance from different priors legitimately
+/// differ. Solver telemetry lands in `match_solver_*` series carrying an
+/// extra `op="remap"` label so dashboards can split re-maps from solves.
+fn process_remap(job: Job, ctx: &Ctx) {
+    let queue_wait_ns = job.enqueued.elapsed().as_nanos() as u64;
+    let solve_start = Instant::now();
+    let trace_id = format!("{}#{}", job.id, job.seq);
+    ctx.sm.queue_wait.record(queue_wait_ns);
+    let latency = ctx.metrics.histogram_with(
+        "match_serve_solve_latency_ns",
+        &[("algo", &job.algo), ("shard", &ctx.shard)],
+    );
+    let rm = job
+        .remap
+        .as_ref()
+        .expect("process_remap needs remap params");
+
+    let stop = {
+        let base = StopToken::with_flag(ctx.drain_flag.clone());
+        match job.deadline {
+            Some(d) => base.and_deadline(job.enqueued + d),
+            None => base,
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(job.seed);
+    let mut solver_metrics =
+        MetricsRecorder::with_op(&ctx.metrics, &job.algo, job.backend.as_str(), "remap");
+    let cfg = RemapConfig {
+        match_config: solvers::match_config_for(&job.algo, job.backend, ctx.solver_threads)
+            .expect("admission restricts remap to CE-family algos"),
+        strategy: RemapStrategy::WarmCe,
+        mu: rm.mu as f64,
+        ..RemapConfig::default()
+    };
+    // The wire carries no change-list, so refine over every task; the
+    // CE warm start already concentrates probability near the prior.
+    let changed: Vec<usize> = (0..job.inst.n_tasks()).collect();
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        remap_incremental(
+            &job.inst,
+            Some(&rm.prior),
+            &changed,
+            &cfg,
+            &mut rng,
+            &mut solver_metrics,
+            &stop,
+        )
+    }));
+    let outcome = match run {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let _ = job.resp.send(Response::Error {
+                id: job.id,
+                error: format!("solver panicked: {}", panic_message(payload)),
+            });
+            return;
+        }
+    };
+    let solve_ns = solve_start.elapsed().as_nanos() as u64;
+    let cancelled = stop.should_stop();
+
+    ctx.counters.jobs.fetch_add(1, Ordering::Relaxed);
+    ctx.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+    ctx.counters
+        .evaluations
+        .fetch_add(outcome.evaluations, Ordering::Relaxed);
+    ctx.sm.jobs.inc();
+    ctx.sm.cache_misses.inc();
+    latency.record(solve_ns);
+    if cancelled {
+        ctx.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        ctx.sm.cancelled.inc();
+        ctx.sink.record(Event::Counter {
+            name: "cancelled".into(),
+            value: 1,
+        });
+    }
+    {
+        let mut best = ctx.best.lock().expect("best poisoned");
+        if outcome.cost < *best {
+            *best = outcome.cost;
+        }
+    }
+    record_job_events(
+        ctx,
+        &trace_id,
+        job.seq,
+        queue_wait_ns,
+        solve_ns,
+        outcome.cost,
+        "remap",
+    );
+    let _ = job.resp.send(Response::Solved(SolveResponse {
+        id: job.id,
+        trace_id,
+        algo: "MaTCH".to_string(),
+        seed: job.seed,
+        backend: job.backend.as_str().to_string(),
+        cost: outcome.cost,
+        cached: false,
+        cancelled,
+        warm: outcome.warm,
+        iterations_saved: 0,
+        evaluations: outcome.evaluations,
+        iterations: outcome.iterations as u64,
+        queue_wait_ns,
+        solve_ns,
+        migrated_tasks: outcome.migrated as u64,
+        mapping: outcome.mapping.as_slice().to_vec(),
     }));
 }
 

@@ -2,7 +2,9 @@
 //! solver kinds, result-cache hits, admission-control backpressure,
 //! deadline cancellation, drain-on-shutdown, and trace reporting.
 
-use match_serve::{Client, Request, Response, ServeConfig, Server, ServerHandle, SolveRequest};
+use match_serve::{
+    Client, RemapRequest, Request, Response, ServeConfig, Server, ServerHandle, SolveRequest,
+};
 
 /// The paper-family instance for `(n, seed)`, in wire (text) format.
 fn instance_text(n: usize, seed: u64) -> (String, String) {
@@ -566,6 +568,121 @@ fn multilevel_solve_carries_trace_id_and_labelled_series() {
         "{text}"
     );
     assert!(series_value(&text, "match_solver_evaluations_total") > 0.0);
+    handle.shutdown().expect("shutdown");
+}
+
+#[test]
+fn remap_op_reports_migrations_and_labelled_series() {
+    let handle = start(2, 8, 8);
+    let (tig, platform) = instance_text(12, 51);
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+    // Cold solve first: its mapping becomes the remap's prior.
+    let base = expect_solved(
+        client
+            .call(&solve("base", "match", 5, &tig, &platform))
+            .expect("base solve"),
+    );
+    assert!(!base.cached && base.mapping.len() == 12);
+    assert_eq!(base.migrated_tasks, 0, "plain solves carry no prior");
+
+    // Mutate the instance — bump one task's computation weight — and
+    // submit a remap carrying the prior mapping.
+    let mutated = tig
+        .lines()
+        .map(|l| {
+            if l.starts_with("node 0 ") {
+                "node 0 99".to_string()
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+        + "\n";
+    assert_ne!(mutated, tig, "the mutation must change the instance");
+    let remap = |id: &str, algo: &str, prior: Vec<usize>| {
+        Request::Remap(RemapRequest {
+            solve: SolveRequest {
+                id: id.to_string(),
+                algo: algo.to_string(),
+                seed: 6,
+                deadline_ms: None,
+                backend: None,
+                tig: mutated.clone(),
+                platform: platform.clone(),
+            },
+            prior,
+            mu: 1,
+        })
+    };
+    let r = expect_solved(
+        client
+            .call(&remap("re", "match", base.mapping.clone()))
+            .expect("remap"),
+    );
+    assert_eq!(r.id, "re");
+    assert!(r.warm, "a valid prior must warm-start the re-map");
+    assert!(!r.cached, "remap results never enter the cache");
+    assert!(r.cost.is_finite() && r.cost > 0.0);
+    // The mapping stays a permutation and migrated_tasks is exactly the
+    // Hamming distance from the submitted prior.
+    let mut seen = [false; 12];
+    for &s in &r.mapping {
+        assert!(!seen[s], "duplicate resource {s} in remap mapping");
+        seen[s] = true;
+    }
+    let moved = r
+        .mapping
+        .iter()
+        .zip(&base.mapping)
+        .filter(|(a, b)| a != b)
+        .count();
+    assert_eq!(r.migrated_tasks as usize, moved);
+
+    // Solver series split out by op="remap"; the request counter too.
+    let text = match client.metrics().expect("metrics") {
+        Response::Metrics { text } => text,
+        other => panic!("expected Metrics, got {other:?}"),
+    };
+    assert!(
+        text.contains(
+            "match_solver_iterations_total{algo=\"match\",backend=\"auto\",op=\"remap\"}"
+        ),
+        "{text}"
+    );
+    assert!(
+        text.contains(
+            "match_solver_evaluations_total{algo=\"match\",backend=\"auto\",op=\"remap\"}"
+        ),
+        "{text}"
+    );
+    assert!(
+        text.contains("match_serve_requests_total{op=\"remap\",shard=\"0\"} 1"),
+        "{text}"
+    );
+
+    // Remap is CE-family only, and the prior must match the instance.
+    match client
+        .call(&remap("bad-algo", "hill", base.mapping.clone()))
+        .expect("bad algo")
+    {
+        Response::Error { id, error } => {
+            assert_eq!(id, "bad-algo");
+            assert!(error.contains("CE-family"), "{error}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    match client
+        .call(&remap("bad-prior", "match", vec![0, 1, 2]))
+        .expect("bad prior")
+    {
+        Response::Error { id, error } => {
+            assert_eq!(id, "bad-prior");
+            assert!(error.contains("3 entries"), "{error}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
     handle.shutdown().expect("shutdown");
 }
 

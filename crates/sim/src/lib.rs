@@ -22,12 +22,20 @@
 //! heap of work-item completions, per-resource FIFO servers, and a
 //! dependency table that unblocks waiting computations as transfers
 //! finish ([`engine`], [`workload`]).
+//!
+//! [`dynamic`] adds the time axis: task arrival/departure event streams
+//! drive warm-started incremental re-mapping epoch by epoch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dynamic;
 pub mod engine;
 pub mod workload;
 
+pub use dynamic::{
+    run_dynamic, run_dynamic_untraced, DynamicConfig, DynamicReport, DynamicWorkload, EpochReport,
+    TaskEvent,
+};
 pub use engine::{SimReport, TraceEntry};
 pub use workload::{SimConfig, SimMode, Simulator};

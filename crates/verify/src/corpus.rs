@@ -10,6 +10,7 @@ use match_core::MappingInstance;
 use match_graph::gen::large::LargeFamilyConfig;
 use match_graph::gen::overset::OversetConfig;
 use match_graph::gen::paper::PaperFamilyConfig;
+use match_graph::gen::topology::{TopologyConfig, TopologyKind};
 use match_graph::{ResourceGraph, TaskGraph};
 use match_rngutil::derive_seed_str;
 use rand::rngs::StdRng;
@@ -110,6 +111,22 @@ fn rectangular(master: u64, tasks: usize, resources: usize) -> CorpusInstance {
     }
 }
 
+/// A topology-aware square instance: a paper-family TIG over a
+/// platform whose link costs grow monotonically with hop distance in
+/// the named fabric (grid/torus/fattree/dragonfly).
+fn topology(master: u64, kind: TopologyKind, n: usize) -> CorpusInstance {
+    let name = format!("{}-n{n}", kind.name());
+    let gen_seed = derive_seed_str(master, &format!("gen/{name}"));
+    let mut rng = StdRng::seed_from_u64(gen_seed);
+    let pair = TopologyConfig::new(kind, n).generate(&mut rng);
+    CorpusInstance {
+        seed: derive_seed_str(master, &format!("run/{name}")),
+        name,
+        tig: pair.tig,
+        resources: pair.resources,
+    }
+}
+
 /// A sparse large-n square instance from the multilevel solver's
 /// instance family.
 fn large_square(master: u64, n: usize) -> CorpusInstance {
@@ -156,6 +173,10 @@ pub fn build(kind: CorpusKind, master_seed: u64) -> Vec<CorpusInstance> {
             overset(m, 8),
             rectangular(m, 10, 6),
             rectangular(m, 12, 5),
+            topology(m, TopologyKind::Grid, 16),
+            topology(m, TopologyKind::Torus, 16),
+            topology(m, TopologyKind::FatTree, 16),
+            topology(m, TopologyKind::Dragonfly, 16),
         ],
         CorpusKind::Full => {
             let mut all = build(CorpusKind::Ci, m);
@@ -167,6 +188,10 @@ pub fn build(kind: CorpusKind, master_seed: u64) -> Vec<CorpusInstance> {
                 overset(m, 12),
                 rectangular(m, 16, 6),
                 rectangular(m, 20, 8),
+                topology(m, TopologyKind::Grid, 25),
+                topology(m, TopologyKind::Torus, 24),
+                topology(m, TopologyKind::FatTree, 24),
+                topology(m, TopologyKind::Dragonfly, 24),
             ]);
             all
         }
@@ -220,6 +245,20 @@ mod tests {
         // These names must never leak into the regular corpus.
         for c in build(CorpusKind::Full, 2005) {
             assert!(!c.name.starts_with("large-"), "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn ci_corpus_covers_every_topology_family() {
+        let corpus = build(CorpusKind::Ci, 2005);
+        for kind in TopologyKind::ALL {
+            let name = format!("{}-n16", kind.name());
+            let entry = corpus
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("ci corpus is missing {name}"));
+            assert!(entry.is_square(), "{name}");
+            assert_eq!(entry.tig.len(), 16);
         }
     }
 

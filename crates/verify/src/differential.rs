@@ -521,8 +521,13 @@ fn warm_run(
 }
 
 /// The quality band a warm start may cost relative to cold: a prior can
-/// steer early sampling, never the verdict.
-const WARM_COST_FACTOR: f64 = 1.02;
+/// steer early sampling, never the verdict. 1.05 rather than a tighter
+/// band because the topology corpus entries (grid/torus/fattree/
+/// dragonfly) have strongly anisotropic `c_{s,b}` matrices, where a
+/// prior converged under a different seed legitimately steers CE into a
+/// neighbouring basin a few percent off the cold optimum — the same
+/// bound the dynamic re-mapping benchmark gates on.
+const WARM_COST_FACTOR: f64 = 1.05;
 
 /// Satellite: the warm-start seam. Three properties per square
 /// instance, each against the same cold batched baseline:

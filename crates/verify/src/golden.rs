@@ -16,6 +16,7 @@ use match_core::{
 };
 use match_ga::{FastMapGa, GaConfig};
 use match_graph::gen::paper::PaperFamilyConfig;
+use match_graph::gen::topology::{TopologyConfig, TopologyKind};
 use match_multilevel::MultilevelMapper;
 use match_rngutil::{derive_seed_str, rng_from};
 use match_telemetry::MemoryRecorder;
@@ -42,38 +43,74 @@ enum Solver {
     Multilevel,
 }
 
-/// One committed fixture: a named solver configuration on the shared
-/// paper-family instance.
+/// Which instance family a fixture solves over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Family {
+    /// The shared paper-family instance.
+    Paper,
+    /// A topology-aware platform (hop-distance link costs).
+    Topology(TopologyKind),
+}
+
+/// One committed fixture: a named solver configuration on a fixed
+/// instance.
 #[derive(Debug, Clone, Copy)]
 pub struct FixtureSpec {
     /// Fixture (and file stem) name.
     pub name: &'static str,
     solver: Solver,
+    family: Family,
 }
 
-/// The five committed fixtures: both sampling pipelines of both
-/// iterative solver families, plus the multilevel driver's
-/// coarsen–solve–refine trajectory.
-pub const FIXTURES: [FixtureSpec; 5] = [
+/// The committed fixtures: both sampling pipelines of both iterative
+/// solver families and the multilevel driver's coarsen–solve–refine
+/// trajectory on the paper-family instance, plus the batched CE
+/// trajectory on each of the four topology-aware platforms.
+pub const FIXTURES: [FixtureSpec; 9] = [
     FixtureSpec {
         name: "ce-sequential-n8",
         solver: Solver::CeSequential,
+        family: Family::Paper,
     },
     FixtureSpec {
         name: "ce-batched-n8",
         solver: Solver::CeBatched,
+        family: Family::Paper,
     },
     FixtureSpec {
         name: "ga-sequential-n8",
         solver: Solver::GaSequential,
+        family: Family::Paper,
     },
     FixtureSpec {
         name: "ga-batched-n8",
         solver: Solver::GaBatched,
+        family: Family::Paper,
     },
     FixtureSpec {
         name: "multilevel-n8",
         solver: Solver::Multilevel,
+        family: Family::Paper,
+    },
+    FixtureSpec {
+        name: "grid-n8",
+        solver: Solver::CeBatched,
+        family: Family::Topology(TopologyKind::Grid),
+    },
+    FixtureSpec {
+        name: "torus-n8",
+        solver: Solver::CeBatched,
+        family: Family::Topology(TopologyKind::Torus),
+    },
+    FixtureSpec {
+        name: "fattree-n8",
+        solver: Solver::CeBatched,
+        family: Family::Topology(TopologyKind::FatTree),
+    },
+    FixtureSpec {
+        name: "dragonfly-n8",
+        solver: Solver::CeBatched,
+        family: Family::Topology(TopologyKind::Dragonfly),
     },
 ];
 
@@ -90,11 +127,22 @@ pub struct Trajectory {
     pub iter_bests: Vec<f64>,
 }
 
-fn fixture_instance() -> MappingInstance {
-    let gen_seed = derive_seed_str(FIXTURE_MASTER, "gen/paper-n8");
-    let mut rng = StdRng::seed_from_u64(gen_seed);
-    let pair = PaperFamilyConfig::new(FIXTURE_N).generate(&mut rng);
-    MappingInstance::from_pair(&pair)
+fn fixture_instance(family: Family) -> MappingInstance {
+    match family {
+        Family::Paper => {
+            let gen_seed = derive_seed_str(FIXTURE_MASTER, "gen/paper-n8");
+            let mut rng = StdRng::seed_from_u64(gen_seed);
+            let pair = PaperFamilyConfig::new(FIXTURE_N).generate(&mut rng);
+            MappingInstance::from_pair(&pair)
+        }
+        Family::Topology(kind) => {
+            let gen_seed =
+                derive_seed_str(FIXTURE_MASTER, &format!("gen/{}-n{FIXTURE_N}", kind.name()));
+            let mut rng = StdRng::seed_from_u64(gen_seed);
+            let pair = TopologyConfig::new(kind, FIXTURE_N).generate(&mut rng);
+            MappingInstance::from_pair(&pair)
+        }
+    }
 }
 
 /// Re-run a fixture's solver and capture its trajectory through a
@@ -108,7 +156,7 @@ pub fn capture(spec: &FixtureSpec) -> Trajectory {
 /// trajectory whichever backend runs it — that claim is checked by
 /// [`run_checks`], not just asserted.
 pub fn capture_with_backend(spec: &FixtureSpec, backend: EvalBackend) -> Trajectory {
-    let inst = fixture_instance();
+    let inst = fixture_instance(spec.family);
     let run_seed = derive_seed_str(FIXTURE_MASTER, &format!("run/{}", spec.name));
     let mut rng = rng_from(run_seed, 0);
     let mut recorder = MemoryRecorder::new();

@@ -13,7 +13,11 @@
 //! 2. **Metamorphic** ([`metamorphic`]) — instance transformations with
 //!    provable cost effects: task/resource relabeling preserves cost,
 //!    uniform λ-scaling scales it exactly, zero-weight edges are inert
-//!    down to the bit level, slowing a resource never helps.
+//!    down to the bit level, slowing a resource never helps. The
+//!    [`dynamic`] module adds incremental re-mapping contracts under
+//!    the same pillar: an empty event batch is bit-identical to not
+//!    re-mapping, a μ = 0 cold re-map equals the cold solver, and the
+//!    migration ledger (`total = cost + μ·migrated`) balances exactly.
 //! 3. **Golden trajectory** ([`golden`]) — committed fixtures pin the
 //!    per-iteration best-cost sequence of representative solver
 //!    configurations; drift is rendered as a first-divergence diff.
@@ -28,6 +32,7 @@
 
 pub mod corpus;
 pub mod differential;
+pub mod dynamic;
 pub mod golden;
 pub mod metamorphic;
 pub mod oracle;
@@ -81,6 +86,7 @@ pub fn run_verify(opts: &VerifyOptions) -> VerifyReport {
     let large = corpus::build_large(opts.corpus, opts.master_seed);
     checks.extend(differential::run_large_checks(&large));
     checks.extend(metamorphic::run_checks(&corpus));
+    checks.extend(dynamic::run_checks(&corpus));
 
     let dir = opts
         .fixtures_dir
